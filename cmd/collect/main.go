@@ -1,0 +1,84 @@
+// Command collect runs the paper's Fig. 3 training-data collection
+// sweep (normal and abnormal cases) on the simulated testbed and writes
+// the labelled dataset as CSV.
+//
+// Usage:
+//
+//	collect [-n messages] [-seed n] [-grid normal|abnormal|both] [-stride k] -o dataset.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"kafkarel/internal/features"
+	"kafkarel/internal/sweep"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "collect:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("collect", flag.ContinueOnError)
+	messages := fs.Int("n", 10000, "messages per experiment")
+	seed := fs.Uint64("seed", 1, "random seed")
+	gridName := fs.String("grid", "both", "normal, abnormal or both (Fig. 3's two feature subspaces)")
+	stride := fs.Int("stride", 1, "keep every k-th grid point (quick runs)")
+	out := fs.String("o", "", "output CSV path (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var grid []features.Vector
+	switch *gridName {
+	case "normal":
+		grid = sweep.NormalGrid()
+	case "abnormal":
+		grid = sweep.AbnormalGrid()
+	case "both":
+		grid = append(sweep.NormalGrid(), sweep.AbnormalGrid()...)
+	default:
+		return fmt.Errorf("unknown grid %q", *gridName)
+	}
+	if *stride > 1 {
+		kept := grid[:0]
+		for i, v := range grid {
+			if i%*stride == 0 {
+				kept = append(kept, v)
+			}
+		}
+		grid = kept
+	}
+	fmt.Fprintf(os.Stderr, "collecting %d experiments x %d messages\n", len(grid), *messages)
+	ds, err := sweep.Collect(grid, sweep.Options{
+		Messages: *messages,
+		Seed:     *seed,
+		Progress: func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "collect: close:", cerr)
+			}
+		}()
+		w = f
+	}
+	return ds.WriteCSV(w)
+}

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"kafkarel/internal/features"
+)
+
+func TestRunValidation(t *testing.T) {
+	if err := run([]string{"-grid", "nosuch"}); err == nil {
+		t.Error("unknown grid accepted")
+	}
+}
+
+func TestRunSmallSweepToFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "ds.csv")
+	if err := run([]string{"-n", "200", "-grid", "normal", "-stride", "40", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ds, err := features.ReadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) == 0 {
+		t.Error("empty dataset written")
+	}
+}

@@ -1,0 +1,105 @@
+// Command predict loads a trained model and predicts the reliability
+// metrics P̂_l and P̂_d — plus the weighted KPI γ — for one feature
+// vector given on the command line.
+//
+// Usage:
+//
+//	predict -model model.json -size 200 -loss 0.19 -delay 100 \
+//	        -semantics at-least-once -batch 2 -poll 0ms -timeout 1500ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"kafkarel/internal/core"
+	"kafkarel/internal/features"
+	"kafkarel/internal/kpi"
+	"kafkarel/internal/perfmodel"
+	"kafkarel/internal/testbed"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "predict:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("predict", flag.ContinueOnError)
+	model := fs.String("model", "", "trained model JSON (from cmd/train)")
+	size := fs.Int("size", 200, "message size M in bytes")
+	timeliness := fs.Duration("timeliness", 5*time.Second, "message validity S")
+	delay := fs.Float64("delay", 0, "network delay D in ms")
+	loss := fs.Float64("loss", 0, "packet loss rate L in [0,1]")
+	semantics := fs.String("semantics", "at-least-once", "at-most-once, at-least-once or exactly-once")
+	batch := fs.Int("batch", 1, "batch size B")
+	poll := fs.Duration("poll", 0, "polling interval δ")
+	timeout := fs.Duration("timeout", 1500*time.Millisecond, "message timeout T_o")
+	w1 := fs.Float64("w1", 0.3, "KPI weight ω1 (bandwidth utilisation)")
+	w2 := fs.Float64("w2", 0.3, "KPI weight ω2 (service rate)")
+	w3 := fs.Float64("w3", 0.3, "KPI weight ω3 (1-Pl)")
+	w4 := fs.Float64("w4", 0.1, "KPI weight ω4 (1-Pd)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *model == "" {
+		return fmt.Errorf("missing -model")
+	}
+	sem := map[string]int{
+		"at-most-once":  features.SemanticsAtMostOnce,
+		"at-least-once": features.SemanticsAtLeastOnce,
+		"exactly-once":  features.SemanticsExactlyOnce,
+	}[*semantics]
+	if sem == 0 {
+		return fmt.Errorf("unknown semantics %q", *semantics)
+	}
+	v := features.Vector{
+		MessageSize:    *size,
+		Timeliness:     *timeliness,
+		DelayMs:        *delay,
+		LossRate:       *loss,
+		Semantics:      sem,
+		BatchSize:      *batch,
+		PollInterval:   *poll,
+		MessageTimeout: *timeout,
+	}
+
+	f, err := os.Open(*model)
+	if err != nil {
+		return err
+	}
+	pred, err := core.Load(f)
+	if cerr := f.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+
+	rel, err := pred.Predict(v)
+	if err != nil {
+		return err
+	}
+	perf, err := perfmodel.New(testbed.Calibration{})
+	if err != nil {
+		return err
+	}
+	pp, err := perf.Predict(v)
+	if err != nil {
+		return err
+	}
+	gamma, err := kpi.Gamma(pp.Phi, pp.Mu, rel.Pl, rel.Pd, kpi.Weights{*w1, *w2, *w3, *w4})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("P_l (message loss):        %.4f\n", rel.Pl)
+	fmt.Printf("P_d (message duplication): %.4f\n", rel.Pd)
+	fmt.Printf("phi (bandwidth util.):     %.4f\n", pp.Phi)
+	fmt.Printf("mu  (norm. service rate):  %.4f\n", pp.Mu)
+	fmt.Printf("gamma (weighted KPI):      %.4f\n", gamma)
+	return nil
+}

@@ -1,0 +1,299 @@
+// Command repro regenerates every table and figure in the paper's
+// evaluation section from the simulated testbed, printing TSV series
+// suitable for plotting.
+//
+// Usage:
+//
+//	repro [-n messages] [-seed n] <artefact>
+//
+// where artefact is one of: fig4 fig5 fig6 fig7 fig8 fig9 table1 table2
+// ann-accuracy sensitivity all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"kafkarel/internal/dynconf"
+	"kafkarel/internal/features"
+	"kafkarel/internal/figures"
+	"kafkarel/internal/sweep"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("repro", flag.ContinueOnError)
+	messages := fs.Int("n", 20000, "messages per experiment point")
+	seed := fs.Uint64("seed", 1, "random seed")
+	quiet := fs.Bool("q", false, "suppress progress output")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: repro [-n messages] [-seed n] <fig3|fig4|fig5|fig6|fig7|fig8|fig9|table1|table2|ann-accuracy|sensitivity|all>")
+	}
+	opts := figures.Options{Messages: *messages, Seed: *seed}
+	if !*quiet {
+		opts.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d experiments", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	artefacts := map[string]func(figures.Options) error{
+		"fig3":         fig3,
+		"fig4":         fig4,
+		"fig5":         fig5,
+		"fig6":         fig6,
+		"fig7":         fig7,
+		"fig8":         fig8,
+		"fig9":         fig9,
+		"table1":       table1,
+		"table2":       table2,
+		"ann-accuracy": annAccuracy,
+		"sensitivity":  sensitivity,
+	}
+	name := fs.Arg(0)
+	if name == "all" {
+		for _, key := range []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table1", "ann-accuracy", "sensitivity", "table2"} {
+			fmt.Printf("==== %s ====\n", key)
+			if err := artefacts[key](opts); err != nil {
+				return fmt.Errorf("%s: %w", key, err)
+			}
+			fmt.Println()
+		}
+		return nil
+	}
+	fn, ok := artefacts[name]
+	if !ok {
+		return fmt.Errorf("unknown artefact %q", name)
+	}
+	return fn(opts)
+}
+
+func semName(s int) string {
+	switch s {
+	case features.SemanticsAtMostOnce:
+		return "at-most-once"
+	case features.SemanticsAtLeastOnce:
+		return "at-least-once"
+	case features.SemanticsExactlyOnce:
+		return "exactly-once"
+	}
+	return fmt.Sprintf("sem%d", s)
+}
+
+func newTab() *tabwriter.Writer {
+	return tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+}
+
+func fig3(figures.Options) error {
+	fmt.Println("# Fig. 3: training data collection design (two feature subspaces)")
+	normal := sweep.NormalGrid()
+	abnormal := sweep.AbnormalGrid()
+	w := newTab()
+	fmt.Fprintln(w, "subspace\tcondition\teffective features swept\texperiments")
+	fmt.Fprintf(w, "normal\tD<200ms, L=0\tsemantics, M, To, delta\t%d\n", len(normal))
+	fmt.Fprintf(w, "abnormal\tfaults injected\tsemantics, M, D, L, B\t%d\n", len(abnormal))
+	full := 2 * 3 * 5 * 4 * 3 * 6 * 4 // cross product of all feature ranges
+	fmt.Fprintf(w, "full cross product (avoided)\t\t\t%d\n", full)
+	return w.Flush()
+}
+
+func fig4(o figures.Options) error {
+	points, err := figures.Fig4(o)
+	if err != nil {
+		return err
+	}
+	fmt.Println("# Fig. 4: Pl vs message size M (D=100ms, L=19%, To=1500ms, full load)")
+	w := newTab()
+	fmt.Fprintln(w, "M_bytes\tsemantics\tPl\tPd")
+	for _, p := range points {
+		fmt.Fprintf(w, "%d\t%s\t%.4f\t%.4f\n", p.MessageSize, semName(p.Semantics), p.Pl, p.Pd)
+	}
+	return w.Flush()
+}
+
+func fig5(o figures.Options) error {
+	points, err := figures.Fig5(o)
+	if err != nil {
+		return err
+	}
+	fmt.Println("# Fig. 5: Pl vs message timeout To (no faults, full load, M=200B)")
+	w := newTab()
+	fmt.Fprintln(w, "To_ms\tsemantics\tPl")
+	for _, p := range points {
+		fmt.Fprintf(w, "%d\t%s\t%.4f\n", p.Timeout/time.Millisecond, semName(p.Semantics), p.Pl)
+	}
+	return w.Flush()
+}
+
+func fig6(o figures.Options) error {
+	points, err := figures.Fig6(o)
+	if err != nil {
+		return err
+	}
+	fmt.Println("# Fig. 6: Pl vs polling interval δ (To=500ms, no faults, M=200B, at-most-once)")
+	w := newTab()
+	fmt.Fprintln(w, "delta_ms\tPl")
+	for _, p := range points {
+		fmt.Fprintf(w, "%d\t%.4f\n", p.PollInterval/time.Millisecond, p.Pl)
+	}
+	return w.Flush()
+}
+
+func fig7(o figures.Options) error {
+	points, err := figures.Fig7(o)
+	if err != nil {
+		return err
+	}
+	fmt.Println("# Fig. 7: Pl vs packet loss L for batch sizes B (M=200B, To=500ms, full load)")
+	w := newTab()
+	fmt.Fprintln(w, "L\tB\tsemantics\tPl")
+	for _, p := range points {
+		fmt.Fprintf(w, "%.2f\t%d\t%s\t%.4f\n", p.LossRate, p.BatchSize, semName(p.Semantics), p.Pl)
+	}
+	return w.Flush()
+}
+
+func fig8(o figures.Options) error {
+	points, err := figures.Fig8(o)
+	if err != nil {
+		return err
+	}
+	fmt.Println("# Fig. 8: Pd vs batch size B (at-least-once, M=200B, D=100ms, To=3s)")
+	w := newTab()
+	fmt.Fprintln(w, "B\tL\tPd\tPl")
+	for _, p := range points {
+		fmt.Fprintf(w, "%d\t%.2f\t%.4f\t%.4f\n", p.BatchSize, p.LossRate, p.Pd, p.Pl)
+	}
+	return w.Flush()
+}
+
+func fig9(o figures.Options) error {
+	series, err := figures.Fig9(o.Seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println("# Fig. 9: network trace (Pareto delay, Gilbert-Elliot loss)")
+	w := newTab()
+	fmt.Fprintln(w, "t_s\tdelay_ms\tloss")
+	for _, p := range series {
+		fmt.Fprintf(w, "%.0f\t%.1f\t%.3f\n", p.At.Seconds(), p.DelayMs, p.Loss)
+	}
+	return w.Flush()
+}
+
+func table1(o figures.Options) error {
+	res, err := figures.Table1(o)
+	if err != nil {
+		return err
+	}
+	fmt.Println("# Table I (empirical): message state cases (at-least-once, D=100ms, L=15%, retries on)")
+	w := newTab()
+	fmt.Fprintln(w, "case\ttransitions\tcount\tshare")
+	desc := map[string]string{
+		"case1": "I",
+		"case2": "II",
+		"case3": "II -> tau_r*III",
+		"case4": "II -> tau_r*III -> IV",
+	}
+	for _, r := range res.Rows {
+		fmt.Fprintf(w, "%s\t%s\t%d\t%.4f\n", r.Case, desc[r.Case.String()], r.Count, r.Share)
+	}
+	fmt.Fprintf(w, "case5\tII -> ... -> V -> tau_d*VI\t%d\t%.4f\n",
+		res.Case5, float64(res.Case5)/float64(res.Total))
+	return w.Flush()
+}
+
+func table2(o figures.Options) error {
+	fmt.Println("# Table II: overall loss/duplicate rates, static default vs dynamic configuration")
+	fmt.Fprintln(os.Stderr, "(full pipeline: per-stream sweep + training + schedule + evaluation; this takes a while)")
+	outcomes, err := dynconf.TableII(nil, dynconf.Options{
+		Messages:      o.Messages,
+		Seed:          o.Seed,
+		TrainMessages: o.Messages / 8,
+		Progress:      func(s string) { fmt.Fprintln(os.Stderr, s) },
+	})
+	if err != nil {
+		return err
+	}
+	w := newTab()
+	fmt.Fprintln(w, "stream\tweights\tRl_default\tRl_dynamic\tRd_default\tRd_dynamic\treconfigs")
+	for _, oc := range outcomes {
+		fmt.Fprintf(w, "%s\t%.1f,%.1f,%.1f,%.1f\t%.2f%%\t%.2f%%\t%.2f%%\t%.2f%%\t%d\n",
+			oc.Profile.Name,
+			oc.Profile.Weights[0], oc.Profile.Weights[1], oc.Profile.Weights[2], oc.Profile.Weights[3],
+			100*oc.DefaultRl, 100*oc.DynamicRl, 100*oc.DefaultRd, 100*oc.DynamicRd,
+			oc.Reconfigurations)
+	}
+	return w.Flush()
+}
+
+func annAccuracy(o figures.Options) error {
+	fmt.Println("# ANN accuracy: predicted vs measured on the held-out split (paper: MAE < 0.02)")
+	res, err := figures.Accuracy(o)
+	if err != nil {
+		return err
+	}
+	w := newTab()
+	fmt.Fprintln(w, "semantics\ttrain_n\ttest_n\tMAE\tRMSE\tepochs")
+	for sem, m := range res.Metrics.PerSemantics {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%.4f\t%.4f\t%d\n",
+			semName(sem), m.TrainSamples, m.TestSamples, m.MAE, m.RMSE, m.Epochs)
+	}
+	fmt.Fprintf(w, "pooled\t\t\t%.4f\t%.4f\t\n", res.Metrics.MAE, res.Metrics.RMSE)
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Println("\n# held-out overlay samples (first 20): measured vs predicted Pl")
+	w = newTab()
+	fmt.Fprintln(w, "M\tL\tB\tsemantics\tPl_measured\tPl_predicted")
+	for i, p := range res.Pairs {
+		if i == 20 {
+			break
+		}
+		fmt.Fprintf(w, "%d\t%.2f\t%d\t%s\t%.4f\t%.4f\n",
+			p.X.MessageSize, p.X.LossRate, p.X.BatchSize, semName(p.X.Semantics),
+			p.MeasuredPl, p.PredictedPl)
+	}
+	return w.Flush()
+}
+
+func sensitivity(o figures.Options) error {
+	fmt.Println("# Sec. III-D sensitivity analysis: ±50% perturbation at a faulted operating point")
+	base := features.Vector{
+		MessageSize:    200,
+		Timeliness:     5 * time.Second,
+		DelayMs:        50,
+		LossRate:       0.18,
+		Semantics:      features.SemanticsAtMostOnce,
+		BatchSize:      2,
+		PollInterval:   0,
+		MessageTimeout: 700 * time.Millisecond,
+	}
+	results, err := sweep.Sensitivity(base, sweep.SensitivityOptions{
+		Messages: o.Messages / 4,
+		Seed:     o.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	w := newTab()
+	fmt.Fprintln(w, "parameter\tPl_-50%\tPl_base\tPl_+50%\timpact\tselected")
+	for _, r := range results {
+		fmt.Fprintf(w, "%s\t%.4f\t%.4f\t%.4f\t%.4f\t%v\n",
+			r.Parameter, r.LowPl, r.BasePl, r.HighPl, r.Impact, r.Selected)
+	}
+	return w.Flush()
+}

@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunValidation(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("missing artefact accepted")
+	}
+	if err := run([]string{"nosuch"}); err == nil {
+		t.Error("unknown artefact accepted")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestRunFig9(t *testing.T) {
+	if err := run([]string{"-q", "fig9"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTable1Small(t *testing.T) {
+	if err := run([]string{"-q", "-n", "400", "table1"}); err != nil {
+		t.Fatal(err)
+	}
+}

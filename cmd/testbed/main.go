@@ -1,0 +1,88 @@
+// Command testbed runs a single testbed experiment (one Docker-testbed
+// run in the paper's methodology) and prints every measured metric.
+//
+// Usage:
+//
+//	testbed [-n messages] [-seed n] -size 200 -loss 0.19 -delay 100 \
+//	        -semantics at-most-once -batch 1 -poll 0ms -timeout 1500ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"kafkarel/internal/features"
+	"kafkarel/internal/producer"
+	"kafkarel/internal/testbed"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "testbed:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("testbed", flag.ContinueOnError)
+	messages := fs.Int("n", 100000, "source messages (the paper uses 10^6)")
+	seed := fs.Uint64("seed", 1, "random seed")
+	size := fs.Int("size", 200, "message size M in bytes")
+	timeliness := fs.Duration("timeliness", 5*time.Second, "message validity S")
+	delay := fs.Float64("delay", 0, "network delay D in ms")
+	loss := fs.Float64("loss", 0, "packet loss rate L in [0,1]")
+	semantics := fs.String("semantics", "at-least-once", "at-most-once, at-least-once or exactly-once")
+	batch := fs.Int("batch", 1, "batch size B")
+	poll := fs.Duration("poll", 0, "polling interval δ (0 = full load)")
+	timeout := fs.Duration("timeout", 1500*time.Millisecond, "message timeout T_o")
+	producers := fs.Int("producers", 1, "scale out across N producers (Sec. IV-C)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sem := map[string]int{
+		"at-most-once":  features.SemanticsAtMostOnce,
+		"at-least-once": features.SemanticsAtLeastOnce,
+		"exactly-once":  features.SemanticsExactlyOnce,
+	}[*semantics]
+	if sem == 0 {
+		return fmt.Errorf("unknown semantics %q", *semantics)
+	}
+	e := testbed.Experiment{
+		Features: features.Vector{
+			MessageSize:    *size,
+			Timeliness:     *timeliness,
+			DelayMs:        *delay,
+			LossRate:       *loss,
+			Semantics:      sem,
+			BatchSize:      *batch,
+			PollInterval:   *poll,
+			MessageTimeout: *timeout,
+		},
+		Messages:   *messages,
+		Seed:       *seed,
+		MaxSimTime: 4 * time.Hour,
+	}
+	res, err := testbed.RunScaled(e, *producers)
+	if err != nil {
+		return err
+	}
+	lat := res.Latency
+	fmt.Printf("messages acquired:   %d (completed: %v)\n", res.Acquired, res.Completed)
+	fmt.Printf("P_l  (loss):         %.4f  (N_l = %d)\n", res.Pl, res.Report.NLost)
+	fmt.Printf("P_d  (duplication):  %.4f  (N_d = %d, extra copies %d)\n", res.Pd, res.Report.NDuplicated, res.Report.ExtraCopies)
+	fmt.Printf("throughput:          %.1f msg/s over %v simulated\n", res.Throughput, res.Duration.Round(time.Millisecond))
+	fmt.Printf("bandwidth util. phi: %.4f\n", res.BandwidthUtilization)
+	fmt.Printf("latency T_p (ms):    mean=%.1f sd=%.1f min=%.1f max=%.1f\n",
+		lat.Mean(), lat.StdDev(), lat.Min(), lat.Max())
+	fmt.Printf("stale (T_p > S):     %.4f\n", res.StaleRate)
+	fmt.Println("message state cases (producer view, Table I):")
+	for _, c := range []producer.Case{producer.Case1, producer.Case2, producer.Case3, producer.Case4} {
+		fmt.Printf("  %-6s %8d (%.4f)\n", c, res.Producer.ByCase[c],
+			float64(res.Producer.ByCase[c])/float64(res.Producer.Total))
+	}
+	fmt.Printf("  case5  %8d (%.4f)  [consumer-observed duplicates]\n",
+		res.Report.NDuplicated, res.Pd)
+	return nil
+}

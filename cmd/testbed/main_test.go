@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestRunValidation(t *testing.T) {
+	if err := run([]string{"-semantics", "bogus"}); err == nil {
+		t.Error("unknown semantics accepted")
+	}
+	if err := run([]string{"-n", "0"}); err == nil {
+		t.Error("zero messages accepted")
+	}
+}
+
+func TestRunSmallExperiment(t *testing.T) {
+	if err := run([]string{"-n", "300", "-loss", "0.1", "-poll", "30ms"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunScaled(t *testing.T) {
+	if err := run([]string{"-n", "300", "-producers", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,78 @@
+// Gametraffic reproduces the Table II "game traffic messages" scenario:
+// tiny messages (<100 B, mouse/keyboard signals) with hard real-time
+// requirements — losing OR delaying them ruins the player's experience.
+// The paper's remedy (Sec. IV-C) is scaling: slow each producer's poll
+// interval and add producers so the aggregate rate is unchanged while
+// every producer's queue stays bounded. The example measures loss AND
+// staleness (T_p > S) across fleet sizes.
+//
+// Run with: go run ./examples/gametraffic
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"kafkarel"
+)
+
+func main() {
+	log.SetFlags(0)
+	profile := kafkarel.GameTraffic
+	fmt.Printf("stream: %s (M≈%dB, S=%v, ω=%v)\n\n",
+		profile.Name, profile.MeanSize, profile.Timeliness, profile.Weights)
+
+	// A single fully loaded producer: tiny messages arrive far faster
+	// than one producer can push them.
+	e := kafkarel.Experiment{
+		Features: kafkarel.Features{
+			MessageSize:    profile.MeanSize,
+			Timeliness:     profile.Timeliness,
+			DelayMs:        15,
+			Semantics:      kafkarel.AtMostOnce, // real-time: no time for retries
+			BatchSize:      1,
+			PollInterval:   0,
+			MessageTimeout: profile.Timeliness, // stale game input is useless
+		},
+		Messages: 12000,
+		Seed:     21,
+	}
+
+	fmt.Println("fleet   P_l      stale    mean T_p")
+	var single kafkarel.Result
+	for _, producers := range []int{1, 2, 4, 8} {
+		res, err := kafkarel.RunScaledExperiment(e, producers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if producers == 1 {
+			single = res
+		}
+		lat := res.Latency
+		fmt.Printf("%4d   %6.3f   %6.3f   %7.1f ms\n",
+			producers, res.Pl, res.StaleRate, lat.Mean())
+	}
+
+	fmt.Println("\nthe scaling rule N_p/δ = N_p'/(δ+Δδ) keeps the aggregate arrival")
+	fmt.Printf("rate fixed; a single producer lost %.1f%% of the game events while\n",
+		100*single.Pl)
+	fmt.Println("the scaled fleet keeps each producer's accumulator short enough")
+	fmt.Println("that events go out before their validity window S expires.")
+
+	// Exactly-once as the belt-and-braces option: the idempotent producer
+	// retries aggressively without ever duplicating an input event.
+	v := e.Features
+	v.Semantics = kafkarel.ExactlyOnce
+	v.LossRate = 0.12
+	v.PollInterval = 25 * time.Millisecond
+	v.MessageTimeout = 2 * profile.Timeliness
+	res, err := kafkarel.RunExperiment(kafkarel.Experiment{Features: v, Messages: 6000, Seed: 22})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nexactly-once under 12%% burst loss: P_l=%.3f P_d=%.4f — duplicates\n", res.Pl, res.Pd)
+	fmt.Println("are suppressed by broker-side sequence de-duplication (the paper's")
+	fmt.Println("Sec. II note that exactly-once needs extra resources: here it costs")
+	fmt.Println("acks=all round trips to the full replica set).")
+}

@@ -1,0 +1,3 @@
+module kafkarel
+
+go 1.22

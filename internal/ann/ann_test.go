@@ -1,0 +1,584 @@
+package ann
+
+import (
+	"bytes"
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := CompactConfig(4, 2)
+	if err := good.Validate(); err != nil {
+		t.Errorf("good config rejected: %v", err)
+	}
+	mut := func(f func(*Config)) Config {
+		c := CompactConfig(4, 2)
+		f(&c)
+		return c
+	}
+	bad := []Config{
+		mut(func(c *Config) { c.InputDim = 0 }),
+		mut(func(c *Config) { c.Layers = nil }),
+		mut(func(c *Config) { c.LearningRate = 0 }),
+		mut(func(c *Config) { c.Epochs = 0 }),
+		mut(func(c *Config) { c.Momentum = 1 }),
+		mut(func(c *Config) { c.Layers[0].Neurons = 0 }),
+		mut(func(c *Config) { c.Layers[0].Activation = 99 }),
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestPaperConfigShape(t *testing.T) {
+	c := PaperConfig(8, 2)
+	if len(c.Layers) != 5 {
+		t.Fatalf("layers = %d, want 5", len(c.Layers))
+	}
+	wantNeurons := []int{200, 200, 200, 64, 2}
+	for i, l := range c.Layers {
+		if l.Neurons != wantNeurons[i] {
+			t.Errorf("layer %d neurons = %d, want %d", i, l.Neurons, wantNeurons[i])
+		}
+	}
+	if c.LearningRate != 0.5 || c.Epochs != 1000 {
+		t.Errorf("hyperparameters %v/%v, want 0.5/1000", c.LearningRate, c.Epochs)
+	}
+	if c.OutputDim() != 2 {
+		t.Errorf("OutputDim = %d", c.OutputDim())
+	}
+}
+
+func TestActivations(t *testing.T) {
+	if got := Sigmoid.apply(0); got != 0.5 {
+		t.Errorf("sigmoid(0) = %v", got)
+	}
+	if got := ReLU.apply(-3); got != 0 {
+		t.Errorf("relu(-3) = %v", got)
+	}
+	if got := ReLU.apply(3); got != 3 {
+		t.Errorf("relu(3) = %v", got)
+	}
+	if got := Tanh.apply(0); got != 0 {
+		t.Errorf("tanh(0) = %v", got)
+	}
+	if got := Identity.apply(7); got != 7 {
+		t.Errorf("identity(7) = %v", got)
+	}
+	// Derivative identities at characteristic points.
+	if got := Sigmoid.derivative(0.5); got != 0.25 {
+		t.Errorf("sigmoid'(v=0.5) = %v", got)
+	}
+	if got := Tanh.derivative(0); got != 1 {
+		t.Errorf("tanh'(v=0) = %v", got)
+	}
+	if got := ReLU.derivative(0); got != 0 {
+		t.Errorf("relu'(0) = %v", got)
+	}
+	for _, a := range []Activation{Sigmoid, Tanh, ReLU, Identity, 99} {
+		if a.String() == "" {
+			t.Error("empty activation name")
+		}
+	}
+}
+
+func TestForwardDimensions(t *testing.T) {
+	n, err := New(CompactConfig(3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := n.Forward([]float64{0.1, 0.2, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("output dim = %d", len(out))
+	}
+	for _, v := range out {
+		if v < 0 || v > 1 {
+			t.Errorf("sigmoid output %v outside [0,1]", v)
+		}
+	}
+	if _, err := n.Forward([]float64{1}); err == nil {
+		t.Error("wrong input dim accepted")
+	}
+}
+
+func TestDeterministicInitAndTraining(t *testing.T) {
+	x := [][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	y := [][]float64{{0}, {1}, {1}, {0}}
+	train := func() []float64 {
+		cfg := CompactConfig(2, 1)
+		cfg.Epochs = 50
+		cfg.Seed = 42
+		n, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := n.Train(x, y); err != nil {
+			t.Fatal(err)
+		}
+		out, err := n.Forward([]float64{0, 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := train(), train()
+	if a[0] != b[0] {
+		t.Errorf("same seed diverged: %v vs %v", a[0], b[0])
+	}
+}
+
+func TestLearnsXOR(t *testing.T) {
+	x := [][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	y := [][]float64{{0}, {1}, {1}, {0}}
+	cfg := Config{
+		InputDim: 2,
+		Layers: []LayerSpec{
+			{Neurons: 8, Activation: Tanh},
+			{Neurons: 1, Activation: Sigmoid},
+		},
+		LearningRate: 0.5,
+		Epochs:       2000,
+		BatchSize:    4,
+		Momentum:     0.9,
+		Seed:         3,
+	}
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := n.Train(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TrainMAE > 0.1 {
+		t.Fatalf("XOR not learned: MAE = %v (loss %v)", res.TrainMAE, res.FinalLoss)
+	}
+	for i := range x {
+		out, err := n.Forward(x[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(out[0]-y[i][0]) > 0.3 {
+			t.Errorf("xor(%v) = %v, want %v", x[i], out[0], y[i][0])
+		}
+	}
+}
+
+func TestLearnsSmoothSurface(t *testing.T) {
+	// A smooth 2-in 2-out target resembling (Pl, Pd) response surfaces.
+	target := func(a, b float64) (float64, float64) {
+		return 0.5 * (1 + math.Tanh(3*(a-b))) / 2 * 1.6, 0.2 * a * b
+	}
+	rng := rand.New(rand.NewPCG(5, 0))
+	var x, y [][]float64
+	for i := 0; i < 200; i++ {
+		a, b := rng.Float64(), rng.Float64()
+		p, q := target(a, b)
+		x = append(x, []float64{a, b})
+		y = append(y, []float64{p, q})
+	}
+	cfg := CompactConfig(2, 2)
+	cfg.Seed = 6
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := n.Train(x, y, WithTargetMAE(0.015))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TrainMAE > 0.02 {
+		t.Fatalf("train MAE = %v, want < 0.02 (the paper's bar)", res.TrainMAE)
+	}
+	// Held-out points.
+	var tx, ty [][]float64
+	for i := 0; i < 50; i++ {
+		a, b := rng.Float64(), rng.Float64()
+		p, q := target(a, b)
+		tx = append(tx, []float64{a, b})
+		ty = append(ty, []float64{p, q})
+	}
+	mae, rmse, err := n.Evaluate(tx, ty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mae > 0.03 {
+		t.Errorf("test MAE = %v (rmse %v)", mae, rmse)
+	}
+}
+
+func TestEarlyStopTarget(t *testing.T) {
+	x := [][]float64{{0}, {1}}
+	y := [][]float64{{0}, {1}}
+	cfg := CompactConfig(1, 1)
+	cfg.Epochs = 5000
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := n.Train(x, y, WithTargetMAE(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epochs >= 5000 {
+		t.Errorf("early stop never triggered (epochs = %d)", res.Epochs)
+	}
+}
+
+func TestEpochCallback(t *testing.T) {
+	x := [][]float64{{0}, {1}}
+	y := [][]float64{{0}, {1}}
+	cfg := CompactConfig(1, 1)
+	cfg.Epochs = 7
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	var losses []float64
+	if _, err := n.Train(x, y, WithEpochCallback(func(e int, loss float64) {
+		count++
+		losses = append(losses, loss)
+	})); err != nil {
+		t.Fatal(err)
+	}
+	if count != 7 {
+		t.Errorf("callback ran %d times, want 7", count)
+	}
+	if losses[len(losses)-1] > losses[0] {
+		t.Errorf("loss rose: %v -> %v", losses[0], losses[len(losses)-1])
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	n, err := New(CompactConfig(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Train(nil, nil); err == nil {
+		t.Error("empty training set accepted")
+	}
+	if _, err := n.Train([][]float64{{1, 2}}, [][]float64{{1}, {2}}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := n.Train([][]float64{{1}}, [][]float64{{1}}); err == nil {
+		t.Error("wrong input dim accepted")
+	}
+	if _, err := n.Train([][]float64{{1, 2}}, [][]float64{{1, 2}}); err == nil {
+		t.Error("wrong target dim accepted")
+	}
+	if _, _, err := n.Evaluate(nil, nil); err == nil {
+		t.Error("empty evaluation accepted")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	x := [][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	y := [][]float64{{0}, {1}, {1}, {1}}
+	cfg := CompactConfig(2, 1)
+	cfg.Epochs = 100
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Train(x, y); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := n.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range x {
+		a, err := n.Forward(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := loaded.Forward(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a[0] != b[0] {
+			t.Errorf("loaded model differs on %v: %v vs %v", in, a[0], b[0])
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewBufferString("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Load(bytes.NewBufferString(`{"version":99}`)); err == nil {
+		t.Error("wrong version accepted")
+	}
+	// Valid JSON, inconsistent shapes.
+	if _, err := Load(bytes.NewBufferString(
+		`{"version":1,"config":{"input_dim":2,"layers":[{"neurons":1,"activation":1}],"learning_rate":0.1,"epochs":1},"weights":[],"biases":[]}`)); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+}
+
+// Property: gradient of the loss matches a numerical finite-difference
+// estimate (the canonical backprop correctness check).
+func TestPropertyGradientCheck(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 7))
+		cfg := Config{
+			InputDim: 3,
+			Layers: []LayerSpec{
+				{Neurons: 4, Activation: Tanh},
+				{Neurons: 2, Activation: Sigmoid},
+			},
+			LearningRate: 0.1,
+			Epochs:       1,
+			Seed:         seed,
+		}
+		n, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		x := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		y := []float64{rng.Float64(), rng.Float64()}
+
+		loss := func() float64 {
+			out := n.forwardInPlace(x)
+			s := 0.0
+			for j := range out {
+				d := out[j] - y[j]
+				s += d * d / float64(len(out))
+			}
+			return s
+		}
+
+		// Analytic gradients.
+		gw := make([][]float64, len(n.layers))
+		gb := make([][]float64, len(n.layers))
+		for li, l := range n.layers {
+			gw[li] = make([]float64, len(l.w))
+			gb[li] = make([]float64, len(l.b))
+		}
+		out := n.forwardInPlace(x)
+		gradOut := make([]float64, len(out))
+		for j := range out {
+			gradOut[j] = 2 * (out[j] - y[j]) / float64(len(out))
+		}
+		n.backward(gradOut, gw, gb)
+
+		// Numerical check on a few random weights.
+		const eps = 1e-6
+		for trial := 0; trial < 6; trial++ {
+			li := rng.IntN(len(n.layers))
+			l := n.layers[li]
+			wi := rng.IntN(len(l.w))
+			orig := l.w[wi]
+			l.w[wi] = orig + eps
+			up := loss()
+			l.w[wi] = orig - eps
+			down := loss()
+			l.w[wi] = orig
+			numeric := (up - down) / (2 * eps)
+			if math.Abs(numeric-gw[li][wi]) > 1e-4*(1+math.Abs(numeric)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: sigmoid-output networks always predict inside [0, 1],
+// whatever the weights have become — the paper's no-negative-probability
+// guarantee.
+func TestPropertyOutputsBounded(t *testing.T) {
+	f := func(seed uint64, raw []float64) bool {
+		cfg := CompactConfig(3, 2)
+		cfg.Seed = seed
+		n, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		x := make([]float64, 3)
+		for i := 0; i < 3 && i < len(raw); i++ {
+			if math.IsNaN(raw[i]) || math.IsInf(raw[i], 0) {
+				return true
+			}
+			x[i] = math.Mod(raw[i], 1000)
+		}
+		out, err := n.Forward(x)
+		if err != nil {
+			return false
+		}
+		for _, v := range out {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkForwardPaperNet(b *testing.B) {
+	n, err := New(PaperConfig(8, 2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.Forward(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrainEpochCompact(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	var x, y [][]float64
+	for i := 0; i < 100; i++ {
+		x = append(x, []float64{rng.Float64(), rng.Float64()})
+		y = append(y, []float64{rng.Float64()})
+	}
+	cfg := CompactConfig(2, 1)
+	cfg.Epochs = 1
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i)
+		n, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := n.Train(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestWeightDecayShrinksWeights(t *testing.T) {
+	x := [][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	y := [][]float64{{0}, {1}, {1}, {1}}
+	norm := func(n *Network) float64 {
+		total := 0.0
+		for _, l := range n.layers {
+			for _, w := range l.w {
+				total += w * w
+			}
+		}
+		return total
+	}
+	train := func(decay float64) float64 {
+		cfg := CompactConfig(2, 1)
+		cfg.Epochs = 200
+		cfg.Seed = 8
+		cfg.WeightDecay = decay
+		n, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := n.Train(x, y); err != nil {
+			t.Fatal(err)
+		}
+		return norm(n)
+	}
+	plain := train(0)
+	reg := train(0.01)
+	if reg >= plain {
+		t.Errorf("weight decay did not shrink weights: %v vs %v", reg, plain)
+	}
+}
+
+func TestLRDecayStillLearns(t *testing.T) {
+	x := [][]float64{{0}, {0.5}, {1}}
+	y := [][]float64{{0}, {0.5}, {1}}
+	cfg := CompactConfig(1, 1)
+	cfg.Epochs = 500
+	cfg.LRDecay = 0.005
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := n.Train(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TrainMAE > 0.05 {
+		t.Errorf("MAE with lr decay = %v", res.TrainMAE)
+	}
+}
+
+func TestNewHyperparameterValidation(t *testing.T) {
+	cfg := CompactConfig(1, 1)
+	cfg.WeightDecay = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative weight decay accepted")
+	}
+	cfg = CompactConfig(1, 1)
+	cfg.LRDecay = 1
+	if err := cfg.Validate(); err == nil {
+		t.Error("lr decay of 1 accepted")
+	}
+}
+
+func TestAdamLearnsXORFaster(t *testing.T) {
+	x := [][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	y := [][]float64{{0}, {1}, {1}, {0}}
+	mk := func(opt Optimizer, lr float64) float64 {
+		cfg := Config{
+			InputDim: 2,
+			Layers: []LayerSpec{
+				{Neurons: 8, Activation: Tanh},
+				{Neurons: 1, Activation: Sigmoid},
+			},
+			LearningRate: lr,
+			Epochs:       300,
+			BatchSize:    4,
+			Optimizer:    opt,
+			Seed:         4,
+		}
+		n, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := n.Train(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TrainMAE
+	}
+	adam := mk(OptimizerAdam, 0.02)
+	sgd := mk(OptimizerSGD, 0.02)
+	if adam > 0.1 {
+		t.Errorf("Adam did not learn XOR in 300 epochs: MAE = %v", adam)
+	}
+	if adam >= sgd {
+		t.Errorf("Adam (%v) not faster than plain low-lr SGD (%v) at equal epochs", adam, sgd)
+	}
+}
+
+func TestOptimizerValidationAndString(t *testing.T) {
+	cfg := CompactConfig(1, 1)
+	cfg.Optimizer = 99
+	if err := cfg.Validate(); err == nil {
+		t.Error("unknown optimizer accepted")
+	}
+	if OptimizerSGD.String() != "sgd" || OptimizerAdam.String() != "adam" {
+		t.Error("optimizer names wrong")
+	}
+	if Optimizer(99).String() == "" {
+		t.Error("empty name for unknown optimizer")
+	}
+}

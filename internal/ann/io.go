@@ -1,0 +1,61 @@
+package ann
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// modelFile is the on-disk representation of a trained network.
+type modelFile struct {
+	Version int         `json:"version"`
+	Config  Config      `json:"config"`
+	Weights [][]float64 `json:"weights"` // per layer, row-major [out][in]
+	Biases  [][]float64 `json:"biases"`
+}
+
+const modelVersion = 1
+
+// Save writes the network (architecture + parameters) as JSON.
+func (n *Network) Save(w io.Writer) error {
+	mf := modelFile{Version: modelVersion, Config: n.cfg}
+	for _, l := range n.layers {
+		wCopy := make([]float64, len(l.w))
+		copy(wCopy, l.w)
+		bCopy := make([]float64, len(l.b))
+		copy(bCopy, l.b)
+		mf.Weights = append(mf.Weights, wCopy)
+		mf.Biases = append(mf.Biases, bCopy)
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(mf); err != nil {
+		return fmt.Errorf("ann: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads a network written by Save.
+func Load(r io.Reader) (*Network, error) {
+	var mf modelFile
+	if err := json.NewDecoder(r).Decode(&mf); err != nil {
+		return nil, fmt.Errorf("ann: load: %w", err)
+	}
+	if mf.Version != modelVersion {
+		return nil, fmt.Errorf("ann: load: unsupported model version %d", mf.Version)
+	}
+	n, err := New(mf.Config)
+	if err != nil {
+		return nil, fmt.Errorf("ann: load: %w", err)
+	}
+	if len(mf.Weights) != len(n.layers) || len(mf.Biases) != len(n.layers) {
+		return nil, fmt.Errorf("ann: load: %d weight blocks for %d layers", len(mf.Weights), len(n.layers))
+	}
+	for li, l := range n.layers {
+		if len(mf.Weights[li]) != len(l.w) || len(mf.Biases[li]) != len(l.b) {
+			return nil, fmt.Errorf("ann: load: layer %d shape mismatch", li)
+		}
+		copy(l.w, mf.Weights[li])
+		copy(l.b, mf.Biases[li])
+	}
+	return n, nil
+}

@@ -1,0 +1,226 @@
+package ann
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"kafkarel/internal/stats"
+)
+
+// TrainResult summarises a training run.
+type TrainResult struct {
+	Epochs    int
+	FinalLoss float64 // mean squared error over the training set
+	TrainMAE  float64
+}
+
+// TrainOption customises training.
+type TrainOption func(*trainOpts)
+
+type trainOpts struct {
+	onEpoch   func(epoch int, loss float64)
+	targetMAE float64
+}
+
+// WithEpochCallback invokes fn after every epoch with the epoch index and
+// training MSE.
+func WithEpochCallback(fn func(epoch int, loss float64)) TrainOption {
+	return func(o *trainOpts) { o.onEpoch = fn }
+}
+
+// WithTargetMAE stops training early once the training MAE drops below
+// the target (checked every 10 epochs).
+func WithTargetMAE(mae float64) TrainOption {
+	return func(o *trainOpts) { o.targetMAE = mae }
+}
+
+// Train fits the network to (x, y) with mini-batch SGD on MSE loss.
+func (n *Network) Train(x, y [][]float64, opts ...TrainOption) (TrainResult, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return TrainResult{}, fmt.Errorf("ann: train with %d inputs, %d targets", len(x), len(y))
+	}
+	outDim := n.cfg.OutputDim()
+	for i := range x {
+		if len(x[i]) != n.cfg.InputDim {
+			return TrainResult{}, fmt.Errorf("ann: sample %d has %d dims, want %d", i, len(x[i]), n.cfg.InputDim)
+		}
+		if len(y[i]) != outDim {
+			return TrainResult{}, fmt.Errorf("ann: target %d has %d dims, want %d", i, len(y[i]), outDim)
+		}
+	}
+	var o trainOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+
+	batch := n.cfg.BatchSize
+	if batch <= 0 {
+		batch = 1
+	}
+	if batch > len(x) {
+		batch = len(x)
+	}
+	rng := rand.New(rand.NewPCG(n.cfg.Seed, 0x7a1b))
+	order := make([]int, len(x))
+	for i := range order {
+		order[i] = i
+	}
+
+	// Gradient accumulators, one per layer.
+	gw := make([][]float64, len(n.layers))
+	gb := make([][]float64, len(n.layers))
+	for li, l := range n.layers {
+		gw[li] = make([]float64, len(l.w))
+		gb[li] = make([]float64, len(l.b))
+	}
+	gradOut := make([]float64, outDim)
+
+	var res TrainResult
+	lr := n.cfg.LearningRate
+	for epoch := 0; epoch < n.cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		lossSum := 0.0
+		for start := 0; start < len(order); start += batch {
+			end := start + batch
+			if end > len(order) {
+				end = len(order)
+			}
+			for li := range gw {
+				clear(gw[li])
+				clear(gb[li])
+			}
+			for _, idx := range order[start:end] {
+				pred := n.forwardInPlace(x[idx])
+				for j := range gradOut {
+					diff := pred[j] - y[idx][j]
+					// d(MSE)/d(pred_j) with MSE averaged over outputs.
+					gradOut[j] = 2 * diff / float64(outDim)
+					lossSum += diff * diff / float64(outDim)
+				}
+				n.backward(gradOut, gw, gb)
+			}
+			n.applyGradients(gw, gb, end-start, lr)
+		}
+		loss := lossSum / float64(len(x))
+		res.Epochs = epoch + 1
+		res.FinalLoss = loss
+		if o.onEpoch != nil {
+			o.onEpoch(epoch, loss)
+		}
+		if n.cfg.LRDecay > 0 {
+			lr *= 1 - n.cfg.LRDecay
+		}
+		if o.targetMAE > 0 && (epoch+1)%10 == 0 {
+			mae, _, err := n.Evaluate(x, y)
+			if err != nil {
+				return res, err
+			}
+			if mae < o.targetMAE {
+				break
+			}
+		}
+	}
+	mae, _, err := n.Evaluate(x, y)
+	if err != nil {
+		return res, err
+	}
+	res.TrainMAE = mae
+	return res, nil
+}
+
+// forwardInPlace is Forward without the defensive copy, for training.
+func (n *Network) forwardInPlace(x []float64) []float64 {
+	cur := x
+	for _, l := range n.layers {
+		l.forward(cur)
+		cur = l.output
+	}
+	return cur
+}
+
+func (n *Network) applyGradients(gw, gb [][]float64, count int, lr float64) {
+	if n.cfg.Optimizer == OptimizerAdam {
+		n.adamStep++
+		n.applyAdam(gw, gb, count, lr)
+		return
+	}
+	scale := lr / float64(count)
+	mom := n.cfg.Momentum
+	decay := 1 - lr*n.cfg.WeightDecay
+	for li, l := range n.layers {
+		for i := range l.w {
+			l.vw[i] = mom*l.vw[i] - scale*gw[li][i]
+			if decay < 1 {
+				l.w[i] *= decay
+			}
+			l.w[i] += l.vw[i]
+		}
+		for i := range l.b {
+			l.vb[i] = mom*l.vb[i] - scale*gb[li][i]
+			l.b[i] += l.vb[i]
+		}
+	}
+}
+
+// Adam hyperparameters (Kingma & Ba defaults).
+const (
+	adamBeta1 = 0.9
+	adamBeta2 = 0.999
+	adamEps   = 1e-8
+)
+
+func (n *Network) applyAdam(gw, gb [][]float64, count int, lr float64) {
+	inv := 1 / float64(count)
+	c1 := 1 - math.Pow(adamBeta1, float64(n.adamStep))
+	c2 := 1 - math.Pow(adamBeta2, float64(n.adamStep))
+	decay := lr * n.cfg.WeightDecay
+	for li, l := range n.layers {
+		if l.sw == nil {
+			l.sw = make([]float64, len(l.w))
+			l.sb = make([]float64, len(l.b))
+		}
+		for i := range l.w {
+			g := gw[li][i] * inv
+			l.vw[i] = adamBeta1*l.vw[i] + (1-adamBeta1)*g
+			l.sw[i] = adamBeta2*l.sw[i] + (1-adamBeta2)*g*g
+			mhat := l.vw[i] / c1
+			vhat := l.sw[i] / c2
+			if decay > 0 {
+				l.w[i] -= decay * l.w[i]
+			}
+			l.w[i] -= lr * mhat / (math.Sqrt(vhat) + adamEps)
+		}
+		for i := range l.b {
+			g := gb[li][i] * inv
+			l.vb[i] = adamBeta1*l.vb[i] + (1-adamBeta1)*g
+			l.sb[i] = adamBeta2*l.sb[i] + (1-adamBeta2)*g*g
+			l.b[i] -= lr * (l.vb[i] / c1) / (math.Sqrt(l.sb[i]/c2) + adamEps)
+		}
+	}
+}
+
+// Evaluate returns the MAE and RMSE of predictions over all outputs.
+func (n *Network) Evaluate(x, y [][]float64) (mae, rmse float64, err error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return 0, 0, fmt.Errorf("ann: evaluate with %d inputs, %d targets", len(x), len(y))
+	}
+	var pred, truth []float64
+	for i := range x {
+		p := n.forwardInPlace(x[i])
+		pred = append(pred, p...)
+		truth = append(truth, y[i]...)
+	}
+	mae, err = stats.MAE(pred, truth)
+	if err != nil {
+		return 0, 0, err
+	}
+	rmse, err = stats.RMSE(pred, truth)
+	if err != nil {
+		return 0, 0, err
+	}
+	if math.IsNaN(mae) || math.IsNaN(rmse) {
+		return mae, rmse, fmt.Errorf("ann: evaluation produced NaN (diverged training?)")
+	}
+	return mae, rmse, nil
+}

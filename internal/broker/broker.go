@@ -1,0 +1,220 @@
+// Package broker implements a single Kafka-model broker node: it owns
+// partition logs, services produce and fetch requests with a configurable
+// service time, de-duplicates idempotent-producer batches, and can be
+// stopped and restarted for failure-injection experiments (the paper's
+// future-work scenario).
+package broker
+
+import (
+	"fmt"
+	"time"
+
+	"kafkarel/internal/des"
+	"kafkarel/internal/storage"
+	"kafkarel/internal/wire"
+)
+
+// Config tunes a broker's service behaviour.
+type Config struct {
+	// AppendLatency is the fixed cost of persisting a batch.
+	AppendLatency time.Duration
+	// AppendPerByte is the additional cost per payload byte, modelling
+	// log-write bandwidth.
+	AppendPerByte time.Duration
+	// SegmentRecords is the partition-log segment roll threshold.
+	SegmentRecords int
+}
+
+// DefaultConfig reflects a warm page-cache append path: tens of
+// microseconds fixed cost and ~1 GB/s of sequential write bandwidth.
+func DefaultConfig() Config {
+	return Config{
+		AppendLatency: 50 * time.Microsecond,
+		AppendPerByte: time.Nanosecond,
+	}
+}
+
+// partitionKey identifies a topic partition on this broker.
+type partitionKey struct {
+	topic     string
+	partition int32
+}
+
+// producerState supports idempotent de-duplication per producer ID.
+type producerState struct {
+	lastSequence uint64
+	lastOffset   int64
+	seen         bool
+}
+
+// Stats counts broker activity.
+type Stats struct {
+	ProduceRequests   uint64
+	FetchRequests     uint64
+	RecordsAppended   uint64
+	DuplicatesDropped uint64
+}
+
+// Broker is one node. It is driven by the shared simulator and is not
+// safe for concurrent use.
+type Broker struct {
+	id    int32
+	sim   *des.Simulator
+	cfg   Config
+	logs  map[partitionKey]*storage.Log
+	prod  map[partitionKey]map[uint64]*producerState
+	up    bool
+	stats Stats
+}
+
+// New creates a running broker with the given node ID.
+func New(id int32, sim *des.Simulator, cfg Config) (*Broker, error) {
+	if sim == nil {
+		return nil, fmt.Errorf("broker: nil simulator")
+	}
+	if cfg.AppendLatency < 0 || cfg.AppendPerByte < 0 {
+		return nil, fmt.Errorf("broker: negative service time")
+	}
+	return &Broker{
+		id:   id,
+		sim:  sim,
+		cfg:  cfg,
+		logs: make(map[partitionKey]*storage.Log),
+		prod: make(map[partitionKey]map[uint64]*producerState),
+		up:   true,
+	}, nil
+}
+
+// ID returns the broker's node ID.
+func (b *Broker) ID() int32 { return b.id }
+
+// Up reports whether the broker is serving requests.
+func (b *Broker) Up() bool { return b.up }
+
+// Stop makes the broker silently drop all requests (a crashed node as
+// seen from the network).
+func (b *Broker) Stop() { b.up = false }
+
+// Start brings a stopped broker back. Its logs are retained, as Kafka's
+// are across restarts.
+func (b *Broker) Start() { b.up = true }
+
+// Stats returns an activity snapshot.
+func (b *Broker) Stats() Stats { return b.stats }
+
+// CreatePartition provisions an empty log for the topic partition.
+// Creating an existing partition is a no-op.
+func (b *Broker) CreatePartition(topic string, partition int32) {
+	k := partitionKey{topic, partition}
+	if _, ok := b.logs[k]; !ok {
+		b.logs[k] = storage.NewLog(b.cfg.SegmentRecords)
+		b.prod[k] = make(map[uint64]*producerState)
+	}
+}
+
+// Log exposes the partition log (nil if absent), used by replication and
+// by the consumer-side reconciliation in tests.
+func (b *Broker) Log(topic string, partition int32) *storage.Log {
+	return b.logs[partitionKey{topic, partition}]
+}
+
+// serviceTime returns the simulated cost of persisting a batch.
+func (b *Broker) serviceTime(batch wire.RecordBatch) time.Duration {
+	bytes := 0
+	for _, r := range batch.Records {
+		bytes += r.EncodedSize()
+	}
+	return b.cfg.AppendLatency + time.Duration(bytes)*b.cfg.AppendPerByte
+}
+
+// Append is the synchronous core of produce handling: idempotency check,
+// then log append. It returns the base offset, whether the batch was a
+// duplicate, and an error code.
+func (b *Broker) Append(topic string, partition int32, batch wire.RecordBatch, idempotent bool) (int64, bool, wire.ErrorCode) {
+	k := partitionKey{topic, partition}
+	log, ok := b.logs[k]
+	if !ok {
+		return 0, false, wire.ErrUnknownTopicOrPartition
+	}
+	if idempotent {
+		st := b.prod[k][batch.ProducerID]
+		if st == nil {
+			st = &producerState{}
+			b.prod[k][batch.ProducerID] = st
+		}
+		if st.seen && batch.BaseSequence <= st.lastSequence {
+			// Retry of an already-persisted batch: report the original
+			// offset and succeed without appending (Kafka's idempotent
+			// producer semantics).
+			b.stats.DuplicatesDropped++
+			return st.lastOffset, true, wire.ErrNone
+		}
+		base := log.Append(batch.Records)
+		st.seen = true
+		st.lastSequence = batch.BaseSequence
+		st.lastOffset = base
+		b.stats.RecordsAppended += uint64(len(batch.Records))
+		return base, false, wire.ErrNone
+	}
+	base := log.Append(batch.Records)
+	b.stats.RecordsAppended += uint64(len(batch.Records))
+	return base, false, wire.ErrNone
+}
+
+// HandleProduce services a produce request after the append service time.
+// done receives the response; for acks=0 requests done is invoked with
+// the response anyway so callers can observe the outcome, but a network
+// server must not transmit it. A stopped broker never calls done.
+func (b *Broker) HandleProduce(req wire.ProduceRequest, idempotent bool, done func(wire.ProduceResponse)) {
+	if !b.up {
+		return
+	}
+	b.stats.ProduceRequests++
+	b.sim.After(b.serviceTime(req.Batch), func() {
+		if !b.up {
+			return
+		}
+		base, _, code := b.Append(req.Topic, req.Partition, req.Batch, idempotent)
+		if done != nil {
+			done(wire.ProduceResponse{
+				CorrelationID: req.CorrelationID,
+				Topic:         req.Topic,
+				Partition:     req.Partition,
+				BaseOffset:    base,
+				Err:           code,
+			})
+		}
+	})
+}
+
+// HandleFetch services a fetch request immediately (fetch cost is
+// dominated by the network in the experiments).
+func (b *Broker) HandleFetch(req wire.FetchRequest, done func(wire.FetchResponse)) {
+	if !b.up || done == nil {
+		return
+	}
+	b.stats.FetchRequests++
+	resp := wire.FetchResponse{
+		CorrelationID: req.CorrelationID,
+		Topic:         req.Topic,
+		Partition:     req.Partition,
+	}
+	log, ok := b.logs[partitionKey{req.Topic, req.Partition}]
+	if !ok {
+		resp.Err = wire.ErrUnknownTopicOrPartition
+		done(resp)
+		return
+	}
+	resp.HighWatermark = log.End()
+	entries, err := log.Read(req.Offset, int(req.MaxRecords))
+	if err != nil {
+		resp.Err = wire.ErrRequestTimedOut // offset out of range maps to a generic retriable error here
+		done(resp)
+		return
+	}
+	resp.Records = make([]wire.Record, 0, len(entries))
+	for _, e := range entries {
+		resp.Records = append(resp.Records, e.Record)
+	}
+	done(resp)
+}

@@ -1,0 +1,228 @@
+package broker
+
+import (
+	"testing"
+	"time"
+
+	"kafkarel/internal/des"
+	"kafkarel/internal/wire"
+)
+
+func batch(producerID, seq uint64, keys ...uint64) wire.RecordBatch {
+	b := wire.RecordBatch{ProducerID: producerID, BaseSequence: seq}
+	for _, k := range keys {
+		b.Records = append(b.Records, wire.Record{Key: k, Payload: []byte("xx")})
+	}
+	return b
+}
+
+func newBroker(t *testing.T, sim *des.Simulator) *Broker {
+	t.Helper()
+	b, err := New(1, sim, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.CreatePartition("t", 0)
+	return b
+}
+
+func TestHandleProduceAppendsAndResponds(t *testing.T) {
+	sim := des.New()
+	b := newBroker(t, sim)
+	var resp wire.ProduceResponse
+	got := false
+	b.HandleProduce(wire.ProduceRequest{
+		CorrelationID: 7, Topic: "t", Partition: 0, Acks: wire.AcksLeader,
+		Batch: batch(1, 0, 10, 11),
+	}, false, func(r wire.ProduceResponse) { resp = r; got = true })
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Fatal("no response")
+	}
+	if resp.CorrelationID != 7 || resp.Err != wire.ErrNone || resp.BaseOffset != 0 {
+		t.Errorf("resp = %+v", resp)
+	}
+	if b.Log("t", 0).End() != 2 {
+		t.Errorf("log end = %d, want 2", b.Log("t", 0).End())
+	}
+	if b.Stats().RecordsAppended != 2 {
+		t.Errorf("RecordsAppended = %d", b.Stats().RecordsAppended)
+	}
+}
+
+func TestServiceTimeDelaysResponse(t *testing.T) {
+	sim := des.New()
+	cfg := Config{AppendLatency: time.Millisecond, AppendPerByte: 0}
+	b, err := New(1, sim, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.CreatePartition("t", 0)
+	var at time.Duration
+	b.HandleProduce(wire.ProduceRequest{Topic: "t", Batch: batch(1, 0, 1)}, false,
+		func(wire.ProduceResponse) { at = sim.Now() })
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != time.Millisecond {
+		t.Errorf("responded at %v, want 1ms", at)
+	}
+}
+
+func TestUnknownPartition(t *testing.T) {
+	sim := des.New()
+	b := newBroker(t, sim)
+	var resp wire.ProduceResponse
+	b.HandleProduce(wire.ProduceRequest{Topic: "nope", Batch: batch(1, 0, 1)}, false,
+		func(r wire.ProduceResponse) { resp = r })
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Err != wire.ErrUnknownTopicOrPartition {
+		t.Errorf("Err = %v", resp.Err)
+	}
+}
+
+func TestStoppedBrokerDropsRequests(t *testing.T) {
+	sim := des.New()
+	b := newBroker(t, sim)
+	b.Stop()
+	called := false
+	b.HandleProduce(wire.ProduceRequest{Topic: "t", Batch: batch(1, 0, 1)}, false,
+		func(wire.ProduceResponse) { called = true })
+	b.HandleFetch(wire.FetchRequest{Topic: "t"}, func(wire.FetchResponse) { called = true })
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Error("stopped broker responded")
+	}
+	if !b.Up() {
+		b.Start()
+	}
+	b.Start()
+	if !b.Up() {
+		t.Error("broker not up after Start")
+	}
+}
+
+func TestCrashMidServiceDropsAppend(t *testing.T) {
+	sim := des.New()
+	cfg := Config{AppendLatency: 10 * time.Millisecond}
+	b, err := New(1, sim, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.CreatePartition("t", 0)
+	called := false
+	b.HandleProduce(wire.ProduceRequest{Topic: "t", Batch: batch(1, 0, 1)}, false,
+		func(wire.ProduceResponse) { called = true })
+	sim.Schedule(5*time.Millisecond, b.Stop)
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Error("crashed broker completed the append")
+	}
+	if b.Log("t", 0).End() != 0 {
+		t.Error("append survived mid-service crash")
+	}
+}
+
+func TestIdempotentDedup(t *testing.T) {
+	sim := des.New()
+	b := newBroker(t, sim)
+	// Original batch.
+	base, dup, code := b.Append("t", 0, batch(42, 5, 1, 2), true)
+	if base != 0 || dup || code != wire.ErrNone {
+		t.Fatalf("first append = %d, %v, %v", base, dup, code)
+	}
+	// Retry of the same sequence: deduplicated, original offset returned.
+	base, dup, code = b.Append("t", 0, batch(42, 5, 1, 2), true)
+	if base != 0 || !dup || code != wire.ErrNone {
+		t.Fatalf("retry append = %d, %v, %v", base, dup, code)
+	}
+	if b.Log("t", 0).End() != 2 {
+		t.Errorf("log end = %d, want 2 (no duplicate records)", b.Log("t", 0).End())
+	}
+	if b.Stats().DuplicatesDropped != 1 {
+		t.Errorf("DuplicatesDropped = %d", b.Stats().DuplicatesDropped)
+	}
+	// Next sequence appends normally.
+	base, dup, code = b.Append("t", 0, batch(42, 6, 3), true)
+	if base != 2 || dup || code != wire.ErrNone {
+		t.Fatalf("next append = %d, %v, %v", base, dup, code)
+	}
+	// Different producer IDs do not collide.
+	base, dup, _ = b.Append("t", 0, batch(43, 5, 9), true)
+	if base != 3 || dup {
+		t.Fatalf("other producer = %d, %v", base, dup)
+	}
+}
+
+func TestNonIdempotentAppendsDuplicates(t *testing.T) {
+	sim := des.New()
+	b := newBroker(t, sim)
+	b.Append("t", 0, batch(1, 5, 1), false)
+	b.Append("t", 0, batch(1, 5, 1), false) // same sequence, appended again
+	if b.Log("t", 0).End() != 2 {
+		t.Errorf("log end = %d, want 2 (duplicate persisted)", b.Log("t", 0).End())
+	}
+}
+
+func TestHandleFetch(t *testing.T) {
+	sim := des.New()
+	b := newBroker(t, sim)
+	b.Append("t", 0, batch(1, 0, 10, 11, 12), false)
+	var resp wire.FetchResponse
+	b.HandleFetch(wire.FetchRequest{Topic: "t", Partition: 0, Offset: 1, MaxRecords: 10},
+		func(r wire.FetchResponse) { resp = r })
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Err != wire.ErrNone || resp.HighWatermark != 3 {
+		t.Errorf("resp = %+v", resp)
+	}
+	if len(resp.Records) != 2 || resp.Records[0].Key != 11 {
+		t.Errorf("records = %+v", resp.Records)
+	}
+	if b.Stats().FetchRequests != 1 {
+		t.Errorf("FetchRequests = %d", b.Stats().FetchRequests)
+	}
+}
+
+func TestFetchErrors(t *testing.T) {
+	sim := des.New()
+	b := newBroker(t, sim)
+	var resp wire.FetchResponse
+	b.HandleFetch(wire.FetchRequest{Topic: "missing"}, func(r wire.FetchResponse) { resp = r })
+	if resp.Err != wire.ErrUnknownTopicOrPartition {
+		t.Errorf("missing topic err = %v", resp.Err)
+	}
+	b.HandleFetch(wire.FetchRequest{Topic: "t", Offset: 99}, func(r wire.FetchResponse) { resp = r })
+	if resp.Err == wire.ErrNone {
+		t.Error("out-of-range offset accepted")
+	}
+	_ = sim
+}
+
+func TestCreatePartitionIdempotent(t *testing.T) {
+	sim := des.New()
+	b := newBroker(t, sim)
+	b.Append("t", 0, batch(1, 0, 1), false)
+	b.CreatePartition("t", 0) // must not wipe the log
+	if b.Log("t", 0).End() != 1 {
+		t.Error("CreatePartition reset an existing log")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1, nil, DefaultConfig()); err == nil {
+		t.Error("nil simulator accepted")
+	}
+	if _, err := New(1, des.New(), Config{AppendLatency: -1}); err == nil {
+		t.Error("negative latency accepted")
+	}
+}

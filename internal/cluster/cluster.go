@@ -1,0 +1,374 @@
+// Package cluster assembles broker nodes into a Kafka-model cluster:
+// topic/partition metadata, leader placement, follower replication,
+// leader re-election on broker failure, and a wire-protocol server that
+// exposes the cluster over a transport connection. The paper's testbed
+// runs three brokers (Sec. III-E); that is this package's default.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"kafkarel/internal/broker"
+	"kafkarel/internal/des"
+	"kafkarel/internal/wire"
+)
+
+// Config tunes the cluster.
+type Config struct {
+	// Brokers is the number of nodes (paper default: 3).
+	Brokers int
+	// Broker configures each node's service times.
+	Broker broker.Config
+	// InterBrokerDelay is the one-way replication network delay between
+	// nodes, which share a datacenter network unaffected by the injected
+	// producer-side faults.
+	InterBrokerDelay time.Duration
+	// MinISR is the minimum number of live replicas (leader included)
+	// required to accept an acks=all produce.
+	MinISR int
+}
+
+// DefaultConfig matches the paper's three-broker Docker testbed.
+func DefaultConfig() Config {
+	return Config{
+		Brokers:          3,
+		Broker:           broker.DefaultConfig(),
+		InterBrokerDelay: 250 * time.Microsecond,
+		MinISR:           1,
+	}
+}
+
+type partitionMeta struct {
+	leader   int32
+	replicas []int32
+}
+
+type topicMeta struct {
+	partitions []*partitionMeta
+}
+
+// Cluster is a set of brokers plus topic metadata. Not safe for
+// concurrent use; the DES is single-threaded.
+type Cluster struct {
+	sim     *des.Simulator
+	cfg     Config
+	brokers []*broker.Broker
+	topics  map[string]*topicMeta
+}
+
+// New builds a cluster of cfg.Brokers running nodes.
+func New(sim *des.Simulator, cfg Config) (*Cluster, error) {
+	if sim == nil {
+		return nil, fmt.Errorf("cluster: nil simulator")
+	}
+	if cfg.Brokers <= 0 {
+		cfg.Brokers = DefaultConfig().Brokers
+	}
+	if cfg.MinISR <= 0 {
+		cfg.MinISR = 1
+	}
+	if cfg.InterBrokerDelay < 0 {
+		return nil, fmt.Errorf("cluster: negative inter-broker delay")
+	}
+	c := &Cluster{sim: sim, cfg: cfg, topics: make(map[string]*topicMeta)}
+	for i := 0; i < cfg.Brokers; i++ {
+		b, err := broker.New(int32(i), sim, cfg.Broker)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: broker %d: %w", i, err)
+		}
+		c.brokers = append(c.brokers, b)
+	}
+	return c, nil
+}
+
+// Broker returns the node with the given ID, or nil.
+func (c *Cluster) Broker(id int32) *broker.Broker {
+	if id < 0 || int(id) >= len(c.brokers) {
+		return nil
+	}
+	return c.brokers[id]
+}
+
+// Brokers returns the number of nodes.
+func (c *Cluster) Brokers() int { return len(c.brokers) }
+
+// CreateTopic provisions a topic with the given partition count and
+// replication factor. Leaders and replicas are placed round-robin, as
+// Kafka's default assignor does.
+func (c *Cluster) CreateTopic(name string, partitions, replicationFactor int) error {
+	if _, ok := c.topics[name]; ok {
+		return fmt.Errorf("cluster: topic %q already exists", name)
+	}
+	if partitions <= 0 {
+		return fmt.Errorf("cluster: topic %q needs at least one partition", name)
+	}
+	if replicationFactor <= 0 || replicationFactor > len(c.brokers) {
+		return fmt.Errorf("cluster: replication factor %d outside [1, %d]", replicationFactor, len(c.brokers))
+	}
+	tm := &topicMeta{}
+	for p := 0; p < partitions; p++ {
+		pm := &partitionMeta{leader: int32(p % len(c.brokers))}
+		for r := 0; r < replicationFactor; r++ {
+			id := int32((p + r) % len(c.brokers))
+			pm.replicas = append(pm.replicas, id)
+			c.brokers[id].CreatePartition(name, int32(p))
+		}
+		tm.partitions = append(tm.partitions, pm)
+	}
+	c.topics[name] = tm
+	return nil
+}
+
+// Leader returns the broker currently leading the partition, or nil when
+// the topic/partition is unknown or leaderless.
+func (c *Cluster) Leader(topic string, partition int32) *broker.Broker {
+	pm := c.partition(topic, partition)
+	if pm == nil || pm.leader < 0 {
+		return nil
+	}
+	return c.brokers[pm.leader]
+}
+
+func (c *Cluster) partition(topic string, partition int32) *partitionMeta {
+	tm, ok := c.topics[topic]
+	if !ok || partition < 0 || int(partition) >= len(tm.partitions) {
+		return nil
+	}
+	return tm.partitions[partition]
+}
+
+// liveReplicas returns the running replicas of a partition, leader first.
+func (c *Cluster) liveReplicas(pm *partitionMeta) []*broker.Broker {
+	out := make([]*broker.Broker, 0, len(pm.replicas))
+	if pm.leader >= 0 && c.brokers[pm.leader].Up() {
+		out = append(out, c.brokers[pm.leader])
+	}
+	for _, id := range pm.replicas {
+		if id == pm.leader {
+			continue
+		}
+		if c.brokers[id].Up() {
+			out = append(out, c.brokers[id])
+		}
+	}
+	return out
+}
+
+// FailBroker stops a node and re-elects leaders for every partition it
+// led, choosing the first live replica (Kafka's preferred-replica order).
+// Partitions with no live replica become leaderless until a recovery.
+func (c *Cluster) FailBroker(id int32) error {
+	b := c.Broker(id)
+	if b == nil {
+		return fmt.Errorf("cluster: no broker %d", id)
+	}
+	b.Stop()
+	for _, tm := range c.topics {
+		for _, pm := range tm.partitions {
+			if pm.leader != id {
+				continue
+			}
+			pm.leader = -1
+			for _, rid := range pm.replicas {
+				if c.brokers[rid].Up() {
+					pm.leader = rid
+					break
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// RecoverBroker restarts a node, catches its logs up from current
+// leaders, and restores it as a leader candidate for leaderless
+// partitions.
+func (c *Cluster) RecoverBroker(id int32) error {
+	b := c.Broker(id)
+	if b == nil {
+		return fmt.Errorf("cluster: no broker %d", id)
+	}
+	b.Start()
+	for topic, tm := range c.topics {
+		for p, pm := range tm.partitions {
+			holdsReplica := false
+			for _, rid := range pm.replicas {
+				if rid == id {
+					holdsReplica = true
+					break
+				}
+			}
+			if !holdsReplica {
+				continue
+			}
+			if pm.leader == -1 {
+				pm.leader = id
+				continue
+			}
+			// Catch up from the leader: truncate local divergence and
+			// copy the leader's suffix.
+			leader := c.brokers[pm.leader]
+			src := leader.Log(topic, int32(p))
+			dst := b.Log(topic, int32(p))
+			if src == nil || dst == nil || leader.ID() == id {
+				continue
+			}
+			if dst.End() > src.End() {
+				dst.TruncateTo(src.End())
+			}
+			if dst.End() < src.End() {
+				entries, err := src.Read(dst.End(), int(src.End()-dst.End()))
+				if err != nil {
+					return fmt.Errorf("cluster: catch-up read: %w", err)
+				}
+				for _, e := range entries {
+					dst.Append([]wire.Record{e.Record})
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Metadata answers a metadata request for one topic.
+func (c *Cluster) Metadata(req wire.MetadataRequest) wire.MetadataResponse {
+	resp := wire.MetadataResponse{CorrelationID: req.CorrelationID, Topic: req.Topic}
+	tm, ok := c.topics[req.Topic]
+	if !ok {
+		resp.Err = wire.ErrUnknownTopicOrPartition
+		return resp
+	}
+	for p, pm := range tm.partitions {
+		resp.Partitions = append(resp.Partitions, wire.PartitionMetadata{
+			Partition: int32(p),
+			Leader:    pm.leader,
+			Replicas:  append([]int32(nil), pm.replicas...),
+		})
+	}
+	return resp
+}
+
+// HandleProduce routes a produce request to the partition leader,
+// replicates the batch to followers, and calls done according to the
+// request's acks mode:
+//
+//   - acks=0: the leader appends; done is never called.
+//   - acks=1: done fires once the leader has appended.
+//   - acks=all: done fires once every live replica has appended; if
+//     fewer than MinISR replicas are live, the request fails with
+//     ErrNotEnoughReplicas.
+//
+// A dead or missing leader produces no response for acks=0 (the bytes
+// vanish, as with a crashed node) and an error response otherwise only
+// when metadata is stale in a way the producer can observe — matching
+// Kafka, where a connection to a dead broker simply times out. Here the
+// request is silently dropped and the producer's request timer handles
+// it.
+func (c *Cluster) HandleProduce(req wire.ProduceRequest, done func(wire.ProduceResponse)) {
+	pm := c.partition(req.Topic, req.Partition)
+	if pm == nil {
+		if req.Acks != wire.AcksNone && done != nil {
+			done(wire.ProduceResponse{
+				CorrelationID: req.CorrelationID,
+				Topic:         req.Topic,
+				Partition:     req.Partition,
+				Err:           wire.ErrUnknownTopicOrPartition,
+			})
+		}
+		return
+	}
+	if pm.leader < 0 || !c.brokers[pm.leader].Up() {
+		return // leaderless or dead leader: request vanishes
+	}
+	leader := c.brokers[pm.leader]
+	idempotent := req.Batch.ProducerID != 0
+
+	if req.Acks == wire.AcksAll {
+		live := c.liveReplicas(pm)
+		if len(live) < c.cfg.MinISR {
+			if done != nil {
+				done(wire.ProduceResponse{
+					CorrelationID: req.CorrelationID,
+					Topic:         req.Topic,
+					Partition:     req.Partition,
+					Err:           wire.ErrNotEnoughReplicas,
+				})
+			}
+			return
+		}
+		leader.HandleProduce(req, idempotent, func(resp wire.ProduceResponse) {
+			if resp.Err != wire.ErrNone {
+				if done != nil {
+					done(resp)
+				}
+				return
+			}
+			followers := live[1:]
+			if len(followers) == 0 {
+				if done != nil {
+					done(resp)
+				}
+				return
+			}
+			pending := len(followers)
+			for _, f := range followers {
+				f := f
+				c.sim.After(c.cfg.InterBrokerDelay, func() {
+					f.HandleProduce(req, idempotent, func(wire.ProduceResponse) {
+						c.sim.After(c.cfg.InterBrokerDelay, func() {
+							pending--
+							if pending == 0 && done != nil {
+								done(resp)
+							}
+						})
+					})
+				})
+			}
+		})
+		return
+	}
+
+	// acks=0 / acks=1: leader append, async replication to followers.
+	leader.HandleProduce(req, idempotent, func(resp wire.ProduceResponse) {
+		if resp.Err == wire.ErrNone {
+			c.replicate(pm, req, idempotent)
+		}
+		if req.Acks != wire.AcksNone && done != nil {
+			done(resp)
+		}
+	})
+}
+
+// replicate copies a batch to live followers asynchronously.
+func (c *Cluster) replicate(pm *partitionMeta, req wire.ProduceRequest, idempotent bool) {
+	for _, id := range pm.replicas {
+		if id == pm.leader {
+			continue
+		}
+		f := c.brokers[id]
+		if !f.Up() {
+			continue
+		}
+		c.sim.After(c.cfg.InterBrokerDelay, func() {
+			f.HandleProduce(req, idempotent, nil)
+		})
+	}
+}
+
+// HandleFetch routes a fetch to the partition leader.
+func (c *Cluster) HandleFetch(req wire.FetchRequest, done func(wire.FetchResponse)) {
+	leader := c.Leader(req.Topic, req.Partition)
+	if leader == nil {
+		if done != nil {
+			done(wire.FetchResponse{
+				CorrelationID: req.CorrelationID,
+				Topic:         req.Topic,
+				Partition:     req.Partition,
+				Err:           wire.ErrUnknownTopicOrPartition,
+			})
+		}
+		return
+	}
+	leader.HandleFetch(req, done)
+}

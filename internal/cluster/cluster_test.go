@@ -1,0 +1,503 @@
+package cluster
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"kafkarel/internal/des"
+	"kafkarel/internal/netem"
+	"kafkarel/internal/transport"
+	"kafkarel/internal/wire"
+)
+
+func newCluster(t *testing.T, sim *des.Simulator) *Cluster {
+	t.Helper()
+	c, err := New(sim, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateTopic("t", 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func produceReq(corr uint32, acks wire.RequiredAcks, keys ...uint64) wire.ProduceRequest {
+	b := wire.RecordBatch{}
+	for _, k := range keys {
+		b.Records = append(b.Records, wire.Record{Key: k, Payload: []byte("p")})
+	}
+	return wire.ProduceRequest{CorrelationID: corr, Topic: "t", Partition: 0, Acks: acks, Batch: b}
+}
+
+func TestCreateTopicPlacement(t *testing.T) {
+	sim := des.New()
+	c, err := New(sim, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateTopic("multi", 6, 2); err != nil {
+		t.Fatal(err)
+	}
+	md := c.Metadata(wire.MetadataRequest{Topic: "multi"})
+	if md.Err != wire.ErrNone || len(md.Partitions) != 6 {
+		t.Fatalf("metadata = %+v", md)
+	}
+	leaders := map[int32]int{}
+	for _, p := range md.Partitions {
+		leaders[p.Leader]++
+		if len(p.Replicas) != 2 {
+			t.Errorf("partition %d has %d replicas", p.Partition, len(p.Replicas))
+		}
+		if p.Replicas[0] != p.Leader {
+			t.Errorf("partition %d leader %d not first replica %v", p.Partition, p.Leader, p.Replicas)
+		}
+	}
+	// Round-robin across 3 brokers → each leads 2 of 6 partitions.
+	for id, n := range leaders {
+		if n != 2 {
+			t.Errorf("broker %d leads %d partitions, want 2", id, n)
+		}
+	}
+}
+
+func TestCreateTopicValidation(t *testing.T) {
+	sim := des.New()
+	c, err := New(sim, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateTopic("t", 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateTopic("t", 1, 1); err == nil {
+		t.Error("duplicate topic accepted")
+	}
+	if err := c.CreateTopic("x", 0, 1); err == nil {
+		t.Error("zero partitions accepted")
+	}
+	if err := c.CreateTopic("y", 1, 4); err == nil {
+		t.Error("replication factor > brokers accepted")
+	}
+}
+
+func TestAcksLeaderRoundTrip(t *testing.T) {
+	sim := des.New()
+	c := newCluster(t, sim)
+	var resp wire.ProduceResponse
+	c.HandleProduce(produceReq(1, wire.AcksLeader, 10), func(r wire.ProduceResponse) { resp = r })
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Err != wire.ErrNone || resp.BaseOffset != 0 {
+		t.Errorf("resp = %+v", resp)
+	}
+	if c.Leader("t", 0).Log("t", 0).End() != 1 {
+		t.Error("leader log empty")
+	}
+}
+
+func TestAsyncReplicationReachesFollowers(t *testing.T) {
+	sim := des.New()
+	c := newCluster(t, sim)
+	c.HandleProduce(produceReq(1, wire.AcksLeader, 10, 11), nil)
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for id := int32(0); id < 3; id++ {
+		if end := c.Broker(id).Log("t", 0).End(); end != 2 {
+			t.Errorf("broker %d log end = %d, want 2", id, end)
+		}
+	}
+}
+
+func TestAcksAllWaitsForFollowers(t *testing.T) {
+	sim := des.New()
+	cfg := DefaultConfig()
+	cfg.InterBrokerDelay = 10 * time.Millisecond
+	c, err := New(sim, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateTopic("t", 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	var at time.Duration = -1
+	c.HandleProduce(produceReq(1, wire.AcksAll, 5), func(wire.ProduceResponse) { at = sim.Now() })
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Response must wait at least one replication round trip (20 ms).
+	if at < 20*time.Millisecond {
+		t.Errorf("acks=all responded at %v, want >= 20ms", at)
+	}
+	for id := int32(0); id < 3; id++ {
+		if end := c.Broker(id).Log("t", 0).End(); end != 1 {
+			t.Errorf("broker %d log end = %d, want 1", id, end)
+		}
+	}
+}
+
+func TestAcksAllMinISR(t *testing.T) {
+	sim := des.New()
+	cfg := DefaultConfig()
+	cfg.MinISR = 3
+	c, err := New(sim, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateTopic("t", 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FailBroker(2); err != nil {
+		t.Fatal(err)
+	}
+	var resp wire.ProduceResponse
+	c.HandleProduce(produceReq(1, wire.AcksAll, 5), func(r wire.ProduceResponse) { resp = r })
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Err != wire.ErrNotEnoughReplicas {
+		t.Errorf("Err = %v, want ErrNotEnoughReplicas", resp.Err)
+	}
+}
+
+func TestAcksNoneNeverResponds(t *testing.T) {
+	sim := des.New()
+	c := newCluster(t, sim)
+	called := false
+	c.HandleProduce(produceReq(1, wire.AcksNone, 7), func(wire.ProduceResponse) { called = true })
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Error("acks=0 produced a response")
+	}
+	if c.Leader("t", 0).Log("t", 0).End() != 1 {
+		t.Error("acks=0 record not persisted")
+	}
+}
+
+func TestUnknownTopicProduce(t *testing.T) {
+	sim := des.New()
+	c := newCluster(t, sim)
+	var resp wire.ProduceResponse
+	req := produceReq(9, wire.AcksLeader, 1)
+	req.Topic = "ghost"
+	c.HandleProduce(req, func(r wire.ProduceResponse) { resp = r })
+	if resp.Err != wire.ErrUnknownTopicOrPartition {
+		t.Errorf("Err = %v", resp.Err)
+	}
+}
+
+func TestLeaderFailover(t *testing.T) {
+	sim := des.New()
+	c := newCluster(t, sim)
+	oldLeader := c.Leader("t", 0).ID()
+	if err := c.FailBroker(oldLeader); err != nil {
+		t.Fatal(err)
+	}
+	newLeader := c.Leader("t", 0)
+	if newLeader == nil || newLeader.ID() == oldLeader {
+		t.Fatal("no failover happened")
+	}
+	// Produce to the new leader still works.
+	var resp wire.ProduceResponse
+	c.HandleProduce(produceReq(2, wire.AcksLeader, 42), func(r wire.ProduceResponse) { resp = r })
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Err != wire.ErrNone {
+		t.Errorf("produce after failover: %v", resp.Err)
+	}
+}
+
+func TestDeadLeaderDropsRequests(t *testing.T) {
+	sim := des.New()
+	c := newCluster(t, sim)
+	// Kill every broker: partition leaderless.
+	for id := int32(0); id < 3; id++ {
+		if err := c.FailBroker(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	called := false
+	c.HandleProduce(produceReq(1, wire.AcksLeader, 1), func(wire.ProduceResponse) { called = true })
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Error("leaderless partition responded")
+	}
+}
+
+func TestRecoverBrokerCatchesUp(t *testing.T) {
+	sim := des.New()
+	c := newCluster(t, sim)
+	victim := c.Leader("t", 0).ID()
+	if err := c.FailBroker(victim); err != nil {
+		t.Fatal(err)
+	}
+	// Write while the victim is down.
+	for i := 0; i < 5; i++ {
+		c.HandleProduce(produceReq(uint32(i), wire.AcksLeader, uint64(i)), nil)
+	}
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RecoverBroker(victim); err != nil {
+		t.Fatal(err)
+	}
+	if end := c.Broker(victim).Log("t", 0).End(); end != 5 {
+		t.Errorf("recovered broker log end = %d, want 5", end)
+	}
+}
+
+func TestFailUnknownBroker(t *testing.T) {
+	sim := des.New()
+	c := newCluster(t, sim)
+	if err := c.FailBroker(99); err == nil {
+		t.Error("unknown broker accepted")
+	}
+	if err := c.RecoverBroker(-1); err == nil {
+		t.Error("unknown broker accepted")
+	}
+}
+
+func TestFetchFromLeader(t *testing.T) {
+	sim := des.New()
+	c := newCluster(t, sim)
+	c.HandleProduce(produceReq(1, wire.AcksLeader, 10, 11, 12), nil)
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var resp wire.FetchResponse
+	c.HandleFetch(wire.FetchRequest{Topic: "t", Partition: 0, Offset: 0, MaxRecords: 10},
+		func(r wire.FetchResponse) { resp = r })
+	if resp.Err != wire.ErrNone || len(resp.Records) != 3 {
+		t.Errorf("fetch = %+v", resp)
+	}
+	var missing wire.FetchResponse
+	c.HandleFetch(wire.FetchRequest{Topic: "ghost"}, func(r wire.FetchResponse) { missing = r })
+	if missing.Err != wire.ErrUnknownTopicOrPartition {
+		t.Errorf("ghost fetch err = %v", missing.Err)
+	}
+}
+
+func TestValidationNew(t *testing.T) {
+	if _, err := New(nil, DefaultConfig()); err == nil {
+		t.Error("nil simulator accepted")
+	}
+	cfg := DefaultConfig()
+	cfg.InterBrokerDelay = -1
+	if _, err := New(des.New(), cfg); err == nil {
+		t.Error("negative inter-broker delay accepted")
+	}
+}
+
+// TestServerOverTransport exercises the full request path: client
+// endpoint → frames over lossy-capable transport → server dispatch →
+// cluster → response frames back.
+func TestServerOverTransport(t *testing.T) {
+	sim := des.New()
+	path, err := netem.NewPath(sim, netem.Config{}, netem.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := transport.NewConn(sim, path, transport.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newCluster(t, sim)
+	if _, err := NewServer(c, conn.Server); err != nil {
+		t.Fatal(err)
+	}
+
+	var produce wire.ProduceResponse
+	var fetch wire.FetchResponse
+	var md wire.MetadataResponse
+	var split wire.Splitter
+	conn.Client.OnReceive(func(b []byte) {
+		frames, err := split.Push(b)
+		if err != nil {
+			t.Errorf("client splitter: %v", err)
+			return
+		}
+		for _, f := range frames {
+			switch f.API {
+			case wire.APIProduce:
+				r, err := wire.DecodeProduceResponse(f.Body)
+				if err != nil {
+					t.Errorf("decode produce response: %v", err)
+					continue
+				}
+				produce = r
+				// Chain a fetch once produce is acked.
+				fr := wire.FetchRequest{CorrelationID: 2, Topic: "t", Partition: 0, Offset: 0, MaxRecords: 10}
+				if err := conn.Client.Send(wire.EncodeFrame(wire.APIFetch, fr.Encode(nil))); err != nil {
+					t.Errorf("send fetch: %v", err)
+				}
+			case wire.APIFetch:
+				r, err := wire.DecodeFetchResponse(f.Body)
+				if err != nil {
+					t.Errorf("decode fetch response: %v", err)
+					continue
+				}
+				fetch = r
+			case wire.APIMetadata:
+				r, err := wire.DecodeMetadataResponse(f.Body)
+				if err != nil {
+					t.Errorf("decode metadata response: %v", err)
+					continue
+				}
+				md = r
+			}
+		}
+	})
+
+	mreq := wire.MetadataRequest{CorrelationID: 9, Topic: "t"}
+	if err := conn.Client.Send(wire.EncodeFrame(wire.APIMetadata, mreq.Encode(nil))); err != nil {
+		t.Fatal(err)
+	}
+	preq := produceReq(1, wire.AcksLeader, 100, 101)
+	if err := conn.Client.Send(wire.EncodeFrame(wire.APIProduce, preq.Encode(nil))); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if md.CorrelationID != 9 || len(md.Partitions) != 1 {
+		t.Errorf("metadata = %+v", md)
+	}
+	if produce.CorrelationID != 1 || produce.Err != wire.ErrNone {
+		t.Errorf("produce = %+v", produce)
+	}
+	if fetch.CorrelationID != 2 || len(fetch.Records) != 2 || fetch.Records[0].Key != 100 {
+		t.Errorf("fetch = %+v", fetch)
+	}
+}
+
+func TestServerDropsGarbage(t *testing.T) {
+	sim := des.New()
+	path, err := netem.NewPath(sim, netem.Config{}, netem.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := transport.NewConn(sim, path, transport.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newCluster(t, sim)
+	srv, err := NewServer(c, conn.Server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A syntactically valid frame with an unknown API.
+	if err := conn.Client.Send(wire.EncodeFrame(250, []byte("junk"))); err != nil {
+		t.Fatal(err)
+	}
+	// A produce frame with a corrupt body.
+	if err := conn.Client.Send(wire.EncodeFrame(wire.APIProduce, []byte{1, 2})); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if srv.DroppedFrames != 2 {
+		t.Errorf("DroppedFrames = %d, want 2", srv.DroppedFrames)
+	}
+}
+
+func TestNewServerValidation(t *testing.T) {
+	if _, err := NewServer(nil, nil); err == nil {
+		t.Error("nil args accepted")
+	}
+}
+
+// Property: after any interleaving of produces, broker failures and
+// recoveries, every live replica's log is a prefix of its partition
+// leader's log (replication never diverges).
+func TestPropertyReplicationPrefixConsistency(t *testing.T) {
+	f := func(seed uint64, opsRaw uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 13))
+		sim := des.New()
+		c, err := New(sim, DefaultConfig())
+		if err != nil {
+			return false
+		}
+		if err := c.CreateTopic("t", 2, 3); err != nil {
+			return false
+		}
+		key := uint64(0)
+		ops := int(opsRaw%40) + 10
+		for i := 0; i < ops; i++ {
+			switch rng.IntN(5) {
+			case 0: // fail a random broker (keep at least one up)
+				up := 0
+				for id := int32(0); id < 3; id++ {
+					if c.Broker(id).Up() {
+						up++
+					}
+				}
+				if up > 1 {
+					_ = c.FailBroker(int32(rng.IntN(3)))
+				}
+			case 1: // recover a random broker
+				_ = c.RecoverBroker(int32(rng.IntN(3)))
+			default: // produce a record to a random partition
+				key++
+				req := wire.ProduceRequest{
+					Topic:     "t",
+					Partition: int32(rng.IntN(2)),
+					Acks:      wire.AcksLeader,
+					Batch:     wire.RecordBatch{Records: []wire.Record{{Key: key}}},
+				}
+				c.HandleProduce(req, nil)
+				if err := sim.Run(); err != nil {
+					return false
+				}
+			}
+		}
+		// Recover everything so catch-up completes, then check prefixes.
+		for id := int32(0); id < 3; id++ {
+			if err := c.RecoverBroker(id); err != nil {
+				return false
+			}
+		}
+		if err := sim.Run(); err != nil {
+			return false
+		}
+		for p := int32(0); p < 2; p++ {
+			leader := c.Leader("t", p)
+			if leader == nil {
+				return false
+			}
+			llog := leader.Log("t", p)
+			ref, err := llog.Read(0, int(llog.End()))
+			if err != nil {
+				return false
+			}
+			for id := int32(0); id < 3; id++ {
+				rlog := c.Broker(id).Log("t", p)
+				if rlog == nil || rlog.End() > llog.End() {
+					return false
+				}
+				got, err := rlog.Read(0, int(rlog.End()))
+				if err != nil {
+					return false
+				}
+				for i := range got {
+					if got[i].Record.Key != ref[i].Record.Key {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"fmt"
+
+	"kafkarel/internal/transport"
+	"kafkarel/internal/wire"
+)
+
+// Server binds a cluster to the server side of a transport connection:
+// it splits the inbound byte stream into frames, dispatches requests to
+// the cluster, and writes responses back. One Server serves one
+// connection, as one Kafka broker socket does.
+type Server struct {
+	cluster  *Cluster
+	ep       *transport.Endpoint
+	splitter wire.Splitter
+	// DroppedFrames counts undecodable requests (corrupt after transport
+	// reassembly should be impossible; this guards protocol bugs).
+	DroppedFrames uint64
+}
+
+// NewServer attaches a cluster to the endpoint and starts serving.
+func NewServer(c *Cluster, ep *transport.Endpoint) (*Server, error) {
+	if c == nil || ep == nil {
+		return nil, fmt.Errorf("cluster: NewServer with nil cluster or endpoint")
+	}
+	s := &Server{cluster: c, ep: ep}
+	ep.OnReceive(s.onBytes)
+	return s, nil
+}
+
+// ResetParser discards partial-frame state; call it when the underlying
+// connection is reset so the new byte stream parses from a clean slate.
+func (s *Server) ResetParser() { s.splitter = wire.Splitter{} }
+
+func (s *Server) onBytes(chunk []byte) {
+	frames, err := s.splitter.Push(chunk)
+	if err != nil {
+		// A framing error after reliable reassembly means a peer bug;
+		// drop the connection's remaining input by resetting the
+		// splitter.
+		s.DroppedFrames++
+		s.splitter = wire.Splitter{}
+		return
+	}
+	for _, f := range frames {
+		s.dispatch(f)
+	}
+}
+
+func (s *Server) dispatch(f wire.FramePart) {
+	switch f.API {
+	case wire.APIProduce:
+		req, err := wire.DecodeProduceRequest(f.Body)
+		if err != nil {
+			s.DroppedFrames++
+			return
+		}
+		if req.Acks == wire.AcksNone {
+			s.cluster.HandleProduce(req, nil)
+			return
+		}
+		s.cluster.HandleProduce(req, func(resp wire.ProduceResponse) {
+			s.reply(wire.APIProduce, resp.Encode(nil))
+		})
+	case wire.APIFetch:
+		req, err := wire.DecodeFetchRequest(f.Body)
+		if err != nil {
+			s.DroppedFrames++
+			return
+		}
+		s.cluster.HandleFetch(req, func(resp wire.FetchResponse) {
+			s.reply(wire.APIFetch, resp.Encode(nil))
+		})
+	case wire.APIMetadata:
+		req, err := wire.DecodeMetadataRequest(f.Body)
+		if err != nil {
+			s.DroppedFrames++
+			return
+		}
+		resp := s.cluster.Metadata(req)
+		s.reply(wire.APIMetadata, resp.Encode(nil))
+	default:
+		s.DroppedFrames++
+	}
+}
+
+func (s *Server) reply(api uint16, body []byte) {
+	// A broken server connection means the response is lost; the client's
+	// request timeout covers it, exactly as with a dead TCP socket.
+	_ = s.ep.Send(wire.EncodeFrame(api, body))
+}

@@ -1,0 +1,143 @@
+// Package consumer implements the verification side of the paper's
+// testbed (Sec. III-E): after the producer finishes and fault injection
+// stops, a consumer reads every message in the topic and reconciles the
+// set of unique message keys against the source data, yielding the
+// ground-truth loss and duplicate counts N_l and N_d from which
+// P_l = N_l/N and P_d = N_d/N are computed (Sec. III-F).
+package consumer
+
+import (
+	"fmt"
+
+	"kafkarel/internal/cluster"
+	"kafkarel/internal/wire"
+)
+
+// Consumer drains one topic partition from the cluster. The paper
+// consumes over a clean network (faults are stopped first), so the
+// consumer calls the cluster directly rather than through the emulated
+// path.
+type Consumer struct {
+	cluster   *cluster.Cluster
+	topic     string
+	partition int32
+	fetchMax  int32
+}
+
+// New creates a consumer for the topic partition.
+func New(c *cluster.Cluster, topic string, partition int32) (*Consumer, error) {
+	if c == nil {
+		return nil, fmt.Errorf("consumer: nil cluster")
+	}
+	if topic == "" {
+		return nil, fmt.Errorf("consumer: empty topic")
+	}
+	return &Consumer{cluster: c, topic: topic, partition: partition, fetchMax: 4096}, nil
+}
+
+// ConsumeAll fetches every record currently in the partition.
+func (c *Consumer) ConsumeAll() ([]wire.Record, error) {
+	var out []wire.Record
+	offset := int64(0)
+	for {
+		var resp wire.FetchResponse
+		got := false
+		c.cluster.HandleFetch(wire.FetchRequest{
+			Topic:      c.topic,
+			Partition:  c.partition,
+			Offset:     offset,
+			MaxRecords: c.fetchMax,
+		}, func(r wire.FetchResponse) { resp = r; got = true })
+		if !got {
+			return nil, fmt.Errorf("consumer: no response (leaderless partition?)")
+		}
+		if resp.Err != wire.ErrNone {
+			return nil, fmt.Errorf("consumer: fetch at offset %d: %s", offset, resp.Err)
+		}
+		if len(resp.Records) == 0 {
+			if offset >= resp.HighWatermark {
+				return out, nil
+			}
+			return nil, fmt.Errorf("consumer: empty fetch below high watermark %d at %d", resp.HighWatermark, offset)
+		}
+		out = append(out, resp.Records...)
+		offset += int64(len(resp.Records))
+	}
+}
+
+// Report is the reconciliation of consumed records against source keys
+// 1..SourceCount.
+type Report struct {
+	// SourceCount is N, the number of messages the source provided.
+	SourceCount uint64
+	// Distinct is the number of unique source keys that reached the log.
+	Distinct uint64
+	// NLost is N_l: source keys never delivered (Case 2 ∪ Case 3).
+	NLost uint64
+	// NDuplicated is N_d: source keys delivered more than once (Case 5).
+	NDuplicated uint64
+	// ExtraCopies is the total number of redundant record copies.
+	ExtraCopies uint64
+	// Foreign counts records with keys outside 1..N (corruption guard;
+	// always zero in a healthy run).
+	Foreign uint64
+}
+
+// Pl returns the ground-truth probability of message loss.
+func (r Report) Pl() float64 {
+	if r.SourceCount == 0 {
+		return 0
+	}
+	return float64(r.NLost) / float64(r.SourceCount)
+}
+
+// Pd returns the ground-truth probability of message duplication.
+func (r Report) Pd() float64 {
+	if r.SourceCount == 0 {
+		return 0
+	}
+	return float64(r.NDuplicated) / float64(r.SourceCount)
+}
+
+// ConsumeAllPartitions drains every partition of a topic and returns all
+// records (partition order, offset order within a partition). Key-set
+// reconciliation is order-agnostic, so this suffices for multi-partition
+// experiments.
+func ConsumeAllPartitions(c *cluster.Cluster, topic string, partitions int32) ([]wire.Record, error) {
+	var out []wire.Record
+	for p := int32(0); p < partitions; p++ {
+		cons, err := New(c, topic, p)
+		if err != nil {
+			return nil, err
+		}
+		recs, err := cons.ConsumeAll()
+		if err != nil {
+			return nil, fmt.Errorf("partition %d: %w", p, err)
+		}
+		out = append(out, recs...)
+	}
+	return out, nil
+}
+
+// Reconcile compares consumed records against the contiguous source key
+// space 1..sourceCount.
+func Reconcile(sourceCount uint64, records []wire.Record) Report {
+	rep := Report{SourceCount: sourceCount}
+	seen := make(map[uint64]uint64, len(records))
+	for _, rec := range records {
+		if rec.Key == 0 || rec.Key > sourceCount {
+			rep.Foreign++
+			continue
+		}
+		seen[rec.Key]++
+	}
+	rep.Distinct = uint64(len(seen))
+	rep.NLost = sourceCount - rep.Distinct
+	for _, n := range seen {
+		if n > 1 {
+			rep.NDuplicated++
+			rep.ExtraCopies += n - 1
+		}
+	}
+	return rep
+}

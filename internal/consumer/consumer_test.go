@@ -1,0 +1,152 @@
+package consumer
+
+import (
+	"testing"
+
+	"kafkarel/internal/cluster"
+	"kafkarel/internal/des"
+	"kafkarel/internal/wire"
+)
+
+func seededCluster(t *testing.T, keys []uint64) *cluster.Cluster {
+	t.Helper()
+	sim := des.New()
+	c, err := cluster.New(sim, cluster.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateTopic("t", 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	recs := make([]wire.Record, 0, len(keys))
+	for _, k := range keys {
+		recs = append(recs, wire.Record{Key: k})
+	}
+	c.Leader("t", 0).Log("t", 0).Append(recs)
+	return c
+}
+
+func TestConsumeAll(t *testing.T) {
+	c := seededCluster(t, []uint64{1, 2, 3, 4, 5})
+	cons, err := New(c, "t", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cons.ConsumeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 || got[0].Key != 1 || got[4].Key != 5 {
+		t.Errorf("got %d records", len(got))
+	}
+}
+
+func TestConsumeAllPaginates(t *testing.T) {
+	keys := make([]uint64, 10_000)
+	for i := range keys {
+		keys[i] = uint64(i + 1)
+	}
+	c := seededCluster(t, keys)
+	cons, err := New(c, "t", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cons.ConsumeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10_000 {
+		t.Fatalf("got %d records, want 10000", len(got))
+	}
+	for i, r := range got {
+		if r.Key != uint64(i+1) {
+			t.Fatalf("record %d key = %d", i, r.Key)
+		}
+	}
+}
+
+func TestConsumeEmptyTopic(t *testing.T) {
+	c := seededCluster(t, nil)
+	cons, err := New(c, "t", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cons.ConsumeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("got %d records from empty topic", len(got))
+	}
+}
+
+func TestConsumeUnknownTopic(t *testing.T) {
+	c := seededCluster(t, nil)
+	cons, err := New(c, "ghost", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cons.ConsumeAll(); err == nil {
+		t.Error("unknown topic accepted")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, "t", 0); err == nil {
+		t.Error("nil cluster accepted")
+	}
+	c := seededCluster(t, nil)
+	if _, err := New(c, "", 0); err == nil {
+		t.Error("empty topic accepted")
+	}
+}
+
+func TestReconcileCleanDelivery(t *testing.T) {
+	recs := []wire.Record{{Key: 1}, {Key: 2}, {Key: 3}}
+	rep := Reconcile(3, recs)
+	if rep.NLost != 0 || rep.NDuplicated != 0 || rep.Distinct != 3 {
+		t.Errorf("report = %+v", rep)
+	}
+	if rep.Pl() != 0 || rep.Pd() != 0 {
+		t.Errorf("Pl/Pd = %v/%v", rep.Pl(), rep.Pd())
+	}
+}
+
+func TestReconcileLossAndDuplicates(t *testing.T) {
+	// Source 1..10; 3 and 7 lost; 2 delivered three times; 5 twice.
+	var recs []wire.Record
+	for _, k := range []uint64{1, 2, 2, 2, 4, 5, 5, 6, 8, 9, 10} {
+		recs = append(recs, wire.Record{Key: k})
+	}
+	rep := Reconcile(10, recs)
+	if rep.NLost != 2 {
+		t.Errorf("NLost = %d, want 2", rep.NLost)
+	}
+	if rep.NDuplicated != 2 {
+		t.Errorf("NDuplicated = %d, want 2", rep.NDuplicated)
+	}
+	if rep.ExtraCopies != 3 {
+		t.Errorf("ExtraCopies = %d, want 3", rep.ExtraCopies)
+	}
+	if rep.Pl() != 0.2 || rep.Pd() != 0.2 {
+		t.Errorf("Pl/Pd = %v/%v", rep.Pl(), rep.Pd())
+	}
+}
+
+func TestReconcileForeignKeys(t *testing.T) {
+	recs := []wire.Record{{Key: 0}, {Key: 11}, {Key: 1}}
+	rep := Reconcile(10, recs)
+	if rep.Foreign != 2 {
+		t.Errorf("Foreign = %d, want 2", rep.Foreign)
+	}
+	if rep.Distinct != 1 {
+		t.Errorf("Distinct = %d, want 1", rep.Distinct)
+	}
+}
+
+func TestReconcileEmptySource(t *testing.T) {
+	rep := Reconcile(0, nil)
+	if rep.Pl() != 0 || rep.Pd() != 0 {
+		t.Error("zero source produced nonzero rates")
+	}
+}

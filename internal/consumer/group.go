@@ -1,0 +1,204 @@
+package consumer
+
+import (
+	"fmt"
+	"sort"
+
+	"kafkarel/internal/cluster"
+	"kafkarel/internal/wire"
+)
+
+// Group is an in-process consumer group over a cluster topic: members
+// share the topic's partitions under Kafka's range assignment, poll
+// records from their assigned partitions, and commit offsets to a
+// group-scoped offset store, giving at-least-once consumption semantics
+// (uncommitted records are redelivered after a rebalance or restart).
+// It completes the substrate for downstream users; the paper's
+// experiments only need the single drain consumer above.
+type Group struct {
+	cluster    *cluster.Cluster
+	topic      string
+	partitions int32
+	members    []string
+	// assignment maps member → partitions.
+	assignment map[string][]int32
+	// committed and position are per-partition offsets: committed is the
+	// durable group offset; position is the in-memory read cursor since
+	// the last poll.
+	committed map[int32]int64
+	position  map[int32]int64
+}
+
+// NewGroup creates an empty group for the topic.
+func NewGroup(c *cluster.Cluster, topic string, partitions int32) (*Group, error) {
+	if c == nil {
+		return nil, fmt.Errorf("consumer: nil cluster")
+	}
+	if topic == "" {
+		return nil, fmt.Errorf("consumer: empty topic")
+	}
+	if partitions <= 0 {
+		return nil, fmt.Errorf("consumer: partition count %d <= 0", partitions)
+	}
+	return &Group{
+		cluster:    c,
+		topic:      topic,
+		partitions: partitions,
+		assignment: make(map[string][]int32),
+		committed:  make(map[int32]int64),
+		position:   make(map[int32]int64),
+	}, nil
+}
+
+// Members returns the current member IDs in join order.
+func (g *Group) Members() []string {
+	out := make([]string, len(g.members))
+	copy(out, g.members)
+	return out
+}
+
+// Assignment returns the partitions assigned to a member.
+func (g *Group) Assignment(member string) []int32 {
+	out := make([]int32, len(g.assignment[member]))
+	copy(out, g.assignment[member])
+	return out
+}
+
+// Join adds a member and rebalances. Re-joining an existing member is an
+// error.
+func (g *Group) Join(member string) error {
+	if member == "" {
+		return fmt.Errorf("consumer: empty member id")
+	}
+	for _, m := range g.members {
+		if m == member {
+			return fmt.Errorf("consumer: member %q already joined", member)
+		}
+	}
+	g.members = append(g.members, member)
+	g.rebalance()
+	return nil
+}
+
+// Leave removes a member and rebalances; its uncommitted progress is
+// discarded, so the records re-deliver to the new owners (at-least-once).
+func (g *Group) Leave(member string) error {
+	idx := -1
+	for i, m := range g.members {
+		if m == member {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("consumer: member %q not in group", member)
+	}
+	g.members = append(g.members[:idx], g.members[idx+1:]...)
+	g.rebalance()
+	return nil
+}
+
+// rebalance applies Kafka's range assignor: partitions are split into
+// contiguous ranges, members sorted by ID, earlier members taking the
+// larger ranges when the division is uneven. Read cursors reset to the
+// committed offsets: in-flight uncommitted reads are forgotten.
+func (g *Group) rebalance() {
+	g.assignment = make(map[string][]int32, len(g.members))
+	for p := range g.position {
+		g.position[p] = g.committed[p]
+	}
+	if len(g.members) == 0 {
+		return
+	}
+	sorted := make([]string, len(g.members))
+	copy(sorted, g.members)
+	sort.Strings(sorted)
+	per := int(g.partitions) / len(sorted)
+	extra := int(g.partitions) % len(sorted)
+	next := int32(0)
+	for i, m := range sorted {
+		n := per
+		if i < extra {
+			n++
+		}
+		for j := 0; j < n; j++ {
+			g.assignment[m] = append(g.assignment[m], next)
+			next++
+		}
+	}
+}
+
+// Poll fetches up to max records for the member across its assigned
+// partitions, advancing the member's read cursors (but not the committed
+// offsets — call Commit when processing succeeded).
+func (g *Group) Poll(member string, max int) ([]wire.Record, error) {
+	parts, ok := g.assignment[member]
+	if !ok {
+		return nil, fmt.Errorf("consumer: member %q has no assignment (not joined?)", member)
+	}
+	if max <= 0 {
+		return nil, fmt.Errorf("consumer: poll max %d <= 0", max)
+	}
+	var out []wire.Record
+	for _, p := range parts {
+		if len(out) >= max {
+			break
+		}
+		var resp wire.FetchResponse
+		got := false
+		g.cluster.HandleFetch(wire.FetchRequest{
+			Topic:      g.topic,
+			Partition:  p,
+			Offset:     g.position[p],
+			MaxRecords: int32(max - len(out)),
+		}, func(r wire.FetchResponse) { resp = r; got = true })
+		if !got {
+			return nil, fmt.Errorf("consumer: partition %d leaderless", p)
+		}
+		if resp.Err != wire.ErrNone {
+			return nil, fmt.Errorf("consumer: partition %d: %s", p, resp.Err)
+		}
+		out = append(out, resp.Records...)
+		g.position[p] += int64(len(resp.Records))
+	}
+	return out, nil
+}
+
+// Commit durably records the member's current read cursors as the group
+// offsets for its assigned partitions.
+func (g *Group) Commit(member string) error {
+	parts, ok := g.assignment[member]
+	if !ok {
+		return fmt.Errorf("consumer: member %q has no assignment", member)
+	}
+	for _, p := range parts {
+		g.committed[p] = g.position[p]
+	}
+	return nil
+}
+
+// Committed returns the group's committed offset for a partition.
+func (g *Group) Committed(partition int32) int64 { return g.committed[partition] }
+
+// Lag returns the total unconsumed records across all partitions
+// relative to the committed offsets.
+func (g *Group) Lag() (int64, error) {
+	var lag int64
+	for p := int32(0); p < g.partitions; p++ {
+		var resp wire.FetchResponse
+		got := false
+		g.cluster.HandleFetch(wire.FetchRequest{
+			Topic:     g.topic,
+			Partition: p,
+			Offset:    g.committed[p],
+		}, func(r wire.FetchResponse) { resp = r; got = true })
+		if !got {
+			return 0, fmt.Errorf("consumer: partition %d leaderless", p)
+		}
+		if resp.Err != wire.ErrNone {
+			return 0, fmt.Errorf("consumer: partition %d: %s", p, resp.Err)
+		}
+		lag += resp.HighWatermark - g.committed[p]
+	}
+	return lag, nil
+}

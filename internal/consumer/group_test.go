@@ -1,0 +1,254 @@
+package consumer
+
+import (
+	"testing"
+	"testing/quick"
+
+	"kafkarel/internal/cluster"
+	"kafkarel/internal/des"
+	"kafkarel/internal/wire"
+)
+
+// groupCluster seeds a topic with `partitions` partitions, `perPart`
+// records in each (keys unique across the topic).
+func groupCluster(t *testing.T, partitions int32, perPart int) *cluster.Cluster {
+	t.Helper()
+	sim := des.New()
+	c, err := cluster.New(sim, cluster.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateTopic("t", int(partitions), 1); err != nil {
+		t.Fatal(err)
+	}
+	key := uint64(1)
+	for p := int32(0); p < partitions; p++ {
+		recs := make([]wire.Record, 0, perPart)
+		for i := 0; i < perPart; i++ {
+			recs = append(recs, wire.Record{Key: key})
+			key++
+		}
+		c.Leader("t", p).Log("t", p).Append(recs)
+	}
+	return c
+}
+
+func TestGroupRangeAssignment(t *testing.T) {
+	c := groupCluster(t, 7, 1)
+	g, err := NewGroup(c, "t", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []string{"a", "b", "c"} {
+		if err := g.Join(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Range assignor over 7 partitions and 3 members: 3/2/2.
+	sizes := map[string]int{}
+	seen := map[int32]bool{}
+	for _, m := range g.Members() {
+		parts := g.Assignment(m)
+		sizes[m] = len(parts)
+		for _, p := range parts {
+			if seen[p] {
+				t.Fatalf("partition %d assigned twice", p)
+			}
+			seen[p] = true
+		}
+	}
+	if len(seen) != 7 {
+		t.Fatalf("assigned %d partitions, want 7", len(seen))
+	}
+	if sizes["a"] != 3 || sizes["b"] != 2 || sizes["c"] != 2 {
+		t.Errorf("range sizes = %v, want a:3 b:2 c:2", sizes)
+	}
+}
+
+func TestGroupJoinLeaveValidation(t *testing.T) {
+	c := groupCluster(t, 2, 1)
+	g, err := NewGroup(c, "t", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Join(""); err == nil {
+		t.Error("empty member accepted")
+	}
+	if err := g.Join("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Join("a"); err == nil {
+		t.Error("double join accepted")
+	}
+	if err := g.Leave("ghost"); err == nil {
+		t.Error("leaving unknown member accepted")
+	}
+	if _, err := NewGroup(nil, "t", 1); err == nil {
+		t.Error("nil cluster accepted")
+	}
+	if _, err := NewGroup(c, "", 1); err == nil {
+		t.Error("empty topic accepted")
+	}
+	if _, err := NewGroup(c, "t", 0); err == nil {
+		t.Error("zero partitions accepted")
+	}
+}
+
+func TestGroupPollAndCommit(t *testing.T) {
+	c := groupCluster(t, 2, 10)
+	g, err := NewGroup(c, "t", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Join("a"); err != nil {
+		t.Fatal(err)
+	}
+	first, err := g.Poll("a", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != 20 {
+		t.Fatalf("polled %d records, want 20", len(first))
+	}
+	// Without a commit, a rebalance rewinds to the committed offsets.
+	if err := g.Join("b"); err != nil {
+		t.Fatal(err)
+	}
+	againA, err := g.Poll("a", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	againB, err := g.Poll("b", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(againA)+len(againB) != 20 {
+		t.Errorf("redelivery after rebalance = %d records, want 20 (at-least-once)", len(againA)+len(againB))
+	}
+	// Commit, then nothing further to read.
+	if err := g.Commit("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Commit("b"); err != nil {
+		t.Fatal(err)
+	}
+	empty, err := g.Poll("a", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(empty) != 0 {
+		t.Errorf("post-commit poll returned %d records", len(empty))
+	}
+	lag, err := g.Lag()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lag != 0 {
+		t.Errorf("lag = %d after full commit", lag)
+	}
+}
+
+func TestGroupCommittedOffsetsSurviveLeave(t *testing.T) {
+	c := groupCluster(t, 1, 10)
+	g, err := NewGroup(c, "t", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Join("a"); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := g.Poll("a", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("polled %d", len(recs))
+	}
+	if err := g.Commit("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Leave("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Join("b"); err != nil {
+		t.Fatal(err)
+	}
+	rest, err := g.Poll("b", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 6 {
+		t.Errorf("successor polled %d records, want the 6 uncommitted", len(rest))
+	}
+	if rest[0].Key != 5 {
+		t.Errorf("successor resumed at key %d, want 5", rest[0].Key)
+	}
+	if g.Committed(0) != 4 {
+		t.Errorf("committed offset = %d, want 4", g.Committed(0))
+	}
+}
+
+func TestGroupPollValidation(t *testing.T) {
+	c := groupCluster(t, 1, 1)
+	g, err := NewGroup(c, "t", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Poll("nobody", 10); err == nil {
+		t.Error("poll by non-member accepted")
+	}
+	if err := g.Join("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Poll("a", 0); err == nil {
+		t.Error("zero max accepted")
+	}
+	if err := g.Commit("nobody"); err == nil {
+		t.Error("commit by non-member accepted")
+	}
+}
+
+// Property: for any member count and partition count, the range assignor
+// covers every partition exactly once and sizes differ by at most one.
+func TestPropertyRangeAssignmentBalanced(t *testing.T) {
+	f := func(nPartsRaw, nMembersRaw uint8) bool {
+		nParts := int32(nPartsRaw%16) + 1
+		nMembers := int(nMembersRaw%8) + 1
+		c := groupCluster(t, nParts, 0)
+		g, err := NewGroup(c, "t", nParts)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < nMembers; i++ {
+			if err := g.Join(string(rune('a' + i))); err != nil {
+				return false
+			}
+		}
+		seen := map[int32]int{}
+		min, max := int(nParts)+1, -1
+		for _, m := range g.Members() {
+			parts := g.Assignment(m)
+			if len(parts) < min {
+				min = len(parts)
+			}
+			if len(parts) > max {
+				max = len(parts)
+			}
+			for _, p := range parts {
+				seen[p]++
+			}
+		}
+		if len(seen) != int(nParts) {
+			return false
+		}
+		for _, n := range seen {
+			if n != 1 {
+				return false
+			}
+		}
+		return max-min <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"kafkarel/internal/ann"
+	"kafkarel/internal/features"
+)
+
+// Architecture selects the network size used per semantics model.
+type Architecture int
+
+// Architectures. Paper is Sec. III-G's 200/200/200/64 network; Compact is
+// a small network that reaches the same MAE bar on our training grids in
+// a fraction of the time.
+const (
+	ArchitecturePaper Architecture = iota + 1
+	ArchitectureCompact
+)
+
+// TrainConfig controls predictor training.
+type TrainConfig struct {
+	// Architecture picks the per-semantics network (default Compact).
+	Architecture Architecture
+	// TestFraction is held out for evaluation (default 0.2).
+	TestFraction float64
+	// Seed fixes splits, initialisation and shuffling.
+	Seed uint64
+	// TargetMAE stops training early once reached (0 disables; the paper
+	// reports MAE < 0.02).
+	TargetMAE float64
+	// EpochOverride caps epochs when nonzero (useful for quick runs).
+	EpochOverride int
+}
+
+// Metrics reports per-semantics and overall evaluation results.
+type Metrics struct {
+	// MAE and RMSE are over the held-out test split, all outputs pooled.
+	MAE  float64
+	RMSE float64
+	// PerSemantics breaks the evaluation down by delivery semantics.
+	PerSemantics map[int]SemanticsMetrics
+}
+
+// SemanticsMetrics is one model's evaluation.
+type SemanticsMetrics struct {
+	TrainSamples int
+	TestSamples  int
+	MAE          float64
+	RMSE         float64
+	Epochs       int
+}
+
+// Train fits one ANN per delivery semantics present in the dataset and
+// returns the routing predictor with held-out evaluation metrics.
+func Train(ds features.Dataset, cfg TrainConfig) (*Predictor, Metrics, error) {
+	if len(ds) == 0 {
+		return nil, Metrics{}, fmt.Errorf("core: empty dataset")
+	}
+	if cfg.Architecture == 0 {
+		cfg.Architecture = ArchitectureCompact
+	}
+	if cfg.TestFraction == 0 {
+		cfg.TestFraction = 0.2
+	}
+	if cfg.TestFraction < 0 || cfg.TestFraction >= 1 {
+		return nil, Metrics{}, fmt.Errorf("core: test fraction %v outside [0,1)", cfg.TestFraction)
+	}
+
+	bySem := make(map[int]features.Dataset)
+	for _, s := range ds {
+		if err := s.X.Validate(); err != nil {
+			return nil, Metrics{}, fmt.Errorf("core: %w", err)
+		}
+		bySem[s.X.Semantics] = append(bySem[s.X.Semantics], s)
+	}
+
+	p := &Predictor{models: make(map[int]*semModel, len(bySem))}
+	metrics := Metrics{PerSemantics: make(map[int]SemanticsMetrics, len(bySem))}
+	var pooledAE, pooledSE float64
+	var pooledN int
+
+	// Deterministic iteration order.
+	sems := make([]int, 0, len(bySem))
+	for s := range bySem {
+		sems = append(sems, s)
+	}
+	sort.Ints(sems)
+
+	for _, sem := range sems {
+		sub := bySem[sem]
+		model, sm, err := trainOne(sem, sub, cfg)
+		if err != nil {
+			return nil, Metrics{}, fmt.Errorf("core: semantics %d: %w", sem, err)
+		}
+		p.models[sem] = model
+		metrics.PerSemantics[sem] = sm
+		n := sm.TestSamples * model.outputs
+		pooledAE += sm.MAE * float64(n)
+		pooledSE += sm.RMSE * sm.RMSE * float64(n)
+		pooledN += n
+	}
+	if pooledN > 0 {
+		metrics.MAE = pooledAE / float64(pooledN)
+		metrics.RMSE = math.Sqrt(pooledSE / float64(pooledN))
+	}
+	return p, metrics, nil
+}
+
+func trainOne(sem int, sub features.Dataset, cfg TrainConfig) (*semModel, SemanticsMetrics, error) {
+	if len(sub) < 5 {
+		return nil, SemanticsMetrics{}, fmt.Errorf("only %d samples", len(sub))
+	}
+	train, test, err := sub.Split(cfg.TestFraction, cfg.Seed)
+	if err != nil {
+		return nil, SemanticsMetrics{}, err
+	}
+	if len(test) == 0 {
+		// Too few samples for a held-out split: evaluate on train.
+		test = train
+	}
+	outs := outputsFor(sem)
+	toXY := func(d features.Dataset) (x, y [][]float64) {
+		for _, s := range d {
+			x = append(x, encodeInput(s.X))
+			target := []float64{s.Pl}
+			if outs == 2 {
+				target = append(target, s.Pd)
+			}
+			y = append(y, target)
+		}
+		return x, y
+	}
+	trainX, trainY := toXY(train)
+	testX, testY := toXY(test)
+
+	norm, err := features.FitNormalizer(trainX)
+	if err != nil {
+		return nil, SemanticsMetrics{}, err
+	}
+	normTrainX, err := norm.ApplyAll(trainX)
+	if err != nil {
+		return nil, SemanticsMetrics{}, err
+	}
+	normTestX, err := norm.ApplyAll(testX)
+	if err != nil {
+		return nil, SemanticsMetrics{}, err
+	}
+
+	var netCfg ann.Config
+	if cfg.Architecture == ArchitecturePaper {
+		netCfg = ann.PaperConfig(inputDim, outs)
+	} else {
+		netCfg = ann.CompactConfig(inputDim, outs)
+	}
+	if cfg.EpochOverride > 0 {
+		netCfg.Epochs = cfg.EpochOverride
+	}
+	netCfg.Seed = cfg.Seed ^ uint64(sem)<<32
+
+	net, err := ann.New(netCfg)
+	if err != nil {
+		return nil, SemanticsMetrics{}, err
+	}
+	var topts []ann.TrainOption
+	if cfg.TargetMAE > 0 {
+		topts = append(topts, ann.WithTargetMAE(cfg.TargetMAE))
+	}
+	res, err := net.Train(normTrainX, trainY, topts...)
+	if err != nil {
+		return nil, SemanticsMetrics{}, err
+	}
+	mae, rmse, err := net.Evaluate(normTestX, testY)
+	if err != nil {
+		return nil, SemanticsMetrics{}, err
+	}
+	return &semModel{net: net, norm: norm, outputs: outs}, SemanticsMetrics{
+		TrainSamples: len(train),
+		TestSamples:  len(test),
+		MAE:          mae,
+		RMSE:         rmse,
+		Epochs:       res.Epochs,
+	}, nil
+}

@@ -1,0 +1,179 @@
+// Package des implements a deterministic discrete-event simulation kernel.
+//
+// All simulated subsystems in this repository (network links, transport
+// connections, brokers, producers) are driven by a single Simulator: they
+// schedule callbacks at virtual times instead of sleeping on the wall
+// clock. Events that share a timestamp fire in scheduling order, so a run
+// with a fixed random seed is exactly reproducible.
+package des
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrStopped is returned by Run when the simulation was halted by Stop
+// before the event queue drained.
+var ErrStopped = errors.New("des: simulation stopped")
+
+// Event is a scheduled callback. It is returned by the scheduling methods
+// so callers can cancel it before it fires.
+type Event struct {
+	at       time.Duration
+	seq      uint64
+	fn       func()
+	index    int // position in the heap, -1 once removed
+	canceled bool
+}
+
+// At reports the virtual time the event is (or was) scheduled to fire.
+func (e *Event) At() time.Duration { return e.at }
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Simulator owns the virtual clock and the pending-event queue.
+// The zero value is ready to use.
+type Simulator struct {
+	now     time.Duration
+	seq     uint64
+	queue   eventQueue
+	stopped bool
+	fired   uint64
+}
+
+// New returns an empty simulator whose clock starts at zero.
+func New() *Simulator { return &Simulator{} }
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() time.Duration { return s.now }
+
+// Fired returns the number of events executed so far.
+func (s *Simulator) Fired() uint64 { return s.fired }
+
+// Pending returns the number of events currently scheduled.
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// Schedule runs fn at the absolute virtual time at. Scheduling in the past
+// (before Now) is a programming error and panics: it would silently
+// reorder causality.
+func (s *Simulator) Schedule(at time.Duration, fn func()) *Event {
+	if at < s.now {
+		panic(fmt.Sprintf("des: schedule at %v before now %v", at, s.now))
+	}
+	if fn == nil {
+		panic("des: schedule with nil callback")
+	}
+	e := &Event{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After runs fn d after the current virtual time. Negative d is clamped to
+// zero so that jittered delays can never schedule into the past.
+func (s *Simulator) After(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.Schedule(s.now+d, fn)
+}
+
+// Cancel removes a pending event. Canceling an event that already fired or
+// was already canceled is a no-op, which keeps timer bookkeeping simple
+// for callers.
+func (s *Simulator) Cancel(e *Event) {
+	if e == nil || e.canceled || e.index < 0 {
+		if e != nil {
+			e.canceled = true
+		}
+		return
+	}
+	e.canceled = true
+	heap.Remove(&s.queue, e.index)
+}
+
+// Stop halts a Run in progress after the current event returns.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Run executes events in timestamp order until the queue is empty or Stop
+// is called. It returns ErrStopped in the latter case.
+func (s *Simulator) Run() error {
+	return s.run(-1, 0)
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to deadline. Events scheduled beyond the deadline remain queued.
+func (s *Simulator) RunUntil(deadline time.Duration) error {
+	return s.run(deadline, 0)
+}
+
+// RunLimit executes at most n events; it exists as a runaway guard for
+// tests. It returns ErrStopped if the limit was hit.
+func (s *Simulator) RunLimit(n uint64) error {
+	return s.run(-1, n)
+}
+
+func (s *Simulator) run(deadline time.Duration, limit uint64) error {
+	s.stopped = false
+	executed := uint64(0)
+	for len(s.queue) > 0 {
+		if s.stopped {
+			return ErrStopped
+		}
+		if limit > 0 && executed >= limit {
+			return ErrStopped
+		}
+		next := s.queue[0]
+		if deadline >= 0 && next.at > deadline {
+			s.now = deadline
+			return nil
+		}
+		heap.Pop(&s.queue)
+		next.index = -1
+		s.now = next.at
+		s.fired++
+		executed++
+		next.fn()
+	}
+	if deadline >= 0 && deadline > s.now {
+		s.now = deadline
+	}
+	return nil
+}
+
+// eventQueue is a min-heap ordered by (time, sequence number).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}

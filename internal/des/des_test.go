@@ -1,0 +1,400 @@
+package des
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRunExecutesInTimeOrder(t *testing.T) {
+	sim := New()
+	var got []int
+	sim.Schedule(30*time.Millisecond, func() { got = append(got, 3) })
+	sim.Schedule(10*time.Millisecond, func() { got = append(got, 1) })
+	sim.Schedule(20*time.Millisecond, func() { got = append(got, 2) })
+	if err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []int{1, 2, 3}
+	for i, v := range want {
+		if got[i] != v {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if sim.Now() != 30*time.Millisecond {
+		t.Errorf("Now = %v, want 30ms", sim.Now())
+	}
+}
+
+func TestTieBreakBySchedulingOrder(t *testing.T) {
+	sim := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		sim.Schedule(time.Second, func() { got = append(got, i) })
+	}
+	if err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie-break order = %v, want ascending", got)
+		}
+	}
+}
+
+func TestAfterClampsNegativeDelay(t *testing.T) {
+	sim := New()
+	fired := false
+	sim.After(-time.Second, func() { fired = true })
+	if err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !fired {
+		t.Error("negative-delay event did not fire")
+	}
+	if sim.Now() != 0 {
+		t.Errorf("Now = %v, want 0", sim.Now())
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	sim := New()
+	sim.Schedule(time.Second, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		sim.Schedule(500*time.Millisecond, func() {})
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestScheduleNilCallbackPanics(t *testing.T) {
+	sim := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("nil callback did not panic")
+		}
+	}()
+	sim.Schedule(0, nil)
+}
+
+func TestCancelPreventsExecution(t *testing.T) {
+	sim := New()
+	fired := false
+	e := sim.Schedule(time.Second, func() { fired = true })
+	sim.Cancel(e)
+	if err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired {
+		t.Error("canceled event fired")
+	}
+	if !e.Canceled() {
+		t.Error("Canceled() = false after Cancel")
+	}
+}
+
+func TestCancelIsIdempotent(t *testing.T) {
+	sim := New()
+	e := sim.Schedule(time.Second, func() {})
+	sim.Cancel(e)
+	sim.Cancel(e) // must not panic or corrupt the heap
+	sim.Cancel(nil)
+	if err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestCancelMiddleOfHeapKeepsOrder(t *testing.T) {
+	sim := New()
+	var got []int
+	events := make([]*Event, 0, 10)
+	for i := 0; i < 10; i++ {
+		i := i
+		events = append(events, sim.Schedule(time.Duration(i)*time.Millisecond, func() {
+			got = append(got, i)
+		}))
+	}
+	sim.Cancel(events[4])
+	sim.Cancel(events[7])
+	if err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []int{0, 1, 2, 3, 5, 6, 8, 9}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRunUntilStopsAtDeadline(t *testing.T) {
+	sim := New()
+	var fired []time.Duration
+	for _, d := range []time.Duration{time.Second, 2 * time.Second, 3 * time.Second} {
+		d := d
+		sim.Schedule(d, func() { fired = append(fired, d) })
+	}
+	if err := sim.RunUntil(2 * time.Second); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events, want 2", len(fired))
+	}
+	if sim.Now() != 2*time.Second {
+		t.Errorf("Now = %v, want 2s", sim.Now())
+	}
+	if sim.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", sim.Pending())
+	}
+	// Resume to the end.
+	if err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(fired) != 3 {
+		t.Errorf("fired %d events after resume, want 3", len(fired))
+	}
+}
+
+func TestRunUntilAdvancesClockWithEmptyQueue(t *testing.T) {
+	sim := New()
+	if err := sim.RunUntil(5 * time.Second); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if sim.Now() != 5*time.Second {
+		t.Errorf("Now = %v, want 5s", sim.Now())
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	sim := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		sim.Schedule(time.Duration(i)*time.Millisecond, func() {
+			count++
+			if count == 3 {
+				sim.Stop()
+			}
+		})
+	}
+	if err := sim.Run(); !errors.Is(err, ErrStopped) {
+		t.Fatalf("Run = %v, want ErrStopped", err)
+	}
+	if count != 3 {
+		t.Errorf("executed %d events, want 3", count)
+	}
+}
+
+func TestRunLimitGuards(t *testing.T) {
+	sim := New()
+	var rearm func()
+	n := 0
+	rearm = func() {
+		n++
+		sim.After(time.Millisecond, rearm)
+	}
+	sim.After(time.Millisecond, rearm)
+	if err := sim.RunLimit(100); !errors.Is(err, ErrStopped) {
+		t.Fatalf("RunLimit = %v, want ErrStopped", err)
+	}
+	if n != 100 {
+		t.Errorf("executed %d events, want 100", n)
+	}
+}
+
+func TestEventsScheduledDuringRunFire(t *testing.T) {
+	sim := New()
+	var got []string
+	sim.Schedule(time.Second, func() {
+		got = append(got, "first")
+		sim.After(time.Second, func() { got = append(got, "second") })
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(got) != 2 || got[1] != "second" {
+		t.Fatalf("got %v", got)
+	}
+	if sim.Now() != 2*time.Second {
+		t.Errorf("Now = %v, want 2s", sim.Now())
+	}
+}
+
+func TestFiredCounts(t *testing.T) {
+	sim := New()
+	for i := 0; i < 7; i++ {
+		sim.Schedule(time.Duration(i), func() {})
+	}
+	if err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if sim.Fired() != 7 {
+		t.Errorf("Fired = %d, want 7", sim.Fired())
+	}
+}
+
+// Property: for any multiset of delays, events fire in non-decreasing time
+// order and the clock ends at the maximum delay.
+func TestPropertyTimeOrdering(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		sim := New()
+		var fired []time.Duration
+		var maxAt time.Duration
+		for _, r := range raw {
+			at := time.Duration(r % 1e6)
+			if at > maxAt {
+				maxAt = at
+			}
+			sim.Schedule(at, func() { fired = append(fired, sim.Now()) })
+		}
+		if err := sim.Run(); err != nil {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return sim.Now() == maxAt && len(fired) == len(raw)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: interleaved schedule/cancel sequences never corrupt the heap;
+// exactly the non-canceled events fire.
+func TestPropertyCancelConsistency(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 0))
+		sim := New()
+		fired := map[int]bool{}
+		events := map[int]*Event{}
+		canceled := map[int]bool{}
+		total := int(n%64) + 1
+		for i := 0; i < total; i++ {
+			i := i
+			events[i] = sim.Schedule(time.Duration(rng.IntN(1000))*time.Millisecond,
+				func() { fired[i] = true })
+		}
+		for i := 0; i < total; i++ {
+			if rng.Float64() < 0.4 {
+				sim.Cancel(events[i])
+				canceled[i] = true
+			}
+		}
+		if err := sim.Run(); err != nil {
+			return false
+		}
+		for i := 0; i < total; i++ {
+			if canceled[i] == fired[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimerResetAndStop(t *testing.T) {
+	sim := New()
+	count := 0
+	timer := NewTimer(sim, func() { count++ })
+	timer.Reset(time.Second)
+	if !timer.Armed() {
+		t.Error("timer not armed after Reset")
+	}
+	// Re-arming before expiry must supersede the first schedule.
+	timer.Reset(2 * time.Second)
+	if err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if count != 1 {
+		t.Errorf("timer fired %d times, want 1", count)
+	}
+	if sim.Now() != 2*time.Second {
+		t.Errorf("Now = %v, want 2s (reset superseded)", sim.Now())
+	}
+	timer.Reset(time.Second)
+	timer.Stop()
+	if timer.Armed() {
+		t.Error("timer armed after Stop")
+	}
+	if err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if count != 1 {
+		t.Errorf("stopped timer fired; count = %d", count)
+	}
+}
+
+func TestTickerPeriodicFiring(t *testing.T) {
+	sim := New()
+	count := 0
+	var tk *Ticker
+	tk = NewTicker(sim, time.Second, func() {
+		count++
+		if count == 5 {
+			tk.Stop()
+		}
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if count != 5 {
+		t.Errorf("ticker fired %d times, want 5", count)
+	}
+	if sim.Now() != 5*time.Second {
+		t.Errorf("Now = %v, want 5s", sim.Now())
+	}
+}
+
+func TestTickerStopOutsideCallback(t *testing.T) {
+	sim := New()
+	count := 0
+	tk := NewTicker(sim, time.Second, func() { count++ })
+	sim.Schedule(3500*time.Millisecond, func() { tk.Stop() })
+	if err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if count != 3 {
+		t.Errorf("ticker fired %d times, want 3", count)
+	}
+}
+
+func TestTickerNonPositivePeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive period did not panic")
+		}
+	}()
+	NewTicker(New(), 0, func() {})
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sim := New()
+		for j := 0; j < 1000; j++ {
+			sim.Schedule(time.Duration(j%97)*time.Millisecond, func() {})
+		}
+		if err := sim.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

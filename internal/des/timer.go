@@ -1,0 +1,89 @@
+package des
+
+import "time"
+
+// Timer is a resettable one-shot timer bound to a Simulator, analogous to
+// time.Timer but in virtual time. The zero value is not usable; create
+// timers with NewTimer.
+type Timer struct {
+	sim *Simulator
+	fn  func()
+	ev  *Event
+}
+
+// NewTimer returns a stopped timer that will invoke fn when it fires.
+func NewTimer(sim *Simulator, fn func()) *Timer {
+	if sim == nil {
+		panic("des: NewTimer with nil simulator")
+	}
+	if fn == nil {
+		panic("des: NewTimer with nil callback")
+	}
+	return &Timer{sim: sim, fn: fn}
+}
+
+// Reset (re)arms the timer to fire d from now, canceling any pending
+// expiry first.
+func (t *Timer) Reset(d time.Duration) {
+	t.Stop()
+	ev := t.sim.After(d, func() {
+		t.ev = nil
+		t.fn()
+	})
+	t.ev = ev
+}
+
+// Stop cancels a pending expiry. Stopping an unarmed timer is a no-op.
+func (t *Timer) Stop() {
+	if t.ev != nil {
+		t.sim.Cancel(t.ev)
+		t.ev = nil
+	}
+}
+
+// Armed reports whether the timer has a pending expiry.
+func (t *Timer) Armed() bool { return t.ev != nil }
+
+// Ticker repeatedly invokes a callback at a fixed virtual-time period
+// until stopped.
+type Ticker struct {
+	sim    *Simulator
+	period time.Duration
+	fn     func()
+	ev     *Event
+}
+
+// NewTicker returns a started ticker firing every period. A non-positive
+// period panics: it would busy-loop the simulator at a single timestamp.
+func NewTicker(sim *Simulator, period time.Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic("des: NewTicker with non-positive period")
+	}
+	if fn == nil {
+		panic("des: NewTicker with nil callback")
+	}
+	t := &Ticker{sim: sim, period: period, fn: fn}
+	t.schedule()
+	return t
+}
+
+func (t *Ticker) schedule() {
+	t.ev = t.sim.After(t.period, func() {
+		t.ev = nil
+		t.fn()
+		if t.ev == nil { // fn may have called Stop; only rearm if it did not
+			t.schedule()
+		}
+	})
+}
+
+// Stop cancels future ticks. It may be called from inside the tick
+// callback.
+func (t *Ticker) Stop() {
+	if t.ev != nil {
+		t.sim.Cancel(t.ev)
+	}
+	// Leave a sentinel so the in-callback rearm check sees a non-nil event
+	// and does not reschedule.
+	t.ev = &Event{canceled: true, index: -1}
+}

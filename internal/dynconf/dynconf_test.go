@@ -1,0 +1,353 @@
+package dynconf
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"kafkarel/internal/core"
+	"kafkarel/internal/features"
+	"kafkarel/internal/kpi"
+	"kafkarel/internal/netem"
+	"kafkarel/internal/perfmodel"
+	"kafkarel/internal/stats"
+	"kafkarel/internal/testbed"
+	"kafkarel/internal/workload"
+)
+
+// trainedPredictor fits a quick model on a synthetic response surface
+// where loss falls with batch size and poll interval, and rises with the
+// network loss rate — the qualitative structure the simulator produces.
+func trainedPredictor(t *testing.T) *core.Predictor {
+	t.Helper()
+	var ds features.Dataset
+	for _, sem := range []int{features.SemanticsAtMostOnce, features.SemanticsAtLeastOnce} {
+		for _, l := range []float64{0, 0.08, 0.16, 0.25} {
+			for _, d := range []float64{20, 100, 300} {
+				for _, b := range []int{1, 2, 5, 10} {
+					for _, delta := range []time.Duration{0, 30 * time.Millisecond, 90 * time.Millisecond} {
+						v := features.Vector{
+							MessageSize:    200,
+							Timeliness:     5 * time.Second,
+							DelayMs:        d,
+							LossRate:       l,
+							Semantics:      sem,
+							BatchSize:      b,
+							PollInterval:   delta,
+							MessageTimeout: 1500 * time.Millisecond,
+						}
+						pl := 3 * l / float64(b)
+						if sem == features.SemanticsAtLeastOnce {
+							pl *= 0.6
+						}
+						pl += 0.15 * (1 - float64(delta)/float64(100*time.Millisecond))
+						if pl > 1 {
+							pl = 1
+						}
+						if pl < 0 {
+							pl = 0
+						}
+						pd := 0.0
+						if sem == features.SemanticsAtLeastOnce {
+							pd = 0.02 * l
+						}
+						ds = append(ds, features.Sample{X: v, Pl: pl, Pd: pd})
+					}
+				}
+			}
+		}
+	}
+	p, _, err := core.Train(ds, core.TrainConfig{Seed: 11, TargetMAE: 0.015})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func evaluator(t *testing.T, w kpi.Weights) *kpi.Evaluator {
+	t.Helper()
+	perf, err := perfmodel.New(testbed.Calibration{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := kpi.NewEvaluator(trainedPredictor(t), perf, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ev
+}
+
+func startVector() features.Vector {
+	return features.Vector{
+		MessageSize:    200,
+		Timeliness:     5 * time.Second,
+		DelayMs:        100,
+		LossRate:       0.16,
+		Semantics:      features.SemanticsAtMostOnce,
+		BatchSize:      1,
+		PollInterval:   0,
+		MessageTimeout: 1500 * time.Millisecond,
+	}
+}
+
+func TestImproveRaisesGamma(t *testing.T) {
+	ev := evaluator(t, kpi.Weights{0.1, 0.1, 0.7, 0.1})
+	s, err := NewSearcher(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := startVector()
+	before, err := ev.Score(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	improved, after, err := s.Improve(start, 2.0) // unreachable target → walk to a local optimum
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Gamma <= before.Gamma {
+		t.Fatalf("no improvement: %v -> %v", before.Gamma, after.Gamma)
+	}
+	if sameConfig(improved, start) {
+		t.Error("configuration unchanged despite improvement")
+	}
+	// The surface rewards batching/pacing under loss; the search must
+	// have moved at least one of those dials.
+	if improved.BatchSize == 1 && improved.PollInterval == 0 &&
+		improved.Semantics == start.Semantics {
+		t.Errorf("implausible walk result: %+v", improved)
+	}
+}
+
+func TestImproveStopsAtTarget(t *testing.T) {
+	ev := evaluator(t, kpi.DefaultWeights())
+	s, err := NewSearcher(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := startVector()
+	base, err := ev.Score(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Target below the current score: no move at all.
+	got, score, err := s.Improve(start, base.Gamma-0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameConfig(got, start) || score.Gamma != base.Gamma {
+		t.Error("search moved despite target already met")
+	}
+}
+
+func TestImproveValidation(t *testing.T) {
+	if _, err := NewSearcher(nil); err == nil {
+		t.Error("nil evaluator accepted")
+	}
+	ev := evaluator(t, kpi.DefaultWeights())
+	s, err := NewSearcher(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Improve(features.Vector{}, 0.5); err == nil {
+		t.Error("invalid start accepted")
+	}
+}
+
+func TestImproveSkipsUnmodelledSemantics(t *testing.T) {
+	// The predictor has no exactly-once model; the search must not
+	// propose it or fail when probing it.
+	ev := evaluator(t, kpi.DefaultWeights())
+	s, err := NewSearcher(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := s.Improve(startVector(), 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Semantics == features.SemanticsExactlyOnce {
+		t.Error("search selected an unmodelled semantics")
+	}
+}
+
+func testTrace(t *testing.T) netem.Trace {
+	t.Helper()
+	mkLoss := func(p float64) stats.LossModel {
+		if p == 0 {
+			return stats.NoLoss{}
+		}
+		l, err := stats.NewBernoulli(p, nil)
+		if err == nil {
+			return l
+		}
+		// Bernoulli with p>0 needs an RNG only for Drop; Rate is static.
+		l2 := &stats.Bernoulli{P: p}
+		return l2
+	}
+	return netem.Trace{
+		{Start: 0, Delay: stats.Constant{Value: 20}, Loss: mkLoss(0)},
+		{Start: 2 * time.Minute, Delay: stats.Constant{Value: 150}, Loss: mkLoss(0.16)},
+		{Start: 4 * time.Minute, Delay: stats.Constant{Value: 30}, Loss: mkLoss(0)},
+	}
+}
+
+func TestGenerateSchedule(t *testing.T) {
+	ev := evaluator(t, kpi.Weights{0.1, 0.1, 0.7, 0.1})
+	s, err := NewSearcher(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := testTrace(t)
+	entries, err := GenerateSchedule(s, trace, startVector(), 0.9, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("empty schedule")
+	}
+	// Entries are time-ordered and deduplicated.
+	for i := 1; i < len(entries); i++ {
+		if entries[i].At <= entries[i-1].At {
+			t.Errorf("entries out of order at %d", i)
+		}
+		if sameConfig(entries[i].Config, entries[i-1].Config) {
+			t.Errorf("consecutive duplicate configs at %d", i)
+		}
+	}
+	// The lossy middle segment must provoke a different configuration
+	// from the clean opening segment.
+	var openCfg, midCfg *features.Vector
+	for i := range entries {
+		e := entries[i]
+		if e.At < 2*time.Minute {
+			openCfg = &e.Config
+		}
+		if e.At >= 2*time.Minute && e.At < 4*time.Minute && midCfg == nil {
+			midCfg = &e.Config
+		}
+	}
+	if openCfg == nil {
+		t.Fatal("no opening config")
+	}
+	if midCfg == nil {
+		t.Fatal("schedule never reacted to the lossy segment")
+	}
+	if sameConfig(*openCfg, *midCfg) {
+		t.Error("lossy segment got the same configuration as the clean one")
+	}
+}
+
+func TestGenerateScheduleValidation(t *testing.T) {
+	ev := evaluator(t, kpi.DefaultWeights())
+	s, err := NewSearcher(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GenerateSchedule(nil, testTrace(t), startVector(), 0.5, time.Minute); err == nil {
+		t.Error("nil searcher accepted")
+	}
+	if _, err := GenerateSchedule(s, nil, startVector(), 0.5, time.Minute); err == nil {
+		t.Error("empty trace accepted")
+	}
+	if _, err := GenerateSchedule(s, testTrace(t), startVector(), 0.5, 0); err == nil {
+		t.Error("zero interval accepted")
+	}
+}
+
+func TestScheduleRoundTrip(t *testing.T) {
+	entries := []ScheduleEntry{
+		{At: 0, Config: startVector()},
+		{At: time.Minute, Config: func() features.Vector {
+			v := startVector()
+			v.BatchSize = 5
+			return v
+		}()},
+	}
+	var buf bytes.Buffer
+	if err := WriteSchedule(&buf, entries); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSchedule(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1].Config.BatchSize != 5 || got[1].At != time.Minute {
+		t.Errorf("round trip = %+v", got)
+	}
+	if _, err := ReadSchedule(bytes.NewBufferString("nope")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadSchedule(bytes.NewBufferString(`[{"at_ns":0}]`)); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestToConfigChanges(t *testing.T) {
+	entries := []ScheduleEntry{{At: time.Second, Config: startVector()}}
+	changes := ToConfigChanges(entries)
+	if len(changes) != 1 || changes[0].At != time.Second {
+		t.Errorf("changes = %+v", changes)
+	}
+}
+
+func TestDefaultVector(t *testing.T) {
+	v := DefaultVector(workload.WebLogs)
+	if err := v.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if v.Semantics != features.SemanticsAtMostOnce || v.BatchSize != 1 || v.PollInterval != 0 {
+		t.Errorf("default vector = %+v", v)
+	}
+}
+
+// TestTableIIEndToEnd runs the full pipeline with a pre-trained
+// predictor and a short trace: the dynamic schedule must cut the loss
+// rate substantially versus the static default (the paper's headline
+// Table II result).
+func TestTableIIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline; skipped in -short")
+	}
+	spec := netem.TraceSpec{
+		Duration:     4 * time.Minute,
+		Interval:     10 * time.Second,
+		DelayScaleMs: 20,
+		DelayShape:   1.5,
+		GEGoodToBad:  0.25,
+		GEBadToGood:  0.3,
+		GoodLoss:     0.005,
+		BadLoss:      0.17,
+	}
+	outcomes, err := TableII([]workload.Profile{workload.WebLogs}, Options{
+		Messages:  6000,
+		Seed:      5,
+		TraceSpec: spec,
+		Interval:  30 * time.Second,
+		Predictor: trainedPredictor(t),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outcomes) != 1 {
+		t.Fatalf("outcomes = %d", len(outcomes))
+	}
+	o := outcomes[0]
+	t.Logf("web-logs: default Rl=%.3f Rd=%.4f; dynamic Rl=%.3f Rd=%.4f (%d reconfigs)",
+		o.DefaultRl, o.DefaultRd, o.DynamicRl, o.DynamicRd, o.Reconfigurations)
+	if o.DefaultRl < 0.05 {
+		t.Errorf("default config suspiciously reliable (Rl=%v); trace too mild", o.DefaultRl)
+	}
+	if o.DynamicRl >= o.DefaultRl {
+		t.Errorf("dynamic Rl %v did not beat default %v", o.DynamicRl, o.DefaultRl)
+	}
+	if o.Reconfigurations == 0 {
+		t.Error("no reconfigurations happened")
+	}
+}
+
+func TestTableIIValidation(t *testing.T) {
+	if _, err := TableII(nil, Options{}); err == nil {
+		t.Error("zero messages accepted")
+	}
+}

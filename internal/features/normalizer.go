@@ -1,0 +1,85 @@
+package features
+
+import (
+	"fmt"
+	"math"
+)
+
+// Normalizer performs per-dimension min-max scaling to [0, 1], fitted on
+// a training matrix. Degenerate dimensions (constant value) map to 0.
+type Normalizer struct {
+	Min []float64 `json:"min"`
+	Max []float64 `json:"max"`
+}
+
+// FitNormalizer learns the per-dimension ranges of x.
+func FitNormalizer(x [][]float64) (*Normalizer, error) {
+	if len(x) == 0 {
+		return nil, fmt.Errorf("features: fit on empty matrix")
+	}
+	dim := len(x[0])
+	n := &Normalizer{
+		Min: make([]float64, dim),
+		Max: make([]float64, dim),
+	}
+	for j := 0; j < dim; j++ {
+		n.Min[j] = math.Inf(1)
+		n.Max[j] = math.Inf(-1)
+	}
+	for i, row := range x {
+		if len(row) != dim {
+			return nil, fmt.Errorf("features: row %d has %d dims, want %d", i, len(row), dim)
+		}
+		for j, v := range row {
+			if v < n.Min[j] {
+				n.Min[j] = v
+			}
+			if v > n.Max[j] {
+				n.Max[j] = v
+			}
+		}
+	}
+	return n, nil
+}
+
+// Dim returns the dimensionality the normalizer was fitted on.
+func (n *Normalizer) Dim() int { return len(n.Min) }
+
+// Apply scales one vector into [0, 1] per dimension. Out-of-range values
+// are clamped, so predictions slightly outside the training grid stay
+// well-behaved.
+func (n *Normalizer) Apply(x []float64) ([]float64, error) {
+	if len(x) != n.Dim() {
+		return nil, fmt.Errorf("features: apply on %d dims, fitted %d", len(x), n.Dim())
+	}
+	out := make([]float64, len(x))
+	for j, v := range x {
+		span := n.Max[j] - n.Min[j]
+		if span == 0 {
+			out[j] = 0
+			continue
+		}
+		s := (v - n.Min[j]) / span
+		if s < 0 {
+			s = 0
+		}
+		if s > 1 {
+			s = 1
+		}
+		out[j] = s
+	}
+	return out, nil
+}
+
+// ApplyAll scales a whole matrix.
+func (n *Normalizer) ApplyAll(x [][]float64) ([][]float64, error) {
+	out := make([][]float64, 0, len(x))
+	for i, row := range x {
+		s, err := n.Apply(row)
+		if err != nil {
+			return nil, fmt.Errorf("features: row %d: %w", i, err)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

@@ -1,0 +1,459 @@
+// Package figures pins down the exact experiment behind every figure and
+// table in the paper's evaluation, so the CLI (cmd/repro), the benchmark
+// harness (bench_test.go) and the shape tests all regenerate the same
+// series from one definition. EXPERIMENTS.md records paper-vs-measured
+// values for each.
+package figures
+
+import (
+	"fmt"
+	"time"
+
+	"kafkarel/internal/core"
+	"kafkarel/internal/features"
+	"kafkarel/internal/netem"
+	"kafkarel/internal/producer"
+	"kafkarel/internal/sweep"
+	"kafkarel/internal/testbed"
+)
+
+// Options applies to every figure run.
+type Options struct {
+	// Messages per experiment point (default 20000).
+	Messages int
+	// Seed drives all randomness.
+	Seed uint64
+	// Progress, when non-nil, is called once per finished experiment.
+	Progress func(done, total int)
+}
+
+func (o Options) messages() int {
+	if o.Messages > 0 {
+		return o.Messages
+	}
+	return 20000
+}
+
+// maxSimTime bounds any single experiment; the slowest points (1000-byte
+// messages at ~1 msg/s) need hours of virtual time for large counts.
+func maxSimTime(messages int) time.Duration {
+	d := time.Duration(messages) * time.Second // ≥1 msg/s worst case
+	if d < 30*time.Minute {
+		d = 30 * time.Minute
+	}
+	return d
+}
+
+func run(v features.Vector, o Options, idx int) (testbed.Result, error) {
+	return testbed.Run(testbed.Experiment{
+		Features:   v,
+		Messages:   o.messages(),
+		Seed:       o.Seed + uint64(idx)*2654435761,
+		MaxSimTime: maxSimTime(o.messages()),
+	})
+}
+
+// --- Fig. 4 ---------------------------------------------------------------
+
+// Fig4Point is one marker of Fig. 4: P_l over message size M for one
+// delivery semantics, at D = 100 ms and L = 19 %.
+type Fig4Point struct {
+	MessageSize int
+	Semantics   int
+	Pl          float64
+	Pd          float64
+}
+
+// Fig4Sizes is the swept message-size axis (the paper sweeps 50-1000 B).
+var Fig4Sizes = []int{50, 100, 200, 300, 500, 750, 1000}
+
+// Fig4Vector returns the experiment definition for one Fig. 4 point.
+func Fig4Vector(messageSize, semantics int) features.Vector {
+	return features.Vector{
+		MessageSize:    messageSize,
+		Timeliness:     5 * time.Second,
+		DelayMs:        100,
+		LossRate:       0.19,
+		Semantics:      semantics,
+		BatchSize:      1,
+		PollInterval:   0,
+		MessageTimeout: 1500 * time.Millisecond,
+	}
+}
+
+// Fig4 regenerates the message-size study.
+func Fig4(o Options) ([]Fig4Point, error) {
+	var out []Fig4Point
+	sems := []int{features.SemanticsAtMostOnce, features.SemanticsAtLeastOnce}
+	total := len(Fig4Sizes) * len(sems)
+	i := 0
+	for _, m := range Fig4Sizes {
+		for _, sem := range sems {
+			res, err := run(Fig4Vector(m, sem), o, i)
+			if err != nil {
+				return nil, fmt.Errorf("figures: fig4 M=%d sem=%d: %w", m, sem, err)
+			}
+			out = append(out, Fig4Point{MessageSize: m, Semantics: sem, Pl: res.Pl, Pd: res.Pd})
+			i++
+			if o.Progress != nil {
+				o.Progress(i, total)
+			}
+		}
+	}
+	return out, nil
+}
+
+// --- Fig. 5 ---------------------------------------------------------------
+
+// Fig5Point is one marker of Fig. 5: P_l over the message timeout T_o at
+// full load with no injected faults.
+type Fig5Point struct {
+	Timeout   time.Duration
+	Semantics int
+	Pl        float64
+}
+
+// Fig5Timeouts is the swept T_o axis.
+var Fig5Timeouts = []time.Duration{
+	250 * time.Millisecond, 500 * time.Millisecond, 750 * time.Millisecond,
+	1000 * time.Millisecond, 1500 * time.Millisecond, 2000 * time.Millisecond,
+	2500 * time.Millisecond,
+}
+
+// Fig5Vector returns the experiment definition for one Fig. 5 point.
+func Fig5Vector(timeout time.Duration, semantics int) features.Vector {
+	return features.Vector{
+		MessageSize:    200,
+		Timeliness:     5 * time.Second,
+		DelayMs:        10,
+		LossRate:       0,
+		Semantics:      semantics,
+		BatchSize:      1,
+		PollInterval:   0,
+		MessageTimeout: timeout,
+	}
+}
+
+// Fig5 regenerates the message-timeout study.
+func Fig5(o Options) ([]Fig5Point, error) {
+	var out []Fig5Point
+	sems := []int{features.SemanticsAtMostOnce, features.SemanticsAtLeastOnce}
+	total := len(Fig5Timeouts) * len(sems)
+	i := 0
+	for _, to := range Fig5Timeouts {
+		for _, sem := range sems {
+			res, err := run(Fig5Vector(to, sem), o, 100+i)
+			if err != nil {
+				return nil, fmt.Errorf("figures: fig5 To=%v sem=%d: %w", to, sem, err)
+			}
+			out = append(out, Fig5Point{Timeout: to, Semantics: sem, Pl: res.Pl})
+			i++
+			if o.Progress != nil {
+				o.Progress(i, total)
+			}
+		}
+	}
+	return out, nil
+}
+
+// --- Fig. 6 ---------------------------------------------------------------
+
+// Fig6Point is one marker of Fig. 6: P_l over the polling interval δ at
+// T_o = 500 ms with no injected faults, at-most-once.
+type Fig6Point struct {
+	PollInterval time.Duration
+	Pl           float64
+}
+
+// Fig6Intervals is the swept δ axis.
+var Fig6Intervals = []time.Duration{
+	0, 10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond,
+	45 * time.Millisecond, 60 * time.Millisecond, 75 * time.Millisecond,
+	90 * time.Millisecond,
+}
+
+// Fig6Vector returns the experiment definition for one Fig. 6 point.
+func Fig6Vector(delta time.Duration) features.Vector {
+	return features.Vector{
+		MessageSize:    200,
+		Timeliness:     5 * time.Second,
+		DelayMs:        10,
+		LossRate:       0,
+		Semantics:      features.SemanticsAtMostOnce,
+		BatchSize:      1,
+		PollInterval:   delta,
+		MessageTimeout: 500 * time.Millisecond,
+	}
+}
+
+// Fig6 regenerates the polling-interval study.
+func Fig6(o Options) ([]Fig6Point, error) {
+	var out []Fig6Point
+	for i, delta := range Fig6Intervals {
+		res, err := run(Fig6Vector(delta), o, 200+i)
+		if err != nil {
+			return nil, fmt.Errorf("figures: fig6 δ=%v: %w", delta, err)
+		}
+		out = append(out, Fig6Point{PollInterval: delta, Pl: res.Pl})
+		if o.Progress != nil {
+			o.Progress(i+1, len(Fig6Intervals))
+		}
+	}
+	return out, nil
+}
+
+// --- Fig. 7 ---------------------------------------------------------------
+
+// Fig7Point is one marker of Fig. 7: P_l over the packet loss rate L for
+// one batch size and semantics.
+type Fig7Point struct {
+	LossRate  float64
+	BatchSize int
+	Semantics int
+	Pl        float64
+}
+
+// Fig7Losses and Fig7Batches are the swept axes (the paper sweeps
+// L ∈ [0, 50 %] and B ∈ [1, 10]).
+var (
+	Fig7Losses  = []float64{0, 0.05, 0.08, 0.10, 0.13, 0.16, 0.20, 0.25, 0.30, 0.40, 0.50}
+	Fig7Batches = []int{1, 2, 5, 10}
+)
+
+// Fig7Vector returns the experiment definition for one Fig. 7 point.
+func Fig7Vector(loss float64, batch, semantics int) features.Vector {
+	return features.Vector{
+		MessageSize:    200,
+		Timeliness:     5 * time.Second,
+		DelayMs:        10,
+		LossRate:       loss,
+		Semantics:      semantics,
+		BatchSize:      batch,
+		PollInterval:   0,
+		MessageTimeout: 500 * time.Millisecond,
+	}
+}
+
+// Fig7 regenerates the batching-under-loss study.
+func Fig7(o Options) ([]Fig7Point, error) {
+	var out []Fig7Point
+	sems := []int{features.SemanticsAtMostOnce, features.SemanticsAtLeastOnce}
+	total := len(Fig7Losses) * len(Fig7Batches) * len(sems)
+	i := 0
+	for _, b := range Fig7Batches {
+		for _, l := range Fig7Losses {
+			for _, sem := range sems {
+				res, err := run(Fig7Vector(l, b, sem), o, 300+i)
+				if err != nil {
+					return nil, fmt.Errorf("figures: fig7 L=%v B=%d sem=%d: %w", l, b, sem, err)
+				}
+				out = append(out, Fig7Point{LossRate: l, BatchSize: b, Semantics: sem, Pl: res.Pl})
+				i++
+				if o.Progress != nil {
+					o.Progress(i, total)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// --- Fig. 8 ---------------------------------------------------------------
+
+// Fig8Point is one marker of Fig. 8: P_d over the batch size B under
+// at-least-once delivery for one loss rate.
+type Fig8Point struct {
+	BatchSize int
+	LossRate  float64
+	Pd        float64
+	Pl        float64
+}
+
+// Fig8Batches and Fig8Losses are the swept axes.
+var (
+	Fig8Batches = []int{1, 2, 3, 4, 6, 8, 10}
+	Fig8Losses  = []float64{0.05, 0.10, 0.15, 0.20}
+)
+
+// Fig8Vector returns the experiment definition for one Fig. 8 point. The
+// delivery budget is generous (3 s) so that spurious-timeout retries —
+// the Case 5 duplicate mechanism — can happen at all.
+func Fig8Vector(batch int, loss float64) features.Vector {
+	return features.Vector{
+		MessageSize:    200,
+		Timeliness:     5 * time.Second,
+		DelayMs:        100,
+		LossRate:       loss,
+		Semantics:      features.SemanticsAtLeastOnce,
+		BatchSize:      batch,
+		PollInterval:   0,
+		MessageTimeout: 3 * time.Second,
+	}
+}
+
+// Fig8 regenerates the duplicate study.
+func Fig8(o Options) ([]Fig8Point, error) {
+	var out []Fig8Point
+	total := len(Fig8Batches) * len(Fig8Losses)
+	i := 0
+	for _, l := range Fig8Losses {
+		for _, b := range Fig8Batches {
+			res, err := run(Fig8Vector(b, l), o, 600+i)
+			if err != nil {
+				return nil, fmt.Errorf("figures: fig8 B=%d L=%v: %w", b, l, err)
+			}
+			out = append(out, Fig8Point{BatchSize: b, LossRate: l, Pd: res.Pd, Pl: res.Pl})
+			i++
+			if o.Progress != nil {
+				o.Progress(i, total)
+			}
+		}
+	}
+	return out, nil
+}
+
+// --- Fig. 9 ---------------------------------------------------------------
+
+// Fig9 generates the dynamic-configuration experiment's network trace
+// series (Pareto-distributed delay, Gilbert-Elliot loss).
+func Fig9(seed uint64) ([]netem.Point, error) {
+	trace, err := netem.DefaultTraceSpec().Generate(seed)
+	if err != nil {
+		return nil, fmt.Errorf("figures: fig9: %w", err)
+	}
+	return trace.Series(), nil
+}
+
+// --- Table I --------------------------------------------------------------
+
+// Table1Row is one message-state case with its observed frequency.
+type Table1Row struct {
+	Case  producer.Case
+	Count uint64
+	Share float64
+}
+
+// Table1Result is the empirical Table I: how often each case occurred in
+// a retry-friendly faulted run, with the consumer-side duplicate count
+// resolving Case 4 vs Case 5.
+type Table1Result struct {
+	Rows []Table1Row
+	// Case5 is the consumer-observed duplicate count (messages persisted
+	// more than once), which the producer alone cannot distinguish from
+	// Case 4.
+	Case5 uint64
+	Total uint64
+}
+
+// Table1 classifies message outcomes under a moderately faulted network
+// with retries enabled, exercising every Fig. 2 transition.
+func Table1(o Options) (Table1Result, error) {
+	v := features.Vector{
+		MessageSize:    200,
+		Timeliness:     5 * time.Second,
+		DelayMs:        100,
+		LossRate:       0.15,
+		Semantics:      features.SemanticsAtLeastOnce,
+		BatchSize:      1,
+		PollInterval:   20 * time.Millisecond,
+		MessageTimeout: 4 * time.Second,
+	}
+	res, err := testbed.Run(testbed.Experiment{
+		Features:       v,
+		Messages:       o.messages(),
+		Seed:           o.Seed + 77,
+		MaxSimTime:     maxSimTime(o.messages()),
+		RequestTimeout: 1500 * time.Millisecond,
+		MaxRetries:     5,
+	})
+	if err != nil {
+		return Table1Result{}, fmt.Errorf("figures: table1: %w", err)
+	}
+	out := Table1Result{Total: res.Producer.Total, Case5: res.Report.NDuplicated}
+	for _, c := range []producer.Case{producer.Case1, producer.Case2, producer.Case3, producer.Case4} {
+		n := res.Producer.ByCase[c]
+		out.Rows = append(out.Rows, Table1Row{
+			Case:  c,
+			Count: n,
+			Share: float64(n) / float64(res.Producer.Total),
+		})
+	}
+	return out, nil
+}
+
+// --- ANN accuracy (the Figs. 4-6 predicted-vs-measured overlays) -----------
+
+// AccuracyResult reports the prediction-model evaluation: held-out MAE
+// (the paper reports < 0.02) and sample predicted-vs-measured pairs.
+type AccuracyResult struct {
+	Metrics core.Metrics
+	// Pairs are held-out (measured, predicted) P_l samples for the
+	// overlay plots.
+	Pairs []AccuracyPair
+}
+
+// AccuracyPair is one overlay marker.
+type AccuracyPair struct {
+	X           features.Vector
+	MeasuredPl  float64
+	PredictedPl float64
+	MeasuredPd  float64
+	PredictedPd float64
+}
+
+// Accuracy collects a reduced Fig. 3 sweep, trains the predictor, and
+// evaluates it on the held-out split.
+func Accuracy(o Options) (AccuracyResult, error) {
+	grid := append(sweep.NormalGrid(), sweep.AbnormalGrid()...)
+	ds, err := sweep.Collect(grid, sweep.Options{
+		Messages:   o.messages() / 4,
+		Seed:       o.Seed + 1,
+		MaxSimTime: 20 * time.Minute,
+		Progress:   o.Progress,
+	})
+	if err != nil {
+		return AccuracyResult{}, fmt.Errorf("figures: accuracy sweep: %w", err)
+	}
+	train, test, err := ds.Split(0.2, o.Seed)
+	if err != nil {
+		return AccuracyResult{}, fmt.Errorf("figures: accuracy split: %w", err)
+	}
+	pred, metrics, err := core.Train(train, core.TrainConfig{Seed: o.Seed, TargetMAE: 0.01})
+	if err != nil {
+		return AccuracyResult{}, fmt.Errorf("figures: accuracy train: %w", err)
+	}
+	out := AccuracyResult{Metrics: metrics}
+	for _, s := range test {
+		p, err := pred.Predict(s.X)
+		if err != nil {
+			continue // semantics absent from the training split
+		}
+		out.Pairs = append(out.Pairs, AccuracyPair{
+			X:           s.X,
+			MeasuredPl:  s.Pl,
+			PredictedPl: p.Pl,
+			MeasuredPd:  s.Pd,
+			PredictedPd: p.Pd,
+		})
+	}
+	if len(out.Pairs) == 0 {
+		return AccuracyResult{}, fmt.Errorf("figures: accuracy produced no held-out pairs")
+	}
+	return out, nil
+}
+
+// HeldOutMAE computes the pooled P_l MAE over the overlay pairs.
+func (r AccuracyResult) HeldOutMAE() float64 {
+	if len(r.Pairs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range r.Pairs {
+		d := p.MeasuredPl - p.PredictedPl
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	return sum / float64(len(r.Pairs))
+}

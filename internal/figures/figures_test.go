@@ -1,0 +1,172 @@
+package figures
+
+import (
+	"testing"
+	"time"
+
+	"kafkarel/internal/features"
+)
+
+// The heavy figure sweeps are exercised end-to-end by the root package's
+// shape tests; here we verify the experiment definitions themselves and
+// the cheap generators.
+
+func TestVectorDefinitionsValid(t *testing.T) {
+	var vectors []features.Vector
+	for _, m := range Fig4Sizes {
+		vectors = append(vectors,
+			Fig4Vector(m, features.SemanticsAtMostOnce),
+			Fig4Vector(m, features.SemanticsAtLeastOnce))
+	}
+	for _, to := range Fig5Timeouts {
+		vectors = append(vectors, Fig5Vector(to, features.SemanticsAtMostOnce))
+	}
+	for _, d := range Fig6Intervals {
+		vectors = append(vectors, Fig6Vector(d))
+	}
+	for _, l := range Fig7Losses {
+		for _, b := range Fig7Batches {
+			vectors = append(vectors, Fig7Vector(l, b, features.SemanticsAtLeastOnce))
+		}
+	}
+	for _, b := range Fig8Batches {
+		for _, l := range Fig8Losses {
+			vectors = append(vectors, Fig8Vector(b, l))
+		}
+	}
+	for i, v := range vectors {
+		if err := v.Validate(); err != nil {
+			t.Errorf("definition %d invalid: %v (%+v)", i, err, v)
+		}
+	}
+}
+
+func TestFig4MatchesPaperSetup(t *testing.T) {
+	v := Fig4Vector(100, features.SemanticsAtMostOnce)
+	if v.DelayMs != 100 || v.LossRate != 0.19 {
+		t.Errorf("Fig. 4 network = D%.0f L%.2f, paper uses D=100ms L=19%%", v.DelayMs, v.LossRate)
+	}
+	if v.BatchSize != 1 || v.PollInterval != 0 {
+		t.Errorf("Fig. 4 must be streaming at full load: %+v", v)
+	}
+	if Fig4Sizes[0] != 50 || Fig4Sizes[len(Fig4Sizes)-1] != 1000 {
+		t.Errorf("Fig. 4 sweeps %v, paper sweeps 50-1000B", Fig4Sizes)
+	}
+}
+
+func TestFig5And6AreFaultFree(t *testing.T) {
+	if v := Fig5Vector(time.Second, features.SemanticsAtLeastOnce); v.LossRate != 0 {
+		t.Errorf("Fig. 5 injects loss: %+v", v)
+	}
+	v := Fig6Vector(0)
+	if v.LossRate != 0 {
+		t.Errorf("Fig. 6 injects loss: %+v", v)
+	}
+	if v.MessageTimeout != 500*time.Millisecond {
+		t.Errorf("Fig. 6 T_o = %v, paper fixes 500ms", v.MessageTimeout)
+	}
+	if v.Semantics != features.SemanticsAtMostOnce {
+		t.Errorf("Fig. 6 semantics = %d", v.Semantics)
+	}
+}
+
+func TestFig7CoversPaperRange(t *testing.T) {
+	if Fig7Losses[0] != 0 || Fig7Losses[len(Fig7Losses)-1] != 0.50 {
+		t.Errorf("Fig. 7 loss axis %v, paper sweeps 0-50%%", Fig7Losses)
+	}
+	if Fig7Batches[0] != 1 || Fig7Batches[len(Fig7Batches)-1] != 10 {
+		t.Errorf("Fig. 7 batch axis %v, paper sweeps 1-10", Fig7Batches)
+	}
+	// The knee region must be sampled finely enough to locate it.
+	knee := 0
+	for _, l := range Fig7Losses {
+		if l >= 0.05 && l <= 0.20 {
+			knee++
+		}
+	}
+	if knee < 4 {
+		t.Errorf("only %d samples in the 5-20%% knee region", knee)
+	}
+}
+
+func TestFig8AllowsSpuriousRetries(t *testing.T) {
+	v := Fig8Vector(2, 0.1)
+	if v.Semantics != features.SemanticsAtLeastOnce {
+		t.Error("Fig. 8 must use at-least-once (duplicates need acks+retries)")
+	}
+	// The delivery budget must exceed the testbed's per-attempt timeout,
+	// or Case 5 cannot occur at all.
+	if v.MessageTimeout <= 2*time.Second {
+		t.Errorf("Fig. 8 T_o = %v leaves no room for a retry after the 2s request timeout", v.MessageTimeout)
+	}
+}
+
+func TestFig9Deterministic(t *testing.T) {
+	a, err := Fig9(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig9(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("series lengths %d/%d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("point %d differs", i)
+		}
+	}
+	c, err := Fig9(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds gave identical traces")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	var o Options
+	if o.messages() != 20000 {
+		t.Errorf("default messages = %d", o.messages())
+	}
+	o.Messages = 5
+	if o.messages() != 5 {
+		t.Errorf("override ignored: %d", o.messages())
+	}
+	if maxSimTime(100) < 30*time.Minute {
+		t.Error("maxSimTime floor missing")
+	}
+	if maxSimTime(1_000_000) < 1_000_000*time.Second {
+		t.Error("maxSimTime does not scale with message count")
+	}
+}
+
+func TestTable1SmallRun(t *testing.T) {
+	res, err := Table1(Options{Messages: 800, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != 800 {
+		t.Errorf("total = %d", res.Total)
+	}
+	var sum float64
+	for _, r := range res.Rows {
+		if r.Share < 0 || r.Share > 1 {
+			t.Errorf("share out of range: %+v", r)
+		}
+		sum += r.Share
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("case shares sum to %v", sum)
+	}
+}

@@ -1,0 +1,205 @@
+// Package netem emulates the network path between a Kafka producer and
+// the cluster, playing the role NetEm plays in the paper's Docker testbed
+// (Sec. III-E): configurable propagation delay, random or bursty packet
+// loss, finite bandwidth with a bounded device queue, and runtime
+// reconfiguration for time-varying scenarios (Fig. 9).
+package netem
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"kafkarel/internal/des"
+	"kafkarel/internal/stats"
+)
+
+// Counters aggregates what happened to packets offered to a link.
+type Counters struct {
+	Offered       uint64 // packets handed to Send
+	Delivered     uint64 // packets that reached the far end
+	LostRandom    uint64 // dropped by the loss model
+	LostOverflow  uint64 // dropped because the device queue was full
+	Duplicated    uint64 // packets duplicated by the emulator
+	BytesOffered  uint64
+	BytesDelivery uint64
+}
+
+// Config describes one direction of a link. The zero value is a lossless,
+// delay-free, infinite-bandwidth wire.
+type Config struct {
+	// Delay samples per-packet propagation delay in milliseconds.
+	// nil means no propagation delay.
+	Delay stats.Sampler
+	// Loss decides per-packet drops. nil means no loss.
+	Loss stats.LossModel
+	// Bandwidth in bits per second. 0 means infinite (no serialisation
+	// delay and no queue).
+	Bandwidth float64
+	// QueueLimit bounds the number of packets waiting for serialisation
+	// when Bandwidth > 0. 0 means unlimited.
+	QueueLimit int
+	// AllowReorder lets a packet with a smaller sampled delay overtake an
+	// earlier one. Off by default: a single TCP path through one queue
+	// delivers in order, and that is what the paper's testbed exercises.
+	AllowReorder bool
+	// DuplicateProb duplicates a surviving packet with this probability
+	// (NetEm's "duplicate" knob). The copy takes its own delay sample.
+	DuplicateProb float64
+	// DuplicateRand drives duplication draws; required when
+	// DuplicateProb > 0.
+	DuplicateRand *rand.Rand
+}
+
+// Link is one direction of an emulated network path. It is driven by a
+// des.Simulator and is not safe for concurrent use (the simulator is
+// single-threaded by design).
+type Link struct {
+	sim  *des.Simulator
+	cfg  Config
+	cnt  Counters
+	free time.Duration // when the serialiser becomes idle
+	last time.Duration // latest delivery time handed out (FIFO enforcement)
+	q    int           // packets queued for serialisation
+}
+
+// NewLink creates one direction of a path.
+func NewLink(sim *des.Simulator, cfg Config) (*Link, error) {
+	if sim == nil {
+		return nil, fmt.Errorf("netem: nil simulator")
+	}
+	if cfg.Bandwidth < 0 {
+		return nil, fmt.Errorf("netem: negative bandwidth %v", cfg.Bandwidth)
+	}
+	if cfg.QueueLimit < 0 {
+		return nil, fmt.Errorf("netem: negative queue limit %d", cfg.QueueLimit)
+	}
+	if cfg.DuplicateProb < 0 || cfg.DuplicateProb > 1 {
+		return nil, fmt.Errorf("netem: duplicate probability %v outside [0,1]", cfg.DuplicateProb)
+	}
+	if cfg.DuplicateProb > 0 && cfg.DuplicateRand == nil {
+		return nil, fmt.Errorf("netem: duplication requires a random source")
+	}
+	return &Link{sim: sim, cfg: cfg}, nil
+}
+
+// Counters returns a snapshot of the link statistics.
+func (l *Link) Counters() Counters { return l.cnt }
+
+// SetDelay swaps the propagation-delay model at runtime.
+func (l *Link) SetDelay(d stats.Sampler) { l.cfg.Delay = d }
+
+// SetLoss swaps the loss model at runtime.
+func (l *Link) SetLoss(m stats.LossModel) { l.cfg.Loss = m }
+
+// LossRate reports the configured long-run loss probability.
+func (l *Link) LossRate() float64 {
+	if l.cfg.Loss == nil {
+		return 0
+	}
+	return l.cfg.Loss.Rate()
+}
+
+// Send offers a packet of size bytes to the link. If the packet survives
+// the loss model and the device queue, deliver fires at the far end after
+// serialisation and propagation delay. Send never calls deliver
+// synchronously.
+func (l *Link) Send(size int, deliver func()) {
+	if size < 0 {
+		panic(fmt.Sprintf("netem: negative packet size %d", size))
+	}
+	if deliver == nil {
+		panic("netem: Send with nil deliver callback")
+	}
+	l.cnt.Offered++
+	l.cnt.BytesOffered += uint64(size)
+
+	if l.cfg.Loss != nil && l.cfg.Loss.Drop() {
+		l.cnt.LostRandom++
+		return
+	}
+	copies := 1
+	if l.cfg.DuplicateProb > 0 && l.cfg.DuplicateRand.Float64() < l.cfg.DuplicateProb {
+		copies = 2
+		l.cnt.Duplicated++
+	}
+	for c := 0; c < copies; c++ {
+		l.deliverOne(size, deliver)
+	}
+}
+
+// deliverOne schedules one copy of a packet through serialisation, delay
+// and FIFO ordering.
+func (l *Link) deliverOne(size int, deliver func()) {
+	now := l.sim.Now()
+	txDone := now
+	if l.cfg.Bandwidth > 0 {
+		if l.cfg.QueueLimit > 0 && l.q >= l.cfg.QueueLimit {
+			l.cnt.LostOverflow++
+			return
+		}
+		start := now
+		if l.free > start {
+			start = l.free
+		}
+		tx := time.Duration(float64(size*8) / l.cfg.Bandwidth * float64(time.Second))
+		txDone = start + tx
+		l.free = txDone
+		l.q++
+		l.sim.Schedule(txDone, func() { l.q-- })
+	}
+
+	var prop time.Duration
+	if l.cfg.Delay != nil {
+		ms := l.cfg.Delay.Sample()
+		if ms > 0 {
+			prop = time.Duration(ms * float64(time.Millisecond))
+		}
+	}
+	at := txDone + prop
+	if !l.cfg.AllowReorder && at < l.last {
+		at = l.last
+	}
+	l.last = at
+	l.sim.Schedule(at, func() {
+		l.cnt.Delivered++
+		l.cnt.BytesDelivery += uint64(size)
+		deliver()
+	})
+}
+
+// Path is a duplex producer↔cluster connection: a forward (request) and a
+// reverse (response) direction.
+type Path struct {
+	Fwd *Link
+	Rev *Link
+}
+
+// NewPath builds a duplex path with the same configuration in both
+// directions but independent state (queues, loss-model chains).
+func NewPath(sim *des.Simulator, fwd, rev Config) (*Path, error) {
+	f, err := NewLink(sim, fwd)
+	if err != nil {
+		return nil, fmt.Errorf("netem: forward link: %w", err)
+	}
+	r, err := NewLink(sim, rev)
+	if err != nil {
+		return nil, fmt.Errorf("netem: reverse link: %w", err)
+	}
+	return &Path{Fwd: f, Rev: r}, nil
+}
+
+// SetDelay swaps the delay model on both directions.
+func (p *Path) SetDelay(d stats.Sampler) {
+	p.Fwd.SetDelay(d)
+	p.Rev.SetDelay(d)
+}
+
+// SetLoss swaps the loss model on both directions. The two directions
+// share the model instance so that a burst (Gilbert-Elliot Bad state)
+// affects requests and responses together, as it would on a real duplex
+// radio link.
+func (p *Path) SetLoss(m stats.LossModel) {
+	p.Fwd.SetLoss(m)
+	p.Rev.SetLoss(m)
+}

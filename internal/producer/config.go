@@ -1,0 +1,164 @@
+package producer
+
+import (
+	"fmt"
+	"time"
+)
+
+// Semantics selects the delivery guarantee, the paper's feature (e).
+type Semantics int
+
+// Delivery semantics. AtMostOnce is fire-and-forget (acks=0, no
+// retries); AtLeastOnce acknowledges and retries (acks=1); ExactlyOnce is
+// the idempotent-producer extension (acks=all + broker-side batch
+// de-duplication), which the paper lists as requiring "additional
+// computing resources" (Sec. II).
+const (
+	AtMostOnce Semantics = iota + 1
+	AtLeastOnce
+	ExactlyOnce
+)
+
+// String implements fmt.Stringer.
+func (s Semantics) String() string {
+	switch s {
+	case AtMostOnce:
+		return "at-most-once"
+	case AtLeastOnce:
+		return "at-least-once"
+	case ExactlyOnce:
+		return "exactly-once"
+	default:
+		return fmt.Sprintf("semantics(%d)", int(s))
+	}
+}
+
+// Config carries every producer parameter the paper's prediction model
+// treats as a feature, plus the fixed plumbing parameters.
+type Config struct {
+	Topic     string
+	Partition int32
+	// Partitions, when above 1, spreads batches round-robin over the
+	// partitions [Partition, Partition+Partitions) — Kafka's default
+	// partitioner for keyless records. The testbed's reliability metrics
+	// are partition-agnostic (the consumer reconciles the whole topic).
+	Partitions int32
+
+	// Semantics is feature (e).
+	Semantics Semantics
+	// BatchSize B, feature (f): records accumulated per produce request.
+	BatchSize int
+	// PollInterval δ, feature (g): the wait between source acquisitions.
+	// Zero means full load — the producer acquires as fast as its I/O
+	// path allows (Sec. IV-C).
+	PollInterval time.Duration
+	// MessageTimeout T_o, feature (h): the total budget from a record's
+	// arrival at the producer until delivery, retries included.
+	MessageTimeout time.Duration
+	// MaxRetries τ_r bounds retry attempts under at-least-once.
+	MaxRetries int
+	// RetryBackoff is the pause before a retry attempt.
+	RetryBackoff time.Duration
+	// RequestTimeout is the per-attempt acknowledgement wait. A response
+	// arriving after this deadline triggers a retry even though the
+	// original may still be delivered — the paper's Case 5 duplicate
+	// mechanism.
+	RequestTimeout time.Duration
+	// MaxInFlight bounds concurrently outstanding produce requests.
+	MaxInFlight int
+	// QueueLimit bounds the accumulator (records). Under acknowledged
+	// semantics the intake pauses at the limit (Kafka's bounded
+	// buffer.memory blocking send()); under at-most-once there is no
+	// feedback and the bound is ignored — the record queue grows and
+	// MessageTimeout expiry is the only relief, which is exactly the
+	// Figs. 5-6 loss mechanism.
+	QueueLimit int
+	// LingerTime caps how long a partial batch waits for more records
+	// before being sent anyway.
+	LingerTime time.Duration
+	// ProducerID, when nonzero with ExactlyOnce, identifies this producer
+	// for broker-side de-duplication.
+	ProducerID uint64
+	// ReconnectDelay is the pause before reopening a broken connection.
+	ReconnectDelay time.Duration
+}
+
+// DefaultConfig mirrors the paper's experimental defaults: streaming
+// (B=1), at-least-once, 1.5 s message timeout.
+func DefaultConfig() Config {
+	return Config{
+		Topic:          "stream",
+		Partition:      0,
+		Semantics:      AtLeastOnce,
+		BatchSize:      1,
+		MessageTimeout: 1500 * time.Millisecond,
+		MaxRetries:     5,
+		RetryBackoff:   20 * time.Millisecond,
+		RequestTimeout: 500 * time.Millisecond,
+		MaxInFlight:    5,
+		QueueLimit:     500,
+		LingerTime:     5 * time.Millisecond,
+		ReconnectDelay: 50 * time.Millisecond,
+	}
+}
+
+// Validate reports the first invalid field.
+func (c Config) Validate() error {
+	switch {
+	case c.Topic == "":
+		return fmt.Errorf("producer: empty topic")
+	case c.Semantics < AtMostOnce || c.Semantics > ExactlyOnce:
+		return fmt.Errorf("producer: unknown semantics %d", c.Semantics)
+	case c.BatchSize <= 0:
+		return fmt.Errorf("producer: batch size %d <= 0", c.BatchSize)
+	case c.PollInterval < 0:
+		return fmt.Errorf("producer: negative poll interval")
+	case c.MessageTimeout <= 0:
+		return fmt.Errorf("producer: message timeout must be positive")
+	case c.MaxRetries < 0:
+		return fmt.Errorf("producer: negative max retries")
+	case c.RequestTimeout <= 0:
+		return fmt.Errorf("producer: request timeout must be positive")
+	case c.MaxInFlight <= 0:
+		return fmt.Errorf("producer: max in flight %d <= 0", c.MaxInFlight)
+	case c.QueueLimit <= 0:
+		return fmt.Errorf("producer: queue limit %d <= 0", c.QueueLimit)
+	case c.Partitions < 0:
+		return fmt.Errorf("producer: negative partition count")
+	case c.Semantics == ExactlyOnce && c.ProducerID == 0:
+		return fmt.Errorf("producer: exactly-once requires a nonzero producer ID")
+	default:
+		return nil
+	}
+}
+
+// acksFor maps semantics to the wire-level acknowledgement mode.
+func (c Config) effectiveRetries() int {
+	if c.Semantics == AtMostOnce {
+		return 0
+	}
+	return c.MaxRetries
+}
+
+// CostModel supplies the producer's per-record processing costs; the
+// testbed provides a calibrated implementation. IOTime is the source
+// acquisition cost per record (the "highest speed that I/O devices can
+// handle" under full load); SerTime is the serialisation cost incurred by
+// the send path. Implementations may jitter their samples; both are
+// functions of the message size M.
+type CostModel interface {
+	IOTime(payloadBytes int) time.Duration
+	SerTime(payloadBytes int) time.Duration
+}
+
+// FixedCosts is a deterministic CostModel for tests.
+type FixedCosts struct {
+	IO  time.Duration
+	Ser time.Duration
+}
+
+// IOTime implements CostModel.
+func (f FixedCosts) IOTime(int) time.Duration { return f.IO }
+
+// SerTime implements CostModel.
+func (f FixedCosts) SerTime(int) time.Duration { return f.Ser }

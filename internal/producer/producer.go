@@ -1,0 +1,627 @@
+// Package producer implements the Kafka producer model at the heart of
+// the paper: a record accumulator with batching (B), a polling intake
+// (δ), a per-message delivery budget (T_o) with retries (τ_r), and the
+// at-most-once / at-least-once / exactly-once delivery semantics, all
+// driving the Fig. 2 message state machine whose Case 1-5 outcomes define
+// the reliability metrics P_l and P_d.
+package producer
+
+import (
+	"fmt"
+	"time"
+
+	"kafkarel/internal/des"
+	"kafkarel/internal/stats"
+	"kafkarel/internal/transport"
+	"kafkarel/internal/wire"
+)
+
+// Source supplies the upstream application's messages. Next returns the
+// next payload, or ok=false when the stream is exhausted.
+type Source interface {
+	Next() ([]byte, bool)
+}
+
+// batch groups records that travel in one produce request. Retries
+// resend the batch unchanged with its original sequence number, which is
+// what lets an idempotent broker de-duplicate (Kafka retries whole
+// batches the same way).
+type batch struct {
+	records  []*record
+	seq      uint64
+	attempts int
+}
+
+// minDeadline returns the earliest delivery deadline in the batch.
+func (b *batch) minDeadline() time.Duration {
+	min := b.records[0].deadline
+	for _, r := range b.records[1:] {
+		if r.deadline < min {
+			min = r.deadline
+		}
+	}
+	return min
+}
+
+// request tracks one in-flight produce request.
+type request struct {
+	batch *batch
+	timer *des.Timer
+}
+
+// Producer drives messages from a Source into the cluster over a
+// transport connection. Create with New; run by starting the simulator.
+type Producer struct {
+	sim    *des.Simulator
+	cfg    Config
+	costs  CostModel
+	conn   *transport.Conn
+	source Source
+
+	nextKey   uint64
+	queue     deque
+	inFlight  map[uint32]*request
+	corr      uint32
+	splitter  wire.Splitter
+	batchSeq  uint64
+	outcomes  []Outcome
+	counts    Counts
+	latency   stats.Summary
+	staleOver time.Duration // timeliness S; deliveries slower than this are stale
+	stale     uint64
+
+	senderBusy     bool
+	lingerArmed    bool
+	sendRetryArmed bool
+	unsent         []*batch // serialised batches blocked on the socket
+	retryPending   int      // records waiting out a retry backoff
+	reconnecting   bool
+	intakeDone     bool
+	intakePaused   bool
+	finished       bool
+	onComplete     func()
+}
+
+// Option customises a Producer.
+type Option func(*Producer)
+
+// WithCompletion registers fn to run once when every source message has
+// reached a terminal state.
+func WithCompletion(fn func()) Option {
+	return func(p *Producer) { p.onComplete = fn }
+}
+
+// WithTimeliness sets the message validity S (feature (b)); deliveries
+// with latency above it are counted stale.
+func WithTimeliness(s time.Duration) Option {
+	return func(p *Producer) { p.staleOver = s }
+}
+
+// WithOutcomeLog enables per-record outcome recording (memory-heavy for
+// large experiments; aggregates are always kept).
+func WithOutcomeLog() Option {
+	return func(p *Producer) { p.outcomes = make([]Outcome, 0, 1024) }
+}
+
+// New wires a producer to a source and a connection. The producer owns
+// the client endpoint's receive path.
+func New(sim *des.Simulator, cfg Config, costs CostModel, conn *transport.Conn, source Source, opts ...Option) (*Producer, error) {
+	if sim == nil || costs == nil || conn == nil || source == nil {
+		return nil, fmt.Errorf("producer: nil dependency")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Producer{
+		sim:      sim,
+		cfg:      cfg,
+		costs:    costs,
+		conn:     conn,
+		source:   source,
+		inFlight: make(map[uint32]*request),
+	}
+	p.counts.ByCase = make(map[Case]uint64)
+	for _, opt := range opts {
+		opt(p)
+	}
+	conn.Client.OnReceive(p.onBytes)
+	conn.Client.OnBroken(p.onBroken)
+	conn.OnReset(func() { p.splitter = wire.Splitter{} })
+	return p, nil
+}
+
+// Start begins the intake loop. Call once before running the simulator.
+func (p *Producer) Start() {
+	p.scheduleIntake()
+}
+
+// Done reports whether every source message reached a terminal state.
+func (p *Producer) Done() bool { return p.finished }
+
+// Config returns the producer's current configuration.
+func (p *Producer) Config() Config { return p.cfg }
+
+// Reconfigure swaps the tunable parameters (semantics, batch size, poll
+// interval, message timeout, retries, request timeout) at runtime — the
+// paper's dynamic-configuration mechanism (Sec. V). Structural fields
+// (topic, partition, producer ID) cannot change. Records already in
+// flight or queued keep the deadlines they were admitted with.
+func (p *Producer) Reconfigure(cfg Config) error {
+	cfg.Topic = p.cfg.Topic
+	cfg.Partition = p.cfg.Partition
+	cfg.Partitions = p.cfg.Partitions
+	cfg.ProducerID = p.cfg.ProducerID
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	p.cfg = cfg
+	p.resumeIntake()
+	p.kickSender()
+	return nil
+}
+
+// Counts returns the producer-view terminal-state aggregates.
+func (p *Producer) Counts() Counts { return p.counts }
+
+// Outcomes returns per-record outcomes when WithOutcomeLog was set.
+func (p *Producer) Outcomes() []Outcome { return p.outcomes }
+
+// Latency returns the delivery-latency summary in milliseconds (T_p of
+// delivered messages).
+func (p *Producer) Latency() stats.Summary { return p.latency }
+
+// Stale returns how many delivered messages exceeded the timeliness S.
+func (p *Producer) Stale() uint64 { return p.stale }
+
+// QueueLen returns the number of records waiting in the accumulator.
+func (p *Producer) QueueLen() int { return p.queue.len() }
+
+// Acquired returns how many source messages the producer has taken in so
+// far; it is the ground-truth denominator when an experiment is cut off
+// before the source drains.
+func (p *Producer) Acquired() uint64 { return p.nextKey }
+
+// --- intake -------------------------------------------------------------
+
+func (p *Producer) scheduleIntake() {
+	if p.intakeDone || p.intakePaused {
+		return
+	}
+	if p.backpressured() {
+		p.intakePaused = true
+		return
+	}
+	payload, ok := p.source.Next()
+	if !ok {
+		p.intakeDone = true
+		p.kickSender() // flush a partial batch below BatchSize
+		p.maybeComplete()
+		return
+	}
+	cost := p.costs.IOTime(len(payload)) + p.cfg.PollInterval
+	p.sim.After(cost, func() {
+		p.nextKey++
+		now := p.sim.Now()
+		p.queue.pushBack(&record{
+			key:      p.nextKey,
+			payload:  payload,
+			arrived:  now,
+			deadline: now + p.cfg.MessageTimeout,
+			state:    StateReady,
+		})
+		p.kickSender()
+		p.scheduleIntake()
+	})
+}
+
+// backpressured reports whether intake must pause. Only acknowledged
+// semantics have the feedback channel that lets the client block the
+// caller (Kafka's bounded buffer); fire-and-forget intake never pauses.
+func (p *Producer) backpressured() bool {
+	if p.cfg.Semantics == AtMostOnce {
+		return false
+	}
+	return p.queue.len() >= p.cfg.QueueLimit
+}
+
+func (p *Producer) resumeIntake() {
+	if p.intakePaused && !p.backpressured() {
+		p.intakePaused = false
+		p.scheduleIntake()
+	}
+}
+
+// --- sender -------------------------------------------------------------
+
+func (p *Producer) kickSender() {
+	if p.senderBusy || p.finished || len(p.unsent) > 0 || p.reconnecting {
+		return
+	}
+	if p.cfg.Semantics != AtMostOnce && len(p.inFlight) >= p.cfg.MaxInFlight {
+		return
+	}
+	records := p.collectRecords()
+	if len(records) == 0 {
+		p.maybeComplete()
+		return
+	}
+	p.batchSeq++
+	b := &batch{records: records, seq: p.batchSeq}
+	// Serialisation occupies the send path for the per-record CPU cost.
+	var serial time.Duration
+	for _, r := range records {
+		serial += p.costs.SerTime(len(r.payload))
+	}
+	p.senderBusy = true
+	p.sim.After(serial, func() {
+		p.senderBusy = false
+		p.trySend(b)
+	})
+}
+
+// collectRecords pops expired records (resolving them lost) and then up
+// to BatchSize ready records, honouring the linger rule: a partial batch
+// is only taken once its oldest record has lingered, or when no more
+// input is coming.
+func (p *Producer) collectRecords() []*record {
+	p.dropExpired()
+	n := p.queue.len()
+	if n == 0 {
+		return nil
+	}
+	if n < p.cfg.BatchSize && !p.intakeDone {
+		oldest := p.queue.peekFront()
+		if p.sim.Now()-oldest.arrived < p.cfg.LingerTime {
+			p.armLinger(oldest)
+			return nil
+		}
+	}
+	take := p.cfg.BatchSize
+	if take > p.queue.len() {
+		take = p.queue.len()
+	}
+	records := make([]*record, 0, take)
+	for i := 0; i < take; i++ {
+		records = append(records, p.queue.popFront())
+	}
+	p.resumeIntake()
+	return records
+}
+
+func (p *Producer) armLinger(oldest *record) {
+	if p.lingerArmed {
+		return
+	}
+	p.lingerArmed = true
+	wait := p.cfg.LingerTime - (p.sim.Now() - oldest.arrived)
+	if wait < 0 {
+		wait = 0
+	}
+	p.sim.After(wait, func() {
+		p.lingerArmed = false
+		p.kickSender()
+	})
+}
+
+// dropExpired resolves queue-head records whose delivery budget elapsed
+// while they waited — the paper's Figs. 5-6 loss mechanism.
+func (p *Producer) dropExpired() {
+	now := p.sim.Now()
+	for {
+		head := p.queue.peekFront()
+		if head == nil || head.deadline > now {
+			break
+		}
+		p.queue.popFront()
+		p.resolveLost(head)
+	}
+	p.resumeIntake()
+}
+
+// trySend pushes a serialised batch towards the socket, queueing it when
+// the socket has no room.
+func (p *Producer) trySend(b *batch) {
+	if p.sendNow(b) {
+		p.flushUnsent()
+		p.kickSender()
+		return
+	}
+	p.unsent = append(p.unsent, b)
+	if !p.reconnecting {
+		p.armSendRetry()
+	}
+}
+
+// sendNow attempts one socket write. It returns true when the batch is
+// fully handled (written, or entirely expired) and false when the socket
+// blocked it.
+func (p *Producer) sendNow(b *batch) bool {
+	now := p.sim.Now()
+	if b.attempts == 0 {
+		// First attempt: records that expired while serialised or queued
+		// behind a stalled socket are dropped individually; sending them
+		// would waste degraded bandwidth on dead messages. The batch has
+		// not been exposed to the broker yet, so shrinking it is safe.
+		live := b.records[:0]
+		for _, r := range b.records {
+			if r.deadline <= now {
+				p.resolveLost(r)
+				continue
+			}
+			live = append(live, r)
+		}
+		b.records = live
+	} else if b.minDeadline() <= now {
+		// A retry whose budget ran out while blocked: the whole batch
+		// fails together (Kafka expires batches, not records).
+		for _, r := range b.records {
+			p.resolveLost(r)
+		}
+		b.records = nil
+	}
+	if len(b.records) == 0 {
+		p.maybeComplete()
+		return true
+	}
+
+	req := p.buildRequest(b)
+	data := wire.EncodeFrame(wire.APIProduce, req.Encode(nil))
+	if err := p.conn.Client.Send(data); err != nil {
+		// ErrBufferFull: socket backpressure — the records' deadlines
+		// keep running, which is how a stalled TCP connection translates
+		// into message loss. ErrBroken: onBroken's reconnect flow will
+		// flush the queue.
+		return false
+	}
+	p.afterSend(req.CorrelationID, b)
+	return true
+}
+
+func (p *Producer) armSendRetry() {
+	if p.sendRetryArmed {
+		return
+	}
+	p.sendRetryArmed = true
+	p.sim.After(2*time.Millisecond, func() {
+		p.sendRetryArmed = false
+		p.flushUnsent()
+		p.kickSender()
+	})
+}
+
+// flushUnsent re-attempts blocked batches in order.
+func (p *Producer) flushUnsent() {
+	for len(p.unsent) > 0 {
+		if !p.sendNow(p.unsent[0]) {
+			if !p.reconnecting {
+				p.armSendRetry()
+			}
+			return
+		}
+		p.unsent[0] = nil
+		p.unsent = p.unsent[1:]
+	}
+}
+
+func (p *Producer) buildRequest(b *batch) wire.ProduceRequest {
+	p.corr++
+	wb := wire.RecordBatch{BaseSequence: b.seq}
+	if p.cfg.Semantics == ExactlyOnce {
+		wb.ProducerID = p.cfg.ProducerID
+	}
+	for _, r := range b.records {
+		wb.Records = append(wb.Records, wire.Record{
+			Key:       r.key,
+			Timestamp: r.arrived,
+			Payload:   r.payload,
+		})
+	}
+	acks := wire.AcksLeader
+	switch p.cfg.Semantics {
+	case AtMostOnce:
+		acks = wire.AcksNone
+	case ExactlyOnce:
+		acks = wire.AcksAll
+	}
+	partition := p.cfg.Partition
+	if p.cfg.Partitions > 1 {
+		// Round-robin over the topic's partitions, pinned per batch so
+		// retries land on the same partition (idempotent sequences are
+		// tracked per partition by the broker).
+		partition += int32(b.seq % uint64(p.cfg.Partitions))
+	}
+	return wire.ProduceRequest{
+		CorrelationID: p.corr,
+		Topic:         p.cfg.Topic,
+		Partition:     partition,
+		Acks:          acks,
+		Batch:         wb,
+	}
+}
+
+func (p *Producer) afterSend(corr uint32, b *batch) {
+	b.attempts++
+	for _, r := range b.records {
+		r.attempts++
+	}
+	if p.cfg.Semantics == AtMostOnce {
+		// Fire-and-forget: handing bytes to the transport is success from
+		// the producer's point of view (transition I of Fig. 2). Ground
+		// truth is established by the consumer.
+		for _, r := range b.records {
+			p.resolveDelivered(r)
+		}
+		p.maybeComplete()
+		return
+	}
+	rq := &request{batch: b}
+	rq.timer = des.NewTimer(p.sim, func() { p.onRequestTimeout(corr) })
+	rq.timer.Reset(p.cfg.RequestTimeout)
+	p.inFlight[corr] = rq
+}
+
+// --- responses and retries ----------------------------------------------
+
+func (p *Producer) onBytes(chunk []byte) {
+	frames, err := p.splitter.Push(chunk)
+	if err != nil {
+		p.splitter = wire.Splitter{}
+		return
+	}
+	for _, f := range frames {
+		if f.API != wire.APIProduce {
+			continue
+		}
+		resp, err := wire.DecodeProduceResponse(f.Body)
+		if err != nil {
+			continue
+		}
+		p.onResponse(resp)
+	}
+}
+
+func (p *Producer) onResponse(resp wire.ProduceResponse) {
+	rq, ok := p.inFlight[resp.CorrelationID]
+	if !ok {
+		// Late response to a request already timed out: the records were
+		// retried or failed; if they were also persisted by this earlier
+		// attempt the consumer will observe the duplicate (Case 5).
+		return
+	}
+	delete(p.inFlight, resp.CorrelationID)
+	rq.timer.Stop()
+	if resp.Err == wire.ErrNone {
+		for _, r := range rq.batch.records {
+			p.resolveDelivered(r)
+		}
+		p.maybeComplete()
+		p.kickSender()
+		return
+	}
+	if resp.Err.Retriable() {
+		p.retryOrFail(rq.batch)
+		return
+	}
+	for _, r := range rq.batch.records {
+		p.resolveLost(r)
+	}
+	p.maybeComplete()
+	p.kickSender()
+}
+
+func (p *Producer) onRequestTimeout(corr uint32) {
+	rq, ok := p.inFlight[corr]
+	if !ok {
+		return
+	}
+	delete(p.inFlight, corr)
+	p.retryOrFail(rq.batch)
+}
+
+// retryOrFail resends the batch after the backoff if its retry budget
+// and delivery deadline allow, and resolves it lost (Case 3) otherwise.
+func (p *Producer) retryOrFail(b *batch) {
+	now := p.sim.Now()
+	retriesUsed := b.attempts - 1
+	if retriesUsed < p.cfg.effectiveRetries() && now+p.cfg.RetryBackoff < b.minDeadline() {
+		p.retryPending += len(b.records)
+		p.sim.After(p.cfg.RetryBackoff, func() {
+			p.retryPending -= len(b.records)
+			p.trySend(b)
+		})
+		return
+	}
+	for _, r := range b.records {
+		p.resolveLost(r)
+	}
+	p.maybeComplete()
+	p.kickSender()
+}
+
+func (p *Producer) onBroken(error) {
+	if p.reconnecting {
+		return
+	}
+	p.reconnecting = true
+	// All in-flight requests are dead with the socket.
+	pending := make([]*request, 0, len(p.inFlight))
+	for _, rq := range p.inFlight {
+		rq.timer.Stop()
+		pending = append(pending, rq)
+	}
+	p.inFlight = make(map[uint32]*request)
+	for _, rq := range pending {
+		p.retryOrFail(rq.batch)
+	}
+	p.sim.After(p.cfg.ReconnectDelay, func() {
+		p.reconnecting = false
+		p.conn.Reset()
+		p.flushUnsent()
+		p.kickSender()
+	})
+}
+
+// --- resolution ---------------------------------------------------------
+
+func (p *Producer) resolveDelivered(r *record) {
+	if r.state == StateDelivered || r.state == StateLost {
+		return
+	}
+	r.state = StateDelivered
+	if r.attempts > 1 {
+		r.caseNum = Case4
+	} else {
+		r.caseNum = Case1
+	}
+	r.resolved = p.sim.Now()
+	lat := r.resolved - r.arrived
+	p.latency.Add(float64(lat) / float64(time.Millisecond))
+	if p.staleOver > 0 && lat > p.staleOver {
+		p.stale++
+	}
+	p.counts.Delivered++
+	p.record(r)
+}
+
+func (p *Producer) resolveLost(r *record) {
+	if r.state == StateDelivered || r.state == StateLost {
+		return
+	}
+	r.state = StateLost
+	if r.attempts == 0 {
+		r.caseNum = Case2
+	} else {
+		r.caseNum = Case3
+	}
+	r.resolved = p.sim.Now()
+	p.counts.Lost++
+	p.record(r)
+}
+
+func (p *Producer) record(r *record) {
+	p.counts.Total++
+	p.counts.ByCase[r.caseNum]++
+	if p.outcomes != nil {
+		p.outcomes = append(p.outcomes, Outcome{
+			Key:      r.key,
+			State:    r.state,
+			Case:     r.caseNum,
+			Attempts: r.attempts,
+			Latency:  r.resolved - r.arrived,
+		})
+	}
+}
+
+func (p *Producer) maybeComplete() {
+	if p.finished || !p.intakeDone {
+		return
+	}
+	if p.queue.len() > 0 || len(p.inFlight) > 0 || p.senderBusy ||
+		len(p.unsent) > 0 || p.retryPending > 0 {
+		return
+	}
+	p.finished = true
+	if p.onComplete != nil {
+		p.onComplete()
+	}
+}

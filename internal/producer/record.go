@@ -1,0 +1,97 @@
+package producer
+
+import (
+	"fmt"
+	"time"
+)
+
+// State is a message's position in the Fig. 2 state diagram.
+type State int
+
+// Message states.
+const (
+	StateReady State = iota + 1
+	StateDelivered
+	StateLost
+	StateDuplicated
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case StateReady:
+		return "ready"
+	case StateDelivered:
+		return "delivered"
+	case StateLost:
+		return "lost"
+	case StateDuplicated:
+		return "duplicated"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Case is the Table I transition sequence a message followed, as
+// observable from the producer. Case 5 (duplicate) is generally only
+// distinguishable from Case 4 at the consumer; the testbed reconciles.
+type Case int
+
+// Table I cases. CaseUnresolved marks in-progress messages.
+const (
+	CaseUnresolved Case = iota
+	Case1               // delivered on the initial send
+	Case2               // lost on the initial send, no retry succeeded before it was ever sent
+	Case3               // lost after retries were exhausted or timed out
+	Case4               // delivered by a retry
+	Case5               // delivered more than once (retry duplicated it)
+)
+
+// String implements fmt.Stringer.
+func (c Case) String() string {
+	if c == CaseUnresolved {
+		return "unresolved"
+	}
+	return fmt.Sprintf("case%d", int(c))
+}
+
+// record tracks one message through the producer.
+type record struct {
+	key      uint64
+	payload  []byte
+	arrived  time.Duration // when the message arrived at the producer
+	deadline time.Duration // arrived + MessageTimeout
+	attempts int
+	state    State
+	caseNum  Case
+	resolved time.Duration // when the record reached a terminal state
+}
+
+// Outcome is the terminal result of one message, exported for
+// reconciliation and analysis.
+type Outcome struct {
+	Key      uint64
+	State    State
+	Case     Case
+	Attempts int
+	// Latency is T_p: arrival at the producer to resolution. For lost
+	// messages it is the time until the producer gave up.
+	Latency time.Duration
+}
+
+// Counts aggregates terminal states, the producer's own view of the
+// Table I distribution.
+type Counts struct {
+	Total     uint64
+	Delivered uint64
+	Lost      uint64
+	ByCase    map[Case]uint64
+}
+
+// LossRate returns the producer-observed P_l.
+func (c Counts) LossRate() float64 {
+	if c.Total == 0 {
+		return 0
+	}
+	return float64(c.Lost) / float64(c.Total)
+}

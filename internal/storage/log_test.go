@@ -1,0 +1,267 @@
+package storage
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"kafkarel/internal/wire"
+)
+
+func recs(keys ...uint64) []wire.Record {
+	out := make([]wire.Record, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, wire.Record{Key: k, Payload: []byte{byte(k)}})
+	}
+	return out
+}
+
+func TestAppendAssignsConsecutiveOffsets(t *testing.T) {
+	l := NewLog(0)
+	if base := l.Append(recs(1, 2, 3)); base != 0 {
+		t.Errorf("first base = %d, want 0", base)
+	}
+	if base := l.Append(recs(4)); base != 3 {
+		t.Errorf("second base = %d, want 3", base)
+	}
+	if l.End() != 4 || l.Len() != 4 {
+		t.Errorf("End/Len = %d/%d, want 4/4", l.End(), l.Len())
+	}
+}
+
+func TestAppendEmptyBatch(t *testing.T) {
+	l := NewLog(0)
+	l.Append(recs(1))
+	if base := l.Append(nil); base != 1 {
+		t.Errorf("empty append base = %d, want 1", base)
+	}
+	if l.End() != 1 {
+		t.Errorf("End = %d, want 1", l.End())
+	}
+}
+
+func TestReadBasic(t *testing.T) {
+	l := NewLog(0)
+	l.Append(recs(10, 11, 12, 13, 14))
+	got, err := l.Read(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("read %d entries, want 3", len(got))
+	}
+	for i, e := range got {
+		wantOffset := int64(1 + i)
+		if e.Offset != wantOffset || e.Record.Key != uint64(11+i) {
+			t.Errorf("entry %d = {%d, key %d}", i, e.Offset, e.Record.Key)
+		}
+	}
+}
+
+func TestReadAtEndReturnsEmpty(t *testing.T) {
+	l := NewLog(0)
+	l.Append(recs(1, 2))
+	got, err := l.Read(2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("read %d entries at log end", len(got))
+	}
+	// Empty log: offset 0 == end.
+	empty := NewLog(0)
+	if _, err := empty.Read(0, 5); err != nil {
+		t.Errorf("read at end of empty log: %v", err)
+	}
+}
+
+func TestReadOutOfRange(t *testing.T) {
+	l := NewLog(0)
+	l.Append(recs(1))
+	if _, err := l.Read(-1, 1); !errors.Is(err, ErrOffsetOutOfRange) {
+		t.Errorf("negative offset err = %v", err)
+	}
+	if _, err := l.Read(2, 1); !errors.Is(err, ErrOffsetOutOfRange) {
+		t.Errorf("past-end offset err = %v", err)
+	}
+}
+
+func TestReadZeroMax(t *testing.T) {
+	l := NewLog(0)
+	l.Append(recs(1, 2))
+	got, err := l.Read(0, 0)
+	if err != nil || len(got) != 0 {
+		t.Errorf("Read(0,0) = %v, %v", got, err)
+	}
+}
+
+func TestSegmentRolling(t *testing.T) {
+	l := NewLog(3)
+	for i := 0; i < 10; i++ {
+		l.Append(recs(uint64(i)))
+	}
+	if l.Segments() != 4 { // 3+3+3+1
+		t.Errorf("segments = %d, want 4", l.Segments())
+	}
+	// Cross-segment read.
+	got, err := l.Read(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("read %d, want 5", len(got))
+	}
+	for i, e := range got {
+		if e.Record.Key != uint64(2+i) {
+			t.Errorf("entry %d key = %d, want %d", i, e.Record.Key, 2+i)
+		}
+	}
+}
+
+func TestBytesAccounting(t *testing.T) {
+	l := NewLog(0)
+	r := wire.Record{Key: 1, Payload: make([]byte, 100)}
+	l.Append([]wire.Record{r, r})
+	if want := uint64(2 * r.EncodedSize()); l.Bytes() != want {
+		t.Errorf("Bytes = %d, want %d", l.Bytes(), want)
+	}
+}
+
+func TestTruncateTo(t *testing.T) {
+	l := NewLog(3)
+	for i := 0; i < 10; i++ {
+		l.Append(recs(uint64(i)))
+	}
+	l.TruncateTo(5)
+	if l.End() != 5 || l.Len() != 5 {
+		t.Errorf("End/Len after truncate = %d/%d, want 5/5", l.End(), l.Len())
+	}
+	got, err := l.Read(0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 || got[4].Record.Key != 4 {
+		t.Errorf("post-truncate read = %d entries", len(got))
+	}
+	// Appending after truncation reuses the truncated offsets.
+	if base := l.Append(recs(50)); base != 5 {
+		t.Errorf("append after truncate base = %d, want 5", base)
+	}
+	// Truncate past end is a no-op.
+	l.TruncateTo(100)
+	if l.End() != 6 {
+		t.Errorf("End after no-op truncate = %d", l.End())
+	}
+	// Truncate to zero empties the log.
+	l.TruncateTo(0)
+	if l.End() != 0 || l.Len() != 0 || l.Bytes() != 0 {
+		t.Errorf("End/Len/Bytes after full truncate = %d/%d/%d", l.End(), l.Len(), l.Bytes())
+	}
+}
+
+func TestScan(t *testing.T) {
+	l := NewLog(2)
+	l.Append(recs(0, 1, 2, 3, 4))
+	var seen []int64
+	l.Scan(func(e Entry) bool {
+		seen = append(seen, e.Offset)
+		return true
+	})
+	if len(seen) != 5 {
+		t.Fatalf("scanned %d, want 5", len(seen))
+	}
+	for i, o := range seen {
+		if o != int64(i) {
+			t.Errorf("scan order broken: %v", seen)
+		}
+	}
+	// Early stop.
+	count := 0
+	l.Scan(func(Entry) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Errorf("early-stop scan visited %d, want 2", count)
+	}
+}
+
+// Property: any sequence of appends and truncations keeps reads
+// consistent with a plain-slice model.
+func TestPropertyLogMatchesModel(t *testing.T) {
+	f := func(seed uint64, ops uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 3))
+		l := NewLog(rng.IntN(5) + 1)
+		var model []uint64
+		key := uint64(0)
+		for op := 0; op < int(ops%40)+5; op++ {
+			if rng.Float64() < 0.8 {
+				n := rng.IntN(4) + 1
+				batch := make([]wire.Record, 0, n)
+				for i := 0; i < n; i++ {
+					batch = append(batch, wire.Record{Key: key})
+					model = append(model, key)
+					key++
+				}
+				if got := l.Append(batch); got != int64(len(model)-n) {
+					return false
+				}
+			} else if len(model) > 0 {
+				cut := int64(rng.IntN(len(model) + 1))
+				l.TruncateTo(cut)
+				model = model[:cut]
+			}
+		}
+		if l.End() != int64(len(model)) {
+			return false
+		}
+		// Random read window.
+		if len(model) > 0 {
+			off := int64(rng.IntN(len(model)))
+			max := rng.IntN(len(model)) + 1
+			got, err := l.Read(off, max)
+			if err != nil {
+				return false
+			}
+			wantLen := len(model) - int(off)
+			if wantLen > max {
+				wantLen = max
+			}
+			if len(got) != wantLen {
+				return false
+			}
+			for i, e := range got {
+				if e.Offset != off+int64(i) || e.Record.Key != model[off+int64(i)] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAppend(b *testing.B) {
+	l := NewLog(0)
+	r := recs(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Append(r)
+	}
+}
+
+func BenchmarkReadMiddle(b *testing.B) {
+	l := NewLog(1024)
+	for i := 0; i < 100_000; i++ {
+		l.Append(recs(uint64(i)))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Read(50_000, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

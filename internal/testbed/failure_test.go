@@ -1,0 +1,79 @@
+package testbed
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBrokerFailureEvents exercises the broker-failure extension: the
+// partition leader crashes mid-run, a follower takes over, and the
+// producer's retries ride out the outage.
+func TestBrokerFailureEvents(t *testing.T) {
+	v := cleanVector()
+	v.MessageTimeout = 10 * time.Second
+	e := Experiment{
+		Features:       v,
+		Messages:       400,
+		Seed:           3,
+		MaxRetries:     20,
+		RequestTimeout: 200 * time.Millisecond,
+		BrokerFailures: []BrokerEvent{
+			{At: 2 * time.Second, Broker: 0},
+			{At: 4 * time.Second, Broker: 0, Recover: true},
+		},
+	}
+	res, err := Run(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("run did not complete")
+	}
+	// Leader failover keeps the stream alive; retries recover everything.
+	if res.Pl > 0.02 {
+		t.Errorf("Pl = %v despite failover and retries", res.Pl)
+	}
+	if res.Producer.ByCase[4] == 0 { // Case4: delivered by retry
+		t.Log("note: no retry-delivered messages; outage may have fallen between requests")
+	}
+}
+
+func TestBrokerFailureAllDownCausesLoss(t *testing.T) {
+	v := cleanVector()
+	v.MessageTimeout = 800 * time.Millisecond
+	e := Experiment{
+		Features: v,
+		Messages: 400,
+		Seed:     4,
+		BrokerFailures: []BrokerEvent{
+			{At: 2 * time.Second, Broker: 0},
+			{At: 2 * time.Second, Broker: 1},
+			{At: 2 * time.Second, Broker: 2},
+			{At: 6 * time.Second, Broker: 0, Recover: true},
+			{At: 6 * time.Second, Broker: 1, Recover: true},
+			{At: 6 * time.Second, Broker: 2, Recover: true},
+		},
+	}
+	res, err := Run(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pl == 0 {
+		t.Error("no loss despite a 4s total outage against a 0.8s budget")
+	}
+	// After recovery the tail of the stream lands, so loss is partial.
+	if res.Pl > 0.9 {
+		t.Errorf("Pl = %v; recovery never helped", res.Pl)
+	}
+}
+
+func TestBrokerFailureValidation(t *testing.T) {
+	e := Experiment{
+		Features:       cleanVector(),
+		Messages:       10,
+		BrokerFailures: []BrokerEvent{{At: 0, Broker: 99}},
+	}
+	if _, err := Run(e); err == nil {
+		t.Error("unknown broker accepted")
+	}
+}

@@ -1,0 +1,352 @@
+// Package testbed assembles the full experiment pipeline of Sec. III-E:
+// a three-broker cluster, an emulated network path with injected faults,
+// a producer driven by synthetic source data, and a consumer-side
+// reconciliation that yields the ground-truth reliability metrics P_l
+// and P_d for a given feature vector. One Run is the simulated
+// equivalent of one Docker-testbed experiment.
+package testbed
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"kafkarel/internal/cluster"
+	"kafkarel/internal/consumer"
+	"kafkarel/internal/des"
+	"kafkarel/internal/features"
+	"kafkarel/internal/netem"
+	"kafkarel/internal/producer"
+	"kafkarel/internal/stats"
+	"kafkarel/internal/transport"
+	"kafkarel/internal/workload"
+)
+
+// Experiment describes one testbed run. The Features vector carries the
+// paper's eight prediction features; the remaining fields are the fixed
+// plumbing of the testbed itself.
+type Experiment struct {
+	Features features.Vector
+	// Messages is the number of source messages (the paper uses 10^6; the
+	// probabilities converge much earlier).
+	Messages int
+	// Seed makes the run reproducible.
+	Seed uint64
+	// Partitions is the topic's partition count (default 1). Above 1 the
+	// producer round-robins batches across partitions and the consumer
+	// reconciles all of them.
+	Partitions int
+	// Calibration overrides the host cost constants (zero value: default).
+	Calibration Calibration
+	// Trace, when non-empty, drives a time-varying network instead of the
+	// constant Features.DelayMs / Features.LossRate.
+	Trace netem.Trace
+	// MaxSimTime caps the virtual duration (0 = none); experiments cut
+	// short report metrics over the messages acquired so far.
+	MaxSimTime time.Duration
+	// BrokerFailures schedules broker crashes and recoveries during the
+	// run (extension beyond the paper: its future-work failure scenario).
+	BrokerFailures []BrokerEvent
+	// Schedule applies configuration changes at virtual times — the
+	// paper's dynamic-configuration mechanism (Sec. V). Each change maps
+	// the vector's configuration features (semantics, B, δ, T_o) onto the
+	// running producer; the stream and network features of scheduled
+	// vectors are ignored.
+	Schedule []ConfigChange
+	// Overrides for producer plumbing; zero values take the defaults
+	// below.
+	QueueLimit     int
+	MaxInFlight    int
+	MaxRetries     int
+	RequestTimeout time.Duration
+	RetryBackoff   time.Duration
+	LingerTime     time.Duration
+}
+
+// ConfigChange is one scheduled reconfiguration.
+type ConfigChange struct {
+	At       time.Duration
+	Features features.Vector
+}
+
+// BrokerEvent schedules a broker failure or recovery — the paper's
+// future-work scenario ("more failure scenarios including the failure of
+// brokers"), implemented as an extension.
+type BrokerEvent struct {
+	At      time.Duration
+	Broker  int32
+	Recover bool
+}
+
+// Plumbing defaults (see DESIGN.md §5 for how they were chosen).
+const (
+	DefaultQueueLimit     = 12
+	DefaultMaxInFlight    = 5
+	DefaultMaxRetries     = 5
+	DefaultRequestTimeout = 2000 * time.Millisecond
+	DefaultRetryBackoff   = 20 * time.Millisecond
+	DefaultLingerTime     = 5 * time.Millisecond
+)
+
+// Result is everything one run measures.
+type Result struct {
+	// Pl and Pd are the ground-truth reliability metrics from consumer
+	// reconciliation (Sec. III-F).
+	Pl float64
+	Pd float64
+	// Report is the full consumer reconciliation.
+	Report consumer.Report
+	// Producer is the producer-view Table I case distribution.
+	Producer producer.Counts
+	// Latency summarises delivered-message T_p in milliseconds.
+	Latency stats.Summary
+	// StaleRate is the fraction of delivered messages with T_p > S.
+	StaleRate float64
+	// Throughput is delivered messages per simulated second.
+	Throughput float64
+	// BandwidthUtilization is the measured φ: delivered forward-link bytes
+	// over link capacity for the run duration.
+	BandwidthUtilization float64
+	// Acquired is how many source messages entered the producer.
+	Acquired uint64
+	// Duration is the simulated run time.
+	Duration time.Duration
+	// Completed reports whether the source drained before MaxSimTime.
+	Completed bool
+}
+
+// Run executes one experiment.
+func Run(e Experiment) (Result, error) {
+	if err := e.Features.Validate(); err != nil {
+		return Result{}, fmt.Errorf("testbed: %w", err)
+	}
+	if e.Messages <= 0 {
+		return Result{}, fmt.Errorf("testbed: message count %d <= 0", e.Messages)
+	}
+	cal := e.Calibration
+	if cal == (Calibration{}) {
+		cal = DefaultCalibration()
+	}
+	if err := cal.Validate(); err != nil {
+		return Result{}, err
+	}
+
+	sim := des.New()
+	rig, err := buildRig(sim, e, cal)
+	if err != nil {
+		return Result{}, err
+	}
+	rig.prod.Start()
+
+	const eventCap = 2_000_000_000
+	if e.MaxSimTime > 0 {
+		if err := sim.RunUntil(e.MaxSimTime); err != nil {
+			return Result{}, fmt.Errorf("testbed: run: %w", err)
+		}
+	} else if err := sim.RunLimit(eventCap); err != nil {
+		return Result{}, fmt.Errorf("testbed: event cap exceeded (runaway experiment?): %w", err)
+	}
+
+	return rig.collect(sim, e)
+}
+
+// rig is the assembled simulation.
+type rig struct {
+	path   *netem.Path
+	conn   *transport.Conn
+	clst   *cluster.Cluster
+	prod   *producer.Producer
+	cfgErr error
+	doneAt time.Duration // virtual time the producer finished (-1 if cut off)
+}
+
+func buildRig(sim *des.Simulator, e Experiment, cal Calibration) (*rig, error) {
+	linkCfg := func(seed uint64) (netem.Config, error) {
+		cfg := netem.Config{Bandwidth: cal.Bandwidth, QueueLimit: 1000}
+		if len(e.Trace) == 0 {
+			if e.Features.DelayMs > 0 {
+				cfg.Delay = stats.Constant{Value: e.Features.DelayMs}
+			}
+			if e.Features.LossRate > 0 {
+				loss, err := stats.NewBernoulli(e.Features.LossRate, rand.New(rand.NewPCG(seed, 0x01)))
+				if err != nil {
+					return cfg, err
+				}
+				cfg.Loss = loss
+			}
+		}
+		return cfg, nil
+	}
+	fwd, err := linkCfg(e.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("testbed: forward link: %w", err)
+	}
+	rev, err := linkCfg(e.Seed + 1)
+	if err != nil {
+		return nil, fmt.Errorf("testbed: reverse link: %w", err)
+	}
+	path, err := netem.NewPath(sim, fwd, rev)
+	if err != nil {
+		return nil, fmt.Errorf("testbed: %w", err)
+	}
+	if len(e.Trace) > 0 {
+		if err := e.Trace.Apply(sim, path); err != nil {
+			return nil, fmt.Errorf("testbed: %w", err)
+		}
+	}
+
+	conn, err := transport.NewConn(sim, path, transport.Config{SendBufferLimit: cal.SocketBuffer})
+	if err != nil {
+		return nil, fmt.Errorf("testbed: %w", err)
+	}
+	clst, err := cluster.New(sim, cluster.DefaultConfig())
+	if err != nil {
+		return nil, fmt.Errorf("testbed: %w", err)
+	}
+	const topic = "stream"
+	if err := clst.CreateTopic(topic, defInt(e.Partitions, 1), 3); err != nil {
+		return nil, fmt.Errorf("testbed: %w", err)
+	}
+	srv, err := cluster.NewServer(clst, conn.Server)
+	if err != nil {
+		return nil, fmt.Errorf("testbed: %w", err)
+	}
+	conn.OnReset(srv.ResetParser)
+
+	src, err := workload.NewFixedSource(e.Features.MessageSize, e.Messages)
+	if err != nil {
+		return nil, fmt.Errorf("testbed: %w", err)
+	}
+	pcfg, err := producerConfig(e, topic)
+	if err != nil {
+		return nil, err
+	}
+	costs := newCostModel(cal, rand.New(rand.NewPCG(e.Seed, 0x02)))
+	r := &rig{path: path, conn: conn, clst: clst, doneAt: -1}
+	for i, ev := range e.BrokerFailures {
+		ev := ev
+		if b := clst.Broker(ev.Broker); b == nil {
+			return nil, fmt.Errorf("testbed: broker event %d: no broker %d", i, ev.Broker)
+		}
+		sim.Schedule(ev.At, func() {
+			var err error
+			if ev.Recover {
+				err = clst.RecoverBroker(ev.Broker)
+			} else {
+				err = clst.FailBroker(ev.Broker)
+			}
+			if err != nil && r.cfgErr == nil {
+				r.cfgErr = err
+			}
+		})
+	}
+	prod, err := producer.New(sim, pcfg, costs, conn, src,
+		producer.WithTimeliness(e.Features.Timeliness),
+		producer.WithCompletion(func() { r.doneAt = sim.Now() }))
+	if err != nil {
+		return nil, fmt.Errorf("testbed: %w", err)
+	}
+	r.prod = prod
+	for i, change := range e.Schedule {
+		next := e
+		next.Features = change.Features
+		ncfg, err := producerConfig(next, topic)
+		if err != nil {
+			return nil, fmt.Errorf("testbed: schedule entry %d: %w", i, err)
+		}
+		sim.Schedule(change.At, func() {
+			// Reconfigure pins topic/partition/producer ID itself; a
+			// schedule entry can only carry tunable parameters.
+			if err := prod.Reconfigure(ncfg); err != nil && r.cfgErr == nil {
+				r.cfgErr = err
+			}
+		})
+	}
+	return r, nil
+}
+
+// producerConfig maps a feature vector plus experiment overrides onto the
+// producer configuration.
+func producerConfig(e Experiment, topic string) (producer.Config, error) {
+	var sem producer.Semantics
+	switch e.Features.Semantics {
+	case features.SemanticsAtMostOnce:
+		sem = producer.AtMostOnce
+	case features.SemanticsAtLeastOnce:
+		sem = producer.AtLeastOnce
+	case features.SemanticsExactlyOnce:
+		sem = producer.ExactlyOnce
+	default:
+		return producer.Config{}, fmt.Errorf("testbed: unknown semantics %d", e.Features.Semantics)
+	}
+	cfg := producer.Config{
+		Topic:          topic,
+		Semantics:      sem,
+		BatchSize:      e.Features.BatchSize,
+		PollInterval:   e.Features.PollInterval,
+		MessageTimeout: e.Features.MessageTimeout,
+		MaxRetries:     defInt(e.MaxRetries, DefaultMaxRetries),
+		RetryBackoff:   defDur(e.RetryBackoff, DefaultRetryBackoff),
+		RequestTimeout: defDur(e.RequestTimeout, DefaultRequestTimeout),
+		MaxInFlight:    defInt(e.MaxInFlight, DefaultMaxInFlight),
+		Partitions:     int32(defInt(e.Partitions, 1)),
+		QueueLimit:     defInt(e.QueueLimit, DefaultQueueLimit),
+		LingerTime:     defDur(e.LingerTime, DefaultLingerTime),
+		ReconnectDelay: 50 * time.Millisecond,
+	}
+	// Always assigned: idempotence only engages when the semantics is
+	// exactly-once, and a schedule may switch semantics mid-run.
+	cfg.ProducerID = e.Seed + 1
+	return cfg, nil
+}
+
+func defInt(v, d int) int {
+	if v > 0 {
+		return v
+	}
+	return d
+}
+
+func defDur(v, d time.Duration) time.Duration {
+	if v > 0 {
+		return v
+	}
+	return d
+}
+
+// collect verifies and aggregates the run.
+func (r *rig) collect(sim *des.Simulator, e Experiment) (Result, error) {
+	if r.cfgErr != nil {
+		return Result{}, fmt.Errorf("testbed: scheduled reconfiguration: %w", r.cfgErr)
+	}
+	res := Result{
+		Producer:  r.prod.Counts(),
+		Latency:   r.prod.Latency(),
+		Acquired:  r.prod.Acquired(),
+		Duration:  sim.Now(),
+		Completed: r.prod.Done(),
+	}
+	if r.doneAt >= 0 {
+		res.Duration = r.doneAt
+	}
+	recs, err := consumer.ConsumeAllPartitions(r.clst, r.prod.Config().Topic,
+		int32(defInt(e.Partitions, 1)))
+	if err != nil {
+		return Result{}, fmt.Errorf("testbed: %w", err)
+	}
+	res.Report = consumer.Reconcile(res.Acquired, recs)
+	res.Pl = res.Report.Pl()
+	res.Pd = res.Report.Pd()
+	if d := res.Duration.Seconds(); d > 0 {
+		res.Throughput = float64(res.Report.Distinct) / d
+		cal := e.Calibration
+		if cal == (Calibration{}) {
+			cal = DefaultCalibration()
+		}
+		res.BandwidthUtilization = float64(r.path.Fwd.Counters().BytesDelivery*8) / (cal.Bandwidth * d)
+	}
+	if res.Producer.Delivered > 0 {
+		res.StaleRate = float64(r.prod.Stale()) / float64(res.Producer.Delivered)
+	}
+	return res, nil
+}

@@ -1,0 +1,592 @@
+// Package transport implements a reliable, in-order byte stream over a
+// lossy netem path — the stand-in for the TCP connection between the
+// Kafka producer and the cluster in the paper's testbed.
+//
+// The model keeps the mechanisms that matter for the paper's findings:
+// MSS segmentation, cumulative acknowledgements, an adaptive
+// retransmission timeout (RFC 6298-style SRTT/RTTVAR with exponential
+// backoff), fast retransmit on duplicate ACKs, and Reno-style congestion
+// control (slow start, congestion avoidance, multiplicative decrease).
+// Those are exactly the behaviours Sec. IV of the paper attributes the
+// observed reliability shapes to: graceful goodput degradation up to
+// roughly 8 % packet loss followed by timeout-dominated collapse, and
+// round-trip inflation that triggers application-level retries.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"kafkarel/internal/des"
+	"kafkarel/internal/netem"
+)
+
+// Errors surfaced to users of a connection.
+var (
+	// ErrBroken is reported after a segment exhausts its retransmission
+	// budget; the connection must be Reset before further use.
+	ErrBroken = errors.New("transport: connection broken")
+	// ErrBufferFull is returned by Send when the send buffer limit would
+	// be exceeded.
+	ErrBufferFull = errors.New("transport: send buffer full")
+)
+
+// Config tunes a connection. The zero value is usable: DefaultConfig
+// values are substituted for zero fields.
+type Config struct {
+	// MSS is the maximum segment payload in bytes.
+	MSS int
+	// SegmentOverhead models IP+TCP header bytes added to every segment
+	// on the wire.
+	SegmentOverhead int
+	// AckSize is the wire size of a pure acknowledgement packet.
+	AckSize int
+	// InitialCwnd is the initial congestion window in segments.
+	InitialCwnd int
+	// MaxWindow caps the send window in segments (receiver window).
+	MaxWindow int
+	// MinRTO, MaxRTO, InitialRTO bound the retransmission timeout.
+	MinRTO     time.Duration
+	MaxRTO     time.Duration
+	InitialRTO time.Duration
+	// MaxRetries is the per-segment retransmission budget before the
+	// connection is declared broken.
+	MaxRetries int
+	// DupAckThreshold triggers fast retransmit (TCP's classic 3).
+	DupAckThreshold int
+	// SendBufferLimit bounds bytes buffered per endpoint (0 = unlimited).
+	SendBufferLimit int
+	// DelayedAck enables RFC 1122-style delayed acknowledgements: an ack
+	// is sent for every second in-order segment, or after this delay,
+	// whichever comes first. Out-of-order and duplicate segments are
+	// acknowledged immediately (they feed fast retransmit). 0 disables
+	// delaying; every segment is acked at once.
+	DelayedAck time.Duration
+}
+
+// DefaultConfig mirrors common Linux TCP constants scaled to the
+// experiments' millisecond regime.
+func DefaultConfig() Config {
+	return Config{
+		MSS:             1460,
+		SegmentOverhead: 40,
+		AckSize:         40,
+		InitialCwnd:     10,
+		MaxWindow:       64,
+		MinRTO:          200 * time.Millisecond,
+		MaxRTO:          60 * time.Second,
+		InitialRTO:      1 * time.Second,
+		MaxRetries:      15, // Linux tcp_retries2
+
+		DupAckThreshold: 3,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.MSS <= 0 {
+		c.MSS = d.MSS
+	}
+	if c.SegmentOverhead <= 0 {
+		c.SegmentOverhead = d.SegmentOverhead
+	}
+	if c.AckSize <= 0 {
+		c.AckSize = d.AckSize
+	}
+	if c.InitialCwnd <= 0 {
+		c.InitialCwnd = d.InitialCwnd
+	}
+	if c.MaxWindow <= 0 {
+		c.MaxWindow = d.MaxWindow
+	}
+	if c.MinRTO <= 0 {
+		c.MinRTO = d.MinRTO
+	}
+	if c.MaxRTO <= 0 {
+		c.MaxRTO = d.MaxRTO
+	}
+	if c.InitialRTO <= 0 {
+		c.InitialRTO = d.InitialRTO
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = d.MaxRetries
+	}
+	if c.DupAckThreshold <= 0 {
+		c.DupAckThreshold = d.DupAckThreshold
+	}
+	return c
+}
+
+// Stats counts transport-level activity on one endpoint.
+type Stats struct {
+	SegmentsSent    uint64
+	Retransmissions uint64
+	FastRetransmits uint64
+	Timeouts        uint64
+	AcksSent        uint64
+	BytesDelivered  uint64
+	SRTT            time.Duration
+	RTO             time.Duration
+}
+
+// packet is what traverses the netem link between the two endpoints.
+type packet struct {
+	seq     int64  // byte offset of payload start (data packets)
+	ack     int64  // cumulative ack: next expected byte (ack packets)
+	payload []byte // nil for pure acks
+}
+
+// segMeta tracks an in-flight segment at the sender.
+type segMeta struct {
+	seq     int64
+	size    int
+	sentAt  time.Duration
+	retries int
+	// rttEligible is false after a retransmission (Karn's algorithm: no
+	// RTT sample from retransmitted segments).
+	rttEligible bool
+}
+
+// Endpoint is one side of a connection. Not safe for concurrent use; the
+// DES is single-threaded.
+type Endpoint struct {
+	name string
+	sim  *des.Simulator
+	cfg  Config
+	out  *netem.Link // link towards the peer
+	peer *Endpoint
+
+	// Sender state.
+	sendBuf   []byte // bytes accepted but not yet segmented onto the wire
+	sndUna    int64  // oldest unacknowledged byte
+	sndNxt    int64  // next byte to segment
+	bufBase   int64  // byte offset of sendBuf[0]
+	inFlight  []*segMeta
+	cwnd      float64
+	ssthresh  float64
+	rto       time.Duration
+	srtt      time.Duration
+	rttvar    time.Duration
+	backoff   int
+	dupAcks   int
+	timer     *des.Timer
+	broken    bool
+	brokenErr error
+
+	// Receiver state.
+	rcvNxt      int64
+	unackedSegs int              // in-order segments since the last ack (delayed-ack mode)
+	ackTimer    *des.Timer       // delayed-ack flush
+	ooo         map[int64][]byte // out-of-order segments keyed by seq
+	onRecv      func([]byte)
+	onErr       func(error)
+	stats       Stats
+	genSent     uint64 // connection generation, bumped by Reset to kill stale timers
+}
+
+// Conn is a duplex connection: the Client endpoint sends on path.Fwd and
+// the Server endpoint on path.Rev.
+type Conn struct {
+	Client  *Endpoint
+	Server  *Endpoint
+	onReset []func()
+}
+
+// OnReset registers a callback invoked after every Reset, letting layers
+// that keep per-connection parsing state (frame splitters) start fresh as
+// they would on a new socket.
+func (c *Conn) OnReset(fn func()) {
+	if fn != nil {
+		c.onReset = append(c.onReset, fn)
+	}
+}
+
+// NewConn builds a connection over the path. No handshake is modelled;
+// the paper's experiments hold connections open for their whole duration.
+func NewConn(sim *des.Simulator, path *netem.Path, cfg Config) (*Conn, error) {
+	if sim == nil || path == nil {
+		return nil, fmt.Errorf("transport: nil simulator or path")
+	}
+	cfg = cfg.withDefaults()
+	client := newEndpoint("client", sim, cfg, path.Fwd)
+	server := newEndpoint("server", sim, cfg, path.Rev)
+	client.peer = server
+	server.peer = client
+	return &Conn{Client: client, Server: server}, nil
+}
+
+func newEndpoint(name string, sim *des.Simulator, cfg Config, out *netem.Link) *Endpoint {
+	e := &Endpoint{
+		name:     name,
+		sim:      sim,
+		cfg:      cfg,
+		out:      out,
+		cwnd:     float64(cfg.InitialCwnd),
+		ssthresh: float64(cfg.MaxWindow),
+		rto:      cfg.InitialRTO,
+		ooo:      make(map[int64][]byte),
+	}
+	e.timer = des.NewTimer(sim, e.onRTO)
+	e.ackTimer = des.NewTimer(sim, e.flushAck)
+	return e
+}
+
+// Reset discards all state on both endpoints, emulating a reconnect after
+// a broken connection. Buffered and in-flight bytes are lost, exactly as
+// an application sees when it reopens a TCP socket.
+func (c *Conn) Reset() {
+	c.Client.reset()
+	c.Server.reset()
+	for _, fn := range c.onReset {
+		fn()
+	}
+}
+
+func (e *Endpoint) reset() {
+	e.timer.Stop()
+	e.genSent++
+	e.sendBuf = nil
+	e.sndUna, e.sndNxt, e.bufBase = 0, 0, 0
+	e.inFlight = nil
+	e.cwnd = float64(e.cfg.InitialCwnd)
+	e.ssthresh = float64(e.cfg.MaxWindow)
+	e.rto = e.cfg.InitialRTO
+	e.srtt, e.rttvar = 0, 0
+	e.backoff = 0
+	e.dupAcks = 0
+	e.broken = false
+	e.brokenErr = nil
+	e.rcvNxt = 0
+	e.unackedSegs = 0
+	e.ackTimer.Stop()
+	e.ooo = make(map[int64][]byte)
+	// Peer receiver state resets on its own endpoint's reset.
+}
+
+// OnReceive registers the in-order delivery callback. Chunks arrive in
+// stream order with no gaps; boundaries are arbitrary.
+func (e *Endpoint) OnReceive(fn func([]byte)) { e.onRecv = fn }
+
+// OnBroken registers the callback invoked once when the connection
+// breaks.
+func (e *Endpoint) OnBroken(fn func(error)) { e.onErr = fn }
+
+// Broken reports whether the endpoint's sender has given up.
+func (e *Endpoint) Broken() bool { return e.broken }
+
+// Stats returns a snapshot including the current SRTT and RTO.
+func (e *Endpoint) Stats() Stats {
+	s := e.stats
+	s.SRTT = e.srtt
+	s.RTO = e.rto
+	return s
+}
+
+// BufferedBytes returns bytes accepted by Send but not yet acknowledged.
+func (e *Endpoint) BufferedBytes() int {
+	return int(e.bufBase + int64(len(e.sendBuf)) - e.sndUna)
+}
+
+// Send queues data for reliable delivery to the peer. The data is copied.
+func (e *Endpoint) Send(data []byte) error {
+	if e.broken {
+		return e.brokenErr
+	}
+	if e.cfg.SendBufferLimit > 0 && e.BufferedBytes()+len(data) > e.cfg.SendBufferLimit {
+		return ErrBufferFull
+	}
+	e.sendBuf = append(e.sendBuf, data...)
+	e.pump()
+	return nil
+}
+
+// windowSegs returns how many segments may be in flight right now.
+func (e *Endpoint) windowSegs() int {
+	w := int(e.cwnd)
+	if w < 1 {
+		w = 1
+	}
+	if w > e.cfg.MaxWindow {
+		w = e.cfg.MaxWindow
+	}
+	return w
+}
+
+// pump segments buffered bytes onto the wire while the window allows.
+func (e *Endpoint) pump() {
+	for !e.broken && len(e.inFlight) < e.windowSegs() {
+		off := int(e.sndNxt - e.bufBase)
+		if off >= len(e.sendBuf) {
+			return // nothing new to send
+		}
+		n := len(e.sendBuf) - off
+		if n > e.cfg.MSS {
+			n = e.cfg.MSS
+		}
+		payload := make([]byte, n)
+		copy(payload, e.sendBuf[off:off+n])
+		m := &segMeta{seq: e.sndNxt, size: n, sentAt: e.sim.Now(), rttEligible: true}
+		e.inFlight = append(e.inFlight, m)
+		e.sndNxt += int64(n)
+		e.transmit(m, payload)
+		if !e.timer.Armed() {
+			e.timer.Reset(e.rto)
+		}
+	}
+}
+
+func (e *Endpoint) transmit(m *segMeta, payload []byte) {
+	e.stats.SegmentsSent++
+	pkt := packet{seq: m.seq, ack: -1, payload: payload}
+	gen := e.genSent
+	e.out.Send(m.size+e.cfg.SegmentOverhead, func() {
+		if e.genSent == gen {
+			e.peer.receiveData(pkt)
+		}
+	})
+}
+
+// retransmit resends the oldest unacked segment. Every in-flight segment
+// loses RTT eligibility (Karn's algorithm, conservative form): their
+// cumulative acks are delayed by this recovery, so their samples would
+// measure head-of-line blocking rather than path RTT.
+func (e *Endpoint) retransmit(m *segMeta) {
+	m.retries++
+	for _, f := range e.inFlight {
+		f.rttEligible = false
+	}
+	m.sentAt = e.sim.Now()
+	e.stats.Retransmissions++
+	off := int(m.seq - e.bufBase)
+	payload := make([]byte, m.size)
+	copy(payload, e.sendBuf[off:off+m.size])
+	e.transmit(m, payload)
+}
+
+// onRTO handles a retransmission timeout: back off, shrink the window,
+// resend the earliest segment.
+func (e *Endpoint) onRTO() {
+	if e.broken || len(e.inFlight) == 0 {
+		return
+	}
+	e.stats.Timeouts++
+	m := e.inFlight[0]
+	if m.retries >= e.cfg.MaxRetries {
+		e.fail(fmt.Errorf("%w: segment seq=%d exceeded %d retries", ErrBroken, m.seq, e.cfg.MaxRetries))
+		return
+	}
+	// RFC 5681: ssthresh = max(flight/2, 2 segments); cwnd back to 1.
+	e.ssthresh = float64(len(e.inFlight)) / 2
+	if e.ssthresh < 2 {
+		e.ssthresh = 2
+	}
+	e.cwnd = 1
+	e.backoff++
+	e.rto *= 2
+	if e.rto > e.cfg.MaxRTO {
+		e.rto = e.cfg.MaxRTO
+	}
+	e.dupAcks = 0
+	e.retransmit(m)
+	e.timer.Reset(e.rto)
+}
+
+func (e *Endpoint) fail(err error) {
+	e.broken = true
+	e.brokenErr = err
+	e.timer.Stop()
+	e.inFlight = nil
+	if e.onErr != nil {
+		e.onErr(err)
+	}
+}
+
+// receiveData runs at this endpoint when a data packet from the peer
+// lands; it acknowledges and delivers in-order bytes.
+func (e *Endpoint) receiveData(pkt packet) {
+	inOrder := false
+	switch {
+	case pkt.seq == e.rcvNxt:
+		inOrder = true
+		e.deliver(pkt.payload)
+		// Drain any out-of-order segments now contiguous.
+		for {
+			payload, ok := e.ooo[e.rcvNxt]
+			if !ok {
+				break
+			}
+			delete(e.ooo, e.rcvNxt)
+			e.deliver(payload)
+		}
+	case pkt.seq > e.rcvNxt:
+		e.ooo[pkt.seq] = pkt.payload
+	default:
+		// Duplicate of already-delivered data (spurious retransmission):
+		// re-ack and drop.
+	}
+	if e.cfg.DelayedAck <= 0 || !inOrder || len(e.ooo) > 0 {
+		// Immediate ack: delaying disabled, or the segment was
+		// out-of-order/duplicate (the sender needs dup acks promptly for
+		// fast retransmit), or a reordering gap is open.
+		e.flushAck()
+		return
+	}
+	e.unackedSegs++
+	if e.unackedSegs >= 2 {
+		e.flushAck()
+		return
+	}
+	if !e.ackTimer.Armed() {
+		e.ackTimer.Reset(e.cfg.DelayedAck)
+	}
+}
+
+// flushAck emits the pending cumulative acknowledgement now.
+func (e *Endpoint) flushAck() {
+	e.unackedSegs = 0
+	e.ackTimer.Stop()
+	e.sendAck()
+}
+
+func (e *Endpoint) deliver(payload []byte) {
+	e.rcvNxt += int64(len(payload))
+	e.stats.BytesDelivered += uint64(len(payload))
+	if e.onRecv != nil {
+		e.onRecv(payload)
+	}
+}
+
+// sendAck emits a pure cumulative acknowledgement to the peer. It rides
+// this endpoint's outbound link, contending with outbound data — the
+// bandwidth-preemption effect Sec. IV-A describes.
+func (e *Endpoint) sendAck() {
+	e.stats.AcksSent++
+	ackNo := e.rcvNxt
+	gen := e.genSent
+	e.out.Send(e.cfg.AckSize, func() {
+		if e.genSent == gen {
+			e.peer.receiveAck(ackNo)
+		}
+	})
+}
+
+// receiveAck processes a cumulative ack arriving at this endpoint's
+// sender.
+func (e *Endpoint) receiveAck(ack int64) {
+	if e.broken {
+		return
+	}
+	if ack <= e.sndUna {
+		// Duplicate ack.
+		if len(e.inFlight) == 0 {
+			return
+		}
+		e.dupAcks++
+		if e.dupAcks == e.cfg.DupAckThreshold {
+			// Fast retransmit + multiplicative decrease (simplified Reno:
+			// no explicit fast-recovery inflation).
+			e.stats.FastRetransmits++
+			m := e.inFlight[0]
+			if m.retries >= e.cfg.MaxRetries {
+				e.fail(fmt.Errorf("%w: segment seq=%d exceeded %d retries", ErrBroken, m.seq, e.cfg.MaxRetries))
+				return
+			}
+			e.ssthresh = e.cwnd / 2
+			if e.ssthresh < 2 {
+				e.ssthresh = 2
+			}
+			e.cwnd = e.ssthresh
+			e.retransmit(m)
+			e.timer.Reset(e.rto)
+		}
+		return
+	}
+
+	// New data acknowledged: the ack clock is running again, so undo any
+	// timeout backoff by restoring the RTO computed from the smoothed
+	// estimates (Linux recomputes the RTO on every ack the same way).
+	e.dupAcks = 0
+	e.backoff = 0
+	if e.srtt > 0 {
+		e.recomputeRTO()
+	}
+	acked := 0
+	// RTT sampling follows timestamp-style measurement: one sample per
+	// cumulative ack, taken from the most recently transmitted segment it
+	// covers and never from a retransmitted one (Karn's algorithm).
+	// Sampling older segments would record head-of-line blocking time
+	// spent behind a loss recovery as if it were path RTT.
+	var sampleAt time.Duration = -1
+	for len(e.inFlight) > 0 {
+		m := e.inFlight[0]
+		if m.seq+int64(m.size) > ack {
+			break
+		}
+		if m.rttEligible && m.sentAt > sampleAt {
+			sampleAt = m.sentAt
+		}
+		e.inFlight = e.inFlight[1:]
+		acked++
+	}
+	if sampleAt >= 0 {
+		e.updateRTT(e.sim.Now() - sampleAt)
+	}
+	e.sndUna = ack
+	// Release acknowledged bytes from the buffer.
+	drop := int(e.sndUna - e.bufBase)
+	if drop > 0 {
+		if drop > len(e.sendBuf) {
+			drop = len(e.sendBuf)
+		}
+		e.sendBuf = e.sendBuf[drop:]
+		e.bufBase += int64(drop)
+	}
+	// Congestion window growth.
+	for i := 0; i < acked; i++ {
+		if e.cwnd < e.ssthresh {
+			e.cwnd++ // slow start
+		} else {
+			e.cwnd += 1 / e.cwnd // congestion avoidance
+		}
+	}
+	if e.cwnd > float64(e.cfg.MaxWindow) {
+		e.cwnd = float64(e.cfg.MaxWindow)
+	}
+	if len(e.inFlight) == 0 {
+		e.timer.Stop()
+	} else {
+		e.timer.Reset(e.rto)
+	}
+	e.pump()
+}
+
+// updateRTT applies RFC 6298 smoothing.
+func (e *Endpoint) updateRTT(sample time.Duration) {
+	if sample < 0 {
+		return
+	}
+	if e.srtt == 0 {
+		e.srtt = sample
+		e.rttvar = sample / 2
+	} else {
+		diff := e.srtt - sample
+		if diff < 0 {
+			diff = -diff
+		}
+		e.rttvar = (3*e.rttvar + diff) / 4
+		e.srtt = (7*e.srtt + sample) / 8
+	}
+	e.recomputeRTO()
+}
+
+func (e *Endpoint) recomputeRTO() {
+	rto := e.srtt + 4*e.rttvar
+	if rto < e.cfg.MinRTO {
+		rto = e.cfg.MinRTO
+	}
+	if rto > e.cfg.MaxRTO {
+		rto = e.cfg.MaxRTO
+	}
+	e.rto = rto
+}

@@ -1,0 +1,66 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Frame header: 4-byte body length followed by a 2-byte API key, after
+// which the API-specific body follows. This mirrors Kafka's size-prefixed
+// TCP framing and lets a byte-stream receiver split messages.
+const frameHeaderSize = 6
+
+// MaxFrameSize bounds a single frame; oversized frames are rejected as
+// corrupt rather than allocating unbounded memory.
+const MaxFrameSize = 16 << 20
+
+// EncodeFrame wraps an encoded body in a frame header.
+func EncodeFrame(api uint16, body []byte) []byte {
+	out := make([]byte, 0, frameHeaderSize+len(body))
+	out = binary.BigEndian.AppendUint32(out, uint32(len(body)+2))
+	out = binary.BigEndian.AppendUint16(out, api)
+	return append(out, body...)
+}
+
+// FrameSize returns the total encoded size of a frame with the given body
+// size, for senders that budget bytes before encoding.
+func FrameSize(bodySize int) int { return frameHeaderSize + bodySize }
+
+// Splitter incrementally splits a byte stream into frames. Feed it chunks
+// in arrival order with Push; complete frames come back in order.
+type Splitter struct {
+	buf []byte
+}
+
+// Push appends stream bytes and returns all frames completed by them.
+// Each returned frame is (api, body); bodies alias freshly copied memory.
+func (s *Splitter) Push(chunk []byte) ([]FramePart, error) {
+	s.buf = append(s.buf, chunk...)
+	var out []FramePart
+	for {
+		if len(s.buf) < 4 {
+			return out, nil
+		}
+		size := int(binary.BigEndian.Uint32(s.buf))
+		if size < 2 || size > MaxFrameSize {
+			return out, fmt.Errorf("frame size %d: %w", size, ErrBadFrame)
+		}
+		if len(s.buf) < 4+size {
+			return out, nil
+		}
+		api := binary.BigEndian.Uint16(s.buf[4:])
+		body := make([]byte, size-2)
+		copy(body, s.buf[6:4+size])
+		s.buf = s.buf[4+size:]
+		out = append(out, FramePart{API: api, Body: body})
+	}
+}
+
+// Buffered returns the number of bytes waiting for frame completion.
+func (s *Splitter) Buffered() int { return len(s.buf) }
+
+// FramePart is one complete frame split from a stream.
+type FramePart struct {
+	API  uint16
+	Body []byte
+}

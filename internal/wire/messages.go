@@ -1,0 +1,351 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// RequiredAcks mirrors the producer "acks" setting: how many broker
+// acknowledgements a produce request demands before the broker responds.
+type RequiredAcks int16
+
+// Acks settings. AcksNone is at-most-once fire-and-forget; AcksLeader
+// acknowledges after the leader persists; AcksAll waits for the full ISR.
+const (
+	AcksNone   RequiredAcks = 0
+	AcksLeader RequiredAcks = 1
+	AcksAll    RequiredAcks = -1
+)
+
+// String implements fmt.Stringer.
+func (a RequiredAcks) String() string {
+	switch a {
+	case AcksNone:
+		return "acks=0"
+	case AcksLeader:
+		return "acks=1"
+	case AcksAll:
+		return "acks=all"
+	default:
+		return fmt.Sprintf("acks=%d", int16(a))
+	}
+}
+
+// ProduceRequest carries one record batch to a topic partition.
+type ProduceRequest struct {
+	CorrelationID uint32
+	Topic         string
+	Partition     int32
+	Acks          RequiredAcks
+	Batch         RecordBatch
+}
+
+// ProduceResponse acknowledges (or rejects) a produce request.
+type ProduceResponse struct {
+	CorrelationID uint32
+	Topic         string
+	Partition     int32
+	BaseOffset    int64
+	Err           ErrorCode
+}
+
+// FetchRequest asks for up to MaxRecords records starting at Offset.
+type FetchRequest struct {
+	CorrelationID uint32
+	Topic         string
+	Partition     int32
+	Offset        int64
+	MaxRecords    int32
+}
+
+// FetchResponse returns the records and the partition high watermark.
+type FetchResponse struct {
+	CorrelationID uint32
+	Topic         string
+	Partition     int32
+	HighWatermark int64
+	Err           ErrorCode
+	Records       []Record
+}
+
+// MetadataRequest asks which broker leads each partition of a topic.
+type MetadataRequest struct {
+	CorrelationID uint32
+	Topic         string
+}
+
+// PartitionMetadata describes one partition's leadership.
+type PartitionMetadata struct {
+	Partition int32
+	Leader    int32
+	Replicas  []int32
+}
+
+// MetadataResponse lists partition leadership for a topic.
+type MetadataResponse struct {
+	CorrelationID uint32
+	Topic         string
+	Err           ErrorCode
+	Partitions    []PartitionMetadata
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.BigEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+func decodeString(b []byte) (string, []byte, error) {
+	if len(b) < 2 {
+		return "", nil, fmt.Errorf("string length: %w", ErrShortBuffer)
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	if len(b) < n {
+		return "", nil, fmt.Errorf("string body (%d bytes): %w", n, ErrShortBuffer)
+	}
+	return string(b[:n]), b[n:], nil
+}
+
+// Encode serialises the request body (without the frame header).
+func (r ProduceRequest) Encode(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, r.CorrelationID)
+	dst = appendString(dst, r.Topic)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(r.Partition))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(r.Acks))
+	return r.Batch.Encode(dst)
+}
+
+// EncodedSize returns the wire size of the request body.
+func (r ProduceRequest) EncodedSize() int {
+	return 4 + 2 + len(r.Topic) + 4 + 2 + r.Batch.EncodedSize()
+}
+
+// DecodeProduceRequest parses a request body produced by Encode.
+func DecodeProduceRequest(b []byte) (ProduceRequest, error) {
+	var r ProduceRequest
+	if len(b) < 4 {
+		return r, fmt.Errorf("produce correlation id: %w", ErrShortBuffer)
+	}
+	r.CorrelationID = binary.BigEndian.Uint32(b)
+	b = b[4:]
+	topic, b, err := decodeString(b)
+	if err != nil {
+		return r, fmt.Errorf("produce topic: %w", err)
+	}
+	r.Topic = topic
+	if len(b) < 6 {
+		return r, fmt.Errorf("produce partition/acks: %w", ErrShortBuffer)
+	}
+	r.Partition = int32(binary.BigEndian.Uint32(b))
+	r.Acks = RequiredAcks(int16(binary.BigEndian.Uint16(b[4:])))
+	b = b[6:]
+	batch, rest, err := DecodeRecordBatch(b)
+	if err != nil {
+		return r, fmt.Errorf("produce batch: %w", err)
+	}
+	if len(rest) != 0 {
+		return r, fmt.Errorf("produce trailing %d bytes: %w", len(rest), ErrBadFrame)
+	}
+	r.Batch = batch
+	return r, nil
+}
+
+// Encode serialises the response body.
+func (r ProduceResponse) Encode(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, r.CorrelationID)
+	dst = appendString(dst, r.Topic)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(r.Partition))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(r.BaseOffset))
+	return binary.BigEndian.AppendUint16(dst, uint16(r.Err))
+}
+
+// EncodedSize returns the wire size of the response body.
+func (r ProduceResponse) EncodedSize() int { return 4 + 2 + len(r.Topic) + 4 + 8 + 2 }
+
+// DecodeProduceResponse parses a response body produced by Encode.
+func DecodeProduceResponse(b []byte) (ProduceResponse, error) {
+	var r ProduceResponse
+	if len(b) < 4 {
+		return r, fmt.Errorf("produce-response correlation id: %w", ErrShortBuffer)
+	}
+	r.CorrelationID = binary.BigEndian.Uint32(b)
+	b = b[4:]
+	topic, b, err := decodeString(b)
+	if err != nil {
+		return r, fmt.Errorf("produce-response topic: %w", err)
+	}
+	r.Topic = topic
+	if len(b) != 14 {
+		return r, fmt.Errorf("produce-response tail: %w", ErrBadFrame)
+	}
+	r.Partition = int32(binary.BigEndian.Uint32(b))
+	r.BaseOffset = int64(binary.BigEndian.Uint64(b[4:]))
+	r.Err = ErrorCode(binary.BigEndian.Uint16(b[12:]))
+	return r, nil
+}
+
+// Encode serialises the request body.
+func (r FetchRequest) Encode(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, r.CorrelationID)
+	dst = appendString(dst, r.Topic)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(r.Partition))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(r.Offset))
+	return binary.BigEndian.AppendUint32(dst, uint32(r.MaxRecords))
+}
+
+// DecodeFetchRequest parses a request body produced by Encode.
+func DecodeFetchRequest(b []byte) (FetchRequest, error) {
+	var r FetchRequest
+	if len(b) < 4 {
+		return r, fmt.Errorf("fetch correlation id: %w", ErrShortBuffer)
+	}
+	r.CorrelationID = binary.BigEndian.Uint32(b)
+	b = b[4:]
+	topic, b, err := decodeString(b)
+	if err != nil {
+		return r, fmt.Errorf("fetch topic: %w", err)
+	}
+	r.Topic = topic
+	if len(b) != 16 {
+		return r, fmt.Errorf("fetch tail: %w", ErrBadFrame)
+	}
+	r.Partition = int32(binary.BigEndian.Uint32(b))
+	r.Offset = int64(binary.BigEndian.Uint64(b[4:]))
+	r.MaxRecords = int32(binary.BigEndian.Uint32(b[12:]))
+	return r, nil
+}
+
+// Encode serialises the response body.
+func (r FetchResponse) Encode(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, r.CorrelationID)
+	dst = appendString(dst, r.Topic)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(r.Partition))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(r.HighWatermark))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(r.Err))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(r.Records)))
+	for _, rec := range r.Records {
+		dst = rec.encode(dst)
+	}
+	return dst
+}
+
+// DecodeFetchResponse parses a response body produced by Encode.
+func DecodeFetchResponse(b []byte) (FetchResponse, error) {
+	var r FetchResponse
+	if len(b) < 4 {
+		return r, fmt.Errorf("fetch-response correlation id: %w", ErrShortBuffer)
+	}
+	r.CorrelationID = binary.BigEndian.Uint32(b)
+	b = b[4:]
+	topic, b, err := decodeString(b)
+	if err != nil {
+		return r, fmt.Errorf("fetch-response topic: %w", err)
+	}
+	r.Topic = topic
+	if len(b) < 18 {
+		return r, fmt.Errorf("fetch-response header: %w", ErrShortBuffer)
+	}
+	r.Partition = int32(binary.BigEndian.Uint32(b))
+	r.HighWatermark = int64(binary.BigEndian.Uint64(b[4:]))
+	r.Err = ErrorCode(binary.BigEndian.Uint16(b[12:]))
+	count := int(binary.BigEndian.Uint32(b[14:]))
+	b = b[18:]
+	r.Records = make([]Record, 0, count)
+	for i := 0; i < count; i++ {
+		rec, rest, err := decodeRecord(b)
+		if err != nil {
+			return r, fmt.Errorf("fetch-response record %d: %w", i, err)
+		}
+		r.Records = append(r.Records, rec)
+		b = rest
+	}
+	if len(b) != 0 {
+		return r, fmt.Errorf("fetch-response trailing %d bytes: %w", len(b), ErrBadFrame)
+	}
+	return r, nil
+}
+
+// Encode serialises the request body.
+func (r MetadataRequest) Encode(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, r.CorrelationID)
+	return appendString(dst, r.Topic)
+}
+
+// DecodeMetadataRequest parses a request body produced by Encode.
+func DecodeMetadataRequest(b []byte) (MetadataRequest, error) {
+	var r MetadataRequest
+	if len(b) < 4 {
+		return r, fmt.Errorf("metadata correlation id: %w", ErrShortBuffer)
+	}
+	r.CorrelationID = binary.BigEndian.Uint32(b)
+	topic, rest, err := decodeString(b[4:])
+	if err != nil {
+		return r, fmt.Errorf("metadata topic: %w", err)
+	}
+	if len(rest) != 0 {
+		return r, fmt.Errorf("metadata trailing bytes: %w", ErrBadFrame)
+	}
+	r.Topic = topic
+	return r, nil
+}
+
+// Encode serialises the response body.
+func (r MetadataResponse) Encode(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, r.CorrelationID)
+	dst = appendString(dst, r.Topic)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(r.Err))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(r.Partitions)))
+	for _, p := range r.Partitions {
+		dst = binary.BigEndian.AppendUint32(dst, uint32(p.Partition))
+		dst = binary.BigEndian.AppendUint32(dst, uint32(p.Leader))
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(p.Replicas)))
+		for _, rep := range p.Replicas {
+			dst = binary.BigEndian.AppendUint32(dst, uint32(rep))
+		}
+	}
+	return dst
+}
+
+// DecodeMetadataResponse parses a response body produced by Encode.
+func DecodeMetadataResponse(b []byte) (MetadataResponse, error) {
+	var r MetadataResponse
+	if len(b) < 4 {
+		return r, fmt.Errorf("metadata-response correlation id: %w", ErrShortBuffer)
+	}
+	r.CorrelationID = binary.BigEndian.Uint32(b)
+	topic, b, err := decodeString(b[4:])
+	if err != nil {
+		return r, fmt.Errorf("metadata-response topic: %w", err)
+	}
+	r.Topic = topic
+	if len(b) < 6 {
+		return r, fmt.Errorf("metadata-response header: %w", ErrShortBuffer)
+	}
+	r.Err = ErrorCode(binary.BigEndian.Uint16(b))
+	count := int(binary.BigEndian.Uint32(b[2:]))
+	b = b[6:]
+	r.Partitions = make([]PartitionMetadata, 0, count)
+	for i := 0; i < count; i++ {
+		if len(b) < 12 {
+			return r, fmt.Errorf("metadata-response partition %d: %w", i, ErrShortBuffer)
+		}
+		var p PartitionMetadata
+		p.Partition = int32(binary.BigEndian.Uint32(b))
+		p.Leader = int32(binary.BigEndian.Uint32(b[4:]))
+		nrep := int(binary.BigEndian.Uint32(b[8:]))
+		b = b[12:]
+		if len(b) < 4*nrep {
+			return r, fmt.Errorf("metadata-response replicas %d: %w", i, ErrShortBuffer)
+		}
+		p.Replicas = make([]int32, 0, nrep)
+		for j := 0; j < nrep; j++ {
+			p.Replicas = append(p.Replicas, int32(binary.BigEndian.Uint32(b)))
+			b = b[4:]
+		}
+		r.Partitions = append(r.Partitions, p)
+	}
+	if len(b) != 0 {
+		return r, fmt.Errorf("metadata-response trailing bytes: %w", ErrBadFrame)
+	}
+	return r, nil
+}

@@ -1,0 +1,150 @@
+// Package workload generates the source data streams the paper feeds its
+// producer: payloads of configurable size (Sec. III-E: "the payload of
+// the message is a string of definable length") and the three
+// application stream profiles of the dynamic-configuration evaluation
+// (Table II).
+package workload
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"kafkarel/internal/stats"
+)
+
+// FixedSource yields count payloads of exactly size bytes. Payloads share
+// one zeroed backing array because message content is irrelevant to the
+// experiments; only the size matters on the wire.
+type FixedSource struct {
+	payload []byte
+	left    int
+}
+
+// NewFixedSource builds a source of count messages of size bytes each.
+func NewFixedSource(size, count int) (*FixedSource, error) {
+	if size < 0 {
+		return nil, fmt.Errorf("workload: negative size %d", size)
+	}
+	if count < 0 {
+		return nil, fmt.Errorf("workload: negative count %d", count)
+	}
+	return &FixedSource{payload: make([]byte, size), left: count}, nil
+}
+
+// Next implements producer.Source.
+func (s *FixedSource) Next() ([]byte, bool) {
+	if s.left == 0 {
+		return nil, false
+	}
+	s.left--
+	return s.payload, true
+}
+
+// Remaining returns how many messages the source will still yield.
+func (s *FixedSource) Remaining() int { return s.left }
+
+// SampledSource yields count payloads whose sizes come from a sampler
+// (clamped to [1, maxSize]); it models streams with varying message
+// sizes.
+type SampledSource struct {
+	size    stats.Sampler
+	maxSize int
+	left    int
+	buf     []byte
+}
+
+// NewSampledSource builds a source of count messages with sampled sizes.
+func NewSampledSource(size stats.Sampler, maxSize, count int) (*SampledSource, error) {
+	if size == nil {
+		return nil, fmt.Errorf("workload: nil size sampler")
+	}
+	if maxSize <= 0 {
+		return nil, fmt.Errorf("workload: max size %d <= 0", maxSize)
+	}
+	if count < 0 {
+		return nil, fmt.Errorf("workload: negative count %d", count)
+	}
+	return &SampledSource{size: size, maxSize: maxSize, left: count, buf: make([]byte, maxSize)}, nil
+}
+
+// Next implements producer.Source.
+func (s *SampledSource) Next() ([]byte, bool) {
+	if s.left == 0 {
+		return nil, false
+	}
+	s.left--
+	n := int(s.size.Sample())
+	if n < 1 {
+		n = 1
+	}
+	if n > s.maxSize {
+		n = s.maxSize
+	}
+	return s.buf[:n], true
+}
+
+// Profile describes one of the application streams in Table II: its
+// message-size regime, its timeliness requirement S, and the suggested
+// KPI weights (ω1..ω4).
+type Profile struct {
+	Name string
+	// MeanSize is the typical message size M in bytes.
+	MeanSize int
+	// SizeJitter is the ± spread of sizes around MeanSize.
+	SizeJitter int
+	// Timeliness is the validity window S of a message.
+	Timeliness time.Duration
+	// Weights are the suggested ω1..ω4 (throughput, service rate,
+	// 1-P_l, 1-P_d), summing to 1.
+	Weights [4]float64
+}
+
+// The three Table II stream profiles.
+var (
+	// SocialMedia: text messages that "must be delivered quickly with the
+	// lowest loss rate".
+	SocialMedia = Profile{
+		Name:       "social-media",
+		MeanSize:   250,
+		SizeJitter: 120,
+		Timeliness: 5 * time.Second,
+		Weights:    [4]float64{0.4, 0.3, 0.2, 0.1},
+	}
+	// WebLogs: access records (~200 B) with lax timeliness but strict
+	// completeness; duplicates are acceptable (idempotent processing).
+	WebLogs = Profile{
+		Name:       "web-logs",
+		MeanSize:   200,
+		SizeJitter: 50,
+		Timeliness: 60 * time.Second,
+		Weights:    [4]float64{0.1, 0.1, 0.7, 0.1},
+	}
+	// GameTraffic: small (<100 B) real-time messages that must arrive
+	// accurately and immediately.
+	GameTraffic = Profile{
+		Name:       "game-traffic",
+		MeanSize:   80,
+		SizeJitter: 20,
+		Timeliness: 500 * time.Millisecond,
+		Weights:    [4]float64{0.2, 0.4, 0.2, 0.2},
+	}
+)
+
+// Profiles lists the Table II streams in paper order.
+func Profiles() []Profile { return []Profile{SocialMedia, WebLogs, GameTraffic} }
+
+// Source builds a message source for the profile.
+func (p Profile) Source(count int, seed uint64) (*SampledSource, error) {
+	rng := rand.New(rand.NewPCG(seed, 0xABCD))
+	lo := p.MeanSize - p.SizeJitter
+	if lo < 1 {
+		lo = 1
+	}
+	hi := p.MeanSize + p.SizeJitter
+	u, err := stats.NewUniform(float64(lo), float64(hi), rng)
+	if err != nil {
+		return nil, fmt.Errorf("workload: profile %s: %w", p.Name, err)
+	}
+	return NewSampledSource(u, hi, count)
+}

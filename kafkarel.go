@@ -1,0 +1,266 @@
+// Package kafkarel is the public API of the reproduction of
+// "Learning to Reliably Deliver Streaming Data with Apache Kafka"
+// (Wu, Shang, Wolter — DSN 2020).
+//
+// The library bundles four layers:
+//
+//   - A deterministic simulated Kafka testbed (brokers, producer model
+//     with the paper's Fig. 2 message state machine, TCP-like transport,
+//     NetEm-style fault injection) that measures the reliability metrics
+//     P_l (probability of message loss) and P_d (probability of message
+//     duplication) for a configuration — see RunExperiment.
+//   - The prediction framework of the paper's Eq. 1: an ANN trained on
+//     testbed sweeps that predicts {P̂_l, P̂_d} from the features
+//     (M, S, D, L, semantics, B, δ, T_o) — see CollectDataset and
+//     TrainPredictor.
+//   - The weighted KPI γ of Eq. 2 combining reliability with predicted
+//     performance — see NewEvaluator.
+//   - The dynamic-configuration scheme of Sec. V: stepwise configuration
+//     search against a forecast network trace — see GenerateSchedule.
+//
+// The quickstart example under examples/quickstart walks through all
+// four layers in ~80 lines.
+package kafkarel
+
+import (
+	"io"
+	"time"
+
+	"kafkarel/internal/core"
+	"kafkarel/internal/dynconf"
+	"kafkarel/internal/features"
+	"kafkarel/internal/figures"
+	"kafkarel/internal/kpi"
+	"kafkarel/internal/netem"
+	"kafkarel/internal/perfmodel"
+	"kafkarel/internal/sweep"
+	"kafkarel/internal/testbed"
+	"kafkarel/internal/workload"
+)
+
+// Feature-space types (the paper's Eq. 1 inputs and datasets).
+type (
+	// Features is the prediction feature vector: message size M,
+	// timeliness S, network delay D, loss rate L, delivery semantics,
+	// batch size B, polling interval δ and message timeout T_o.
+	Features = features.Vector
+	// Sample pairs a feature vector with measured P_l / P_d.
+	Sample = features.Sample
+	// Dataset is a set of training samples with CSV persistence.
+	Dataset = features.Dataset
+)
+
+// Delivery semantics codes for Features.Semantics.
+const (
+	AtMostOnce  = features.SemanticsAtMostOnce
+	AtLeastOnce = features.SemanticsAtLeastOnce
+	ExactlyOnce = features.SemanticsExactlyOnce
+)
+
+// Testbed types.
+type (
+	// Experiment is one simulated testbed run (Sec. III-E).
+	Experiment = testbed.Experiment
+	// Result carries the measured reliability and performance metrics.
+	Result = testbed.Result
+	// Calibration holds the producer-host cost constants.
+	Calibration = testbed.Calibration
+	// ConfigChange schedules a mid-run reconfiguration.
+	ConfigChange = testbed.ConfigChange
+	// BrokerEvent schedules a broker failure or recovery (the paper's
+	// future-work scenario, implemented as an extension).
+	BrokerEvent = testbed.BrokerEvent
+)
+
+// RunExperiment measures P_l and P_d (and throughput, latency, staleness)
+// for one feature vector on the simulated testbed.
+func RunExperiment(e Experiment) (Result, error) { return testbed.Run(e) }
+
+// RunScaledExperiment splits the experiment across n producers following
+// the paper's scaling rule N_p/δ = N_p'/(δ+Δδ) (Sec. IV-C).
+func RunScaledExperiment(e Experiment, producers int) (Result, error) {
+	return testbed.RunScaled(e, producers)
+}
+
+// DefaultCalibration returns the host cost constants used throughout the
+// reproduction (see DESIGN.md §5).
+func DefaultCalibration() Calibration { return testbed.DefaultCalibration() }
+
+// Sweep / dataset collection.
+type (
+	// SweepOptions tunes a training-data collection run.
+	SweepOptions = sweep.Options
+	// SensitivityOptions tunes the ±50 % feature-selection analysis.
+	SensitivityOptions = sweep.SensitivityOptions
+	// SensitivityResult is one parameter's perturbation impact.
+	SensitivityResult = sweep.SensitivityResult
+)
+
+// NormalGrid and AbnormalGrid enumerate the Fig. 3 training-data
+// collection design's two feature subspaces.
+func NormalGrid() []Features   { return sweep.NormalGrid() }
+func AbnormalGrid() []Features { return sweep.AbnormalGrid() }
+
+// CollectDataset runs one testbed experiment per grid point.
+func CollectDataset(grid []Features, opts SweepOptions) (Dataset, error) {
+	return sweep.Collect(grid, opts)
+}
+
+// Sensitivity reproduces the Sec. III-D ±50 % perturbation analysis.
+func Sensitivity(base Features, opts SensitivityOptions) ([]SensitivityResult, error) {
+	return sweep.Sensitivity(base, opts)
+}
+
+// ReadDatasetCSV parses a dataset written by Dataset.WriteCSV.
+func ReadDatasetCSV(r io.Reader) (Dataset, error) { return features.ReadCSV(r) }
+
+// Prediction framework.
+type (
+	// Predictor is the trained Eq. 1 model {P̂_l, P̂_d} = f(features).
+	Predictor = core.Predictor
+	// Prediction is one model output.
+	Prediction = core.Prediction
+	// TrainConfig controls predictor training.
+	TrainConfig = core.TrainConfig
+	// TrainMetrics reports held-out evaluation (the paper: MAE < 0.02).
+	TrainMetrics = core.Metrics
+)
+
+// Architectures for TrainConfig.
+const (
+	ArchitecturePaper   = core.ArchitecturePaper
+	ArchitectureCompact = core.ArchitectureCompact
+)
+
+// TrainPredictor fits one ANN per delivery semantics in the dataset.
+func TrainPredictor(ds Dataset, cfg TrainConfig) (*Predictor, TrainMetrics, error) {
+	return core.Train(ds, cfg)
+}
+
+// LoadPredictor reads a predictor written by Predictor.Save.
+func LoadPredictor(r io.Reader) (*Predictor, error) { return core.Load(r) }
+
+// KPI (Eq. 2).
+type (
+	// Weights are ω1..ω4 for φ, μ, (1-P_l), (1-P_d).
+	Weights = kpi.Weights
+	// Evaluator scores configurations with γ.
+	Evaluator = kpi.Evaluator
+	// Breakdown is a γ score with its components.
+	Breakdown = kpi.Breakdown
+	// PerfModel predicts φ and μ (the ref. [6] stand-in).
+	PerfModel = perfmodel.Model
+)
+
+// DefaultWeights returns the paper's empirical (0.3, 0.3, 0.3, 0.1).
+func DefaultWeights() Weights { return kpi.DefaultWeights() }
+
+// NewPerfModel builds the performance predictor; a zero calibration
+// takes the defaults.
+func NewPerfModel(cal Calibration) (*PerfModel, error) { return perfmodel.New(cal) }
+
+// NewEvaluator combines the reliability predictor and performance model
+// into a γ scorer.
+func NewEvaluator(p *Predictor, perf *PerfModel, w Weights) (*Evaluator, error) {
+	return kpi.NewEvaluator(p, perf, w)
+}
+
+// Dynamic configuration (Sec. V).
+type (
+	// Searcher walks configuration space until γ meets a requirement.
+	Searcher = dynconf.Searcher
+	// ScheduleEntry is one line of an offline configuration schedule.
+	ScheduleEntry = dynconf.ScheduleEntry
+	// StreamOutcome is one Table II row pair (default vs dynamic R_l/R_d).
+	StreamOutcome = dynconf.StreamOutcome
+	// DynConfOptions configures the Table II pipeline.
+	DynConfOptions = dynconf.Options
+	// StreamProfile describes an application stream (Table II).
+	StreamProfile = workload.Profile
+)
+
+// NewSearcher builds a stepwise configuration searcher.
+func NewSearcher(eval *Evaluator) (*Searcher, error) { return dynconf.NewSearcher(eval) }
+
+// GenerateSchedule produces the offline configuration file for a
+// forecast network trace.
+func GenerateSchedule(s *Searcher, trace NetworkTrace, stream Features, target float64, interval time.Duration) ([]ScheduleEntry, error) {
+	return dynconf.GenerateSchedule(s, trace, stream, target, interval)
+}
+
+// ScheduleChanges converts schedule entries into testbed reconfiguration
+// events.
+func ScheduleChanges(entries []ScheduleEntry) []ConfigChange {
+	return dynconf.ToConfigChanges(entries)
+}
+
+// EvaluateDynamicConfiguration runs the full Table II pipeline.
+func EvaluateDynamicConfiguration(profiles []StreamProfile, opts DynConfOptions) ([]StreamOutcome, error) {
+	return dynconf.TableII(profiles, opts)
+}
+
+// Online dynamic configuration — the paper's declared future work,
+// implemented as an extension: no forecast, the controller estimates the
+// network from the producer's own transport statistics.
+type (
+	// OnlineController reconfigures from live transport probes.
+	OnlineController = dynconf.OnlineController
+	// NetworkProbe is one live network estimate.
+	NetworkProbe = testbed.NetworkProbe
+)
+
+// NewOnlineController builds an online controller starting from the
+// given configuration and pursuing the γ target.
+func NewOnlineController(s *Searcher, start Features, target float64) (*OnlineController, error) {
+	return dynconf.NewOnlineController(s, start, target)
+}
+
+// RunOnlineExperiment executes an experiment while a controller
+// reconfigures the producer from live probes sampled every interval.
+func RunOnlineExperiment(e Experiment, interval time.Duration, ctrl func(NetworkProbe) (Features, bool)) (Result, error) {
+	return testbed.RunOnline(e, interval, ctrl)
+}
+
+// Stream profiles of Table II.
+var (
+	SocialMedia = workload.SocialMedia
+	WebLogs     = workload.WebLogs
+	GameTraffic = workload.GameTraffic
+)
+
+// Network emulation.
+type (
+	// NetworkTrace is a piecewise network-condition schedule (Fig. 9).
+	NetworkTrace = netem.Trace
+	// TraceSpec parameterises synthetic Fig. 9 traces (Pareto delay,
+	// Gilbert-Elliot loss).
+	TraceSpec = netem.TraceSpec
+	// TracePoint is one (time, delay, loss) sample of a trace.
+	TracePoint = netem.Point
+)
+
+// DefaultTraceSpec reproduces the character of the paper's Fig. 9
+// network.
+func DefaultTraceSpec() TraceSpec { return netem.DefaultTraceSpec() }
+
+// Figure regeneration (see EXPERIMENTS.md for paper-vs-measured).
+type (
+	FigureOptions  = figures.Options
+	Fig4Point      = figures.Fig4Point
+	Fig5Point      = figures.Fig5Point
+	Fig6Point      = figures.Fig6Point
+	Fig7Point      = figures.Fig7Point
+	Fig8Point      = figures.Fig8Point
+	Table1Result   = figures.Table1Result
+	AccuracyResult = figures.AccuracyResult
+)
+
+// Figure generators, one per evaluation artefact in the paper.
+func Fig4(o FigureOptions) ([]Fig4Point, error)        { return figures.Fig4(o) }
+func Fig5(o FigureOptions) ([]Fig5Point, error)        { return figures.Fig5(o) }
+func Fig6(o FigureOptions) ([]Fig6Point, error)        { return figures.Fig6(o) }
+func Fig7(o FigureOptions) ([]Fig7Point, error)        { return figures.Fig7(o) }
+func Fig8(o FigureOptions) ([]Fig8Point, error)        { return figures.Fig8(o) }
+func Fig9(seed uint64) ([]TracePoint, error)           { return figures.Fig9(seed) }
+func Table1(o FigureOptions) (Table1Result, error)     { return figures.Table1(o) }
+func Accuracy(o FigureOptions) (AccuracyResult, error) { return figures.Accuracy(o) }
