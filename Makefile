@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: check build vet test race bench bench-scaling repro
+
+## check: the full quality gate — build, vet, race-enabled tests.
+check: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+## race: the tier-1 suite under the race detector; the exprun worker
+## pool and every parallelised call path must stay race-clean.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+## bench-scaling: wall-time of figure reproduction vs worker count
+## (EXPERIMENTS.md records the results).
+bench-scaling:
+	$(GO) test -run xxx -bench 'ExprunScaling|Fig3SweepScaling' -benchtime 3x .
+
+repro:
+	$(GO) run ./cmd/repro -n 20000 all

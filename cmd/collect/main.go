@@ -1,34 +1,45 @@
 // Command collect runs the paper's Fig. 3 training-data collection
 // sweep (normal and abnormal cases) on the simulated testbed and writes
-// the labelled dataset as CSV.
+// the labelled dataset as CSV. Experiments fan out over a worker pool
+// and rows stream to the output in grid order as soon as each result's
+// prefix has completed, so even very long sweeps need no dataset-sized
+// buffer and a killed run leaves a usable CSV prefix behind.
 //
 // Usage:
 //
-//	collect [-n messages] [-seed n] [-grid normal|abnormal|both] [-stride k] -o dataset.csv
+//	collect [-n messages] [-seed n] [-grid normal|abnormal|both] [-stride k] \
+//	        [-parallel workers] [-progress every] -o dataset.csv
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
+	"kafkarel/internal/exprun"
 	"kafkarel/internal/features"
 	"kafkarel/internal/sweep"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "collect:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("collect", flag.ContinueOnError)
 	messages := fs.Int("n", 10000, "messages per experiment")
 	seed := fs.Uint64("seed", 1, "random seed")
 	gridName := fs.String("grid", "both", "normal, abnormal or both (Fig. 3's two feature subspaces)")
 	stride := fs.Int("stride", 1, "keep every k-th grid point (quick runs)")
+	parallel := fs.Int("parallel", 0, "experiment workers (0 = GOMAXPROCS); results are identical for any value")
+	progress := fs.Int("progress", 25, "print a progress line every N experiments (0 = quiet)")
 	out := fs.String("o", "", "output CSV path (default stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -54,19 +65,7 @@ func run(args []string) error {
 		grid = kept
 	}
 	fmt.Fprintf(os.Stderr, "collecting %d experiments x %d messages\n", len(grid), *messages)
-	ds, err := sweep.Collect(grid, sweep.Options{
-		Messages: *messages,
-		Seed:     *seed,
-		Progress: func(done, total int) {
-			fmt.Fprintf(os.Stderr, "\r%d/%d", done, total)
-			if done == total {
-				fmt.Fprintln(os.Stderr)
-			}
-		},
-	})
-	if err != nil {
-		return err
-	}
+
 	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -80,5 +79,27 @@ func run(args []string) error {
 		}()
 		w = f
 	}
-	return ds.WriteCSV(w)
+	cw, err := features.NewCSVWriter(w)
+	if err != nil {
+		return err
+	}
+	opts := sweep.Options{
+		Messages: *messages,
+		Seed:     *seed,
+		Workers:  *parallel,
+	}
+	if *progress > 0 {
+		opts.Progress = exprun.NewReporter(os.Stderr, "collect", *progress).Progress
+	}
+	err = sweep.CollectStream(ctx, grid, opts, func(s features.Sample) error {
+		if err := cw.Write(s); err != nil {
+			return err
+		}
+		// Flush per row: an interrupted sweep keeps its completed prefix.
+		return cw.Flush()
+	})
+	if err != nil {
+		return err
+	}
+	return cw.Flush()
 }

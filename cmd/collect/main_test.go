@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -9,14 +10,15 @@ import (
 )
 
 func TestRunValidation(t *testing.T) {
-	if err := run([]string{"-grid", "nosuch"}); err == nil {
+	if err := run(context.Background(), []string{"-grid", "nosuch"}); err == nil {
 		t.Error("unknown grid accepted")
 	}
 }
 
 func TestRunSmallSweepToFile(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "ds.csv")
-	if err := run([]string{"-n", "200", "-grid", "normal", "-stride", "40", "-o", out}); err != nil {
+	if err := run(context.Background(),
+		[]string{"-n", "200", "-grid", "normal", "-stride", "40", "-o", out}); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(out)
@@ -30,5 +32,31 @@ func TestRunSmallSweepToFile(t *testing.T) {
 	}
 	if len(ds) == 0 {
 		t.Error("empty dataset written")
+	}
+}
+
+// TestRunParallelMatchesSequential asserts the CSV bytes are identical
+// for workers=1 and workers=8 — the execution layer must not be able to
+// perturb a published dataset.
+func TestRunParallelMatchesSequential(t *testing.T) {
+	dir := t.TempDir()
+	var outs [][]byte
+	for _, parallel := range []string{"1", "8"} {
+		out := filepath.Join(dir, "ds"+parallel+".csv")
+		err := run(context.Background(), []string{
+			"-n", "150", "-grid", "abnormal", "-stride", "60", "-seed", "9",
+			"-parallel", parallel, "-progress", "0", "-o", out,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs = append(outs, b)
+	}
+	if string(outs[0]) != string(outs[1]) {
+		t.Errorf("CSV differs between -parallel=1 and -parallel=8:\n%s\nvs\n%s", outs[0], outs[1])
 	}
 }

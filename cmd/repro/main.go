@@ -1,54 +1,63 @@
 // Command repro regenerates every table and figure in the paper's
 // evaluation section from the simulated testbed, printing TSV series
-// suitable for plotting.
+// suitable for plotting. Each artefact's independent experiments fan
+// out over a worker pool; for a fixed seed the output is byte-identical
+// for every -parallel value.
 //
 // Usage:
 //
-//	repro [-n messages] [-seed n] <artefact>
+//	repro [-n messages] [-seed n] [-parallel workers] [-progress every] <artefact>
 //
 // where artefact is one of: fig4 fig5 fig6 fig7 fig8 fig9 table1 table2
 // ann-accuracy sensitivity all
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"text/tabwriter"
 	"time"
 
 	"kafkarel/internal/dynconf"
+	"kafkarel/internal/exprun"
 	"kafkarel/internal/features"
 	"kafkarel/internal/figures"
 	"kafkarel/internal/sweep"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "repro:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("repro", flag.ContinueOnError)
 	messages := fs.Int("n", 20000, "messages per experiment point")
 	seed := fs.Uint64("seed", 1, "random seed")
 	quiet := fs.Bool("q", false, "suppress progress output")
+	parallel := fs.Int("parallel", 0, "experiment workers (0 = GOMAXPROCS); output is identical for any value")
+	progress := fs.Int("progress", 10, "print a progress line every N experiments (0 = quiet)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: repro [-n messages] [-seed n] <fig3|fig4|fig5|fig6|fig7|fig8|fig9|table1|table2|ann-accuracy|sensitivity|all>")
+		return fmt.Errorf("usage: repro [-n messages] [-seed n] [-parallel workers] [-progress every] <fig3|fig4|fig5|fig6|fig7|fig8|fig9|table1|table2|ann-accuracy|sensitivity|all>")
 	}
-	opts := figures.Options{Messages: *messages, Seed: *seed}
-	if !*quiet {
-		opts.Progress = func(done, total int) {
-			fmt.Fprintf(os.Stderr, "\r%d/%d experiments", done, total)
-			if done == total {
-				fmt.Fprintln(os.Stderr)
-			}
+	opts := figures.Options{Messages: *messages, Seed: *seed, Workers: *parallel, Context: ctx}
+	// Each artefact gets a fresh progress reporter: its counters are
+	// per-batch.
+	withProgress := func(o figures.Options, label string) figures.Options {
+		if !*quiet && *progress > 0 {
+			o.Progress = exprun.NewReporter(os.Stderr, label, *progress).Progress
 		}
+		return o
 	}
 	artefacts := map[string]func(figures.Options) error{
 		"fig3":         fig3,
@@ -67,7 +76,7 @@ func run(args []string) error {
 	if name == "all" {
 		for _, key := range []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table1", "ann-accuracy", "sensitivity", "table2"} {
 			fmt.Printf("==== %s ====\n", key)
-			if err := artefacts[key](opts); err != nil {
+			if err := artefacts[key](withProgress(opts, key)); err != nil {
 				return fmt.Errorf("%s: %w", key, err)
 			}
 			fmt.Println()
@@ -78,7 +87,7 @@ func run(args []string) error {
 	if !ok {
 		return fmt.Errorf("unknown artefact %q", name)
 	}
-	return fn(opts)
+	return fn(withProgress(opts, name))
 }
 
 func semName(s int) string {
@@ -219,10 +228,15 @@ func table1(o figures.Options) error {
 func table2(o figures.Options) error {
 	fmt.Println("# Table II: overall loss/duplicate rates, static default vs dynamic configuration")
 	fmt.Fprintln(os.Stderr, "(full pipeline: per-stream sweep + training + schedule + evaluation; this takes a while)")
-	outcomes, err := dynconf.TableII(nil, dynconf.Options{
+	ctx := o.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	outcomes, err := dynconf.TableIIContext(ctx, nil, dynconf.Options{
 		Messages:      o.Messages,
 		Seed:          o.Seed,
 		TrainMessages: o.Messages / 8,
+		Workers:       o.Workers,
 		Progress:      func(s string) { fmt.Fprintln(os.Stderr, s) },
 	})
 	if err != nil {
@@ -282,9 +296,14 @@ func sensitivity(o figures.Options) error {
 		PollInterval:   0,
 		MessageTimeout: 700 * time.Millisecond,
 	}
-	results, err := sweep.Sensitivity(base, sweep.SensitivityOptions{
+	ctx := o.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results, err := sweep.SensitivityContext(ctx, base, sweep.SensitivityOptions{
 		Messages: o.Messages / 4,
 		Seed:     o.Seed,
+		Workers:  o.Workers,
 	})
 	if err != nil {
 		return err

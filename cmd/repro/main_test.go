@@ -1,27 +1,79 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"context"
+	"io"
+	"os"
+	"testing"
+)
 
 func TestRunValidation(t *testing.T) {
-	if err := run([]string{}); err == nil {
+	ctx := context.Background()
+	if err := run(ctx, []string{}); err == nil {
 		t.Error("missing artefact accepted")
 	}
-	if err := run([]string{"nosuch"}); err == nil {
+	if err := run(ctx, []string{"nosuch"}); err == nil {
 		t.Error("unknown artefact accepted")
 	}
-	if err := run([]string{"-bogus"}); err == nil {
+	if err := run(ctx, []string{"-bogus"}); err == nil {
 		t.Error("unknown flag accepted")
 	}
 }
 
 func TestRunFig9(t *testing.T) {
-	if err := run([]string{"-q", "fig9"}); err != nil {
+	if err := run(context.Background(), []string{"-q", "fig9"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunTable1Small(t *testing.T) {
-	if err := run([]string{"-q", "-n", "400", "table1"}); err != nil {
+	if err := run(context.Background(), []string{"-q", "-n", "400", "table1"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns
+// what it wrote.
+func captureStdout(t *testing.T, fn func() error) []byte {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	done := make(chan []byte)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- b
+	}()
+	ferr := fn()
+	w.Close()
+	out := <-done
+	if ferr != nil {
+		t.Fatal(ferr)
+	}
+	return out
+}
+
+// TestRunFig7ParallelByteIdentical is the acceptance check for the
+// execution layer: for a fixed seed, `repro fig7 -parallel=8` must print
+// byte-identical output to `-parallel=1`.
+func TestRunFig7ParallelByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure reproduction; skipped in -short")
+	}
+	outs := make([][]byte, 0, 2)
+	for _, parallel := range []string{"1", "8"} {
+		outs = append(outs, captureStdout(t, func() error {
+			return run(context.Background(),
+				[]string{"-q", "-n", "200", "-seed", "5", "-parallel", parallel, "fig7"})
+		}))
+	}
+	if !bytes.Equal(outs[0], outs[1]) {
+		t.Errorf("fig7 output differs between -parallel=1 and -parallel=8:\n%s\nvs\n%s",
+			outs[0], outs[1])
 	}
 }

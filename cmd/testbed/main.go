@@ -1,16 +1,22 @@
 // Command testbed runs a single testbed experiment (one Docker-testbed
 // run in the paper's methodology) and prints every measured metric.
+// With -producers > 1 the independent per-producer simulations fan out
+// over -parallel workers; the aggregate result is identical for any
+// worker count.
 //
 // Usage:
 //
 //	testbed [-n messages] [-seed n] -size 200 -loss 0.19 -delay 100 \
-//	        -semantics at-most-once -batch 1 -poll 0ms -timeout 1500ms
+//	        -semantics at-most-once -batch 1 -poll 0ms -timeout 1500ms \
+//	        [-producers n] [-parallel workers]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"kafkarel/internal/features"
@@ -19,13 +25,15 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "testbed:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("testbed", flag.ContinueOnError)
 	messages := fs.Int("n", 100000, "source messages (the paper uses 10^6)")
 	seed := fs.Uint64("seed", 1, "random seed")
@@ -38,6 +46,7 @@ func run(args []string) error {
 	poll := fs.Duration("poll", 0, "polling interval δ (0 = full load)")
 	timeout := fs.Duration("timeout", 1500*time.Millisecond, "message timeout T_o")
 	producers := fs.Int("producers", 1, "scale out across N producers (Sec. IV-C)")
+	parallel := fs.Int("parallel", 0, "simulation workers for scaled runs (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -64,7 +73,7 @@ func run(args []string) error {
 		Seed:       *seed,
 		MaxSimTime: 4 * time.Hour,
 	}
-	res, err := testbed.RunScaled(e, *producers)
+	res, err := testbed.RunScaledContext(ctx, e, *producers, *parallel)
 	if err != nil {
 		return err
 	}

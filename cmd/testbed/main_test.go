@@ -1,24 +1,28 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestRunValidation(t *testing.T) {
-	if err := run([]string{"-semantics", "bogus"}); err == nil {
+	ctx := context.Background()
+	if err := run(ctx, []string{"-semantics", "bogus"}); err == nil {
 		t.Error("unknown semantics accepted")
 	}
-	if err := run([]string{"-n", "0"}); err == nil {
+	if err := run(ctx, []string{"-n", "0"}); err == nil {
 		t.Error("zero messages accepted")
 	}
 }
 
 func TestRunSmallExperiment(t *testing.T) {
-	if err := run([]string{"-n", "300", "-loss", "0.1", "-poll", "30ms"}); err != nil {
+	if err := run(context.Background(), []string{"-n", "300", "-loss", "0.1", "-poll", "30ms"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunScaled(t *testing.T) {
-	if err := run([]string{"-n", "300", "-producers", "2"}); err != nil {
+	if err := run(context.Background(), []string{"-n", "300", "-producers", "2", "-parallel", "4"}); err != nil {
 		t.Fatal(err)
 	}
 }

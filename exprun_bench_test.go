@@ -1,0 +1,89 @@
+package kafkarel_test
+
+// The execution-layer scaling benches record how figure-reproduction
+// wall time responds to the worker-pool size. Results are identical for
+// every worker count (the determinism tests assert that); these benches
+// record the perf side of the trade in the bench trajectory. Run with:
+//
+//	go test -bench=ExprunScaling -benchtime=1x
+//
+// EXPERIMENTS.md records measured speedups.
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"kafkarel"
+)
+
+// scalingWorkers is the swept pool-size axis.
+var scalingWorkers = []int{1, 2, 4, 8}
+
+// looseSpeedupCheck fails a multi-core run in which parallel execution
+// is not measurably faster than sequential. The bar is deliberately
+// loose (ideal speedup at 4 workers is ~4x): it only catches the
+// execution layer silently serialising. On single-core hosts it just
+// records the measurement.
+func looseSpeedupCheck(b *testing.B, workers int, seq, par time.Duration) {
+	if seq <= 0 || par <= 0 {
+		return
+	}
+	speedup := float64(seq) / float64(par)
+	b.ReportMetric(speedup, "speedup_vs_w1")
+	if runtime.GOMAXPROCS(0) >= workers && workers > 1 && speedup < 1.2 {
+		b.Errorf("workers=%d on a %d-core host: speedup %.2fx vs workers=1 (want measurably > 1x)",
+			workers, runtime.GOMAXPROCS(0), speedup)
+	}
+}
+
+// BenchmarkExprunScaling measures Fig. 7 reproduction (88 experiments)
+// wall time at workers ∈ {1, 2, 4, 8}.
+func BenchmarkExprunScaling(b *testing.B) {
+	perWorker := map[int]time.Duration{}
+	for _, workers := range scalingWorkers {
+		b.Run(fmt.Sprintf("fig7/workers=%d", workers), func(b *testing.B) {
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				points, err := kafkarel.Fig7(kafkarel.FigureOptions{
+					Messages: 600, Seed: 1, Workers: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(points) != 88 {
+					b.Fatalf("%d points", len(points))
+				}
+			}
+			perWorker[workers] = time.Since(start) / time.Duration(b.N)
+			looseSpeedupCheck(b, workers, perWorker[1], perWorker[workers])
+		})
+	}
+}
+
+// BenchmarkFig3SweepScaling measures the Fig. 3 training-data sweep
+// (the paper's collection bottleneck) at workers 1 vs 4 over a grid
+// slice spanning both subspaces.
+func BenchmarkFig3SweepScaling(b *testing.B) {
+	grid := append(kafkarel.NormalGrid()[:24], kafkarel.AbnormalGrid()[:24]...)
+	perWorker := map[int]time.Duration{}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				ds, err := kafkarel.CollectDataset(grid, kafkarel.SweepOptions{
+					Messages: 600, Seed: 1, Workers: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(ds) != len(grid) {
+					b.Fatalf("%d samples", len(ds))
+				}
+			}
+			perWorker[workers] = time.Since(start) / time.Duration(b.N)
+			looseSpeedupCheck(b, workers, perWorker[1], perWorker[workers])
+		})
+	}
+}

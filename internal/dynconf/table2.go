@@ -1,10 +1,12 @@
 package dynconf
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"kafkarel/internal/core"
+	"kafkarel/internal/exprun"
 	"kafkarel/internal/features"
 	"kafkarel/internal/kpi"
 	"kafkarel/internal/netem"
@@ -65,6 +67,10 @@ type Options struct {
 	// TrainMessages is the per-experiment message count when training
 	// (default 2000).
 	TrainMessages int
+	// Workers bounds the experiment worker pool used for the training
+	// sweep and the default-vs-dynamic evaluation pair (<= 0: GOMAXPROCS).
+	// Outcomes are identical for every worker count.
+	Workers int
 	// Progress, when non-nil, receives coarse pipeline status lines.
 	Progress func(string)
 }
@@ -128,6 +134,16 @@ func profileTarget(p workload.Profile) float64 {
 // paper stream profiles (or any provided ones) and returns one outcome
 // per stream.
 func TableII(profiles []workload.Profile, opts Options) ([]StreamOutcome, error) {
+	return TableIIContext(context.Background(), profiles, opts)
+}
+
+// TableIIContext is TableII with cancellation. Profiles run in sequence
+// (each trains its own predictor and logs coarse progress); within a
+// profile the training sweep fans out over the exprun pool, as do the
+// static-default and dynamic-schedule evaluation runs. The offline
+// schedule search itself stays sequential: each checkpoint's stepwise
+// walk starts from the configuration the previous checkpoint chose.
+func TableIIContext(ctx context.Context, profiles []workload.Profile, opts Options) ([]StreamOutcome, error) {
 	if len(profiles) == 0 {
 		profiles = workload.Profiles()
 	}
@@ -155,10 +171,11 @@ func TableII(profiles []workload.Profile, opts Options) ([]StreamOutcome, error)
 		if pred == nil {
 			say(fmt.Sprintf("training predictor for %s (grid sweep)...", profile.Name))
 			grid := TrainingGrid(profile.MeanSize, profile.Timeliness)
-			ds, err := sweep.Collect(grid, sweep.Options{
+			ds, err := sweep.CollectContext(ctx, grid, sweep.Options{
 				Messages:   opts.TrainMessages,
 				Seed:       opts.Seed + uint64(pi)*31,
 				MaxSimTime: 10 * time.Minute,
+				Workers:    opts.Workers,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("dynconf: %s: %w", profile.Name, err)
@@ -196,26 +213,35 @@ func TableII(profiles []workload.Profile, opts Options) ([]StreamOutcome, error)
 		if needed < messages {
 			messages = needed
 		}
-		run := func(changes []testbed.ConfigChange, seedOff uint64) (testbed.Result, error) {
-			return testbed.Run(testbed.Experiment{
+		// The static-default and dynamic-schedule evaluations share the
+		// seed (the comparison must isolate the configuration effect) and
+		// are independent, so they run as one two-task batch.
+		type evalTask struct {
+			name    string
+			changes []testbed.ConfigChange
+		}
+		say(fmt.Sprintf("evaluating %s: static default vs dynamic schedule...", profile.Name))
+		evals, err := exprun.Map(ctx, []evalTask{
+			{name: "default"},
+			{name: "dynamic", changes: ToConfigChanges(schedule)},
+		}, func(_ context.Context, _ int, t evalTask) (testbed.Result, error) {
+			res, err := testbed.Run(testbed.Experiment{
 				Features:   base,
 				Messages:   messages,
-				Seed:       opts.Seed + seedOff,
+				Seed:       opts.Seed + 1000 + uint64(pi),
 				Trace:      trace,
 				MaxSimTime: opts.TraceSpec.Duration,
-				Schedule:   changes,
+				Schedule:   t.changes,
 			})
-		}
-		say(fmt.Sprintf("evaluating %s with the static default...", profile.Name))
-		defRes, err := run(nil, 1000+uint64(pi))
+			if err != nil {
+				return testbed.Result{}, fmt.Errorf("dynconf: %s %s: %w", profile.Name, t.name, err)
+			}
+			return res, nil
+		}, exprun.Options{Workers: opts.Workers})
 		if err != nil {
-			return nil, fmt.Errorf("dynconf: %s default: %w", profile.Name, err)
+			return nil, err
 		}
-		say(fmt.Sprintf("evaluating %s with the dynamic schedule...", profile.Name))
-		dynRes, err := run(ToConfigChanges(schedule), 1000+uint64(pi))
-		if err != nil {
-			return nil, fmt.Errorf("dynconf: %s dynamic: %w", profile.Name, err)
-		}
+		defRes, dynRes := evals[0], evals[1]
 
 		out = append(out, StreamOutcome{
 			Profile:          profile,

@@ -1,0 +1,61 @@
+package exprun
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Reporter renders periodic progress lines for a long experiment batch.
+// It throttles by completed-task count and by wall time, so a sweep of
+// thousands of cheap runs does not flood the terminal while a handful of
+// slow ones still shows life. The zero value is unusable; use
+// NewReporter. Safe for the serialised callback discipline of Options
+// (exprun already serialises Progress calls).
+type Reporter struct {
+	w     io.Writer
+	label string
+	every int
+	// minGap suppresses lines closer together than this, except the
+	// final one.
+	minGap time.Duration
+
+	mu      sync.Mutex
+	started time.Time
+	last    time.Time
+	lastN   int
+}
+
+// NewReporter writes a progress line to w at most once per `every`
+// completed tasks (every <= 0 disables count-based lines; the final
+// line is always written).
+func NewReporter(w io.Writer, label string, every int) *Reporter {
+	return &Reporter{w: w, label: label, every: every, minGap: 100 * time.Millisecond}
+}
+
+// Progress is an Options.Progress callback.
+func (r *Reporter) Progress(done, total int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := time.Now()
+	if r.started.IsZero() {
+		r.started = now
+	}
+	final := done >= total
+	if !final {
+		if r.every <= 0 || done-r.lastN < r.every {
+			return
+		}
+		if now.Sub(r.last) < r.minGap {
+			return
+		}
+	}
+	r.last, r.lastN = now, done
+	elapsed := now.Sub(r.started).Round(10 * time.Millisecond)
+	rate := ""
+	if s := now.Sub(r.started).Seconds(); s > 0 {
+		rate = fmt.Sprintf(", %.1f/s", float64(done)/s)
+	}
+	fmt.Fprintf(r.w, "%s: %d/%d experiments (%v%s)\n", r.label, done, total, elapsed, rate)
+}

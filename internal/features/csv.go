@@ -7,32 +7,65 @@ import (
 	"strconv"
 )
 
-// WriteCSV writes the dataset with a header row: the encoded feature
-// columns followed by the measured pl and pd.
-func (d Dataset) WriteCSV(w io.Writer) error {
+// CSVWriter writes a dataset incrementally: the header row up front,
+// then one row per sample as it arrives. Long sweeps stream their
+// results through it instead of buffering the whole dataset.
+type CSVWriter struct {
+	cw  *csv.Writer
+	row []string
+	n   int
+}
+
+// NewCSVWriter writes the header row and returns the row writer.
+func NewCSVWriter(w io.Writer) (*CSVWriter, error) {
 	cw := csv.NewWriter(w)
 	header := append(Names(), "pl", "pd")
 	if err := cw.Write(header); err != nil {
-		return fmt.Errorf("features: write header: %w", err)
+		return nil, fmt.Errorf("features: write header: %w", err)
 	}
-	row := make([]string, 0, Dim+2)
-	for i, s := range d {
-		row = row[:0]
-		for _, v := range s.X.Encode() {
-			row = append(row, strconv.FormatFloat(v, 'g', -1, 64))
-		}
-		row = append(row,
-			strconv.FormatFloat(s.Pl, 'g', -1, 64),
-			strconv.FormatFloat(s.Pd, 'g', -1, 64))
-		if err := cw.Write(row); err != nil {
-			return fmt.Errorf("features: write row %d: %w", i, err)
-		}
+	return &CSVWriter{cw: cw, row: make([]string, 0, Dim+2)}, nil
+}
+
+// Write appends one sample row.
+func (w *CSVWriter) Write(s Sample) error {
+	w.row = w.row[:0]
+	for _, v := range s.X.Encode() {
+		w.row = append(w.row, strconv.FormatFloat(v, 'g', -1, 64))
 	}
-	cw.Flush()
-	if err := cw.Error(); err != nil {
+	w.row = append(w.row,
+		strconv.FormatFloat(s.Pl, 'g', -1, 64),
+		strconv.FormatFloat(s.Pd, 'g', -1, 64))
+	if err := w.cw.Write(w.row); err != nil {
+		return fmt.Errorf("features: write row %d: %w", w.n, err)
+	}
+	w.n++
+	return nil
+}
+
+// Flush flushes buffered rows to the underlying writer; call it once
+// after the last Write (it is cheap to call more often, e.g. to make
+// partial output durable during a long sweep).
+func (w *CSVWriter) Flush() error {
+	w.cw.Flush()
+	if err := w.cw.Error(); err != nil {
 		return fmt.Errorf("features: flush: %w", err)
 	}
 	return nil
+}
+
+// WriteCSV writes the dataset with a header row: the encoded feature
+// columns followed by the measured pl and pd.
+func (d Dataset) WriteCSV(w io.Writer) error {
+	cw, err := NewCSVWriter(w)
+	if err != nil {
+		return err
+	}
+	for _, s := range d {
+		if err := cw.Write(s); err != nil {
+			return err
+		}
+	}
+	return cw.Flush()
 }
 
 // ReadCSV parses a dataset written by WriteCSV.

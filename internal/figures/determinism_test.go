@@ -1,0 +1,186 @@
+package figures
+
+import (
+	"testing"
+
+	"kafkarel/internal/features"
+	"kafkarel/internal/testbed"
+)
+
+// The execution-layer contract: for a fixed seed every figure is
+// byte-identical (a) across worker counts and (b) to the pre-refactor
+// sequential path, which ran testbed.Run in a plain loop with seed
+// o.Seed + idx*2654435761. (b) is reproduced literally below so a
+// regression in either the seed derivation or the result ordering
+// fails loudly.
+
+const detMessages = 200
+
+func detOptions(workers int) Options {
+	return Options{Messages: detMessages, Seed: 11, Workers: workers}
+}
+
+// sequentialRun is the pre-refactor experiment runner, kept verbatim as
+// the reference.
+func sequentialRun(v features.Vector, o Options, idx int) (testbed.Result, error) {
+	return testbed.Run(testbed.Experiment{
+		Features:   v,
+		Messages:   o.messages(),
+		Seed:       o.Seed + uint64(idx)*2654435761,
+		MaxSimTime: maxSimTime(o.messages()),
+	})
+}
+
+func TestFig4DeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure reproduction; skipped in -short")
+	}
+	// Pre-refactor sequential reference: sizes outer, semantics inner,
+	// experiment index counting from 0.
+	o := detOptions(1)
+	var want []Fig4Point
+	i := 0
+	for _, m := range Fig4Sizes {
+		for _, sem := range []int{features.SemanticsAtMostOnce, features.SemanticsAtLeastOnce} {
+			res, err := sequentialRun(Fig4Vector(m, sem), o, i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want = append(want, Fig4Point{MessageSize: m, Semantics: sem, Pl: res.Pl, Pd: res.Pd})
+			i++
+		}
+	}
+	for _, workers := range []int{1, 4, 8} {
+		got, err := Fig4(detOptions(workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d points, want %d", workers, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Errorf("workers=%d: point %d = %+v, sequential reference %+v",
+					workers, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestFig5DeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure reproduction; skipped in -short")
+	}
+	o := detOptions(1)
+	var want []Fig5Point
+	i := 0
+	for _, to := range Fig5Timeouts {
+		for _, sem := range []int{features.SemanticsAtMostOnce, features.SemanticsAtLeastOnce} {
+			res, err := sequentialRun(Fig5Vector(to, sem), o, 100+i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want = append(want, Fig5Point{Timeout: to, Semantics: sem, Pl: res.Pl})
+			i++
+		}
+	}
+	for _, workers := range []int{1, 4, 8} {
+		got, err := Fig5(detOptions(workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Errorf("workers=%d: point %d = %+v, want %+v", workers, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestFig6DeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure reproduction; skipped in -short")
+	}
+	o := detOptions(1)
+	var want []Fig6Point
+	for i, delta := range Fig6Intervals {
+		res, err := sequentialRun(Fig6Vector(delta), o, 200+i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, Fig6Point{PollInterval: delta, Pl: res.Pl})
+	}
+	for _, workers := range []int{1, 4, 8} {
+		got, err := Fig6(detOptions(workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Errorf("workers=%d: point %d = %+v, want %+v", workers, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestFig7DeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure reproduction; skipped in -short")
+	}
+	o := detOptions(1)
+	var want []Fig7Point
+	i := 0
+	for _, b := range Fig7Batches {
+		for _, l := range Fig7Losses {
+			for _, sem := range []int{features.SemanticsAtMostOnce, features.SemanticsAtLeastOnce} {
+				res, err := sequentialRun(Fig7Vector(l, b, sem), o, 300+i)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want = append(want, Fig7Point{LossRate: l, BatchSize: b, Semantics: sem, Pl: res.Pl})
+				i++
+			}
+		}
+	}
+	for _, workers := range []int{1, 4, 8} {
+		got, err := Fig7(detOptions(workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Errorf("workers=%d: point %d = %+v, want %+v", workers, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestFig8DeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure reproduction; skipped in -short")
+	}
+	o := detOptions(1)
+	var want []Fig8Point
+	i := 0
+	for _, l := range Fig8Losses {
+		for _, b := range Fig8Batches {
+			res, err := sequentialRun(Fig8Vector(b, l), o, 600+i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want = append(want, Fig8Point{BatchSize: b, LossRate: l, Pd: res.Pd, Pl: res.Pl})
+			i++
+		}
+	}
+	for _, workers := range []int{1, 4, 8} {
+		got, err := Fig8(detOptions(workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Errorf("workers=%d: point %d = %+v, want %+v", workers, j, got[j], want[j])
+			}
+		}
+	}
+}

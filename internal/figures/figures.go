@@ -6,10 +6,12 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"kafkarel/internal/core"
+	"kafkarel/internal/exprun"
 	"kafkarel/internal/features"
 	"kafkarel/internal/netem"
 	"kafkarel/internal/producer"
@@ -21,8 +23,14 @@ import (
 type Options struct {
 	// Messages per experiment point (default 20000).
 	Messages int
-	// Seed drives all randomness.
+	// Seed drives all randomness. Every experiment's seed is derived from
+	// Seed and the experiment's position in the figure, so regenerated
+	// series are identical for any Workers setting.
 	Seed uint64
+	// Workers bounds the experiment worker pool (<= 0: GOMAXPROCS).
+	Workers int
+	// Context, when non-nil, cancels in-flight experiment batches.
+	Context context.Context
 	// Progress, when non-nil, is called once per finished experiment.
 	Progress func(done, total int)
 }
@@ -34,6 +42,19 @@ func (o Options) messages() int {
 	return 20000
 }
 
+func (o Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
+}
+
+// seedStride separates the per-experiment seed streams of a figure (the
+// historical derivation, kept so regenerated series stay byte-identical
+// to the sequential original; each figure offsets its experiment indices
+// into a disjoint range).
+const seedStride = 2654435761
+
 // maxSimTime bounds any single experiment; the slowest points (1000-byte
 // messages at ~1 msg/s) need hours of virtual time for large counts.
 func maxSimTime(messages int) time.Duration {
@@ -44,13 +65,32 @@ func maxSimTime(messages int) time.Duration {
 	return d
 }
 
-func run(v features.Vector, o Options, idx int) (testbed.Result, error) {
-	return testbed.Run(testbed.Experiment{
-		Features:   v,
-		Messages:   o.messages(),
-		Seed:       o.Seed + uint64(idx)*2654435761,
-		MaxSimTime: maxSimTime(o.messages()),
-	})
+// point is one experiment of a figure: a feature vector plus the seed
+// index it has always used.
+type point struct {
+	v   features.Vector
+	idx int
+}
+
+// runBatch executes a figure's experiments on the exprun pool and
+// returns the results in point order; label renders the error context
+// for a failed point.
+func runBatch(o Options, points []point, label func(p point) string) ([]testbed.Result, error) {
+	seedAt := exprun.LinearSeeds(o.Seed, seedStride)
+	return exprun.Map(o.ctx(), points,
+		func(_ context.Context, _ int, p point) (testbed.Result, error) {
+			res, err := testbed.Run(testbed.Experiment{
+				Features:   p.v,
+				Messages:   o.messages(),
+				Seed:       seedAt(p.idx),
+				MaxSimTime: maxSimTime(o.messages()),
+			})
+			if err != nil {
+				return testbed.Result{}, fmt.Errorf("figures: %s: %w", label(p), err)
+			}
+			return res, nil
+		},
+		exprun.Options{Workers: o.Workers, Progress: o.Progress})
 }
 
 // --- Fig. 4 ---------------------------------------------------------------
@@ -83,22 +123,23 @@ func Fig4Vector(messageSize, semantics int) features.Vector {
 
 // Fig4 regenerates the message-size study.
 func Fig4(o Options) ([]Fig4Point, error) {
-	var out []Fig4Point
+	var points []point
 	sems := []int{features.SemanticsAtMostOnce, features.SemanticsAtLeastOnce}
-	total := len(Fig4Sizes) * len(sems)
-	i := 0
 	for _, m := range Fig4Sizes {
 		for _, sem := range sems {
-			res, err := run(Fig4Vector(m, sem), o, i)
-			if err != nil {
-				return nil, fmt.Errorf("figures: fig4 M=%d sem=%d: %w", m, sem, err)
-			}
-			out = append(out, Fig4Point{MessageSize: m, Semantics: sem, Pl: res.Pl, Pd: res.Pd})
-			i++
-			if o.Progress != nil {
-				o.Progress(i, total)
-			}
+			points = append(points, point{v: Fig4Vector(m, sem), idx: len(points)})
 		}
+	}
+	results, err := runBatch(o, points, func(p point) string {
+		return fmt.Sprintf("fig4 M=%d sem=%d", p.v.MessageSize, p.v.Semantics)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Fig4Point, len(points))
+	for i, p := range points {
+		out[i] = Fig4Point{MessageSize: p.v.MessageSize, Semantics: p.v.Semantics,
+			Pl: results[i].Pl, Pd: results[i].Pd}
 	}
 	return out, nil
 }
@@ -136,22 +177,22 @@ func Fig5Vector(timeout time.Duration, semantics int) features.Vector {
 
 // Fig5 regenerates the message-timeout study.
 func Fig5(o Options) ([]Fig5Point, error) {
-	var out []Fig5Point
+	var points []point
 	sems := []int{features.SemanticsAtMostOnce, features.SemanticsAtLeastOnce}
-	total := len(Fig5Timeouts) * len(sems)
-	i := 0
 	for _, to := range Fig5Timeouts {
 		for _, sem := range sems {
-			res, err := run(Fig5Vector(to, sem), o, 100+i)
-			if err != nil {
-				return nil, fmt.Errorf("figures: fig5 To=%v sem=%d: %w", to, sem, err)
-			}
-			out = append(out, Fig5Point{Timeout: to, Semantics: sem, Pl: res.Pl})
-			i++
-			if o.Progress != nil {
-				o.Progress(i, total)
-			}
+			points = append(points, point{v: Fig5Vector(to, sem), idx: 100 + len(points)})
 		}
+	}
+	results, err := runBatch(o, points, func(p point) string {
+		return fmt.Sprintf("fig5 To=%v sem=%d", p.v.MessageTimeout, p.v.Semantics)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Fig5Point, len(points))
+	for i, p := range points {
+		out[i] = Fig5Point{Timeout: p.v.MessageTimeout, Semantics: p.v.Semantics, Pl: results[i].Pl}
 	}
 	return out, nil
 }
@@ -188,16 +229,19 @@ func Fig6Vector(delta time.Duration) features.Vector {
 
 // Fig6 regenerates the polling-interval study.
 func Fig6(o Options) ([]Fig6Point, error) {
-	var out []Fig6Point
+	var points []point
 	for i, delta := range Fig6Intervals {
-		res, err := run(Fig6Vector(delta), o, 200+i)
-		if err != nil {
-			return nil, fmt.Errorf("figures: fig6 δ=%v: %w", delta, err)
-		}
-		out = append(out, Fig6Point{PollInterval: delta, Pl: res.Pl})
-		if o.Progress != nil {
-			o.Progress(i+1, len(Fig6Intervals))
-		}
+		points = append(points, point{v: Fig6Vector(delta), idx: 200 + i})
+	}
+	results, err := runBatch(o, points, func(p point) string {
+		return fmt.Sprintf("fig6 δ=%v", p.v.PollInterval)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Fig6Point, len(points))
+	for i, p := range points {
+		out[i] = Fig6Point{PollInterval: p.v.PollInterval, Pl: results[i].Pl}
 	}
 	return out, nil
 }
@@ -236,24 +280,25 @@ func Fig7Vector(loss float64, batch, semantics int) features.Vector {
 
 // Fig7 regenerates the batching-under-loss study.
 func Fig7(o Options) ([]Fig7Point, error) {
-	var out []Fig7Point
+	var points []point
 	sems := []int{features.SemanticsAtMostOnce, features.SemanticsAtLeastOnce}
-	total := len(Fig7Losses) * len(Fig7Batches) * len(sems)
-	i := 0
 	for _, b := range Fig7Batches {
 		for _, l := range Fig7Losses {
 			for _, sem := range sems {
-				res, err := run(Fig7Vector(l, b, sem), o, 300+i)
-				if err != nil {
-					return nil, fmt.Errorf("figures: fig7 L=%v B=%d sem=%d: %w", l, b, sem, err)
-				}
-				out = append(out, Fig7Point{LossRate: l, BatchSize: b, Semantics: sem, Pl: res.Pl})
-				i++
-				if o.Progress != nil {
-					o.Progress(i, total)
-				}
+				points = append(points, point{v: Fig7Vector(l, b, sem), idx: 300 + len(points)})
 			}
 		}
+	}
+	results, err := runBatch(o, points, func(p point) string {
+		return fmt.Sprintf("fig7 L=%v B=%d sem=%d", p.v.LossRate, p.v.BatchSize, p.v.Semantics)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Fig7Point, len(points))
+	for i, p := range points {
+		out[i] = Fig7Point{LossRate: p.v.LossRate, BatchSize: p.v.BatchSize,
+			Semantics: p.v.Semantics, Pl: results[i].Pl}
 	}
 	return out, nil
 }
@@ -293,21 +338,22 @@ func Fig8Vector(batch int, loss float64) features.Vector {
 
 // Fig8 regenerates the duplicate study.
 func Fig8(o Options) ([]Fig8Point, error) {
-	var out []Fig8Point
-	total := len(Fig8Batches) * len(Fig8Losses)
-	i := 0
+	var points []point
 	for _, l := range Fig8Losses {
 		for _, b := range Fig8Batches {
-			res, err := run(Fig8Vector(b, l), o, 600+i)
-			if err != nil {
-				return nil, fmt.Errorf("figures: fig8 B=%d L=%v: %w", b, l, err)
-			}
-			out = append(out, Fig8Point{BatchSize: b, LossRate: l, Pd: res.Pd, Pl: res.Pl})
-			i++
-			if o.Progress != nil {
-				o.Progress(i, total)
-			}
+			points = append(points, point{v: Fig8Vector(b, l), idx: 600 + len(points)})
 		}
+	}
+	results, err := runBatch(o, points, func(p point) string {
+		return fmt.Sprintf("fig8 B=%d L=%v", p.v.BatchSize, p.v.LossRate)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Fig8Point, len(points))
+	for i, p := range points {
+		out[i] = Fig8Point{BatchSize: p.v.BatchSize, LossRate: p.v.LossRate,
+			Pd: results[i].Pd, Pl: results[i].Pl}
 	}
 	return out, nil
 }
@@ -405,10 +451,11 @@ type AccuracyPair struct {
 // evaluates it on the held-out split.
 func Accuracy(o Options) (AccuracyResult, error) {
 	grid := append(sweep.NormalGrid(), sweep.AbnormalGrid()...)
-	ds, err := sweep.Collect(grid, sweep.Options{
+	ds, err := sweep.CollectContext(o.ctx(), grid, sweep.Options{
 		Messages:   o.messages() / 4,
 		Seed:       o.Seed + 1,
 		MaxSimTime: 20 * time.Minute,
+		Workers:    o.Workers,
 		Progress:   o.Progress,
 	})
 	if err != nil {

@@ -1,9 +1,11 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"kafkarel/internal/exprun"
 	"kafkarel/internal/features"
 	"kafkarel/internal/testbed"
 )
@@ -32,6 +34,8 @@ type SensitivityOptions struct {
 	MaxSimTime time.Duration
 	// Threshold on Impact for feature selection (default 0.01).
 	Threshold float64
+	// Workers bounds the experiment worker pool (<= 0: GOMAXPROCS).
+	Workers int
 }
 
 // perturbation describes how to scale one parameter of a base vector.
@@ -91,6 +95,13 @@ func perturbations() []perturbation {
 // measures the reliability impact, reproducing the paper's feature
 // selection procedure.
 func Sensitivity(base features.Vector, opts SensitivityOptions) ([]SensitivityResult, error) {
+	return SensitivityContext(context.Background(), base, opts)
+}
+
+// SensitivityContext is Sensitivity with cancellation. The base run and
+// every ±50 % perturbed run are independent experiments, so all of them
+// execute on one exprun pool.
+func SensitivityContext(ctx context.Context, base features.Vector, opts SensitivityOptions) ([]SensitivityResult, error) {
 	if err := base.Validate(); err != nil {
 		return nil, fmt.Errorf("sweep: %w", err)
 	}
@@ -101,37 +112,49 @@ func Sensitivity(base features.Vector, opts SensitivityOptions) ([]SensitivityRe
 	if threshold == 0 {
 		threshold = 0.01
 	}
-	run := func(v features.Vector, seed uint64) (float64, float64, error) {
-		res, err := testbed.Run(testbed.Experiment{
-			Features:   v,
-			Messages:   opts.Messages,
-			Seed:       seed,
-			MaxSimTime: opts.MaxSimTime,
-		})
-		if err != nil {
-			return 0, 0, err
-		}
-		return res.Pl, res.Pd, nil
+	perts := perturbations()
+	// Task 0 is the unperturbed base; tasks 1+2k and 2+2k are parameter
+	// k's -50 % and +50 % runs. Every run uses the same seed: the
+	// comparison must isolate the parameter effect from the fault
+	// realisation, especially near the TCP-collapse boundary where runs
+	// are bistable.
+	type task struct {
+		v    features.Vector
+		name string // error label: "base", "<param> low", "<param> high"
 	}
-	basePl, basePd, err := run(base, opts.Seed)
+	tasks := []task{{v: base, name: "base run"}}
+	for _, p := range perts {
+		tasks = append(tasks,
+			task{v: p.apply(base, 0.5), name: p.name + " low"},
+			task{v: p.apply(base, 1.5), name: p.name + " high"})
+	}
+	type metrics struct{ pl, pd float64 }
+	runs, err := exprun.Map(ctx, tasks,
+		func(_ context.Context, _ int, t task) (metrics, error) {
+			res, err := testbed.Run(testbed.Experiment{
+				Features:   t.v,
+				Messages:   opts.Messages,
+				Seed:       opts.Seed,
+				MaxSimTime: opts.MaxSimTime,
+			})
+			if err != nil {
+				return metrics{}, fmt.Errorf("sweep: %s: %w", t.name, err)
+			}
+			return metrics{res.Pl, res.Pd}, nil
+		},
+		exprun.Options{Workers: opts.Workers})
 	if err != nil {
-		return nil, fmt.Errorf("sweep: base run: %w", err)
+		return nil, err
 	}
+	basePl, basePd := runs[0].pl, runs[0].pd
 	var out []SensitivityResult
-	for _, p := range perturbations() {
-		low := p.apply(base, 0.5)
-		high := p.apply(base, 1.5)
-		r := SensitivityResult{Parameter: p.name, BasePl: basePl, BasePd: basePd}
-		// One seed for the base and every perturbed run: the comparison
-		// must isolate the parameter effect from the fault realisation,
-		// especially near the TCP-collapse boundary where runs are
-		// bistable.
-		seed := opts.Seed
-		if r.LowPl, r.LowPd, err = run(low, seed); err != nil {
-			return nil, fmt.Errorf("sweep: %s low: %w", p.name, err)
-		}
-		if r.HighPl, r.HighPd, err = run(high, seed); err != nil {
-			return nil, fmt.Errorf("sweep: %s high: %w", p.name, err)
+	for k, p := range perts {
+		low, high := runs[1+2*k], runs[2+2*k]
+		r := SensitivityResult{
+			Parameter: p.name,
+			BasePl:    basePl, BasePd: basePd,
+			LowPl: low.pl, LowPd: low.pd,
+			HighPl: high.pl, HighPd: high.pd,
 		}
 		for _, d := range []float64{
 			abs(r.LowPl - basePl), abs(r.HighPl - basePl),

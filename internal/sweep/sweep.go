@@ -4,12 +4,19 @@
 // and only the features found effective in each regime are swept — which
 // is what keeps the experiment count tractable. It also implements the
 // ±50 % sensitivity analysis of Sec. III-D used to select those features.
+//
+// Grid points are independent, seed-deterministic experiments, so they
+// are executed on the exprun worker pool; per-point seeds are derived
+// from the grid index alone, which keeps the collected dataset
+// byte-identical across worker counts.
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"kafkarel/internal/exprun"
 	"kafkarel/internal/features"
 	"kafkarel/internal/testbed"
 )
@@ -76,15 +83,23 @@ func AbnormalGrid() []features.Vector {
 	return grid
 }
 
+// seedStride separates per-grid-point seed streams (the historical
+// derivation, kept so collected datasets stay byte-identical).
+const seedStride = 7919
+
 // Options tunes a collection run.
 type Options struct {
 	// Messages per experiment (the paper uses 10^6; probabilities
 	// converge far earlier — see EXPERIMENTS.md).
 	Messages int
-	// Seed derives each experiment's seed deterministically.
+	// Seed derives each experiment's seed deterministically from the grid
+	// index, independent of execution order.
 	Seed uint64
 	// MaxSimTime bounds each experiment's virtual duration (0 = none).
 	MaxSimTime time.Duration
+	// Workers bounds the experiment worker pool (<= 0: GOMAXPROCS).
+	// Results are identical for every worker count.
+	Workers int
 	// Progress, when non-nil, is invoked after each experiment.
 	Progress func(done, total int)
 }
@@ -92,27 +107,46 @@ type Options struct {
 // Collect runs one testbed experiment per grid point and returns the
 // labelled dataset.
 func Collect(grid []features.Vector, opts Options) (features.Dataset, error) {
-	if len(grid) == 0 {
-		return nil, fmt.Errorf("sweep: empty grid")
-	}
-	if opts.Messages <= 0 {
-		return nil, fmt.Errorf("sweep: message count %d <= 0", opts.Messages)
-	}
+	return CollectContext(context.Background(), grid, opts)
+}
+
+// CollectContext is Collect with cancellation.
+func CollectContext(ctx context.Context, grid []features.Vector, opts Options) (features.Dataset, error) {
 	ds := make(features.Dataset, 0, len(grid))
-	for i, v := range grid {
-		res, err := testbed.Run(testbed.Experiment{
-			Features:   v,
-			Messages:   opts.Messages,
-			Seed:       opts.Seed + uint64(i)*7919,
-			MaxSimTime: opts.MaxSimTime,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("sweep: grid point %d (%+v): %w", i, v, err)
-		}
-		ds = append(ds, features.Sample{X: v, Pl: res.Pl, Pd: res.Pd})
-		if opts.Progress != nil {
-			opts.Progress(i+1, len(grid))
-		}
+	err := CollectStream(ctx, grid, opts, func(s features.Sample) error {
+		ds = append(ds, s)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return ds, nil
+}
+
+// CollectStream runs the sweep and yields each labelled sample in grid
+// order as soon as its prefix of the grid has completed, so callers can
+// persist long sweeps incrementally instead of buffering the dataset.
+func CollectStream(ctx context.Context, grid []features.Vector, opts Options, yield func(features.Sample) error) error {
+	if len(grid) == 0 {
+		return fmt.Errorf("sweep: empty grid")
+	}
+	if opts.Messages <= 0 {
+		return fmt.Errorf("sweep: message count %d <= 0", opts.Messages)
+	}
+	seedAt := exprun.LinearSeeds(opts.Seed, seedStride)
+	return exprun.MapOrdered(ctx, grid,
+		func(_ context.Context, i int, v features.Vector) (features.Sample, error) {
+			res, err := testbed.Run(testbed.Experiment{
+				Features:   v,
+				Messages:   opts.Messages,
+				Seed:       seedAt(i),
+				MaxSimTime: opts.MaxSimTime,
+			})
+			if err != nil {
+				return features.Sample{}, fmt.Errorf("sweep: grid point %d (%+v): %w", i, v, err)
+			}
+			return features.Sample{X: v, Pl: res.Pl, Pd: res.Pd}, nil
+		},
+		func(_ int, s features.Sample) error { return yield(s) },
+		exprun.Options{Workers: opts.Workers, Progress: opts.Progress})
 }

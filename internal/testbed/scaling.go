@@ -1,11 +1,18 @@
 package testbed
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"kafkarel/internal/exprun"
 	"kafkarel/internal/producer"
 )
+
+// scalingSeedStride separates the per-producer seed streams of a scaled
+// run (historical derivation, kept so scaled results stay byte-identical
+// to the sequential original).
+const scalingSeedStride = 15485863
 
 // RunScaled evaluates the paper's producer-scaling strategy (Sec. IV-C):
 // to keep the aggregate message arrival rate while relieving each
@@ -15,6 +22,15 @@ import (
 // equal share of the source and polling slowly enough that the aggregate
 // offered rate matches the single-producer experiment.
 func RunScaled(e Experiment, producers int) (Result, error) {
+	return RunScaledContext(context.Background(), e, producers, 0)
+}
+
+// RunScaledContext is RunScaled with cancellation and an explicit worker
+// bound for the per-producer simulations (<= 0: GOMAXPROCS). Each
+// producer is an independent simulation with an index-derived seed and
+// the partial results are merged in producer order, so the aggregate is
+// identical for every worker count.
+func RunScaledContext(ctx context.Context, e Experiment, producers, workers int) (Result, error) {
 	if producers <= 0 {
 		return Result{}, fmt.Errorf("testbed: producer count %d <= 0", producers)
 	}
@@ -37,20 +53,33 @@ func RunScaled(e Experiment, producers int) (Result, error) {
 		scaledPoll = 0
 	}
 
-	var agg Result
+	seedAt := exprun.LinearSeeds(e.Seed, scalingSeedStride)
 	share := e.Messages / producers
-	for i := 0; i < producers; i++ {
+	subs := make([]Experiment, producers)
+	for i := range subs {
 		sub := e
 		sub.Features.PollInterval = scaledPoll
 		sub.Messages = share
 		if i == producers-1 {
 			sub.Messages = e.Messages - share*(producers-1)
 		}
-		sub.Seed = e.Seed + uint64(i)*15485863
-		res, err := Run(sub)
-		if err != nil {
-			return Result{}, fmt.Errorf("testbed: producer %d: %w", i, err)
-		}
+		sub.Seed = seedAt(i)
+		subs[i] = sub
+	}
+	results, err := exprun.Map(ctx, subs,
+		func(_ context.Context, i int, sub Experiment) (Result, error) {
+			res, err := Run(sub)
+			if err != nil {
+				return Result{}, fmt.Errorf("testbed: producer %d: %w", i, err)
+			}
+			return res, nil
+		},
+		exprun.Options{Workers: workers})
+	if err != nil {
+		return Result{}, err
+	}
+	var agg Result
+	for _, res := range results {
 		agg = merge(agg, res)
 	}
 	if agg.Acquired > 0 {

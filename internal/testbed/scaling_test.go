@@ -1,0 +1,43 @@
+package testbed
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"kafkarel/internal/features"
+)
+
+// A scaled run fans its independent per-producer simulations out over
+// the worker pool; the merged aggregate must be identical for every
+// worker count.
+func TestRunScaledDeterministicAcrossWorkers(t *testing.T) {
+	e := Experiment{
+		Features: features.Vector{
+			MessageSize: 200, Timeliness: 5 * time.Second, DelayMs: 10,
+			LossRate: 0.1, Semantics: features.SemanticsAtMostOnce,
+			BatchSize: 1, MessageTimeout: 500 * time.Millisecond,
+		},
+		Messages: 600,
+		Seed:     7,
+	}
+	var ref Result
+	for i, workers := range []int{1, 4, 8} {
+		got, err := RunScaledContext(context.Background(), e, 3, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if i == 0 {
+			ref = got
+			continue
+		}
+		if got.Pl != ref.Pl || got.Pd != ref.Pd || got.Acquired != ref.Acquired ||
+			got.Report != ref.Report || got.Duration != ref.Duration ||
+			got.Throughput != ref.Throughput {
+			t.Errorf("workers=%d: aggregate %+v differs from workers=1 %+v", workers, got, ref)
+		}
+	}
+	if ref.Acquired != 600 {
+		t.Errorf("acquired %d of 600", ref.Acquired)
+	}
+}

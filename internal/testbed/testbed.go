@@ -14,6 +14,7 @@ import (
 	"kafkarel/internal/cluster"
 	"kafkarel/internal/consumer"
 	"kafkarel/internal/des"
+	"kafkarel/internal/exprun"
 	"kafkarel/internal/features"
 	"kafkarel/internal/netem"
 	"kafkarel/internal/producer"
@@ -204,7 +205,7 @@ func buildRig(sim *des.Simulator, e Experiment, cal Calibration) (*rig, error) {
 		return nil, fmt.Errorf("testbed: %w", err)
 	}
 	const topic = "stream"
-	if err := clst.CreateTopic(topic, defInt(e.Partitions, 1), 3); err != nil {
+	if err := clst.CreateTopic(topic, exprun.DefInt(e.Partitions, 1), 3); err != nil {
 		return nil, fmt.Errorf("testbed: %w", err)
 	}
 	srv, err := cluster.NewServer(clst, conn.Server)
@@ -285,33 +286,19 @@ func producerConfig(e Experiment, topic string) (producer.Config, error) {
 		BatchSize:      e.Features.BatchSize,
 		PollInterval:   e.Features.PollInterval,
 		MessageTimeout: e.Features.MessageTimeout,
-		MaxRetries:     defInt(e.MaxRetries, DefaultMaxRetries),
-		RetryBackoff:   defDur(e.RetryBackoff, DefaultRetryBackoff),
-		RequestTimeout: defDur(e.RequestTimeout, DefaultRequestTimeout),
-		MaxInFlight:    defInt(e.MaxInFlight, DefaultMaxInFlight),
-		Partitions:     int32(defInt(e.Partitions, 1)),
-		QueueLimit:     defInt(e.QueueLimit, DefaultQueueLimit),
-		LingerTime:     defDur(e.LingerTime, DefaultLingerTime),
+		MaxRetries:     exprun.DefInt(e.MaxRetries, DefaultMaxRetries),
+		RetryBackoff:   exprun.DefDur(e.RetryBackoff, DefaultRetryBackoff),
+		RequestTimeout: exprun.DefDur(e.RequestTimeout, DefaultRequestTimeout),
+		MaxInFlight:    exprun.DefInt(e.MaxInFlight, DefaultMaxInFlight),
+		Partitions:     int32(exprun.DefInt(e.Partitions, 1)),
+		QueueLimit:     exprun.DefInt(e.QueueLimit, DefaultQueueLimit),
+		LingerTime:     exprun.DefDur(e.LingerTime, DefaultLingerTime),
 		ReconnectDelay: 50 * time.Millisecond,
 	}
 	// Always assigned: idempotence only engages when the semantics is
 	// exactly-once, and a schedule may switch semantics mid-run.
 	cfg.ProducerID = e.Seed + 1
 	return cfg, nil
-}
-
-func defInt(v, d int) int {
-	if v > 0 {
-		return v
-	}
-	return d
-}
-
-func defDur(v, d time.Duration) time.Duration {
-	if v > 0 {
-		return v
-	}
-	return d
 }
 
 // collect verifies and aggregates the run.
@@ -330,7 +317,7 @@ func (r *rig) collect(sim *des.Simulator, e Experiment) (Result, error) {
 		res.Duration = r.doneAt
 	}
 	recs, err := consumer.ConsumeAllPartitions(r.clst, r.prod.Config().Topic,
-		int32(defInt(e.Partitions, 1)))
+		int32(exprun.DefInt(e.Partitions, 1)))
 	if err != nil {
 		return Result{}, fmt.Errorf("testbed: %w", err)
 	}

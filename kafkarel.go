@@ -18,11 +18,21 @@
 //   - The dynamic-configuration scheme of Sec. V: stepwise configuration
 //     search against a forecast network trace — see GenerateSchedule.
 //
+// Every evaluation artefact is built from independent, seed-deterministic
+// simulated experiments, which execute on a bounded worker pool (the
+// internal exprun layer). Per-experiment seeds are derived from each
+// experiment's position, never from scheduling order, so figures,
+// datasets and Table II outcomes are byte-identical for any worker
+// count — parallelism is purely a wall-clock lever (Workers fields on
+// FigureOptions, SweepOptions and DynConfOptions; -parallel on the
+// CLIs).
+//
 // The quickstart example under examples/quickstart walks through all
 // four layers in ~80 lines.
 package kafkarel
 
 import (
+	"context"
 	"io"
 	"time"
 
@@ -77,9 +87,17 @@ type (
 func RunExperiment(e Experiment) (Result, error) { return testbed.Run(e) }
 
 // RunScaledExperiment splits the experiment across n producers following
-// the paper's scaling rule N_p/δ = N_p'/(δ+Δδ) (Sec. IV-C).
+// the paper's scaling rule N_p/δ = N_p'/(δ+Δδ) (Sec. IV-C). The
+// per-producer simulations fan out over the experiment worker pool.
 func RunScaledExperiment(e Experiment, producers int) (Result, error) {
 	return testbed.RunScaled(e, producers)
+}
+
+// RunScaledExperimentContext is RunScaledExperiment with cancellation
+// and an explicit worker bound (<= 0: GOMAXPROCS); the aggregate result
+// is identical for every worker count.
+func RunScaledExperimentContext(ctx context.Context, e Experiment, producers, workers int) (Result, error) {
+	return testbed.RunScaledContext(ctx, e, producers, workers)
 }
 
 // DefaultCalibration returns the host cost constants used throughout the
@@ -101,9 +119,19 @@ type (
 func NormalGrid() []Features   { return sweep.NormalGrid() }
 func AbnormalGrid() []Features { return sweep.AbnormalGrid() }
 
-// CollectDataset runs one testbed experiment per grid point.
+// CollectDataset runs one testbed experiment per grid point. Grid
+// points fan out over the experiment worker pool (SweepOptions.Workers);
+// the dataset is identical for every worker count.
 func CollectDataset(grid []Features, opts SweepOptions) (Dataset, error) {
 	return sweep.Collect(grid, opts)
+}
+
+// CollectDatasetStream runs the sweep and yields each labelled sample
+// in grid order as soon as its prefix of the grid has completed, so
+// long collections can be persisted incrementally and cancelled via ctx
+// without losing the finished prefix.
+func CollectDatasetStream(ctx context.Context, grid []Features, opts SweepOptions, yield func(Sample) error) error {
+	return sweep.CollectStream(ctx, grid, opts, yield)
 }
 
 // Sensitivity reproduces the Sec. III-D ±50 % perturbation analysis.
@@ -197,6 +225,12 @@ func ScheduleChanges(entries []ScheduleEntry) []ConfigChange {
 // EvaluateDynamicConfiguration runs the full Table II pipeline.
 func EvaluateDynamicConfiguration(profiles []StreamProfile, opts DynConfOptions) ([]StreamOutcome, error) {
 	return dynconf.TableII(profiles, opts)
+}
+
+// EvaluateDynamicConfigurationContext is EvaluateDynamicConfiguration
+// with cancellation.
+func EvaluateDynamicConfigurationContext(ctx context.Context, profiles []StreamProfile, opts DynConfOptions) ([]StreamOutcome, error) {
+	return dynconf.TableIIContext(ctx, profiles, opts)
 }
 
 // Online dynamic configuration — the paper's declared future work,
