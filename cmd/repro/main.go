@@ -25,7 +25,9 @@ import (
 	"kafkarel/internal/exprun"
 	"kafkarel/internal/features"
 	"kafkarel/internal/figures"
+	"kafkarel/internal/obs"
 	"kafkarel/internal/sweep"
+	"kafkarel/internal/testbed"
 )
 
 func main() {
@@ -48,7 +50,7 @@ func run(ctx context.Context, args []string) error {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: repro [-n messages] [-seed n] [-parallel workers] [-progress every] <fig3|fig4|fig5|fig6|fig7|fig8|fig9|table1|table2|ann-accuracy|sensitivity|all>")
+		return fmt.Errorf("usage: repro [-n messages] [-seed n] [-parallel workers] [-progress every] <fig3|fig4|fig5|fig6|fig7|fig8|fig9|table1|table2|ann-accuracy|sensitivity|trace|all>")
 	}
 	opts := figures.Options{Messages: *messages, Seed: *seed, Workers: *parallel, Context: ctx}
 	// Each artefact gets a fresh progress reporter: its counters are
@@ -71,6 +73,7 @@ func run(ctx context.Context, args []string) error {
 		"table2":       table2,
 		"ann-accuracy": annAccuracy,
 		"sensitivity":  sensitivity,
+		"trace":        traceRun,
 	}
 	name := fs.Arg(0)
 	if name == "all" {
@@ -280,6 +283,62 @@ func annAccuracy(o figures.Options) error {
 		fmt.Fprintf(w, "%d\t%.2f\t%d\t%s\t%.4f\t%.4f\n",
 			p.X.MessageSize, p.X.LossRate, p.X.BatchSize, semName(p.X.Semantics),
 			p.MeasuredPl, p.PredictedPl)
+	}
+	return w.Flush()
+}
+
+// traceRun executes one Fig. 8 configuration with the event tracer
+// attached and prints the per-run timeline summary plus the first
+// complete Case-5 duplicate chain — the mechanism behind Fig. 8 made
+// visible: send → RTO-inflated response → spurious timeout → retry →
+// duplicate append.
+func traceRun(o figures.Options) error {
+	tracer := obs.NewTracer(1 << 20)
+	res, err := testbed.Run(testbed.Experiment{
+		Features: figures.Fig8Vector(2, 0.15),
+		Messages: o.Messages,
+		Seed:     o.Seed + 6,
+		Tracer:   tracer,
+	})
+	if err != nil {
+		return err
+	}
+	events := tracer.Events()
+	fmt.Println("# Per-run event trace: one Fig. 8 point (B=2, L=0.15, at-least-once)")
+	fmt.Printf("# P_l=%.4f P_d=%.4f; %d events (%d buffered), retransmits=%d, RTO max=%v\n",
+		res.Pl, res.Pd, tracer.Total(), len(events), res.Metrics.Retransmits, res.Metrics.RTOMax)
+	byLayer := map[string]uint64{}
+	byType := map[string]uint64{}
+	for _, ev := range events {
+		byLayer[ev.Layer]++
+		byType[ev.Type]++
+	}
+	w := newTab()
+	fmt.Fprintln(w, "layer\tevents")
+	for _, layer := range []string{obs.LayerNetem, obs.LayerTransport, obs.LayerProducer, obs.LayerBroker, obs.LayerCluster} {
+		fmt.Fprintf(w, "%s\t%d\n", layer, byLayer[layer])
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	chains := obs.DuplicateChains(events)
+	complete := 0
+	for _, c := range chains {
+		if obs.IsCompleteDuplicateChain(c) {
+			complete++
+		}
+	}
+	fmt.Printf("\n# duplicate chains: %d (%d complete); first complete chain:\n", len(chains), complete)
+	w = newTab()
+	fmt.Fprintln(w, "t\tlayer\tevent\tbatch\tvalue\taux")
+	for _, c := range chains {
+		if !obs.IsCompleteDuplicateChain(c) {
+			continue
+		}
+		for _, ev := range c {
+			fmt.Fprintf(w, "%v\t%s\t%s\t%d\t%d\t%d\n", ev.At, ev.Layer, ev.Type, ev.Key, ev.Value, ev.Aux)
+		}
+		break
 	}
 	return w.Flush()
 }

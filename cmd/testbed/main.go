@@ -2,13 +2,15 @@
 // run in the paper's methodology) and prints every measured metric.
 // With -producers > 1 the independent per-producer simulations fan out
 // over -parallel workers; the aggregate result is identical for any
-// worker count.
+// worker count. -metrics prints the per-run observability snapshot and
+// -trace writes the structured event timeline as JSONL (single-producer
+// runs only).
 //
 // Usage:
 //
 //	testbed [-n messages] [-seed n] -size 200 -loss 0.19 -delay 100 \
 //	        -semantics at-most-once -batch 1 -poll 0ms -timeout 1500ms \
-//	        [-producers n] [-parallel workers]
+//	        [-producers n] [-parallel workers] [-metrics] [-trace out.jsonl]
 package main
 
 import (
@@ -17,10 +19,11 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"kafkarel/internal/features"
-	"kafkarel/internal/producer"
+	"kafkarel/internal/obs"
 	"kafkarel/internal/testbed"
 )
 
@@ -47,6 +50,8 @@ func run(ctx context.Context, args []string) error {
 	timeout := fs.Duration("timeout", 1500*time.Millisecond, "message timeout T_o")
 	producers := fs.Int("producers", 1, "scale out across N producers (Sec. IV-C)")
 	parallel := fs.Int("parallel", 0, "simulation workers for scaled runs (0 = GOMAXPROCS)")
+	metrics := fs.Bool("metrics", false, "print the per-run observability snapshot")
+	tracePath := fs.String("trace", "", "write the structured event trace as JSONL to this file (requires -producers 1)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -73,9 +78,29 @@ func run(ctx context.Context, args []string) error {
 		Seed:       *seed,
 		MaxSimTime: 4 * time.Hour,
 	}
+	var traceFile *os.File
+	if *tracePath != "" {
+		if *producers > 1 {
+			return fmt.Errorf("-trace requires -producers 1 (a trace follows one virtual clock)")
+		}
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return fmt.Errorf("create trace file: %w", err)
+		}
+		traceFile = f
+		defer traceFile.Close()
+		e.Tracer = obs.NewTracer(obs.DefaultTraceCapacity)
+		e.Tracer.SetSink(traceFile)
+	}
 	res, err := testbed.RunScaledContext(ctx, e, *producers, *parallel)
 	if err != nil {
 		return err
+	}
+	if e.Tracer != nil {
+		if err := e.Tracer.Err(); err != nil {
+			return fmt.Errorf("trace sink: %w", err)
+		}
+		fmt.Printf("trace: %d events written to %s\n", e.Tracer.Total(), *tracePath)
 	}
 	lat := res.Latency
 	fmt.Printf("messages acquired:   %d (completed: %v)\n", res.Acquired, res.Completed)
@@ -87,11 +112,19 @@ func run(ctx context.Context, args []string) error {
 		lat.Mean(), lat.StdDev(), lat.Min(), lat.Max())
 	fmt.Printf("stale (T_p > S):     %.4f\n", res.StaleRate)
 	fmt.Println("message state cases (producer view, Table I):")
-	for _, c := range []producer.Case{producer.Case1, producer.Case2, producer.Case3, producer.Case4} {
-		fmt.Printf("  %-6s %8d (%.4f)\n", c, res.Producer.ByCase[c],
-			float64(res.Producer.ByCase[c])/float64(res.Producer.Total))
+	for _, row := range res.Producer.Cases() {
+		fmt.Printf("  %-6s %8d (%.4f)\n", row.Case, row.Count, row.Share)
 	}
 	fmt.Printf("  case5  %8d (%.4f)  [consumer-observed duplicates]\n",
 		res.Report.NDuplicated, res.Pd)
+	if *metrics {
+		fmt.Println("run metrics:")
+		fmt.Print(indent(string(res.Metrics.Encode())))
+	}
 	return nil
+}
+
+func indent(s string) string {
+	s = strings.TrimRight(s, "\n")
+	return "  " + strings.ReplaceAll(s, "\n", "\n  ") + "\n"
 }

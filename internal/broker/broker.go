@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"kafkarel/internal/des"
+	"kafkarel/internal/obs"
 	"kafkarel/internal/storage"
 	"kafkarel/internal/wire"
 )
@@ -23,6 +24,9 @@ type Config struct {
 	AppendPerByte time.Duration
 	// SegmentRecords is the partition-log segment roll threshold.
 	SegmentRecords int
+	// Obs attaches the per-run observability bundle. nil disables
+	// metrics and tracing for this broker.
+	Obs *obs.Obs
 }
 
 // DefaultConfig reflects a warm page-cache append path: tens of
@@ -65,6 +69,11 @@ type Broker struct {
 	prod  map[partitionKey]map[uint64]*producerState
 	up    bool
 	stats Stats
+
+	cProduce    *obs.Counter
+	cAppends    *obs.Counter
+	cDuplicates *obs.Counter
+	trace       *obs.Tracer
 }
 
 // New creates a running broker with the given node ID.
@@ -75,13 +84,18 @@ func New(id int32, sim *des.Simulator, cfg Config) (*Broker, error) {
 	if cfg.AppendLatency < 0 || cfg.AppendPerByte < 0 {
 		return nil, fmt.Errorf("broker: negative service time")
 	}
+	o := cfg.Obs
 	return &Broker{
-		id:   id,
-		sim:  sim,
-		cfg:  cfg,
-		logs: make(map[partitionKey]*storage.Log),
-		prod: make(map[partitionKey]map[uint64]*producerState),
-		up:   true,
+		id:          id,
+		sim:         sim,
+		cfg:         cfg,
+		logs:        make(map[partitionKey]*storage.Log),
+		prod:        make(map[partitionKey]map[uint64]*producerState),
+		up:          true,
+		cProduce:    o.Counter(obs.MBrokerProduce),
+		cAppends:    o.Counter(obs.MBrokerAppends),
+		cDuplicates: o.Counter(obs.MBrokerDuplicates),
+		trace:       o.Tracer(),
 	}, nil
 }
 
@@ -147,6 +161,8 @@ func (b *Broker) Append(topic string, partition int32, batch wire.RecordBatch, i
 			// offset and succeed without appending (Kafka's idempotent
 			// producer semantics).
 			b.stats.DuplicatesDropped++
+			b.cDuplicates.Inc()
+			b.trace.Emit(obs.LayerBroker, obs.EvDuplicateDrop, batch.BaseSequence, st.lastOffset, int64(b.id), topic)
 			return st.lastOffset, true, wire.ErrNone
 		}
 		base := log.Append(batch.Records)
@@ -154,10 +170,14 @@ func (b *Broker) Append(topic string, partition int32, batch wire.RecordBatch, i
 		st.lastSequence = batch.BaseSequence
 		st.lastOffset = base
 		b.stats.RecordsAppended += uint64(len(batch.Records))
+		b.cAppends.Add(uint64(len(batch.Records)))
+		b.trace.Emit(obs.LayerBroker, obs.EvAppend, batch.BaseSequence, base, int64(b.id), topic)
 		return base, false, wire.ErrNone
 	}
 	base := log.Append(batch.Records)
 	b.stats.RecordsAppended += uint64(len(batch.Records))
+	b.cAppends.Add(uint64(len(batch.Records)))
+	b.trace.Emit(obs.LayerBroker, obs.EvAppend, batch.BaseSequence, base, int64(b.id), topic)
 	return base, false, wire.ErrNone
 }
 
@@ -170,6 +190,7 @@ func (b *Broker) HandleProduce(req wire.ProduceRequest, idempotent bool, done fu
 		return
 	}
 	b.stats.ProduceRequests++
+	b.cProduce.Inc()
 	b.sim.After(b.serviceTime(req.Batch), func() {
 		if !b.up {
 			return

@@ -11,6 +11,7 @@ import (
 
 	"kafkarel/internal/broker"
 	"kafkarel/internal/des"
+	"kafkarel/internal/obs"
 	"kafkarel/internal/wire"
 )
 
@@ -27,6 +28,10 @@ type Config struct {
 	// MinISR is the minimum number of live replicas (leader included)
 	// required to accept an acks=all produce.
 	MinISR int
+	// Obs attaches the per-run observability bundle to the cluster's
+	// replication path. Broker-level instrumentation is configured via
+	// Broker.Obs; the testbed sets both from the same bundle.
+	Obs *obs.Obs
 }
 
 // DefaultConfig matches the paper's three-broker Docker testbed.
@@ -55,6 +60,9 @@ type Cluster struct {
 	cfg     Config
 	brokers []*broker.Broker
 	topics  map[string]*topicMeta
+
+	cReplications *obs.Counter
+	trace         *obs.Tracer
 }
 
 // New builds a cluster of cfg.Brokers running nodes.
@@ -71,7 +79,13 @@ func New(sim *des.Simulator, cfg Config) (*Cluster, error) {
 	if cfg.InterBrokerDelay < 0 {
 		return nil, fmt.Errorf("cluster: negative inter-broker delay")
 	}
-	c := &Cluster{sim: sim, cfg: cfg, topics: make(map[string]*topicMeta)}
+	c := &Cluster{
+		sim:           sim,
+		cfg:           cfg,
+		topics:        make(map[string]*topicMeta),
+		cReplications: cfg.Obs.Counter(obs.MReplications),
+		trace:         cfg.Obs.Tracer(),
+	}
 	for i := 0; i < cfg.Brokers; i++ {
 		b, err := broker.New(int32(i), sim, cfg.Broker)
 		if err != nil {
@@ -314,6 +328,8 @@ func (c *Cluster) HandleProduce(req wire.ProduceRequest, done func(wire.ProduceR
 			pending := len(followers)
 			for _, f := range followers {
 				f := f
+				c.cReplications.Inc()
+				c.trace.Emit(obs.LayerCluster, obs.EvReplicate, req.Batch.BaseSequence, int64(req.Partition), int64(f.ID()), req.Topic)
 				c.sim.After(c.cfg.InterBrokerDelay, func() {
 					f.HandleProduce(req, idempotent, func(wire.ProduceResponse) {
 						c.sim.After(c.cfg.InterBrokerDelay, func() {
@@ -350,6 +366,8 @@ func (c *Cluster) replicate(pm *partitionMeta, req wire.ProduceRequest, idempote
 		if !f.Up() {
 			continue
 		}
+		c.cReplications.Inc()
+		c.trace.Emit(obs.LayerCluster, obs.EvReplicate, req.Batch.BaseSequence, int64(req.Partition), int64(f.ID()), req.Topic)
 		c.sim.After(c.cfg.InterBrokerDelay, func() {
 			f.HandleProduce(req, idempotent, nil)
 		})

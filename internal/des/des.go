@@ -12,6 +12,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"kafkarel/internal/obs"
 )
 
 // ErrStopped is returned by Run when the simulation was halted by Stop
@@ -42,10 +44,21 @@ type Simulator struct {
 	queue   eventQueue
 	stopped bool
 	fired   uint64
+
+	cFired    *obs.Counter
+	gQueueMax *obs.Gauge
 }
 
 // New returns an empty simulator whose clock starts at zero.
 func New() *Simulator { return &Simulator{} }
+
+// Instrument attaches observability handles. The handles are nil-safe,
+// so passing a nil *obs.Obs (or never calling Instrument) keeps the run
+// loop free of metric updates beyond a nil check.
+func (s *Simulator) Instrument(o *obs.Obs) {
+	s.cFired = o.Counter(obs.MSimEvents)
+	s.gQueueMax = o.Gauge(obs.MSimQueueMax)
+}
 
 // Now returns the current virtual time.
 func (s *Simulator) Now() time.Duration { return s.now }
@@ -120,6 +133,7 @@ func (s *Simulator) run(deadline time.Duration, limit uint64) error {
 	s.stopped = false
 	executed := uint64(0)
 	for len(s.queue) > 0 {
+		s.gQueueMax.SetMax(int64(len(s.queue)))
 		if s.stopped {
 			return ErrStopped
 		}
@@ -136,6 +150,7 @@ func (s *Simulator) run(deadline time.Duration, limit uint64) error {
 		s.now = next.at
 		s.fired++
 		executed++
+		s.cFired.Inc()
 		next.fn()
 	}
 	if deadline >= 0 && deadline > s.now {

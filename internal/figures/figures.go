@@ -372,12 +372,10 @@ func Fig9(seed uint64) ([]netem.Point, error) {
 
 // --- Table I --------------------------------------------------------------
 
-// Table1Row is one message-state case with its observed frequency.
-type Table1Row struct {
-	Case  producer.Case
-	Count uint64
-	Share float64
-}
+// Table1Row is one message-state case with its observed frequency. It
+// is the producer package's unified tally row; the alias keeps older
+// call sites compiling.
+type Table1Row = producer.CaseCount
 
 // Table1Result is the empirical Table I: how often each case occurred in
 // a retry-friendly faulted run, with the consumer-side duplicate count
@@ -415,16 +413,11 @@ func Table1(o Options) (Table1Result, error) {
 	if err != nil {
 		return Table1Result{}, fmt.Errorf("figures: table1: %w", err)
 	}
-	out := Table1Result{Total: res.Producer.Total, Case5: res.Report.NDuplicated}
-	for _, c := range []producer.Case{producer.Case1, producer.Case2, producer.Case3, producer.Case4} {
-		n := res.Producer.ByCase[c]
-		out.Rows = append(out.Rows, Table1Row{
-			Case:  c,
-			Count: n,
-			Share: float64(n) / float64(res.Producer.Total),
-		})
-	}
-	return out, nil
+	return Table1Result{
+		Rows:  res.Producer.Cases(),
+		Total: res.Producer.Total,
+		Case5: res.Report.NDuplicated,
+	}, nil
 }
 
 // --- ANN accuracy (the Figs. 4-6 predicted-vs-measured overlays) -----------

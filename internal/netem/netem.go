@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"kafkarel/internal/des"
+	"kafkarel/internal/obs"
 	"kafkarel/internal/stats"
 )
 
@@ -49,6 +50,9 @@ type Config struct {
 	// DuplicateRand drives duplication draws; required when
 	// DuplicateProb > 0.
 	DuplicateRand *rand.Rand
+	// Obs attaches the per-run observability bundle. nil disables
+	// metrics and tracing for this link.
+	Obs *obs.Obs
 }
 
 // Link is one direction of an emulated network path. It is driven by a
@@ -61,6 +65,12 @@ type Link struct {
 	free time.Duration // when the serialiser becomes idle
 	last time.Duration // latest delivery time handed out (FIFO enforcement)
 	q    int           // packets queued for serialisation
+
+	cOffered      *obs.Counter
+	cDelivered    *obs.Counter
+	cLostRandom   *obs.Counter
+	cLostOverflow *obs.Counter
+	trace         *obs.Tracer
 }
 
 // NewLink creates one direction of a path.
@@ -80,7 +90,16 @@ func NewLink(sim *des.Simulator, cfg Config) (*Link, error) {
 	if cfg.DuplicateProb > 0 && cfg.DuplicateRand == nil {
 		return nil, fmt.Errorf("netem: duplication requires a random source")
 	}
-	return &Link{sim: sim, cfg: cfg}, nil
+	o := cfg.Obs
+	return &Link{
+		sim:           sim,
+		cfg:           cfg,
+		cOffered:      o.Counter(obs.MNetOffered),
+		cDelivered:    o.Counter(obs.MNetDelivered),
+		cLostRandom:   o.Counter(obs.MNetLostRandom),
+		cLostOverflow: o.Counter(obs.MNetLostOverflow),
+		trace:         o.Tracer(),
+	}, nil
 }
 
 // Counters returns a snapshot of the link statistics.
@@ -113,9 +132,12 @@ func (l *Link) Send(size int, deliver func()) {
 	}
 	l.cnt.Offered++
 	l.cnt.BytesOffered += uint64(size)
+	l.cOffered.Inc()
 
 	if l.cfg.Loss != nil && l.cfg.Loss.Drop() {
 		l.cnt.LostRandom++
+		l.cLostRandom.Inc()
+		l.trace.Emit(obs.LayerNetem, obs.EvPktLoss, 0, int64(size), 0, "")
 		return
 	}
 	copies := 1
@@ -136,6 +158,8 @@ func (l *Link) deliverOne(size int, deliver func()) {
 	if l.cfg.Bandwidth > 0 {
 		if l.cfg.QueueLimit > 0 && l.q >= l.cfg.QueueLimit {
 			l.cnt.LostOverflow++
+			l.cLostOverflow.Inc()
+			l.trace.Emit(obs.LayerNetem, obs.EvPktOverflow, 0, int64(size), 0, "")
 			return
 		}
 		start := now
@@ -164,6 +188,7 @@ func (l *Link) deliverOne(size int, deliver func()) {
 	l.sim.Schedule(at, func() {
 		l.cnt.Delivered++
 		l.cnt.BytesDelivery += uint64(size)
+		l.cDelivered.Inc()
 		deliver()
 	})
 }

@@ -1,0 +1,403 @@
+// Package obs is the simulation-time observability subsystem: a
+// registry of named counters, gauges and fixed-bucket histograms plus a
+// structured event tracer (trace.go), both reading the des virtual
+// clock instead of the wall clock.
+//
+// Design constraints, in order:
+//
+//   - Cheap enough to stay on by default. Handles are resolved once at
+//     construction time; the hot path is a nil check plus one atomic
+//     word-sized operation, with no allocation and no map lookup.
+//   - A no-op implementation when disabled. Every handle method has a
+//     nil receiver fast path, so instrumented code calls
+//     counter.Inc() unconditionally and a nil *Registry (or nil *Obs)
+//     turns the whole subsystem into dead branches.
+//   - Deterministic output. Snapshots list metrics in sorted name
+//     order and encode to a canonical byte form, so two runs with the
+//     same seed produce byte-identical snapshots regardless of worker
+//     count or scheduling (the repo-wide determinism contract).
+//
+// The package is zero-dependency (stdlib only) and imported by the DES
+// kernel and every protocol layer; it must never import them back.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Clock abstracts the virtual clock; *des.Simulator satisfies it.
+type Clock interface {
+	Now() time.Duration
+}
+
+// Canonical metric names. Instrumented subsystems register under these
+// so that snapshots and the testbed's MetricsSnapshot agree on one
+// stable schema.
+const (
+	// DES kernel.
+	MSimEvents   = "des.events_fired"
+	MSimQueueMax = "des.queue_max"
+
+	// Network emulation.
+	MNetOffered      = "netem.offered"
+	MNetDelivered    = "netem.delivered"
+	MNetLostRandom   = "netem.lost_random"
+	MNetLostOverflow = "netem.lost_overflow"
+
+	// Transport.
+	MSegmentsSent    = "transport.segments_sent"
+	MRetransmits     = "transport.retransmits"
+	MFastRetransmits = "transport.fast_retransmits"
+	MRTOTimeouts     = "transport.rto_timeouts"
+	MRTOMaxNs        = "transport.rto_max_ns"
+	MAcksSent        = "transport.acks_sent"
+	MConnBreaks      = "transport.conn_breaks"
+
+	// Producer.
+	MRecordsEnqueued = "producer.records_enqueued"
+	MBatchesSent     = "producer.batches_sent"
+	MBatchRetries    = "producer.batch_retries"
+	MRequestTimeouts = "producer.request_timeouts"
+	MQueueDepth      = "producer.queue_depth"
+
+	// Broker / cluster.
+	MBrokerProduce    = "broker.produce_requests"
+	MBrokerAppends    = "broker.appends"
+	MBrokerDuplicates = "broker.duplicates_dropped"
+	MReplications     = "cluster.replications"
+)
+
+// QueueDepthBounds are the fixed bucket upper bounds of the producer
+// accumulator-depth histogram (records). The last bucket is the
+// overflow bucket, so the histogram has QueueDepthBuckets counts.
+var QueueDepthBounds = []int64{0, 1, 2, 4, 8, 16, 32, 64}
+
+// QueueDepthBuckets is len(QueueDepthBounds)+1, as a constant so fixed
+// snapshot structs can size arrays with it.
+const QueueDepthBuckets = 9
+
+func init() {
+	if len(QueueDepthBounds)+1 != QueueDepthBuckets {
+		panic("obs: QueueDepthBuckets out of sync with QueueDepthBounds")
+	}
+}
+
+// Counter is a monotone uint64 metric. All methods are nil-safe: a nil
+// *Counter is the disabled no-op implementation.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 when disabled).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous int64 metric. All methods are nil-safe.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// SetMax stores v only if it exceeds the current value — a running
+// maximum (e.g. the largest RTO reached during a run).
+func (g *Gauge) SetMax(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur {
+			return
+		}
+		if g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 when disabled).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram counts observations into fixed buckets: counts[i] holds
+// observations v <= bounds[i], and the final count is the overflow
+// bucket. Bounds are fixed at registration so snapshots from different
+// runs are directly comparable. All methods are nil-safe.
+type Histogram struct {
+	bounds []int64
+	counts []atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+}
+
+// Counts returns a copy of the bucket counts (nil when disabled).
+func (h *Histogram) Counts() []uint64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Registry owns the named metrics of one simulation run. The zero
+// value is not usable; create with NewRegistry. A nil *Registry is the
+// disabled registry: every lookup returns a nil (no-op) handle.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty enabled registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Returns
+// nil (the no-op counter) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket upper bounds on first use. Bounds must be ascending; later
+// registrations of the same name reuse the original bounds.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] <= bounds[i-1] {
+				panic(fmt.Sprintf("obs: histogram %q bounds not ascending: %v", name, bounds))
+			}
+		}
+		h = &Histogram{
+			bounds: append([]int64(nil), bounds...),
+			counts: make([]atomic.Uint64, len(bounds)+1),
+		}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// CounterValue is one named counter reading.
+type CounterValue struct {
+	Name  string
+	Value uint64
+}
+
+// GaugeValue is one named gauge reading.
+type GaugeValue struct {
+	Name  string
+	Value int64
+}
+
+// HistogramValue is one named histogram reading.
+type HistogramValue struct {
+	Name   string
+	Bounds []int64
+	Counts []uint64
+}
+
+// Snapshot is a point-in-time copy of a registry, sorted by metric name
+// so it is deterministic and directly comparable across runs.
+type Snapshot struct {
+	Counters   []CounterValue
+	Gauges     []GaugeValue
+	Histograms []HistogramValue
+}
+
+// Snapshot copies the registry. On a nil registry it returns the empty
+// snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters = append(s.Counters, CounterValue{Name: name, Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugeValue{Name: name, Value: g.Value()})
+	}
+	for name, h := range r.hists {
+		s.Histograms = append(s.Histograms, HistogramValue{
+			Name:   name,
+			Bounds: append([]int64(nil), h.bounds...),
+			Counts: h.Counts(),
+		})
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+// Counter returns the named counter's value (0 when absent).
+func (s Snapshot) Counter(name string) uint64 {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// Gauge returns the named gauge's value (0 when absent).
+func (s Snapshot) Gauge(name string) int64 {
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			return g.Value
+		}
+	}
+	return 0
+}
+
+// Histogram returns the named histogram reading and whether it exists.
+func (s Snapshot) Histogram(name string) (HistogramValue, bool) {
+	for _, h := range s.Histograms {
+		if h.Name == name {
+			return h, true
+		}
+	}
+	return HistogramValue{}, false
+}
+
+// Encode renders the snapshot in a canonical text form — one metric per
+// line, sorted by kind then name — suitable for byte-equality
+// comparison in determinism tests and for golden files.
+func (s Snapshot) Encode() []byte {
+	var b strings.Builder
+	for _, c := range s.Counters {
+		fmt.Fprintf(&b, "counter %s %d\n", c.Name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		fmt.Fprintf(&b, "gauge %s %d\n", g.Name, g.Value)
+	}
+	for _, h := range s.Histograms {
+		fmt.Fprintf(&b, "hist %s bounds=%v counts=%v\n", h.Name, h.Bounds, h.Counts)
+	}
+	return []byte(b.String())
+}
+
+// Obs bundles the per-run registry and tracer handed to instrumented
+// subsystems. A nil *Obs — or a nil field — disables the corresponding
+// side with no further configuration.
+type Obs struct {
+	Registry *Registry
+	Trace    *Tracer
+}
+
+// Counter resolves a counter handle (nil-safe at every level).
+func (o *Obs) Counter(name string) *Counter {
+	if o == nil {
+		return nil
+	}
+	return o.Registry.Counter(name)
+}
+
+// Gauge resolves a gauge handle.
+func (o *Obs) Gauge(name string) *Gauge {
+	if o == nil {
+		return nil
+	}
+	return o.Registry.Gauge(name)
+}
+
+// Histogram resolves a histogram handle.
+func (o *Obs) Histogram(name string, bounds []int64) *Histogram {
+	if o == nil {
+		return nil
+	}
+	return o.Registry.Histogram(name, bounds)
+}
+
+// Tracer returns the bundled tracer (nil when disabled).
+func (o *Obs) Tracer() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.Trace
+}

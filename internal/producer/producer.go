@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"kafkarel/internal/des"
+	"kafkarel/internal/obs"
 	"kafkarel/internal/stats"
 	"kafkarel/internal/transport"
 	"kafkarel/internal/wire"
@@ -80,6 +81,14 @@ type Producer struct {
 	intakePaused   bool
 	finished       bool
 	onComplete     func()
+
+	// Observability (nil-safe handles; see internal/obs).
+	cEnqueued    *obs.Counter
+	cBatchesSent *obs.Counter
+	cBatchRetry  *obs.Counter
+	cReqTimeouts *obs.Counter
+	hQueueDepth  *obs.Histogram
+	trace        *obs.Tracer
 }
 
 // Option customises a Producer.
@@ -103,6 +112,20 @@ func WithOutcomeLog() Option {
 	return func(p *Producer) { p.outcomes = make([]Outcome, 0, 1024) }
 }
 
+// WithObs attaches the per-run observability bundle. Handles are
+// resolved once here; a nil bundle leaves them nil, which disables the
+// instrumentation at the cost of a nil check per site.
+func WithObs(o *obs.Obs) Option {
+	return func(p *Producer) {
+		p.cEnqueued = o.Counter(obs.MRecordsEnqueued)
+		p.cBatchesSent = o.Counter(obs.MBatchesSent)
+		p.cBatchRetry = o.Counter(obs.MBatchRetries)
+		p.cReqTimeouts = o.Counter(obs.MRequestTimeouts)
+		p.hQueueDepth = o.Histogram(obs.MQueueDepth, obs.QueueDepthBounds)
+		p.trace = o.Tracer()
+	}
+}
+
 // New wires a producer to a source and a connection. The producer owns
 // the client endpoint's receive path.
 func New(sim *des.Simulator, cfg Config, costs CostModel, conn *transport.Conn, source Source, opts ...Option) (*Producer, error) {
@@ -120,7 +143,6 @@ func New(sim *des.Simulator, cfg Config, costs CostModel, conn *transport.Conn, 
 		source:   source,
 		inFlight: make(map[uint32]*request),
 	}
-	p.counts.ByCase = make(map[Case]uint64)
 	for _, opt := range opts {
 		opt(p)
 	}
@@ -209,6 +231,9 @@ func (p *Producer) scheduleIntake() {
 			deadline: now + p.cfg.MessageTimeout,
 			state:    StateReady,
 		})
+		p.cEnqueued.Inc()
+		p.hQueueDepth.Observe(int64(p.queue.len()))
+		p.trace.Emit(obs.LayerProducer, obs.EvRecordEnqueue, p.nextKey, int64(p.queue.len()), 0, "")
 		p.kickSender()
 		p.scheduleIntake()
 	})
@@ -444,6 +469,11 @@ func (p *Producer) afterSend(corr uint32, b *batch) {
 	for _, r := range b.records {
 		r.attempts++
 	}
+	p.cBatchesSent.Inc()
+	if b.attempts > 1 {
+		p.cBatchRetry.Inc()
+	}
+	p.trace.Emit(obs.LayerProducer, obs.EvBatchSend, b.seq, int64(len(b.records)), int64(b.attempts), "")
 	if p.cfg.Semantics == AtMostOnce {
 		// Fire-and-forget: handing bytes to the transport is success from
 		// the producer's point of view (transition I of Fig. 2). Ground
@@ -491,6 +521,7 @@ func (p *Producer) onResponse(resp wire.ProduceResponse) {
 	delete(p.inFlight, resp.CorrelationID)
 	rq.timer.Stop()
 	if resp.Err == wire.ErrNone {
+		p.trace.Emit(obs.LayerProducer, obs.EvBatchAck, rq.batch.seq, int64(len(rq.batch.records)), int64(resp.CorrelationID), "")
 		for _, r := range rq.batch.records {
 			p.resolveDelivered(r)
 		}
@@ -502,6 +533,7 @@ func (p *Producer) onResponse(resp wire.ProduceResponse) {
 		p.retryOrFail(rq.batch)
 		return
 	}
+	p.trace.Emit(obs.LayerProducer, obs.EvBatchError, rq.batch.seq, 0, int64(resp.Err), resp.Err.String())
 	for _, r := range rq.batch.records {
 		p.resolveLost(r)
 	}
@@ -515,6 +547,8 @@ func (p *Producer) onRequestTimeout(corr uint32) {
 		return
 	}
 	delete(p.inFlight, corr)
+	p.cReqTimeouts.Inc()
+	p.trace.Emit(obs.LayerProducer, obs.EvRequestTimeout, rq.batch.seq, int64(corr), 0, "")
 	p.retryOrFail(rq.batch)
 }
 
@@ -524,6 +558,7 @@ func (p *Producer) retryOrFail(b *batch) {
 	now := p.sim.Now()
 	retriesUsed := b.attempts - 1
 	if retriesUsed < p.cfg.effectiveRetries() && now+p.cfg.RetryBackoff < b.minDeadline() {
+		p.trace.Emit(obs.LayerProducer, obs.EvBatchRetry, b.seq, int64(p.cfg.RetryBackoff), int64(b.attempts+1), "")
 		p.retryPending += len(b.records)
 		p.sim.After(p.cfg.RetryBackoff, func() {
 			p.retryPending -= len(b.records)
@@ -531,6 +566,7 @@ func (p *Producer) retryOrFail(b *batch) {
 		})
 		return
 	}
+	p.trace.Emit(obs.LayerProducer, obs.EvBatchFail, b.seq, int64(len(b.records)), int64(b.attempts), "")
 	for _, r := range b.records {
 		p.resolveLost(r)
 	}
@@ -580,6 +616,7 @@ func (p *Producer) resolveDelivered(r *record) {
 		p.stale++
 	}
 	p.counts.Delivered++
+	p.trace.Emit(obs.LayerProducer, obs.EvRecordDelivered, r.key, int64(r.attempts), int64(r.caseNum), "")
 	p.record(r)
 }
 
@@ -595,6 +632,7 @@ func (p *Producer) resolveLost(r *record) {
 	}
 	r.resolved = p.sim.Now()
 	p.counts.Lost++
+	p.trace.Emit(obs.LayerProducer, obs.EvRecordLost, r.key, int64(r.attempts), int64(r.caseNum), "")
 	p.record(r)
 }
 

@@ -80,12 +80,14 @@ type Outcome struct {
 }
 
 // Counts aggregates terminal states, the producer's own view of the
-// Table I distribution.
+// Table I distribution. ByCase is indexed by Case (0 = CaseUnresolved,
+// which stays zero for completed runs); a fixed array keeps Counts
+// comparable and its iteration order deterministic, unlike a map.
 type Counts struct {
 	Total     uint64
 	Delivered uint64
 	Lost      uint64
-	ByCase    map[Case]uint64
+	ByCase    [Case5 + 1]uint64
 }
 
 // LossRate returns the producer-observed P_l.
@@ -94,4 +96,27 @@ func (c Counts) LossRate() float64 {
 		return 0
 	}
 	return float64(c.Lost) / float64(c.Total)
+}
+
+// CaseCount is one row of the Table I distribution.
+type CaseCount struct {
+	Case  Case
+	Count uint64
+	Share float64 // fraction of Total (0 when Total is 0)
+}
+
+// Cases returns the producer-observable Table I rows (Case 1-4) in
+// order, with each case's share of the total. This is the single tally
+// used by the figures package and the CLIs; Case 5 needs consumer-side
+// reconciliation and is reported separately by the testbed.
+func (c Counts) Cases() []CaseCount {
+	rows := make([]CaseCount, 0, 4)
+	for cs := Case1; cs <= Case4; cs++ {
+		row := CaseCount{Case: cs, Count: c.ByCase[cs]}
+		if c.Total > 0 {
+			row.Share = float64(row.Count) / float64(c.Total)
+		}
+		rows = append(rows, row)
+	}
+	return rows
 }

@@ -234,6 +234,47 @@ func TestGilbertElliotStationaryRate(t *testing.T) {
 	}
 }
 
+// TestGilbertElliotSimplifiedStationaryLoss pins the simplified Gilbert
+// model (K=1: lossless Good, H=0: fully lossy Bad) to its closed form:
+// every packet in Bad is lost and none in Good, so the long-run loss
+// rate is exactly the Bad-state occupancy π_bad = p/(p+r). Both the
+// analytic Rate() and the empirical drop frequency over many draws must
+// match it across a spread of chain speeds.
+func TestGilbertElliotSimplifiedStationaryLoss(t *testing.T) {
+	cases := []struct{ p, r float64 }{
+		{0.01, 0.09},  // slow chain, long dwell times
+		{0.05, 0.20},  // the Fig. 9 regime
+		{0.25, 0.30},  // fast chain
+		{0.10, 0.10},  // symmetric: half the packets lost
+		{0.002, 0.04}, // rare, long outages
+	}
+	for i, c := range cases {
+		g, err := NewGilbertElliot(c.p, c.r, 1.0, 0.0, rng(20+uint64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := c.p / (c.p + c.r)
+		if got := g.Rate(); math.Abs(got-want) > 1e-12 {
+			t.Errorf("p=%v r=%v: Rate() = %v, want p/(p+r) = %v", c.p, c.r, got, want)
+		}
+		const n = 400000
+		drops := 0
+		for j := 0; j < n; j++ {
+			if g.Drop() {
+				drops++
+			}
+		}
+		got := float64(drops) / n
+		// Burst correlation inflates the variance of the empirical mean
+		// well beyond the Bernoulli se; dwell times scale with 1/p and
+		// 1/r, so give the slow chains a proportionally wider band.
+		tol := 4 * math.Sqrt(want*(1-want)/n*(2/(c.p+c.r)))
+		if math.Abs(got-want) > tol {
+			t.Errorf("p=%v r=%v: empirical loss %v, want %v ± %v", c.p, c.r, got, want, tol)
+		}
+	}
+}
+
 func TestGilbertElliotBurstiness(t *testing.T) {
 	// Compare mean burst length of consecutive drops against Bernoulli at
 	// the same long-run rate: the Markov model must be burstier.

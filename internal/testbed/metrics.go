@@ -1,0 +1,138 @@
+package testbed
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"kafkarel/internal/obs"
+)
+
+// MetricsSnapshot is the per-run observability summary returned next to
+// {P_l, P_d}. It is a comparable struct of fixed-size scalars and
+// arrays so determinism tests can require byte equality across worker
+// counts, and Merge can aggregate scaled runs deterministically.
+type MetricsSnapshot struct {
+	// DES kernel.
+	SimEvents uint64
+
+	// Transport.
+	SegmentsSent    uint64
+	Retransmits     uint64
+	FastRetransmits uint64
+	RTOTimeouts     uint64
+	RTOMax          time.Duration
+	AcksSent        uint64
+
+	// Network emulation.
+	PacketsLostRandom   uint64
+	PacketsLostOverflow uint64
+
+	// Producer.
+	RecordsEnqueued uint64
+	BatchesSent     uint64
+	BatchRetries    uint64
+	RequestTimeouts uint64
+	// QueueDepth histogram: bucket i counts enqueues that left the
+	// accumulator at depth <= obs.QueueDepthBounds[i]; the last bucket
+	// is the overflow.
+	QueueDepth [obs.QueueDepthBuckets]uint64
+
+	// Cases is the Table I distribution indexed by producer.Case
+	// (index 0, CaseUnresolved, stays zero in completed runs). Index 5
+	// is Case 5 — consumer-observed duplicated messages — which only
+	// reconciliation can attribute.
+	Cases [6]uint64
+
+	// Broker / cluster.
+	BrokerProduceRequests uint64
+	BrokerAppends         uint64
+	BrokerDuplicates      uint64
+	Replications          uint64
+}
+
+// snapshotMetrics converts a registry snapshot into the fixed struct.
+func snapshotMetrics(s obs.Snapshot) MetricsSnapshot {
+	m := MetricsSnapshot{
+		SimEvents:             s.Counter(obs.MSimEvents),
+		SegmentsSent:          s.Counter(obs.MSegmentsSent),
+		Retransmits:           s.Counter(obs.MRetransmits),
+		FastRetransmits:       s.Counter(obs.MFastRetransmits),
+		RTOTimeouts:           s.Counter(obs.MRTOTimeouts),
+		RTOMax:                time.Duration(s.Gauge(obs.MRTOMaxNs)),
+		AcksSent:              s.Counter(obs.MAcksSent),
+		PacketsLostRandom:     s.Counter(obs.MNetLostRandom),
+		PacketsLostOverflow:   s.Counter(obs.MNetLostOverflow),
+		RecordsEnqueued:       s.Counter(obs.MRecordsEnqueued),
+		BatchesSent:           s.Counter(obs.MBatchesSent),
+		BatchRetries:          s.Counter(obs.MBatchRetries),
+		RequestTimeouts:       s.Counter(obs.MRequestTimeouts),
+		BrokerProduceRequests: s.Counter(obs.MBrokerProduce),
+		BrokerAppends:         s.Counter(obs.MBrokerAppends),
+		BrokerDuplicates:      s.Counter(obs.MBrokerDuplicates),
+		Replications:          s.Counter(obs.MReplications),
+	}
+	if h, ok := s.Histogram(obs.MQueueDepth); ok {
+		for i := 0; i < len(m.QueueDepth) && i < len(h.Counts); i++ {
+			m.QueueDepth[i] = h.Counts[i]
+		}
+	}
+	return m
+}
+
+// Merge accumulates another run's snapshot into m: counters add,
+// RTOMax takes the maximum. Merging is commutative and associative, so
+// a scaled run's aggregate is identical for every worker count.
+func (m *MetricsSnapshot) Merge(o MetricsSnapshot) {
+	m.SimEvents += o.SimEvents
+	m.SegmentsSent += o.SegmentsSent
+	m.Retransmits += o.Retransmits
+	m.FastRetransmits += o.FastRetransmits
+	m.RTOTimeouts += o.RTOTimeouts
+	if o.RTOMax > m.RTOMax {
+		m.RTOMax = o.RTOMax
+	}
+	m.AcksSent += o.AcksSent
+	m.PacketsLostRandom += o.PacketsLostRandom
+	m.PacketsLostOverflow += o.PacketsLostOverflow
+	m.RecordsEnqueued += o.RecordsEnqueued
+	m.BatchesSent += o.BatchesSent
+	m.BatchRetries += o.BatchRetries
+	m.RequestTimeouts += o.RequestTimeouts
+	for i := range m.QueueDepth {
+		m.QueueDepth[i] += o.QueueDepth[i]
+	}
+	for i := range m.Cases {
+		m.Cases[i] += o.Cases[i]
+	}
+	m.BrokerProduceRequests += o.BrokerProduceRequests
+	m.BrokerAppends += o.BrokerAppends
+	m.BrokerDuplicates += o.BrokerDuplicates
+	m.Replications += o.Replications
+}
+
+// Encode renders the snapshot in a canonical text form, one metric per
+// line, for byte-equality comparison and human inspection.
+func (m MetricsSnapshot) Encode() []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sim.events %d\n", m.SimEvents)
+	fmt.Fprintf(&b, "transport.segments_sent %d\n", m.SegmentsSent)
+	fmt.Fprintf(&b, "transport.retransmits %d\n", m.Retransmits)
+	fmt.Fprintf(&b, "transport.fast_retransmits %d\n", m.FastRetransmits)
+	fmt.Fprintf(&b, "transport.rto_timeouts %d\n", m.RTOTimeouts)
+	fmt.Fprintf(&b, "transport.rto_max %v\n", m.RTOMax)
+	fmt.Fprintf(&b, "transport.acks_sent %d\n", m.AcksSent)
+	fmt.Fprintf(&b, "netem.lost_random %d\n", m.PacketsLostRandom)
+	fmt.Fprintf(&b, "netem.lost_overflow %d\n", m.PacketsLostOverflow)
+	fmt.Fprintf(&b, "producer.records_enqueued %d\n", m.RecordsEnqueued)
+	fmt.Fprintf(&b, "producer.batches_sent %d\n", m.BatchesSent)
+	fmt.Fprintf(&b, "producer.batch_retries %d\n", m.BatchRetries)
+	fmt.Fprintf(&b, "producer.request_timeouts %d\n", m.RequestTimeouts)
+	fmt.Fprintf(&b, "producer.queue_depth %v\n", m.QueueDepth)
+	fmt.Fprintf(&b, "cases %v\n", m.Cases)
+	fmt.Fprintf(&b, "broker.produce_requests %d\n", m.BrokerProduceRequests)
+	fmt.Fprintf(&b, "broker.appends %d\n", m.BrokerAppends)
+	fmt.Fprintf(&b, "broker.duplicates_dropped %d\n", m.BrokerDuplicates)
+	fmt.Fprintf(&b, "cluster.replications %d\n", m.Replications)
+	return []byte(b.String())
+}

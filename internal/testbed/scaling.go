@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"kafkarel/internal/exprun"
-	"kafkarel/internal/producer"
 )
 
 // scalingSeedStride separates the per-producer seed streams of a scaled
@@ -36,6 +35,12 @@ func RunScaledContext(ctx context.Context, e Experiment, producers, workers int)
 	}
 	if producers == 1 {
 		return Run(e)
+	}
+	if e.Tracer != nil {
+		// A tracer binds a single virtual clock; interleaving the
+		// independent clocks of parallel sub-simulations would produce a
+		// meaningless timeline.
+		return Result{}, fmt.Errorf("testbed: event tracing requires a single producer, got %d", producers)
 	}
 	if e.Messages < producers {
 		return Result{}, fmt.Errorf("testbed: %d messages across %d producers", e.Messages, producers)
@@ -100,12 +105,10 @@ func merge(a, b Result) Result {
 	a.Producer.Total += b.Producer.Total
 	a.Producer.Delivered += b.Producer.Delivered
 	a.Producer.Lost += b.Producer.Lost
-	if a.Producer.ByCase == nil {
-		a.Producer.ByCase = make(map[producer.Case]uint64)
-	}
 	for c, n := range b.Producer.ByCase {
 		a.Producer.ByCase[c] += n
 	}
+	a.Metrics.Merge(b.Metrics)
 	a.Latency.Merge(b.Latency)
 	a.Throughput += b.Throughput
 	if b.Duration > a.Duration {

@@ -1,11 +1,13 @@
 package testbed
 
 import (
+	"bytes"
 	"context"
 	"testing"
 	"time"
 
 	"kafkarel/internal/features"
+	"kafkarel/internal/obs"
 )
 
 // A scaled run fans its independent per-producer simulations out over
@@ -36,8 +38,130 @@ func TestRunScaledDeterministicAcrossWorkers(t *testing.T) {
 			got.Throughput != ref.Throughput {
 			t.Errorf("workers=%d: aggregate %+v differs from workers=1 %+v", workers, got, ref)
 		}
+		if got.Metrics != ref.Metrics {
+			t.Errorf("workers=%d: metrics differ from workers=1:\n%s\nvs\n%s",
+				workers, got.Metrics.Encode(), ref.Metrics.Encode())
+		}
+		if !bytes.Equal(got.Metrics.Encode(), ref.Metrics.Encode()) {
+			t.Errorf("workers=%d: metrics encoding not byte-identical", workers)
+		}
 	}
 	if ref.Acquired != 600 {
 		t.Errorf("acquired %d of 600", ref.Acquired)
+	}
+	if ref.Metrics.SegmentsSent == 0 || ref.Metrics.RecordsEnqueued != 600 {
+		t.Errorf("aggregate metrics look empty: %s", ref.Metrics.Encode())
+	}
+}
+
+// A single (unscaled) run's MetricsSnapshot must be byte-identical run
+// to run for a fixed seed — the determinism contract extended to the
+// observability layer, with a faulted at-least-once configuration that
+// exercises retries, retransmits and RTO backoff.
+func TestMetricsSnapshotDeterministic(t *testing.T) {
+	e := Experiment{
+		Features: features.Vector{
+			MessageSize: 200, Timeliness: 5 * time.Second, DelayMs: 40,
+			LossRate: 0.12, Semantics: features.SemanticsAtLeastOnce,
+			BatchSize: 2, MessageTimeout: 1500 * time.Millisecond,
+		},
+		Messages: 400,
+		Seed:     11,
+	}
+	ref, err := Run(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Metrics.Retransmits == 0 || ref.Metrics.RTOMax == 0 {
+		t.Errorf("faulted run shows no transport recovery activity: %s", ref.Metrics.Encode())
+	}
+	for i := 0; i < 2; i++ {
+		got, err := Run(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Metrics.Encode(), ref.Metrics.Encode()) {
+			t.Fatalf("rerun %d: metrics not byte-identical:\n%s\nvs\n%s",
+				i, got.Metrics.Encode(), ref.Metrics.Encode())
+		}
+	}
+}
+
+// DisableMetrics must leave Result.Metrics zero while the reliability
+// results stay identical to an instrumented run.
+func TestDisableMetrics(t *testing.T) {
+	e := Experiment{
+		Features: features.Vector{
+			MessageSize: 200, Timeliness: 5 * time.Second, DelayMs: 10,
+			LossRate: 0.05, Semantics: features.SemanticsAtLeastOnce,
+			BatchSize: 1, MessageTimeout: 1 * time.Second,
+		},
+		Messages: 200,
+		Seed:     3,
+	}
+	on, err := Run(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.DisableMetrics = true
+	off, err := Run(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Metrics != (MetricsSnapshot{}) {
+		t.Errorf("disabled run returned metrics: %s", off.Metrics.Encode())
+	}
+	if on.Pl != off.Pl || on.Pd != off.Pd || on.Report != off.Report || on.Duration != off.Duration {
+		t.Errorf("metrics toggle changed results: on={Pl %v Pd %v} off={Pl %v Pd %v}",
+			on.Pl, on.Pd, off.Pl, off.Pd)
+	}
+}
+
+// A traced run must reject scaling, and a single-producer traced run
+// must produce the same results as an untraced one while capturing the
+// event stream.
+func TestTracerScalingGuardAndNeutrality(t *testing.T) {
+	e := Experiment{
+		Features: features.Vector{
+			MessageSize: 200, Timeliness: 5 * time.Second, DelayMs: 10,
+			LossRate: 0.05, Semantics: features.SemanticsAtLeastOnce,
+			BatchSize: 1, MessageTimeout: 1 * time.Second,
+		},
+		Messages: 200,
+		Seed:     3,
+	}
+	plain, err := Run(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Tracer = obs.NewTracer(1 << 16)
+	if _, err := RunScaled(e, 2); err == nil {
+		t.Error("scaled traced run did not error")
+	}
+	traced, err := Run(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traced.Pl != plain.Pl || traced.Pd != plain.Pd || traced.Metrics != plain.Metrics {
+		t.Error("attaching a tracer changed run results")
+	}
+	if e.Tracer.Total() == 0 {
+		t.Error("tracer captured no events")
+	}
+	evs := e.Tracer.Events()
+	sawEnqueue, sawSend := false, false
+	for _, ev := range evs {
+		switch ev.Type {
+		case obs.EvRecordEnqueue:
+			sawEnqueue = true
+		case obs.EvSegmentSend:
+			sawSend = true
+		}
+		if ev.At < 0 {
+			t.Fatalf("event with negative timestamp: %+v", ev)
+		}
+	}
+	if !sawEnqueue || !sawSend {
+		t.Errorf("trace missing lifecycle events (enqueue=%v send=%v)", sawEnqueue, sawSend)
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"kafkarel/internal/exprun"
 	"kafkarel/internal/features"
 	"kafkarel/internal/netem"
+	"kafkarel/internal/obs"
 	"kafkarel/internal/producer"
 	"kafkarel/internal/stats"
 	"kafkarel/internal/transport"
@@ -54,6 +55,15 @@ type Experiment struct {
 	// running producer; the stream and network features of scheduled
 	// vectors are ignored.
 	Schedule []ConfigChange
+	// DisableMetrics switches off the per-run obs.Registry; Result.Metrics
+	// then stays zero. Metrics are on by default (they are cheap: atomic
+	// word-sized updates with handles resolved at build time).
+	DisableMetrics bool
+	// Tracer, when non-nil, receives the run's structured event stream
+	// (record lifecycle, transport, broker events). The testbed binds the
+	// tracer to the run's virtual clock. Tracing requires a single
+	// producer: RunScaled rejects a traced experiment.
+	Tracer *obs.Tracer
 	// Overrides for producer plumbing; zero values take the defaults
 	// below.
 	QueueLimit     int
@@ -99,6 +109,9 @@ type Result struct {
 	Report consumer.Report
 	// Producer is the producer-view Table I case distribution.
 	Producer producer.Counts
+	// Metrics is the per-run observability snapshot (zero when
+	// Experiment.DisableMetrics was set).
+	Metrics MetricsSnapshot
 	// Latency summarises delivered-message T_p in milliseconds.
 	Latency stats.Summary
 	// StaleRate is the fraction of delivered messages with T_p > S.
@@ -157,13 +170,22 @@ type rig struct {
 	conn   *transport.Conn
 	clst   *cluster.Cluster
 	prod   *producer.Producer
+	reg    *obs.Registry
 	cfgErr error
 	doneAt time.Duration // virtual time the producer finished (-1 if cut off)
 }
 
 func buildRig(sim *des.Simulator, e Experiment, cal Calibration) (*rig, error) {
+	var reg *obs.Registry
+	if !e.DisableMetrics {
+		reg = obs.NewRegistry()
+	}
+	e.Tracer.BindClock(sim)
+	o := &obs.Obs{Registry: reg, Trace: e.Tracer}
+	sim.Instrument(o)
+
 	linkCfg := func(seed uint64) (netem.Config, error) {
-		cfg := netem.Config{Bandwidth: cal.Bandwidth, QueueLimit: 1000}
+		cfg := netem.Config{Bandwidth: cal.Bandwidth, QueueLimit: 1000, Obs: o}
 		if len(e.Trace) == 0 {
 			if e.Features.DelayMs > 0 {
 				cfg.Delay = stats.Constant{Value: e.Features.DelayMs}
@@ -196,11 +218,14 @@ func buildRig(sim *des.Simulator, e Experiment, cal Calibration) (*rig, error) {
 		}
 	}
 
-	conn, err := transport.NewConn(sim, path, transport.Config{SendBufferLimit: cal.SocketBuffer})
+	conn, err := transport.NewConn(sim, path, transport.Config{SendBufferLimit: cal.SocketBuffer, Obs: o})
 	if err != nil {
 		return nil, fmt.Errorf("testbed: %w", err)
 	}
-	clst, err := cluster.New(sim, cluster.DefaultConfig())
+	clstCfg := cluster.DefaultConfig()
+	clstCfg.Obs = o
+	clstCfg.Broker.Obs = o
+	clst, err := cluster.New(sim, clstCfg)
 	if err != nil {
 		return nil, fmt.Errorf("testbed: %w", err)
 	}
@@ -223,7 +248,7 @@ func buildRig(sim *des.Simulator, e Experiment, cal Calibration) (*rig, error) {
 		return nil, err
 	}
 	costs := newCostModel(cal, rand.New(rand.NewPCG(e.Seed, 0x02)))
-	r := &rig{path: path, conn: conn, clst: clst, doneAt: -1}
+	r := &rig{path: path, conn: conn, clst: clst, reg: reg, doneAt: -1}
 	for i, ev := range e.BrokerFailures {
 		ev := ev
 		if b := clst.Broker(ev.Broker); b == nil {
@@ -243,7 +268,8 @@ func buildRig(sim *des.Simulator, e Experiment, cal Calibration) (*rig, error) {
 	}
 	prod, err := producer.New(sim, pcfg, costs, conn, src,
 		producer.WithTimeliness(e.Features.Timeliness),
-		producer.WithCompletion(func() { r.doneAt = sim.Now() }))
+		producer.WithCompletion(func() { r.doneAt = sim.Now() }),
+		producer.WithObs(o))
 	if err != nil {
 		return nil, fmt.Errorf("testbed: %w", err)
 	}
@@ -324,6 +350,12 @@ func (r *rig) collect(sim *des.Simulator, e Experiment) (Result, error) {
 	res.Report = consumer.Reconcile(res.Acquired, recs)
 	res.Pl = res.Report.Pl()
 	res.Pd = res.Report.Pd()
+	if r.reg != nil {
+		res.Metrics = snapshotMetrics(r.reg.Snapshot())
+		res.Metrics.Cases = res.Producer.ByCase
+		// Case 5 (duplicated) is only observable at the consumer.
+		res.Metrics.Cases[producer.Case5] = res.Report.NDuplicated
+	}
 	if d := res.Duration.Seconds(); d > 0 {
 		res.Throughput = float64(res.Report.Distinct) / d
 		cal := e.Calibration

@@ -20,6 +20,7 @@ import (
 
 	"kafkarel/internal/des"
 	"kafkarel/internal/netem"
+	"kafkarel/internal/obs"
 )
 
 // Errors surfaced to users of a connection.
@@ -63,6 +64,9 @@ type Config struct {
 	// acknowledged immediately (they feed fast retransmit). 0 disables
 	// delaying; every segment is acked at once.
 	DelayedAck time.Duration
+	// Obs attaches the per-run observability bundle. nil disables
+	// metrics and tracing for this connection.
+	Obs *obs.Obs
 }
 
 // DefaultConfig mirrors common Linux TCP constants scaled to the
@@ -183,6 +187,17 @@ type Endpoint struct {
 	onErr       func(error)
 	stats       Stats
 	genSent     uint64 // connection generation, bumped by Reset to kill stale timers
+
+	// Observability (nil-safe handles; see internal/obs).
+	cSegSent     *obs.Counter
+	cRetransmits *obs.Counter
+	cFastRetrans *obs.Counter
+	cRTOTimeouts *obs.Counter
+	gRTOMax      *obs.Gauge
+	cAcksSent    *obs.Counter
+	cConnBreaks  *obs.Counter
+	trace        *obs.Tracer
+	lastCwnd     int // last traced integer cwnd, to emit cwnd_change on transitions only
 }
 
 // Conn is a duplex connection: the Client endpoint sends on path.Fwd and
@@ -217,6 +232,7 @@ func NewConn(sim *des.Simulator, path *netem.Path, cfg Config) (*Conn, error) {
 }
 
 func newEndpoint(name string, sim *des.Simulator, cfg Config, out *netem.Link) *Endpoint {
+	o := cfg.Obs
 	e := &Endpoint{
 		name:     name,
 		sim:      sim,
@@ -226,6 +242,16 @@ func newEndpoint(name string, sim *des.Simulator, cfg Config, out *netem.Link) *
 		ssthresh: float64(cfg.MaxWindow),
 		rto:      cfg.InitialRTO,
 		ooo:      make(map[int64][]byte),
+
+		cSegSent:     o.Counter(obs.MSegmentsSent),
+		cRetransmits: o.Counter(obs.MRetransmits),
+		cFastRetrans: o.Counter(obs.MFastRetransmits),
+		cRTOTimeouts: o.Counter(obs.MRTOTimeouts),
+		gRTOMax:      o.Gauge(obs.MRTOMaxNs),
+		cAcksSent:    o.Counter(obs.MAcksSent),
+		cConnBreaks:  o.Counter(obs.MConnBreaks),
+		trace:        o.Tracer(),
+		lastCwnd:     cfg.InitialCwnd,
 	}
 	e.timer = des.NewTimer(sim, e.onRTO)
 	e.ackTimer = des.NewTimer(sim, e.flushAck)
@@ -261,6 +287,7 @@ func (e *Endpoint) reset() {
 	e.unackedSegs = 0
 	e.ackTimer.Stop()
 	e.ooo = make(map[int64][]byte)
+	e.lastCwnd = e.cfg.InitialCwnd
 	// Peer receiver state resets on its own endpoint's reset.
 }
 
@@ -336,8 +363,23 @@ func (e *Endpoint) pump() {
 	}
 }
 
+// traceCwnd emits a cwnd_change event when the integer congestion window
+// moved since the last emission. Called after every cwnd adjustment so the
+// trace shows the Reno sawtooth without one event per ack.
+func (e *Endpoint) traceCwnd() {
+	if e.trace == nil {
+		return
+	}
+	if w := int(e.cwnd); w != e.lastCwnd {
+		e.lastCwnd = w
+		e.trace.Emit(obs.LayerTransport, obs.EvCwndChange, 0, int64(w), int64(e.ssthresh), e.name)
+	}
+}
+
 func (e *Endpoint) transmit(m *segMeta, payload []byte) {
 	e.stats.SegmentsSent++
+	e.cSegSent.Inc()
+	e.trace.Emit(obs.LayerTransport, obs.EvSegmentSend, uint64(m.seq), int64(m.size), int64(m.retries), e.name)
 	pkt := packet{seq: m.seq, ack: -1, payload: payload}
 	gen := e.genSent
 	e.out.Send(m.size+e.cfg.SegmentOverhead, func() {
@@ -358,6 +400,8 @@ func (e *Endpoint) retransmit(m *segMeta) {
 	}
 	m.sentAt = e.sim.Now()
 	e.stats.Retransmissions++
+	e.cRetransmits.Inc()
+	e.trace.Emit(obs.LayerTransport, obs.EvSegmentRetransmit, uint64(m.seq), int64(m.size), int64(m.retries), e.name)
 	off := int(m.seq - e.bufBase)
 	payload := make([]byte, m.size)
 	copy(payload, e.sendBuf[off:off+m.size])
@@ -371,6 +415,7 @@ func (e *Endpoint) onRTO() {
 		return
 	}
 	e.stats.Timeouts++
+	e.cRTOTimeouts.Inc()
 	m := e.inFlight[0]
 	if m.retries >= e.cfg.MaxRetries {
 		e.fail(fmt.Errorf("%w: segment seq=%d exceeded %d retries", ErrBroken, m.seq, e.cfg.MaxRetries))
@@ -387,6 +432,9 @@ func (e *Endpoint) onRTO() {
 	if e.rto > e.cfg.MaxRTO {
 		e.rto = e.cfg.MaxRTO
 	}
+	e.gRTOMax.SetMax(int64(e.rto))
+	e.trace.Emit(obs.LayerTransport, obs.EvRTOBackoff, 0, int64(e.rto), int64(e.backoff), e.name)
+	e.traceCwnd()
 	e.dupAcks = 0
 	e.retransmit(m)
 	e.timer.Reset(e.rto)
@@ -395,6 +443,10 @@ func (e *Endpoint) onRTO() {
 func (e *Endpoint) fail(err error) {
 	e.broken = true
 	e.brokenErr = err
+	e.cConnBreaks.Inc()
+	if e.trace != nil {
+		e.trace.Emit(obs.LayerTransport, obs.EvConnBroken, 0, 0, 0, e.name+": "+err.Error())
+	}
 	e.timer.Stop()
 	e.inFlight = nil
 	if e.onErr != nil {
@@ -462,6 +514,7 @@ func (e *Endpoint) deliver(payload []byte) {
 // bandwidth-preemption effect Sec. IV-A describes.
 func (e *Endpoint) sendAck() {
 	e.stats.AcksSent++
+	e.cAcksSent.Inc()
 	ackNo := e.rcvNxt
 	gen := e.genSent
 	e.out.Send(e.cfg.AckSize, func() {
@@ -487,6 +540,8 @@ func (e *Endpoint) receiveAck(ack int64) {
 			// Fast retransmit + multiplicative decrease (simplified Reno:
 			// no explicit fast-recovery inflation).
 			e.stats.FastRetransmits++
+			e.cFastRetrans.Inc()
+			e.trace.Emit(obs.LayerTransport, obs.EvFastRetransmit, uint64(e.inFlight[0].seq), 0, 0, e.name)
 			m := e.inFlight[0]
 			if m.retries >= e.cfg.MaxRetries {
 				e.fail(fmt.Errorf("%w: segment seq=%d exceeded %d retries", ErrBroken, m.seq, e.cfg.MaxRetries))
@@ -497,6 +552,7 @@ func (e *Endpoint) receiveAck(ack int64) {
 				e.ssthresh = 2
 			}
 			e.cwnd = e.ssthresh
+			e.traceCwnd()
 			e.retransmit(m)
 			e.timer.Reset(e.rto)
 		}
@@ -553,6 +609,7 @@ func (e *Endpoint) receiveAck(ack int64) {
 	if e.cwnd > float64(e.cfg.MaxWindow) {
 		e.cwnd = float64(e.cfg.MaxWindow)
 	}
+	e.traceCwnd()
 	if len(e.inFlight) == 0 {
 		e.timer.Stop()
 	} else {
@@ -589,4 +646,5 @@ func (e *Endpoint) recomputeRTO() {
 		rto = e.cfg.MaxRTO
 	}
 	e.rto = rto
+	e.gRTOMax.SetMax(int64(rto))
 }

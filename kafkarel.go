@@ -42,6 +42,7 @@ import (
 	"kafkarel/internal/figures"
 	"kafkarel/internal/kpi"
 	"kafkarel/internal/netem"
+	"kafkarel/internal/obs"
 	"kafkarel/internal/perfmodel"
 	"kafkarel/internal/sweep"
 	"kafkarel/internal/testbed"
@@ -81,6 +82,39 @@ type (
 	// future-work scenario, implemented as an extension).
 	BrokerEvent = testbed.BrokerEvent
 )
+
+// Observability (the internal/obs subsystem). A run's metrics come back
+// on Result.Metrics; the event timeline is captured by attaching a
+// Tracer to Experiment.Tracer.
+type (
+	// MetricsSnapshot is the per-run observability summary returned
+	// alongside P_l / P_d: retransmit counts, RTO maximum, queue-depth
+	// histogram, Table I case counts, broker and replication activity.
+	MetricsSnapshot = testbed.MetricsSnapshot
+	// Tracer records the structured per-run event stream (record
+	// lifecycle, transport, broker events) into a ring buffer and an
+	// optional JSONL sink.
+	Tracer = obs.Tracer
+	// TraceEvent is one structured trace record stamped with virtual
+	// time.
+	TraceEvent = obs.Event
+)
+
+// NewTracer returns an event tracer with the given ring capacity
+// (<= 0 takes the default). Attach it via Experiment.Tracer.
+func NewTracer(capacity int) *Tracer { return obs.NewTracer(capacity) }
+
+// ReadTraceJSONL parses a JSONL trace written by a tracer sink.
+func ReadTraceJSONL(r io.Reader) ([]TraceEvent, error) { return obs.ReadJSONL(r) }
+
+// DuplicateChains extracts from a trace the per-batch event chains of
+// Case-5 duplicates (send → spurious timeout → retry → duplicate
+// append), the Fig. 8 mechanism.
+func DuplicateChains(events []TraceEvent) [][]TraceEvent { return obs.DuplicateChains(events) }
+
+// IsCompleteDuplicateChain reports whether a chain shows the full
+// Fig. 8 causal sequence.
+func IsCompleteDuplicateChain(chain []TraceEvent) bool { return obs.IsCompleteDuplicateChain(chain) }
 
 // RunExperiment measures P_l and P_d (and throughput, latency, staleness)
 // for one feature vector on the simulated testbed.

@@ -301,6 +301,55 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	}
 }
 
+func TestObservabilityFacade(t *testing.T) {
+	// The observability surface through the public API: metrics ride
+	// along on every Result, and a Tracer round-trips through JSONL to
+	// the duplicate-chain analysis.
+	e := kafkarel.Experiment{
+		Features: kafkarel.Features{
+			MessageSize:    200,
+			Timeliness:     5 * time.Second,
+			DelayMs:        100,
+			LossRate:       0.15,
+			Semantics:      kafkarel.AtLeastOnce,
+			BatchSize:      2,
+			MessageTimeout: 3 * time.Second,
+		},
+		Messages: 2000,
+		Seed:     7,
+	}
+	e.Tracer = kafkarel.NewTracer(1 << 16)
+	res, err := kafkarel.RunExperiment(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Metrics
+	if m.SegmentsSent == 0 || m.Retransmits == 0 || m.BrokerAppends == 0 ||
+		m.RecordsEnqueued != 2000 || m.RTOMax == 0 {
+		t.Errorf("metrics not populated: %s", m.Encode())
+	}
+	var buf bytes.Buffer
+	if err := e.Tracer.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	events, err := kafkarel.ReadTraceJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("trace round trip returned no events")
+	}
+	complete := 0
+	for _, chain := range kafkarel.DuplicateChains(events) {
+		if kafkarel.IsCompleteDuplicateChain(chain) {
+			complete++
+		}
+	}
+	if complete == 0 {
+		t.Error("no complete Fig. 8 duplicate chain in the traced run")
+	}
+}
+
 func TestProducerScalingReducesLoss(t *testing.T) {
 	if testing.Short() {
 		t.Skip("scaling experiment; skipped in -short")

@@ -1,0 +1,9 @@
+//go:build race
+
+package kafkarel_test
+
+// raceEnabled reports whether the race detector is compiled in. TSan
+// intercepts every atomic operation, which inflates the observability
+// hot path far beyond its production cost, so timing-budget tests skip
+// themselves under -race.
+const raceEnabled = true
