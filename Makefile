@@ -1,9 +1,15 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-scaling repro
+.PHONY: check build fmt vet test race bench bench-json bench-scaling repro
 
-## check: the full quality gate — build, vet, race-enabled tests.
-check: build vet race
+## check: the full quality gate — formatting, build, vet, race-enabled
+## tests.
+check: fmt build vet race
+
+## fmt: gofmt gate — fails listing any file that is not gofmt-clean.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 build:
 	$(GO) build ./...
@@ -20,7 +26,14 @@ race:
 	$(GO) test -race ./...
 
 bench:
-	$(GO) test -bench=. -benchmem
+	$(GO) test -run xxx -bench=. -benchmem
+
+## bench-json: the observability benchmarks (obs overhead, timeline,
+## exprun scaling) as a machine-readable artefact. EXPERIMENTS.md
+## documents the JSON format.
+bench-json:
+	$(GO) test -run xxx -bench 'Observability|Timeline|ExprunScaling' -benchmem -benchtime 3x . \
+		| $(GO) run ./cmd/benchjson > BENCH_obs.json
 
 ## bench-scaling: wall-time of figure reproduction vs worker count
 ## (EXPERIMENTS.md records the results).

@@ -1,0 +1,105 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// array, one object per benchmark, so CI can archive benchmark results
+// as a machine-readable artefact (EXPERIMENTS.md documents the format).
+//
+// Usage:
+//
+//	go test -run xxx -bench . -benchmem ./... | benchjson > BENCH.json
+//
+// Each element carries the benchmark name (with the -N GOMAXPROCS
+// suffix stripped), iteration count, ns/op, and — when -benchmem was on
+// — B/op and allocs/op. Any additional custom metrics (from
+// b.ReportMetric) land in the "custom" map keyed by unit. Lines that
+// are not benchmark results are ignored.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Custom      map[string]float64 `json:"custom,omitempty"`
+}
+
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseLine parses one `Benchmark...` output line; ok is false for
+// non-benchmark lines.
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{
+		Name:       gomaxprocsSuffix.ReplaceAllString(fields[0], ""),
+		Iterations: iters,
+	}
+	// The remainder is value/unit pairs: `1234 ns/op 56 B/op ...`.
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = v
+			seen = true
+		case "B/op":
+			b := v
+			r.BytesPerOp = &b
+		case "allocs/op":
+			a := v
+			r.AllocsPerOp = &a
+		default:
+			if r.Custom == nil {
+				r.Custom = make(map[string]float64)
+			}
+			r.Custom[unit] = v
+		}
+	}
+	return r, seen
+}
+
+func run() error {
+	var results []Result
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		if r, ok := parseLine(sc.Text()); ok {
+			results = append(results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark lines on stdin (run `go test -bench` with output piped here)")
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,58 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	r, ok := parseLine("BenchmarkFig7ObservabilityEnabled-8   \t      12\t  98765432 ns/op\t 1234567 B/op\t    8910 allocs/op")
+	if !ok {
+		t.Fatal("benchmark line rejected")
+	}
+	if r.Name != "BenchmarkFig7ObservabilityEnabled" {
+		t.Errorf("name = %q, want GOMAXPROCS suffix stripped", r.Name)
+	}
+	if r.Iterations != 12 || r.NsPerOp != 98765432 {
+		t.Errorf("iterations/ns = %d/%v", r.Iterations, r.NsPerOp)
+	}
+	if r.BytesPerOp == nil || *r.BytesPerOp != 1234567 {
+		t.Errorf("B/op = %v, want 1234567", r.BytesPerOp)
+	}
+	if r.AllocsPerOp == nil || *r.AllocsPerOp != 8910 {
+		t.Errorf("allocs/op = %v, want 8910", r.AllocsPerOp)
+	}
+}
+
+func TestParseLineCustomMetrics(t *testing.T) {
+	r, ok := parseLine("BenchmarkTimeline-4 \t 3\t 1000 ns/op\t 42.5 rows\t 0.19 Pl")
+	if !ok {
+		t.Fatal("line rejected")
+	}
+	if r.Custom["rows"] != 42.5 || r.Custom["Pl"] != 0.19 {
+		t.Errorf("custom = %v", r.Custom)
+	}
+}
+
+func TestParseLineWithoutBenchmem(t *testing.T) {
+	r, ok := parseLine("BenchmarkX \t 100\t 55.5 ns/op")
+	if !ok {
+		t.Fatal("line rejected")
+	}
+	if r.BytesPerOp != nil || r.AllocsPerOp != nil {
+		t.Error("memory fields set without -benchmem")
+	}
+}
+
+func TestParseLineRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"pkg: kafkarel",
+		"PASS",
+		"ok  \tkafkarel\t12.3s",
+		"BenchmarkBroken notanumber 5 ns/op",
+		"cpu: Apple M2",
+		"",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("noise line %q accepted", line)
+		}
+	}
+}

@@ -25,9 +25,12 @@ import (
 	"kafkarel/internal/exprun"
 	"kafkarel/internal/features"
 	"kafkarel/internal/figures"
+	"kafkarel/internal/netem"
 	"kafkarel/internal/obs"
+	"kafkarel/internal/report"
 	"kafkarel/internal/sweep"
 	"kafkarel/internal/testbed"
+	"kafkarel/internal/workload"
 )
 
 func main() {
@@ -50,7 +53,7 @@ func run(ctx context.Context, args []string) error {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: repro [-n messages] [-seed n] [-parallel workers] [-progress every] <fig3|fig4|fig5|fig6|fig7|fig8|fig9|table1|table2|ann-accuracy|sensitivity|trace|all>")
+		return fmt.Errorf("usage: repro [-n messages] [-seed n] [-parallel workers] [-progress every] <fig3|fig4|fig5|fig6|fig7|fig8|fig9|table1|table2|ann-accuracy|sensitivity|trace|report|all>")
 	}
 	opts := figures.Options{Messages: *messages, Seed: *seed, Workers: *parallel, Context: ctx}
 	// Each artefact gets a fresh progress reporter: its counters are
@@ -74,6 +77,7 @@ func run(ctx context.Context, args []string) error {
 		"ann-accuracy": annAccuracy,
 		"sensitivity":  sensitivity,
 		"trace":        traceRun,
+		"report":       reportRun,
 	}
 	name := fs.Arg(0)
 	if name == "all" {
@@ -341,6 +345,74 @@ func traceRun(o figures.Options) error {
 		break
 	}
 	return w.Flush()
+}
+
+// reportDynamicRun assembles and executes the Table-II-style dynamic
+// run the report renders: the social-media stream over the default
+// 10-minute trace, reconfigured by a rule-based threshold schedule
+// (protective configuration while the forecast segment loses >= 5% of
+// packets), with the timeline sampler and event tracer attached. It is
+// shared with the acceptance test, which cross-checks the report totals
+// against the run's counters.
+func reportDynamicRun(messages int, seed uint64) (testbed.Result, []obs.Event, error) {
+	profile := workload.SocialMedia
+	spec := netem.DefaultTraceSpec()
+	trace, err := spec.Generate(seed + 11)
+	if err != nil {
+		return testbed.Result{}, nil, err
+	}
+	stream := dynconf.DefaultVector(profile)
+	protective := stream
+	protective.Semantics = features.SemanticsAtLeastOnce
+	protective.BatchSize = 5
+	protective.PollInterval = 30 * time.Millisecond
+	protective.MessageTimeout = 3 * time.Second
+	schedule, err := dynconf.ThresholdSchedule(trace, stream, protective, 30*time.Second, 0.05)
+	if err != nil {
+		return testbed.Result{}, nil, err
+	}
+	// Enough messages to keep the source alive across the whole trace
+	// (capped by the caller's budget so -n still bounds the run).
+	needed := int(testbed.DefaultCalibration().FullLoadRate(profile.MeanSize) * spec.Duration.Seconds() * 1.1)
+	if messages > 0 && messages < needed {
+		needed = messages
+	}
+	tracer := obs.NewTracer(1 << 20)
+	timeline := obs.NewTimeline(0) // default 10 s sampling
+	res, err := testbed.Run(testbed.Experiment{
+		Features:   stream,
+		Messages:   needed,
+		Seed:       seed + 12,
+		Trace:      trace,
+		MaxSimTime: spec.Duration,
+		Schedule:   dynconf.ToConfigChanges(schedule),
+		Tracer:     tracer,
+		Timeline:   timeline,
+	})
+	if err != nil {
+		return testbed.Result{}, nil, err
+	}
+	return res, tracer.Events(), nil
+}
+
+// reportRun renders the self-contained run report for one dynamic run:
+// per-phase reliability, timeline sparklines with config-switch
+// markers, and the first complete duplicate chain.
+func reportRun(o figures.Options) error {
+	res, events, err := reportDynamicRun(o.Messages, o.Seed)
+	if err != nil {
+		return err
+	}
+	rep, err := report.Build(res, events, report.Options{
+		Title: "Run report: social-media stream, dynamic configuration over the default 10-minute trace",
+	})
+	if err != nil {
+		return err
+	}
+	if err := rep.Verify(); err != nil {
+		return err
+	}
+	return rep.Render(os.Stdout)
 }
 
 func sensitivity(o figures.Options) error {

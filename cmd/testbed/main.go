@@ -10,7 +10,8 @@
 //
 //	testbed [-n messages] [-seed n] -size 200 -loss 0.19 -delay 100 \
 //	        -semantics at-most-once -batch 1 -poll 0ms -timeout 1500ms \
-//	        [-producers n] [-parallel workers] [-metrics] [-trace out.jsonl]
+//	        [-producers n] [-parallel workers] [-metrics] [-trace out.jsonl] \
+//	        [-timeline out.csv [-timeline-interval 10s]]
 package main
 
 import (
@@ -52,6 +53,8 @@ func run(ctx context.Context, args []string) error {
 	parallel := fs.Int("parallel", 0, "simulation workers for scaled runs (0 = GOMAXPROCS)")
 	metrics := fs.Bool("metrics", false, "print the per-run observability snapshot")
 	tracePath := fs.String("trace", "", "write the structured event trace as JSONL to this file (requires -producers 1)")
+	timelinePath := fs.String("timeline", "", "write the sim-time timeline as CSV to this file (requires -producers 1)")
+	timelineIvl := fs.Duration("timeline-interval", 0, "timeline sampling interval (0 = default 10s)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -92,9 +95,30 @@ func run(ctx context.Context, args []string) error {
 		e.Tracer = obs.NewTracer(obs.DefaultTraceCapacity)
 		e.Tracer.SetSink(traceFile)
 	}
+	if *timelinePath != "" {
+		if *producers > 1 {
+			return fmt.Errorf("-timeline requires -producers 1 (timeline samples follow one virtual clock)")
+		}
+		e.Timeline = obs.NewTimeline(*timelineIvl)
+	}
 	res, err := testbed.RunScaledContext(ctx, e, *producers, *parallel)
 	if err != nil {
 		return err
+	}
+	if e.Timeline != nil {
+		f, err := os.Create(*timelinePath)
+		if err != nil {
+			return fmt.Errorf("create timeline file: %w", err)
+		}
+		werr := res.Timeline.WriteCSV(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("write timeline: %w", werr)
+		}
+		fmt.Printf("timeline: %d samples, %d annotations written to %s\n",
+			len(res.Timeline.Rows()), len(res.Timeline.Annotations()), *timelinePath)
 	}
 	if e.Tracer != nil {
 		if err := e.Tracer.Err(); err != nil {

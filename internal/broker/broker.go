@@ -57,6 +57,11 @@ type Stats struct {
 	FetchRequests     uint64
 	RecordsAppended   uint64
 	DuplicatesDropped uint64
+	// DuplicateAppends counts non-idempotent appends of a batch sequence
+	// the broker had already persisted for the same producer/partition —
+	// the Case-5 duplicates an idempotent broker would have dropped.
+	// Purely observational: the records are appended either way.
+	DuplicateAppends uint64
 }
 
 // Broker is one node. It is driven by the shared simulator and is not
@@ -73,6 +78,7 @@ type Broker struct {
 	cProduce    *obs.Counter
 	cAppends    *obs.Counter
 	cDuplicates *obs.Counter
+	cDupAppends *obs.Counter
 	trace       *obs.Tracer
 }
 
@@ -95,6 +101,7 @@ func New(id int32, sim *des.Simulator, cfg Config) (*Broker, error) {
 		cProduce:    o.Counter(obs.MBrokerProduce),
 		cAppends:    o.Counter(obs.MBrokerAppends),
 		cDuplicates: o.Counter(obs.MBrokerDuplicates),
+		cDupAppends: o.Counter(obs.MBrokerDupAppends),
 		trace:       o.Tracer(),
 	}, nil
 }
@@ -177,6 +184,24 @@ func (b *Broker) Append(topic string, partition int32, batch wire.RecordBatch, i
 	base := log.Append(batch.Records)
 	b.stats.RecordsAppended += uint64(len(batch.Records))
 	b.cAppends.Add(uint64(len(batch.Records)))
+	// Track the per-producer sequence high-water even without idempotence
+	// so duplicate appends (the Case-5 mechanism) are observable: batch
+	// sequences are monotone per producer and retries pin their
+	// partition, so a sequence at or below the high-water is a retry of a
+	// batch this broker already appended.
+	st := b.prod[k][batch.ProducerID]
+	if st == nil {
+		st = &producerState{}
+		b.prod[k][batch.ProducerID] = st
+	}
+	if st.seen && batch.BaseSequence <= st.lastSequence {
+		b.stats.DuplicateAppends++
+		b.cDupAppends.Inc()
+	} else {
+		st.seen = true
+		st.lastSequence = batch.BaseSequence
+		st.lastOffset = base
+	}
 	b.trace.Emit(obs.LayerBroker, obs.EvAppend, batch.BaseSequence, base, int64(b.id), topic)
 	return base, false, wire.ErrNone
 }

@@ -134,6 +134,33 @@ func (c *Cluster) CreateTopic(name string, partitions, replicationFactor int) er
 	return nil
 }
 
+// Probe returns the cluster-wide broker state for a timeline sampler:
+// the topic's leader log end offsets summed over its partitions (the
+// consumer-visible log length) plus cumulative append and
+// duplicate-append counts over every broker — followers included, so
+// the counts reconcile against the run's broker metrics, which
+// replication also feeds.
+func (c *Cluster) Probe(topic string) obs.BrokerProbe {
+	var pr obs.BrokerProbe
+	if tm, ok := c.topics[topic]; ok {
+		for p := range tm.partitions {
+			leader := c.Leader(topic, int32(p))
+			if leader == nil {
+				continue
+			}
+			if log := leader.Log(topic, int32(p)); log != nil {
+				pr.LogEnd += log.End()
+			}
+		}
+	}
+	for _, b := range c.brokers {
+		st := b.Stats()
+		pr.Appends += st.RecordsAppended
+		pr.DupAppends += st.DuplicateAppends
+	}
+	return pr
+}
+
 // Leader returns the broker currently leading the partition, or nil when
 // the topic/partition is unknown or leaderless.
 func (c *Cluster) Leader(topic string, partition int32) *broker.Broker {

@@ -119,6 +119,39 @@ func (l *Link) LossRate() float64 {
 	return l.cfg.Loss.Rate()
 }
 
+// Probe returns the link's instantaneous state for a timeline sampler.
+// It never draws from the configured models' random sources — that
+// would perturb the run being observed — so the delay is reported only
+// when the sampler is deterministic (stats.Constant; -1 otherwise) and
+// the chain state only when the loss model is a Gilbert-Elliot chain
+// (-1 otherwise; the Fig. 9 traces resample the chain per segment into
+// Bernoulli models, which have no instantaneous state).
+func (l *Link) Probe() obs.NetProbe {
+	pr := obs.NetProbe{
+		GEState:      -1,
+		DelayMs:      -1,
+		Offered:      l.cnt.Offered,
+		Delivered:    l.cnt.Delivered,
+		LostRandom:   l.cnt.LostRandom,
+		LostOverflow: l.cnt.LostOverflow,
+	}
+	if l.cfg.Delay == nil {
+		pr.DelayMs = 0
+	} else if c, ok := l.cfg.Delay.(stats.Constant); ok {
+		pr.DelayMs = c.Value
+	}
+	if l.cfg.Loss != nil {
+		pr.CfgLoss = l.cfg.Loss.Rate()
+		if ge, ok := l.cfg.Loss.(*stats.GilbertElliot); ok {
+			pr.GEState = 0
+			if ge.Bad() {
+				pr.GEState = 1
+			}
+		}
+	}
+	return pr
+}
+
 // Send offers a packet of size bytes to the link. If the packet survives
 // the loss model and the device queue, deliver fires at the far end after
 // serialisation and propagation delay. Send never calls deliver
@@ -227,4 +260,18 @@ func (p *Path) SetDelay(d stats.Sampler) {
 func (p *Path) SetLoss(m stats.LossModel) {
 	p.Fwd.SetLoss(m)
 	p.Rev.SetLoss(m)
+}
+
+// Probe returns the duplex path's state for a timeline sampler: the
+// forward (data) direction's configured delay, loss rate and chain
+// state, with the packet counters summed over both directions so they
+// reconcile against the run's netem metrics, which count both links.
+func (p *Path) Probe() obs.NetProbe {
+	pr := p.Fwd.Probe()
+	rev := p.Rev.Probe()
+	pr.Offered += rev.Offered
+	pr.Delivered += rev.Delivered
+	pr.LostRandom += rev.LostRandom
+	pr.LostOverflow += rev.LostOverflow
+	return pr
 }

@@ -69,6 +69,7 @@ const (
 	MBrokerProduce    = "broker.produce_requests"
 	MBrokerAppends    = "broker.appends"
 	MBrokerDuplicates = "broker.duplicates_dropped"
+	MBrokerDupAppends = "broker.duplicate_appends"
 	MReplications     = "cluster.replications"
 )
 

@@ -1,0 +1,367 @@
+package obs
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Timeline is the sim-time sampler of one run: at a fixed virtual
+// interval it polls the registered probes and records one fixed-schema
+// row, turning end-of-run counters into per-interval series — *when*
+// the run lost, duplicated and reconfigured, not just how much
+// (the paper's Figs. 9-10 are exactly such timelines). Discrete
+// moments — a scheduled config switch, an online-controller decision, a
+// broker failure — are recorded as annotations interleaved with the
+// rows.
+//
+// Like the rest of the obs package, a nil *Timeline is the disabled
+// implementation: every method is a no-op, so instrumented code calls
+// unconditionally. Probes must be pure observers: they read state but
+// never draw from a model's random source (a probe that consumed
+// randomness would perturb the simulation it is watching). Rows store
+// interval deltas for the cumulative inputs, so summing a column over
+// all rows reproduces the end-of-run counter exactly — the invariant
+// the run-report cross-check leans on.
+//
+// A timeline observes exactly one simulation (one virtual clock), the
+// same contract as Tracer: scaled multi-producer runs reject it.
+type Timeline struct {
+	mu       sync.Mutex
+	interval time.Duration
+	clock    Clock
+	netFn    func() NetProbe
+	transFn  func() TransportProbe
+	prodFn   func() ProducerProbe
+	brokFn   func() BrokerProbe
+	rows     []TimelineRow
+	anns     []TimelineAnnotation
+	prevNet  NetProbe
+	prevTr   TransportProbe
+	prevPr   ProducerProbe
+	prevBr   BrokerProbe
+}
+
+// DefaultTimelineInterval is the sampling interval when NewTimeline gets
+// a non-positive one — the Fig. 9 trace granularity.
+const DefaultTimelineInterval = 10 * time.Second
+
+// NewTimeline returns a timeline sampling every interval (<= 0 takes
+// DefaultTimelineInterval).
+func NewTimeline(interval time.Duration) *Timeline {
+	if interval <= 0 {
+		interval = DefaultTimelineInterval
+	}
+	return &Timeline{interval: interval}
+}
+
+// Interval returns the sampling interval (0 when disabled).
+func (t *Timeline) Interval() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return t.interval
+}
+
+// BindClock attaches the virtual clock rows and annotations are stamped
+// with. Samples taken with no clock bound carry At = 0.
+func (t *Timeline) BindClock(c Clock) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.clock = c
+}
+
+// NetProbe is the instantaneous network-emulation state a probe
+// returns: the loss chain's current state and configured rates
+// (read without consuming randomness) plus cumulative packet counters.
+type NetProbe struct {
+	// GEState is the Gilbert-Elliot chain state: 0 good, 1 bad, -1 when
+	// the loss model is not a chain (e.g. per-segment Bernoulli traces).
+	GEState int
+	// DelayMs is the configured propagation delay; -1 when the delay
+	// model is not deterministic (probing it would consume randomness).
+	DelayMs float64
+	// CfgLoss is the configured model's long-run loss probability.
+	CfgLoss float64
+	// Cumulative packet counters (both directions of the path).
+	Offered      uint64
+	Delivered    uint64
+	LostRandom   uint64
+	LostOverflow uint64
+}
+
+// TransportProbe is the instantaneous sender state plus cumulative
+// transport counters.
+type TransportProbe struct {
+	Cwnd         float64
+	SRTT         time.Duration
+	RTO          time.Duration
+	InFlight     int
+	SegmentsSent uint64
+	Retransmits  uint64
+	RTOTimeouts  uint64
+}
+
+// ProducerProbe is the instantaneous accumulator state plus cumulative
+// record outcomes.
+type ProducerProbe struct {
+	QueueDepth      int
+	InFlightBatches int
+	Enqueued        uint64
+	Acked           uint64
+	Lost            uint64
+	BatchRetries    uint64
+}
+
+// BrokerProbe is the cluster-wide broker state: summed leader log end
+// offsets plus cumulative append counters over every broker (followers
+// included, so replication-factor many copies of each append count).
+type BrokerProbe struct {
+	LogEnd     int64
+	Appends    uint64
+	DupAppends uint64
+}
+
+// SetProbes registers the four subsystem probes. Any probe may be nil;
+// its columns then stay zero (GEState/DelayMs -1).
+func (t *Timeline) SetProbes(net func() NetProbe, trans func() TransportProbe, prod func() ProducerProbe, brok func() BrokerProbe) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.netFn, t.transFn, t.prodFn, t.brokFn = net, trans, prod, brok
+}
+
+// TimelineRow is one fixed-schema sample. Gauges (GE state, delay,
+// cwnd, SRTT, queue depth, log end) are instantaneous; every count is
+// the delta over the interval since the previous row, so column sums
+// equal the end-of-run cumulative counters.
+type TimelineRow struct {
+	At time.Duration
+
+	// Network emulation.
+	GEState     int
+	DelayMs     float64
+	CfgLoss     float64
+	PktsOffered uint64
+	PktsLost    uint64  // random + overflow drops this interval
+	LossRate    float64 // empirical: PktsLost / PktsOffered (0 when idle)
+
+	// Transport.
+	Cwnd         float64
+	SRTT         time.Duration
+	RTO          time.Duration
+	InFlightSegs int
+	SegmentsSent uint64
+	Retransmits  uint64
+	RTOTimeouts  uint64
+
+	// Producer.
+	QueueDepth      int
+	InFlightBatches int
+	Enqueued        uint64
+	Acked           uint64
+	Lost            uint64
+	BatchRetries    uint64
+
+	// Broker / cluster.
+	LogEnd     int64
+	Appends    uint64
+	DupAppends uint64
+}
+
+// Annotation kinds.
+const (
+	// AnnConfigSwitch marks a scheduled (offline) configuration change.
+	AnnConfigSwitch = "config_switch"
+	// AnnOnlineDecision marks an OnlineController reconfiguration.
+	AnnOnlineDecision = "online_decision"
+	// AnnBrokerEvent marks an injected broker failure or recovery.
+	AnnBrokerEvent = "broker_event"
+)
+
+// TimelineAnnotation is a discrete moment worth a marker on the
+// timeline: what happened (Kind) and its parameters (Detail).
+type TimelineAnnotation struct {
+	At     time.Duration
+	Kind   string
+	Detail string
+}
+
+// Annotate records a discrete event at the current virtual time.
+func (t *Timeline) Annotate(kind, detail string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ann := TimelineAnnotation{Kind: kind, Detail: detail}
+	if t.clock != nil {
+		ann.At = t.clock.Now()
+	}
+	t.anns = append(t.anns, ann)
+}
+
+// Sample polls every registered probe and appends one row. The testbed
+// drives it from a virtual-time ticker and takes one final sample after
+// the simulation drains, so late events (a spurious retry's first copy
+// landing after the producer finished) are still covered by a row.
+func (t *Timeline) Sample() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	row := TimelineRow{GEState: -1, DelayMs: -1}
+	if t.clock != nil {
+		row.At = t.clock.Now()
+	}
+	if t.netFn != nil {
+		cur := t.netFn()
+		row.GEState = cur.GEState
+		row.DelayMs = cur.DelayMs
+		row.CfgLoss = cur.CfgLoss
+		row.PktsOffered = cur.Offered - t.prevNet.Offered
+		row.PktsLost = (cur.LostRandom - t.prevNet.LostRandom) +
+			(cur.LostOverflow - t.prevNet.LostOverflow)
+		if row.PktsOffered > 0 {
+			row.LossRate = float64(row.PktsLost) / float64(row.PktsOffered)
+		}
+		t.prevNet = cur
+	}
+	if t.transFn != nil {
+		cur := t.transFn()
+		row.Cwnd = cur.Cwnd
+		row.SRTT = cur.SRTT
+		row.RTO = cur.RTO
+		row.InFlightSegs = cur.InFlight
+		row.SegmentsSent = cur.SegmentsSent - t.prevTr.SegmentsSent
+		row.Retransmits = cur.Retransmits - t.prevTr.Retransmits
+		row.RTOTimeouts = cur.RTOTimeouts - t.prevTr.RTOTimeouts
+		t.prevTr = cur
+	}
+	if t.prodFn != nil {
+		cur := t.prodFn()
+		row.QueueDepth = cur.QueueDepth
+		row.InFlightBatches = cur.InFlightBatches
+		row.Enqueued = cur.Enqueued - t.prevPr.Enqueued
+		row.Acked = cur.Acked - t.prevPr.Acked
+		row.Lost = cur.Lost - t.prevPr.Lost
+		row.BatchRetries = cur.BatchRetries - t.prevPr.BatchRetries
+		t.prevPr = cur
+	}
+	if t.brokFn != nil {
+		cur := t.brokFn()
+		row.LogEnd = cur.LogEnd
+		row.Appends = cur.Appends - t.prevBr.Appends
+		row.DupAppends = cur.DupAppends - t.prevBr.DupAppends
+		t.prevBr = cur
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Rows returns a copy of the samples in time order.
+func (t *Timeline) Rows() []TimelineRow {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]TimelineRow(nil), t.rows...)
+}
+
+// Annotations returns a copy of the annotations in emission order.
+func (t *Timeline) Annotations() []TimelineAnnotation {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]TimelineAnnotation(nil), t.anns...)
+}
+
+// timelineHeader is the fixed CSV schema. Renaming or reordering a
+// column is a breaking change for timeline consumers.
+var timelineHeader = []string{
+	"at_ns", "kind",
+	"ge_state", "delay_ms", "cfg_loss", "pkts_offered", "pkts_lost", "loss_rate",
+	"cwnd", "srtt_ns", "rto_ns", "inflight_segs", "segs_sent", "retransmits", "rto_timeouts",
+	"queue_depth", "inflight_batches", "enqueued", "acked", "lost", "batch_retries",
+	"log_end", "appends", "dup_appends",
+	"detail",
+}
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+func utoa(v uint64) string  { return strconv.FormatUint(v, 10) }
+func itoa(v int64) string   { return strconv.FormatInt(v, 10) }
+
+// WriteCSV renders the timeline as CSV: the fixed header, then samples
+// (kind "sample") and annotations merged in time order, annotations
+// first at equal timestamps (an annotation explains the rows that
+// follow it). Number formatting is canonical, so for a fixed seed the
+// bytes are identical regardless of worker count — the same contract
+// the metrics snapshot honours.
+func (t *Timeline) WriteCSV(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	rows := t.Rows()
+	anns := t.Annotations()
+	cw := csv.NewWriter(w)
+	if err := cw.Write(timelineHeader); err != nil {
+		return fmt.Errorf("obs: write timeline: %w", err)
+	}
+	writeRow := func(r TimelineRow) error {
+		return cw.Write([]string{
+			itoa(int64(r.At)), "sample",
+			strconv.Itoa(r.GEState), ftoa(r.DelayMs), ftoa(r.CfgLoss),
+			utoa(r.PktsOffered), utoa(r.PktsLost), ftoa(r.LossRate),
+			ftoa(r.Cwnd), itoa(int64(r.SRTT)), itoa(int64(r.RTO)),
+			strconv.Itoa(r.InFlightSegs), utoa(r.SegmentsSent), utoa(r.Retransmits), utoa(r.RTOTimeouts),
+			strconv.Itoa(r.QueueDepth), strconv.Itoa(r.InFlightBatches),
+			utoa(r.Enqueued), utoa(r.Acked), utoa(r.Lost), utoa(r.BatchRetries),
+			itoa(r.LogEnd), utoa(r.Appends), utoa(r.DupAppends),
+			"",
+		})
+	}
+	writeAnn := func(a TimelineAnnotation) error {
+		rec := make([]string, len(timelineHeader))
+		rec[0] = itoa(int64(a.At))
+		rec[1] = a.Kind
+		rec[len(rec)-1] = a.Detail
+		return cw.Write(rec)
+	}
+	i, j := 0, 0
+	for i < len(rows) || j < len(anns) {
+		var err error
+		switch {
+		case i == len(rows):
+			err = writeAnn(anns[j])
+			j++
+		case j == len(anns):
+			err = writeRow(rows[i])
+			i++
+		case anns[j].At <= rows[i].At:
+			err = writeAnn(anns[j])
+			j++
+		default:
+			err = writeRow(rows[i])
+			i++
+		}
+		if err != nil {
+			return fmt.Errorf("obs: write timeline: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("obs: write timeline: %w", err)
+	}
+	return nil
+}

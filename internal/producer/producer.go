@@ -65,6 +65,7 @@ type Producer struct {
 	corr      uint32
 	splitter  wire.Splitter
 	batchSeq  uint64
+	retries   uint64 // batch (re)sends beyond the first attempt, for Probe
 	outcomes  []Outcome
 	counts    Counts
 	latency   stats.Summary
@@ -202,6 +203,21 @@ func (p *Producer) QueueLen() int { return p.queue.len() }
 // far; it is the ground-truth denominator when an experiment is cut off
 // before the source drains.
 func (p *Producer) Acquired() uint64 { return p.nextKey }
+
+// Probe returns the producer state a timeline sampler reads: the
+// instantaneous accumulator depth and in-flight batch count plus
+// cumulative record outcomes. It works independently of the obs
+// registry, so a timeline stays usable on a metrics-disabled run.
+func (p *Producer) Probe() obs.ProducerProbe {
+	return obs.ProducerProbe{
+		QueueDepth:      p.queue.len(),
+		InFlightBatches: len(p.inFlight),
+		Enqueued:        p.nextKey,
+		Acked:           p.counts.Delivered,
+		Lost:            p.counts.Lost,
+		BatchRetries:    p.retries,
+	}
+}
 
 // --- intake -------------------------------------------------------------
 
@@ -471,6 +487,7 @@ func (p *Producer) afterSend(corr uint32, b *batch) {
 	}
 	p.cBatchesSent.Inc()
 	if b.attempts > 1 {
+		p.retries++
 		p.cBatchRetry.Inc()
 	}
 	p.trace.Emit(obs.LayerProducer, obs.EvBatchSend, b.seq, int64(len(b.records)), int64(b.attempts), "")

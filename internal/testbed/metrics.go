@@ -48,6 +48,7 @@ type MetricsSnapshot struct {
 	BrokerProduceRequests uint64
 	BrokerAppends         uint64
 	BrokerDuplicates      uint64
+	BrokerDupAppends      uint64
 	Replications          uint64
 }
 
@@ -70,6 +71,7 @@ func snapshotMetrics(s obs.Snapshot) MetricsSnapshot {
 		BrokerProduceRequests: s.Counter(obs.MBrokerProduce),
 		BrokerAppends:         s.Counter(obs.MBrokerAppends),
 		BrokerDuplicates:      s.Counter(obs.MBrokerDuplicates),
+		BrokerDupAppends:      s.Counter(obs.MBrokerDupAppends),
 		Replications:          s.Counter(obs.MReplications),
 	}
 	if h, ok := s.Histogram(obs.MQueueDepth); ok {
@@ -108,6 +110,7 @@ func (m *MetricsSnapshot) Merge(o MetricsSnapshot) {
 	m.BrokerProduceRequests += o.BrokerProduceRequests
 	m.BrokerAppends += o.BrokerAppends
 	m.BrokerDuplicates += o.BrokerDuplicates
+	m.BrokerDupAppends += o.BrokerDupAppends
 	m.Replications += o.Replications
 }
 
@@ -133,6 +136,7 @@ func (m MetricsSnapshot) Encode() []byte {
 	fmt.Fprintf(&b, "broker.produce_requests %d\n", m.BrokerProduceRequests)
 	fmt.Fprintf(&b, "broker.appends %d\n", m.BrokerAppends)
 	fmt.Fprintf(&b, "broker.duplicates_dropped %d\n", m.BrokerDuplicates)
+	fmt.Fprintf(&b, "broker.duplicate_appends %d\n", m.BrokerDupAppends)
 	fmt.Fprintf(&b, "cluster.replications %d\n", m.Replications)
 	return []byte(b.String())
 }

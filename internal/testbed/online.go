@@ -6,6 +6,7 @@ import (
 
 	"kafkarel/internal/des"
 	"kafkarel/internal/features"
+	"kafkarel/internal/obs"
 	"kafkarel/internal/transport"
 )
 
@@ -108,9 +109,15 @@ func RunOnline(e Experiment, interval time.Duration, ctrl Controller) (Result, e
 			}
 			return
 		}
-		if err := rig.prod.Reconfigure(ncfg); err != nil && rig.cfgErr == nil {
-			rig.cfgErr = err
+		if err := rig.prod.Reconfigure(ncfg); err != nil {
+			if rig.cfgErr == nil {
+				rig.cfgErr = err
+			}
+			return
 		}
+		e.Timeline.Annotate(obs.AnnOnlineDecision, fmt.Sprintf(
+			"est_delay_ms=%.1f est_loss=%.3f %s",
+			probe.EstDelayMs, probe.EstLoss, describeConfig(next)))
 	})
 
 	// The ticker stops itself at the first tick after the producer

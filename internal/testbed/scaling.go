@@ -42,6 +42,11 @@ func RunScaledContext(ctx context.Context, e Experiment, producers, workers int)
 		// meaningless timeline.
 		return Result{}, fmt.Errorf("testbed: event tracing requires a single producer, got %d", producers)
 	}
+	if e.Timeline != nil {
+		// Same constraint as the tracer: timeline samples are stamped by
+		// one virtual clock and cannot be merged across sub-simulations.
+		return Result{}, fmt.Errorf("testbed: timeline sampling requires a single producer, got %d", producers)
+	}
 	if e.Messages < producers {
 		return Result{}, fmt.Errorf("testbed: %d messages across %d producers", e.Messages, producers)
 	}

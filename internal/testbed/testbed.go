@@ -64,6 +64,12 @@ type Experiment struct {
 	// tracer to the run's virtual clock. Tracing requires a single
 	// producer: RunScaled rejects a traced experiment.
 	Tracer *obs.Tracer
+	// Timeline, when non-nil, samples the run at the timeline's interval
+	// (netem, transport, producer and broker probes) and records config
+	// switches and broker events as annotations; it comes back as
+	// Result.Timeline. Like Tracer it follows a single virtual clock, so
+	// RunScaled rejects it.
+	Timeline *obs.Timeline
 	// Overrides for producer plumbing; zero values take the defaults
 	// below.
 	QueueLimit     int
@@ -112,6 +118,10 @@ type Result struct {
 	// Metrics is the per-run observability snapshot (zero when
 	// Experiment.DisableMetrics was set).
 	Metrics MetricsSnapshot
+	// Timeline echoes Experiment.Timeline after the run, with a final
+	// sample taken once the simulation drained (so late broker appends
+	// are covered and column sums equal the Metrics counters).
+	Timeline *obs.Timeline
 	// Latency summarises delivered-message T_p in milliseconds.
 	Latency stats.Summary
 	// StaleRate is the fraction of delivered messages with T_p > S.
@@ -181,6 +191,7 @@ func buildRig(sim *des.Simulator, e Experiment, cal Calibration) (*rig, error) {
 		reg = obs.NewRegistry()
 	}
 	e.Tracer.BindClock(sim)
+	e.Timeline.BindClock(sim)
 	o := &obs.Obs{Registry: reg, Trace: e.Tracer}
 	sim.Instrument(o)
 
@@ -256,13 +267,18 @@ func buildRig(sim *des.Simulator, e Experiment, cal Calibration) (*rig, error) {
 		}
 		sim.Schedule(ev.At, func() {
 			var err error
+			verb := "fail"
 			if ev.Recover {
+				verb = "recover"
 				err = clst.RecoverBroker(ev.Broker)
 			} else {
 				err = clst.FailBroker(ev.Broker)
 			}
 			if err != nil && r.cfgErr == nil {
 				r.cfgErr = err
+			}
+			if err == nil {
+				e.Timeline.Annotate(obs.AnnBrokerEvent, fmt.Sprintf("%s broker %d", verb, ev.Broker))
 			}
 		})
 	}
@@ -284,12 +300,61 @@ func buildRig(sim *des.Simulator, e Experiment, cal Calibration) (*rig, error) {
 		sim.Schedule(change.At, func() {
 			// Reconfigure pins topic/partition/producer ID itself; a
 			// schedule entry can only carry tunable parameters.
-			if err := prod.Reconfigure(ncfg); err != nil && r.cfgErr == nil {
-				r.cfgErr = err
+			if err := prod.Reconfigure(ncfg); err != nil {
+				if r.cfgErr == nil {
+					r.cfgErr = err
+				}
+				return
 			}
+			e.Timeline.Annotate(obs.AnnConfigSwitch, describeConfig(change.Features))
+		})
+	}
+	if e.Timeline != nil {
+		// The transport probe shows the client's gauges (cwnd, SRTT, RTO,
+		// in-flight) but sums the counters over both endpoints: they feed
+		// the same registry counters, and the cross-check against the
+		// metrics snapshot requires the timeline to match them.
+		transProbe := func() obs.TransportProbe {
+			p := conn.Client.Probe()
+			s := conn.Server.Probe()
+			p.SegmentsSent += s.SegmentsSent
+			p.Retransmits += s.Retransmits
+			p.RTOTimeouts += s.RTOTimeouts
+			return p
+		}
+		e.Timeline.SetProbes(path.Probe, transProbe, prod.Probe,
+			func() obs.BrokerProbe { return clst.Probe(topic) })
+		// Row 0 anchors the series at t=0; the ticker adds one row per
+		// interval and stops itself once the producer finishes, so the
+		// event queue can drain (collect takes the final sample).
+		e.Timeline.Sample()
+		var tick *des.Ticker
+		tick = des.NewTicker(sim, e.Timeline.Interval(), func() {
+			if prod.Done() {
+				tick.Stop()
+				return
+			}
+			e.Timeline.Sample()
 		})
 	}
 	return r, nil
+}
+
+// describeConfig renders the tunable configuration features of a vector
+// for timeline annotations — the parameters a schedule entry or an
+// online decision actually applies.
+func describeConfig(v features.Vector) string {
+	sem := fmt.Sprintf("sem%d", v.Semantics)
+	switch v.Semantics {
+	case features.SemanticsAtMostOnce:
+		sem = "at-most-once"
+	case features.SemanticsAtLeastOnce:
+		sem = "at-least-once"
+	case features.SemanticsExactlyOnce:
+		sem = "exactly-once"
+	}
+	return fmt.Sprintf("%s B=%d delta=%v To=%v",
+		sem, v.BatchSize, v.PollInterval, v.MessageTimeout)
 }
 
 // producerConfig maps a feature vector plus experiment overrides onto the
@@ -332,7 +397,13 @@ func (r *rig) collect(sim *des.Simulator, e Experiment) (Result, error) {
 	if r.cfgErr != nil {
 		return Result{}, fmt.Errorf("testbed: scheduled reconfiguration: %w", r.cfgErr)
 	}
+	// Final sample after the simulation drained: the ticker stops at the
+	// first tick past producer completion, but late appends (a spurious
+	// retry's first copy landing after the last record resolved) must
+	// still fall inside a row for column sums to equal the counters.
+	e.Timeline.Sample()
 	res := Result{
+		Timeline:  e.Timeline,
 		Producer:  r.prod.Counts(),
 		Latency:   r.prod.Latency(),
 		Acquired:  r.prod.Acquired(),

@@ -310,6 +310,21 @@ func (e *Endpoint) Stats() Stats {
 	return s
 }
 
+// Probe returns the sender state a timeline sampler reads: the
+// instantaneous congestion window, RTT estimate and in-flight count
+// plus cumulative segment counters.
+func (e *Endpoint) Probe() obs.TransportProbe {
+	return obs.TransportProbe{
+		Cwnd:         e.cwnd,
+		SRTT:         e.srtt,
+		RTO:          e.rto,
+		InFlight:     len(e.inFlight),
+		SegmentsSent: e.stats.SegmentsSent,
+		Retransmits:  e.stats.Retransmissions,
+		RTOTimeouts:  e.stats.Timeouts,
+	}
+}
+
 // BufferedBytes returns bytes accepted by Send but not yet acknowledged.
 func (e *Endpoint) BufferedBytes() int {
 	return int(e.bufBase + int64(len(e.sendBuf)) - e.sndUna)

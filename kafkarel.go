@@ -44,6 +44,7 @@ import (
 	"kafkarel/internal/netem"
 	"kafkarel/internal/obs"
 	"kafkarel/internal/perfmodel"
+	"kafkarel/internal/report"
 	"kafkarel/internal/sweep"
 	"kafkarel/internal/testbed"
 	"kafkarel/internal/workload"
@@ -98,11 +99,46 @@ type (
 	// TraceEvent is one structured trace record stamped with virtual
 	// time.
 	TraceEvent = obs.Event
+	// Timeline is the sim-time sampler: at a fixed virtual interval it
+	// records one fixed-schema row of network, transport, producer and
+	// broker state, interleaved with discrete annotations (config
+	// switches, online decisions, broker failures). Attach it via
+	// Experiment.Timeline; it comes back on Result.Timeline.
+	Timeline = obs.Timeline
+	// TimelineRow is one fixed-schema timeline sample: gauges are
+	// instantaneous, counts are per-interval deltas.
+	TimelineRow = obs.TimelineRow
+	// TimelineAnnotation marks a discrete moment on the timeline.
+	TimelineAnnotation = obs.TimelineAnnotation
+	// RunReport is a rendered-ready run report: per-phase reliability,
+	// timeline sparklines and the first complete duplicate chain.
+	RunReport = report.Report
+	// RunReportOptions tunes run-report rendering.
+	RunReportOptions = report.Options
+)
+
+// Timeline annotation kinds.
+const (
+	AnnConfigSwitch   = obs.AnnConfigSwitch
+	AnnOnlineDecision = obs.AnnOnlineDecision
+	AnnBrokerEvent    = obs.AnnBrokerEvent
 )
 
 // NewTracer returns an event tracer with the given ring capacity
 // (<= 0 takes the default). Attach it via Experiment.Tracer.
 func NewTracer(capacity int) *Tracer { return obs.NewTracer(capacity) }
+
+// NewTimeline returns a sim-time timeline sampling every interval
+// (<= 0 takes the 10 s default). Attach it via Experiment.Timeline;
+// single-producer runs only.
+func NewTimeline(interval time.Duration) *Timeline { return obs.NewTimeline(interval) }
+
+// BuildRunReport assembles a run report from a result carrying a
+// timeline and (optionally) the tracer's events; render it with
+// Report.Render, cross-check its totals with Report.Verify.
+func BuildRunReport(res Result, events []TraceEvent, opts RunReportOptions) (*RunReport, error) {
+	return report.Build(res, events, opts)
+}
 
 // ReadTraceJSONL parses a JSONL trace written by a tracer sink.
 func ReadTraceJSONL(r io.Reader) ([]TraceEvent, error) { return obs.ReadJSONL(r) }
@@ -254,6 +290,14 @@ func GenerateSchedule(s *Searcher, trace NetworkTrace, stream Features, target f
 // events.
 func ScheduleChanges(entries []ScheduleEntry) []ConfigChange {
 	return dynconf.ToConfigChanges(entries)
+}
+
+// ThresholdSchedule builds a rule-based offline schedule without a
+// trained model: the protective configuration whenever the forecast
+// segment's loss rate is at or above lossBar, the stream's own
+// configuration otherwise.
+func ThresholdSchedule(trace NetworkTrace, stream, protective Features, interval time.Duration, lossBar float64) ([]ScheduleEntry, error) {
+	return dynconf.ThresholdSchedule(trace, stream, protective, interval, lossBar)
 }
 
 // EvaluateDynamicConfiguration runs the full Table II pipeline.

@@ -12,6 +12,7 @@ package kafkarel_test
 //	go test -bench 'Fig7Observability' -benchmem
 
 import (
+	"io"
 	"testing"
 	"time"
 
@@ -76,6 +77,41 @@ func BenchmarkFig7ObservabilityTraced(b *testing.B) {
 	}
 }
 
+// BenchmarkFig7ObservabilityTimeline additionally samples the sim-time
+// timeline every virtual second — 10x denser than the 10 s default, so
+// the measured delta bounds the default's cost from above. Rows stay
+// in memory; BenchmarkTimelineCSV isolates the sink cost.
+func BenchmarkFig7ObservabilityTimeline(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := obsBenchExperiment(uint64(i))
+		e.Timeline = kafkarel.NewTimeline(time.Second)
+		res, err := kafkarel.RunExperiment(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(res.Timeline.Rows())), "rows")
+	}
+}
+
+// BenchmarkTimelineCSV measures rendering a captured timeline to CSV
+// (the -timeline sink), separate from capturing it.
+func BenchmarkTimelineCSV(b *testing.B) {
+	e := obsBenchExperiment(1)
+	e.Timeline = kafkarel.NewTimeline(time.Second)
+	res, err := kafkarel.RunExperiment(e)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := res.Timeline.WriteCSV(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // TestObsOverheadBudget asserts the tentpole's cost bar: with metrics
 // enabled (the default), a Fig. 7 run must finish within 2% of the
 // fully disabled run. Wall-clock on shared CI machines (and under the
@@ -94,18 +130,29 @@ func TestObsOverheadBudget(t *testing.T) {
 		t.Skip("race detector instruments every atomic op; the 2% bar applies to production builds")
 	}
 	const rounds = 7
-	run := func(disable bool, seed uint64) time.Duration {
+	const (
+		vDisabled = iota // DisableMetrics: the nil-handle baseline
+		vEnabled         // default registry
+		vTimeline        // registry + timeline sampling every virtual 1 s
+	)
+	run := func(variant int, seed uint64) time.Duration {
 		e := obsBenchExperiment(seed)
-		e.DisableMetrics = disable
+		switch variant {
+		case vDisabled:
+			e.DisableMetrics = true
+		case vTimeline:
+			e.Timeline = kafkarel.NewTimeline(time.Second)
+		}
 		start := time.Now()
 		if _, err := kafkarel.RunExperiment(e); err != nil {
 			t.Fatal(err)
 		}
 		return time.Since(start)
 	}
-	// Warm up both paths once so lazy init does not bias round 0.
-	run(true, 0)
-	run(false, 0)
+	// Warm up every path once so lazy init does not bias round 0.
+	for v := vDisabled; v <= vTimeline; v++ {
+		run(v, 0)
+	}
 	minOf := func(d []time.Duration) time.Duration {
 		m := d[0]
 		for _, v := range d[1:] {
@@ -115,20 +162,27 @@ func TestObsOverheadBudget(t *testing.T) {
 		}
 		return m
 	}
-	var off, on []time.Duration
+	var off, on, tl []time.Duration
 	for r := 0; r < rounds; r++ {
-		off = append(off, run(true, uint64(r)))
-		on = append(on, run(false, uint64(r)))
+		off = append(off, run(vDisabled, uint64(r)))
+		on = append(on, run(vEnabled, uint64(r)))
+		tl = append(tl, run(vTimeline, uint64(r)))
 	}
-	base, instr := minOf(off), minOf(on)
+	base, instr, timeline := minOf(off), minOf(on), minOf(tl)
 	noise := base / 8 // ±12.5% scheduler/frequency jitter allowance
 	if noise < 2*time.Millisecond {
 		noise = 2 * time.Millisecond
 	}
 	budget := base + base/50 + noise // 2% design bar + noise
-	t.Logf("disabled min %v, enabled min %v (delta %+.2f%%), budget %v",
-		base, instr, 100*(float64(instr)-float64(base))/float64(base), budget)
+	t.Logf("disabled min %v, enabled min %v (delta %+.2f%%), timeline min %v (delta %+.2f%%), budget %v",
+		base, instr, 100*(float64(instr)-float64(base))/float64(base),
+		timeline, 100*(float64(timeline)-float64(base))/float64(base), budget)
 	if instr > budget {
 		t.Errorf("metrics overhead too high: enabled %v > budget %v (disabled %v)", instr, budget, base)
+	}
+	// The timeline samples at virtual ticks, never per event, so even at
+	// 10x the default density it must stay inside the same 2% bar.
+	if timeline > budget {
+		t.Errorf("timeline overhead too high: %v > budget %v (disabled %v)", timeline, budget, base)
 	}
 }
