@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: check build fmt vet test race bench bench-json bench-scaling repro
+.PHONY: check build fmt vet test race bench bench-json bench-scaling repro chaos-smoke
 
 ## check: the full quality gate — formatting, build, vet, race-enabled
-## tests.
-check: fmt build vet race
+## tests, and a fixed-seed chaos campaign.
+check: fmt build vet race chaos-smoke
 
 ## fmt: gofmt gate — fails listing any file that is not gofmt-clean.
 fmt:
@@ -42,3 +42,10 @@ bench-scaling:
 
 repro:
 	$(GO) run ./cmd/repro -n 20000 all
+
+## chaos-smoke: a fixed-seed fault-injection campaign (25 trials per
+## mode, exactly-once and at-least-once) verified against the delivery
+## invariants. Exits non-zero on any violation; the JSON scorecard
+## lands in chaos-scorecard.json (CI archives it).
+chaos-smoke:
+	$(GO) run ./cmd/chaos -trials 25 -seed 20260806 -out chaos-scorecard.json

@@ -1,0 +1,126 @@
+// Command chaos runs randomised fault-injection campaigns against the
+// simulated Kafka stack and verifies delivery invariants on every
+// trial. It emits a JSON scorecard (one row per trial: seeds, faults,
+// reliability metrics, classified anomalies, violations) and exits
+// non-zero if any trial violated an invariant.
+//
+// Usage:
+//
+//	chaos -trials 100 -seed 42 -out scorecard.json
+//	chaos -mode at-least-once -trials 50
+//	chaos -mode exactly-once -plan-seed 123 -workload-seed 456   # replay one trial
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"kafkarel/internal/chaos/campaign"
+)
+
+func main() {
+	var (
+		modes        = flag.String("mode", "exactly-once,at-least-once", "comma-separated campaign modes (exactly-once, at-least-once)")
+		trials       = flag.Int("trials", 50, "trials per campaign")
+		seed         = flag.Uint64("seed", 1, "campaign seed")
+		messages     = flag.Int("messages", 300, "messages per trial")
+		maxFaults    = flag.Int("max-faults", 5, "max faults per generated plan")
+		horizon      = flag.Duration("horizon", 2*time.Second, "fault-injection window (sim time)")
+		flushEvery   = flag.Duration("flush-interval", 50*time.Millisecond, "broker fsync cadence")
+		workers      = flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS)")
+		out          = flag.String("out", "", "write scorecard JSON to this file (default stdout)")
+		quiet        = flag.Bool("q", false, "suppress progress on stderr")
+		planSeed     = flag.Uint64("plan-seed", 0, "replay a single trial: its plan seed")
+		workloadSeed = flag.Uint64("workload-seed", 0, "replay a single trial: its workload seed")
+	)
+	flag.Parse()
+
+	cfg := campaign.Config{
+		Trials:        *trials,
+		Seed:          *seed,
+		Messages:      *messages,
+		MaxFaults:     *maxFaults,
+		Horizon:       *horizon,
+		FlushInterval: *flushEvery,
+		Workers:       *workers,
+	}
+
+	if *planSeed != 0 || *workloadSeed != 0 {
+		if err := replay(cfg, *modes, *planSeed, *workloadSeed); err != nil {
+			fmt.Fprintln(os.Stderr, "chaos:", err)
+			os.Exit(2)
+		}
+		return
+	}
+
+	var cards []campaign.Scorecard
+	violations := 0
+	for _, mode := range strings.Split(*modes, ",") {
+		cfg.Mode = strings.TrimSpace(mode)
+		if !*quiet {
+			cfg.Progress = func(done, total int) {
+				fmt.Fprintf(os.Stderr, "\r%s: %d/%d trials", cfg.Mode, done, total)
+			}
+		}
+		sc, err := campaign.Run(context.Background(), cfg)
+		if !*quiet {
+			fmt.Fprintln(os.Stderr)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chaos:", err)
+			os.Exit(2)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "%s: %d trials, %d violations, %d flagged (%d with acked loss)\n",
+				sc.Mode, sc.Trials, sc.Failed, sc.Flagged, sc.AckedLost)
+		}
+		violations += sc.Failed
+		cards = append(cards, sc)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chaos:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(struct {
+		Campaigns  []campaign.Scorecard `json:"campaigns"`
+		Violations int                  `json:"violations"`
+	}{cards, violations}); err != nil {
+		fmt.Fprintln(os.Stderr, "chaos:", err)
+		os.Exit(2)
+	}
+	if violations > 0 {
+		os.Exit(1)
+	}
+}
+
+// replay re-runs one trial from its scorecard seeds and prints the row.
+func replay(cfg campaign.Config, modes string, planSeed, workloadSeed uint64) error {
+	cfg.Mode = strings.TrimSpace(strings.Split(modes, ",")[0])
+	row, err := campaign.RunTrial(cfg, planSeed, workloadSeed)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(row); err != nil {
+		return err
+	}
+	if !row.Pass {
+		os.Exit(1)
+	}
+	return nil
+}

@@ -24,6 +24,14 @@ type Config struct {
 	AppendPerByte time.Duration
 	// SegmentRecords is the partition-log segment roll threshold.
 	SegmentRecords int
+	// FlushInterval is the fsync cadence (Kafka's log.flush.interval.ms):
+	// appends become durable at the first append on or after each
+	// interval boundary, together with a snapshot of the idempotent
+	// producer state (Kafka persists producer-state snapshots alongside
+	// segment flushes). An unclean crash loses the unflushed log tail.
+	// Zero (the default) makes every append immediately durable, so an
+	// unclean crash behaves exactly like a clean stop.
+	FlushInterval time.Duration
 	// Obs attaches the per-run observability bundle. nil disables
 	// metrics and tracing for this broker.
 	Obs *obs.Obs
@@ -45,10 +53,86 @@ type partitionKey struct {
 }
 
 // producerState supports idempotent de-duplication per producer ID.
+// recent is a ring of the last wire.SeqCacheSize appended batches: with
+// pipelining (max-in-flight > 1) batches can arrive out of sequence
+// order, so a batch is a duplicate only if its base sequence matches a
+// remembered batch — a bare high-water comparison would drop (and
+// falsely ack) a *new* batch that arrives after a later-sequence one.
+// The fields are all values (fixed array), so the struct copies taken
+// by flush snapshots stay deep.
 type producerState struct {
 	lastSequence uint64
 	lastOffset   int64
 	seen         bool
+	recent       [wire.SeqCacheSize]BatchMeta
+	nRecent      int
+	head         int
+}
+
+// lookup returns the base offset of a remembered batch.
+func (st *producerState) lookup(seq uint64) (int64, bool) {
+	for i := 0; i < st.nRecent; i++ {
+		if e := st.recent[(st.head+i)%len(st.recent)]; e.Sequence == seq {
+			return e.Offset, true
+		}
+	}
+	return 0, false
+}
+
+// remember records an appended batch and advances the high-water.
+func (st *producerState) remember(seq uint64, offset int64) {
+	if st.nRecent < len(st.recent) {
+		st.recent[(st.head+st.nRecent)%len(st.recent)] = BatchMeta{seq, offset}
+		st.nRecent++
+	} else {
+		st.recent[st.head] = BatchMeta{seq, offset}
+		st.head = (st.head + 1) % len(st.recent)
+	}
+	if !st.seen || seq > st.lastSequence {
+		st.lastSequence = seq
+		st.lastOffset = offset
+	}
+	st.seen = true
+}
+
+// batches exports the remembered ring, oldest first.
+func (st *producerState) batches() []BatchMeta {
+	out := make([]BatchMeta, 0, st.nRecent)
+	for i := 0; i < st.nRecent; i++ {
+		out = append(out, st.recent[(st.head+i)%len(st.recent)])
+	}
+	return out
+}
+
+// BatchMeta identifies one appended batch for idempotent de-duplication.
+type BatchMeta struct {
+	Sequence uint64
+	Offset   int64
+}
+
+// SeqState is the exported form of the per-producer sequence state, used
+// when a recovering replica adopts the leader's state during catch-up
+// (Kafka rebuilds producer state from the replicated log).
+type SeqState struct {
+	LastSequence uint64
+	LastOffset   int64
+	// Recent is the remembered-batch ring, oldest first; without it a
+	// recovered leader would re-append (duplicate) any still-in-flight
+	// retry of a batch that survived in the replicated log.
+	Recent []BatchMeta
+}
+
+// part is one topic partition hosted on this broker: its log plus
+// the idempotent producer state, live and as of the last flush.
+type part struct {
+	log  *storage.Log
+	prod map[uint64]*producerState
+	// flushedProd is the producer-state snapshot persisted with the last
+	// flush. An unclean crash restores it: a stale snapshot must not
+	// dedupe-and-ack a retry of a truncated batch, and a fresh one must
+	// not re-append a batch that survived the crash.
+	flushedProd map[uint64]producerState
+	lastFlush   time.Duration // interval boundary of the last flush
 }
 
 // Stats counts broker activity.
@@ -62,6 +146,14 @@ type Stats struct {
 	// the Case-5 duplicates an idempotent broker would have dropped.
 	// Purely observational: the records are appended either way.
 	DuplicateAppends uint64
+	// DuplicateRecords is the record total inside those duplicate
+	// appends, the broker-side mirror of the consumer's extra copies.
+	DuplicateRecords uint64
+	// RecordsTruncated counts records destroyed by unclean crashes (the
+	// unflushed log tail past the flushed offset).
+	RecordsTruncated uint64
+	// UncleanCrashes counts CrashUnclean invocations.
+	UncleanCrashes uint64
 }
 
 // Broker is one node. It is driven by the shared simulator and is not
@@ -70,15 +162,17 @@ type Broker struct {
 	id    int32
 	sim   *des.Simulator
 	cfg   Config
-	logs  map[partitionKey]*storage.Log
-	prod  map[partitionKey]map[uint64]*producerState
+	parts map[partitionKey]*part
 	up    bool
+	slow  float64 // service-time multiplier; <= 1 means nominal
 	stats Stats
 
 	cProduce    *obs.Counter
 	cAppends    *obs.Counter
 	cDuplicates *obs.Counter
 	cDupAppends *obs.Counter
+	cTruncated  *obs.Counter
+	cUnclean    *obs.Counter
 	trace       *obs.Tracer
 }
 
@@ -90,18 +184,22 @@ func New(id int32, sim *des.Simulator, cfg Config) (*Broker, error) {
 	if cfg.AppendLatency < 0 || cfg.AppendPerByte < 0 {
 		return nil, fmt.Errorf("broker: negative service time")
 	}
+	if cfg.FlushInterval < 0 {
+		return nil, fmt.Errorf("broker: negative flush interval")
+	}
 	o := cfg.Obs
 	return &Broker{
 		id:          id,
 		sim:         sim,
 		cfg:         cfg,
-		logs:        make(map[partitionKey]*storage.Log),
-		prod:        make(map[partitionKey]map[uint64]*producerState),
+		parts:       make(map[partitionKey]*part),
 		up:          true,
 		cProduce:    o.Counter(obs.MBrokerProduce),
 		cAppends:    o.Counter(obs.MBrokerAppends),
 		cDuplicates: o.Counter(obs.MBrokerDuplicates),
 		cDupAppends: o.Counter(obs.MBrokerDupAppends),
+		cTruncated:  o.Counter(obs.MBrokerTruncated),
+		cUnclean:    o.Counter(obs.MBrokerUnclean),
 		trace:       o.Tracer(),
 	}, nil
 }
@@ -112,13 +210,58 @@ func (b *Broker) ID() int32 { return b.id }
 // Up reports whether the broker is serving requests.
 func (b *Broker) Up() bool { return b.up }
 
-// Stop makes the broker silently drop all requests (a crashed node as
-// seen from the network).
-func (b *Broker) Stop() { b.up = false }
+// Stop shuts the broker down cleanly: pending log tails are flushed (a
+// graceful Kafka shutdown fsyncs on close), then the broker silently
+// drops all requests, as a dead node does from the network's view.
+func (b *Broker) Stop() {
+	b.up = false
+	if b.cfg.FlushInterval > 0 {
+		for _, p := range b.parts {
+			b.flushPart(p, b.boundary(b.sim.Now()))
+		}
+	}
+}
+
+// CrashUnclean kills the broker without the shutdown fsync: the log tail
+// past each partition's flushed offset is destroyed and the idempotent
+// producer state rolls back to the snapshot persisted with that flush.
+// With FlushInterval zero everything is always durable and CrashUnclean
+// degenerates to Stop — the acks=1 data-loss window only opens when the
+// broker is configured with a real flush cadence.
+func (b *Broker) CrashUnclean() {
+	b.up = false
+	b.stats.UncleanCrashes++
+	b.cUnclean.Inc()
+	if b.cfg.FlushInterval <= 0 {
+		return
+	}
+	var lost uint64
+	now := b.sim.Now()
+	for _, p := range b.parts {
+		// A flush boundary crossed since the last append is still honoured:
+		// everything currently stored was appended before it.
+		if bd := b.boundary(now); bd > p.lastFlush {
+			b.flushPart(p, bd)
+		}
+		if tail := p.log.End() - p.log.Flushed(); tail > 0 {
+			p.log.TruncateTo(p.log.Flushed())
+			lost += uint64(tail)
+		}
+		p.prod = restoreStates(p.flushedProd)
+	}
+	b.stats.RecordsTruncated += lost
+	b.cTruncated.Add(lost)
+	b.trace.Emit(obs.LayerBroker, obs.EvUncleanCrash, lost, 0, int64(b.id), "")
+}
 
 // Start brings a stopped broker back. Its logs are retained, as Kafka's
 // are across restarts.
 func (b *Broker) Start() { b.up = true }
+
+// SetSlowdown scales the broker's append service time by factor — the
+// chaos engine's degraded-broker fault. Factors at or below 1 restore
+// nominal speed.
+func (b *Broker) SetSlowdown(factor float64) { b.slow = factor }
 
 // Stats returns an activity snapshot.
 func (b *Broker) Stats() Stats { return b.stats }
@@ -127,16 +270,109 @@ func (b *Broker) Stats() Stats { return b.stats }
 // Creating an existing partition is a no-op.
 func (b *Broker) CreatePartition(topic string, partition int32) {
 	k := partitionKey{topic, partition}
-	if _, ok := b.logs[k]; !ok {
-		b.logs[k] = storage.NewLog(b.cfg.SegmentRecords)
-		b.prod[k] = make(map[uint64]*producerState)
+	if _, ok := b.parts[k]; !ok {
+		b.parts[k] = &part{
+			log:         storage.NewLog(b.cfg.SegmentRecords),
+			prod:        make(map[uint64]*producerState),
+			flushedProd: make(map[uint64]producerState),
+		}
 	}
 }
 
 // Log exposes the partition log (nil if absent), used by replication and
 // by the consumer-side reconciliation in tests.
 func (b *Broker) Log(topic string, partition int32) *storage.Log {
-	return b.logs[partitionKey{topic, partition}]
+	p := b.parts[partitionKey{topic, partition}]
+	if p == nil {
+		return nil
+	}
+	return p.log
+}
+
+// ProducerStateSnapshot exports the partition's live producer-sequence
+// state (nil if the partition is absent).
+func (b *Broker) ProducerStateSnapshot(topic string, partition int32) map[uint64]SeqState {
+	p := b.parts[partitionKey{topic, partition}]
+	if p == nil {
+		return nil
+	}
+	out := make(map[uint64]SeqState, len(p.prod))
+	for id, st := range p.prod {
+		if st.seen {
+			out[id] = SeqState{
+				LastSequence: st.lastSequence,
+				LastOffset:   st.lastOffset,
+				Recent:       st.batches(),
+			}
+		}
+	}
+	return out
+}
+
+// RestoreProducerState replaces the partition's producer-sequence state,
+// marks the log flushed, and snapshots the state as durable — the end of
+// a catch-up: the replica's log now mirrors the leader's, so its dedupe
+// state and durability checkpoint must too.
+func (b *Broker) RestoreProducerState(topic string, partition int32, st map[uint64]SeqState) {
+	p := b.parts[partitionKey{topic, partition}]
+	if p == nil {
+		return
+	}
+	p.prod = make(map[uint64]*producerState, len(st))
+	for id, s := range st {
+		ps := &producerState{lastSequence: s.LastSequence, lastOffset: s.LastOffset, seen: true}
+		for _, bm := range s.Recent {
+			ps.remember(bm.Sequence, bm.Offset)
+		}
+		// remember advanced the high-water as it replayed; restore the
+		// leader's explicit values last in case Recent is a partial view.
+		ps.lastSequence, ps.lastOffset = s.LastSequence, s.LastOffset
+		p.prod[id] = ps
+	}
+	b.flushPart(p, b.boundary(b.sim.Now()))
+}
+
+// boundary returns the latest flush-interval boundary at or before t.
+func (b *Broker) boundary(t time.Duration) time.Duration {
+	iv := b.cfg.FlushInterval
+	if iv <= 0 {
+		return t
+	}
+	return t - t%iv
+}
+
+// flushPart persists the partition: fsync the log and snapshot the
+// producer state, stamped with the given interval boundary.
+func (b *Broker) flushPart(p *part, bd time.Duration) {
+	p.log.Flush()
+	p.flushedProd = make(map[uint64]producerState, len(p.prod))
+	for id, st := range p.prod {
+		p.flushedProd[id] = *st
+	}
+	p.lastFlush = bd
+}
+
+// maybeFlush runs the lazy flush schedule: the first append on or after
+// an interval boundary first persists the pre-append state, which is
+// equivalent to an fsync timer firing at the boundary itself (everything
+// stored now was appended before it) without keeping a perpetual ticker
+// in the event queue.
+func (b *Broker) maybeFlush(p *part) {
+	if b.cfg.FlushInterval <= 0 {
+		return
+	}
+	if bd := b.boundary(b.sim.Now()); bd > p.lastFlush {
+		b.flushPart(p, bd)
+	}
+}
+
+func restoreStates(snap map[uint64]producerState) map[uint64]*producerState {
+	out := make(map[uint64]*producerState, len(snap))
+	for id, st := range snap {
+		cp := st
+		out[id] = &cp
+	}
+	return out
 }
 
 // serviceTime returns the simulated cost of persisting a batch.
@@ -145,43 +381,47 @@ func (b *Broker) serviceTime(batch wire.RecordBatch) time.Duration {
 	for _, r := range batch.Records {
 		bytes += r.EncodedSize()
 	}
-	return b.cfg.AppendLatency + time.Duration(bytes)*b.cfg.AppendPerByte
+	d := b.cfg.AppendLatency + time.Duration(bytes)*b.cfg.AppendPerByte
+	if b.slow > 1 {
+		d = time.Duration(float64(d) * b.slow)
+	}
+	return d
 }
 
 // Append is the synchronous core of produce handling: idempotency check,
 // then log append. It returns the base offset, whether the batch was a
 // duplicate, and an error code.
 func (b *Broker) Append(topic string, partition int32, batch wire.RecordBatch, idempotent bool) (int64, bool, wire.ErrorCode) {
-	k := partitionKey{topic, partition}
-	log, ok := b.logs[k]
+	p, ok := b.parts[partitionKey{topic, partition}]
 	if !ok {
 		return 0, false, wire.ErrUnknownTopicOrPartition
 	}
+	// Flush schedule first: a crossed boundary persists the pre-append
+	// state, never the batch being appended now.
+	b.maybeFlush(p)
 	if idempotent {
-		st := b.prod[k][batch.ProducerID]
+		st := p.prod[batch.ProducerID]
 		if st == nil {
 			st = &producerState{}
-			b.prod[k][batch.ProducerID] = st
+			p.prod[batch.ProducerID] = st
 		}
-		if st.seen && batch.BaseSequence <= st.lastSequence {
+		if offset, ok := st.lookup(batch.BaseSequence); ok {
 			// Retry of an already-persisted batch: report the original
 			// offset and succeed without appending (Kafka's idempotent
 			// producer semantics).
 			b.stats.DuplicatesDropped++
 			b.cDuplicates.Inc()
-			b.trace.Emit(obs.LayerBroker, obs.EvDuplicateDrop, batch.BaseSequence, st.lastOffset, int64(b.id), topic)
-			return st.lastOffset, true, wire.ErrNone
+			b.trace.Emit(obs.LayerBroker, obs.EvDuplicateDrop, batch.BaseSequence, offset, int64(b.id), topic)
+			return offset, true, wire.ErrNone
 		}
-		base := log.Append(batch.Records)
-		st.seen = true
-		st.lastSequence = batch.BaseSequence
-		st.lastOffset = base
+		base := p.log.Append(batch.Records)
+		st.remember(batch.BaseSequence, base)
 		b.stats.RecordsAppended += uint64(len(batch.Records))
 		b.cAppends.Add(uint64(len(batch.Records)))
 		b.trace.Emit(obs.LayerBroker, obs.EvAppend, batch.BaseSequence, base, int64(b.id), topic)
 		return base, false, wire.ErrNone
 	}
-	base := log.Append(batch.Records)
+	base := p.log.Append(batch.Records)
 	b.stats.RecordsAppended += uint64(len(batch.Records))
 	b.cAppends.Add(uint64(len(batch.Records)))
 	// Track the per-producer sequence high-water even without idempotence
@@ -189,13 +429,14 @@ func (b *Broker) Append(topic string, partition int32, batch wire.RecordBatch, i
 	// sequences are monotone per producer and retries pin their
 	// partition, so a sequence at or below the high-water is a retry of a
 	// batch this broker already appended.
-	st := b.prod[k][batch.ProducerID]
+	st := p.prod[batch.ProducerID]
 	if st == nil {
 		st = &producerState{}
-		b.prod[k][batch.ProducerID] = st
+		p.prod[batch.ProducerID] = st
 	}
 	if st.seen && batch.BaseSequence <= st.lastSequence {
 		b.stats.DuplicateAppends++
+		b.stats.DuplicateRecords += uint64(len(batch.Records))
 		b.cDupAppends.Inc()
 	} else {
 		st.seen = true
@@ -245,12 +486,13 @@ func (b *Broker) HandleFetch(req wire.FetchRequest, done func(wire.FetchResponse
 		Topic:         req.Topic,
 		Partition:     req.Partition,
 	}
-	log, ok := b.logs[partitionKey{req.Topic, req.Partition}]
+	p, ok := b.parts[partitionKey{req.Topic, req.Partition}]
 	if !ok {
 		resp.Err = wire.ErrUnknownTopicOrPartition
 		done(resp)
 		return
 	}
+	log := p.log
 	resp.HighWatermark = log.End()
 	entries, err := log.Read(req.Offset, int(req.MaxRecords))
 	if err != nil {

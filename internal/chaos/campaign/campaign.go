@@ -1,0 +1,265 @@
+// Package campaign runs randomised chaos campaigns: N trials, each a
+// full testbed experiment under a generated fault plan, executed in
+// parallel on the exprun pool and fed through the chaos invariant
+// checker. The output is a scorecard — one row per trial with the
+// seeds, fault list, reliability metrics, classified anomalies and
+// invariant violations — reproducible byte-for-byte from (seed, config)
+// at any worker count, and any single row from its recorded
+// (plan seed, workload seed) pair alone.
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"kafkarel/internal/chaos"
+	"kafkarel/internal/exprun"
+	"kafkarel/internal/features"
+	"kafkarel/internal/obs"
+	"kafkarel/internal/producer"
+	"kafkarel/internal/testbed"
+)
+
+// Modes. ModeExactlyOnce runs the idempotent producer with acks=all on
+// a replication-factor-3 topic: every anomaly is an invariant violation.
+// ModeAtLeastOnce runs acks=1 on a replication-factor-1 topic with
+// unclean restarts: acked-data loss is the *expected* Kafka behaviour
+// there, and the checker classifies it rather than flagging it.
+const (
+	ModeExactlyOnce = "exactly-once"
+	ModeAtLeastOnce = "at-least-once"
+)
+
+// Config parameterises one campaign.
+type Config struct {
+	// Mode is ModeExactlyOnce (default) or ModeAtLeastOnce.
+	Mode string
+	// Trials is the number of generated fault plans (default 50).
+	Trials int
+	// Seed derives every trial's (plan seed, workload seed) pair.
+	Seed uint64
+	// Messages per trial (default 300).
+	Messages int
+	// MaxFaults per generated plan (default 5).
+	MaxFaults int
+	// Horizon is the fault-injection window (default 2 s).
+	Horizon time.Duration
+	// FlushInterval is the brokers' fsync cadence (default 50 ms): the
+	// unclean-restart loss window.
+	FlushInterval time.Duration
+	// MaxInFlight is the producer pipelining depth (default 1). The
+	// ordering and duplicate-accounting invariants only apply at 1; the
+	// ack/loss/conservation invariants hold at any depth.
+	MaxInFlight int
+	// Workers bounds the parallel trial pool (<= 0: GOMAXPROCS).
+	Workers int
+	// Progress, when non-nil, receives (done, total) after each trial.
+	Progress func(done, total int)
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Mode == "" {
+		c.Mode = ModeExactlyOnce
+	}
+	if c.Mode != ModeExactlyOnce && c.Mode != ModeAtLeastOnce {
+		return c, fmt.Errorf("campaign: unknown mode %q", c.Mode)
+	}
+	if c.Trials <= 0 {
+		c.Trials = 50
+	}
+	if c.Messages <= 0 {
+		c.Messages = 300
+	}
+	if c.MaxFaults <= 0 {
+		c.MaxFaults = 5
+	}
+	if c.Horizon <= 0 {
+		c.Horizon = 2 * time.Second
+	}
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = 50 * time.Millisecond
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 1
+	}
+	return c, nil
+}
+
+// Row is one trial's scorecard entry. It carries everything needed to
+// reproduce the trial (mode, seeds, knobs are implied by mode) and the
+// verdict; it deliberately excludes the trial index and any wall-clock
+// time, so a replayed row is byte-identical to the campaign's.
+type Row struct {
+	Mode         string   `json:"mode"`
+	PlanSeed     uint64   `json:"plan_seed"`
+	WorkloadSeed uint64   `json:"workload_seed"`
+	Faults       []string `json:"faults"`
+	Completed    bool     `json:"completed"`
+	Acquired     uint64   `json:"acquired"`
+	Delivered    uint64   `json:"delivered"`
+	Lost         uint64   `json:"lost"`
+	Duplicated   uint64   `json:"duplicated"`
+	Pl           float64  `json:"pl"`
+	Pd           float64  `json:"pd"`
+	Truncated    uint64   `json:"records_truncated"`
+	Unclean      uint64   `json:"unclean_restarts"`
+	Classified   []string `json:"classified,omitempty"`
+	Violations   []string `json:"violations,omitempty"`
+	Pass         bool     `json:"pass"`
+}
+
+// Scorecard is a campaign's full result.
+type Scorecard struct {
+	Mode      string `json:"mode"`
+	Trials    int    `json:"trials"`
+	Seed      uint64 `json:"seed"`
+	Failed    int    `json:"failed"`     // trials with invariant violations
+	Flagged   int    `json:"flagged"`    // trials with classified anomalies
+	AckedLost int    `json:"acked_lost"` // trials that lost acknowledged records (classified)
+	Rows      []Row  `json:"rows"`
+}
+
+// OK reports whether every trial upheld its invariants.
+func (s Scorecard) OK() bool { return s.Failed == 0 }
+
+// WriteJSON renders the scorecard as indented JSON.
+func (s Scorecard) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Run executes the campaign: Trials generated plans, run in parallel,
+// each verified. Trial i's plan seed and workload seed are mixed from
+// Config.Seed and the index, never from scheduling order, so the
+// scorecard is identical for every worker count.
+func Run(ctx context.Context, cfg Config) (Scorecard, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return Scorecard{}, err
+	}
+	seeds := exprun.MixedSeeds(cfg.Seed)
+	idx := make([]int, cfg.Trials)
+	for i := range idx {
+		idx[i] = i
+	}
+	rows, err := exprun.Map(ctx, idx, func(_ context.Context, i int, _ int) (Row, error) {
+		return RunTrial(cfg, seeds(2*i), seeds(2*i+1))
+	}, exprun.Options{Workers: cfg.Workers, Progress: cfg.Progress})
+	if err != nil {
+		return Scorecard{}, err
+	}
+	sc := Scorecard{Mode: cfg.Mode, Trials: cfg.Trials, Seed: cfg.Seed, Rows: rows}
+	for _, r := range rows {
+		if !r.Pass {
+			sc.Failed++
+		}
+		if len(r.Classified) > 0 {
+			sc.Flagged++
+		}
+		for _, c := range r.Classified {
+			if strings.Contains(c, "acked records lost") {
+				sc.AckedLost++
+				break
+			}
+		}
+	}
+	return sc, nil
+}
+
+// RunTrial runs a single campaign trial from its recorded seeds — the
+// reproduction path for a scorecard row. The returned row is
+// byte-identical to the campaign's row for the same (config, seeds).
+func RunTrial(cfg Config, planSeed, workloadSeed uint64) (Row, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return Row{}, err
+	}
+	sem := producer.ExactlyOnce
+	semCode := features.SemanticsExactlyOnce
+	rf := 3
+	if cfg.Mode == ModeAtLeastOnce {
+		sem = producer.AtLeastOnce
+		semCode = features.SemanticsAtLeastOnce
+		rf = 1
+	}
+	plan := chaos.GeneratePlan(planSeed, chaos.GenConfig{
+		Brokers:   3,
+		Semantics: sem,
+		Horizon:   cfg.Horizon,
+		MaxFaults: cfg.MaxFaults,
+		Unclean:   true,
+	})
+	e := testbed.Experiment{
+		Features: features.Vector{
+			MessageSize:    100,
+			DelayMs:        2,
+			Semantics:      semCode,
+			BatchSize:      2,
+			PollInterval:   5 * time.Millisecond,
+			MessageTimeout: 2 * time.Second,
+		},
+		Messages:            cfg.Messages,
+		Seed:                workloadSeed,
+		Partitions:          2,
+		MaxSimTime:          cfg.Horizon + 10*time.Second,
+		FaultPlan:           plan,
+		ReplicationFactor:   rf,
+		BrokerFlushInterval: cfg.FlushInterval,
+		CaptureEvidence:     true,
+		Timeline:            obs.NewTimeline(100 * time.Millisecond),
+		MaxInFlight:         cfg.MaxInFlight,
+		MaxRetries:          8,
+		RequestTimeout:      250 * time.Millisecond,
+		RetryBackoff:        20 * time.Millisecond,
+		RetryBackoffMax:     200 * time.Millisecond,
+		QueueLimit:          64,
+	}
+	res, err := testbed.Run(e)
+	if err != nil {
+		return Row{}, fmt.Errorf("campaign: trial (plan %d, workload %d): %w", planSeed, workloadSeed, err)
+	}
+	verdict := chaos.Verify(chaos.TrialInput{
+		Semantics:   sem,
+		MaxInFlight: cfg.MaxInFlight,
+		Replication: rf,
+		Plan:        plan,
+		Completed:   res.Completed,
+		Acquired:    res.Acquired,
+		Counts:      res.Producer,
+		Outcomes:    res.Outcomes,
+		Consumed:    res.ConsumedKeys,
+		Report:      res.Report,
+		Brokers:     res.BrokerStats,
+		Timeline:    res.Timeline,
+		PktsLost:    res.Metrics.PacketsLostRandom + res.Metrics.PacketsLostOverflow,
+		Retransmits: res.Metrics.Retransmits,
+	})
+	row := Row{
+		Mode:         cfg.Mode,
+		PlanSeed:     planSeed,
+		WorkloadSeed: workloadSeed,
+		Completed:    res.Completed,
+		Acquired:     res.Acquired,
+		Delivered:    res.Producer.Delivered,
+		Lost:         res.Producer.Lost,
+		Duplicated:   res.Report.NDuplicated,
+		Pl:           res.Pl,
+		Pd:           res.Pd,
+		Classified:   verdict.Classified,
+		Violations:   verdict.Violations,
+		Pass:         verdict.OK(),
+	}
+	for _, f := range plan.Faults {
+		row.Faults = append(row.Faults, f.String())
+	}
+	for _, st := range res.BrokerStats {
+		row.Truncated += st.RecordsTruncated
+		row.Unclean += st.UncleanCrashes
+	}
+	return row, nil
+}

@@ -1,0 +1,130 @@
+package chaos
+
+import (
+	"math/rand/v2"
+	"time"
+
+	"kafkarel/internal/producer"
+)
+
+// GenConfig bounds the campaign generator's plan sampling.
+type GenConfig struct {
+	// Brokers is the cluster size faults may target.
+	Brokers int
+	// Semantics gates the safety rules: exactly-once plans keep broker
+	// outages strictly sequential (at most one broker down at any time)
+	// so acknowledged data always survives on a live replica — losses
+	// there are invariant violations, not expected noise.
+	Semantics producer.Semantics
+	// Horizon is the window faults are placed in; every fault, recoveries
+	// included, completes before it. Zero takes a 2 s default.
+	Horizon time.Duration
+	// MaxFaults caps the faults per plan (default 5, minimum 1).
+	MaxFaults int
+	// Unclean permits unclean restarts (needs a broker flush interval to
+	// bite; without one they degenerate to clean crashes).
+	Unclean bool
+}
+
+func (c GenConfig) withDefaults() GenConfig {
+	if c.Brokers <= 0 {
+		c.Brokers = 3
+	}
+	if c.Horizon <= 0 {
+		c.Horizon = 2 * time.Second
+	}
+	if c.MaxFaults <= 0 {
+		c.MaxFaults = 5
+	}
+	return c
+}
+
+// GeneratePlan samples a random fault plan from the seed. The same
+// (seed, config) pair always yields the same plan — the reproducibility
+// contract violating trials are replayed through.
+//
+// Faults of each resource class (broker outages, loss overlays, delay
+// overlays, slowdowns) are laid out sequentially with gaps, so generated
+// plans always pass Validate; crashes carry explicit recovery durations,
+// leaving every broker up again before the horizon.
+func GeneratePlan(seed uint64, cfg GenConfig) Plan {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewPCG(seed, 0x9E3779B97F4A7C15))
+
+	kinds := []Kind{BrokerCrash, Partition, LossBurst, DelaySpike, ConnReset, BrokerSlow}
+	if cfg.Unclean {
+		kinds = append(kinds, UncleanRestart)
+	}
+
+	// Independent time cursors per resource class keep windows of the
+	// same class from overlapping; classes interleave freely.
+	dur := func(lo, hi time.Duration) time.Duration {
+		return lo + time.Duration(rng.Int64N(int64(hi-lo)+1))
+	}
+	cursors := map[string]time.Duration{}
+	place := func(class string, want time.Duration) (time.Duration, bool) {
+		// Random gap after the class's previous window, bounded so the
+		// window still fits before the horizon.
+		start := cursors[class] + dur(10*time.Millisecond, 150*time.Millisecond)
+		if start+want >= cfg.Horizon {
+			return 0, false
+		}
+		cursors[class] = start + want
+		return start, true
+	}
+
+	n := 1 + rng.IntN(cfg.MaxFaults)
+	var plan Plan
+	for i := 0; i < n; i++ {
+		k := kinds[rng.IntN(len(kinds))]
+		var f Fault
+		switch k {
+		case BrokerCrash, UncleanRestart:
+			d := dur(100*time.Millisecond, 500*time.Millisecond)
+			at, ok := place("broker", d)
+			if !ok {
+				continue
+			}
+			f = Fault{Kind: k, At: at, Duration: d, Broker: int32(rng.IntN(cfg.Brokers))}
+		case Partition:
+			d := dur(50*time.Millisecond, 300*time.Millisecond)
+			at, ok := place("loss", d)
+			if !ok {
+				continue
+			}
+			f = Fault{Kind: k, At: at, Duration: d, Direction: Direction(rng.IntN(3))}
+		case LossBurst:
+			d := dur(50*time.Millisecond, 400*time.Millisecond)
+			at, ok := place("loss", d)
+			if !ok {
+				continue
+			}
+			f = Fault{Kind: k, At: at, Duration: d, Direction: Direction(rng.IntN(3)),
+				LossRate: 0.05 + 0.45*rng.Float64()}
+		case DelaySpike:
+			d := dur(50*time.Millisecond, 400*time.Millisecond)
+			at, ok := place("delay", d)
+			if !ok {
+				continue
+			}
+			f = Fault{Kind: k, At: at, Duration: d, Direction: Direction(rng.IntN(3)),
+				DelayMs: 20 + 180*rng.Float64()}
+		case ConnReset:
+			at, ok := place("conn", 0)
+			if !ok {
+				continue
+			}
+			f = Fault{Kind: k, At: at}
+		case BrokerSlow:
+			d := dur(50*time.Millisecond, 400*time.Millisecond)
+			at, ok := place("slow", d)
+			if !ok {
+				continue
+			}
+			f = Fault{Kind: k, At: at, Duration: d, Broker: int32(rng.IntN(cfg.Brokers)),
+				Slowdown: 2 + 8*rng.Float64()}
+		}
+		plan.Faults = append(plan.Faults, f)
+	}
+	return plan
+}

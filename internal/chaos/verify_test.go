@@ -1,0 +1,191 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"kafkarel/internal/broker"
+	"kafkarel/internal/consumer"
+	"kafkarel/internal/producer"
+)
+
+// cleanTrial builds a passing trial: 3 records acquired, delivered, and
+// appended in order with replication factor 3 and no faults.
+func cleanTrial() TrialInput {
+	return TrialInput{
+		Semantics:   producer.AtLeastOnce,
+		MaxInFlight: 1,
+		Replication: 3,
+		Completed:   true,
+		Acquired:    3,
+		Counts: producer.Counts{
+			Total: 3, Delivered: 3,
+			ByCase: [producer.Case5 + 1]uint64{producer.Case1: 3},
+		},
+		Outcomes: []producer.Outcome{
+			{Key: 1, State: producer.StateDelivered, Case: producer.Case1},
+			{Key: 2, State: producer.StateDelivered, Case: producer.Case1},
+			{Key: 3, State: producer.StateDelivered, Case: producer.Case1},
+		},
+		Consumed: [][]uint64{{1, 2, 3}},
+		Report:   consumer.Report{SourceCount: 3, Distinct: 3},
+		Brokers:  make([]broker.Stats, 3),
+	}
+}
+
+func TestVerifyCleanTrial(t *testing.T) {
+	v := Verify(cleanTrial())
+	if !v.OK() {
+		t.Fatalf("clean trial flagged: %v", v.Violations)
+	}
+	if len(v.Classified) != 0 {
+		t.Errorf("clean trial classified anomalies: %v", v.Classified)
+	}
+}
+
+func TestVerifyConservation(t *testing.T) {
+	in := cleanTrial()
+	in.Counts.Total = 2
+	in.Counts.Delivered = 2
+	in.Outcomes = in.Outcomes[:2]
+	if v := Verify(in); v.OK() {
+		t.Error("completed run with an unresolved record passed")
+	}
+
+	in = cleanTrial()
+	in.Counts.Delivered = 2 // leak: delivered + lost != total
+	if v := Verify(in); v.OK() {
+		t.Error("count leak passed")
+	}
+}
+
+func TestVerifyAckedLossClassification(t *testing.T) {
+	lossy := func(in TrialInput) TrialInput {
+		// Key 3 was acked but is missing from the log.
+		in.Consumed = [][]uint64{{1, 2}}
+		in.Report = consumer.Report{SourceCount: 3, Distinct: 2, NLost: 1}
+		return in
+	}
+	brokerFaults := Plan{Faults: []Fault{
+		{Kind: UncleanRestart, At: time.Millisecond, Duration: time.Millisecond, Broker: 0},
+	}}
+
+	in := lossy(cleanTrial())
+	if v := Verify(in); v.OK() {
+		t.Error("acked loss with no broker fault passed")
+	}
+
+	in = lossy(cleanTrial())
+	in.Plan = brokerFaults
+	v := Verify(in)
+	if !v.OK() {
+		t.Errorf("acks=1 loss under a broker fault should classify, got violations: %v", v.Violations)
+	}
+	if len(v.Classified) == 0 || !strings.Contains(v.Classified[0], "acked records lost") {
+		t.Errorf("expected a classified acked-loss entry, got %v", v.Classified)
+	}
+
+	in = lossy(cleanTrial())
+	in.Plan = brokerFaults
+	in.Semantics = producer.ExactlyOnce
+	if v := Verify(in); v.OK() {
+		t.Error("exactly-once acked loss passed despite broker faults")
+	}
+}
+
+func TestVerifyLostButAppearedIsClassified(t *testing.T) {
+	in := cleanTrial()
+	in.Counts = producer.Counts{Total: 3, Delivered: 2, Lost: 1,
+		ByCase: [producer.Case5 + 1]uint64{producer.Case1: 2, producer.Case3: 1}}
+	in.Outcomes[2] = producer.Outcome{Key: 3, State: producer.StateLost, Case: producer.Case3}
+	// Key 3 still landed (the timed-out attempt's copy).
+	v := Verify(in)
+	if !v.OK() {
+		t.Fatalf("lost-but-appeared flagged as violation: %v", v.Violations)
+	}
+	if len(v.Classified) != 1 || !strings.Contains(v.Classified[0], "producer-lost") {
+		t.Errorf("classified = %v, want one lost-but-appeared entry", v.Classified)
+	}
+}
+
+func TestVerifyDuplicateInvariants(t *testing.T) {
+	in := cleanTrial()
+	in.Semantics = producer.ExactlyOnce
+	in.Report.NDuplicated = 1
+	in.Report.ExtraCopies = 1
+	if v := Verify(in); v.OK() {
+		t.Error("exactly-once consumer duplicate passed")
+	}
+
+	in = cleanTrial()
+	in.Semantics = producer.ExactlyOnce
+	in.Brokers[0].DuplicateAppends = 1
+	if v := Verify(in); v.OK() {
+		t.Error("exactly-once broker duplicate append passed")
+	}
+
+	in = cleanTrial()
+	in.Semantics = producer.AtMostOnce
+	in.Report.NDuplicated = 1
+	if v := Verify(in); v.OK() {
+		t.Error("at-most-once duplicate passed")
+	}
+}
+
+func TestVerifyDuplicateAccounting(t *testing.T) {
+	// One duplicated key, one extra copy, replication 3: the cluster-wide
+	// duplicate-record count must be 3 (leader + both followers).
+	in := cleanTrial()
+	in.Consumed = [][]uint64{{1, 2, 3, 3}}
+	in.Report = consumer.Report{SourceCount: 3, Distinct: 3, NDuplicated: 1, ExtraCopies: 1}
+	for i := range in.Brokers {
+		in.Brokers[i].DuplicateAppends = 1
+		in.Brokers[i].DuplicateRecords = 1
+	}
+	v := Verify(in)
+	if !v.OK() {
+		t.Fatalf("consistent duplicate accounting flagged: %v", v.Violations)
+	}
+
+	in.Brokers[2].DuplicateRecords = 0 // follower missed the duplicate
+	if v := Verify(in); v.OK() {
+		t.Error("inconsistent broker duplicate accounting passed")
+	}
+}
+
+func TestVerifyOrderingAtMaxInFlightOne(t *testing.T) {
+	in := cleanTrial()
+	in.Consumed = [][]uint64{{1, 3, 2}}
+	if v := Verify(in); v.OK() {
+		t.Error("out-of-order first appearances passed at max-in-flight 1")
+	}
+
+	// Replayed copies of an earlier key are fine; only first appearances
+	// must be ordered.
+	in = cleanTrial()
+	in.Consumed = [][]uint64{{1, 2, 3, 2, 3}}
+	in.Report = consumer.Report{SourceCount: 3, Distinct: 3, NDuplicated: 2, ExtraCopies: 2}
+	for i := range in.Brokers {
+		in.Brokers[i].DuplicateRecords = 2
+	}
+	if v := Verify(in); !v.OK() {
+		t.Errorf("batch replay flagged as ordering violation: %v", v.Violations)
+	}
+
+	// At max-in-flight > 1 reordering is legal.
+	in = cleanTrial()
+	in.MaxInFlight = 5
+	in.Consumed = [][]uint64{{1, 3, 2}}
+	if v := Verify(in); !v.OK() {
+		t.Errorf("reordering at max-in-flight 5 flagged: %v", v.Violations)
+	}
+}
+
+func TestVerifyForeignKeys(t *testing.T) {
+	in := cleanTrial()
+	in.Report.Foreign = 2
+	if v := Verify(in); v.OK() {
+		t.Error("foreign keys passed")
+	}
+}

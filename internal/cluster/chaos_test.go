@@ -1,0 +1,186 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"kafkarel/internal/broker"
+	"kafkarel/internal/des"
+	"kafkarel/internal/storage"
+	"kafkarel/internal/wire"
+)
+
+// logDump renders a log's full contents (offset, key, payload) for
+// byte-identical comparison.
+func logDump(l *storage.Log) []byte {
+	var buf bytes.Buffer
+	l.Scan(func(e storage.Entry) bool {
+		buf.WriteString(string(rune(e.Offset)))
+		buf.WriteString(string(rune(e.Record.Key)))
+		buf.Write(e.Record.Payload)
+		buf.WriteByte(0)
+		return true
+	})
+	return buf.Bytes()
+}
+
+// TestRecoverBrokerCatchUpDivergence is the satellite-3 coverage: a
+// follower whose log diverged from the leader — first longer, then
+// shorter — must truncate its divergent suffix and copy the leader's,
+// ending byte-identical to the leader log.
+func TestRecoverBrokerCatchUpDivergence(t *testing.T) {
+	sim := des.New()
+	c := newCluster(t, sim)
+	leader := c.Leader("t", 0)
+	followerID := int32((leader.ID() + 1) % 3)
+	follower := c.Broker(followerID)
+
+	// Seed both with a shared prefix.
+	for i := 0; i < 3; i++ {
+		c.HandleProduce(produceReq(uint32(i), wire.AcksLeader, uint64(i+1)), nil)
+	}
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("longer than leader", func(t *testing.T) {
+		if err := c.FailBroker(followerID); err != nil {
+			t.Fatal(err)
+		}
+		// The downed follower's log grows a divergent suffix the leader
+		// never saw (e.g. appends from a deposed leader epoch).
+		follower.Start()
+		follower.Log("t", 0).Append([]wire.Record{
+			{Key: 100, Payload: []byte("divergent")},
+			{Key: 101, Payload: []byte("divergent")},
+		})
+		follower.Stop()
+		if err := c.RecoverBroker(followerID); err != nil {
+			t.Fatal(err)
+		}
+		src, dst := leader.Log("t", 0), follower.Log("t", 0)
+		if dst.End() != src.End() {
+			t.Fatalf("follower end %d != leader end %d", dst.End(), src.End())
+		}
+		if !bytes.Equal(logDump(dst), logDump(src)) {
+			t.Error("follower log not byte-identical to leader after catch-up")
+		}
+	})
+
+	t.Run("shorter than leader", func(t *testing.T) {
+		if err := c.FailBroker(followerID); err != nil {
+			t.Fatal(err)
+		}
+		follower.Log("t", 0).TruncateTo(1)
+		// Leader keeps appending while the follower is down.
+		for i := 10; i < 14; i++ {
+			c.HandleProduce(produceReq(uint32(i), wire.AcksLeader, uint64(i)), nil)
+		}
+		if err := sim.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.RecoverBroker(followerID); err != nil {
+			t.Fatal(err)
+		}
+		src, dst := leader.Log("t", 0), follower.Log("t", 0)
+		if dst.End() != src.End() || dst.End() != 7 {
+			t.Fatalf("follower end %d, leader end %d, want both 7", dst.End(), src.End())
+		}
+		if !bytes.Equal(logDump(dst), logDump(src)) {
+			t.Error("follower log not byte-identical to leader after catch-up")
+		}
+	})
+}
+
+func TestCrashBrokerUncleanLosesAckedTail(t *testing.T) {
+	sim := des.New()
+	cfg := DefaultConfig()
+	cfg.Broker.FlushInterval = 100 * time.Millisecond
+	c, err := New(sim, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replication factor 1: the leader's unflushed tail has no other copy.
+	if err := c.CreateTopic("t", 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	leaderID := c.Leader("t", 0).ID()
+	var acked int
+	sim.Schedule(10*time.Millisecond, func() {
+		c.HandleProduce(produceReq(1, wire.AcksLeader, 1), func(r wire.ProduceResponse) {
+			if r.Err == wire.ErrNone {
+				acked++
+			}
+		})
+	})
+	sim.Schedule(20*time.Millisecond, func() {
+		if err := c.CrashBrokerUnclean(leaderID); err != nil {
+			t.Error(err)
+		}
+	})
+	sim.Schedule(30*time.Millisecond, func() {
+		if err := c.RecoverBroker(leaderID); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if acked != 1 {
+		t.Fatalf("acked = %d, want 1", acked)
+	}
+	if end := c.Broker(leaderID).Log("t", 0).End(); end != 0 {
+		t.Errorf("log end after unclean restart = %d, want 0 (acked record lost)", end)
+	}
+	if tr := c.Broker(leaderID).Stats().RecordsTruncated; tr != 1 {
+		t.Errorf("RecordsTruncated = %d, want 1", tr)
+	}
+}
+
+func TestReplicationGatedOnSourceUp(t *testing.T) {
+	sim := des.New()
+	c := newCluster(t, sim)
+	leaderID := c.Leader("t", 0).ID()
+	sim.Schedule(time.Millisecond, func() {
+		c.HandleProduce(produceReq(1, wire.AcksLeader, 1), nil)
+	})
+	// The leader dies right after appending + acking, inside the
+	// inter-broker replication delay window: followers never get the copy.
+	sim.Schedule(time.Millisecond+60*time.Microsecond, func() {
+		if err := c.FailBroker(leaderID); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for id := int32(0); id < 3; id++ {
+		if id == leaderID {
+			continue
+		}
+		if end := c.Broker(id).Log("t", 0).End(); end != 0 {
+			t.Errorf("follower %d received replica from dead leader (end=%d)", id, end)
+		}
+	}
+}
+
+func TestStatsAll(t *testing.T) {
+	sim := des.New()
+	c := newCluster(t, sim)
+	c.HandleProduce(produceReq(1, wire.AcksLeader, 1), nil)
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	all := c.StatsAll()
+	if len(all) != 3 {
+		t.Fatalf("StatsAll len = %d", len(all))
+	}
+	var total broker.Stats
+	for _, st := range all {
+		total.RecordsAppended += st.RecordsAppended
+	}
+	if total.RecordsAppended != 3 {
+		t.Errorf("cluster-wide appends = %d, want 3 (leader + 2 replicas)", total.RecordsAppended)
+	}
+}

@@ -196,15 +196,37 @@ func (c *Cluster) liveReplicas(pm *partitionMeta) []*broker.Broker {
 	return out
 }
 
-// FailBroker stops a node and re-elects leaders for every partition it
-// led, choosing the first live replica (Kafka's preferred-replica order).
-// Partitions with no live replica become leaderless until a recovery.
+// FailBroker stops a node cleanly and re-elects leaders for every
+// partition it led, choosing the first live replica (Kafka's
+// preferred-replica order). Partitions with no live replica become
+// leaderless until a recovery.
 func (c *Cluster) FailBroker(id int32) error {
 	b := c.Broker(id)
 	if b == nil {
 		return fmt.Errorf("cluster: no broker %d", id)
 	}
 	b.Stop()
+	c.demote(id)
+	return nil
+}
+
+// CrashBrokerUnclean kills a node without the shutdown fsync — the
+// unflushed tail of each of its partition logs is destroyed (see
+// broker.CrashUnclean) — and re-elects leaders as FailBroker does. With
+// acks=1 this is the real Kafka data-loss scenario: records the leader
+// acknowledged but never flushed nor replicated are gone for good.
+func (c *Cluster) CrashBrokerUnclean(id int32) error {
+	b := c.Broker(id)
+	if b == nil {
+		return fmt.Errorf("cluster: no broker %d", id)
+	}
+	b.CrashUnclean()
+	c.demote(id)
+	return nil
+}
+
+// demote moves leadership off a dead node, partition by partition.
+func (c *Cluster) demote(id int32) {
 	for _, tm := range c.topics {
 		for _, pm := range tm.partitions {
 			if pm.leader != id {
@@ -219,7 +241,6 @@ func (c *Cluster) FailBroker(id int32) error {
 			}
 		}
 	}
-	return nil
 }
 
 // RecoverBroker restarts a node, catches its logs up from current
@@ -267,9 +288,25 @@ func (c *Cluster) RecoverBroker(id int32) error {
 					dst.Append([]wire.Record{e.Record})
 				}
 			}
+			// The log now mirrors the leader's, so the idempotent dedupe
+			// state must too — otherwise a retry routed here after a later
+			// leadership change could re-append a batch the cluster already
+			// acknowledged. Kafka gets this for free by rebuilding producer
+			// state from the replicated log.
+			b.RestoreProducerState(topic, int32(p),
+				leader.ProducerStateSnapshot(topic, int32(p)))
 		}
 	}
 	return nil
+}
+
+// StatsAll returns every broker's activity snapshot, indexed by node ID.
+func (c *Cluster) StatsAll() []broker.Stats {
+	out := make([]broker.Stats, len(c.brokers))
+	for i, b := range c.brokers {
+		out[i] = b.Stats()
+	}
+	return out
 }
 
 // Metadata answers a metadata request for one topic.
@@ -358,6 +395,13 @@ func (c *Cluster) HandleProduce(req wire.ProduceRequest, done func(wire.ProduceR
 				c.cReplications.Inc()
 				c.trace.Emit(obs.LayerCluster, obs.EvReplicate, req.Batch.BaseSequence, int64(req.Partition), int64(f.ID()), req.Topic)
 				c.sim.After(c.cfg.InterBrokerDelay, func() {
+					if !leader.Up() {
+						// Replication is a fetch from the leader; a leader
+						// that died in the window never serves it. The
+						// request stays un-acked and the producer's request
+						// timer handles it.
+						return
+					}
 					f.HandleProduce(req, idempotent, func(wire.ProduceResponse) {
 						c.sim.After(c.cfg.InterBrokerDelay, func() {
 							pending--
@@ -375,7 +419,7 @@ func (c *Cluster) HandleProduce(req wire.ProduceRequest, done func(wire.ProduceR
 	// acks=0 / acks=1: leader append, async replication to followers.
 	leader.HandleProduce(req, idempotent, func(resp wire.ProduceResponse) {
 		if resp.Err == wire.ErrNone {
-			c.replicate(pm, req, idempotent)
+			c.replicate(pm, leader, req, idempotent)
 		}
 		if req.Acks != wire.AcksNone && done != nil {
 			done(resp)
@@ -383,10 +427,13 @@ func (c *Cluster) HandleProduce(req wire.ProduceRequest, done func(wire.ProduceR
 	})
 }
 
-// replicate copies a batch to live followers asynchronously.
-func (c *Cluster) replicate(pm *partitionMeta, req wire.ProduceRequest, idempotent bool) {
+// replicate copies a batch to live followers asynchronously. Delivery is
+// gated on the source broker still being up when the inter-broker delay
+// elapses: replication is pull-based in Kafka, and a leader that crashed
+// in the window takes its un-replicated tail with it.
+func (c *Cluster) replicate(pm *partitionMeta, src *broker.Broker, req wire.ProduceRequest, idempotent bool) {
 	for _, id := range pm.replicas {
-		if id == pm.leader {
+		if id == src.ID() {
 			continue
 		}
 		f := c.brokers[id]
@@ -396,6 +443,9 @@ func (c *Cluster) replicate(pm *partitionMeta, req wire.ProduceRequest, idempote
 		c.cReplications.Inc()
 		c.trace.Emit(obs.LayerCluster, obs.EvReplicate, req.Batch.BaseSequence, int64(req.Partition), int64(f.ID()), req.Topic)
 		c.sim.After(c.cfg.InterBrokerDelay, func() {
+			if !src.Up() {
+				return
+			}
 			f.HandleProduce(req, idempotent, nil)
 		})
 	}

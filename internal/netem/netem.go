@@ -66,6 +66,12 @@ type Link struct {
 	last time.Duration // latest delivery time handed out (FIFO enforcement)
 	q    int           // packets queued for serialisation
 
+	// Fault overlays (see SetFaultLoss / SetFaultDelay): transient
+	// chaos-window conditions stacked on top of the configured models so
+	// that clearing a fault restores the base configuration exactly.
+	faultLoss  stats.LossModel
+	faultDelay stats.Sampler
+
 	cOffered      *obs.Counter
 	cDelivered    *obs.Counter
 	cLostRandom   *obs.Counter
@@ -111,12 +117,28 @@ func (l *Link) SetDelay(d stats.Sampler) { l.cfg.Delay = d }
 // SetLoss swaps the loss model at runtime.
 func (l *Link) SetLoss(m stats.LossModel) { l.cfg.Loss = m }
 
-// LossRate reports the configured long-run loss probability.
+// SetFaultLoss overlays a transient loss model on top of the configured
+// one: a packet is dropped when either model says so. nil clears the
+// overlay. Chaos fault windows (partitions, loss bursts) use this so the
+// base network condition survives the window untouched.
+func (l *Link) SetFaultLoss(m stats.LossModel) { l.faultLoss = m }
+
+// SetFaultDelay overlays extra propagation delay added to the configured
+// delay model's samples (a delay spike). nil clears the overlay.
+func (l *Link) SetFaultDelay(d stats.Sampler) { l.faultDelay = d }
+
+// LossRate reports the effective long-run loss probability: the
+// configured model combined with any fault overlay (independent drops).
 func (l *Link) LossRate() float64 {
-	if l.cfg.Loss == nil {
+	switch {
+	case l.cfg.Loss == nil && l.faultLoss == nil:
 		return 0
+	case l.faultLoss == nil:
+		return l.cfg.Loss.Rate()
+	case l.cfg.Loss == nil:
+		return l.faultLoss.Rate()
 	}
-	return l.cfg.Loss.Rate()
+	return 1 - (1-l.cfg.Loss.Rate())*(1-l.faultLoss.Rate())
 }
 
 // Probe returns the link's instantaneous state for a timeline sampler.
@@ -135,18 +157,35 @@ func (l *Link) Probe() obs.NetProbe {
 		LostRandom:   l.cnt.LostRandom,
 		LostOverflow: l.cnt.LostOverflow,
 	}
-	if l.cfg.Delay == nil {
-		pr.DelayMs = 0
-	} else if c, ok := l.cfg.Delay.(stats.Constant); ok {
-		pr.DelayMs = c.Value
+	// Delay is reported when every active sampler is deterministic; a
+	// fault-overlay spike adds onto the configured delay.
+	pr.DelayMs = 0
+	known := true
+	add := func(d stats.Sampler) {
+		if d == nil {
+			return
+		}
+		if c, ok := d.(stats.Constant); ok {
+			pr.DelayMs += c.Value
+		} else {
+			known = false
+		}
 	}
-	if l.cfg.Loss != nil {
-		pr.CfgLoss = l.cfg.Loss.Rate()
-		if ge, ok := l.cfg.Loss.(*stats.GilbertElliot); ok {
+	add(l.cfg.Delay)
+	add(l.faultDelay)
+	if !known {
+		pr.DelayMs = -1
+	}
+	pr.CfgLoss = l.LossRate()
+	// Chain state: a fault overlay's burst chain takes precedence over a
+	// configured one (at most one is expected to be a GE model at a time).
+	for _, m := range []stats.LossModel{l.faultLoss, l.cfg.Loss} {
+		if ge, ok := m.(*stats.GilbertElliot); ok {
 			pr.GEState = 0
 			if ge.Bad() {
 				pr.GEState = 1
 			}
+			break
 		}
 	}
 	return pr
@@ -167,7 +206,11 @@ func (l *Link) Send(size int, deliver func()) {
 	l.cnt.BytesOffered += uint64(size)
 	l.cOffered.Inc()
 
-	if l.cfg.Loss != nil && l.cfg.Loss.Drop() {
+	// Fault overlay first: a partition window drops everything without
+	// advancing the base model's chain. Overlay drops land in LostRandom
+	// so the timeline's loss accounting stays on the fixed schema.
+	if (l.faultLoss != nil && l.faultLoss.Drop()) ||
+		(l.cfg.Loss != nil && l.cfg.Loss.Drop()) {
 		l.cnt.LostRandom++
 		l.cLostRandom.Inc()
 		l.trace.Emit(obs.LayerNetem, obs.EvPktLoss, 0, int64(size), 0, "")
@@ -211,6 +254,11 @@ func (l *Link) deliverOne(size int, deliver func()) {
 		ms := l.cfg.Delay.Sample()
 		if ms > 0 {
 			prop = time.Duration(ms * float64(time.Millisecond))
+		}
+	}
+	if l.faultDelay != nil {
+		if ms := l.faultDelay.Sample(); ms > 0 {
+			prop += time.Duration(ms * float64(time.Millisecond))
 		}
 	}
 	at := txDone + prop
@@ -260,6 +308,20 @@ func (p *Path) SetDelay(d stats.Sampler) {
 func (p *Path) SetLoss(m stats.LossModel) {
 	p.Fwd.SetLoss(m)
 	p.Rev.SetLoss(m)
+}
+
+// SetFaultLoss overlays a loss model on both directions. As with
+// SetLoss, the directions share the model instance so a burst affects
+// requests and responses together. nil clears the overlay.
+func (p *Path) SetFaultLoss(m stats.LossModel) {
+	p.Fwd.SetFaultLoss(m)
+	p.Rev.SetFaultLoss(m)
+}
+
+// SetFaultDelay overlays extra delay on both directions. nil clears it.
+func (p *Path) SetFaultDelay(d stats.Sampler) {
+	p.Fwd.SetFaultDelay(d)
+	p.Rev.SetFaultDelay(d)
 }
 
 // Probe returns the duplex path's state for a timeline sampler: the

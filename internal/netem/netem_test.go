@@ -545,3 +545,71 @@ func TestDuplicationValidation(t *testing.T) {
 		t.Error("nil duplicate rng accepted")
 	}
 }
+
+func TestFaultLossOverlay(t *testing.T) {
+	sim := des.New()
+	l, err := NewLink(sim, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := 0
+	l.SetFaultLoss(stats.AlwaysLoss{})
+	if l.LossRate() != 1 {
+		t.Errorf("LossRate under partition = %v, want 1", l.LossRate())
+	}
+	l.Send(10, func() { delivered++ })
+	l.SetFaultLoss(nil)
+	l.Send(10, func() { delivered++ })
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 1 {
+		t.Errorf("delivered = %d, want 1 (partition drops, clear restores)", delivered)
+	}
+	c := l.Counters()
+	if c.LostRandom != 1 {
+		t.Errorf("LostRandom = %d, want 1 (overlay drops land in LostRandom)", c.LostRandom)
+	}
+}
+
+func TestFaultDelayOverlayAddsToBase(t *testing.T) {
+	sim := des.New()
+	l, err := NewLink(sim, Config{Delay: stats.Constant{Value: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.SetFaultDelay(stats.Constant{Value: 25})
+	if pr := l.Probe(); pr.DelayMs != 35 {
+		t.Errorf("Probe DelayMs = %v, want 35", pr.DelayMs)
+	}
+	var at time.Duration
+	l.Send(10, func() { at = sim.Now() })
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 35*time.Millisecond {
+		t.Errorf("delivered at %v, want 35ms", at)
+	}
+	l.SetFaultDelay(nil)
+	if pr := l.Probe(); pr.DelayMs != 10 {
+		t.Errorf("cleared Probe DelayMs = %v, want 10", pr.DelayMs)
+	}
+}
+
+func TestPathFaultOverlayBothDirections(t *testing.T) {
+	sim := des.New()
+	p, err := NewPath(sim, Config{}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetFaultLoss(stats.AlwaysLoss{})
+	got := 0
+	p.Fwd.Send(1, func() { got++ })
+	p.Rev.Send(1, func() { got++ })
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("delivered %d packets through a both-direction partition", got)
+	}
+}

@@ -70,8 +70,17 @@ const (
 	MBrokerAppends    = "broker.appends"
 	MBrokerDuplicates = "broker.duplicates_dropped"
 	MBrokerDupAppends = "broker.duplicate_appends"
+	MBrokerTruncated  = "broker.records_truncated"
+	MBrokerUnclean    = "broker.unclean_restarts"
 	MReplications     = "cluster.replications"
 )
+
+// ProduceErrorMetric names the per-error-code produce failure counter
+// for a wire error code's string form (e.g. "NOT_LEADER" →
+// "producer.produce_error.NOT_LEADER").
+func ProduceErrorMetric(code string) string {
+	return "producer.produce_error." + code
+}
 
 // QueueDepthBounds are the fixed bucket upper bounds of the producer
 // accumulator-depth histogram (records). The last bucket is the

@@ -185,6 +185,9 @@ const (
 	AnnOnlineDecision = "online_decision"
 	// AnnBrokerEvent marks an injected broker failure or recovery.
 	AnnBrokerEvent = "broker_event"
+	// AnnFault marks a chaos fault-plan action (partition window, delay
+	// spike, loss burst, connection reset, broker slowdown, ...).
+	AnnFault = "fault"
 )
 
 // TimelineAnnotation is a discrete moment worth a marker on the

@@ -74,6 +74,7 @@ const (
 	EvAppend        = "append"
 	EvDuplicateDrop = "duplicate_drop"
 	EvReplicate     = "replicate"
+	EvUncleanCrash  = "unclean_crash"
 
 	EvPktLoss     = "pkt_loss"
 	EvPktOverflow = "pkt_overflow"

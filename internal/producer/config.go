@@ -3,6 +3,8 @@ package producer
 import (
 	"fmt"
 	"time"
+
+	"kafkarel/internal/wire"
 )
 
 // Semantics selects the delivery guarantee, the paper's feature (e).
@@ -57,8 +59,17 @@ type Config struct {
 	MessageTimeout time.Duration
 	// MaxRetries τ_r bounds retry attempts under at-least-once.
 	MaxRetries int
-	// RetryBackoff is the pause before a retry attempt.
+	// RetryBackoff is the pause before a retry attempt. With
+	// RetryBackoffMax zero (the default) every retry waits exactly this
+	// long, the historical fixed-backoff behaviour.
 	RetryBackoff time.Duration
+	// RetryBackoffMax, when positive, enables exponential backoff with
+	// decorrelated jitter: each retry of a batch sleeps a uniformly-drawn
+	// duration between RetryBackoff and three times the batch's previous
+	// sleep, capped here (Kafka's retry.backoff.max.ms with jitter). The
+	// draws come from the RNG installed via WithRetryRand, so runs remain
+	// deterministic and reproducible from their seed.
+	RetryBackoffMax time.Duration
 	// RequestTimeout is the per-attempt acknowledgement wait. A response
 	// arriving after this deadline triggers a retry even though the
 	// original may still be delivered — the paper's Case 5 duplicate
@@ -117,6 +128,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("producer: message timeout must be positive")
 	case c.MaxRetries < 0:
 		return fmt.Errorf("producer: negative max retries")
+	case c.RetryBackoffMax > 0 && c.RetryBackoffMax < c.RetryBackoff:
+		return fmt.Errorf("producer: retry backoff max %v below base %v", c.RetryBackoffMax, c.RetryBackoff)
 	case c.RequestTimeout <= 0:
 		return fmt.Errorf("producer: request timeout must be positive")
 	case c.MaxInFlight <= 0:
@@ -127,6 +140,12 @@ func (c Config) Validate() error {
 		return fmt.Errorf("producer: negative partition count")
 	case c.Semantics == ExactlyOnce && c.ProducerID == 0:
 		return fmt.Errorf("producer: exactly-once requires a nonzero producer ID")
+	case c.Semantics == ExactlyOnce && c.MaxInFlight > wire.SeqCacheSize:
+		// Brokers remember the last wire.SeqCacheSize batches per
+		// producer; beyond that a late retry can no longer be deduped
+		// (Kafka caps idempotent pipelining at 5 for the same reason).
+		return fmt.Errorf("producer: exactly-once max in flight %d exceeds the broker sequence cache (%d)",
+			c.MaxInFlight, wire.SeqCacheSize)
 	default:
 		return nil
 	}

@@ -8,6 +8,7 @@ package producer
 
 import (
 	"fmt"
+	"math/rand/v2"
 	"time"
 
 	"kafkarel/internal/des"
@@ -31,6 +32,9 @@ type batch struct {
 	records  []*record
 	seq      uint64
 	attempts int
+	// lastBackoff is the batch's previous retry sleep, the anchor of the
+	// decorrelated-jitter walk when RetryBackoffMax is set.
+	lastBackoff time.Duration
 }
 
 // minDeadline returns the earliest delivery deadline in the batch.
@@ -77,6 +81,8 @@ type Producer struct {
 	sendRetryArmed bool
 	unsent         []*batch // serialised batches blocked on the socket
 	retryPending   int      // records waiting out a retry backoff
+	retryBatches   int      // batches waiting out a retry backoff
+	retryRand      *rand.Rand
 	reconnecting   bool
 	intakeDone     bool
 	intakePaused   bool
@@ -88,6 +94,7 @@ type Producer struct {
 	cBatchesSent *obs.Counter
 	cBatchRetry  *obs.Counter
 	cReqTimeouts *obs.Counter
+	cRespErrors  [wire.NumErrorCodes]*obs.Counter
 	hQueueDepth  *obs.Histogram
 	trace        *obs.Tracer
 }
@@ -122,9 +129,19 @@ func WithObs(o *obs.Obs) Option {
 		p.cBatchesSent = o.Counter(obs.MBatchesSent)
 		p.cBatchRetry = o.Counter(obs.MBatchRetries)
 		p.cReqTimeouts = o.Counter(obs.MRequestTimeouts)
+		for code := 1; code < wire.NumErrorCodes; code++ {
+			p.cRespErrors[code] = o.Counter(obs.ProduceErrorMetric(wire.ErrorCode(code).String()))
+		}
 		p.hQueueDepth = o.Histogram(obs.MQueueDepth, obs.QueueDepthBounds)
 		p.trace = o.Tracer()
 	}
+}
+
+// WithRetryRand installs the RNG that draws retry-backoff jitter when
+// Config.RetryBackoffMax is set. Callers derive it from the run's seed
+// so that parallel and sequential executions stay byte-identical.
+func WithRetryRand(rng *rand.Rand) Option {
+	return func(p *Producer) { p.retryRand = rng }
 }
 
 // New wires a producer to a source and a connection. The producer owns
@@ -278,7 +295,11 @@ func (p *Producer) kickSender() {
 	if p.senderBusy || p.finished || len(p.unsent) > 0 || p.reconnecting {
 		return
 	}
-	if p.cfg.Semantics != AtMostOnce && len(p.inFlight) >= p.cfg.MaxInFlight {
+	// Batches waiting out a retry backoff hold their in-flight slot:
+	// Kafka mutes a partition while one of its batches awaits a resend,
+	// which is what makes max.in.flight=1 an ordering guarantee even
+	// across retries.
+	if p.cfg.Semantics != AtMostOnce && len(p.inFlight)+p.retryBatches >= p.cfg.MaxInFlight {
 		return
 	}
 	records := p.collectRecords()
@@ -546,6 +567,9 @@ func (p *Producer) onResponse(resp wire.ProduceResponse) {
 		p.kickSender()
 		return
 	}
+	if int(resp.Err) < len(p.cRespErrors) {
+		p.cRespErrors[resp.Err].Inc()
+	}
 	if resp.Err.Retriable() {
 		p.retryOrFail(rq.batch)
 		return
@@ -569,16 +593,45 @@ func (p *Producer) onRequestTimeout(corr uint32) {
 	p.retryOrFail(rq.batch)
 }
 
+// nextBackoff returns the sleep before the batch's next retry. The
+// default is the fixed RetryBackoff; with RetryBackoffMax set and a
+// jitter RNG installed it performs a decorrelated-jitter walk —
+// uniform in [base, 3·previous], capped — so synchronized retry storms
+// spread out while short outages still retry quickly.
+func (p *Producer) nextBackoff(b *batch) time.Duration {
+	base := p.cfg.RetryBackoff
+	if p.cfg.RetryBackoffMax <= 0 || p.retryRand == nil {
+		return base
+	}
+	prev := b.lastBackoff
+	if prev < base {
+		prev = base
+	}
+	hi := 3 * prev
+	if hi > p.cfg.RetryBackoffMax {
+		hi = p.cfg.RetryBackoffMax
+	}
+	d := base
+	if hi > base {
+		d = base + time.Duration(p.retryRand.Int64N(int64(hi-base)+1))
+	}
+	b.lastBackoff = d
+	return d
+}
+
 // retryOrFail resends the batch after the backoff if its retry budget
 // and delivery deadline allow, and resolves it lost (Case 3) otherwise.
 func (p *Producer) retryOrFail(b *batch) {
 	now := p.sim.Now()
 	retriesUsed := b.attempts - 1
-	if retriesUsed < p.cfg.effectiveRetries() && now+p.cfg.RetryBackoff < b.minDeadline() {
-		p.trace.Emit(obs.LayerProducer, obs.EvBatchRetry, b.seq, int64(p.cfg.RetryBackoff), int64(b.attempts+1), "")
+	backoff := p.nextBackoff(b)
+	if retriesUsed < p.cfg.effectiveRetries() && now+backoff < b.minDeadline() {
+		p.trace.Emit(obs.LayerProducer, obs.EvBatchRetry, b.seq, int64(backoff), int64(b.attempts+1), "")
 		p.retryPending += len(b.records)
-		p.sim.After(p.cfg.RetryBackoff, func() {
+		p.retryBatches++
+		p.sim.After(backoff, func() {
 			p.retryPending -= len(b.records)
+			p.retryBatches--
 			p.trySend(b)
 		})
 		return

@@ -16,6 +16,7 @@ import (
 
 	"kafkarel/internal/obs"
 	"kafkarel/internal/testbed"
+	"kafkarel/internal/wire"
 )
 
 // Options tunes report rendering.
@@ -308,6 +309,16 @@ func (r *Report) Render(w io.Writer) error {
 	fmt.Fprintf(w, "\ntotals: enqueued %d, acked %d, lost %d, dup-appends %d, retransmits %d, pkts %d/%d lost\n\n",
 		r.Totals.Enqueued, r.Totals.Acked, r.Totals.Lost, r.Totals.DupAppends,
 		r.Totals.Retransmits, r.Totals.PktsLost, r.Totals.PktsOffered)
+
+	var errParts []string
+	for c, n := range res.Metrics.ProduceErrors {
+		if n > 0 {
+			errParts = append(errParts, fmt.Sprintf("%s=%d", wire.ErrorCode(c), n))
+		}
+	}
+	if len(errParts) > 0 {
+		fmt.Fprintf(w, "produce errors: %s\n\n", strings.Join(errParts, " "))
+	}
 
 	if len(r.Rows) > 1 {
 		fmt.Fprintf(w, "## Timeline (%v per sample, ^ = config switch)\n\n", res.Timeline.Interval())

@@ -22,6 +22,16 @@ func (NoLoss) Drop() bool { return false }
 // Rate implements LossModel.
 func (NoLoss) Rate() float64 { return 0 }
 
+// AlwaysLoss drops every packet — a severed link, used by network
+// partition fault windows.
+type AlwaysLoss struct{}
+
+// Drop implements LossModel.
+func (AlwaysLoss) Drop() bool { return true }
+
+// Rate implements LossModel.
+func (AlwaysLoss) Rate() float64 { return 1 }
+
 // Bernoulli drops each packet independently with probability P. This is
 // NetEm's plain "loss X%" mode used in the Figs. 4-8 experiments.
 type Bernoulli struct {

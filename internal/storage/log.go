@@ -36,6 +36,7 @@ type segment struct {
 type Log struct {
 	segments   []*segment
 	end        int64 // log end offset: next offset to assign
+	flushed    int64 // offsets below this survived the last fsync
 	maxSegment int
 	bytes      uint64
 }
@@ -78,6 +79,15 @@ func (l *Log) appendOne(r wire.Record) {
 
 // End returns the log end offset (the offset the next record will get).
 func (l *Log) End() int64 { return l.end }
+
+// Flush marks everything currently stored as durable, modelling an fsync
+// of the active segment. An unclean restart truncates back to the
+// flushed offset; a clean shutdown flushes first.
+func (l *Log) Flush() { l.flushed = l.end }
+
+// Flushed returns the durable high-water offset: records at or beyond it
+// are lost if the broker crashes before the next Flush.
+func (l *Log) Flushed() int64 { return l.flushed }
 
 // Len returns the number of stored records.
 func (l *Log) Len() int64 { return l.end - l.start() }
@@ -141,6 +151,9 @@ func (l *Log) findSegments(offset int64) []*segment {
 func (l *Log) TruncateTo(offset int64) {
 	if offset >= l.end {
 		return
+	}
+	if l.flushed > offset {
+		l.flushed = offset
 	}
 	if offset <= l.start() {
 		l.segments = nil

@@ -265,3 +265,26 @@ func BenchmarkReadMiddle(b *testing.B) {
 		}
 	}
 }
+
+func TestFlushAndTruncateClamp(t *testing.T) {
+	l := NewLog(4)
+	l.Append(recs(1, 2, 3, 4, 5))
+	if l.Flushed() != 0 {
+		t.Fatalf("fresh log flushed = %d, want 0", l.Flushed())
+	}
+	l.Flush()
+	if l.Flushed() != 5 {
+		t.Fatalf("flushed = %d, want 5", l.Flushed())
+	}
+	l.Append(recs(6))
+	if l.Flushed() != 5 {
+		t.Fatalf("append moved flushed to %d", l.Flushed())
+	}
+	l.TruncateTo(3)
+	if l.Flushed() != 3 {
+		t.Fatalf("truncate left flushed at %d, want clamp to 3", l.Flushed())
+	}
+	if l.End() != 3 {
+		t.Fatalf("end = %d, want 3", l.End())
+	}
+}

@@ -3,6 +3,9 @@ package testbed
 import (
 	"testing"
 	"time"
+
+	"kafkarel/internal/features"
+	"kafkarel/internal/wire"
 )
 
 // TestBrokerFailureEvents exercises the broker-failure extension: the
@@ -64,6 +67,41 @@ func TestBrokerFailureAllDownCausesLoss(t *testing.T) {
 	// After recovery the tail of the stream lands, so loss is partial.
 	if res.Pl > 0.9 {
 		t.Errorf("Pl = %v; recovery never helped", res.Pl)
+	}
+}
+
+// TestMinISRSurfacesProduceErrors crashes a follower under acks=all
+// with MinISR = 3: the cluster must fail produce requests fast with
+// ErrNotEnoughReplicas, and the per-error-code counters must surface
+// the rejections in the metrics snapshot.
+func TestMinISRSurfacesProduceErrors(t *testing.T) {
+	v := cleanVector()
+	v.Semantics = features.SemanticsExactlyOnce
+	v.MessageTimeout = 2 * time.Second
+	e := Experiment{
+		Features:       v,
+		Messages:       400,
+		Seed:           5,
+		MinISR:         3,
+		MaxRetries:     20,
+		RequestTimeout: 200 * time.Millisecond,
+		MaxSimTime:     60 * time.Second,
+		BrokerFailures: []BrokerEvent{
+			{At: time.Second, Broker: 2},
+			{At: 3 * time.Second, Broker: 2, Recover: true},
+		},
+	}
+	res, err := Run(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Metrics.ProduceErrors[wire.ErrNotEnoughReplicas]; got == 0 {
+		t.Error("no ErrNotEnoughReplicas counted despite a follower outage under MinISR 3")
+	}
+	for c, n := range res.Metrics.ProduceErrors {
+		if n > 0 && wire.ErrorCode(c) != wire.ErrNotEnoughReplicas {
+			t.Errorf("unexpected produce errors: %d x %v", n, wire.ErrorCode(c))
+		}
 	}
 }
 

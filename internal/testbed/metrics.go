@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"kafkarel/internal/obs"
+	"kafkarel/internal/wire"
 )
 
 // MetricsSnapshot is the per-run observability summary returned next to
@@ -44,11 +45,17 @@ type MetricsSnapshot struct {
 	// reconciliation can attribute.
 	Cases [6]uint64
 
+	// ProduceErrors counts failed produce responses by wire error code
+	// (index = code; index 0, ErrNone, stays zero).
+	ProduceErrors [wire.NumErrorCodes]uint64
+
 	// Broker / cluster.
 	BrokerProduceRequests uint64
 	BrokerAppends         uint64
 	BrokerDuplicates      uint64
 	BrokerDupAppends      uint64
+	BrokerTruncated       uint64
+	BrokerUnclean         uint64
 	Replications          uint64
 }
 
@@ -72,7 +79,12 @@ func snapshotMetrics(s obs.Snapshot) MetricsSnapshot {
 		BrokerAppends:         s.Counter(obs.MBrokerAppends),
 		BrokerDuplicates:      s.Counter(obs.MBrokerDuplicates),
 		BrokerDupAppends:      s.Counter(obs.MBrokerDupAppends),
+		BrokerTruncated:       s.Counter(obs.MBrokerTruncated),
+		BrokerUnclean:         s.Counter(obs.MBrokerUnclean),
 		Replications:          s.Counter(obs.MReplications),
+	}
+	for c := 1; c < wire.NumErrorCodes; c++ {
+		m.ProduceErrors[c] = s.Counter(obs.ProduceErrorMetric(wire.ErrorCode(c).String()))
 	}
 	if h, ok := s.Histogram(obs.MQueueDepth); ok {
 		for i := 0; i < len(m.QueueDepth) && i < len(h.Counts); i++ {
@@ -107,10 +119,15 @@ func (m *MetricsSnapshot) Merge(o MetricsSnapshot) {
 	for i := range m.Cases {
 		m.Cases[i] += o.Cases[i]
 	}
+	for i := range m.ProduceErrors {
+		m.ProduceErrors[i] += o.ProduceErrors[i]
+	}
 	m.BrokerProduceRequests += o.BrokerProduceRequests
 	m.BrokerAppends += o.BrokerAppends
 	m.BrokerDuplicates += o.BrokerDuplicates
 	m.BrokerDupAppends += o.BrokerDupAppends
+	m.BrokerTruncated += o.BrokerTruncated
+	m.BrokerUnclean += o.BrokerUnclean
 	m.Replications += o.Replications
 }
 
@@ -133,10 +150,13 @@ func (m MetricsSnapshot) Encode() []byte {
 	fmt.Fprintf(&b, "producer.request_timeouts %d\n", m.RequestTimeouts)
 	fmt.Fprintf(&b, "producer.queue_depth %v\n", m.QueueDepth)
 	fmt.Fprintf(&b, "cases %v\n", m.Cases)
+	fmt.Fprintf(&b, "producer.produce_errors %v\n", m.ProduceErrors)
 	fmt.Fprintf(&b, "broker.produce_requests %d\n", m.BrokerProduceRequests)
 	fmt.Fprintf(&b, "broker.appends %d\n", m.BrokerAppends)
 	fmt.Fprintf(&b, "broker.duplicates_dropped %d\n", m.BrokerDuplicates)
 	fmt.Fprintf(&b, "broker.duplicate_appends %d\n", m.BrokerDupAppends)
+	fmt.Fprintf(&b, "broker.records_truncated %d\n", m.BrokerTruncated)
+	fmt.Fprintf(&b, "broker.unclean_restarts %d\n", m.BrokerUnclean)
 	fmt.Fprintf(&b, "cluster.replications %d\n", m.Replications)
 	return []byte(b.String())
 }

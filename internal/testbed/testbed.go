@@ -11,6 +11,8 @@ import (
 	"math/rand/v2"
 	"time"
 
+	"kafkarel/internal/broker"
+	"kafkarel/internal/chaos"
 	"kafkarel/internal/cluster"
 	"kafkarel/internal/consumer"
 	"kafkarel/internal/des"
@@ -21,6 +23,7 @@ import (
 	"kafkarel/internal/producer"
 	"kafkarel/internal/stats"
 	"kafkarel/internal/transport"
+	"kafkarel/internal/wire"
 	"kafkarel/internal/workload"
 )
 
@@ -48,7 +51,30 @@ type Experiment struct {
 	MaxSimTime time.Duration
 	// BrokerFailures schedules broker crashes and recoveries during the
 	// run (extension beyond the paper: its future-work failure scenario).
+	// It is a legacy shim over FaultPlan: each event becomes a
+	// chaos.BrokerCrash / chaos.BrokerRecover fault.
 	BrokerFailures []BrokerEvent
+	// FaultPlan schedules chaos faults across every layer — broker
+	// crashes, unclean restarts, network partitions, burst loss, delay
+	// spikes, connection resets, broker slowdowns (see internal/chaos).
+	FaultPlan chaos.Plan
+	// ReplicationFactor overrides the topic's replication factor
+	// (default 3, the paper's three-broker testbed).
+	ReplicationFactor int
+	// MinISR is the minimum in-sync replica count acks=all requests
+	// require (default 1): with MinISR > 1, a broker outage makes
+	// produce requests fail fast with ErrNotEnoughReplicas instead of
+	// acking on the survivors.
+	MinISR int
+	// BrokerFlushInterval sets the brokers' fsync cadence. Zero (the
+	// default) keeps every append durable; a positive interval opens the
+	// real acks=1 data-loss window under unclean restarts.
+	BrokerFlushInterval time.Duration
+	// CaptureEvidence retains the per-record outcome log, the
+	// per-partition consumed keys, and per-broker counters on the Result
+	// — the chaos invariant checker's inputs. Off by default (the outcome
+	// log is memory-heavy for large runs).
+	CaptureEvidence bool
 	// Schedule applies configuration changes at virtual times — the
 	// paper's dynamic-configuration mechanism (Sec. V). Each change maps
 	// the vector's configuration features (semantics, B, δ, T_o) onto the
@@ -77,7 +103,12 @@ type Experiment struct {
 	MaxRetries     int
 	RequestTimeout time.Duration
 	RetryBackoff   time.Duration
-	LingerTime     time.Duration
+	// RetryBackoffMax, when positive, switches retries from fixed backoff
+	// to exponential backoff with decorrelated jitter capped here; the
+	// jitter draws from a PCG stream derived from Seed, so runs stay
+	// deterministic.
+	RetryBackoffMax time.Duration
+	LingerTime      time.Duration
 }
 
 // ConfigChange is one scheduled reconfiguration.
@@ -137,6 +168,13 @@ type Result struct {
 	Duration time.Duration
 	// Completed reports whether the source drained before MaxSimTime.
 	Completed bool
+	// Outcomes is the per-record outcome log (Experiment.CaptureEvidence).
+	Outcomes []producer.Outcome
+	// ConsumedKeys holds, per partition, the consumed record keys in
+	// offset order (Experiment.CaptureEvidence).
+	ConsumedKeys [][]uint64
+	// BrokerStats is every broker's counter snapshot, indexed by node ID.
+	BrokerStats []broker.Stats
 }
 
 // Run executes one experiment.
@@ -236,12 +274,15 @@ func buildRig(sim *des.Simulator, e Experiment, cal Calibration) (*rig, error) {
 	clstCfg := cluster.DefaultConfig()
 	clstCfg.Obs = o
 	clstCfg.Broker.Obs = o
+	clstCfg.Broker.FlushInterval = e.BrokerFlushInterval
+	clstCfg.MinISR = e.MinISR
 	clst, err := cluster.New(sim, clstCfg)
 	if err != nil {
 		return nil, fmt.Errorf("testbed: %w", err)
 	}
 	const topic = "stream"
-	if err := clst.CreateTopic(topic, exprun.DefInt(e.Partitions, 1), 3); err != nil {
+	rf := exprun.DefInt(e.ReplicationFactor, 3)
+	if err := clst.CreateTopic(topic, exprun.DefInt(e.Partitions, 1), rf); err != nil {
 		return nil, fmt.Errorf("testbed: %w", err)
 	}
 	srv, err := cluster.NewServer(clst, conn.Server)
@@ -260,32 +301,42 @@ func buildRig(sim *des.Simulator, e Experiment, cal Calibration) (*rig, error) {
 	}
 	costs := newCostModel(cal, rand.New(rand.NewPCG(e.Seed, 0x02)))
 	r := &rig{path: path, conn: conn, clst: clst, reg: reg, doneAt: -1}
-	for i, ev := range e.BrokerFailures {
-		ev := ev
-		if b := clst.Broker(ev.Broker); b == nil {
-			return nil, fmt.Errorf("testbed: broker event %d: no broker %d", i, ev.Broker)
+	plan := chaos.Plan{Faults: append([]chaos.Fault(nil), e.FaultPlan.Faults...)}
+	for _, ev := range e.BrokerFailures {
+		k := chaos.BrokerCrash
+		if ev.Recover {
+			k = chaos.BrokerRecover
 		}
-		sim.Schedule(ev.At, func() {
-			var err error
-			verb := "fail"
-			if ev.Recover {
-				verb = "recover"
-				err = clst.RecoverBroker(ev.Broker)
-			} else {
-				err = clst.FailBroker(ev.Broker)
-			}
-			if err != nil && r.cfgErr == nil {
-				r.cfgErr = err
-			}
-			if err == nil {
-				e.Timeline.Annotate(obs.AnnBrokerEvent, fmt.Sprintf("%s broker %d", verb, ev.Broker))
-			}
-		})
+		plan.Faults = append(plan.Faults, chaos.Fault{Kind: k, At: ev.At, Broker: ev.Broker})
 	}
-	prod, err := producer.New(sim, pcfg, costs, conn, src,
+	if len(plan.Faults) > 0 {
+		err := chaos.Schedule(plan, chaos.Targets{
+			Sim:      sim,
+			Cluster:  clst,
+			Path:     path,
+			Conn:     conn,
+			Timeline: e.Timeline,
+			Seed:     e.Seed,
+			OnError: func(err error) {
+				if r.cfgErr == nil {
+					r.cfgErr = err
+				}
+			},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("testbed: fault plan: %w", err)
+		}
+	}
+	opts := []producer.Option{
 		producer.WithTimeliness(e.Features.Timeliness),
 		producer.WithCompletion(func() { r.doneAt = sim.Now() }),
-		producer.WithObs(o))
+		producer.WithObs(o),
+		producer.WithRetryRand(rand.New(rand.NewPCG(e.Seed, 0x03))),
+	}
+	if e.CaptureEvidence {
+		opts = append(opts, producer.WithOutcomeLog())
+	}
+	prod, err := producer.New(sim, pcfg, costs, conn, src, opts...)
 	if err != nil {
 		return nil, fmt.Errorf("testbed: %w", err)
 	}
@@ -372,19 +423,20 @@ func producerConfig(e Experiment, topic string) (producer.Config, error) {
 		return producer.Config{}, fmt.Errorf("testbed: unknown semantics %d", e.Features.Semantics)
 	}
 	cfg := producer.Config{
-		Topic:          topic,
-		Semantics:      sem,
-		BatchSize:      e.Features.BatchSize,
-		PollInterval:   e.Features.PollInterval,
-		MessageTimeout: e.Features.MessageTimeout,
-		MaxRetries:     exprun.DefInt(e.MaxRetries, DefaultMaxRetries),
-		RetryBackoff:   exprun.DefDur(e.RetryBackoff, DefaultRetryBackoff),
-		RequestTimeout: exprun.DefDur(e.RequestTimeout, DefaultRequestTimeout),
-		MaxInFlight:    exprun.DefInt(e.MaxInFlight, DefaultMaxInFlight),
-		Partitions:     int32(exprun.DefInt(e.Partitions, 1)),
-		QueueLimit:     exprun.DefInt(e.QueueLimit, DefaultQueueLimit),
-		LingerTime:     exprun.DefDur(e.LingerTime, DefaultLingerTime),
-		ReconnectDelay: 50 * time.Millisecond,
+		Topic:           topic,
+		Semantics:       sem,
+		BatchSize:       e.Features.BatchSize,
+		PollInterval:    e.Features.PollInterval,
+		MessageTimeout:  e.Features.MessageTimeout,
+		MaxRetries:      exprun.DefInt(e.MaxRetries, DefaultMaxRetries),
+		RetryBackoff:    exprun.DefDur(e.RetryBackoff, DefaultRetryBackoff),
+		RetryBackoffMax: e.RetryBackoffMax,
+		RequestTimeout:  exprun.DefDur(e.RequestTimeout, DefaultRequestTimeout),
+		MaxInFlight:     exprun.DefInt(e.MaxInFlight, DefaultMaxInFlight),
+		Partitions:      int32(exprun.DefInt(e.Partitions, 1)),
+		QueueLimit:      exprun.DefInt(e.QueueLimit, DefaultQueueLimit),
+		LingerTime:      exprun.DefDur(e.LingerTime, DefaultLingerTime),
+		ReconnectDelay:  50 * time.Millisecond,
 	}
 	// Always assigned: idempotence only engages when the semantics is
 	// exactly-once, and a schedule may switch semantics mid-run.
@@ -413,11 +465,29 @@ func (r *rig) collect(sim *des.Simulator, e Experiment) (Result, error) {
 	if r.doneAt >= 0 {
 		res.Duration = r.doneAt
 	}
-	recs, err := consumer.ConsumeAllPartitions(r.clst, r.prod.Config().Topic,
-		int32(exprun.DefInt(e.Partitions, 1)))
-	if err != nil {
-		return Result{}, fmt.Errorf("testbed: %w", err)
+	var recs []wire.Record
+	for p := int32(0); p < int32(exprun.DefInt(e.Partitions, 1)); p++ {
+		cons, err := consumer.New(r.clst, r.prod.Config().Topic, p)
+		if err != nil {
+			return Result{}, fmt.Errorf("testbed: %w", err)
+		}
+		part, err := cons.ConsumeAll()
+		if err != nil {
+			return Result{}, fmt.Errorf("testbed: partition %d: %w", p, err)
+		}
+		recs = append(recs, part...)
+		if e.CaptureEvidence {
+			keys := make([]uint64, len(part))
+			for i, rec := range part {
+				keys[i] = rec.Key
+			}
+			res.ConsumedKeys = append(res.ConsumedKeys, keys)
+		}
 	}
+	if e.CaptureEvidence {
+		res.Outcomes = r.prod.Outcomes()
+	}
+	res.BrokerStats = r.clst.StatsAll()
 	res.Report = consumer.Reconcile(res.Acquired, recs)
 	res.Pl = res.Report.Pl()
 	res.Pd = res.Report.Pd()

@@ -302,6 +302,17 @@ func (e *Endpoint) OnBroken(fn func(error)) { e.onErr = fn }
 // Broken reports whether the endpoint's sender has given up.
 func (e *Endpoint) Broken() bool { return e.broken }
 
+// InjectFailure forcibly breaks the endpoint as if its retransmission
+// budget had run out — the chaos engine's forced-connection-reset fault.
+// The OnBroken callback fires as for an organic break, so the client's
+// normal reconnect path takes over. No-op on an already-broken endpoint.
+func (e *Endpoint) InjectFailure(reason string) {
+	if e.broken {
+		return
+	}
+	e.fail(fmt.Errorf("%w: injected reset: %s", ErrBroken, reason))
+}
+
 // Stats returns a snapshot including the current SRTT and RTO.
 func (e *Endpoint) Stats() Stats {
 	s := e.stats

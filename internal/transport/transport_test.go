@@ -673,3 +673,38 @@ func TestDelayedAckKeepsStreamCorrectUnderLoss(t *testing.T) {
 		t.Fatalf("stream corrupted with delayed acks under loss: %d/%d", got.Len(), len(want))
 	}
 }
+
+func TestInjectFailureBreaksAndResetRestores(t *testing.T) {
+	sim := des.New()
+	conn := testConn(t, sim, 0, 0, 1, Config{})
+	var brokenErr error
+	conn.Client.OnBroken(func(err error) { brokenErr = err })
+	conn.Client.InjectFailure("chaos conn_reset")
+	if brokenErr == nil || !errors.Is(brokenErr, ErrBroken) {
+		t.Fatalf("OnBroken got %v, want ErrBroken", brokenErr)
+	}
+	if !conn.Client.Broken() {
+		t.Fatal("endpoint not marked broken")
+	}
+	// Injecting again is a no-op (callback must not re-fire).
+	brokenErr = nil
+	conn.Client.InjectFailure("again")
+	if brokenErr != nil {
+		t.Fatal("InjectFailure re-fired OnBroken on a broken endpoint")
+	}
+	conn.Reset()
+	if conn.Client.Broken() {
+		t.Fatal("Reset did not clear broken state")
+	}
+	var got []byte
+	conn.Server.OnReceive(func(b []byte) { got = append(got, b...) })
+	if err := conn.Client.Send([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Errorf("post-reset transfer got %q", got)
+	}
+}

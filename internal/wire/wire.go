@@ -37,6 +37,18 @@ const (
 	ErrNotEnoughReplicas
 )
 
+// NumErrorCodes is the number of defined error codes; codes are
+// contiguous from ErrNone, so fixed-size per-code tables can be indexed
+// by the code value.
+const NumErrorCodes = 8
+
+// SeqCacheSize is the number of recent batch sequences a broker
+// remembers per producer for idempotent de-duplication (Kafka keeps 5).
+// Idempotent producers must keep MaxInFlight at or below it: a retry
+// arriving after more than SeqCacheSize newer batches could no longer
+// be recognised as a duplicate.
+const SeqCacheSize = 16
+
 var errorNames = map[ErrorCode]string{
 	ErrNone:                    "NONE",
 	ErrUnknownTopicOrPartition: "UNKNOWN_TOPIC_OR_PARTITION",

@@ -36,6 +36,8 @@ import (
 	"io"
 	"time"
 
+	"kafkarel/internal/chaos"
+	"kafkarel/internal/chaos/campaign"
 	"kafkarel/internal/core"
 	"kafkarel/internal/dynconf"
 	"kafkarel/internal/features"
@@ -122,7 +124,82 @@ const (
 	AnnConfigSwitch   = obs.AnnConfigSwitch
 	AnnOnlineDecision = obs.AnnOnlineDecision
 	AnnBrokerEvent    = obs.AnnBrokerEvent
+	AnnFault          = obs.AnnFault
 )
+
+// Chaos engine (the internal/chaos subsystem): deterministic sim-time
+// fault plans, randomised campaign generation, and the delivery-
+// invariant checker. Attach a plan via Experiment.FaultPlan; run whole
+// campaigns with RunChaosCampaign or the cmd/chaos CLI.
+type (
+	// Fault is one scheduled fault (broker crash, unclean restart,
+	// partition, loss burst, delay spike, connection reset, slowdown).
+	Fault = chaos.Fault
+	// FaultPlan is a validated set of faults on the sim-time axis.
+	FaultPlan = chaos.Plan
+	// FaultKind discriminates Fault entries.
+	FaultKind = chaos.Kind
+	// FaultGenConfig parameterises random plan generation.
+	FaultGenConfig = chaos.GenConfig
+	// TrialEvidence is the evidence bundle the invariant checker
+	// consumes (producer outcome log, consumed keys, broker stats, ...).
+	TrialEvidence = chaos.TrialInput
+	// TrialVerdict separates invariant violations from classified,
+	// expected-for-the-configuration anomalies.
+	TrialVerdict = chaos.Verdict
+	// ChaosCampaignConfig parameterises a randomised chaos campaign.
+	ChaosCampaignConfig = campaign.Config
+	// ChaosScorecard is a campaign's full result: one row per trial,
+	// reproducible byte-for-byte from (seed, config) at any worker count.
+	ChaosScorecard = campaign.Scorecard
+	// ChaosTrialRow is one scorecard row, replayable from its recorded
+	// (plan seed, workload seed) pair alone.
+	ChaosTrialRow = campaign.Row
+)
+
+// Fault kinds for FaultPlan entries.
+const (
+	FaultBrokerCrash    = chaos.BrokerCrash
+	FaultBrokerRecover  = chaos.BrokerRecover
+	FaultUncleanRestart = chaos.UncleanRestart
+	FaultPartition      = chaos.Partition
+	FaultLossBurst      = chaos.LossBurst
+	FaultDelaySpike     = chaos.DelaySpike
+	FaultConnReset      = chaos.ConnReset
+	FaultBrokerSlow     = chaos.BrokerSlow
+)
+
+// Chaos campaign modes.
+const (
+	ChaosModeExactlyOnce = campaign.ModeExactlyOnce
+	ChaosModeAtLeastOnce = campaign.ModeAtLeastOnce
+)
+
+// GenerateFaultPlan samples a random, Validate-clean fault plan from a
+// seed; the same (seed, config) always yields the same plan.
+func GenerateFaultPlan(seed uint64, cfg FaultGenConfig) FaultPlan {
+	return chaos.GeneratePlan(seed, cfg)
+}
+
+// VerifyTrial checks a finished trial's evidence against the delivery
+// invariants of its configuration (acked ⇒ appended, exactly-once
+// uniqueness, per-partition ordering at max-in-flight 1, conservation,
+// duplicate accounting, timeline consistency).
+func VerifyTrial(in TrialEvidence) TrialVerdict { return chaos.Verify(in) }
+
+// RunChaosCampaign runs a randomised fault-injection campaign: Trials
+// generated plans executed in parallel on the experiment worker pool,
+// each trial verified. The scorecard is identical for every worker
+// count.
+func RunChaosCampaign(ctx context.Context, cfg ChaosCampaignConfig) (ChaosScorecard, error) {
+	return campaign.Run(ctx, cfg)
+}
+
+// ReplayChaosTrial re-runs one campaign trial from its scorecard seeds;
+// the returned row is byte-identical to the campaign's.
+func ReplayChaosTrial(cfg ChaosCampaignConfig, planSeed, workloadSeed uint64) (ChaosTrialRow, error) {
+	return campaign.RunTrial(cfg, planSeed, workloadSeed)
+}
 
 // NewTracer returns an event tracer with the given ring capacity
 // (<= 0 takes the default). Attach it via Experiment.Tracer.
