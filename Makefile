@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build fmt vet test race bench bench-json bench-scaling repro chaos-smoke
+.PHONY: check build fmt vet test race bench bench-json bench-scaling bench-gate profile repro chaos-smoke
 
 ## check: the full quality gate — formatting, build, vet, race-enabled
 ## tests, and a fixed-seed chaos campaign.
@@ -39,6 +39,21 @@ bench-json:
 ## (EXPERIMENTS.md records the results).
 bench-scaling:
 	$(GO) test -run xxx -bench 'ExprunScaling|Fig3SweepScaling' -benchtime 3x .
+
+## bench-gate: the allocation-regression gate. Reruns the fig7 scaling
+## benchmarks, converts them to JSON, and fails if ns/op or allocs/op
+## regressed more than 20% against the committed BENCH_obs.json
+## baseline. Keeps issue 5's hot-path wins locked in.
+bench-gate:
+	$(GO) test -run xxx -bench 'ExprunScaling' -benchmem -benchtime 3x . \
+		| $(GO) run ./cmd/benchjson > BENCH_fresh.json
+	$(GO) run ./cmd/benchgate -baseline BENCH_obs.json -fresh BENCH_fresh.json -match fig7
+
+## profile: CPU + heap profiles of a fixed-seed sequential Fig. 7
+## reproduction (cpu.pprof / heap.pprof). Inspect with
+## `go tool pprof -top cpu.pprof`.
+profile:
+	$(GO) run ./cmd/profile
 
 repro:
 	$(GO) run ./cmd/repro -n 20000 all

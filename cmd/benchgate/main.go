@@ -1,0 +1,151 @@
+// Command benchgate compares a fresh benchmark JSON file (the benchjson
+// format) against the committed baseline BENCH_obs.json and fails when
+// a gated benchmark regressed. It is the enforcement half of issue 5's
+// allocation overhaul: the ~10x alloc reduction stays locked in because
+// CI reruns the fig7 scaling benchmarks and rejects any change that
+// gives the wins back.
+//
+//	make bench-gate
+//
+// Gated metrics per matching benchmark:
+//
+//   - allocs_per_op: deterministic for the fixed-seed fig7 workload, so
+//     the threshold catches real hot-path regressions, not noise;
+//   - ns_per_op: noisier on shared CI hosts, hence the generous 20%
+//     default tolerance — it exists to catch order-of-magnitude
+//     accidents (an O(n^2) slip, a lost pool), not 5% drift.
+//
+// Benchmarks present in only one file are reported but never fatal, so
+// adding or renaming a benchmark does not require a lockstep baseline
+// update.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Result mirrors cmd/benchjson's output element.
+type Result struct {
+	Name        string   `json:"name"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+}
+
+func load(path string) (map[string]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var results []Result
+	if err := json.Unmarshal(data, &results); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	byName := make(map[string]Result, len(results))
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+	return byName, nil
+}
+
+// regression returns the fractional increase of cur over base, or 0
+// when base is zero (nothing to compare against).
+func regression(base, cur float64) float64 {
+	if base <= 0 {
+		return 0
+	}
+	return cur/base - 1
+}
+
+func run() error {
+	baselinePath := flag.String("baseline", "BENCH_obs.json", "committed baseline JSON")
+	freshPath := flag.String("fresh", "", "fresh benchmark JSON to check (required)")
+	match := flag.String("match", "fig7", "substring selecting gated benchmarks")
+	maxRegression := flag.Float64("max-regression", 0.20, "max fractional increase allowed in ns_per_op / allocs_per_op")
+	flag.Parse()
+	if *freshPath == "" {
+		return fmt.Errorf("-fresh is required")
+	}
+
+	baseline, err := load(*baselinePath)
+	if err != nil {
+		return err
+	}
+	fresh, err := load(*freshPath)
+	if err != nil {
+		return err
+	}
+
+	names := make([]string, 0, len(fresh))
+	for name := range fresh {
+		if strings.Contains(name, *match) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	var checked, failed int
+	for _, name := range names {
+		cur := fresh[name]
+		base, ok := baseline[name]
+		if !ok {
+			fmt.Printf("SKIP %s: not in baseline\n", name)
+			continue
+		}
+		checked++
+		bad := false
+		if r := regression(base.NsPerOp, cur.NsPerOp); r > *maxRegression {
+			fmt.Printf("FAIL %s: ns_per_op %.0f -> %.0f (+%.1f%%, limit +%.0f%%)\n",
+				name, base.NsPerOp, cur.NsPerOp, 100*r, 100**maxRegression)
+			bad = true
+		}
+		if base.AllocsPerOp != nil && cur.AllocsPerOp != nil {
+			if r := regression(*base.AllocsPerOp, *cur.AllocsPerOp); r > *maxRegression {
+				fmt.Printf("FAIL %s: allocs_per_op %.0f -> %.0f (+%.1f%%, limit +%.0f%%)\n",
+					name, *base.AllocsPerOp, *cur.AllocsPerOp, 100*r, 100**maxRegression)
+				bad = true
+			}
+		}
+		if bad {
+			failed++
+		} else {
+			fmt.Printf("ok   %s: ns %+.1f%%", name, 100*regression(base.NsPerOp, cur.NsPerOp))
+			if base.AllocsPerOp != nil && cur.AllocsPerOp != nil {
+				fmt.Printf(", allocs %+.1f%%", 100*regression(*base.AllocsPerOp, *cur.AllocsPerOp))
+			}
+			fmt.Println()
+		}
+	}
+	var missing []string
+	for name := range baseline {
+		if strings.Contains(name, *match) {
+			if _, ok := fresh[name]; !ok {
+				missing = append(missing, name)
+			}
+		}
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		fmt.Printf("SKIP %s: in baseline but not in fresh run\n", name)
+	}
+	if checked == 0 {
+		return fmt.Errorf("no benchmarks matching %q present in both files", *match)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d gated benchmarks regressed beyond %.0f%%", failed, checked, 100**maxRegression)
+	}
+	fmt.Printf("bench-gate: %d benchmarks within limits\n", checked)
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,91 @@
+// Command profile runs a fixed-seed Fig. 7 reproduction under the Go
+// profiler and writes cpu.pprof and heap.pprof. It exists so hot-path
+// work (issue 5's allocation overhaul) is measured against a stable,
+// deterministic workload instead of ad-hoc one-off runs:
+//
+//	make profile
+//	go tool pprof -top cpu.pprof
+//	go tool pprof -top -sample_index=alloc_space heap.pprof
+//
+// The workload is the same 88-experiment Fig. 7 grid the scaling
+// benchmarks time (Messages=600, Seed=1), run sequentially so profiles
+// attribute cost to the simulation stack rather than pool scheduling.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
+
+	"kafkarel"
+)
+
+func run() error {
+	cpuOut := flag.String("cpu", "cpu.pprof", "CPU profile output path")
+	heapOut := flag.String("heap", "heap.pprof", "heap profile output path")
+	messages := flag.Int("n", 600, "messages per experiment")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	workers := flag.Int("workers", 1, "worker-pool size")
+	rounds := flag.Int("rounds", 10, "times to repeat the Fig. 7 grid")
+	flag.Parse()
+
+	f, err := os.Create(*cpuOut)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := pprof.StartCPUProfile(f); err != nil {
+		return err
+	}
+
+	start := time.Now()
+	var points int
+	for r := 0; r < *rounds; r++ {
+		ps, err := kafkarel.Fig7(kafkarel.FigureOptions{
+			Messages: *messages, Seed: *seed, Workers: *workers,
+		})
+		if err != nil {
+			pprof.StopCPUProfile()
+			return err
+		}
+		points = len(ps)
+	}
+	elapsed := time.Since(start)
+	pprof.StopCPUProfile()
+
+	// Heap profile after the run: with the hot paths pooled this shows
+	// retained working-set, and alloc_space shows cumulative churn.
+	runtime.GC()
+	h, err := os.Create(*heapOut)
+	if err != nil {
+		return err
+	}
+	defer h.Close()
+	if err := pprof.WriteHeapProfile(h); err != nil {
+		return err
+	}
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Printf("fig7 x%d: %d points, %v (%v/round), %d cumulative allocs, %s\n",
+		*rounds, points, elapsed.Round(time.Millisecond),
+		(elapsed / time.Duration(*rounds)).Round(time.Millisecond),
+		ms.Mallocs, byteCount(ms.TotalAlloc))
+	fmt.Printf("wrote %s and %s\n", *cpuOut, *heapOut)
+	return nil
+}
+
+func byteCount(b uint64) string {
+	const mb = 1 << 20
+	return fmt.Sprintf("%.1f MiB", float64(b)/mb)
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "profile:", err)
+		os.Exit(1)
+	}
+}

@@ -21,20 +21,31 @@ import (
 // scalingWorkers is the swept pool-size axis.
 var scalingWorkers = []int{1, 2, 4, 8}
 
-// looseSpeedupCheck fails a multi-core run in which parallel execution
-// is not measurably faster than sequential. The bar is deliberately
-// loose (ideal speedup at 4 workers is ~4x): it only catches the
-// execution layer silently serialising. On single-core hosts it just
-// records the measurement.
+// speedupFloor is the minimum acceptable parallel speedup on a host
+// with at least `workers` cores: two workers must beat sequential
+// execution outright, and four or more must exceed 1.5x. The bars stay
+// well below ideal scaling (4 workers ~4x) — they catch the execution
+// layer silently serialising or drowning in shared-state overhead, not
+// scheduler jitter.
+func speedupFloor(workers int) float64 {
+	if workers >= 4 {
+		return 1.5
+	}
+	return 1.0
+}
+
+// looseSpeedupCheck fails a multi-core run whose parallel speedup is at
+// or below the floor for its worker count. On hosts with fewer cores
+// than workers it just records the measurement.
 func looseSpeedupCheck(b *testing.B, workers int, seq, par time.Duration) {
 	if seq <= 0 || par <= 0 {
 		return
 	}
 	speedup := float64(seq) / float64(par)
 	b.ReportMetric(speedup, "speedup_vs_w1")
-	if runtime.GOMAXPROCS(0) >= workers && workers > 1 && speedup < 1.2 {
-		b.Errorf("workers=%d on a %d-core host: speedup %.2fx vs workers=1 (want measurably > 1x)",
-			workers, runtime.GOMAXPROCS(0), speedup)
+	if runtime.GOMAXPROCS(0) >= workers && workers > 1 && speedup <= speedupFloor(workers) {
+		b.Errorf("workers=%d on a %d-core host: speedup %.2fx vs workers=1 (want > %.2fx)",
+			workers, runtime.GOMAXPROCS(0), speedup, speedupFloor(workers))
 	}
 }
 

@@ -174,6 +174,10 @@ type Broker struct {
 	cTruncated  *obs.Counter
 	cUnclean    *obs.Counter
 	trace       *obs.Tracer
+
+	freeJobs     []*produceJob   // recycled produce-service jobs
+	fetchEntries []storage.Entry // HandleFetch read scratch
+	fetchRecords []wire.Record   // HandleFetch response scratch
 }
 
 // New creates a running broker with the given node ID.
@@ -447,35 +451,101 @@ func (b *Broker) Append(topic string, partition int32, batch wire.RecordBatch, i
 	return base, false, wire.ErrNone
 }
 
-// HandleProduce services a produce request after the append service time.
-// done receives the response; for acks=0 requests done is invoked with
-// the response anyway so callers can observe the outcome, but a network
-// server must not transmit it. A stopped broker never calls done.
-func (b *Broker) HandleProduce(req wire.ProduceRequest, idempotent bool, done func(wire.ProduceResponse)) {
+// produceJob parks one produce request across the append service time.
+// Jobs are recycled through Broker.freeJobs, so the steady-state produce
+// path schedules no per-request closures or events.
+type produceJob struct {
+	b          *Broker
+	req        wire.ProduceRequest
+	idempotent bool
+	done       func(arg any, resp wire.ProduceResponse)
+	arg        any
+}
+
+func (b *Broker) getJob() *produceJob {
+	if n := len(b.freeJobs); n > 0 {
+		j := b.freeJobs[n-1]
+		b.freeJobs = b.freeJobs[:n-1]
+		return j
+	}
+	return &produceJob{b: b}
+}
+
+func (b *Broker) putJob(j *produceJob) {
+	j.req = wire.ProduceRequest{}
+	j.done, j.arg = nil, nil
+	b.freeJobs = append(b.freeJobs, j)
+}
+
+// Produce services a produce request after the append service time and
+// calls done(arg, resp) with the outcome; for acks=0 requests done is
+// invoked anyway so callers can observe the outcome, but a network
+// server must not transmit it. A broker that is down at call time or at
+// service-completion time never calls done.
+//
+// done and arg replace a per-request closure: callers pass a stable
+// function plus a context value, keeping the hot path allocation-free.
+// The request (batch records included) is retained until the service
+// time elapses, so the records must not alias a buffer the caller reuses
+// in the meantime.
+func (b *Broker) Produce(req wire.ProduceRequest, idempotent bool, done func(arg any, resp wire.ProduceResponse), arg any) {
 	if !b.up {
 		return
 	}
 	b.stats.ProduceRequests++
 	b.cProduce.Inc()
-	b.sim.After(b.serviceTime(req.Batch), func() {
-		if !b.up {
-			return
-		}
-		base, _, code := b.Append(req.Topic, req.Partition, req.Batch, idempotent)
-		if done != nil {
-			done(wire.ProduceResponse{
-				CorrelationID: req.CorrelationID,
-				Topic:         req.Topic,
-				Partition:     req.Partition,
-				BaseOffset:    base,
-				Err:           code,
-			})
-		}
-	})
+	j := b.getJob()
+	j.req, j.idempotent, j.done, j.arg = req, idempotent, done, arg
+	b.sim.AfterFunc(b.serviceTime(req.Batch), produceFire, j)
+}
+
+// produceFire completes a produce job at service time. The job is
+// recycled before the callback runs so a callback that produces again
+// can reuse it.
+func produceFire(a any) {
+	j := a.(*produceJob)
+	b := j.b
+	req, idempotent, done, arg := j.req, j.idempotent, j.done, j.arg
+	b.putJob(j)
+	if !b.up {
+		return
+	}
+	base, _, code := b.Append(req.Topic, req.Partition, req.Batch, idempotent)
+	if done != nil {
+		done(arg, wire.ProduceResponse{
+			CorrelationID: req.CorrelationID,
+			Topic:         req.Topic,
+			Partition:     req.Partition,
+			BaseOffset:    base,
+			Err:           code,
+		})
+	}
+}
+
+// callPlainDone adapts a plain func(ProduceResponse) callback to the
+// (arg, resp) form; func values are pointer-shaped, so passing one
+// through the any argument does not allocate.
+func callPlainDone(arg any, resp wire.ProduceResponse) {
+	arg.(func(wire.ProduceResponse))(resp)
+}
+
+// HandleProduce is Produce with a plain callback, for callers that do
+// not mind a per-request closure.
+func (b *Broker) HandleProduce(req wire.ProduceRequest, idempotent bool, done func(wire.ProduceResponse)) {
+	if done == nil {
+		b.Produce(req, idempotent, nil, nil)
+		return
+	}
+	b.Produce(req, idempotent, callPlainDone, done)
 }
 
 // HandleFetch services a fetch request immediately (fetch cost is
 // dominated by the network in the experiments).
+//
+// The response's Records slice is scratch owned by the broker, reused by
+// the next HandleFetch: consume or copy it inside done. The record
+// payloads alias the partition log and stay valid for the life of the
+// log.
 func (b *Broker) HandleFetch(req wire.FetchRequest, done func(wire.FetchResponse)) {
 	if !b.up || done == nil {
 		return
@@ -494,15 +564,20 @@ func (b *Broker) HandleFetch(req wire.FetchRequest, done func(wire.FetchResponse
 	}
 	log := p.log
 	resp.HighWatermark = log.End()
-	entries, err := log.Read(req.Offset, int(req.MaxRecords))
+	entries, err := log.ReadInto(req.Offset, int(req.MaxRecords), b.fetchEntries[:0])
 	if err != nil {
 		resp.Err = wire.ErrRequestTimedOut // offset out of range maps to a generic retriable error here
 		done(resp)
 		return
 	}
-	resp.Records = make([]wire.Record, 0, len(entries))
-	for _, e := range entries {
-		resp.Records = append(resp.Records, e.Record)
+	if entries != nil {
+		b.fetchEntries = entries
 	}
+	recs := b.fetchRecords[:0]
+	for _, e := range entries {
+		recs = append(recs, e.Record)
+	}
+	b.fetchRecords = recs
+	resp.Records = recs
 	done(resp)
 }

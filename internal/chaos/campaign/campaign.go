@@ -147,8 +147,8 @@ func Run(ctx context.Context, cfg Config) (Scorecard, error) {
 	for i := range idx {
 		idx[i] = i
 	}
-	rows, err := exprun.Map(ctx, idx, func(_ context.Context, i int, _ int) (Row, error) {
-		return RunTrial(cfg, seeds(2*i), seeds(2*i+1))
+	rows, err := exprun.Map(ctx, idx, func(ctx context.Context, i int, _ int) (Row, error) {
+		return runTrial(ctx, cfg, seeds(2*i), seeds(2*i+1))
 	}, exprun.Options{Workers: cfg.Workers, Progress: cfg.Progress})
 	if err != nil {
 		return Scorecard{}, err
@@ -175,6 +175,12 @@ func Run(ctx context.Context, cfg Config) (Scorecard, error) {
 // reproduction path for a scorecard row. The returned row is
 // byte-identical to the campaign's row for the same (config, seeds).
 func RunTrial(cfg Config, planSeed, workloadSeed uint64) (Row, error) {
+	return runTrial(context.Background(), cfg, planSeed, workloadSeed)
+}
+
+// runTrial is RunTrial with a task context, so campaign workers reuse
+// their simulator across trials (see testbed.RunCtx).
+func runTrial(ctx context.Context, cfg Config, planSeed, workloadSeed uint64) (Row, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return Row{}, err
@@ -219,7 +225,7 @@ func RunTrial(cfg Config, planSeed, workloadSeed uint64) (Row, error) {
 		RetryBackoffMax:     200 * time.Millisecond,
 		QueueLimit:          64,
 	}
-	res, err := testbed.Run(e)
+	res, err := testbed.RunCtx(ctx, e)
 	if err != nil {
 		return Row{}, fmt.Errorf("campaign: trial (plan %d, workload %d): %w", planSeed, workloadSeed, err)
 	}

@@ -63,6 +63,93 @@ type Cluster struct {
 
 	cReplications *obs.Counter
 	trace         *obs.Tracer
+
+	freeProd []*prodJob // recycled produce-routing jobs
+	freeRepl []*replJob // recycled replication-delay jobs
+	freeSend []*sendJob // recycled acks=all follower-send jobs
+}
+
+// prodJob carries one produce request through the cluster's asynchronous
+// routing pipeline (leader append, replication fan-out, ack counting)
+// without per-request closures. The request — batch records included —
+// is retained until the pipeline completes, so records must not alias
+// caller-reused buffers (the wire server deep-copies them at decode).
+type prodJob struct {
+	c          *Cluster
+	pm         *partitionMeta
+	leader     *broker.Broker
+	req        wire.ProduceRequest
+	idempotent bool
+	done       func(wire.ProduceResponse)
+	resp       wire.ProduceResponse // leader response, held while followers ack (acks=all)
+	pending    int                  // outstanding follower acks (acks=all)
+	followers  []*broker.Broker     // live-replica scratch, leader first
+}
+
+func (c *Cluster) getProd() *prodJob {
+	if n := len(c.freeProd); n > 0 {
+		j := c.freeProd[n-1]
+		c.freeProd = c.freeProd[:n-1]
+		return j
+	}
+	return &prodJob{c: c}
+}
+
+func (c *Cluster) putProd(j *prodJob) {
+	j.pm, j.leader, j.done = nil, nil, nil
+	j.req = wire.ProduceRequest{}
+	j.resp = wire.ProduceResponse{}
+	j.pending = 0
+	for i := range j.followers {
+		j.followers[i] = nil
+	}
+	j.followers = j.followers[:0]
+	c.freeProd = append(c.freeProd, j)
+}
+
+// replJob parks one follower copy across the inter-broker delay.
+type replJob struct {
+	c          *Cluster
+	src        *broker.Broker
+	f          *broker.Broker
+	req        wire.ProduceRequest
+	idempotent bool
+}
+
+func (c *Cluster) getRepl() *replJob {
+	if n := len(c.freeRepl); n > 0 {
+		r := c.freeRepl[n-1]
+		c.freeRepl = c.freeRepl[:n-1]
+		return r
+	}
+	return &replJob{c: c}
+}
+
+func (c *Cluster) putRepl(r *replJob) {
+	r.src, r.f = nil, nil
+	r.req = wire.ProduceRequest{}
+	c.freeRepl = append(c.freeRepl, r)
+}
+
+// sendJob parks one acks=all follower send across the inter-broker
+// delay, pairing the shared prodJob with the target follower.
+type sendJob struct {
+	j *prodJob
+	f *broker.Broker
+}
+
+func (c *Cluster) getSend() *sendJob {
+	if n := len(c.freeSend); n > 0 {
+		s := c.freeSend[n-1]
+		c.freeSend = c.freeSend[:n-1]
+		return s
+	}
+	return &sendJob{}
+}
+
+func (c *Cluster) putSend(s *sendJob) {
+	s.j, s.f = nil, nil
+	c.freeSend = append(c.freeSend, s)
 }
 
 // New builds a cluster of cfg.Brokers running nodes.
@@ -179,21 +266,21 @@ func (c *Cluster) partition(topic string, partition int32) *partitionMeta {
 	return tm.partitions[partition]
 }
 
-// liveReplicas returns the running replicas of a partition, leader first.
-func (c *Cluster) liveReplicas(pm *partitionMeta) []*broker.Broker {
-	out := make([]*broker.Broker, 0, len(pm.replicas))
+// liveReplicasInto appends the running replicas of a partition to dst,
+// leader first, and returns the result.
+func (c *Cluster) liveReplicasInto(pm *partitionMeta, dst []*broker.Broker) []*broker.Broker {
 	if pm.leader >= 0 && c.brokers[pm.leader].Up() {
-		out = append(out, c.brokers[pm.leader])
+		dst = append(dst, c.brokers[pm.leader])
 	}
 	for _, id := range pm.replicas {
 		if id == pm.leader {
 			continue
 		}
 		if c.brokers[id].Up() {
-			out = append(out, c.brokers[id])
+			dst = append(dst, c.brokers[id])
 		}
 	}
-	return out
+	return dst
 }
 
 // FailBroker stops a node cleanly and re-elects leaders for every
@@ -363,8 +450,10 @@ func (c *Cluster) HandleProduce(req wire.ProduceRequest, done func(wire.ProduceR
 	idempotent := req.Batch.ProducerID != 0
 
 	if req.Acks == wire.AcksAll {
-		live := c.liveReplicas(pm)
-		if len(live) < c.cfg.MinISR {
+		j := c.getProd()
+		j.followers = c.liveReplicasInto(pm, j.followers)
+		if len(j.followers) < c.cfg.MinISR {
+			c.putProd(j)
 			if done != nil {
 				done(wire.ProduceResponse{
 					CorrelationID: req.CorrelationID,
@@ -375,56 +464,88 @@ func (c *Cluster) HandleProduce(req wire.ProduceRequest, done func(wire.ProduceR
 			}
 			return
 		}
-		leader.HandleProduce(req, idempotent, func(resp wire.ProduceResponse) {
-			if resp.Err != wire.ErrNone {
-				if done != nil {
-					done(resp)
-				}
-				return
-			}
-			followers := live[1:]
-			if len(followers) == 0 {
-				if done != nil {
-					done(resp)
-				}
-				return
-			}
-			pending := len(followers)
-			for _, f := range followers {
-				f := f
-				c.cReplications.Inc()
-				c.trace.Emit(obs.LayerCluster, obs.EvReplicate, req.Batch.BaseSequence, int64(req.Partition), int64(f.ID()), req.Topic)
-				c.sim.After(c.cfg.InterBrokerDelay, func() {
-					if !leader.Up() {
-						// Replication is a fetch from the leader; a leader
-						// that died in the window never serves it. The
-						// request stays un-acked and the producer's request
-						// timer handles it.
-						return
-					}
-					f.HandleProduce(req, idempotent, func(wire.ProduceResponse) {
-						c.sim.After(c.cfg.InterBrokerDelay, func() {
-							pending--
-							if pending == 0 && done != nil {
-								done(resp)
-							}
-						})
-					})
-				})
-			}
-		})
+		j.pm, j.leader, j.req, j.idempotent, j.done = pm, leader, req, idempotent, done
+		leader.Produce(req, idempotent, allLeaderDone, j)
 		return
 	}
 
 	// acks=0 / acks=1: leader append, async replication to followers.
-	leader.HandleProduce(req, idempotent, func(resp wire.ProduceResponse) {
-		if resp.Err == wire.ErrNone {
-			c.replicate(pm, leader, req, idempotent)
-		}
-		if req.Acks != wire.AcksNone && done != nil {
+	j := c.getProd()
+	j.pm, j.leader, j.req, j.idempotent, j.done = pm, leader, req, idempotent, done
+	leader.Produce(req, idempotent, ackLeaderDone, j)
+}
+
+// ackLeaderDone completes an acks=0/1 produce once the leader appended:
+// fan the batch out to followers, then answer the producer.
+func ackLeaderDone(a any, resp wire.ProduceResponse) {
+	j := a.(*prodJob)
+	c := j.c
+	if resp.Err == wire.ErrNone {
+		c.replicate(j.pm, j.leader, j.req, j.idempotent)
+	}
+	acks, done := j.req.Acks, j.done
+	c.putProd(j)
+	if acks != wire.AcksNone && done != nil {
+		done(resp)
+	}
+}
+
+// allLeaderDone continues an acks=all produce once the leader appended:
+// send the batch to every live follower and wait for all acks.
+func allLeaderDone(a any, resp wire.ProduceResponse) {
+	j := a.(*prodJob)
+	c := j.c
+	if resp.Err != wire.ErrNone || len(j.followers) <= 1 {
+		done := j.done
+		c.putProd(j)
+		if done != nil {
 			done(resp)
 		}
-	})
+		return
+	}
+	j.resp = resp
+	j.pending = len(j.followers) - 1
+	for _, f := range j.followers[1:] {
+		c.cReplications.Inc()
+		c.trace.Emit(obs.LayerCluster, obs.EvReplicate, j.req.Batch.BaseSequence, int64(j.req.Partition), int64(f.ID()), j.req.Topic)
+		s := c.getSend()
+		s.j, s.f = j, f
+		c.sim.AfterFunc(c.cfg.InterBrokerDelay, allSendFire, s)
+	}
+}
+
+// allSendFire delivers one acks=all follower copy after the inter-broker
+// delay. A leader that died in the window never serves the replication
+// fetch: the request stays un-acked (the shared prodJob is abandoned to
+// the garbage collector) and the producer's request timer handles it.
+func allSendFire(a any) {
+	s := a.(*sendJob)
+	j, f := s.j, s.f
+	j.c.putSend(s)
+	if !j.leader.Up() {
+		return
+	}
+	f.Produce(j.req, j.idempotent, allFollowerDone, j)
+}
+
+// allFollowerDone schedules the follower's ack back to the leader, one
+// more inter-broker delay away.
+func allFollowerDone(a any, _ wire.ProduceResponse) {
+	j := a.(*prodJob)
+	j.c.sim.AfterFunc(j.c.cfg.InterBrokerDelay, allAckFire, j)
+}
+
+// allAckFire counts one follower ack; the last one answers the producer.
+func allAckFire(a any) {
+	j := a.(*prodJob)
+	j.pending--
+	if j.pending == 0 {
+		done, resp := j.done, j.resp
+		j.c.putProd(j)
+		if done != nil {
+			done(resp)
+		}
+	}
 }
 
 // replicate copies a batch to live followers asynchronously. Delivery is
@@ -442,13 +563,21 @@ func (c *Cluster) replicate(pm *partitionMeta, src *broker.Broker, req wire.Prod
 		}
 		c.cReplications.Inc()
 		c.trace.Emit(obs.LayerCluster, obs.EvReplicate, req.Batch.BaseSequence, int64(req.Partition), int64(f.ID()), req.Topic)
-		c.sim.After(c.cfg.InterBrokerDelay, func() {
-			if !src.Up() {
-				return
-			}
-			f.HandleProduce(req, idempotent, nil)
-		})
+		r := c.getRepl()
+		r.src, r.f, r.req, r.idempotent = src, f, req, idempotent
+		c.sim.AfterFunc(c.cfg.InterBrokerDelay, replicateFire, r)
 	}
+}
+
+// replicateFire delivers one follower copy after the inter-broker delay.
+func replicateFire(a any) {
+	r := a.(*replJob)
+	c, src, f, req, idempotent := r.c, r.src, r.f, r.req, r.idempotent
+	c.putRepl(r)
+	if !src.Up() {
+		return
+	}
+	f.Produce(req, idempotent, nil, nil)
 }
 
 // HandleFetch routes a fetch to the partition leader.

@@ -15,6 +15,13 @@ type Server struct {
 	cluster  *Cluster
 	ep       *transport.Endpoint
 	splitter wire.Splitter
+	dec      wire.Decoder
+	bodyBuf  []byte // response-encoding scratch
+	frameBuf []byte // frame-encoding scratch; Endpoint.Send copies
+	// onProduce and onFetch are created once so the per-request dispatch
+	// path builds no response-callback closures.
+	onProduce func(wire.ProduceResponse)
+	onFetch   func(wire.FetchResponse)
 	// DroppedFrames counts undecodable requests (corrupt after transport
 	// reassembly should be impossible; this guards protocol bugs).
 	DroppedFrames uint64
@@ -26,6 +33,14 @@ func NewServer(c *Cluster, ep *transport.Endpoint) (*Server, error) {
 		return nil, fmt.Errorf("cluster: NewServer with nil cluster or endpoint")
 	}
 	s := &Server{cluster: c, ep: ep}
+	s.onProduce = func(resp wire.ProduceResponse) {
+		s.bodyBuf = resp.Encode(s.bodyBuf[:0])
+		s.reply(wire.APIProduce, s.bodyBuf)
+	}
+	s.onFetch = func(resp wire.FetchResponse) {
+		s.bodyBuf = resp.Encode(s.bodyBuf[:0])
+		s.reply(wire.APIFetch, s.bodyBuf)
+	}
 	ep.OnReceive(s.onBytes)
 	return s, nil
 }
@@ -52,27 +67,35 @@ func (s *Server) onBytes(chunk []byte) {
 func (s *Server) dispatch(f wire.FramePart) {
 	switch f.API {
 	case wire.APIProduce:
-		req, err := wire.DecodeProduceRequest(f.Body)
+		req, err := s.dec.ProduceRequest(f.Body)
 		if err != nil {
 			s.DroppedFrames++
 			return
 		}
+		// Interning hint: after the first request, topic strings decode
+		// without allocating.
+		if s.dec.Topic == "" {
+			s.dec.Topic = req.Topic
+		}
+		// The cluster defers the append past this frame's lifetime (the
+		// splitter buffer and the decoder's record scratch are both
+		// reused), so the batch needs its own storage.
+		req.Batch.Records = wire.CloneRecords(req.Batch.Records)
 		if req.Acks == wire.AcksNone {
 			s.cluster.HandleProduce(req, nil)
 			return
 		}
-		s.cluster.HandleProduce(req, func(resp wire.ProduceResponse) {
-			s.reply(wire.APIProduce, resp.Encode(nil))
-		})
+		s.cluster.HandleProduce(req, s.onProduce)
 	case wire.APIFetch:
-		req, err := wire.DecodeFetchRequest(f.Body)
+		req, err := s.dec.FetchRequest(f.Body)
 		if err != nil {
 			s.DroppedFrames++
 			return
 		}
-		s.cluster.HandleFetch(req, func(resp wire.FetchResponse) {
-			s.reply(wire.APIFetch, resp.Encode(nil))
-		})
+		// Fetch handling is synchronous and the response is encoded into
+		// the reply scratch inside the callback, so the broker's reused
+		// record scratch is never retained.
+		s.cluster.HandleFetch(req, s.onFetch)
 	case wire.APIMetadata:
 		req, err := wire.DecodeMetadataRequest(f.Body)
 		if err != nil {
@@ -80,7 +103,8 @@ func (s *Server) dispatch(f wire.FramePart) {
 			return
 		}
 		resp := s.cluster.Metadata(req)
-		s.reply(wire.APIMetadata, resp.Encode(nil))
+		s.bodyBuf = resp.Encode(s.bodyBuf[:0])
+		s.reply(wire.APIMetadata, s.bodyBuf)
 	default:
 		s.DroppedFrames++
 	}
@@ -89,5 +113,6 @@ func (s *Server) dispatch(f wire.FramePart) {
 func (s *Server) reply(api uint16, body []byte) {
 	// A broken server connection means the response is lost; the client's
 	// request timeout covers it, exactly as with a dead TCP socket.
-	_ = s.ep.Send(wire.EncodeFrame(api, body))
+	s.frameBuf = wire.AppendFrame(s.frameBuf[:0], api, body)
+	_ = s.ep.Send(s.frameBuf)
 }

@@ -23,6 +23,9 @@ type Client struct {
 	timeout   time.Duration
 
 	splitter wire.Splitter
+	dec      wire.Decoder
+	bodyBuf  []byte // request-encoding scratch
+	frameBuf []byte // frame-encoding scratch; Endpoint.Send copies
 	corr     uint32
 	offset   int64
 	records  []wire.Record
@@ -65,6 +68,7 @@ func NewClient(sim *des.Simulator, conn *transport.Conn, topic string, partition
 	for _, opt := range opts {
 		opt(c)
 	}
+	c.dec.Topic = topic
 	conn.Client.OnReceive(c.onBytes)
 	conn.OnReset(func() { c.splitter = wire.Splitter{} })
 	c.timer = des.NewTimer(sim, c.onTimeout)
@@ -94,7 +98,15 @@ func (c *Client) FetchMetadata(onResp func(wire.MetadataResponse)) error {
 	c.meta = onResp
 	c.corr++
 	req := wire.MetadataRequest{CorrelationID: c.corr, Topic: c.topic}
-	return c.conn.Client.Send(wire.EncodeFrame(wire.APIMetadata, req.Encode(nil)))
+	return c.send(wire.APIMetadata, req.Encode(c.bodyBuf[:0]))
+}
+
+// send frames an encoded request body through the client's reused
+// buffers; Endpoint.Send copies, so both are free for the next request.
+func (c *Client) send(api uint16, body []byte) error {
+	c.bodyBuf = body
+	c.frameBuf = wire.AppendFrame(c.frameBuf[:0], api, body)
+	return c.conn.Client.Send(c.frameBuf)
 }
 
 func (c *Client) sendFetch() {
@@ -109,7 +121,7 @@ func (c *Client) sendFetch() {
 		Offset:        c.offset,
 		MaxRecords:    c.fetchMax,
 	}
-	if err := c.conn.Client.Send(wire.EncodeFrame(wire.APIFetch, req.Encode(nil))); err != nil {
+	if err := c.send(wire.APIFetch, req.Encode(c.bodyBuf[:0])); err != nil {
 		// Broken connection: retry after the timeout; the transport layer
 		// resets underneath us via the producer-style reconnect, or the
 		// timer keeps trying.
@@ -138,7 +150,7 @@ func (c *Client) onBytes(chunk []byte) {
 	for _, f := range frames {
 		switch f.API {
 		case wire.APIFetch:
-			resp, err := wire.DecodeFetchResponse(f.Body)
+			resp, err := c.dec.FetchResponse(f.Body)
 			if err != nil {
 				continue
 			}
@@ -164,7 +176,10 @@ func (c *Client) onFetchResponse(resp wire.FetchResponse) {
 		c.finish(fmt.Errorf("consumer: fetch at offset %d: %s", c.offset, resp.Err))
 		return
 	}
-	c.records = append(c.records, resp.Records...)
+	// The response's records alias the splitter buffer and the decoder's
+	// record scratch, both reused by the next network delivery; clone them
+	// before retaining across simulated time.
+	c.records = append(c.records, wire.CloneRecords(resp.Records)...)
 	c.offset += int64(len(resp.Records))
 	if len(resp.Records) == 0 && c.offset >= resp.HighWatermark {
 		c.finish(nil)

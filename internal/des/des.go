@@ -26,14 +26,18 @@ type Event struct {
 	at       time.Duration
 	seq      uint64
 	fn       func()
+	fnA      func(any) // hot-path form: fnA(arg) avoids a closure allocation
+	arg      any
 	index    int // position in the heap, -1 once removed
 	canceled bool
+	pooled   bool // recycled through the Simulator free list after firing
 }
 
 // At reports the virtual time the event is (or was) scheduled to fire.
 func (e *Event) At() time.Duration { return e.at }
 
-// Canceled reports whether Cancel was called on the event.
+// Canceled reports whether Cancel removed the event before it fired.
+// Events that already fired are never marked canceled.
 func (e *Event) Canceled() bool { return e.canceled }
 
 // Simulator owns the virtual clock and the pending-event queue.
@@ -44,6 +48,13 @@ type Simulator struct {
 	queue   eventQueue
 	stopped bool
 	fired   uint64
+
+	// free is a free list of pooled events. Only events scheduled through
+	// the internal pooled paths (ScheduleFunc/AfterFunc and the Timer /
+	// Ticker machinery) are recycled: their handles are never exposed, so
+	// a stale pointer can never Cancel a reused event. Events returned by
+	// Schedule/After are ordinary garbage-collected allocations.
+	free []*Event
 
 	cFired    *obs.Counter
 	gQueueMax *obs.Gauge
@@ -68,6 +79,47 @@ func (s *Simulator) Fired() uint64 { return s.fired }
 
 // Pending returns the number of events currently scheduled.
 func (s *Simulator) Pending() int { return len(s.queue) }
+
+// Reset returns the simulator to its initial state — clock at zero, empty
+// queue, sequence counter rewound — while keeping allocated capacity (the
+// event heap's backing array and the event free list). A worker can
+// therefore reuse one Simulator across many trials without re-paying the
+// warm-up allocations. Instrument handles are detached; call Instrument
+// again for the next run.
+func (s *Simulator) Reset() {
+	for i, e := range s.queue {
+		e.index = -1
+		if e.pooled {
+			s.put(e)
+		}
+		s.queue[i] = nil
+	}
+	s.queue = s.queue[:0]
+	s.now = 0
+	s.seq = 0
+	s.fired = 0
+	s.stopped = false
+	s.cFired = nil
+	s.gQueueMax = nil
+}
+
+func (s *Simulator) get() *Event {
+	if n := len(s.free); n > 0 {
+		e := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return e
+	}
+	return &Event{pooled: true}
+}
+
+func (s *Simulator) put(e *Event) {
+	e.fn = nil
+	e.fnA = nil
+	e.arg = nil
+	e.canceled = false
+	s.free = append(s.free, e)
+}
 
 // Schedule runs fn at the absolute virtual time at. Scheduling in the past
 // (before Now) is a programming error and panics: it would silently
@@ -94,18 +146,64 @@ func (s *Simulator) After(d time.Duration, fn func()) *Event {
 	return s.Schedule(s.now+d, fn)
 }
 
-// Cancel removes a pending event. Canceling an event that already fired or
-// was already canceled is a no-op, which keeps timer bookkeeping simple
-// for callers.
-func (s *Simulator) Cancel(e *Event) {
-	if e == nil || e.canceled || e.index < 0 {
-		if e != nil {
-			e.canceled = true
-		}
-		return
+// ScheduleFunc runs fn(arg) at the absolute virtual time at. The event is
+// drawn from the simulator's free list and recycled after it fires, so a
+// steady-state caller allocates nothing; in exchange there is no handle to
+// Cancel. Passing a pointer-shaped arg (a pointer or a func value) avoids
+// boxing. Use Schedule when the event may need to be canceled.
+func (s *Simulator) ScheduleFunc(at time.Duration, fn func(any), arg any) {
+	if fn == nil {
+		panic("des: schedule with nil callback")
 	}
-	e.canceled = true
+	s.schedulePooled(at, fn, arg)
+}
+
+// AfterFunc runs fn(arg) d after the current virtual time, with the same
+// pooled, non-cancelable semantics as ScheduleFunc. Negative d is clamped
+// to zero.
+func (s *Simulator) AfterFunc(d time.Duration, fn func(any), arg any) {
+	if fn == nil {
+		panic("des: schedule with nil callback")
+	}
+	if d < 0 {
+		d = 0
+	}
+	s.schedulePooled(s.now+d, fn, arg)
+}
+
+// schedulePooled is the pooled scheduling core. The returned event is
+// owned by the timer machinery that requested it: the owner must drop its
+// pointer no later than when the event fires or is canceled, because the
+// event is recycled at that point.
+func (s *Simulator) schedulePooled(at time.Duration, fn func(any), arg any) *Event {
+	if at < s.now {
+		panic(fmt.Sprintf("des: schedule at %v before now %v", at, s.now))
+	}
+	e := s.get()
+	e.at = at
+	e.seq = s.seq
+	e.fnA = fn
+	e.arg = arg
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// Cancel removes a pending event and reports whether it did. Canceling an
+// event that already fired (or was already canceled) returns false and
+// leaves the event unmarked, so Canceled() faithfully reports only events
+// that were removed before firing.
+func (s *Simulator) Cancel(e *Event) bool {
+	if e == nil || e.index < 0 {
+		return false
+	}
 	heap.Remove(&s.queue, e.index)
+	e.index = -1
+	e.canceled = true
+	if e.pooled {
+		s.put(e)
+	}
+	return true
 }
 
 // Stop halts a Run in progress after the current event returns.
@@ -132,18 +230,27 @@ func (s *Simulator) RunLimit(n uint64) error {
 func (s *Simulator) run(deadline time.Duration, limit uint64) error {
 	s.stopped = false
 	executed := uint64(0)
+	// Track the queue high-water mark in a local and publish it once at
+	// the end: Gauge.SetMax is a CAS loop and does not belong in the
+	// per-event inner loop.
+	qmax := len(s.queue)
+	var err error
 	for len(s.queue) > 0 {
-		s.gQueueMax.SetMax(int64(len(s.queue)))
+		if n := len(s.queue); n > qmax {
+			qmax = n
+		}
 		if s.stopped {
-			return ErrStopped
+			err = ErrStopped
+			break
 		}
 		if limit > 0 && executed >= limit {
-			return ErrStopped
+			err = ErrStopped
+			break
 		}
 		next := s.queue[0]
 		if deadline >= 0 && next.at > deadline {
 			s.now = deadline
-			return nil
+			break
 		}
 		heap.Pop(&s.queue)
 		next.index = -1
@@ -151,12 +258,20 @@ func (s *Simulator) run(deadline time.Duration, limit uint64) error {
 		s.fired++
 		executed++
 		s.cFired.Inc()
-		next.fn()
+		if next.fnA != nil {
+			next.fnA(next.arg)
+		} else {
+			next.fn()
+		}
+		if next.pooled {
+			s.put(next)
+		}
 	}
-	if deadline >= 0 && deadline > s.now {
+	if err == nil && deadline >= 0 && deadline > s.now {
 		s.now = deadline
 	}
-	return nil
+	s.gQueueMax.SetMax(int64(qmax))
+	return err
 }
 
 // eventQueue is a min-heap ordered by (time, sequence number).

@@ -386,6 +386,157 @@ func TestTickerNonPositivePeriodPanics(t *testing.T) {
 	NewTicker(New(), 0, func() {})
 }
 
+// Regression (issue 5): Cancel on an already-fired event must report
+// false and must not mark the event canceled — it really executed, so
+// Canceled() would misreport history.
+func TestCancelReportsRemoval(t *testing.T) {
+	sim := New()
+	fired := false
+	e := sim.Schedule(time.Second, func() { fired = true })
+	if err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !fired {
+		t.Fatal("event did not fire")
+	}
+	if sim.Cancel(e) {
+		t.Error("Cancel returned true for an already-fired event")
+	}
+	if e.Canceled() {
+		t.Error("already-fired event was marked canceled")
+	}
+
+	pending := sim.Schedule(2*time.Second, func() {})
+	if !sim.Cancel(pending) {
+		t.Error("Cancel returned false for a pending event")
+	}
+	if !pending.Canceled() {
+		t.Error("removed event not marked canceled")
+	}
+	if sim.Cancel(pending) {
+		t.Error("second Cancel returned true")
+	}
+	if sim.Cancel(nil) {
+		t.Error("Cancel(nil) returned true")
+	}
+}
+
+// ScheduleFunc/AfterFunc events share the sequence counter with Schedule,
+// so pooled and unpooled events interleave deterministically at equal
+// timestamps.
+func TestScheduleFuncInterleavesWithSchedule(t *testing.T) {
+	sim := New()
+	var got []int
+	appendVal := func(a any) { got = append(got, *(a.(*int))) }
+	vals := []int{0, 1, 2, 3}
+	sim.Schedule(time.Second, func() { got = append(got, vals[0]) })
+	sim.ScheduleFunc(time.Second, appendVal, &vals[1])
+	sim.AfterFunc(time.Second, appendVal, &vals[2])
+	sim.Schedule(time.Second, func() { got = append(got, vals[3]) })
+	if err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("order = %v, want ascending", got)
+		}
+	}
+	if len(got) != 4 {
+		t.Fatalf("fired %d events, want 4", len(got))
+	}
+}
+
+func TestScheduleFuncNilCallbackPanics(t *testing.T) {
+	sim := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("nil callback did not panic")
+		}
+	}()
+	sim.ScheduleFunc(0, nil, nil)
+}
+
+// Reset must restore the zero-state observable behavior (clock, sequence
+// tie-break order, counters) so a reused simulator produces byte-identical
+// trials.
+func TestResetRestoresInitialState(t *testing.T) {
+	sim := New()
+	run := func() []int {
+		var got []int
+		for i := 0; i < 5; i++ {
+			i := i
+			sim.Schedule(time.Second, func() { got = append(got, i) })
+		}
+		sim.AfterFunc(time.Second, func(a any) {}, nil)
+		if err := sim.RunUntil(time.Second); err != nil {
+			t.Fatalf("RunUntil: %v", err)
+		}
+		// Leave one event pending to exercise queue draining in Reset.
+		sim.Schedule(time.Hour, func() {})
+		timer := NewTimer(sim, func() {})
+		timer.Reset(time.Hour)
+		return got
+	}
+	first := run()
+	if sim.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2 before Reset", sim.Pending())
+	}
+	sim.Reset()
+	if sim.Now() != 0 || sim.Fired() != 0 || sim.Pending() != 0 {
+		t.Fatalf("after Reset: now=%v fired=%d pending=%d, want zeros",
+			sim.Now(), sim.Fired(), sim.Pending())
+	}
+	second := run()
+	if len(first) != len(second) {
+		t.Fatalf("runs differ in length: %v vs %v", first, second)
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("runs diverge after Reset: %v vs %v", first, second)
+		}
+	}
+}
+
+// Allocation budget (issue 5): once the free list is warm, scheduling and
+// firing pooled events allocates nothing.
+func TestAllocsPerEventSteadyState(t *testing.T) {
+	sim := New()
+	count := 0
+	inc := func(a any) { *(a.(*int))++ }
+	cycle := func() {
+		for j := 0; j < 256; j++ {
+			sim.AfterFunc(time.Duration(j%13)*time.Millisecond, inc, &count)
+		}
+		if err := sim.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+	}
+	cycle() // warm the free list and heap backing array
+	if allocs := testing.AllocsPerRun(10, cycle); allocs != 0 {
+		t.Errorf("pooled schedule/fire allocated %.1f per 256-event cycle, want 0", allocs)
+	}
+}
+
+// Timers ride the pooled path: steady-state Reset/fire cycles are
+// allocation-free too.
+func TestTimerAllocsSteadyState(t *testing.T) {
+	sim := New()
+	fired := 0
+	timer := NewTimer(sim, func() { fired++ })
+	cycle := func() {
+		for j := 0; j < 64; j++ {
+			timer.Reset(time.Millisecond)
+			if err := sim.Run(); err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+		}
+	}
+	cycle()
+	if allocs := testing.AllocsPerRun(10, cycle); allocs != 0 {
+		t.Errorf("timer reset/fire allocated %.1f per 64-cycle run, want 0", allocs)
+	}
+}
+
 func BenchmarkScheduleRun(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

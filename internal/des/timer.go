@@ -5,6 +5,9 @@ import "time"
 // Timer is a resettable one-shot timer bound to a Simulator, analogous to
 // time.Timer but in virtual time. The zero value is not usable; create
 // timers with NewTimer.
+//
+// Timers schedule through the simulator's pooled event path: arming and
+// firing a timer allocates nothing in steady state.
 type Timer struct {
 	sim *Simulator
 	fn  func()
@@ -22,15 +25,24 @@ func NewTimer(sim *Simulator, fn func()) *Timer {
 	return &Timer{sim: sim, fn: fn}
 }
 
+// timerFire clears the timer's event pointer before invoking the callback
+// so the pooled event can be recycled safely: by the time run() returns
+// it to the free list, the timer no longer references it (and fn may have
+// re-armed the timer with a fresh event).
+func timerFire(a any) {
+	t := a.(*Timer)
+	t.ev = nil
+	t.fn()
+}
+
 // Reset (re)arms the timer to fire d from now, canceling any pending
-// expiry first.
+// expiry first. Negative d is clamped to zero.
 func (t *Timer) Reset(d time.Duration) {
 	t.Stop()
-	ev := t.sim.After(d, func() {
-		t.ev = nil
-		t.fn()
-	})
-	t.ev = ev
+	if d < 0 {
+		d = 0
+	}
+	t.ev = t.sim.schedulePooled(t.sim.now+d, timerFire, t)
 }
 
 // Stop cancels a pending expiry. Stopping an unarmed timer is a no-op.
@@ -67,14 +79,17 @@ func NewTicker(sim *Simulator, period time.Duration, fn func()) *Ticker {
 	return t
 }
 
+func tickerFire(a any) {
+	t := a.(*Ticker)
+	t.ev = nil
+	t.fn()
+	if t.ev == nil { // fn may have called Stop; only rearm if it did not
+		t.schedule()
+	}
+}
+
 func (t *Ticker) schedule() {
-	t.ev = t.sim.After(t.period, func() {
-		t.ev = nil
-		t.fn()
-		if t.ev == nil { // fn may have called Stop; only rearm if it did not
-			t.schedule()
-		}
-	})
+	t.ev = t.sim.schedulePooled(t.sim.now+t.period, tickerFire, t)
 }
 
 // Stop cancels future ticks. It may be called from inside the tick

@@ -224,8 +224,8 @@ func TableIIContext(ctx context.Context, profiles []workload.Profile, opts Optio
 		evals, err := exprun.Map(ctx, []evalTask{
 			{name: "default"},
 			{name: "dynamic", changes: ToConfigChanges(schedule)},
-		}, func(_ context.Context, _ int, t evalTask) (testbed.Result, error) {
-			res, err := testbed.Run(testbed.Experiment{
+		}, func(ctx context.Context, _ int, t evalTask) (testbed.Result, error) {
+			res, err := testbed.RunCtx(ctx, testbed.Experiment{
 				Features:   base,
 				Messages:   messages,
 				Seed:       opts.Seed + 1000 + uint64(pi),

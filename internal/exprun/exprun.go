@@ -195,6 +195,9 @@ func run(ctx context.Context, n int, fn func(ctx context.Context, i int) error, 
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			// Each worker owns one scratch slot for warm per-trial state;
+			// see Scratch for the determinism contract.
+			wctx := context.WithValue(ctx, scratchKey{}, new(Scratch))
 			for i := range indices {
 				picked := time.Now()
 				if ctx.Err() != nil {
@@ -207,7 +210,7 @@ func run(ctx context.Context, n int, fn func(ctx context.Context, i int) error, 
 					opts.Hooks.OnStart(i)
 					mu.Unlock()
 				}
-				err := fn(ctx, i)
+				err := fn(wctx, i)
 				finish(i, Timing{Wait: picked.Sub(start), Run: time.Since(picked)}, err)
 			}
 		}()

@@ -78,8 +78,8 @@ type point struct {
 func runBatch(o Options, points []point, label func(p point) string) ([]testbed.Result, error) {
 	seedAt := exprun.LinearSeeds(o.Seed, seedStride)
 	return exprun.Map(o.ctx(), points,
-		func(_ context.Context, _ int, p point) (testbed.Result, error) {
-			res, err := testbed.Run(testbed.Experiment{
+		func(ctx context.Context, _ int, p point) (testbed.Result, error) {
+			res, err := testbed.RunCtx(ctx, testbed.Experiment{
 				Features:   p.v,
 				Messages:   o.messages(),
 				Seed:       seedAt(p.idx),

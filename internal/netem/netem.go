@@ -77,7 +77,58 @@ type Link struct {
 	cLostRandom   *obs.Counter
 	cLostOverflow *obs.Counter
 	trace         *obs.Tracer
+
+	// freeDel recycles per-copy delivery jobs: a packet in flight costs no
+	// allocation in steady state. Jobs are recycled when they fire; jobs
+	// for dropped copies are never created.
+	freeDel []*delivery
 }
+
+// delivery is one scheduled packet copy working its way to the far end.
+type delivery struct {
+	l    *Link
+	size int
+	fn0  func()                   // Send form: plain closure
+	fnA  func(arg any, last bool) // SendFn form: stable callback + arg
+	arg  any
+	last bool
+}
+
+func (l *Link) getDelivery() *delivery {
+	if n := len(l.freeDel); n > 0 {
+		d := l.freeDel[n-1]
+		l.freeDel[n-1] = nil
+		l.freeDel = l.freeDel[:n-1]
+		return d
+	}
+	return &delivery{}
+}
+
+func (l *Link) putDelivery(d *delivery) {
+	*d = delivery{}
+	l.freeDel = append(l.freeDel, d)
+}
+
+// runDelivery fires when a packet copy reaches the far end. The job is
+// recycled before the callback runs (its fields are copied out first), so
+// the callback may immediately trigger further sends.
+func runDelivery(a any) {
+	d := a.(*delivery)
+	l := d.l
+	fn0, fnA, arg, size, last := d.fn0, d.fnA, d.arg, d.size, d.last
+	l.putDelivery(d)
+	l.cnt.Delivered++
+	l.cnt.BytesDelivery += uint64(size)
+	l.cDelivered.Inc()
+	if fn0 != nil {
+		fn0()
+	} else {
+		fnA(arg, last)
+	}
+}
+
+// linkDecQ releases one device-queue slot when serialisation finishes.
+func linkDecQ(a any) { a.(*Link).q-- }
 
 // NewLink creates one direction of a path.
 func NewLink(sim *des.Simulator, cfg Config) (*Link, error) {
@@ -196,11 +247,30 @@ func (l *Link) Probe() obs.NetProbe {
 // serialisation and propagation delay. Send never calls deliver
 // synchronously.
 func (l *Link) Send(size int, deliver func()) {
-	if size < 0 {
-		panic(fmt.Sprintf("netem: negative packet size %d", size))
-	}
 	if deliver == nil {
 		panic("netem: Send with nil deliver callback")
+	}
+	l.send(size, deliver, nil, nil)
+}
+
+// SendFn is the allocation-free form of Send: a stable callback plus an
+// opaque arg instead of a per-packet closure. The callback's last
+// parameter reports whether this invocation is the packet's final
+// delivery — duplication (DuplicateProb) can deliver the same arg twice,
+// and resources reachable from arg may only be recycled on the last
+// delivery. Copies dropped by loss or queue overflow never fire at all,
+// so "last == true never arrived" simply means the garbage collector
+// reclaims arg.
+func (l *Link) SendFn(size int, fn func(arg any, last bool), arg any) {
+	if fn == nil {
+		panic("netem: SendFn with nil deliver callback")
+	}
+	l.send(size, nil, fn, arg)
+}
+
+func (l *Link) send(size int, deliver func(), fnA func(any, bool), arg any) {
+	if size < 0 {
+		panic(fmt.Sprintf("netem: negative packet size %d", size))
 	}
 	l.cnt.Offered++
 	l.cnt.BytesOffered += uint64(size)
@@ -222,13 +292,13 @@ func (l *Link) Send(size int, deliver func()) {
 		l.cnt.Duplicated++
 	}
 	for c := 0; c < copies; c++ {
-		l.deliverOne(size, deliver)
+		l.deliverOne(size, deliver, fnA, arg, c == copies-1)
 	}
 }
 
 // deliverOne schedules one copy of a packet through serialisation, delay
 // and FIFO ordering.
-func (l *Link) deliverOne(size int, deliver func()) {
+func (l *Link) deliverOne(size int, deliver func(), fnA func(any, bool), arg any, lastCopy bool) {
 	now := l.sim.Now()
 	txDone := now
 	if l.cfg.Bandwidth > 0 {
@@ -246,7 +316,7 @@ func (l *Link) deliverOne(size int, deliver func()) {
 		txDone = start + tx
 		l.free = txDone
 		l.q++
-		l.sim.Schedule(txDone, func() { l.q-- })
+		l.sim.ScheduleFunc(txDone, linkDecQ, l)
 	}
 
 	var prop time.Duration
@@ -266,12 +336,14 @@ func (l *Link) deliverOne(size int, deliver func()) {
 		at = l.last
 	}
 	l.last = at
-	l.sim.Schedule(at, func() {
-		l.cnt.Delivered++
-		l.cnt.BytesDelivery += uint64(size)
-		l.cDelivered.Inc()
-		deliver()
-	})
+	d := l.getDelivery()
+	d.l = l
+	d.size = size
+	d.fn0 = deliver
+	d.fnA = fnA
+	d.arg = arg
+	d.last = lastCopy
+	l.sim.ScheduleFunc(at, runDelivery, d)
 }
 
 // Path is a duplex producer↔cluster connection: a forward (request) and a

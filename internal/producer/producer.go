@@ -48,10 +48,26 @@ func (b *batch) minDeadline() time.Duration {
 	return min
 }
 
-// request tracks one in-flight produce request.
+// request tracks one in-flight produce request. Requests are pooled on
+// the producer: the timeout timer is created once per pooled request and
+// re-armed on reuse, with its callback reading the current correlation
+// ID from the request rather than capturing it.
 type request struct {
+	p     *Producer
 	batch *batch
+	corr  uint32
 	timer *des.Timer
+}
+
+// batchJob parks a batch across an asynchronous gap — its serialisation
+// delay or its retry backoff. Jobs are pooled on the producer so neither
+// path allocates a closure per batch. A job rather than a field on the
+// producer is required for serialisation: draining the source can
+// re-enter kickSender from inside collectRecords, leaving two
+// serialisations pending at once.
+type batchJob struct {
+	p *Producer
+	b *batch
 }
 
 // Producer drives messages from a Source into the cluster over a
@@ -97,6 +113,122 @@ type Producer struct {
 	cRespErrors  [wire.NumErrorCodes]*obs.Counter
 	hQueueDepth  *obs.Histogram
 	trace        *obs.Tracer
+
+	// Hot-path scratch and free lists. The producer is single-threaded
+	// (one simulator drives it), so plain slices suffice; event callbacks
+	// are package-level functions scheduled with des.AfterFunc, and the
+	// fields below park their state between arming and firing.
+	intakePayload []byte        // payload between source.Next and the intake event
+	bodyBuf       []byte        // reused produce-request body encoding
+	frameBuf      []byte        // reused frame encoding (Conn.Send copies it)
+	encRecords    []wire.Record // reused wire-record scratch for buildRequest
+	decoder       wire.Decoder  // reused response decoding (topic interning)
+	freeReq       []*request
+	freeBatch     []*batch
+	freeRec       []*record
+	freeJob       []*batchJob
+}
+
+// Event callbacks, scheduled via des.AfterFunc with the producer (or a
+// pooled job) as argument so that arming one allocates nothing.
+
+func intakeArrive(a any) { a.(*Producer).intakeArrived() }
+
+func serialDone(a any) {
+	j := a.(*batchJob)
+	p, b := j.p, j.b
+	p.putJob(j)
+	p.senderBusy = false
+	p.trySend(b)
+}
+
+func lingerFire(a any) {
+	p := a.(*Producer)
+	p.lingerArmed = false
+	p.kickSender()
+}
+
+func sendRetryFire(a any) {
+	p := a.(*Producer)
+	p.sendRetryArmed = false
+	p.flushUnsent()
+	p.kickSender()
+}
+
+func retryFire(a any) {
+	j := a.(*batchJob)
+	p, b := j.p, j.b
+	p.putJob(j)
+	p.retryPending -= len(b.records)
+	p.retryBatches--
+	p.trySend(b)
+}
+
+// --- free lists ----------------------------------------------------------
+//
+// Every pooled object has exactly one terminal sink (records: resolution;
+// batches: the resolve loops and the empty-after-expiry path; requests:
+// response, timeout, or broken socket), so a double put would require a
+// double resolution, which the message state machine already forbids.
+
+func (p *Producer) getRecord() *record {
+	if n := len(p.freeRec); n > 0 {
+		r := p.freeRec[n-1]
+		p.freeRec = p.freeRec[:n-1]
+		*r = record{}
+		return r
+	}
+	return new(record)
+}
+
+func (p *Producer) getBatch() *batch {
+	if n := len(p.freeBatch); n > 0 {
+		b := p.freeBatch[n-1]
+		p.freeBatch = p.freeBatch[:n-1]
+		return b
+	}
+	return new(batch)
+}
+
+func (p *Producer) putBatch(b *batch) {
+	for i := range b.records {
+		b.records[i] = nil
+	}
+	b.records = b.records[:0]
+	b.seq, b.attempts, b.lastBackoff = 0, 0, 0
+	p.freeBatch = append(p.freeBatch, b)
+}
+
+func (p *Producer) getRequest() *request {
+	if n := len(p.freeReq); n > 0 {
+		rq := p.freeReq[n-1]
+		p.freeReq = p.freeReq[:n-1]
+		return rq
+	}
+	rq := &request{p: p}
+	rq.timer = des.NewTimer(p.sim, func() { rq.p.onRequestTimeout(rq.corr) })
+	return rq
+}
+
+func (p *Producer) putRequest(rq *request) {
+	rq.timer.Stop()
+	rq.batch = nil
+	p.freeReq = append(p.freeReq, rq)
+}
+
+func (p *Producer) getJob(b *batch) *batchJob {
+	if n := len(p.freeJob); n > 0 {
+		j := p.freeJob[n-1]
+		p.freeJob = p.freeJob[:n-1]
+		j.b = b
+		return j
+	}
+	return &batchJob{p: p, b: b}
+}
+
+func (p *Producer) putJob(j *batchJob) {
+	j.b = nil
+	p.freeJob = append(p.freeJob, j)
 }
 
 // Option customises a Producer.
@@ -164,6 +296,7 @@ func New(sim *des.Simulator, cfg Config, costs CostModel, conn *transport.Conn, 
 	for _, opt := range opts {
 		opt(p)
 	}
+	p.decoder.Topic = cfg.Topic
 	conn.Client.OnReceive(p.onBytes)
 	conn.Client.OnBroken(p.onBroken)
 	conn.OnReset(func() { p.splitter = wire.Splitter{} })
@@ -254,22 +387,30 @@ func (p *Producer) scheduleIntake() {
 		return
 	}
 	cost := p.costs.IOTime(len(payload)) + p.cfg.PollInterval
-	p.sim.After(cost, func() {
-		p.nextKey++
-		now := p.sim.Now()
-		p.queue.pushBack(&record{
-			key:      p.nextKey,
-			payload:  payload,
-			arrived:  now,
-			deadline: now + p.cfg.MessageTimeout,
-			state:    StateReady,
-		})
-		p.cEnqueued.Inc()
-		p.hQueueDepth.Observe(int64(p.queue.len()))
-		p.trace.Emit(obs.LayerProducer, obs.EvRecordEnqueue, p.nextKey, int64(p.queue.len()), 0, "")
-		p.kickSender()
-		p.scheduleIntake()
-	})
+	// At most one intake event is pending at a time (the loop reschedules
+	// itself from the callback), so the payload can park on the producer.
+	p.intakePayload = payload
+	p.sim.AfterFunc(cost, intakeArrive, p)
+}
+
+// intakeArrived admits the parked payload as a queued record.
+func (p *Producer) intakeArrived() {
+	payload := p.intakePayload
+	p.intakePayload = nil
+	p.nextKey++
+	now := p.sim.Now()
+	r := p.getRecord()
+	r.key = p.nextKey
+	r.payload = payload
+	r.arrived = now
+	r.deadline = now + p.cfg.MessageTimeout
+	r.state = StateReady
+	p.queue.pushBack(r)
+	p.cEnqueued.Inc()
+	p.hQueueDepth.Observe(int64(p.queue.len()))
+	p.trace.Emit(obs.LayerProducer, obs.EvRecordEnqueue, p.nextKey, int64(p.queue.len()), 0, "")
+	p.kickSender()
+	p.scheduleIntake()
 }
 
 // backpressured reports whether intake must pause. Only acknowledged
@@ -302,52 +443,51 @@ func (p *Producer) kickSender() {
 	if p.cfg.Semantics != AtMostOnce && len(p.inFlight)+p.retryBatches >= p.cfg.MaxInFlight {
 		return
 	}
-	records := p.collectRecords()
-	if len(records) == 0 {
+	b := p.getBatch()
+	b.records = p.collectRecords(b.records)
+	if len(b.records) == 0 {
+		p.putBatch(b)
 		p.maybeComplete()
 		return
 	}
 	p.batchSeq++
-	b := &batch{records: records, seq: p.batchSeq}
+	b.seq = p.batchSeq
 	// Serialisation occupies the send path for the per-record CPU cost.
 	var serial time.Duration
-	for _, r := range records {
+	for _, r := range b.records {
 		serial += p.costs.SerTime(len(r.payload))
 	}
 	p.senderBusy = true
-	p.sim.After(serial, func() {
-		p.senderBusy = false
-		p.trySend(b)
-	})
+	p.sim.AfterFunc(serial, serialDone, p.getJob(b))
 }
 
 // collectRecords pops expired records (resolving them lost) and then up
-// to BatchSize ready records, honouring the linger rule: a partial batch
-// is only taken once its oldest record has lingered, or when no more
-// input is coming.
-func (p *Producer) collectRecords() []*record {
+// to BatchSize ready records into dst, honouring the linger rule: a
+// partial batch is only taken once its oldest record has lingered, or
+// when no more input is coming. dst comes from a pooled batch so the
+// steady state allocates nothing.
+func (p *Producer) collectRecords(dst []*record) []*record {
 	p.dropExpired()
 	n := p.queue.len()
 	if n == 0 {
-		return nil
+		return dst
 	}
 	if n < p.cfg.BatchSize && !p.intakeDone {
 		oldest := p.queue.peekFront()
 		if p.sim.Now()-oldest.arrived < p.cfg.LingerTime {
 			p.armLinger(oldest)
-			return nil
+			return dst
 		}
 	}
 	take := p.cfg.BatchSize
 	if take > p.queue.len() {
 		take = p.queue.len()
 	}
-	records := make([]*record, 0, take)
 	for i := 0; i < take; i++ {
-		records = append(records, p.queue.popFront())
+		dst = append(dst, p.queue.popFront())
 	}
 	p.resumeIntake()
-	return records
+	return dst
 }
 
 func (p *Producer) armLinger(oldest *record) {
@@ -359,10 +499,7 @@ func (p *Producer) armLinger(oldest *record) {
 	if wait < 0 {
 		wait = 0
 	}
-	p.sim.After(wait, func() {
-		p.lingerArmed = false
-		p.kickSender()
-	})
+	p.sim.AfterFunc(wait, lingerFire, p)
 }
 
 // dropExpired resolves queue-head records whose delivery budget elapsed
@@ -419,16 +556,18 @@ func (p *Producer) sendNow(b *batch) bool {
 		for _, r := range b.records {
 			p.resolveLost(r)
 		}
-		b.records = nil
+		b.records = b.records[:0]
 	}
 	if len(b.records) == 0 {
+		p.putBatch(b)
 		p.maybeComplete()
 		return true
 	}
 
 	req := p.buildRequest(b)
-	data := wire.EncodeFrame(wire.APIProduce, req.Encode(nil))
-	if err := p.conn.Client.Send(data); err != nil {
+	p.bodyBuf = req.Encode(p.bodyBuf[:0])
+	p.frameBuf = wire.AppendFrame(p.frameBuf[:0], wire.APIProduce, p.bodyBuf)
+	if err := p.conn.Client.Send(p.frameBuf); err != nil {
 		// ErrBufferFull: socket backpressure — the records' deadlines
 		// keep running, which is how a stalled TCP connection translates
 		// into message loss. ErrBroken: onBroken's reconnect flow will
@@ -444,11 +583,7 @@ func (p *Producer) armSendRetry() {
 		return
 	}
 	p.sendRetryArmed = true
-	p.sim.After(2*time.Millisecond, func() {
-		p.sendRetryArmed = false
-		p.flushUnsent()
-		p.kickSender()
-	})
+	p.sim.AfterFunc(2*time.Millisecond, sendRetryFire, p)
 }
 
 // flushUnsent re-attempts blocked batches in order.
@@ -471,13 +606,18 @@ func (p *Producer) buildRequest(b *batch) wire.ProduceRequest {
 	if p.cfg.Semantics == ExactlyOnce {
 		wb.ProducerID = p.cfg.ProducerID
 	}
+	// The wire records only live until the request is encoded, so they
+	// are built in a reused scratch slice.
+	recs := p.encRecords[:0]
 	for _, r := range b.records {
-		wb.Records = append(wb.Records, wire.Record{
+		recs = append(recs, wire.Record{
 			Key:       r.key,
 			Timestamp: r.arrived,
 			Payload:   r.payload,
 		})
 	}
+	p.encRecords = recs
+	wb.Records = recs
 	acks := wire.AcksLeader
 	switch p.cfg.Semantics {
 	case AtMostOnce:
@@ -519,11 +659,12 @@ func (p *Producer) afterSend(corr uint32, b *batch) {
 		for _, r := range b.records {
 			p.resolveDelivered(r)
 		}
+		p.putBatch(b)
 		p.maybeComplete()
 		return
 	}
-	rq := &request{batch: b}
-	rq.timer = des.NewTimer(p.sim, func() { p.onRequestTimeout(corr) })
+	rq := p.getRequest()
+	rq.batch, rq.corr = b, corr
 	rq.timer.Reset(p.cfg.RequestTimeout)
 	p.inFlight[corr] = rq
 }
@@ -540,7 +681,7 @@ func (p *Producer) onBytes(chunk []byte) {
 		if f.API != wire.APIProduce {
 			continue
 		}
-		resp, err := wire.DecodeProduceResponse(f.Body)
+		resp, err := p.decoder.ProduceResponse(f.Body)
 		if err != nil {
 			continue
 		}
@@ -557,12 +698,14 @@ func (p *Producer) onResponse(resp wire.ProduceResponse) {
 		return
 	}
 	delete(p.inFlight, resp.CorrelationID)
-	rq.timer.Stop()
+	b := rq.batch
+	p.putRequest(rq) // stops the timer; rq is detached before any reuse point
 	if resp.Err == wire.ErrNone {
-		p.trace.Emit(obs.LayerProducer, obs.EvBatchAck, rq.batch.seq, int64(len(rq.batch.records)), int64(resp.CorrelationID), "")
-		for _, r := range rq.batch.records {
+		p.trace.Emit(obs.LayerProducer, obs.EvBatchAck, b.seq, int64(len(b.records)), int64(resp.CorrelationID), "")
+		for _, r := range b.records {
 			p.resolveDelivered(r)
 		}
+		p.putBatch(b)
 		p.maybeComplete()
 		p.kickSender()
 		return
@@ -571,13 +714,14 @@ func (p *Producer) onResponse(resp wire.ProduceResponse) {
 		p.cRespErrors[resp.Err].Inc()
 	}
 	if resp.Err.Retriable() {
-		p.retryOrFail(rq.batch)
+		p.retryOrFail(b)
 		return
 	}
-	p.trace.Emit(obs.LayerProducer, obs.EvBatchError, rq.batch.seq, 0, int64(resp.Err), resp.Err.String())
-	for _, r := range rq.batch.records {
+	p.trace.Emit(obs.LayerProducer, obs.EvBatchError, b.seq, 0, int64(resp.Err), resp.Err.String())
+	for _, r := range b.records {
 		p.resolveLost(r)
 	}
+	p.putBatch(b)
 	p.maybeComplete()
 	p.kickSender()
 }
@@ -590,7 +734,9 @@ func (p *Producer) onRequestTimeout(corr uint32) {
 	delete(p.inFlight, corr)
 	p.cReqTimeouts.Inc()
 	p.trace.Emit(obs.LayerProducer, obs.EvRequestTimeout, rq.batch.seq, int64(corr), 0, "")
-	p.retryOrFail(rq.batch)
+	b := rq.batch
+	p.putRequest(rq)
+	p.retryOrFail(b)
 }
 
 // nextBackoff returns the sleep before the batch's next retry. The
@@ -629,17 +775,16 @@ func (p *Producer) retryOrFail(b *batch) {
 		p.trace.Emit(obs.LayerProducer, obs.EvBatchRetry, b.seq, int64(backoff), int64(b.attempts+1), "")
 		p.retryPending += len(b.records)
 		p.retryBatches++
-		p.sim.After(backoff, func() {
-			p.retryPending -= len(b.records)
-			p.retryBatches--
-			p.trySend(b)
-		})
+		// The batch is muted while it waits (it sits in no other
+		// structure), so its record count is stable until retryFire.
+		p.sim.AfterFunc(backoff, retryFire, p.getJob(b))
 		return
 	}
 	p.trace.Emit(obs.LayerProducer, obs.EvBatchFail, b.seq, int64(len(b.records)), int64(b.attempts), "")
 	for _, r := range b.records {
 		p.resolveLost(r)
 	}
+	p.putBatch(b)
 	p.maybeComplete()
 	p.kickSender()
 }
@@ -655,9 +800,11 @@ func (p *Producer) onBroken(error) {
 		rq.timer.Stop()
 		pending = append(pending, rq)
 	}
-	p.inFlight = make(map[uint32]*request)
+	clear(p.inFlight)
 	for _, rq := range pending {
-		p.retryOrFail(rq.batch)
+		b := rq.batch
+		p.putRequest(rq)
+		p.retryOrFail(b)
 	}
 	p.sim.After(p.cfg.ReconnectDelay, func() {
 		p.reconnecting = false
@@ -718,6 +865,10 @@ func (p *Producer) record(r *record) {
 			Latency:  r.resolved - r.arrived,
 		})
 	}
+	// Resolution is a record's unique terminal sink: every owner (queue,
+	// batch) relinquishes the record on the path that resolves it, so it
+	// can be recycled here. It is zeroed again on reuse.
+	p.freeRec = append(p.freeRec, r)
 }
 
 func (p *Producer) maybeComplete() {

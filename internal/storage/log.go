@@ -25,7 +25,9 @@ type Entry struct {
 	Record wire.Record
 }
 
-// segment holds a contiguous run of records starting at base.
+// segment holds a contiguous run of records starting at base. Payload
+// bytes live in the log's arena blocks (see Log.arena), so stored
+// records never alias caller-owned (possibly reused) buffers.
 type segment struct {
 	base    int64
 	records []wire.Record
@@ -39,7 +41,18 @@ type Log struct {
 	flushed    int64 // offsets below this survived the last fsync
 	maxSegment int
 	bytes      uint64
+	// arena is the current payload block. Payloads are copied here at
+	// append time; when the block fills, a fresh one replaces it rather
+	// than growing in place, so existing payload aliases are never
+	// invalidated by a copy-on-grow and no block is ever written twice.
+	// Retired blocks stay reachable through the records that alias them
+	// and are reclaimed when truncation drops those records.
+	arena []byte
 }
+
+// arenaBlockSize is the allocation unit for payload storage. Oversized
+// payloads get a dedicated block.
+const arenaBlockSize = 64 << 10
 
 // DefaultSegmentRecords is the roll threshold when NewLog is given a
 // non-positive one.
@@ -57,6 +70,10 @@ func NewLog(maxSegmentRecords int) *Log {
 // Append assigns consecutive offsets to the records and stores them,
 // returning the base offset of the batch. Appending zero records returns
 // the current log end.
+//
+// The log copies payload bytes into its own arena blocks, so callers
+// may reuse or mutate the source buffers (for example records decoded
+// zero-copy from a network buffer) as soon as Append returns.
 func (l *Log) Append(records []wire.Record) int64 {
 	base := l.end
 	for _, r := range records {
@@ -72,6 +89,18 @@ func (l *Log) appendOne(r wire.Record) {
 		n++
 	}
 	seg := l.segments[n-1]
+	if pn := len(r.Payload); pn > 0 {
+		if len(l.arena)+pn > cap(l.arena) {
+			size := arenaBlockSize
+			if pn > size {
+				size = pn
+			}
+			l.arena = make([]byte, 0, size)
+		}
+		start := len(l.arena)
+		l.arena = append(l.arena, r.Payload...)
+		r.Payload = l.arena[start : start+pn : start+pn]
+	}
 	seg.records = append(seg.records, r)
 	l.end++
 	l.bytes += uint64(r.EncodedSize())
@@ -108,13 +137,30 @@ func (l *Log) Segments() int { return len(l.segments) }
 // Read returns up to max records starting at offset. Reading exactly at
 // the log end returns an empty slice; reading past it is an error.
 func (l *Log) Read(offset int64, max int) ([]Entry, error) {
+	return l.ReadInto(offset, max, nil)
+}
+
+// ReadInto is Read with a caller-provided scratch slice: entries are
+// appended to dst[:0], so a steady-state reader allocates nothing once
+// its scratch has grown. Returned entries alias the log's stored records
+// and stay valid for the life of the log.
+func (l *Log) ReadInto(offset int64, max int, dst []Entry) ([]Entry, error) {
 	if offset < l.start() || offset > l.end {
 		return nil, fmt.Errorf("%w: offset %d, log [%d, %d)", ErrOffsetOutOfRange, offset, l.start(), l.end)
 	}
 	if max <= 0 || offset == l.end {
 		return nil, nil
 	}
-	out := make([]Entry, 0, max)
+	// Size by what is actually available, not the caller's ceiling: a
+	// fetch asking for 2048 records from a near-empty log should not
+	// reserve 2048 entries.
+	if avail := int(l.end - offset); max > avail {
+		max = avail
+	}
+	out := dst[:0]
+	if cap(out) == 0 {
+		out = make([]Entry, 0, max)
+	}
 	for _, seg := range l.findSegments(offset) {
 		for i, r := range seg.records {
 			o := seg.base + int64(i)

@@ -288,3 +288,21 @@ func TestFlushAndTruncateClamp(t *testing.T) {
 		t.Fatalf("end = %d, want 3", l.End())
 	}
 }
+
+// Append copies payloads into the log's own arena, so a caller reusing
+// its record buffer after Append cannot corrupt the stored segment.
+func TestAppendCopiesPayloads(t *testing.T) {
+	l := NewLog(0)
+	payload := []byte("immutable-once-stored")
+	l.Append([]wire.Record{{Key: 1, Payload: payload}})
+	for i := range payload {
+		payload[i] = 0xAA
+	}
+	got, err := l.Read(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got[0].Record.Payload) != "immutable-once-stored" {
+		t.Errorf("stored payload corrupted: %q", got[0].Record.Payload)
+	}
+}

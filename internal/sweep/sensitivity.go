@@ -130,8 +130,8 @@ func SensitivityContext(ctx context.Context, base features.Vector, opts Sensitiv
 	}
 	type metrics struct{ pl, pd float64 }
 	runs, err := exprun.Map(ctx, tasks,
-		func(_ context.Context, _ int, t task) (metrics, error) {
-			res, err := testbed.Run(testbed.Experiment{
+		func(ctx context.Context, _ int, t task) (metrics, error) {
+			res, err := testbed.RunCtx(ctx, testbed.Experiment{
 				Features:   t.v,
 				Messages:   opts.Messages,
 				Seed:       opts.Seed,

@@ -135,8 +135,8 @@ func CollectStream(ctx context.Context, grid []features.Vector, opts Options, yi
 	}
 	seedAt := exprun.LinearSeeds(opts.Seed, seedStride)
 	return exprun.MapOrdered(ctx, grid,
-		func(_ context.Context, i int, v features.Vector) (features.Sample, error) {
-			res, err := testbed.Run(testbed.Experiment{
+		func(ctx context.Context, i int, v features.Vector) (features.Sample, error) {
+			res, err := testbed.RunCtx(ctx, testbed.Experiment{
 				Features:   v,
 				Messages:   opts.Messages,
 				Seed:       seedAt(i),

@@ -7,6 +7,7 @@
 package testbed
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"time"
@@ -179,6 +180,35 @@ type Result struct {
 
 // Run executes one experiment.
 func Run(e Experiment) (Result, error) {
+	return runOn(des.New(), e)
+}
+
+// trialScratch is the warm state a worker keeps between trials.
+type trialScratch struct {
+	sim *des.Simulator
+}
+
+// RunCtx executes one experiment like Run, but when ctx belongs to an
+// exprun worker it reuses the worker's simulator across trials
+// (des.Reset keeps the event heap and free-list capacity), so a sweep's
+// steady-state trials skip the per-run warm-up allocations. Results are
+// byte-identical to Run's.
+func RunCtx(ctx context.Context, e Experiment) (Result, error) {
+	s := exprun.ContextScratch(ctx)
+	if s == nil {
+		return Run(e)
+	}
+	ts, ok := s.Get().(*trialScratch)
+	if !ok {
+		ts = &trialScratch{sim: des.New()}
+		s.Set(ts)
+	} else {
+		ts.sim.Reset()
+	}
+	return runOn(ts.sim, e)
+}
+
+func runOn(sim *des.Simulator, e Experiment) (Result, error) {
 	if err := e.Features.Validate(); err != nil {
 		return Result{}, fmt.Errorf("testbed: %w", err)
 	}
@@ -193,7 +223,6 @@ func Run(e Experiment) (Result, error) {
 		return Result{}, err
 	}
 
-	sim := des.New()
 	rig, err := buildRig(sim, e, cal)
 	if err != nil {
 		return Result{}, err

@@ -134,11 +134,75 @@ type Stats struct {
 	RTO             time.Duration
 }
 
-// packet is what traverses the netem link between the two endpoints.
-type packet struct {
-	seq     int64  // byte offset of payload start (data packets)
-	ack     int64  // cumulative ack: next expected byte (ack packets)
-	payload []byte // nil for pure acks
+// dataPkt is a pooled in-flight data packet. It is recycled on its final
+// netem delivery (see deliverDataPkt); copies dropped by the network are
+// reclaimed by the garbage collector instead.
+type dataPkt struct {
+	from    *Endpoint
+	gen     uint64
+	seq     int64
+	payload []byte
+}
+
+// ackPkt is a pooled in-flight pure acknowledgement.
+type ackPkt struct {
+	from *Endpoint
+	gen  uint64
+	ack  int64
+}
+
+// deliverDataPkt fires at the far end of the netem link. Fields are
+// copied out before the packet struct is recycled; the payload buffer
+// itself is recycled separately, by the receiver, once its bytes are
+// consumed in order (see deliver).
+func deliverDataPkt(a any, last bool) {
+	p := a.(*dataPkt)
+	from, gen, seq, payload := p.from, p.gen, p.seq, p.payload
+	if last {
+		from.putDataPkt(p)
+	}
+	if from.genSent != gen {
+		return
+	}
+	from.peer.receiveData(seq, payload)
+}
+
+func deliverAckPkt(a any, last bool) {
+	p := a.(*ackPkt)
+	from, gen, ack := p.from, p.gen, p.ack
+	if last {
+		from.putAckPkt(p)
+	}
+	if from.genSent != gen {
+		return
+	}
+	from.peer.receiveAck(ack)
+}
+
+// bufPool recycles MSS-sized segment payload buffers. One pool is shared
+// by both endpoints of a Conn: the sender draws a buffer, the receiver
+// returns it after consuming the bytes, all on the single DES goroutine.
+type bufPool struct {
+	mss  int
+	free [][]byte
+}
+
+func (p *bufPool) get(n int) []byte {
+	if k := len(p.free); k > 0 {
+		b := p.free[k-1]
+		p.free[k-1] = nil
+		p.free = p.free[:k-1]
+		return b[:n]
+	}
+	return make([]byte, n, p.mss)
+}
+
+// put returns a buffer to the pool. Buffers that did not come from the
+// pool (wrong capacity) are left to the garbage collector.
+func (p *bufPool) put(b []byte) {
+	if cap(b) == p.mss {
+		p.free = append(p.free, b[:0])
+	}
 }
 
 // segMeta tracks an in-flight segment at the sender.
@@ -161,12 +225,20 @@ type Endpoint struct {
 	out  *netem.Link // link towards the peer
 	peer *Endpoint
 
-	// Sender state.
-	sendBuf   []byte // bytes accepted but not yet segmented onto the wire
-	sndUna    int64  // oldest unacknowledged byte
-	sndNxt    int64  // next byte to segment
-	bufBase   int64  // byte offset of sendBuf[0]
+	// Sender state. sendBuf holds accepted bytes; the prefix below
+	// sendHead is already acknowledged and is reclaimed by compacting in
+	// place when the buffer needs to grow, so steady-state sending reuses
+	// one backing array instead of reallocating per send.
+	sendBuf   []byte
+	sendHead  int   // index of the first live byte in sendBuf
+	sndUna    int64 // oldest unacknowledged byte
+	sndNxt    int64 // next byte to segment
+	bufBase   int64 // byte offset of sendBuf[sendHead]
 	inFlight  []*segMeta
+	freeMeta  []*segMeta // segMeta free list
+	freeData  []*dataPkt // dataPkt free list
+	freeAck   []*ackPkt  // ackPkt free list
+	bufs      *bufPool   // payload buffers, shared with the peer
 	cwnd      float64
 	ssthresh  float64
 	rto       time.Duration
@@ -228,7 +300,51 @@ func NewConn(sim *des.Simulator, path *netem.Path, cfg Config) (*Conn, error) {
 	server := newEndpoint("server", sim, cfg, path.Rev)
 	client.peer = server
 	server.peer = client
+	pool := &bufPool{mss: cfg.MSS}
+	client.bufs = pool
+	server.bufs = pool
 	return &Conn{Client: client, Server: server}, nil
+}
+
+func (e *Endpoint) getMeta() *segMeta {
+	if n := len(e.freeMeta); n > 0 {
+		m := e.freeMeta[n-1]
+		e.freeMeta[n-1] = nil
+		e.freeMeta = e.freeMeta[:n-1]
+		*m = segMeta{}
+		return m
+	}
+	return &segMeta{}
+}
+
+func (e *Endpoint) putMeta(m *segMeta) { e.freeMeta = append(e.freeMeta, m) }
+func (e *Endpoint) putDataPkt(p *dataPkt) {
+	*p = dataPkt{}
+	e.freeData = append(e.freeData, p)
+}
+func (e *Endpoint) putAckPkt(p *ackPkt) {
+	*p = ackPkt{}
+	e.freeAck = append(e.freeAck, p)
+}
+
+func (e *Endpoint) getDataPkt() *dataPkt {
+	if n := len(e.freeData); n > 0 {
+		p := e.freeData[n-1]
+		e.freeData[n-1] = nil
+		e.freeData = e.freeData[:n-1]
+		return p
+	}
+	return &dataPkt{}
+}
+
+func (e *Endpoint) getAckPkt() *ackPkt {
+	if n := len(e.freeAck); n > 0 {
+		p := e.freeAck[n-1]
+		e.freeAck[n-1] = nil
+		e.freeAck = e.freeAck[:n-1]
+		return p
+	}
+	return &ackPkt{}
 }
 
 func newEndpoint(name string, sim *des.Simulator, cfg Config, out *netem.Link) *Endpoint {
@@ -272,9 +388,14 @@ func (c *Conn) Reset() {
 func (e *Endpoint) reset() {
 	e.timer.Stop()
 	e.genSent++
-	e.sendBuf = nil
+	e.sendBuf = e.sendBuf[:0]
+	e.sendHead = 0
 	e.sndUna, e.sndNxt, e.bufBase = 0, 0, 0
-	e.inFlight = nil
+	for i, m := range e.inFlight {
+		e.putMeta(m)
+		e.inFlight[i] = nil
+	}
+	e.inFlight = e.inFlight[:0]
 	e.cwnd = float64(e.cfg.InitialCwnd)
 	e.ssthresh = float64(e.cfg.MaxWindow)
 	e.rto = e.cfg.InitialRTO
@@ -286,13 +407,16 @@ func (e *Endpoint) reset() {
 	e.rcvNxt = 0
 	e.unackedSegs = 0
 	e.ackTimer.Stop()
-	e.ooo = make(map[int64][]byte)
+	clear(e.ooo)
 	e.lastCwnd = e.cfg.InitialCwnd
 	// Peer receiver state resets on its own endpoint's reset.
 }
 
 // OnReceive registers the in-order delivery callback. Chunks arrive in
-// stream order with no gaps; boundaries are arbitrary.
+// stream order with no gaps; boundaries are arbitrary. The chunk is only
+// valid for the duration of the callback — the buffer is recycled for
+// future segments — so callers that keep the bytes must copy them (as a
+// real TCP reader copies out of the kernel buffer).
 func (e *Endpoint) OnReceive(fn func([]byte)) { e.onRecv = fn }
 
 // OnBroken registers the callback invoked once when the connection
@@ -338,7 +462,7 @@ func (e *Endpoint) Probe() obs.TransportProbe {
 
 // BufferedBytes returns bytes accepted by Send but not yet acknowledged.
 func (e *Endpoint) BufferedBytes() int {
-	return int(e.bufBase + int64(len(e.sendBuf)) - e.sndUna)
+	return int(e.bufBase + int64(len(e.sendBuf)-e.sendHead) - e.sndUna)
 }
 
 // Send queues data for reliable delivery to the peer. The data is copied.
@@ -348,6 +472,14 @@ func (e *Endpoint) Send(data []byte) error {
 	}
 	if e.cfg.SendBufferLimit > 0 && e.BufferedBytes()+len(data) > e.cfg.SendBufferLimit {
 		return ErrBufferFull
+	}
+	// Compact the acknowledged prefix back to the start of the backing
+	// array when growth would otherwise reallocate: steady-state traffic
+	// then cycles through a single buffer.
+	if e.sendHead > 0 && len(e.sendBuf)+len(data) > cap(e.sendBuf) {
+		n := copy(e.sendBuf, e.sendBuf[e.sendHead:])
+		e.sendBuf = e.sendBuf[:n]
+		e.sendHead = 0
 	}
 	e.sendBuf = append(e.sendBuf, data...)
 	e.pump()
@@ -369,7 +501,7 @@ func (e *Endpoint) windowSegs() int {
 // pump segments buffered bytes onto the wire while the window allows.
 func (e *Endpoint) pump() {
 	for !e.broken && len(e.inFlight) < e.windowSegs() {
-		off := int(e.sndNxt - e.bufBase)
+		off := e.sendHead + int(e.sndNxt-e.bufBase)
 		if off >= len(e.sendBuf) {
 			return // nothing new to send
 		}
@@ -377,9 +509,10 @@ func (e *Endpoint) pump() {
 		if n > e.cfg.MSS {
 			n = e.cfg.MSS
 		}
-		payload := make([]byte, n)
+		payload := e.bufs.get(n)
 		copy(payload, e.sendBuf[off:off+n])
-		m := &segMeta{seq: e.sndNxt, size: n, sentAt: e.sim.Now(), rttEligible: true}
+		m := e.getMeta()
+		m.seq, m.size, m.sentAt, m.rttEligible = e.sndNxt, n, e.sim.Now(), true
 		e.inFlight = append(e.inFlight, m)
 		e.sndNxt += int64(n)
 		e.transmit(m, payload)
@@ -406,13 +539,9 @@ func (e *Endpoint) transmit(m *segMeta, payload []byte) {
 	e.stats.SegmentsSent++
 	e.cSegSent.Inc()
 	e.trace.Emit(obs.LayerTransport, obs.EvSegmentSend, uint64(m.seq), int64(m.size), int64(m.retries), e.name)
-	pkt := packet{seq: m.seq, ack: -1, payload: payload}
-	gen := e.genSent
-	e.out.Send(m.size+e.cfg.SegmentOverhead, func() {
-		if e.genSent == gen {
-			e.peer.receiveData(pkt)
-		}
-	})
+	p := e.getDataPkt()
+	p.from, p.gen, p.seq, p.payload = e, e.genSent, m.seq, payload
+	e.out.SendFn(m.size+e.cfg.SegmentOverhead, deliverDataPkt, p)
 }
 
 // retransmit resends the oldest unacked segment. Every in-flight segment
@@ -428,8 +557,8 @@ func (e *Endpoint) retransmit(m *segMeta) {
 	e.stats.Retransmissions++
 	e.cRetransmits.Inc()
 	e.trace.Emit(obs.LayerTransport, obs.EvSegmentRetransmit, uint64(m.seq), int64(m.size), int64(m.retries), e.name)
-	off := int(m.seq - e.bufBase)
-	payload := make([]byte, m.size)
+	off := e.sendHead + int(m.seq-e.bufBase)
+	payload := e.bufs.get(m.size)
 	copy(payload, e.sendBuf[off:off+m.size])
 	e.transmit(m, payload)
 }
@@ -474,7 +603,11 @@ func (e *Endpoint) fail(err error) {
 		e.trace.Emit(obs.LayerTransport, obs.EvConnBroken, 0, 0, 0, e.name+": "+err.Error())
 	}
 	e.timer.Stop()
-	e.inFlight = nil
+	for i, m := range e.inFlight {
+		e.putMeta(m)
+		e.inFlight[i] = nil
+	}
+	e.inFlight = e.inFlight[:0]
 	if e.onErr != nil {
 		e.onErr(err)
 	}
@@ -482,26 +615,29 @@ func (e *Endpoint) fail(err error) {
 
 // receiveData runs at this endpoint when a data packet from the peer
 // lands; it acknowledges and delivers in-order bytes.
-func (e *Endpoint) receiveData(pkt packet) {
+func (e *Endpoint) receiveData(seq int64, payload []byte) {
 	inOrder := false
 	switch {
-	case pkt.seq == e.rcvNxt:
+	case seq == e.rcvNxt:
 		inOrder = true
-		e.deliver(pkt.payload)
+		e.deliver(payload)
 		// Drain any out-of-order segments now contiguous.
 		for {
-			payload, ok := e.ooo[e.rcvNxt]
+			p, ok := e.ooo[e.rcvNxt]
 			if !ok {
 				break
 			}
 			delete(e.ooo, e.rcvNxt)
-			e.deliver(payload)
+			e.deliver(p)
 		}
-	case pkt.seq > e.rcvNxt:
-		e.ooo[pkt.seq] = pkt.payload
+	case seq > e.rcvNxt:
+		e.ooo[seq] = payload
 	default:
-		// Duplicate of already-delivered data (spurious retransmission):
-		// re-ack and drop.
+		// Duplicate of already-delivered data (spurious retransmission or
+		// a netem-duplicated copy): re-ack and drop. The buffer is NOT
+		// returned to the pool — the consumed copy already recycled it (or
+		// will), and a double-put would hand the same buffer to two future
+		// segments.
 	}
 	if e.cfg.DelayedAck <= 0 || !inOrder || len(e.ooo) > 0 {
 		// Immediate ack: delaying disabled, or the segment was
@@ -533,6 +669,10 @@ func (e *Endpoint) deliver(payload []byte) {
 	if e.onRecv != nil {
 		e.onRecv(payload)
 	}
+	// The in-order copy is consumed exactly once; any duplicate of this
+	// segment arrives with a stale seq and never touches the buffer, so
+	// it is safe to recycle here. The pool is shared with the sender.
+	e.bufs.put(payload)
 }
 
 // sendAck emits a pure cumulative acknowledgement to the peer. It rides
@@ -541,13 +681,9 @@ func (e *Endpoint) deliver(payload []byte) {
 func (e *Endpoint) sendAck() {
 	e.stats.AcksSent++
 	e.cAcksSent.Inc()
-	ackNo := e.rcvNxt
-	gen := e.genSent
-	e.out.Send(e.cfg.AckSize, func() {
-		if e.genSent == gen {
-			e.peer.receiveAck(ackNo)
-		}
-	})
+	p := e.getAckPkt()
+	p.from, p.gen, p.ack = e, e.genSent, e.rcvNxt
+	e.out.SendFn(e.cfg.AckSize, deliverAckPkt, p)
 }
 
 // receiveAck processes a cumulative ack arriving at this endpoint's
@@ -600,29 +736,43 @@ func (e *Endpoint) receiveAck(ack int64) {
 	// Sampling older segments would record head-of-line blocking time
 	// spent behind a loss recovery as if it were path RTT.
 	var sampleAt time.Duration = -1
-	for len(e.inFlight) > 0 {
-		m := e.inFlight[0]
+	for acked < len(e.inFlight) {
+		m := e.inFlight[acked]
 		if m.seq+int64(m.size) > ack {
 			break
 		}
 		if m.rttEligible && m.sentAt > sampleAt {
 			sampleAt = m.sentAt
 		}
-		e.inFlight = e.inFlight[1:]
+		e.putMeta(m)
 		acked++
+	}
+	if acked > 0 {
+		// Compact in place instead of reslicing off the front, so the
+		// backing array's capacity keeps being reused.
+		n := copy(e.inFlight, e.inFlight[acked:])
+		for j := n; j < len(e.inFlight); j++ {
+			e.inFlight[j] = nil
+		}
+		e.inFlight = e.inFlight[:n]
 	}
 	if sampleAt >= 0 {
 		e.updateRTT(e.sim.Now() - sampleAt)
 	}
 	e.sndUna = ack
-	// Release acknowledged bytes from the buffer.
+	// Release acknowledged bytes: advance the head; the prefix is
+	// reclaimed by compaction in Send when the buffer next needs room.
 	drop := int(e.sndUna - e.bufBase)
 	if drop > 0 {
-		if drop > len(e.sendBuf) {
-			drop = len(e.sendBuf)
+		if drop > len(e.sendBuf)-e.sendHead {
+			drop = len(e.sendBuf) - e.sendHead
 		}
-		e.sendBuf = e.sendBuf[drop:]
+		e.sendHead += drop
 		e.bufBase += int64(drop)
+		if e.sendHead == len(e.sendBuf) {
+			e.sendBuf = e.sendBuf[:0]
+			e.sendHead = 0
+		}
 	}
 	// Congestion window growth.
 	for i := 0; i < acked; i++ {

@@ -95,6 +95,25 @@ func appendString(b []byte, s string) []byte {
 }
 
 func decodeString(b []byte) (string, []byte, error) {
+	return (*Decoder)(nil).decodeString(b)
+}
+
+// Decoder decodes messages with per-connection scratch reuse: topic
+// strings matching Topic are interned (no string allocation per message)
+// and record slices are decoded into a reused backing array, so a
+// steady-state connection decodes whole batches with O(1) allocations.
+//
+// Ownership: the Records slice of a ProduceRequest or FetchResponse
+// decoded through the same Decoder reuses one backing array — consume or
+// copy (CloneRecords) the records before the next decode on this
+// Decoder. Payloads follow the DecodeRecordBatch aliasing contract. A
+// nil *Decoder is valid and decodes without any reuse.
+type Decoder struct {
+	Topic   string // expected topic; matching decodes return this string
+	records []Record
+}
+
+func (d *Decoder) decodeString(b []byte) (string, []byte, error) {
 	if len(b) < 2 {
 		return "", nil, fmt.Errorf("string length: %w", ErrShortBuffer)
 	}
@@ -102,6 +121,11 @@ func decodeString(b []byte) (string, []byte, error) {
 	b = b[2:]
 	if len(b) < n {
 		return "", nil, fmt.Errorf("string body (%d bytes): %w", n, ErrShortBuffer)
+	}
+	// The comparison below does not allocate; only a topic the decoder
+	// has not been primed with costs a fresh string.
+	if d != nil && len(d.Topic) == n && string(b[:n]) == d.Topic {
+		return d.Topic, b[n:], nil
 	}
 	return string(b[:n]), b[n:], nil
 }
@@ -122,13 +146,19 @@ func (r ProduceRequest) EncodedSize() int {
 
 // DecodeProduceRequest parses a request body produced by Encode.
 func DecodeProduceRequest(b []byte) (ProduceRequest, error) {
+	return (*Decoder)(nil).ProduceRequest(b)
+}
+
+// ProduceRequest is DecodeProduceRequest with scratch reuse; see Decoder
+// for the ownership contract.
+func (d *Decoder) ProduceRequest(b []byte) (ProduceRequest, error) {
 	var r ProduceRequest
 	if len(b) < 4 {
 		return r, fmt.Errorf("produce correlation id: %w", ErrShortBuffer)
 	}
 	r.CorrelationID = binary.BigEndian.Uint32(b)
 	b = b[4:]
-	topic, b, err := decodeString(b)
+	topic, b, err := d.decodeString(b)
 	if err != nil {
 		return r, fmt.Errorf("produce topic: %w", err)
 	}
@@ -139,7 +169,7 @@ func DecodeProduceRequest(b []byte) (ProduceRequest, error) {
 	r.Partition = int32(binary.BigEndian.Uint32(b))
 	r.Acks = RequiredAcks(int16(binary.BigEndian.Uint16(b[4:])))
 	b = b[6:]
-	batch, rest, err := DecodeRecordBatch(b)
+	batch, rest, err := d.recordBatch(b)
 	if err != nil {
 		return r, fmt.Errorf("produce batch: %w", err)
 	}
@@ -164,13 +194,18 @@ func (r ProduceResponse) EncodedSize() int { return 4 + 2 + len(r.Topic) + 4 + 8
 
 // DecodeProduceResponse parses a response body produced by Encode.
 func DecodeProduceResponse(b []byte) (ProduceResponse, error) {
+	return (*Decoder)(nil).ProduceResponse(b)
+}
+
+// ProduceResponse is DecodeProduceResponse with topic interning.
+func (d *Decoder) ProduceResponse(b []byte) (ProduceResponse, error) {
 	var r ProduceResponse
 	if len(b) < 4 {
 		return r, fmt.Errorf("produce-response correlation id: %w", ErrShortBuffer)
 	}
 	r.CorrelationID = binary.BigEndian.Uint32(b)
 	b = b[4:]
-	topic, b, err := decodeString(b)
+	topic, b, err := d.decodeString(b)
 	if err != nil {
 		return r, fmt.Errorf("produce-response topic: %w", err)
 	}
@@ -195,13 +230,18 @@ func (r FetchRequest) Encode(dst []byte) []byte {
 
 // DecodeFetchRequest parses a request body produced by Encode.
 func DecodeFetchRequest(b []byte) (FetchRequest, error) {
+	return (*Decoder)(nil).FetchRequest(b)
+}
+
+// FetchRequest is DecodeFetchRequest with topic interning.
+func (d *Decoder) FetchRequest(b []byte) (FetchRequest, error) {
 	var r FetchRequest
 	if len(b) < 4 {
 		return r, fmt.Errorf("fetch correlation id: %w", ErrShortBuffer)
 	}
 	r.CorrelationID = binary.BigEndian.Uint32(b)
 	b = b[4:]
-	topic, b, err := decodeString(b)
+	topic, b, err := d.decodeString(b)
 	if err != nil {
 		return r, fmt.Errorf("fetch topic: %w", err)
 	}
@@ -231,13 +271,19 @@ func (r FetchResponse) Encode(dst []byte) []byte {
 
 // DecodeFetchResponse parses a response body produced by Encode.
 func DecodeFetchResponse(b []byte) (FetchResponse, error) {
+	return (*Decoder)(nil).FetchResponse(b)
+}
+
+// FetchResponse is DecodeFetchResponse with scratch reuse; see Decoder
+// for the ownership contract.
+func (d *Decoder) FetchResponse(b []byte) (FetchResponse, error) {
 	var r FetchResponse
 	if len(b) < 4 {
 		return r, fmt.Errorf("fetch-response correlation id: %w", ErrShortBuffer)
 	}
 	r.CorrelationID = binary.BigEndian.Uint32(b)
 	b = b[4:]
-	topic, b, err := decodeString(b)
+	topic, b, err := d.decodeString(b)
 	if err != nil {
 		return r, fmt.Errorf("fetch-response topic: %w", err)
 	}
@@ -250,19 +296,37 @@ func DecodeFetchResponse(b []byte) (FetchResponse, error) {
 	r.Err = ErrorCode(binary.BigEndian.Uint16(b[12:]))
 	count := int(binary.BigEndian.Uint32(b[14:]))
 	b = b[18:]
-	r.Records = make([]Record, 0, count)
+	recs := d.recordScratch(count)
 	for i := 0; i < count; i++ {
 		rec, rest, err := decodeRecord(b)
 		if err != nil {
 			return r, fmt.Errorf("fetch-response record %d: %w", i, err)
 		}
-		r.Records = append(r.Records, rec)
+		recs = append(recs, rec)
 		b = rest
 	}
 	if len(b) != 0 {
 		return r, fmt.Errorf("fetch-response trailing %d bytes: %w", len(b), ErrBadFrame)
 	}
+	r.Records = recs
+	d.keepRecordScratch(recs)
 	return r, nil
+}
+
+// recordScratch returns an empty record slice to decode into: the reused
+// backing array for a real decoder, a fresh allocation for a nil one.
+func (d *Decoder) recordScratch(count int) []Record {
+	if d != nil && d.records != nil {
+		return d.records[:0]
+	}
+	return make([]Record, 0, count)
+}
+
+// keepRecordScratch retains a (possibly grown) record slice for reuse.
+func (d *Decoder) keepRecordScratch(recs []Record) {
+	if d != nil {
+		d.records = recs
+	}
 }
 
 // Encode serialises the request body.

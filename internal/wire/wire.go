@@ -107,6 +107,9 @@ func (r Record) encode(b []byte) []byte {
 	return append(b, r.Payload...)
 }
 
+// decodeRecord parses one record. The returned payload is a zero-copy
+// alias into b (capacity-capped so appends cannot scribble past it); see
+// DecodeRecordBatch for the ownership contract.
 func decodeRecord(b []byte) (Record, []byte, error) {
 	if len(b) < 20 {
 		return Record{}, nil, fmt.Errorf("record header: %w", ErrShortBuffer)
@@ -119,8 +122,7 @@ func decodeRecord(b []byte) (Record, []byte, error) {
 	if len(b) < n {
 		return Record{}, nil, fmt.Errorf("record payload (%d bytes): %w", n, ErrShortBuffer)
 	}
-	r.Payload = make([]byte, n)
-	copy(r.Payload, b[:n])
+	r.Payload = b[:n:n]
 	return r, b[n:], nil
 }
 
@@ -145,22 +147,60 @@ func (b RecordBatch) EncodedSize() int {
 	return n
 }
 
-// Encode appends the batch encoding to dst and returns the result.
+// Encode appends the batch encoding to dst and returns the result. The
+// records are encoded directly into dst and the CRC is patched in
+// afterwards, so encoding into a reused buffer allocates nothing.
 func (b RecordBatch) Encode(dst []byte) []byte {
 	dst = binary.BigEndian.AppendUint64(dst, b.ProducerID)
 	dst = binary.BigEndian.AppendUint64(dst, b.BaseSequence)
 	dst = binary.BigEndian.AppendUint32(dst, uint32(len(b.Records)))
-	body := make([]byte, 0, 64)
+	crcAt := len(dst)
+	dst = append(dst, 0, 0, 0, 0) // CRC placeholder, patched below
+	bodyStart := len(dst)
 	for _, r := range b.Records {
-		body = r.encode(body)
+		dst = r.encode(dst)
 	}
-	dst = binary.BigEndian.AppendUint32(dst, crc32.Checksum(body, castagnoli))
-	return append(dst, body...)
+	binary.BigEndian.PutUint32(dst[crcAt:], crc32.Checksum(dst[bodyStart:], castagnoli))
+	return dst
+}
+
+// CloneRecords deep-copies the payloads of recs into a single freshly
+// allocated buffer and returns records aliasing it. Consumers that retain
+// decoded records beyond the lifetime of the decode source buffer (for
+// example across simulated time, or past the next Splitter.Push) must
+// clone them; see DecodeRecordBatch for the ownership contract.
+func CloneRecords(recs []Record) []Record {
+	total := 0
+	for _, r := range recs {
+		total += len(r.Payload)
+	}
+	buf := make([]byte, 0, total)
+	out := make([]Record, len(recs))
+	for i, r := range recs {
+		start := len(buf)
+		buf = append(buf, r.Payload...)
+		r.Payload = buf[start:len(buf):len(buf)]
+		out[i] = r
+	}
+	return out
 }
 
 // DecodeRecordBatch parses a batch and verifies its CRC, returning the
 // remaining bytes.
+//
+// Ownership: record payloads are zero-copy aliases into b. They remain
+// valid exactly as long as b's bytes do — callers that decode from a
+// reused or recycled buffer and retain the records must copy them first
+// (CloneRecords). In particular, frame bodies returned by Splitter.Push
+// are valid only until the next Push, so records decoded from split
+// frames and retained past the current callback must be cloned.
 func DecodeRecordBatch(b []byte) (RecordBatch, []byte, error) {
+	return (*Decoder)(nil).recordBatch(b)
+}
+
+// recordBatch is DecodeRecordBatch decoding records into the decoder's
+// reused scratch slice (see Decoder in messages.go).
+func (d *Decoder) recordBatch(b []byte) (RecordBatch, []byte, error) {
 	if len(b) < 24 {
 		return RecordBatch{}, nil, fmt.Errorf("batch header: %w", ErrShortBuffer)
 	}
@@ -171,18 +211,20 @@ func DecodeRecordBatch(b []byte) (RecordBatch, []byte, error) {
 	crc := binary.BigEndian.Uint32(b[20:])
 	b = b[24:]
 	start := b
-	batch.Records = make([]Record, 0, count)
+	recs := d.recordScratch(count)
 	for i := 0; i < count; i++ {
 		r, rest, err := decodeRecord(b)
 		if err != nil {
 			return RecordBatch{}, nil, fmt.Errorf("record %d: %w", i, err)
 		}
-		batch.Records = append(batch.Records, r)
+		recs = append(recs, r)
 		b = rest
 	}
 	consumed := len(start) - len(b)
 	if crc32.Checksum(start[:consumed], castagnoli) != crc {
 		return RecordBatch{}, nil, ErrBadCRC
 	}
+	batch.Records = recs
+	d.keepRecordScratch(recs)
 	return batch, b, nil
 }

@@ -234,7 +234,12 @@ func TestFrameRoundTripViaSplitter(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		frames = append(frames, got...)
+		// Bodies alias the splitter's reused buffer and are only valid
+		// until the next Push; copy them to retain.
+		for _, fr := range got {
+			fr.Body = append([]byte(nil), fr.Body...)
+			frames = append(frames, fr)
+		}
 	}
 	if len(frames) != 2 {
 		t.Fatalf("frames = %d, want 2", len(frames))
@@ -334,7 +339,10 @@ func TestPropertySplitterChunking(t *testing.T) {
 			if err != nil {
 				return false
 			}
-			frames = append(frames, got...)
+			for _, fr := range got {
+				fr.Body = append([]byte(nil), fr.Body...)
+				frames = append(frames, fr)
+			}
 		}
 		if len(frames) != count {
 			return false
@@ -366,6 +374,61 @@ func BenchmarkBatchDecode(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, _, err := DecodeRecordBatch(enc); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// Allocation budget (issue 5): once a Decoder's scratch is warm and its
+// Topic hint matches, decoding a produce request — record batch
+// included — allocates nothing: topic strings intern against the hint,
+// records land in the reused scratch slice, and payloads alias the
+// source buffer.
+func TestDecoderSteadyStateAllocs(t *testing.T) {
+	req := ProduceRequest{
+		CorrelationID: 42,
+		Topic:         "events",
+		Partition:     1,
+		Acks:          AcksLeader,
+		Batch:         sampleBatch(),
+	}
+	enc := req.Encode(nil)
+	d := &Decoder{Topic: "events"}
+	if _, err := d.ProduceRequest(enc); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		got, err := d.ProduceRequest(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Batch.Records) != 3 {
+			t.Fatalf("%d records", len(got.Batch.Records))
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state produce decode allocated %.1f per request, want 0", allocs)
+	}
+}
+
+// CloneRecords must sever every alias into the decode source: after
+// cloning, scribbling over the source buffer cannot reach the records.
+func TestCloneRecordsSeversSourceAliases(t *testing.T) {
+	enc := sampleBatch().Encode(nil)
+	batch, _, err := DecodeRecordBatch(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloned := CloneRecords(batch.Records)
+	want := make([][]byte, len(cloned))
+	for i, r := range cloned {
+		want[i] = append([]byte(nil), r.Payload...)
+	}
+	for i := range enc {
+		enc[i] = 0xFF
+	}
+	for i, r := range cloned {
+		if !bytes.Equal(r.Payload, want[i]) {
+			t.Errorf("record %d payload corrupted by source mutation: %x", i, r.Payload)
 		}
 	}
 }
