@@ -29,10 +29,10 @@ bench:
 	$(GO) test -run xxx -bench=. -benchmem
 
 ## bench-json: the observability benchmarks (obs overhead, timeline,
-## exprun scaling) as a machine-readable artefact. EXPERIMENTS.md
+## exprun scaling, fleet) as a machine-readable artefact. EXPERIMENTS.md
 ## documents the JSON format.
 bench-json:
-	$(GO) test -run xxx -bench 'Observability|Timeline|ExprunScaling' -benchmem -benchtime 3x . \
+	$(GO) test -run xxx -bench 'Observability|Timeline|ExprunScaling|Fleet' -benchmem -benchtime 3x . \
 		| $(GO) run ./cmd/benchjson > BENCH_obs.json
 
 ## bench-scaling: wall-time of figure reproduction vs worker count
@@ -41,13 +41,18 @@ bench-scaling:
 	$(GO) test -run xxx -bench 'ExprunScaling|Fig3SweepScaling' -benchtime 3x .
 
 ## bench-gate: the allocation-regression gate. Reruns the fig7 scaling
-## benchmarks, converts them to JSON, and fails if ns/op or allocs/op
-## regressed more than 20% against the committed BENCH_obs.json
-## baseline. Keeps issue 5's hot-path wins locked in.
+## and fleet scaling benchmarks, converts them to JSON, and fails if
+## ns/op or allocs/op regressed more than 20% against the committed
+## BENCH_obs.json baseline. Keeps issue 5's hot-path wins locked in and
+## issue 6's fleet fan-out honest. The fleet workload is ~4x shorter
+## per op than fig7 and proportionally noisier at -benchtime 3x, so its
+## ns gate is wider; its allocs gate is as deterministic as fig7's.
 bench-gate:
-	$(GO) test -run xxx -bench 'ExprunScaling' -benchmem -benchtime 3x . \
+	$(GO) test -run xxx -bench 'ExprunScaling|FleetScaling' -benchmem -benchtime 3x . \
 		| $(GO) run ./cmd/benchjson > BENCH_fresh.json
 	$(GO) run ./cmd/benchgate -baseline BENCH_obs.json -fresh BENCH_fresh.json -match fig7
+	$(GO) run ./cmd/benchgate -baseline BENCH_obs.json -fresh BENCH_fresh.json -match FleetScaling \
+		-max-regression 0.40
 
 ## profile: CPU + heap profiles of a fixed-seed sequential Fig. 7
 ## reproduction (cpu.pprof / heap.pprof). Inspect with

@@ -166,10 +166,10 @@ func BenchmarkBrokerFailover(b *testing.B) {
 			Seed:           uint64(i),
 			MaxRetries:     20,
 			RequestTimeout: 200 * time.Millisecond,
-			BrokerFailures: []kafkarel.BrokerEvent{
-				{At: 5 * time.Second, Broker: 0},
-				{At: 15 * time.Second, Broker: 0, Recover: true},
-			},
+			FaultPlan: kafkarel.FaultPlan{Faults: []kafkarel.Fault{
+				{Kind: kafkarel.FaultBrokerCrash, At: 5 * time.Second, Broker: 0},
+				{Kind: kafkarel.FaultBrokerRecover, At: 15 * time.Second, Broker: 0},
+			}},
 		})
 		if err != nil {
 			b.Fatal(err)

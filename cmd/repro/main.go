@@ -6,10 +6,11 @@
 //
 // Usage:
 //
-//	repro [-n messages] [-seed n] [-parallel workers] [-progress every] <artefact>
+//	repro [-n messages] [-seed n] [-parallel workers] [-progress every] [-csv dir] <artefact>
 //
 // where artefact is one of: fig4 fig5 fig6 fig7 fig8 fig9 table1 table2
-// ann-accuracy sensitivity all
+// ann-accuracy sensitivity throughput all. -csv additionally writes the
+// throughput figure family as CSV artefacts into the given directory.
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"text/tabwriter"
 	"time"
 
@@ -49,11 +51,12 @@ func run(ctx context.Context, args []string) error {
 	quiet := fs.Bool("q", false, "suppress progress output")
 	parallel := fs.Int("parallel", 0, "experiment workers (0 = GOMAXPROCS); output is identical for any value")
 	progress := fs.Int("progress", 10, "print a progress line every N experiments (0 = quiet)")
+	csvDir := fs.String("csv", "", "also write figure-family CSV artefacts into this directory")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: repro [-n messages] [-seed n] [-parallel workers] [-progress every] <fig3|fig4|fig5|fig6|fig7|fig8|fig9|table1|table2|ann-accuracy|sensitivity|trace|report|all>")
+		return fmt.Errorf("usage: repro [-n messages] [-seed n] [-parallel workers] [-progress every] [-csv dir] <fig3|fig4|fig5|fig6|fig7|fig8|fig9|table1|table2|ann-accuracy|sensitivity|throughput|trace|report|all>")
 	}
 	opts := figures.Options{Messages: *messages, Seed: *seed, Workers: *parallel, Context: ctx}
 	// Each artefact gets a fresh progress reporter: its counters are
@@ -76,12 +79,13 @@ func run(ctx context.Context, args []string) error {
 		"table2":       table2,
 		"ann-accuracy": annAccuracy,
 		"sensitivity":  sensitivity,
+		"throughput":   func(o figures.Options) error { return throughput(o, *csvDir) },
 		"trace":        traceRun,
 		"report":       reportRun,
 	}
 	name := fs.Arg(0)
 	if name == "all" {
-		for _, key := range []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table1", "ann-accuracy", "sensitivity", "table2"} {
+		for _, key := range []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table1", "throughput", "ann-accuracy", "sensitivity", "table2"} {
 			fmt.Printf("==== %s ====\n", key)
 			if err := artefacts[key](withProgress(opts, key)); err != nil {
 				return fmt.Errorf("%s: %w", key, err)
@@ -289,6 +293,69 @@ func annAccuracy(o figures.Options) error {
 			p.MeasuredPl, p.PredictedPl)
 	}
 	return w.Flush()
+}
+
+// throughput regenerates the throughput figure family (an extension
+// beyond the paper's reliability figures): delivered msg/s over the
+// batch size on a single producer, and over the per-topic partition
+// count on a 32-producer fleet. With a -csv directory the two series
+// are additionally written as CSV artefacts (the files CI uploads).
+func throughput(o figures.Options, csvDir string) error {
+	batch, err := figures.ThroughputVsBatch(o)
+	if err != nil {
+		return err
+	}
+	fmt.Println("# Throughput vs batch size B (at-least-once, M=200B, D=10ms, L=2%, full load)")
+	w := newTab()
+	fmt.Fprintln(w, "B\tthroughput_msg_s\tphi\tPl")
+	for _, p := range batch {
+		fmt.Fprintf(w, "%d\t%.1f\t%.4f\t%.4f\n", p.BatchSize, p.Throughput, p.BandwidthUtilization, p.Pl)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	parts, err := figures.ThroughputVsPartitions(o)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\n# Throughput vs partition count (fleet: 32 producers x 4 topics, keyed routing, B=2)")
+	w = newTab()
+	fmt.Fprintln(w, "partitions\tthroughput_msg_s\tPl")
+	for _, p := range parts {
+		fmt.Fprintf(w, "%d\t%.1f\t%.4f\n", p.Partitions, p.Throughput, p.Pl)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if csvDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(csvDir, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, render func(*os.File) error) error {
+		f, err := os.Create(filepath.Join(csvDir, name))
+		if err != nil {
+			return err
+		}
+		werr := render(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("write %s: %w", name, werr)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", filepath.Join(csvDir, name))
+		return nil
+	}
+	if err := write("throughput_vs_batch.csv", func(f *os.File) error {
+		return figures.WriteThroughputBatchCSV(f, batch)
+	}); err != nil {
+		return err
+	}
+	return write("throughput_vs_partitions.csv", func(f *os.File) error {
+		return figures.WriteThroughputPartitionsCSV(f, parts)
+	})
 }
 
 // traceRun executes one Fig. 8 configuration with the event tracer

@@ -1,17 +1,22 @@
-// Command testbed runs a single testbed experiment (one Docker-testbed
-// run in the paper's methodology) and prints every measured metric.
-// With -producers > 1 the independent per-producer simulations fan out
-// over -parallel workers; the aggregate result is identical for any
-// worker count. -metrics prints the per-run observability snapshot and
-// -trace writes the structured event timeline as JSONL (single-producer
-// runs only).
+// Command testbed runs a testbed experiment (one Docker-testbed run in
+// the paper's methodology) and prints every measured metric. With
+// -producers > 1 the independent per-producer simulations fan out over
+// -parallel workers, and with -fleet N it runs a fleet-scale scenario:
+// N producers spread over -topics topics of -partitions partitions
+// each, keyed routing, consumer groups draining every topic. In every
+// mode the result is identical for any worker count. -metrics prints
+// the observability snapshot; -timeline writes entity-tagged timelines
+// as one merged CSV; -trace writes the structured event stream as JSONL
+// (tracing is the one single-producer-only artefact — it follows one
+// total event order).
 //
 // Usage:
 //
 //	testbed [-n messages] [-seed n] -size 200 -loss 0.19 -delay 100 \
 //	        -semantics at-most-once -batch 1 -poll 0ms -timeout 1500ms \
 //	        [-producers n] [-parallel workers] [-metrics] [-trace out.jsonl] \
-//	        [-timeline out.csv [-timeline-interval 10s]]
+//	        [-timeline out.csv [-timeline-interval 10s]] \
+//	        [-fleet n -topics t -partitions p -consumers c -users-per-sec r]
 package main
 
 import (
@@ -50,11 +55,16 @@ func run(ctx context.Context, args []string) error {
 	poll := fs.Duration("poll", 0, "polling interval δ (0 = full load)")
 	timeout := fs.Duration("timeout", 1500*time.Millisecond, "message timeout T_o")
 	producers := fs.Int("producers", 1, "scale out across N producers (Sec. IV-C)")
-	parallel := fs.Int("parallel", 0, "simulation workers for scaled runs (0 = GOMAXPROCS)")
+	parallel := fs.Int("parallel", 0, "simulation workers for scaled and fleet runs (0 = GOMAXPROCS)")
 	metrics := fs.Bool("metrics", false, "print the per-run observability snapshot")
 	tracePath := fs.String("trace", "", "write the structured event trace as JSONL to this file (requires -producers 1)")
-	timelinePath := fs.String("timeline", "", "write the sim-time timeline as CSV to this file (requires -producers 1)")
+	timelinePath := fs.String("timeline", "", "write the sim-time timelines as one merged, entity-tagged CSV to this file")
 	timelineIvl := fs.Duration("timeline-interval", 0, "timeline sampling interval (0 = default 10s)")
+	fleet := fs.Int("fleet", 0, "fleet mode: run N producers over -topics topics with keyed routing and consumer groups")
+	topics := fs.Int("topics", 8, "fleet topic count (each topic is one independent shard)")
+	partitions := fs.Int("partitions", 32, "fleet per-topic partition count")
+	consumers := fs.Int("consumers", 1, "fleet consumer-group members per topic")
+	usersPerSec := fs.Float64("users-per-sec", 0, "fleet aggregate offered load in msg/s (0 = full speed)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -66,17 +76,33 @@ func run(ctx context.Context, args []string) error {
 	if sem == 0 {
 		return fmt.Errorf("unknown semantics %q", *semantics)
 	}
+	v := features.Vector{
+		MessageSize:    *size,
+		Timeliness:     *timeliness,
+		DelayMs:        *delay,
+		LossRate:       *loss,
+		Semantics:      sem,
+		BatchSize:      *batch,
+		PollInterval:   *poll,
+		MessageTimeout: *timeout,
+	}
+	if *fleet > 0 {
+		return runFleet(ctx, v, fleetFlags{
+			messages:    *messages,
+			seed:        *seed,
+			producers:   *fleet,
+			topics:      *topics,
+			partitions:  *partitions,
+			consumers:   *consumers,
+			usersPerSec: *usersPerSec,
+			parallel:    *parallel,
+			timeline:    *timelinePath,
+			timelineIvl: *timelineIvl,
+			trace:       *tracePath,
+		})
+	}
 	e := testbed.Experiment{
-		Features: features.Vector{
-			MessageSize:    *size,
-			Timeliness:     *timeliness,
-			DelayMs:        *delay,
-			LossRate:       *loss,
-			Semantics:      sem,
-			BatchSize:      *batch,
-			PollInterval:   *poll,
-			MessageTimeout: *timeout,
-		},
+		Features:   v,
 		Messages:   *messages,
 		Seed:       *seed,
 		MaxSimTime: 4 * time.Hour,
@@ -96,9 +122,9 @@ func run(ctx context.Context, args []string) error {
 		e.Tracer.SetSink(traceFile)
 	}
 	if *timelinePath != "" {
-		if *producers > 1 {
-			return fmt.Errorf("-timeline requires -producers 1 (timeline samples follow one virtual clock)")
-		}
+		// For a scaled run this acts as an interval template: each
+		// producer's simulation samples its own entity-tagged timeline
+		// and the CSV below merges them on the virtual-time axis.
 		e.Timeline = obs.NewTimeline(*timelineIvl)
 	}
 	res, err := testbed.RunScaledContext(ctx, e, *producers, *parallel)
@@ -106,19 +132,9 @@ func run(ctx context.Context, args []string) error {
 		return err
 	}
 	if e.Timeline != nil {
-		f, err := os.Create(*timelinePath)
-		if err != nil {
-			return fmt.Errorf("create timeline file: %w", err)
+		if err := writeMergedTimeline(*timelinePath, res.Timelines); err != nil {
+			return err
 		}
-		werr := res.Timeline.WriteCSV(f)
-		if cerr := f.Close(); werr == nil {
-			werr = cerr
-		}
-		if werr != nil {
-			return fmt.Errorf("write timeline: %w", werr)
-		}
-		fmt.Printf("timeline: %d samples, %d annotations written to %s\n",
-			len(res.Timeline.Rows()), len(res.Timeline.Annotations()), *timelinePath)
 	}
 	if e.Tracer != nil {
 		if err := e.Tracer.Err(); err != nil {
@@ -151,4 +167,86 @@ func run(ctx context.Context, args []string) error {
 func indent(s string) string {
 	s = strings.TrimRight(s, "\n")
 	return "  " + strings.ReplaceAll(s, "\n", "\n  ") + "\n"
+}
+
+// writeMergedTimeline renders entity-tagged timelines as one CSV file
+// ordered on the shared virtual-time axis.
+func writeMergedTimeline(path string, timelines []*obs.Timeline) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create timeline file: %w", err)
+	}
+	werr := obs.WriteMergedCSV(f, timelines)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("write timeline: %w", werr)
+	}
+	rows, anns := 0, 0
+	for _, tl := range timelines {
+		rows += len(tl.Rows())
+		anns += len(tl.Annotations())
+	}
+	fmt.Printf("timeline: %d timelines, %d samples, %d annotations written to %s\n",
+		len(timelines), rows, anns, path)
+	return nil
+}
+
+// fleetFlags carries the fleet-mode CLI parameters.
+type fleetFlags struct {
+	messages    int
+	seed        uint64
+	producers   int
+	topics      int
+	partitions  int
+	consumers   int
+	usersPerSec float64
+	parallel    int
+	timeline    string
+	timelineIvl time.Duration
+	trace       string
+}
+
+// runFleet executes the fleet-scale scenario and prints its scorecard:
+// one line per topic plus fleet totals, byte-identical for any
+// -parallel value.
+func runFleet(ctx context.Context, v features.Vector, ff fleetFlags) error {
+	if ff.trace != "" {
+		return fmt.Errorf("-trace requires a single producer (a trace follows one total event order); fleet runs use -timeline")
+	}
+	f := testbed.Fleet{
+		Features:          v,
+		Producers:         ff.producers,
+		Topics:            ff.topics,
+		Partitions:        ff.partitions,
+		Messages:          ff.messages,
+		Seed:              ff.seed,
+		UsersPerSec:       ff.usersPerSec,
+		ConsumersPerTopic: ff.consumers,
+		MaxSimTime:        4 * time.Hour,
+	}
+	if ff.timeline != "" {
+		ivl := ff.timelineIvl
+		if ivl <= 0 {
+			ivl = 10 * time.Second
+		}
+		f.TimelineInterval = ivl
+	}
+	res, err := testbed.RunFleetContext(ctx, f, ff.parallel)
+	if err != nil {
+		return err
+	}
+	if ff.timeline != "" {
+		if err := writeMergedTimeline(ff.timeline, res.Timelines); err != nil {
+			return err
+		}
+	}
+	// The scorecard is the canonical byte surface; its tail already
+	// carries the merged metrics snapshot, so -metrics is implied here.
+	os.Stdout.Write(res.Scorecard())
+	lat := res.Latency
+	fmt.Printf("latency T_p (ms): mean=%.1f sd=%.1f min=%.1f max=%.1f\n",
+		lat.Mean(), lat.StdDev(), lat.Min(), lat.Max())
+	return nil
 }

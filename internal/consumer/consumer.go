@@ -8,6 +8,7 @@ package consumer
 
 import (
 	"fmt"
+	"sort"
 
 	"kafkarel/internal/cluster"
 	"kafkarel/internal/wire"
@@ -117,6 +118,61 @@ func ConsumeAllPartitions(c *cluster.Cluster, topic string, partitions int32) ([
 		out = append(out, recs...)
 	}
 	return out, nil
+}
+
+// KeyRange is one producer's key span within a shared topic: the
+// producer emitted keys Base+1 .. Base+Count (see producer.Config's
+// KeyBase). Count is how many keys the producer actually acquired, so
+// a run cut off mid-stream leaves a gap *between* ranges, never inside
+// one.
+type KeyRange struct {
+	Base  uint64
+	Count uint64
+}
+
+// ReconcileRanges reconciles records produced by several producers into
+// one topic, each owning a disjoint KeyRange. It is Reconcile
+// generalised from the single span 1..N to a union of spans: a key
+// inside some range counts toward Distinct/NDuplicated, a key outside
+// every range is Foreign, and NLost is the total range size minus the
+// distinct keys seen. Ranges must be disjoint; order does not matter.
+func ReconcileRanges(ranges []KeyRange, records []wire.Record) Report {
+	sorted := make([]KeyRange, 0, len(ranges))
+	var rep Report
+	for _, r := range ranges {
+		rep.SourceCount += r.Count
+		if r.Count > 0 {
+			sorted = append(sorted, r)
+		}
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Base < sorted[j].Base })
+	inRange := func(k uint64) bool {
+		// Find the last range with Base < k; k belongs to it iff
+		// k <= Base+Count.
+		i := sort.Search(len(sorted), func(i int) bool { return sorted[i].Base >= k })
+		if i == 0 {
+			return false
+		}
+		r := sorted[i-1]
+		return k <= r.Base+r.Count
+	}
+	seen := make(map[uint64]uint64, len(records))
+	for _, rec := range records {
+		if rec.Key == 0 || !inRange(rec.Key) {
+			rep.Foreign++
+			continue
+		}
+		seen[rec.Key]++
+	}
+	rep.Distinct = uint64(len(seen))
+	rep.NLost = rep.SourceCount - rep.Distinct
+	for _, n := range seen {
+		if n > 1 {
+			rep.NDuplicated++
+			rep.ExtraCopies += n - 1
+		}
+	}
+	return rep
 }
 
 // Reconcile compares consumed records against the contiguous source key

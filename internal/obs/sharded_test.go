@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestShardedMerge checks the merge semantics: counters sum, gauges
+// take the maximum, histogram buckets sum, and the merged snapshot is
+// byte-identical regardless of which shard saw which update.
+func TestShardedMerge(t *testing.T) {
+	s := NewSharded(3)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	for i := 0; i < 3; i++ {
+		s.Shard(i).Counter(MBrokerAppends).Add(uint64(10 * (i + 1)))
+		s.Shard(i).Gauge(MSimQueueMax).SetMax(int64(100 * (i + 1)))
+		s.Shard(i).Histogram(MQueueDepth, QueueDepthBounds).Observe(int64(i))
+	}
+	// A metric only one shard touched must still appear.
+	s.Shard(1).Counter(MRetransmits).Add(7)
+
+	m := s.Merged()
+	if got := m.Counter(MBrokerAppends); got != 60 {
+		t.Errorf("appends = %d, want 60", got)
+	}
+	if got := m.Counter(MRetransmits); got != 7 {
+		t.Errorf("retransmits = %d, want 7", got)
+	}
+	if got := m.Gauge(MSimQueueMax); got != 300 {
+		t.Errorf("queue max = %d, want 300 (max across shards)", got)
+	}
+	h, ok := m.Histogram(MQueueDepth)
+	if !ok {
+		t.Fatal("queue-depth histogram missing from merged snapshot")
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != 3 {
+		t.Errorf("histogram observations = %d, want 3", total)
+	}
+
+	// Mirror the updates into one flat registry: the merged snapshot of
+	// the shards must encode identically (counters and histograms; the
+	// gauge is a running max in both layouts).
+	flat := NewRegistry()
+	flat.Counter(MBrokerAppends).Add(60)
+	flat.Counter(MRetransmits).Add(7)
+	flat.Gauge(MSimQueueMax).SetMax(300)
+	for i := 0; i < 3; i++ {
+		flat.Histogram(MQueueDepth, QueueDepthBounds).Observe(int64(i))
+	}
+	if !bytes.Equal(m.Encode(), flat.Snapshot().Encode()) {
+		t.Errorf("sharded merge != flat registry:\n%s\nvs\n%s", m.Encode(), flat.Snapshot().Encode())
+	}
+}
+
+// TestShardedNil pins the disabled-implementation contract.
+func TestShardedNil(t *testing.T) {
+	var s *Sharded
+	if s.Len() != 0 {
+		t.Error("nil Sharded has shards")
+	}
+	if s.Shard(0) != nil {
+		t.Error("nil Sharded returned a live registry")
+	}
+	s.Shard(0).Counter("x").Inc() // must not panic
+	if enc := s.Merged().Encode(); len(enc) != 0 {
+		t.Errorf("nil merge encodes %q", enc)
+	}
+	live := NewSharded(2)
+	if live.Shard(-1) != nil || live.Shard(2) != nil {
+		t.Error("out-of-range shard index returned a live registry")
+	}
+}
+
+// TestMergeSnapshotsAssociative checks the fold order cannot matter —
+// the property the fleet's shard-order merge relies on.
+func TestMergeSnapshotsAssociative(t *testing.T) {
+	mk := func(n string, v uint64) Snapshot {
+		r := NewRegistry()
+		r.Counter(n).Add(v)
+		r.Counter("shared").Add(v)
+		return r.Snapshot()
+	}
+	a, b, c := mk("a", 1), mk("b", 2), mk("c", 3)
+	left := MergeSnapshots(MergeSnapshots(a, b), c)
+	right := MergeSnapshots(a, MergeSnapshots(b, c))
+	if !bytes.Equal(left.Encode(), right.Encode()) {
+		t.Errorf("merge not associative:\n%s\nvs\n%s", left.Encode(), right.Encode())
+	}
+	if got := left.Counter("shared"); got != 6 {
+		t.Errorf("shared counter = %d, want 6", got)
+	}
+}
+
+// TestWriteMergedCSV checks the entity column and the deterministic
+// interleaving of several tagged timelines.
+func TestWriteMergedCSV(t *testing.T) {
+	clk := &tlClock{}
+	mkTL := func(entity string, times ...time.Duration) *Timeline {
+		tl := NewTimeline(time.Second)
+		tl.SetEntity(entity)
+		tl.BindClock(clk)
+		for _, at := range times {
+			clk.now = at
+			tl.Sample()
+		}
+		return tl
+	}
+	a := mkTL("t000/p0000", 0, time.Second, 2*time.Second)
+	b := mkTL("t000", 0, 2*time.Second)
+	clk.now = time.Second
+	b.Annotate(AnnBrokerEvent, "fail broker 0")
+
+	var buf bytes.Buffer
+	if err := WriteMergedCSV(&buf, []*Timeline{a, b}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 1+3+2+1 {
+		t.Fatalf("lines = %d:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "at_ns,kind,entity,") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	wantOrder := []string{
+		"0,sample,t000/p0000",
+		"0,sample,t000",
+		"1000000000,sample,t000/p0000",
+		"1000000000,broker_event,t000",
+		"2000000000,sample,t000/p0000",
+		"2000000000,sample,t000",
+	}
+	for i, want := range wantOrder {
+		if !strings.HasPrefix(lines[i+1], want) {
+			t.Errorf("line %d = %q, want prefix %q", i+1, lines[i+1], want)
+		}
+	}
+	var buf2 bytes.Buffer
+	if err := WriteMergedCSV(&buf2, []*Timeline{a, b}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("repeated merged renders differ")
+	}
+}

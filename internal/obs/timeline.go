@@ -4,6 +4,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -27,11 +28,16 @@ import (
 // all rows reproduces the end-of-run counter exactly — the invariant
 // the run-report cross-check leans on.
 //
-// A timeline observes exactly one simulation (one virtual clock), the
-// same contract as Tracer: scaled multi-producer runs reject it.
+// A timeline observes exactly one simulation (one virtual clock). A
+// fleet or scaled run therefore carries one timeline per observed
+// entity — a producer ("t003/p0007") or a topic's broker side ("t003")
+// — each tagged via SetEntity, and WriteMergedCSV interleaves the
+// per-entity series into one deterministic CSV. Only the event Tracer
+// still requires a single-producer run.
 type Timeline struct {
 	mu       sync.Mutex
 	interval time.Duration
+	entity   string
 	clock    Clock
 	netFn    func() NetProbe
 	transFn  func() TransportProbe
@@ -64,6 +70,29 @@ func (t *Timeline) Interval() time.Duration {
 		return 0
 	}
 	return t.interval
+}
+
+// SetEntity tags the timeline with the entity it observes — e.g. a
+// fleet topic ("t003") or one of its producers ("t003/p0007"). The tag
+// lands in the CSV's entity column; an untagged timeline writes an
+// empty column, which keeps single-run CSVs stable.
+func (t *Timeline) SetEntity(entity string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.entity = entity
+}
+
+// Entity returns the entity tag ("" when untagged or disabled).
+func (t *Timeline) Entity() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.entity
 }
 
 // BindClock attaches the virtual clock rows and annotations are stamped
@@ -291,9 +320,10 @@ func (t *Timeline) Annotations() []TimelineAnnotation {
 }
 
 // timelineHeader is the fixed CSV schema. Renaming or reordering a
-// column is a breaking change for timeline consumers.
+// column is a breaking change for timeline consumers. The entity column
+// carries the SetEntity tag (empty on single-entity runs).
 var timelineHeader = []string{
-	"at_ns", "kind",
+	"at_ns", "kind", "entity",
 	"ge_state", "delay_ms", "cfg_loss", "pkts_offered", "pkts_lost", "loss_rate",
 	"cwnd", "srtt_ns", "rto_ns", "inflight_segs", "segs_sent", "retransmits", "rto_timeouts",
 	"queue_depth", "inflight_batches", "enqueued", "acked", "lost", "batch_retries",
@@ -315,56 +345,139 @@ func (t *Timeline) WriteCSV(w io.Writer) error {
 	if t == nil {
 		return nil
 	}
-	rows := t.Rows()
-	anns := t.Annotations()
 	cw := csv.NewWriter(w)
 	if err := cw.Write(timelineHeader); err != nil {
 		return fmt.Errorf("obs: write timeline: %w", err)
 	}
-	writeRow := func(r TimelineRow) error {
-		return cw.Write([]string{
-			itoa(int64(r.At)), "sample",
-			strconv.Itoa(r.GEState), ftoa(r.DelayMs), ftoa(r.CfgLoss),
-			utoa(r.PktsOffered), utoa(r.PktsLost), ftoa(r.LossRate),
-			ftoa(r.Cwnd), itoa(int64(r.SRTT)), itoa(int64(r.RTO)),
-			strconv.Itoa(r.InFlightSegs), utoa(r.SegmentsSent), utoa(r.Retransmits), utoa(r.RTOTimeouts),
-			strconv.Itoa(r.QueueDepth), strconv.Itoa(r.InFlightBatches),
-			utoa(r.Enqueued), utoa(r.Acked), utoa(r.Lost), utoa(r.BatchRetries),
-			itoa(r.LogEnd), utoa(r.Appends), utoa(r.DupAppends),
-			"",
-		})
+	if err := t.writeEntries(cw); err != nil {
+		return err
 	}
-	writeAnn := func(a TimelineAnnotation) error {
-		rec := make([]string, len(timelineHeader))
-		rec[0] = itoa(int64(a.At))
-		rec[1] = a.Kind
-		rec[len(rec)-1] = a.Detail
-		return cw.Write(rec)
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("obs: write timeline: %w", err)
 	}
+	return nil
+}
+
+// writeEntries emits the timeline's interleaved samples and annotations
+// (annotations first at equal timestamps) without header or flush.
+func (t *Timeline) writeEntries(cw *csv.Writer) error {
+	rows := t.Rows()
+	anns := t.Annotations()
+	entity := t.Entity()
 	i, j := 0, 0
 	for i < len(rows) || j < len(anns) {
 		var err error
 		switch {
 		case i == len(rows):
-			err = writeAnn(anns[j])
+			err = writeAnnRecord(cw, entity, anns[j])
 			j++
 		case j == len(anns):
-			err = writeRow(rows[i])
+			err = writeSampleRecord(cw, entity, rows[i])
 			i++
 		case anns[j].At <= rows[i].At:
-			err = writeAnn(anns[j])
+			err = writeAnnRecord(cw, entity, anns[j])
 			j++
 		default:
-			err = writeRow(rows[i])
+			err = writeSampleRecord(cw, entity, rows[i])
 			i++
 		}
 		if err != nil {
 			return fmt.Errorf("obs: write timeline: %w", err)
 		}
 	}
+	return nil
+}
+
+func writeSampleRecord(cw *csv.Writer, entity string, r TimelineRow) error {
+	return cw.Write([]string{
+		itoa(int64(r.At)), "sample", entity,
+		strconv.Itoa(r.GEState), ftoa(r.DelayMs), ftoa(r.CfgLoss),
+		utoa(r.PktsOffered), utoa(r.PktsLost), ftoa(r.LossRate),
+		ftoa(r.Cwnd), itoa(int64(r.SRTT)), itoa(int64(r.RTO)),
+		strconv.Itoa(r.InFlightSegs), utoa(r.SegmentsSent), utoa(r.Retransmits), utoa(r.RTOTimeouts),
+		strconv.Itoa(r.QueueDepth), strconv.Itoa(r.InFlightBatches),
+		utoa(r.Enqueued), utoa(r.Acked), utoa(r.Lost), utoa(r.BatchRetries),
+		itoa(r.LogEnd), utoa(r.Appends), utoa(r.DupAppends),
+		"",
+	})
+}
+
+func writeAnnRecord(cw *csv.Writer, entity string, a TimelineAnnotation) error {
+	rec := make([]string, len(timelineHeader))
+	rec[0] = itoa(int64(a.At))
+	rec[1] = a.Kind
+	rec[2] = entity
+	rec[len(rec)-1] = a.Detail
+	return cw.Write(rec)
+}
+
+// WriteMergedCSV renders several timelines — a fleet run's per-entity
+// series — as one CSV in the same fixed schema, interleaved by
+// timestamp. Ties are broken by the timelines' input order and, within
+// one timeline, by its own WriteCSV order (annotations before samples
+// at equal times). Callers pass the timelines in a deterministic order
+// (the fleet emits them in shard-then-producer order), so the merged
+// bytes are identical at any worker count.
+func WriteMergedCSV(w io.Writer, timelines []*Timeline) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(timelineHeader); err != nil {
+		return fmt.Errorf("obs: write merged timeline: %w", err)
+	}
+	type entry struct {
+		at     time.Duration
+		tl     int
+		seq    int
+		isAnn  bool
+		row    TimelineRow
+		ann    TimelineAnnotation
+		entity string
+	}
+	var entries []entry
+	for ti, t := range timelines {
+		if t == nil {
+			continue
+		}
+		rows := t.Rows()
+		anns := t.Annotations()
+		entity := t.Entity()
+		seq := 0
+		i, j := 0, 0
+		for i < len(rows) || j < len(anns) {
+			takeAnn := j < len(anns) && (i == len(rows) || anns[j].At <= rows[i].At)
+			if takeAnn {
+				entries = append(entries, entry{at: anns[j].At, tl: ti, seq: seq, isAnn: true, ann: anns[j], entity: entity})
+				j++
+			} else {
+				entries = append(entries, entry{at: rows[i].At, tl: ti, seq: seq, row: rows[i], entity: entity})
+				i++
+			}
+			seq++
+		}
+	}
+	sort.Slice(entries, func(a, b int) bool {
+		if entries[a].at != entries[b].at {
+			return entries[a].at < entries[b].at
+		}
+		if entries[a].tl != entries[b].tl {
+			return entries[a].tl < entries[b].tl
+		}
+		return entries[a].seq < entries[b].seq
+	})
+	for _, e := range entries {
+		var err error
+		if e.isAnn {
+			err = writeAnnRecord(cw, e.entity, e.ann)
+		} else {
+			err = writeSampleRecord(cw, e.entity, e.row)
+		}
+		if err != nil {
+			return fmt.Errorf("obs: write merged timeline: %w", err)
+		}
+	}
 	cw.Flush()
 	if err := cw.Error(); err != nil {
-		return fmt.Errorf("obs: write timeline: %w", err)
+		return fmt.Errorf("obs: write merged timeline: %w", err)
 	}
 	return nil
 }

@@ -135,7 +135,7 @@ func TestTimelineCSV(t *testing.T) {
 	if len(lines) != 1+2+2 {
 		t.Fatalf("lines = %d, want header + 2 samples + 2 annotations:\n%s", len(lines), buf.String())
 	}
-	if !strings.HasPrefix(lines[0], "at_ns,kind,ge_state,") {
+	if !strings.HasPrefix(lines[0], "at_ns,kind,entity,ge_state,") {
 		t.Errorf("header = %q", lines[0])
 	}
 	// t=1s: annotation first, then the sample at the same instant.

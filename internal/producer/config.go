@@ -35,16 +35,52 @@ func (s Semantics) String() string {
 	}
 }
 
+// Partitioner selects how a multi-partition producer routes batches.
+type Partitioner int
+
+// Partitioner modes. PartitionRoundRobin (the zero value, the
+// historical behaviour) spreads batches round-robin by batch sequence —
+// Kafka's default partitioner for keyless records. PartitionKeyed
+// hashes the batch's first record key (FNV-1a), Kafka's keyed routing:
+// a key always lands on the same partition, and because the hash input
+// is stable the batch stays pinned to one partition across retries
+// (idempotent sequences are tracked per partition by the broker).
+const (
+	PartitionRoundRobin Partitioner = iota
+	PartitionKeyed
+)
+
+// String implements fmt.Stringer.
+func (p Partitioner) String() string {
+	switch p {
+	case PartitionRoundRobin:
+		return "round-robin"
+	case PartitionKeyed:
+		return "keyed"
+	default:
+		return fmt.Sprintf("partitioner(%d)", int(p))
+	}
+}
+
 // Config carries every producer parameter the paper's prediction model
 // treats as a feature, plus the fixed plumbing parameters.
 type Config struct {
 	Topic     string
 	Partition int32
-	// Partitions, when above 1, spreads batches round-robin over the
-	// partitions [Partition, Partition+Partitions) — Kafka's default
-	// partitioner for keyless records. The testbed's reliability metrics
-	// are partition-agnostic (the consumer reconciles the whole topic).
+	// Partitions, when above 1, spreads batches over the partitions
+	// [Partition, Partition+Partitions) using the Partitioner mode. The
+	// testbed's reliability metrics are partition-agnostic (the consumer
+	// reconciles the whole topic).
 	Partitions int32
+	// Partitioner is the routing mode for Partitions > 1 (default
+	// round-robin, the historical behaviour).
+	Partitioner Partitioner
+	// KeyBase offsets this producer's record keys: records carry keys
+	// Base+1, Base+2, ... so several producers can share one topic with
+	// disjoint key ranges and the consumer can still reconcile exactly
+	// (see consumer.ReconcileRanges). Zero — keys 1..N — is the
+	// single-producer default.
+	KeyBase uint64
 
 	// Semantics is feature (e).
 	Semantics Semantics
@@ -138,6 +174,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("producer: queue limit %d <= 0", c.QueueLimit)
 	case c.Partitions < 0:
 		return fmt.Errorf("producer: negative partition count")
+	case c.Partitioner < PartitionRoundRobin || c.Partitioner > PartitionKeyed:
+		return fmt.Errorf("producer: unknown partitioner %d", c.Partitioner)
 	case c.Semantics == ExactlyOnce && c.ProducerID == 0:
 		return fmt.Errorf("producer: exactly-once requires a nonzero producer ID")
 	case c.Semantics == ExactlyOnce && c.MaxInFlight > wire.SeqCacheSize:

@@ -323,6 +323,8 @@ func (p *Producer) Reconfigure(cfg Config) error {
 	cfg.Topic = p.cfg.Topic
 	cfg.Partition = p.cfg.Partition
 	cfg.Partitions = p.cfg.Partitions
+	cfg.Partitioner = p.cfg.Partitioner
+	cfg.KeyBase = p.cfg.KeyBase
 	cfg.ProducerID = p.cfg.ProducerID
 	if err := cfg.Validate(); err != nil {
 		return err
@@ -400,7 +402,7 @@ func (p *Producer) intakeArrived() {
 	p.nextKey++
 	now := p.sim.Now()
 	r := p.getRecord()
-	r.key = p.nextKey
+	r.key = p.cfg.KeyBase + p.nextKey
 	r.payload = payload
 	r.arrived = now
 	r.deadline = now + p.cfg.MessageTimeout
@@ -408,7 +410,7 @@ func (p *Producer) intakeArrived() {
 	p.queue.pushBack(r)
 	p.cEnqueued.Inc()
 	p.hQueueDepth.Observe(int64(p.queue.len()))
-	p.trace.Emit(obs.LayerProducer, obs.EvRecordEnqueue, p.nextKey, int64(p.queue.len()), 0, "")
+	p.trace.Emit(obs.LayerProducer, obs.EvRecordEnqueue, r.key, int64(p.queue.len()), 0, "")
 	p.kickSender()
 	p.scheduleIntake()
 }
@@ -600,6 +602,23 @@ func (p *Producer) flushUnsent() {
 	}
 }
 
+// fnv1a64 hashes a record key for keyed partitioning (FNV-1a over the
+// key's 8 little-endian bytes) — fixed here, not hash/maphash, so the
+// partition a key maps to is stable across runs and Go versions.
+func fnv1a64(key uint64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < 8; i++ {
+		h ^= key & 0xff
+		h *= prime64
+		key >>= 8
+	}
+	return h
+}
+
 func (p *Producer) buildRequest(b *batch) wire.ProduceRequest {
 	p.corr++
 	wb := wire.RecordBatch{BaseSequence: b.seq}
@@ -627,10 +646,16 @@ func (p *Producer) buildRequest(b *batch) wire.ProduceRequest {
 	}
 	partition := p.cfg.Partition
 	if p.cfg.Partitions > 1 {
-		// Round-robin over the topic's partitions, pinned per batch so
-		// retries land on the same partition (idempotent sequences are
-		// tracked per partition by the broker).
-		partition += int32(b.seq % uint64(p.cfg.Partitions))
+		// Pinned per batch so retries land on the same partition
+		// (idempotent sequences are tracked per partition by the broker):
+		// round-robin keys off the batch sequence, keyed routing hashes
+		// the first record key, both stable across resends.
+		switch p.cfg.Partitioner {
+		case PartitionKeyed:
+			partition += int32(fnv1a64(b.records[0].key) % uint64(p.cfg.Partitions))
+		default:
+			partition += int32(b.seq % uint64(p.cfg.Partitions))
+		}
 	}
 	return wire.ProduceRequest{
 		CorrelationID: p.corr,

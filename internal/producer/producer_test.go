@@ -28,12 +28,13 @@ type rig struct {
 }
 
 type rigOpts struct {
-	delayMs   float64
-	loss      float64
-	seed      uint64
-	msgSize   int
-	costs     producer.CostModel
-	transport transport.Config
+	delayMs    float64
+	loss       float64
+	seed       uint64
+	msgSize    int
+	partitions int
+	costs      producer.CostModel
+	transport  transport.Config
 }
 
 func buildRig(t testing.TB, cfg producer.Config, n int, o rigOpts, popts ...producer.Option) *rig {
@@ -65,7 +66,11 @@ func buildRig(t testing.TB, cfg producer.Config, n int, o rigOpts, popts ...prod
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := clst.CreateTopic(cfg.Topic, 1, 3); err != nil {
+	parts := o.partitions
+	if parts == 0 {
+		parts = 1
+	}
+	if err := clst.CreateTopic(cfg.Topic, parts, 3); err != nil {
 		t.Fatal(err)
 	}
 	srv, err := cluster.NewServer(clst, conn.Server)

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"kafkarel/internal/chaos"
 	"kafkarel/internal/features"
 	"kafkarel/internal/wire"
 )
@@ -20,10 +21,10 @@ func TestBrokerFailureEvents(t *testing.T) {
 		Seed:           3,
 		MaxRetries:     20,
 		RequestTimeout: 200 * time.Millisecond,
-		BrokerFailures: []BrokerEvent{
-			{At: 2 * time.Second, Broker: 0},
-			{At: 4 * time.Second, Broker: 0, Recover: true},
-		},
+		FaultPlan: chaos.Plan{Faults: []chaos.Fault{
+			{Kind: chaos.BrokerCrash, At: 2 * time.Second, Broker: 0},
+			{Kind: chaos.BrokerRecover, At: 4 * time.Second, Broker: 0},
+		}},
 	}
 	res, err := Run(e)
 	if err != nil {
@@ -48,14 +49,14 @@ func TestBrokerFailureAllDownCausesLoss(t *testing.T) {
 		Features: v,
 		Messages: 400,
 		Seed:     4,
-		BrokerFailures: []BrokerEvent{
-			{At: 2 * time.Second, Broker: 0},
-			{At: 2 * time.Second, Broker: 1},
-			{At: 2 * time.Second, Broker: 2},
-			{At: 6 * time.Second, Broker: 0, Recover: true},
-			{At: 6 * time.Second, Broker: 1, Recover: true},
-			{At: 6 * time.Second, Broker: 2, Recover: true},
-		},
+		FaultPlan: chaos.Plan{Faults: []chaos.Fault{
+			{Kind: chaos.BrokerCrash, At: 2 * time.Second, Broker: 0},
+			{Kind: chaos.BrokerCrash, At: 2 * time.Second, Broker: 1},
+			{Kind: chaos.BrokerCrash, At: 2 * time.Second, Broker: 2},
+			{Kind: chaos.BrokerRecover, At: 6 * time.Second, Broker: 0},
+			{Kind: chaos.BrokerRecover, At: 6 * time.Second, Broker: 1},
+			{Kind: chaos.BrokerRecover, At: 6 * time.Second, Broker: 2},
+		}},
 	}
 	res, err := Run(e)
 	if err != nil {
@@ -86,10 +87,10 @@ func TestMinISRSurfacesProduceErrors(t *testing.T) {
 		MaxRetries:     20,
 		RequestTimeout: 200 * time.Millisecond,
 		MaxSimTime:     60 * time.Second,
-		BrokerFailures: []BrokerEvent{
-			{At: time.Second, Broker: 2},
-			{At: 3 * time.Second, Broker: 2, Recover: true},
-		},
+		FaultPlan: chaos.Plan{Faults: []chaos.Fault{
+			{Kind: chaos.BrokerCrash, At: time.Second, Broker: 2},
+			{Kind: chaos.BrokerRecover, At: 3 * time.Second, Broker: 2},
+		}},
 	}
 	res, err := Run(e)
 	if err != nil {
@@ -107,9 +108,11 @@ func TestMinISRSurfacesProduceErrors(t *testing.T) {
 
 func TestBrokerFailureValidation(t *testing.T) {
 	e := Experiment{
-		Features:       cleanVector(),
-		Messages:       10,
-		BrokerFailures: []BrokerEvent{{At: 0, Broker: 99}},
+		Features: cleanVector(),
+		Messages: 10,
+		FaultPlan: chaos.Plan{Faults: []chaos.Fault{
+			{Kind: chaos.BrokerCrash, At: 0, Broker: 99},
+		}},
 	}
 	if _, err := Run(e); err == nil {
 		t.Error("unknown broker accepted")

@@ -1,0 +1,662 @@
+package testbed
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"strconv"
+	"strings"
+	"time"
+
+	"kafkarel/internal/chaos"
+	"kafkarel/internal/cluster"
+	"kafkarel/internal/consumer"
+	"kafkarel/internal/des"
+	"kafkarel/internal/exprun"
+	"kafkarel/internal/features"
+	"kafkarel/internal/netem"
+	"kafkarel/internal/obs"
+	"kafkarel/internal/producer"
+	"kafkarel/internal/stats"
+	"kafkarel/internal/transport"
+	"kafkarel/internal/wire"
+	"kafkarel/internal/workload"
+)
+
+// Fleet describes a fleet-scale run: N producers spread over T topics,
+// each topic carrying P partitions on its own three-broker cluster,
+// with keyed partition routing and a consumer group draining every
+// topic afterwards. One topic is one shard — an independent simulation
+// with index-derived seeds — so shards fan out over exprun workers and
+// merge deterministically: the scorecard and the merged entity
+// timelines are byte-identical at any worker count.
+//
+// This generalises the paper's one-producer/one-partition testbed shape
+// toward its future-work scale-out scenario; the per-producer delivery
+// mechanics (Sec. III-E) are unchanged.
+type Fleet struct {
+	// Features carries the stream/network/config features every producer
+	// runs with. PollInterval is overridden when UsersPerSec is set.
+	Features features.Vector
+	// Producers is the fleet-wide producer count, spread as evenly as
+	// possible over the topics (earlier topics take the remainder).
+	Producers int
+	// Topics is the topic (= shard) count.
+	Topics int
+	// Partitions is the per-topic partition count; producers route to
+	// partitions by key hash (producer.PartitionKeyed).
+	Partitions int
+	// Messages is the fleet-wide message budget, spread as evenly as
+	// possible over the producers (earlier producers take the remainder).
+	Messages int
+	// Seed makes the whole fleet reproducible; shard and entity seeds
+	// derive from it by index.
+	Seed uint64
+	// UsersPerSec, when positive, is the aggregate offered load: each
+	// producer's poll interval δ is derived from the Sec. IV-C scaling
+	// rule so that Producers producers together offer this many
+	// messages/sec (clamped at full load when the target exceeds it).
+	UsersPerSec float64
+	// ConsumersPerTopic is each topic's consumer-group size for the
+	// post-run drain (default 1).
+	ConsumersPerTopic int
+	// ReplicationFactor and MinISR mirror Experiment (defaults 3 / 1).
+	ReplicationFactor int
+	MinISR            int
+	// BrokerFlushInterval mirrors Experiment.
+	BrokerFlushInterval time.Duration
+	// MaxSimTime caps each shard's virtual duration (0 = none).
+	MaxSimTime time.Duration
+	// Calibration overrides the host cost constants (zero value: default).
+	Calibration Calibration
+	// TimelineInterval, when positive, samples entity-tagged timelines:
+	// one per producer ("t003/p0007": netem, transport and producer
+	// probes) and one per topic ("t003": broker probe), all returned in
+	// FleetResult.Timelines in shard-then-producer order.
+	TimelineInterval time.Duration
+	// DisableMetrics switches off the sharded registries.
+	DisableMetrics bool
+	// FaultPlan injects broker faults (crash, recover, unclean restart,
+	// slowdown) into every shard. Network and connection faults are
+	// per-path and therefore rejected here — use a single-producer
+	// Experiment for those.
+	FaultPlan chaos.Plan
+	// Producer plumbing overrides, as in Experiment.
+	QueueLimit      int
+	MaxInFlight     int
+	MaxRetries      int
+	RequestTimeout  time.Duration
+	RetryBackoff    time.Duration
+	RetryBackoffMax time.Duration
+	LingerTime      time.Duration
+}
+
+// Validate reports the first invalid fleet parameter.
+func (f Fleet) Validate() error {
+	switch {
+	case f.Producers <= 0:
+		return fmt.Errorf("testbed: fleet producer count %d <= 0", f.Producers)
+	case f.Topics <= 0:
+		return fmt.Errorf("testbed: fleet topic count %d <= 0", f.Topics)
+	case f.Topics > f.Producers:
+		return fmt.Errorf("testbed: fleet has %d topics but only %d producers", f.Topics, f.Producers)
+	case f.Partitions <= 0:
+		return fmt.Errorf("testbed: fleet partition count %d <= 0", f.Partitions)
+	case f.Messages < f.Producers:
+		return fmt.Errorf("testbed: %d messages across %d producers", f.Messages, f.Producers)
+	case f.UsersPerSec < 0:
+		return fmt.Errorf("testbed: negative users/sec")
+	case f.ConsumersPerTopic < 0:
+		return fmt.Errorf("testbed: negative consumers per topic")
+	}
+	if err := f.Features.Validate(); err != nil {
+		return fmt.Errorf("testbed: %w", err)
+	}
+	for i, ft := range f.FaultPlan.Faults {
+		switch ft.Kind {
+		case chaos.BrokerCrash, chaos.BrokerRecover, chaos.UncleanRestart, chaos.BrokerSlow:
+		default:
+			return fmt.Errorf("testbed: fleet fault %d (%s): only broker faults apply fleet-wide", i, ft.Kind)
+		}
+	}
+	return nil
+}
+
+// FleetTopicResult is one shard's (topic's) aggregate.
+type FleetTopicResult struct {
+	Topic      string
+	Producers  int
+	Partitions int
+	// Acquired is the shard's ground-truth denominator (messages its
+	// producers took in).
+	Acquired uint64
+	// Report is the shard's ReconcileRanges reconciliation over the
+	// consumer group's drained records.
+	Report consumer.Report
+	// Producer sums the shard's producer-view case distributions.
+	Producer producer.Counts
+	// Metrics is the shard registry's snapshot (zero when disabled).
+	Metrics MetricsSnapshot
+	// Latency merges the shard producers' delivery-latency summaries.
+	Latency stats.Summary
+	// Throughput is distinct delivered messages per simulated second.
+	Throughput float64
+	// Duration is the shard's simulated run time (when the last producer
+	// finished, or the cut-off).
+	Duration time.Duration
+	// Completed reports whether every producer drained its source.
+	Completed bool
+	// Drained is how many records the consumer group consumed.
+	Drained int64
+}
+
+// FleetResult aggregates a fleet run in shard order.
+type FleetResult struct {
+	// Pl and Pd are the fleet-wide ground-truth reliability metrics.
+	Pl float64
+	Pd float64
+	// Report sums the per-topic reconciliations.
+	Report consumer.Report
+	// Producer sums the per-topic producer-view counts.
+	Producer producer.Counts
+	// Metrics merges the sharded registries (MergeSnapshots semantics).
+	Metrics MetricsSnapshot
+	// Latency merges every producer's latency summary.
+	Latency stats.Summary
+	// Acquired is the fleet-wide acquired-message count.
+	Acquired uint64
+	// Throughput sums the per-topic throughputs.
+	Throughput float64
+	// Duration is the slowest shard's duration.
+	Duration time.Duration
+	// Completed reports whether every shard completed.
+	Completed bool
+	// Topics holds the per-shard results in topic order.
+	Topics []FleetTopicResult
+	// Timelines holds the entity-tagged timelines in shard-then-producer
+	// order (nil unless Fleet.TimelineInterval was set). Render with
+	// obs.WriteMergedCSV.
+	Timelines []*obs.Timeline
+}
+
+// fleetG renders a float in the canonical form shared with the
+// timeline CSV.
+func fleetG(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Scorecard renders the fleet result in a canonical text form — the
+// byte-equality surface of the fleet determinism contract: one line per
+// topic in topic order, the fleet totals, then the merged metrics
+// snapshot.
+func (r FleetResult) Scorecard() []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet topics=%d producers=%d\n", len(r.Topics), r.fleetProducers())
+	for _, tr := range r.Topics {
+		fmt.Fprintf(&b, "topic %s producers=%d partitions=%d acquired=%d distinct=%d lost=%d dup=%d extra=%d foreign=%d drained=%d throughput=%s completed=%t\n",
+			tr.Topic, tr.Producers, tr.Partitions, tr.Acquired,
+			tr.Report.Distinct, tr.Report.NLost, tr.Report.NDuplicated,
+			tr.Report.ExtraCopies, tr.Report.Foreign, tr.Drained,
+			fleetG(tr.Throughput), tr.Completed)
+	}
+	fmt.Fprintf(&b, "total acquired=%d distinct=%d lost=%d dup=%d foreign=%d pl=%s pd=%s throughput=%s completed=%t\n",
+		r.Acquired, r.Report.Distinct, r.Report.NLost, r.Report.NDuplicated,
+		r.Report.Foreign, fleetG(r.Pl), fleetG(r.Pd), fleetG(r.Throughput), r.Completed)
+	b.WriteString("metrics:\n")
+	b.Write(r.Metrics.Encode())
+	return []byte(b.String())
+}
+
+func (r FleetResult) fleetProducers() int {
+	n := 0
+	for _, tr := range r.Topics {
+		n += tr.Producers
+	}
+	return n
+}
+
+// fleetSeedStride separates shard seed streams (a prime well away from
+// scalingSeedStride, which spaces the per-entity streams inside a
+// shard).
+const fleetSeedStride = 32452843
+
+// RunFleet executes a fleet with default workers (GOMAXPROCS).
+func RunFleet(f Fleet) (FleetResult, error) {
+	return RunFleetContext(context.Background(), f, 0)
+}
+
+// splitCount spreads total over parts as evenly as possible: part i
+// gets total/parts plus one of the total%parts remainder units when
+// i is among the first.
+func splitCount(total, parts, i int) int {
+	n := total / parts
+	if i < total%parts {
+		n++
+	}
+	return n
+}
+
+// fleetShard is the precomputed input of one shard run — pure data, so
+// the shard function is a pure function of (index, shard) as the exprun
+// contract requires.
+type fleetShard struct {
+	f     Fleet
+	index int
+	topic string
+	// first is the global index of the shard's first producer;
+	// producers is how many the shard owns.
+	first     int
+	producers int
+	// poll is the derived per-producer poll interval.
+	poll time.Duration
+	seed uint64
+}
+
+type fleetShardOut struct {
+	topic     FleetTopicResult
+	timelines []*obs.Timeline
+}
+
+// RunFleetContext is RunFleet with cancellation and an explicit worker
+// bound (<= 0: GOMAXPROCS). Each topic is one independent simulation
+// with index-derived seeds; the per-topic results merge in topic order,
+// so scorecards and merged timelines are identical for every worker
+// count.
+func RunFleetContext(ctx context.Context, f Fleet, workers int) (FleetResult, error) {
+	if err := f.Validate(); err != nil {
+		return FleetResult{}, err
+	}
+	cal := f.Calibration
+	if cal == (Calibration{}) {
+		cal = DefaultCalibration()
+	}
+	if err := cal.Validate(); err != nil {
+		return FleetResult{}, err
+	}
+
+	poll := f.Features.PollInterval
+	if f.UsersPerSec > 0 {
+		// Sec. IV-C scaling rule, solved for δ: each producer's arrival
+		// period io + δ must be Producers/UsersPerSec for the aggregate
+		// offered rate to hit the target.
+		ioMean := time.Duration(float64(time.Second) / cal.FullLoadRate(f.Features.MessageSize))
+		period := time.Duration(float64(f.Producers) * float64(time.Second) / f.UsersPerSec)
+		poll = period - ioMean
+		if poll < 0 {
+			poll = 0
+		}
+	}
+
+	seedAt := exprun.LinearSeeds(f.Seed, fleetSeedStride)
+	shards := make([]fleetShard, f.Topics)
+	first := 0
+	for i := range shards {
+		n := splitCount(f.Producers, f.Topics, i)
+		shards[i] = fleetShard{
+			f:         f,
+			index:     i,
+			topic:     fmt.Sprintf("t%03d", i),
+			first:     first,
+			producers: n,
+			poll:      poll,
+			seed:      seedAt(i),
+		}
+		first += n
+	}
+
+	var sharded *obs.Sharded
+	if !f.DisableMetrics {
+		sharded = obs.NewSharded(f.Topics)
+	}
+	outs, err := exprun.Map(ctx, shards,
+		func(ctx context.Context, i int, sh fleetShard) (fleetShardOut, error) {
+			out, err := runFleetShard(simFor(ctx), sh, cal, sharded.Shard(i))
+			if err != nil {
+				return fleetShardOut{}, fmt.Errorf("testbed: topic %s: %w", sh.topic, err)
+			}
+			return out, nil
+		},
+		exprun.Options{Workers: workers})
+	if err != nil {
+		return FleetResult{}, err
+	}
+
+	res := FleetResult{Completed: true}
+	for _, out := range outs {
+		tr := out.topic
+		res.Topics = append(res.Topics, tr)
+		res.Timelines = append(res.Timelines, out.timelines...)
+		res.Acquired += tr.Acquired
+		res.Report.SourceCount += tr.Report.SourceCount
+		res.Report.Distinct += tr.Report.Distinct
+		res.Report.NLost += tr.Report.NLost
+		res.Report.NDuplicated += tr.Report.NDuplicated
+		res.Report.ExtraCopies += tr.Report.ExtraCopies
+		res.Report.Foreign += tr.Report.Foreign
+		res.Producer.Total += tr.Producer.Total
+		res.Producer.Delivered += tr.Producer.Delivered
+		res.Producer.Lost += tr.Producer.Lost
+		for c, n := range tr.Producer.ByCase {
+			res.Producer.ByCase[c] += n
+		}
+		res.Latency.Merge(tr.Latency)
+		res.Throughput += tr.Throughput
+		if tr.Duration > res.Duration {
+			res.Duration = tr.Duration
+		}
+		res.Completed = res.Completed && tr.Completed
+	}
+	if sharded != nil {
+		// One deterministic fold over the shard registries; equal to
+		// merging the per-topic MetricsSnapshots, but exercised through
+		// the sharded-registry path the fleet exists for.
+		res.Metrics = snapshotMetrics(sharded.Merged())
+		res.Metrics.Cases = res.Producer.ByCase
+		res.Metrics.Cases[producer.Case5] = res.Report.NDuplicated
+	}
+	if res.Acquired > 0 {
+		res.Pl = float64(res.Report.NLost) / float64(res.Acquired)
+		res.Pd = float64(res.Report.NDuplicated) / float64(res.Acquired)
+	}
+	return res, nil
+}
+
+// fleetEntity is one producer's wiring inside a shard.
+type fleetEntity struct {
+	prod     *producer.Producer
+	timeline *obs.Timeline
+	base     uint64
+	doneAt   time.Duration
+}
+
+// runFleetShard builds and runs one topic's simulation: a cluster, the
+// shard's producers (each with its own emulated path, transport
+// connection and server endpoint), optional entity timelines, then the
+// consumer-group drain and range reconciliation.
+func runFleetShard(sim *des.Simulator, sh fleetShard, cal Calibration, reg *obs.Registry) (fleetShardOut, error) {
+	f := sh.f
+	o := &obs.Obs{Registry: reg}
+	sim.Instrument(o)
+
+	clstCfg := cluster.DefaultConfig()
+	clstCfg.Obs = o
+	clstCfg.Broker.Obs = o
+	clstCfg.Broker.FlushInterval = f.BrokerFlushInterval
+	clstCfg.MinISR = f.MinISR
+	clst, err := cluster.New(sim, clstCfg)
+	if err != nil {
+		return fleetShardOut{}, err
+	}
+	rf := exprun.DefInt(f.ReplicationFactor, 3)
+	if err := clst.CreateTopic(sh.topic, f.Partitions, rf); err != nil {
+		return fleetShardOut{}, err
+	}
+
+	var cfgErr error
+	onErr := func(err error) {
+		if cfgErr == nil {
+			cfgErr = err
+		}
+	}
+	var topicTL *obs.Timeline
+	var timelines []*obs.Timeline
+	if f.TimelineInterval > 0 {
+		topicTL = obs.NewTimeline(f.TimelineInterval)
+		topicTL.SetEntity(sh.topic)
+		topicTL.BindClock(sim)
+		timelines = append(timelines, topicTL)
+	}
+	if len(f.FaultPlan.Faults) > 0 {
+		err := chaos.Schedule(chaos.Plan{Faults: append([]chaos.Fault(nil), f.FaultPlan.Faults...)}, chaos.Targets{
+			Sim:      sim,
+			Cluster:  clst,
+			Timeline: topicTL,
+			Seed:     sh.seed,
+			OnError:  onErr,
+		})
+		if err != nil {
+			return fleetShardOut{}, fmt.Errorf("fault plan: %w", err)
+		}
+	}
+
+	seedAt := exprun.LinearSeeds(sh.seed, scalingSeedStride)
+	entities := make([]*fleetEntity, sh.producers)
+	var base uint64
+	for j := range entities {
+		global := sh.first + j
+		eSeed := seedAt(j)
+		msgs := splitCount(f.Messages, f.Producers, global)
+		ent := &fleetEntity{base: base, doneAt: -1}
+		entities[j] = ent
+
+		linkCfg := func(seed uint64) (netem.Config, error) {
+			cfg := netem.Config{Bandwidth: cal.Bandwidth, QueueLimit: 1000, Obs: o}
+			if f.Features.DelayMs > 0 {
+				cfg.Delay = stats.Constant{Value: f.Features.DelayMs}
+			}
+			if f.Features.LossRate > 0 {
+				loss, err := stats.NewBernoulli(f.Features.LossRate, rand.New(rand.NewPCG(seed, 0x01)))
+				if err != nil {
+					return cfg, err
+				}
+				cfg.Loss = loss
+			}
+			return cfg, nil
+		}
+		fwd, err := linkCfg(eSeed)
+		if err != nil {
+			return fleetShardOut{}, fmt.Errorf("producer %d forward link: %w", global, err)
+		}
+		rev, err := linkCfg(eSeed + 1)
+		if err != nil {
+			return fleetShardOut{}, fmt.Errorf("producer %d reverse link: %w", global, err)
+		}
+		path, err := netem.NewPath(sim, fwd, rev)
+		if err != nil {
+			return fleetShardOut{}, err
+		}
+		conn, err := transport.NewConn(sim, path, transport.Config{SendBufferLimit: cal.SocketBuffer, Obs: o})
+		if err != nil {
+			return fleetShardOut{}, err
+		}
+		srv, err := cluster.NewServer(clst, conn.Server)
+		if err != nil {
+			return fleetShardOut{}, err
+		}
+		conn.OnReset(srv.ResetParser)
+
+		src, err := workload.NewFixedSource(f.Features.MessageSize, msgs)
+		if err != nil {
+			return fleetShardOut{}, err
+		}
+		pe := Experiment{
+			Features:        f.Features,
+			Seed:            eSeed,
+			Partitions:      f.Partitions,
+			QueueLimit:      f.QueueLimit,
+			MaxInFlight:     f.MaxInFlight,
+			MaxRetries:      f.MaxRetries,
+			RequestTimeout:  f.RequestTimeout,
+			RetryBackoff:    f.RetryBackoff,
+			RetryBackoffMax: f.RetryBackoffMax,
+			LingerTime:      f.LingerTime,
+		}
+		pcfg, err := producerConfig(pe, sh.topic)
+		if err != nil {
+			return fleetShardOut{}, err
+		}
+		pcfg.PollInterval = sh.poll
+		pcfg.Partitioner = producer.PartitionKeyed
+		pcfg.KeyBase = ent.base
+		costs := newCostModel(cal, rand.New(rand.NewPCG(eSeed, 0x02)))
+		prod, err := producer.New(sim, pcfg, costs, conn, src,
+			producer.WithTimeliness(f.Features.Timeliness),
+			producer.WithCompletion(func() { ent.doneAt = sim.Now() }),
+			producer.WithObs(o),
+			producer.WithRetryRand(rand.New(rand.NewPCG(eSeed, 0x03))),
+		)
+		if err != nil {
+			return fleetShardOut{}, err
+		}
+		ent.prod = prod
+
+		if f.TimelineInterval > 0 {
+			tl := obs.NewTimeline(f.TimelineInterval)
+			tl.SetEntity(fmt.Sprintf("%s/p%04d", sh.topic, global))
+			tl.BindClock(sim)
+			transProbe := func() obs.TransportProbe {
+				p := conn.Client.Probe()
+				s := conn.Server.Probe()
+				p.SegmentsSent += s.SegmentsSent
+				p.Retransmits += s.Retransmits
+				p.RTOTimeouts += s.RTOTimeouts
+				return p
+			}
+			tl.SetProbes(path.Probe, transProbe, prod.Probe, nil)
+			tl.Sample()
+			var tick *des.Ticker
+			tick = des.NewTicker(sim, tl.Interval(), func() {
+				if prod.Done() {
+					tick.Stop()
+					return
+				}
+				tl.Sample()
+			})
+			ent.timeline = tl
+			timelines = append(timelines, tl)
+		}
+		base += uint64(msgs)
+	}
+
+	allDone := func() bool {
+		for _, ent := range entities {
+			if !ent.prod.Done() {
+				return false
+			}
+		}
+		return true
+	}
+	if topicTL != nil {
+		// The topic entity samples the broker side once per interval —
+		// per-producer appends are not separable at the broker, so the
+		// shard's broker series lives on the topic entity and the
+		// per-producer series carry the client-side probes.
+		topicTL.SetProbes(nil, nil, nil, func() obs.BrokerProbe { return clst.Probe(sh.topic) })
+		topicTL.Sample()
+		var tick *des.Ticker
+		tick = des.NewTicker(sim, topicTL.Interval(), func() {
+			if allDone() {
+				tick.Stop()
+				return
+			}
+			topicTL.Sample()
+		})
+	}
+
+	for _, ent := range entities {
+		ent.prod.Start()
+	}
+	const eventCap = 2_000_000_000
+	if f.MaxSimTime > 0 {
+		if err := sim.RunUntil(f.MaxSimTime); err != nil {
+			return fleetShardOut{}, fmt.Errorf("run: %w", err)
+		}
+	} else if err := sim.RunLimit(eventCap); err != nil {
+		return fleetShardOut{}, fmt.Errorf("event cap exceeded (runaway fleet shard?): %w", err)
+	}
+	if cfgErr != nil {
+		return fleetShardOut{}, fmt.Errorf("fault injection: %w", cfgErr)
+	}
+
+	// Final samples cover events past each ticker's stop, keeping the
+	// column-sums-equal-counters invariant.
+	for _, ent := range entities {
+		ent.timeline.Sample()
+	}
+	topicTL.Sample()
+
+	tr := FleetTopicResult{
+		Topic:      sh.topic,
+		Producers:  sh.producers,
+		Partitions: f.Partitions,
+		Completed:  true,
+	}
+	ranges := make([]consumer.KeyRange, len(entities))
+	for j, ent := range entities {
+		counts := ent.prod.Counts()
+		tr.Producer.Total += counts.Total
+		tr.Producer.Delivered += counts.Delivered
+		tr.Producer.Lost += counts.Lost
+		for c, n := range counts.ByCase {
+			tr.Producer.ByCase[c] += n
+		}
+		tr.Latency.Merge(ent.prod.Latency())
+		tr.Acquired += ent.prod.Acquired()
+		ranges[j] = consumer.KeyRange{Base: ent.base, Count: ent.prod.Acquired()}
+		done := ent.prod.Done()
+		tr.Completed = tr.Completed && done
+		if ent.doneAt > tr.Duration {
+			tr.Duration = ent.doneAt
+		}
+	}
+	if !tr.Completed {
+		tr.Duration = sim.Now()
+	}
+
+	recs, err := drainGroup(clst, sh.topic, f.Partitions, exprun.DefInt(f.ConsumersPerTopic, 1))
+	if err != nil {
+		return fleetShardOut{}, err
+	}
+	tr.Drained = int64(len(recs))
+	tr.Report = consumer.ReconcileRanges(ranges, recs)
+	if reg != nil {
+		tr.Metrics = snapshotMetrics(reg.Snapshot())
+		tr.Metrics.Cases = tr.Producer.ByCase
+		tr.Metrics.Cases[producer.Case5] = tr.Report.NDuplicated
+	}
+	if d := tr.Duration.Seconds(); d > 0 {
+		tr.Throughput = float64(tr.Report.Distinct) / d
+	}
+	return fleetShardOut{topic: tr, timelines: timelines}, nil
+}
+
+// drainGroup drains every record of the topic through a consumer group
+// with the given member count, committing after each poll round.
+func drainGroup(clst *cluster.Cluster, topic string, partitions, members int) ([]wire.Record, error) {
+	g, err := consumer.NewGroup(clst, topic, int32(partitions))
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]string, members)
+	for c := range ids {
+		ids[c] = fmt.Sprintf("c%02d", c)
+		if err := g.Join(ids[c]); err != nil {
+			return nil, err
+		}
+	}
+	var recs []wire.Record
+	for {
+		progress := false
+		for _, m := range ids {
+			batch, err := g.Poll(m, 4096)
+			if err != nil {
+				return nil, fmt.Errorf("drain %s: %w", m, err)
+			}
+			if len(batch) > 0 {
+				recs = append(recs, batch...)
+				progress = true
+			}
+			if err := g.Commit(m); err != nil {
+				return nil, err
+			}
+		}
+		if !progress {
+			lag, err := g.Lag()
+			if err != nil {
+				return nil, err
+			}
+			if lag != 0 {
+				return nil, fmt.Errorf("drain stalled with lag %d", lag)
+			}
+			return recs, nil
+		}
+	}
+}

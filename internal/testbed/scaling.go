@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"kafkarel/internal/exprun"
+	"kafkarel/internal/obs"
 )
 
 // scalingSeedStride separates the per-producer seed streams of a scaled
@@ -27,8 +28,9 @@ func RunScaled(e Experiment, producers int) (Result, error) {
 // RunScaledContext is RunScaled with cancellation and an explicit worker
 // bound for the per-producer simulations (<= 0: GOMAXPROCS). Each
 // producer is an independent simulation with an index-derived seed and
-// the partial results are merged in producer order, so the aggregate is
-// identical for every worker count.
+// the partial results — scorecard numbers and entity-tagged timelines
+// alike — are merged in producer order, so the aggregate is identical
+// for every worker count.
 func RunScaledContext(ctx context.Context, e Experiment, producers, workers int) (Result, error) {
 	if producers <= 0 {
 		return Result{}, fmt.Errorf("testbed: producer count %d <= 0", producers)
@@ -39,13 +41,8 @@ func RunScaledContext(ctx context.Context, e Experiment, producers, workers int)
 	if e.Tracer != nil {
 		// A tracer binds a single virtual clock; interleaving the
 		// independent clocks of parallel sub-simulations would produce a
-		// meaningless timeline.
+		// meaningless total event order. Tracing stays single-producer.
 		return Result{}, fmt.Errorf("testbed: event tracing requires a single producer, got %d", producers)
-	}
-	if e.Timeline != nil {
-		// Same constraint as the tracer: timeline samples are stamped by
-		// one virtual clock and cannot be merged across sub-simulations.
-		return Result{}, fmt.Errorf("testbed: timeline sampling requires a single producer, got %d", producers)
 	}
 	if e.Messages < producers {
 		return Result{}, fmt.Errorf("testbed: %d messages across %d producers", e.Messages, producers)
@@ -74,11 +71,20 @@ func RunScaledContext(ctx context.Context, e Experiment, producers, workers int)
 			sub.Messages = e.Messages - share*(producers-1)
 		}
 		sub.Seed = seedAt(i)
+		if e.Timeline != nil {
+			// The experiment's timeline is a template: each sub-simulation
+			// samples its own entity-tagged copy on its own virtual clock,
+			// and the merged Result carries all of them in producer order
+			// for obs.WriteMergedCSV.
+			tl := obs.NewTimeline(e.Timeline.Interval())
+			tl.SetEntity(fmt.Sprintf("p%04d", i))
+			sub.Timeline = tl
+		}
 		subs[i] = sub
 	}
 	results, err := exprun.Map(ctx, subs,
-		func(_ context.Context, i int, sub Experiment) (Result, error) {
-			res, err := Run(sub)
+		func(ctx context.Context, i int, sub Experiment) (Result, error) {
+			res, err := RunCtx(ctx, sub)
 			if err != nil {
 				return Result{}, fmt.Errorf("testbed: producer %d: %w", i, err)
 			}
@@ -115,6 +121,7 @@ func merge(a, b Result) Result {
 	}
 	a.Metrics.Merge(b.Metrics)
 	a.Latency.Merge(b.Latency)
+	a.Timelines = append(a.Timelines, b.Timelines...)
 	a.Throughput += b.Throughput
 	if b.Duration > a.Duration {
 		a.Duration = b.Duration

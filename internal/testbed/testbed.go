@@ -50,11 +50,6 @@ type Experiment struct {
 	// MaxSimTime caps the virtual duration (0 = none); experiments cut
 	// short report metrics over the messages acquired so far.
 	MaxSimTime time.Duration
-	// BrokerFailures schedules broker crashes and recoveries during the
-	// run (extension beyond the paper: its future-work failure scenario).
-	// It is a legacy shim over FaultPlan: each event becomes a
-	// chaos.BrokerCrash / chaos.BrokerRecover fault.
-	BrokerFailures []BrokerEvent
 	// FaultPlan schedules chaos faults across every layer — broker
 	// crashes, unclean restarts, network partitions, burst loss, delay
 	// spikes, connection resets, broker slowdowns (see internal/chaos).
@@ -94,8 +89,9 @@ type Experiment struct {
 	// Timeline, when non-nil, samples the run at the timeline's interval
 	// (netem, transport, producer and broker probes) and records config
 	// switches and broker events as annotations; it comes back as
-	// Result.Timeline. Like Tracer it follows a single virtual clock, so
-	// RunScaled rejects it.
+	// Result.Timeline. Under RunScaled it acts as an interval template:
+	// each sub-simulation samples its own entity-tagged timeline and the
+	// merged Result.Timelines carries all of them.
 	Timeline *obs.Timeline
 	// Overrides for producer plumbing; zero values take the defaults
 	// below.
@@ -116,15 +112,6 @@ type Experiment struct {
 type ConfigChange struct {
 	At       time.Duration
 	Features features.Vector
-}
-
-// BrokerEvent schedules a broker failure or recovery — the paper's
-// future-work scenario ("more failure scenarios including the failure of
-// brokers"), implemented as an extension.
-type BrokerEvent struct {
-	At      time.Duration
-	Broker  int32
-	Recover bool
 }
 
 // Plumbing defaults (see DESIGN.md §5 for how they were chosen).
@@ -154,6 +141,11 @@ type Result struct {
 	// sample taken once the simulation drained (so late broker appends
 	// are covered and column sums equal the Metrics counters).
 	Timeline *obs.Timeline
+	// Timelines collects every timeline the run produced, in producer
+	// order. A single Run yields at most one (== Timeline); RunScaled
+	// yields one per simulated producer, each tagged with its entity
+	// ("p0000", "p0001", ...) for obs.WriteMergedCSV.
+	Timelines []*obs.Timeline
 	// Latency summarises delivered-message T_p in milliseconds.
 	Latency stats.Summary
 	// StaleRate is the fraction of delivered messages with T_p > S.
@@ -194,9 +186,17 @@ type trialScratch struct {
 // steady-state trials skip the per-run warm-up allocations. Results are
 // byte-identical to Run's.
 func RunCtx(ctx context.Context, e Experiment) (Result, error) {
+	return runOn(simFor(ctx), e)
+}
+
+// simFor returns the simulator a run should use: the calling exprun
+// worker's warm simulator (reset, keeping its event-heap and free-list
+// capacity) when ctx belongs to a worker pool, or a fresh one
+// otherwise. RunCtx trials and fleet shards share it.
+func simFor(ctx context.Context) *des.Simulator {
 	s := exprun.ContextScratch(ctx)
 	if s == nil {
-		return Run(e)
+		return des.New()
 	}
 	ts, ok := s.Get().(*trialScratch)
 	if !ok {
@@ -205,7 +205,7 @@ func RunCtx(ctx context.Context, e Experiment) (Result, error) {
 	} else {
 		ts.sim.Reset()
 	}
-	return runOn(ts.sim, e)
+	return ts.sim
 }
 
 func runOn(sim *des.Simulator, e Experiment) (Result, error) {
@@ -330,15 +330,8 @@ func buildRig(sim *des.Simulator, e Experiment, cal Calibration) (*rig, error) {
 	}
 	costs := newCostModel(cal, rand.New(rand.NewPCG(e.Seed, 0x02)))
 	r := &rig{path: path, conn: conn, clst: clst, reg: reg, doneAt: -1}
-	plan := chaos.Plan{Faults: append([]chaos.Fault(nil), e.FaultPlan.Faults...)}
-	for _, ev := range e.BrokerFailures {
-		k := chaos.BrokerCrash
-		if ev.Recover {
-			k = chaos.BrokerRecover
-		}
-		plan.Faults = append(plan.Faults, chaos.Fault{Kind: k, At: ev.At, Broker: ev.Broker})
-	}
-	if len(plan.Faults) > 0 {
+	if len(e.FaultPlan.Faults) > 0 {
+		plan := chaos.Plan{Faults: append([]chaos.Fault(nil), e.FaultPlan.Faults...)}
 		err := chaos.Schedule(plan, chaos.Targets{
 			Sim:      sim,
 			Cluster:  clst,
@@ -490,6 +483,9 @@ func (r *rig) collect(sim *des.Simulator, e Experiment) (Result, error) {
 		Acquired:  r.prod.Acquired(),
 		Duration:  sim.Now(),
 		Completed: r.prod.Done(),
+	}
+	if e.Timeline != nil {
+		res.Timelines = []*obs.Timeline{e.Timeline}
 	}
 	if r.doneAt >= 0 {
 		res.Duration = r.doneAt

@@ -1,9 +1,12 @@
 package testbed
 
 import (
+	"bytes"
+	"context"
 	"testing"
 	"time"
 
+	"kafkarel/internal/chaos"
 	"kafkarel/internal/features"
 	"kafkarel/internal/obs"
 )
@@ -101,17 +104,60 @@ func TestRunTimelineWorksWithMetricsDisabled(t *testing.T) {
 	}
 }
 
-// TestRunScaledRejectsTimeline mirrors the tracer constraint: timeline
-// samples follow one virtual clock.
-func TestRunScaledRejectsTimeline(t *testing.T) {
-	_, err := RunScaled(Experiment{
+// TestRunScaledTimelines checks the lifted constraint: a scaled run
+// treats the experiment's timeline as an interval template and returns
+// one entity-tagged timeline per producer, whose column sums match the
+// merged counters and whose merged CSV is byte-identical at every
+// worker count.
+func TestRunScaledTimelines(t *testing.T) {
+	e := Experiment{
 		Features: timelineVector(),
-		Messages: 1000,
+		Messages: 1200,
 		Seed:     1,
-		Timeline: obs.NewTimeline(0),
-	}, 4)
-	if err == nil {
-		t.Fatal("scaled run accepted a timeline")
+		Timeline: obs.NewTimeline(time.Second),
+	}
+	const producers = 3
+	render := func(workers int) ([]byte, Result) {
+		t.Helper()
+		sub := e
+		sub.Timeline = obs.NewTimeline(time.Second)
+		res, err := RunScaledContext(context.Background(), sub, producers, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Timelines) != producers {
+			t.Fatalf("timelines = %d, want one per producer (%d)", len(res.Timelines), producers)
+		}
+		var buf bytes.Buffer
+		if err := obs.WriteMergedCSV(&buf, res.Timelines); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), res
+	}
+	csv1, res := render(1)
+	for i, tl := range res.Timelines {
+		if want := []string{"p0000", "p0001", "p0002"}[i]; tl.Entity() != want {
+			t.Errorf("timeline %d entity = %q, want %q", i, tl.Entity(), want)
+		}
+	}
+	var acked, segs uint64
+	for _, tl := range res.Timelines {
+		for _, r := range tl.Rows() {
+			acked += r.Acked
+			segs += r.SegmentsSent
+		}
+	}
+	if acked != res.Producer.Delivered {
+		t.Errorf("Σ acked over all timelines = %d, want merged delivered %d", acked, res.Producer.Delivered)
+	}
+	if segs != res.Metrics.SegmentsSent {
+		t.Errorf("Σ segments = %d, want merged metrics %d", segs, res.Metrics.SegmentsSent)
+	}
+	for _, workers := range []int{4, 8} {
+		csvN, _ := render(workers)
+		if !bytes.Equal(csv1, csvN) {
+			t.Errorf("merged timeline CSV differs between workers=1 and workers=%d", workers)
+		}
 	}
 }
 
@@ -126,10 +172,10 @@ func TestBrokerEventAnnotations(t *testing.T) {
 		Messages: 1500,
 		Seed:     5,
 		Timeline: tl,
-		BrokerFailures: []BrokerEvent{
-			{At: 2 * time.Second, Broker: 1},
-			{At: 4 * time.Second, Broker: 1, Recover: true},
-		},
+		FaultPlan: chaos.Plan{Faults: []chaos.Fault{
+			{Kind: chaos.BrokerCrash, At: 2 * time.Second, Broker: 1},
+			{Kind: chaos.BrokerRecover, At: 4 * time.Second, Broker: 1},
+		}},
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -81,9 +81,15 @@ type (
 	Calibration = testbed.Calibration
 	// ConfigChange schedules a mid-run reconfiguration.
 	ConfigChange = testbed.ConfigChange
-	// BrokerEvent schedules a broker failure or recovery (the paper's
-	// future-work scenario, implemented as an extension).
-	BrokerEvent = testbed.BrokerEvent
+	// Fleet describes a fleet-scale run: N producers over T topics of P
+	// partitions each, keyed routing, consumer groups draining every
+	// topic, aggregate load in users/sec — see RunFleet.
+	Fleet = testbed.Fleet
+	// FleetResult aggregates a fleet run; its Scorecard is byte-identical
+	// for every worker count.
+	FleetResult = testbed.FleetResult
+	// FleetTopicResult is one topic's share of a fleet run.
+	FleetTopicResult = testbed.FleetTopicResult
 )
 
 // Observability (the internal/obs subsystem). A run's metrics come back
@@ -206,9 +212,17 @@ func ReplayChaosTrial(cfg ChaosCampaignConfig, planSeed, workloadSeed uint64) (C
 func NewTracer(capacity int) *Tracer { return obs.NewTracer(capacity) }
 
 // NewTimeline returns a sim-time timeline sampling every interval
-// (<= 0 takes the 10 s default). Attach it via Experiment.Timeline;
-// single-producer runs only.
+// (<= 0 takes the 10 s default). Attach it via Experiment.Timeline; a
+// scaled run uses it as a template and returns one entity-tagged
+// timeline per producer on Result.Timelines.
 func NewTimeline(interval time.Duration) *Timeline { return obs.NewTimeline(interval) }
+
+// WriteMergedTimelineCSV renders several entity-tagged timelines (a
+// fleet's, or a scaled run's) as one CSV stream ordered by virtual
+// time; the bytes are independent of worker count.
+func WriteMergedTimelineCSV(w io.Writer, timelines []*Timeline) error {
+	return obs.WriteMergedCSV(w, timelines)
+}
 
 // BuildRunReport assembles a run report from a result carrying a
 // timeline and (optionally) the tracer's events; render it with
@@ -245,6 +259,19 @@ func RunScaledExperiment(e Experiment, producers int) (Result, error) {
 // is identical for every worker count.
 func RunScaledExperimentContext(ctx context.Context, e Experiment, producers, workers int) (Result, error) {
 	return testbed.RunScaledContext(ctx, e, producers, workers)
+}
+
+// RunFleet executes a fleet-scale run: every topic is an independent
+// simulation (fanned out over the worker pool) whose producers share
+// the topic under keyed routing; results merge in topic order, so
+// FleetResult.Scorecard and the merged timelines are byte-identical at
+// any worker count.
+func RunFleet(f Fleet) (FleetResult, error) { return testbed.RunFleet(f) }
+
+// RunFleetContext is RunFleet with cancellation and an explicit worker
+// bound (<= 0: GOMAXPROCS).
+func RunFleetContext(ctx context.Context, f Fleet, workers int) (FleetResult, error) {
+	return testbed.RunFleetContext(ctx, f, workers)
 }
 
 // DefaultCalibration returns the host cost constants used throughout the
@@ -442,6 +469,11 @@ type (
 	Fig8Point      = figures.Fig8Point
 	Table1Result   = figures.Table1Result
 	AccuracyResult = figures.AccuracyResult
+	// ThroughputBatchPoint and ThroughputPartitionPoint form the
+	// throughput figure family (extension): delivered msg/s over batch
+	// size and over per-topic partition count.
+	ThroughputBatchPoint     = figures.ThroughputBatchPoint
+	ThroughputPartitionPoint = figures.ThroughputPartitionPoint
 )
 
 // Figure generators, one per evaluation artefact in the paper.
@@ -453,3 +485,11 @@ func Fig8(o FigureOptions) ([]Fig8Point, error)        { return figures.Fig8(o) 
 func Fig9(seed uint64) ([]TracePoint, error)           { return figures.Fig9(seed) }
 func Table1(o FigureOptions) (Table1Result, error)     { return figures.Table1(o) }
 func Accuracy(o FigureOptions) (AccuracyResult, error) { return figures.Accuracy(o) }
+
+// Throughput figure family (extension beyond the paper's figures).
+func ThroughputVsBatch(o FigureOptions) ([]ThroughputBatchPoint, error) {
+	return figures.ThroughputVsBatch(o)
+}
+func ThroughputVsPartitions(o FigureOptions) ([]ThroughputPartitionPoint, error) {
+	return figures.ThroughputVsPartitions(o)
+}
