@@ -8,6 +8,7 @@
 //
 //	chaos -trials 100 -seed 42 -out scorecard.json
 //	chaos -mode at-least-once -trials 50
+//	chaos -trials 60 -e2e                # consumer group + end-to-end checker per trial
 //	chaos -mode exactly-once -plan-seed 123 -workload-seed 456   # replay one trial
 package main
 
@@ -32,6 +33,8 @@ func main() {
 		maxFaults    = flag.Int("max-faults", 5, "max faults per generated plan")
 		horizon      = flag.Duration("horizon", 2*time.Second, "fault-injection window (sim time)")
 		flushEvery   = flag.Duration("flush-interval", 50*time.Millisecond, "broker fsync cadence")
+		e2e          = flag.Bool("e2e", false, "run a consumer group through each trial and verify end-to-end delivery (group members crash too)")
+		members      = flag.Int("consumers", 2, "consumer-group size per trial under -e2e")
 		workers      = flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS)")
 		out          = flag.String("out", "", "write scorecard JSON to this file (default stdout)")
 		quiet        = flag.Bool("q", false, "suppress progress on stderr")
@@ -47,7 +50,11 @@ func main() {
 		MaxFaults:     *maxFaults,
 		Horizon:       *horizon,
 		FlushInterval: *flushEvery,
+		E2E:           *e2e,
 		Workers:       *workers,
+	}
+	if *e2e {
+		cfg.ConsumerMembers = *members
 	}
 
 	if *planSeed != 0 || *workloadSeed != 0 {
@@ -76,8 +83,8 @@ func main() {
 			os.Exit(2)
 		}
 		if !*quiet {
-			fmt.Fprintf(os.Stderr, "%s: %d trials, %d violations, %d flagged (%d with acked loss)\n",
-				sc.Mode, sc.Trials, sc.Failed, sc.Flagged, sc.AckedLost)
+			fmt.Fprintf(os.Stderr, "%s: %d trials, %d violations, %d flagged (%d with acked loss, %d with offset regressions)\n",
+				sc.Mode, sc.Trials, sc.Failed, sc.Flagged, sc.AckedLost, sc.OffsetRegressed)
 		}
 		violations += sc.Failed
 		cards = append(cards, sc)

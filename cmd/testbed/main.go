@@ -16,7 +16,7 @@
 //	        -semantics at-most-once -batch 1 -poll 0ms -timeout 1500ms \
 //	        [-producers n] [-parallel workers] [-metrics] [-trace out.jsonl] \
 //	        [-timeline out.csv [-timeline-interval 10s]] \
-//	        [-fleet n -topics t -partitions p -consumers c -users-per-sec r]
+//	        [-fleet n -topics t -partitions p -consumers c [-consumer-faults] -users-per-sec r]
 package main
 
 import (
@@ -64,6 +64,7 @@ func run(ctx context.Context, args []string) error {
 	topics := fs.Int("topics", 8, "fleet topic count (each topic is one independent shard)")
 	partitions := fs.Int("partitions", 32, "fleet per-topic partition count")
 	consumers := fs.Int("consumers", 1, "fleet consumer-group members per topic")
+	consumerFaults := fs.Bool("consumer-faults", false, "fleet mode: crash and restart group members mid-stream in every shard (needs -consumers >= 2)")
 	usersPerSec := fs.Float64("users-per-sec", 0, "fleet aggregate offered load in msg/s (0 = full speed)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -88,17 +89,18 @@ func run(ctx context.Context, args []string) error {
 	}
 	if *fleet > 0 {
 		return runFleet(ctx, v, fleetFlags{
-			messages:    *messages,
-			seed:        *seed,
-			producers:   *fleet,
-			topics:      *topics,
-			partitions:  *partitions,
-			consumers:   *consumers,
-			usersPerSec: *usersPerSec,
-			parallel:    *parallel,
-			timeline:    *timelinePath,
-			timelineIvl: *timelineIvl,
-			trace:       *tracePath,
+			messages:       *messages,
+			seed:           *seed,
+			producers:      *fleet,
+			topics:         *topics,
+			partitions:     *partitions,
+			consumers:      *consumers,
+			consumerFaults: *consumerFaults,
+			usersPerSec:    *usersPerSec,
+			parallel:       *parallel,
+			timeline:       *timelinePath,
+			timelineIvl:    *timelineIvl,
+			trace:          *tracePath,
 		})
 	}
 	e := testbed.Experiment{
@@ -195,17 +197,18 @@ func writeMergedTimeline(path string, timelines []*obs.Timeline) error {
 
 // fleetFlags carries the fleet-mode CLI parameters.
 type fleetFlags struct {
-	messages    int
-	seed        uint64
-	producers   int
-	topics      int
-	partitions  int
-	consumers   int
-	usersPerSec float64
-	parallel    int
-	timeline    string
-	timelineIvl time.Duration
-	trace       string
+	messages       int
+	seed           uint64
+	producers      int
+	topics         int
+	partitions     int
+	consumers      int
+	consumerFaults bool
+	usersPerSec    float64
+	parallel       int
+	timeline       string
+	timelineIvl    time.Duration
+	trace          string
 }
 
 // runFleet executes the fleet-scale scenario and prints its scorecard:
@@ -224,6 +227,7 @@ func runFleet(ctx context.Context, v features.Vector, ff fleetFlags) error {
 		Seed:              ff.seed,
 		UsersPerSec:       ff.usersPerSec,
 		ConsumersPerTopic: ff.consumers,
+		ConsumerFaults:    ff.consumerFaults,
 		MaxSimTime:        4 * time.Hour,
 	}
 	if ff.timeline != "" {

@@ -55,6 +55,18 @@ type Config struct {
 	// ordering and duplicate-accounting invariants only apply at 1; the
 	// ack/loss/conservation invariants hold at any depth.
 	MaxInFlight int
+	// E2E extends each trial with a consumer group run through the
+	// broker-side coordinator: ConsumerMembers members poll and commit
+	// while the faults fire, generated plans add consumer crash/restart
+	// faults, and the end-to-end checker (chaos.VerifyE2E) verifies the
+	// producer → log → group → committed-offset chain on top of the
+	// producer/broker invariants. The coordinator's offsets topic runs
+	// at the mode's replication factor, so at-least-once campaigns
+	// exercise the lost-committed-offset window and exactly-once
+	// campaigns must never see it.
+	E2E bool
+	// ConsumerMembers is the group size under E2E (default 2).
+	ConsumerMembers int
 	// Workers bounds the parallel trial pool (<= 0: GOMAXPROCS).
 	Workers int
 	// Progress, when non-nil, receives (done, total) after each trial.
@@ -86,6 +98,9 @@ func (c Config) withDefaults() (Config, error) {
 	if c.MaxInFlight <= 0 {
 		c.MaxInFlight = 1
 	}
+	if c.E2E && c.ConsumerMembers <= 0 {
+		c.ConsumerMembers = 2
+	}
 	return c, nil
 }
 
@@ -107,9 +122,16 @@ type Row struct {
 	Pd           float64  `json:"pd"`
 	Truncated    uint64   `json:"records_truncated"`
 	Unclean      uint64   `json:"unclean_restarts"`
-	Classified   []string `json:"classified,omitempty"`
-	Violations   []string `json:"violations,omitempty"`
-	Pass         bool     `json:"pass"`
+	// E2E-mode fields: what the consumer group saw during the trial.
+	Consumed          int64    `json:"consumed,omitempty"`
+	Redelivered       uint64   `json:"redelivered,omitempty"`
+	Rebalances        uint64   `json:"rebalances,omitempty"`
+	Expirations       uint64   `json:"expirations,omitempty"`
+	OffsetRegressions int      `json:"offset_regressions,omitempty"`
+	Drained           bool     `json:"drained,omitempty"`
+	Classified        []string `json:"classified,omitempty"`
+	Violations        []string `json:"violations,omitempty"`
+	Pass              bool     `json:"pass"`
 }
 
 // Scorecard is a campaign's full result.
@@ -120,7 +142,10 @@ type Scorecard struct {
 	Failed    int    `json:"failed"`     // trials with invariant violations
 	Flagged   int    `json:"flagged"`    // trials with classified anomalies
 	AckedLost int    `json:"acked_lost"` // trials that lost acknowledged records (classified)
-	Rows      []Row  `json:"rows"`
+	// OffsetRegressed counts trials whose offsets log lost a committed
+	// watermark across an unclean restart (E2E mode only).
+	OffsetRegressed int   `json:"offset_regressed,omitempty"`
+	Rows            []Row `json:"rows"`
 }
 
 // OK reports whether every trial upheld its invariants.
@@ -167,6 +192,9 @@ func Run(ctx context.Context, cfg Config) (Scorecard, error) {
 				break
 			}
 		}
+		if r.OffsetRegressions > 0 {
+			sc.OffsetRegressed++
+		}
 	}
 	return sc, nil
 }
@@ -193,13 +221,17 @@ func runTrial(ctx context.Context, cfg Config, planSeed, workloadSeed uint64) (R
 		semCode = features.SemanticsAtLeastOnce
 		rf = 1
 	}
-	plan := chaos.GeneratePlan(planSeed, chaos.GenConfig{
+	gen := chaos.GenConfig{
 		Brokers:   3,
 		Semantics: sem,
 		Horizon:   cfg.Horizon,
 		MaxFaults: cfg.MaxFaults,
 		Unclean:   true,
-	})
+	}
+	if cfg.E2E {
+		gen.ConsumerMembers = cfg.ConsumerMembers
+	}
+	plan := chaos.GeneratePlan(planSeed, gen)
 	e := testbed.Experiment{
 		Features: features.Vector{
 			MessageSize:    100,
@@ -225,6 +257,10 @@ func runTrial(ctx context.Context, cfg Config, planSeed, workloadSeed uint64) (R
 		RetryBackoffMax:     200 * time.Millisecond,
 		QueueLimit:          64,
 	}
+	if cfg.E2E {
+		e.Consumers = cfg.ConsumerMembers
+		e.OffsetsReplication = rf
+	}
 	res, err := testbed.RunCtx(ctx, e)
 	if err != nil {
 		return Row{}, fmt.Errorf("campaign: trial (plan %d, workload %d): %w", planSeed, workloadSeed, err)
@@ -245,6 +281,24 @@ func runTrial(ctx context.Context, cfg Config, planSeed, workloadSeed uint64) (R
 		PktsLost:    res.Metrics.PacketsLostRandom + res.Metrics.PacketsLostOverflow,
 		Retransmits: res.Metrics.Retransmits,
 	})
+	if cfg.E2E {
+		acked := make(map[uint64]bool, len(res.Outcomes))
+		for _, o := range res.Outcomes {
+			if o.State == producer.StateDelivered || o.State == producer.StateDuplicated {
+				acked[o.Key] = true
+			}
+		}
+		verdict.Merge(chaos.VerifyE2E(chaos.E2EInput{
+			Semantics:          sem,
+			OffsetsReplication: rf,
+			Plan:               plan,
+			Evidence:           *res.GroupEvidence,
+			ConsumedKeys:       res.GroupConsumedKeys,
+			FinalCommitted:     res.GroupCommitted,
+			Regressions:        res.OffsetRegressions,
+			AckedKeys:          acked,
+		}))
+	}
 	row := Row{
 		Mode:         cfg.Mode,
 		PlanSeed:     planSeed,
@@ -266,6 +320,16 @@ func runTrial(ctx context.Context, cfg Config, planSeed, workloadSeed uint64) (R
 	for _, st := range res.BrokerStats {
 		row.Truncated += st.RecordsTruncated
 		row.Unclean += st.UncleanCrashes
+	}
+	if cfg.E2E {
+		for _, keys := range res.GroupConsumedKeys {
+			row.Consumed += int64(len(keys))
+		}
+		row.Redelivered = res.GroupEvidence.Redelivered
+		row.Rebalances = res.GroupEvidence.Rebalances
+		row.Expirations = res.Coordinator.SessionExpirations
+		row.OffsetRegressions = len(res.OffsetRegressions)
+		row.Drained = res.GroupEvidence.Drained
 	}
 	return row, nil
 }

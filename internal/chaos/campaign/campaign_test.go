@@ -140,6 +140,90 @@ func TestExactlyOncePipelinedCampaign(t *testing.T) {
 	}
 }
 
+// TestExactlyOnceE2ECampaign is the end-to-end acceptance run: 60
+// trials mixing broker faults (including unclean restarts) with
+// consumer-member crash/restart rebalances, a two-member group
+// committing through the rf=3 offsets log, and zero tolerance — no
+// producer, broker, or end-to-end delivery invariant may fire under
+// exactly-once.
+func TestExactlyOnceE2ECampaign(t *testing.T) {
+	sc, err := Run(context.Background(), Config{
+		Mode: ModeExactlyOnce, Trials: 60, Seed: 20260806, E2E: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range sc.Rows {
+		if !r.Pass {
+			t.Errorf("trial (plan %d, workload %d) violated: %v (faults %v)",
+				r.PlanSeed, r.WorkloadSeed, r.Violations, r.Faults)
+		}
+	}
+	if sc.Failed != 0 {
+		t.Fatalf("%d of %d exactly-once e2e trials violated invariants", sc.Failed, sc.Trials)
+	}
+	if sc.OffsetRegressed != 0 {
+		t.Fatalf("%d trials lost committed offsets despite the rf=3 offsets topic", sc.OffsetRegressed)
+	}
+	var crashes, rebalances, expirations uint64
+	consumerFaults := 0
+	for _, r := range sc.Rows {
+		if !r.Drained {
+			t.Errorf("trial (plan %d): group did not drain", r.PlanSeed)
+		}
+		rebalances += r.Rebalances
+		expirations += r.Expirations
+		for _, f := range r.Faults {
+			if strings.HasPrefix(f, "consumer-crash ") {
+				consumerFaults++
+			}
+		}
+		_ = crashes
+	}
+	if consumerFaults == 0 {
+		t.Error("no generated plan crashed a consumer member across 60 trials")
+	}
+	if rebalances == 0 || expirations == 0 {
+		t.Errorf("rebalances=%d expirations=%d; campaign never exercised membership churn", rebalances, expirations)
+	}
+}
+
+// TestAtLeastOnceE2EClassifiesOffsetRegression runs the group against
+// an rf=1 offsets topic under unclean restarts: committed watermarks
+// that the offsets log loses must be classified as the expected acks=1
+// redelivery window, never reported as violations — and at least one
+// trial must actually hit the window.
+func TestAtLeastOnceE2EClassifiesOffsetRegression(t *testing.T) {
+	sc, err := Run(context.Background(), Config{
+		Mode: ModeAtLeastOnce, Trials: 60, Seed: 20260806, E2E: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Failed != 0 {
+		for _, r := range sc.Rows {
+			if !r.Pass {
+				t.Errorf("trial (plan %d, workload %d): %v", r.PlanSeed, r.WorkloadSeed, r.Violations)
+			}
+		}
+		t.Fatalf("%d of %d at-least-once e2e trials misreported expected anomalies", sc.Failed, sc.Trials)
+	}
+	if sc.OffsetRegressed == 0 {
+		t.Error("no trial regressed a committed offset; the rf=1 offsets-loss window never opened")
+	}
+	found := false
+	for _, r := range sc.Rows {
+		for _, c := range r.Classified {
+			if strings.Contains(c, "committed offsets regressed") {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("offset regression never classified in any row")
+	}
+}
+
 // assertAllKindsCovered requires the campaign's generated plans to have
 // exercised every schedulable fault kind at least once.
 func assertAllKindsCovered(t *testing.T, sc Scorecard) {

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"kafkarel/internal/cluster"
+	"kafkarel/internal/consumer"
 	"kafkarel/internal/des"
 	"kafkarel/internal/netem"
 	"kafkarel/internal/obs"
@@ -55,6 +56,11 @@ const (
 	ConnReset
 	// BrokerSlow scales a broker's append service time for the window.
 	BrokerSlow
+	// ConsumerCrash kills a consumer-group member (by join-order index):
+	// its in-memory positions vanish and the coordinator only notices
+	// when the session expires. A positive Duration restarts it — with a
+	// fresh member identity — at the window's end; zero leaves it down.
+	ConsumerCrash
 )
 
 var kindNames = map[Kind]string{
@@ -66,6 +72,7 @@ var kindNames = map[Kind]string{
 	DelaySpike:     "delay-spike",
 	ConnReset:      "conn-reset",
 	BrokerSlow:     "broker-slow",
+	ConsumerCrash:  "consumer-crash",
 }
 
 // String implements fmt.Stringer.
@@ -122,6 +129,8 @@ type Fault struct {
 	DelayMs float64
 	// Slowdown is BrokerSlow's service-time multiplier, > 1.
 	Slowdown float64
+	// Member targets ConsumerCrash at a group member by join-order index.
+	Member int32
 }
 
 // windowed reports whether the fault occupies a time window whose end
@@ -130,7 +139,7 @@ func (f Fault) windowed() bool {
 	switch f.Kind {
 	case Partition, LossBurst, DelaySpike, BrokerSlow:
 		return true
-	case BrokerCrash, UncleanRestart:
+	case BrokerCrash, UncleanRestart, ConsumerCrash:
 		return f.Duration > 0
 	default:
 		return false
@@ -165,6 +174,11 @@ func (f Fault) String() string {
 		return fmt.Sprintf("%s %s +%.3gms @%v+%v", f.Kind, f.Direction, f.DelayMs, f.At, f.Duration)
 	case ConnReset:
 		return fmt.Sprintf("%s @%v", f.Kind, f.At)
+	case ConsumerCrash:
+		if f.Duration > 0 {
+			return fmt.Sprintf("%s c%d @%v+%v", f.Kind, f.Member, f.At, f.Duration)
+		}
+		return fmt.Sprintf("%s c%d @%v", f.Kind, f.Member, f.At)
 	default:
 		return fmt.Sprintf("%s @%v", f.Kind, f.At)
 	}
@@ -201,6 +215,12 @@ func (p Plan) Count(k Kind) int {
 // classifier's gate for expected acked-data loss.
 func (p Plan) HasBrokerFaults() bool {
 	return p.Count(BrokerCrash) > 0 || p.Count(UncleanRestart) > 0
+}
+
+// HasConsumerFaults reports whether the plan kills any consumer-group
+// member.
+func (p Plan) HasConsumerFaults() bool {
+	return p.Count(ConsumerCrash) > 0
 }
 
 // Summary renders the plan as a compact one-line fault list.
@@ -250,7 +270,7 @@ func (p Plan) Validate(brokers int) error {
 			if f.Duration <= 0 {
 				return fmt.Errorf("chaos: fault %d (%s): window faults need a positive duration", i, f.Kind)
 			}
-		case BrokerCrash, UncleanRestart, BrokerRecover, ConnReset:
+		case BrokerCrash, UncleanRestart, BrokerRecover, ConnReset, ConsumerCrash:
 			if f.Duration < 0 {
 				return fmt.Errorf("chaos: fault %d (%s): negative duration", i, f.Kind)
 			}
@@ -258,6 +278,10 @@ func (p Plan) Validate(brokers int) error {
 			return fmt.Errorf("chaos: fault %d: unknown kind %d", i, int(f.Kind))
 		}
 		switch f.Kind {
+		case ConsumerCrash:
+			if f.Member < 0 {
+				return fmt.Errorf("chaos: fault %d: negative consumer member %d", i, f.Member)
+			}
 		case LossBurst:
 			if f.LossRate <= 0 || f.LossRate >= 1 {
 				return fmt.Errorf("chaos: fault %d: loss rate %v outside (0,1)", i, f.LossRate)
@@ -323,6 +347,7 @@ func (p Plan) Validate(brokers int) error {
 		idx   int
 	}
 	seq := map[int32][]ev{}
+	cseq := map[int32][]ev{}
 	for i, f := range p.Faults {
 		switch f.Kind {
 		case BrokerCrash, UncleanRestart:
@@ -332,9 +357,14 @@ func (p Plan) Validate(brokers int) error {
 			}
 		case BrokerRecover:
 			seq[f.Broker] = append(seq[f.Broker], ev{f.At, false, i})
+		case ConsumerCrash:
+			cseq[f.Member] = append(cseq[f.Member], ev{f.At, true, i})
+			if f.Duration > 0 {
+				cseq[f.Member] = append(cseq[f.Member], ev{f.end(), false, i})
+			}
 		}
 	}
-	for id, evs := range seq {
+	replay := func(evs []ev, what string, id int32) error {
 		sort.SliceStable(evs, func(a, b int) bool { return evs[a].at < evs[b].at })
 		down := false
 		for _, e := range evs {
@@ -343,9 +373,20 @@ func (p Plan) Validate(brokers int) error {
 				if !e.crash {
 					verb = "recovery of already-up"
 				}
-				return fmt.Errorf("chaos: fault %d: %s broker %d at %v", e.idx, verb, id, e.at)
+				return fmt.Errorf("chaos: fault %d: %s %s %d at %v", e.idx, verb, what, id, e.at)
 			}
 			down = e.crash
+		}
+		return nil
+	}
+	for id, evs := range seq {
+		if err := replay(evs, "broker", id); err != nil {
+			return err
+		}
+	}
+	for id, evs := range cseq {
+		if err := replay(evs, "consumer", id); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -363,6 +404,7 @@ type Targets struct {
 	Cluster  *cluster.Cluster
 	Path     *netem.Path
 	Conn     *transport.Conn
+	Group    *consumer.Group
 	Timeline *obs.Timeline
 	Seed     uint64
 	OnError  func(error)
@@ -422,6 +464,10 @@ func Schedule(plan Plan, t Targets) error {
 			if t.Cluster == nil {
 				return fmt.Errorf("chaos: fault %d (%s): no cluster target", i, f.Kind)
 			}
+		case ConsumerCrash:
+			if t.Group == nil {
+				return fmt.Errorf("chaos: fault %d (%s): no consumer-group target", i, f.Kind)
+			}
 		}
 		switch f.Kind {
 		case BrokerCrash:
@@ -474,6 +520,23 @@ func Schedule(plan Plan, t Targets) error {
 				t.Cluster.Broker(f.Broker).SetSlowdown(1)
 				t.Timeline.Annotate(obs.AnnFault, fmt.Sprintf("%s b%d over", f.Kind, f.Broker))
 			})
+		case ConsumerCrash:
+			t.Sim.Schedule(f.At, func() {
+				if err := t.Group.CrashMember(int(f.Member)); err != nil {
+					t.fail(err)
+					return
+				}
+				t.Timeline.Annotate(obs.AnnFault, f.String())
+			})
+			if f.Duration > 0 {
+				t.Sim.Schedule(f.end(), func() {
+					if err := t.Group.RestartMember(int(f.Member)); err != nil {
+						t.fail(err)
+						return
+					}
+					t.Timeline.Annotate(obs.AnnFault, fmt.Sprintf("%s c%d restart", f.Kind, f.Member))
+				})
+			}
 		}
 	}
 	return nil

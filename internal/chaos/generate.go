@@ -24,6 +24,10 @@ type GenConfig struct {
 	// Unclean permits unclean restarts (needs a broker flush interval to
 	// bite; without one they degenerate to clean crashes).
 	Unclean bool
+	// ConsumerMembers, when positive, adds consumer-member crashes
+	// targeting join-order indices [0, ConsumerMembers) to the sampled
+	// kinds — the rebalance-under-fire ingredient of end-to-end trials.
+	ConsumerMembers int
 }
 
 func (c GenConfig) withDefaults() GenConfig {
@@ -54,6 +58,9 @@ func GeneratePlan(seed uint64, cfg GenConfig) Plan {
 	kinds := []Kind{BrokerCrash, Partition, LossBurst, DelaySpike, ConnReset, BrokerSlow}
 	if cfg.Unclean {
 		kinds = append(kinds, UncleanRestart)
+	}
+	if cfg.ConsumerMembers > 0 {
+		kinds = append(kinds, ConsumerCrash)
 	}
 
 	// Independent time cursors per resource class keep windows of the
@@ -123,6 +130,13 @@ func GeneratePlan(seed uint64, cfg GenConfig) Plan {
 			}
 			f = Fault{Kind: k, At: at, Duration: d, Broker: int32(rng.IntN(cfg.Brokers)),
 				Slowdown: 2 + 8*rng.Float64()}
+		case ConsumerCrash:
+			d := dur(100*time.Millisecond, 400*time.Millisecond)
+			at, ok := place("consumer", d)
+			if !ok {
+				continue
+			}
+			f = Fault{Kind: k, At: at, Duration: d, Member: int32(rng.IntN(cfg.ConsumerMembers))}
 		}
 		plan.Faults = append(plan.Faults, f)
 	}

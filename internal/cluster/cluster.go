@@ -63,6 +63,7 @@ type Cluster struct {
 
 	cReplications *obs.Counter
 	trace         *obs.Tracer
+	topoHook      func() // runs after every broker fail/crash/recover
 
 	freeProd []*prodJob // recycled produce-routing jobs
 	freeRepl []*replJob // recycled replication-delay jobs
@@ -183,6 +184,19 @@ func New(sim *des.Simulator, cfg Config) (*Cluster, error) {
 	return c, nil
 }
 
+// SetTopologyHook registers fn to run after every topology change —
+// broker failure, unclean crash, or recovery, once leadership has been
+// re-elected and logs caught up. The group coordinator uses it to
+// re-materialize its offsets view from the (possibly truncated)
+// offsets log. Only one hook is supported; passing nil clears it.
+func (c *Cluster) SetTopologyHook(fn func()) { c.topoHook = fn }
+
+func (c *Cluster) topologyChanged() {
+	if c.topoHook != nil {
+		c.topoHook()
+	}
+}
+
 // Broker returns the node with the given ID, or nil.
 func (c *Cluster) Broker(id int32) *broker.Broker {
 	if id < 0 || int(id) >= len(c.brokers) {
@@ -294,6 +308,7 @@ func (c *Cluster) FailBroker(id int32) error {
 	}
 	b.Stop()
 	c.demote(id)
+	c.topologyChanged()
 	return nil
 }
 
@@ -309,6 +324,7 @@ func (c *Cluster) CrashBrokerUnclean(id int32) error {
 	}
 	b.CrashUnclean()
 	c.demote(id)
+	c.topologyChanged()
 	return nil
 }
 
@@ -384,6 +400,7 @@ func (c *Cluster) RecoverBroker(id int32) error {
 				leader.ProducerStateSnapshot(topic, int32(p)))
 		}
 	}
+	c.topologyChanged()
 	return nil
 }
 

@@ -137,6 +137,18 @@ type KeyRange struct {
 // every range is Foreign, and NLost is the total range size minus the
 // distinct keys seen. Ranges must be disjoint; order does not matter.
 func ReconcileRanges(ranges []KeyRange, records []wire.Record) Report {
+	keys := make([][]uint64, 1)
+	keys[0] = make([]uint64, len(records))
+	for i, rec := range records {
+		keys[0][i] = rec.Key
+	}
+	return ReconcileRangesKeys(ranges, keys)
+}
+
+// ReconcileRangesKeys is ReconcileRanges over bare key streams — one
+// slice per partition, as produced by Group.ConsumedKeys — so consumer
+// groups can be reconciled without materialising wire.Records.
+func ReconcileRangesKeys(ranges []KeyRange, keys [][]uint64) Report {
 	sorted := make([]KeyRange, 0, len(ranges))
 	var rep Report
 	for _, r := range ranges {
@@ -156,13 +168,19 @@ func ReconcileRanges(ranges []KeyRange, records []wire.Record) Report {
 		r := sorted[i-1]
 		return k <= r.Base+r.Count
 	}
-	seen := make(map[uint64]uint64, len(records))
-	for _, rec := range records {
-		if rec.Key == 0 || !inRange(rec.Key) {
-			rep.Foreign++
-			continue
+	total := 0
+	for _, ks := range keys {
+		total += len(ks)
+	}
+	seen := make(map[uint64]uint64, total)
+	for _, ks := range keys {
+		for _, k := range ks {
+			if k == 0 || !inRange(k) {
+				rep.Foreign++
+				continue
+			}
+			seen[k]++
 		}
-		seen[rec.Key]++
 	}
 	rep.Distinct = uint64(len(seen))
 	rep.NLost = rep.SourceCount - rep.Distinct

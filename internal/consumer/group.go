@@ -1,204 +1,978 @@
 package consumer
 
 import (
+	"errors"
 	"fmt"
-	"sort"
+	"time"
 
 	"kafkarel/internal/cluster"
+	"kafkarel/internal/coordinator"
+	"kafkarel/internal/des"
 	"kafkarel/internal/wire"
 )
 
-// Group is an in-process consumer group over a cluster topic: members
-// share the topic's partitions under Kafka's range assignment, poll
-// records from their assigned partitions, and commit offsets to a
-// group-scoped offset store, giving at-least-once consumption semantics
-// (uncommitted records are redelivered after a rebalance or restart).
-// It completes the substrate for downstream users; the paper's
-// experiments only need the single drain consumer above.
+// ErrNoCommit is returned by Committed for a partition the group has
+// never durably committed an offset for. Callers must distinguish it
+// from offset 0, which is a real committed position ("consumed
+// nothing, durably").
+var ErrNoCommit = errors.New("consumer: no committed offset")
+
+// Group is a consumer group running against the broker-side group
+// coordinator: members join through JoinGroup/SyncGroup, hold their
+// membership with heartbeats, poll their assigned partitions, and
+// commit offsets to the coordinator's replicated offsets log. Nothing
+// is remembered group-locally across a rebalance except what the
+// offsets log serves back — a committed offset the log lost is lost
+// here too, which is exactly the behaviour the chaos checker audits.
+//
+// A group runs in one of two styles sharing the same protocol code:
+//
+//   - Driven (Config.Auto): members are DES actors with poll and
+//     heartbeat timers; they auto-commit after every poll round,
+//     rejoin cooperatively when a heartbeat reports a rebalance
+//     (committing their progress inside the revoke window first), and
+//     leave once a drain predicate holds and their partitions are
+//     consumed and committed.
+//   - Manual: tests call Poll/Commit/Heartbeat themselves and pump the
+//     simulator in between.
+//
+// Not safe for concurrent use; the DES is single-threaded.
 type Group struct {
-	cluster    *cluster.Cluster
-	topic      string
+	sim  *des.Simulator
+	co   *coordinator.Coordinator
+	clst *cluster.Cluster
+	cfg  GroupConfig
+
 	partitions int32
-	members    []string
-	// assignment maps member → partitions.
-	assignment map[string][]int32
-	// committed and position are per-partition offsets: committed is the
-	// durable group offset; position is the in-memory read cursor since
-	// the last poll.
-	committed map[int32]int64
-	position  map[int32]int64
+	members    map[string]*Member
+	order      []string // member names in Join order
+	active     int      // members neither crashed nor left
+	started    int
+
+	// consumed holds, per partition, the keys delivered to the
+	// application in delivery order (after dedup when Dedup is set) —
+	// the group-side half of the end-to-end reconciliation.
+	consumed [][]uint64
+	// deliveredNext is the per-partition dedup watermark: the next
+	// offset the application has not seen yet.
+	deliveredNext []int64
+	// commitHi is the highest offsets-log-acknowledged commit per
+	// partition (0 = none) — durable facts, recorded even when the
+	// committing member has since crashed.
+	commitHi []int64
+	// hwm is the latest high watermark any member observed per
+	// partition (-1 = never fetched) — the group-wide drain target.
+	hwm []int64
+
+	ev           Evidence
+	drainCheck   func() bool
+	lastProgress time.Duration
+	gaveUp       bool
+
+	freeCommits []*commitReq
 }
 
-// NewGroup creates an empty group for the topic.
-func NewGroup(c *cluster.Cluster, topic string, partitions int32) (*Group, error) {
-	if c == nil {
-		return nil, fmt.Errorf("consumer: nil cluster")
+// GroupConfig parameterises a Group.
+type GroupConfig struct {
+	// ID is the group id (default "group").
+	ID string
+	// Topic is the subscribed topic (required; must exist).
+	Topic string
+	// SessionTimeout is passed to the coordinator on every join
+	// (default: the coordinator's default).
+	SessionTimeout time.Duration
+	// HeartbeatInterval defaults to a third of the session timeout.
+	HeartbeatInterval time.Duration
+	// PollInterval is the driven-mode poll cadence (default 2ms).
+	PollInterval time.Duration
+	// PollMax caps records per poll round (default 512).
+	PollMax int
+	// CommitTimeout abandons an unacknowledged commit round (the
+	// offsets log can silently swallow acks=all requests while its
+	// partition is leaderless); the next poll round retries. Default
+	// 100ms.
+	CommitTimeout time.Duration
+	// RetryBackoff spaces join/offset-fetch retries (default 10ms).
+	RetryBackoff time.Duration
+	// Auto runs members as DES actors (see Group doc).
+	Auto bool
+	// Dedup suppresses redelivered offsets (at or below the delivered
+	// watermark) from the application stream — the app-side half of
+	// exactly-once consumption.
+	Dedup bool
+	// CaptureEvidence records every delivery and commit ack on the
+	// Evidence — the chaos end-to-end checker's input. Off by default
+	// (memory-heavy for large runs).
+	CaptureEvidence bool
+	// IdleGiveUp, when positive, makes driven members abandon the
+	// drain (leaving unclean) after this much sim time without any
+	// group-wide delivery progress once the drain predicate holds —
+	// the escape hatch for permanently unservable partitions.
+	IdleGiveUp time.Duration
+}
+
+func (c *GroupConfig) applyDefaults(co *coordinator.Coordinator) {
+	if c.ID == "" {
+		c.ID = "group"
 	}
-	if topic == "" {
+	if c.SessionTimeout <= 0 {
+		c.SessionTimeout = co.Config().SessionTimeout
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = c.SessionTimeout / 3
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 2 * time.Millisecond
+	}
+	if c.PollMax <= 0 {
+		c.PollMax = 512
+	}
+	if c.CommitTimeout <= 0 {
+		c.CommitTimeout = 100 * time.Millisecond
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 10 * time.Millisecond
+	}
+}
+
+// Delivery is one record handed to the application.
+type Delivery struct {
+	Partition  int32
+	Offset     int64
+	Key        uint64
+	Member     string
+	Generation int32
+}
+
+// CommitAck is one durably acknowledged offset commit.
+// AfterDeliveries is the length of Evidence.Deliveries at the moment
+// the ack arrived, interleaving the two logs for replay.
+type CommitAck struct {
+	Partition       int32
+	Offset          int64
+	AfterDeliveries int
+}
+
+// Evidence is the group's end-to-end delivery record: what the
+// application saw, what the offsets log acknowledged, and the
+// membership churn along the way.
+type Evidence struct {
+	Group string
+	Dedup bool
+	// Deliveries and CommitAcks are only populated under
+	// CaptureEvidence; the counters always are.
+	Deliveries []Delivery
+	CommitAcks []CommitAck
+
+	Delivered      uint64 // records handed to the application
+	Redelivered    uint64 // polled records at already-delivered offsets
+	Rewinds        uint64 // position rewinds after log truncation
+	FencedCommits  uint64 // commits rejected by generation/member fencing
+	FencedFetches  uint64 // offset fetches rejected by fencing
+	Rebalances     uint64 // assignments applied across all members
+	Crashes        uint64
+	Restarts       uint64
+	CommitTimeouts uint64
+	// Drained reports a clean end: every member left after its
+	// partitions were consumed to the high watermark and committed.
+	Drained bool
+}
+
+type memberState int8
+
+const (
+	mDown memberState = iota
+	mJoining
+	mSyncing
+	mStable
+)
+
+func (s memberState) String() string {
+	switch s {
+	case mDown:
+		return "down"
+	case mJoining:
+		return "joining"
+	case mSyncing:
+		return "syncing"
+	case mStable:
+		return "stable"
+	default:
+		return fmt.Sprintf("state(%d)", int8(s))
+	}
+}
+
+// Member is one group member actor.
+type Member struct {
+	g     *Group
+	name  string // stable client-side name (fault target)
+	id    string // coordinator-assigned member id
+	gen   int32
+	state memberState
+
+	assigned []int32
+	position map[int32]int64 // next offset to fetch
+	ackedTo  map[int32]int64 // durably acknowledged commit watermarks
+
+	hbT, pollT, commitT, retryT *des.Timer
+	hbCB                        func(wire.HeartbeatResponse)
+
+	joinEpoch     uint64 // discards responses to superseded joins
+	commitEpoch   uint64 // discards acks of abandoned commit rounds
+	inFlight      int
+	pendingAssign []int32 // assignment awaiting offset fetches
+	crashed       bool
+	left          bool
+	cleanLeft     bool
+}
+
+// commitReq is one in-flight offset commit, pooled so the steady-state
+// commit path allocates nothing per commit.
+type commitReq struct {
+	m      *Member
+	epoch  uint64
+	part   int32
+	offset int64
+	fire   func(wire.OffsetCommitResponse)
+}
+
+func (g *Group) getCommitReq() *commitReq {
+	if n := len(g.freeCommits); n > 0 {
+		j := g.freeCommits[n-1]
+		g.freeCommits = g.freeCommits[:n-1]
+		return j
+	}
+	j := &commitReq{}
+	j.fire = j.done
+	return j
+}
+
+func (g *Group) putCommitReq(j *commitReq) {
+	j.m = nil
+	g.freeCommits = append(g.freeCommits, j)
+}
+
+// NewGroup creates a group over the topic. The topic must exist; its
+// partition count is taken from cluster metadata.
+func NewGroup(sim *des.Simulator, co *coordinator.Coordinator, clst *cluster.Cluster, cfg GroupConfig) (*Group, error) {
+	if sim == nil || co == nil || clst == nil {
+		return nil, fmt.Errorf("consumer: nil simulator, coordinator or cluster")
+	}
+	if cfg.Topic == "" {
 		return nil, fmt.Errorf("consumer: empty topic")
 	}
-	if partitions <= 0 {
-		return nil, fmt.Errorf("consumer: partition count %d <= 0", partitions)
+	md := clst.Metadata(wire.MetadataRequest{Topic: cfg.Topic})
+	if md.Err != wire.ErrNone {
+		return nil, fmt.Errorf("consumer: topic %q: %s", cfg.Topic, md.Err)
 	}
-	return &Group{
-		cluster:    c,
-		topic:      topic,
-		partitions: partitions,
-		assignment: make(map[string][]int32),
-		committed:  make(map[int32]int64),
-		position:   make(map[int32]int64),
-	}, nil
+	cfg.applyDefaults(co)
+	n := len(md.Partitions)
+	g := &Group{
+		sim:           sim,
+		co:            co,
+		clst:          clst,
+		cfg:           cfg,
+		partitions:    int32(n),
+		members:       make(map[string]*Member),
+		consumed:      make([][]uint64, n),
+		deliveredNext: make([]int64, n),
+		commitHi:      make([]int64, n),
+		hwm:           make([]int64, n),
+	}
+	for p := range g.hwm {
+		g.hwm[p] = -1
+	}
+	g.ev.Group = cfg.ID
+	g.ev.Dedup = cfg.Dedup
+	return g, nil
 }
 
-// Members returns the current member IDs in join order.
-func (g *Group) Members() []string {
-	out := make([]string, len(g.members))
-	copy(out, g.members)
-	return out
-}
+// SetDrainCheck installs the driven-mode drain predicate: once it
+// returns true, members leave as soon as their partitions are consumed
+// to the high watermark and committed.
+func (g *Group) SetDrainCheck(fn func() bool) { g.drainCheck = fn }
 
-// Assignment returns the partitions assigned to a member.
-func (g *Group) Assignment(member string) []int32 {
-	out := make([]int32, len(g.assignment[member]))
-	copy(out, g.assignment[member])
-	return out
-}
+// Partitions returns the topic's partition count.
+func (g *Group) Partitions() int32 { return g.partitions }
 
-// Join adds a member and rebalances. Re-joining an existing member is an
-// error.
-func (g *Group) Join(member string) error {
-	if member == "" {
-		return fmt.Errorf("consumer: empty member id")
+// Join adds a member under a stable client-side name and starts its
+// join. In driven mode the member begins polling once the first
+// rebalance completes.
+func (g *Group) Join(name string) error {
+	if name == "" {
+		return fmt.Errorf("consumer: empty member name")
 	}
-	for _, m := range g.members {
-		if m == member {
-			return fmt.Errorf("consumer: member %q already joined", member)
-		}
+	if _, ok := g.members[name]; ok {
+		return fmt.Errorf("consumer: member %q already joined", name)
 	}
-	g.members = append(g.members, member)
-	g.rebalance()
+	m := &Member{
+		g:        g,
+		name:     name,
+		position: make(map[int32]int64),
+		ackedTo:  make(map[int32]int64),
+	}
+	m.hbT = des.NewTimer(g.sim, m.heartbeatTick)
+	m.pollT = des.NewTimer(g.sim, m.pollTick)
+	m.commitT = des.NewTimer(g.sim, m.commitTimeout)
+	m.retryT = des.NewTimer(g.sim, m.retryTick)
+	m.hbCB = m.onHeartbeat
+	g.members[name] = m
+	g.order = append(g.order, name)
+	g.active++
+	g.started++
+	if g.lastProgress == 0 {
+		g.lastProgress = g.sim.Now()
+	}
+	m.sendJoin()
 	return nil
 }
 
-// Leave removes a member and rebalances; its uncommitted progress is
-// discarded, so the records re-deliver to the new owners (at-least-once).
-func (g *Group) Leave(member string) error {
-	idx := -1
-	for i, m := range g.members {
-		if m == member {
-			idx = i
-			break
-		}
+// member resolves a name or errors.
+func (g *Group) member(name string) (*Member, error) {
+	m, ok := g.members[name]
+	if !ok {
+		return nil, fmt.Errorf("consumer: unknown member %q", name)
 	}
-	if idx < 0 {
-		return fmt.Errorf("consumer: member %q not in group", member)
-	}
-	g.members = append(g.members[:idx], g.members[idx+1:]...)
-	g.rebalance()
-	return nil
+	return m, nil
 }
 
-// rebalance applies Kafka's range assignor: partitions are split into
-// contiguous ranges, members sorted by ID, earlier members taking the
-// larger ranges when the division is uneven. Read cursors reset to the
-// committed offsets: in-flight uncommitted reads are forgotten.
-func (g *Group) rebalance() {
-	g.assignment = make(map[string][]int32, len(g.members))
-	for p := range g.position {
-		g.position[p] = g.committed[p]
+// State returns a member's client-side state name.
+func (g *Group) State(name string) string {
+	if m, ok := g.members[name]; ok {
+		return m.state.String()
 	}
-	if len(g.members) == 0 {
+	return ""
+}
+
+// Assignment returns the partitions currently assigned to a member.
+func (g *Group) Assignment(name string) []int32 {
+	m, ok := g.members[name]
+	if !ok {
+		return nil
+	}
+	return append([]int32(nil), m.assigned...)
+}
+
+// Generation returns the member's current generation (-1 when not
+// stable).
+func (g *Group) Generation(name string) int32 {
+	if m, ok := g.members[name]; ok && m.state == mStable {
+		return m.gen
+	}
+	return -1
+}
+
+// Done reports whether every member has left or crashed.
+func (g *Group) Done() bool { return g.started > 0 && g.active == 0 }
+
+// Evidence returns a copy of the group's delivery evidence.
+func (g *Group) Evidence() Evidence {
+	ev := g.ev
+	ev.Deliveries = append([]Delivery(nil), g.ev.Deliveries...)
+	ev.CommitAcks = append([]CommitAck(nil), g.ev.CommitAcks...)
+	return ev
+}
+
+// ConsumedKeys returns, per partition, the keys delivered to the
+// application in delivery order.
+func (g *Group) ConsumedKeys() [][]uint64 {
+	out := make([][]uint64, len(g.consumed))
+	for p, ks := range g.consumed {
+		out[p] = append([]uint64(nil), ks...)
+	}
+	return out
+}
+
+// CommitHi returns the highest acknowledged commit per partition
+// (0 = none acknowledged yet).
+func (g *Group) CommitHi() []int64 { return append([]int64(nil), g.commitHi...) }
+
+// ---- join / sync ----
+
+func (m *Member) sendJoin() {
+	g := m.g
+	m.state = mJoining
+	m.pendingAssign = nil
+	m.joinEpoch++
+	epoch := m.joinEpoch
+	g.co.HandleJoinGroup(wire.JoinGroupRequest{
+		Group:          g.cfg.ID,
+		MemberID:       m.id,
+		Topic:          g.cfg.Topic,
+		SessionTimeout: g.cfg.SessionTimeout,
+	}, func(resp wire.JoinGroupResponse) { m.onJoin(epoch, resp) })
+}
+
+func (m *Member) onJoin(epoch uint64, resp wire.JoinGroupResponse) {
+	if m.crashed || m.left || epoch != m.joinEpoch || m.state != mJoining {
 		return
 	}
-	sorted := make([]string, len(g.members))
-	copy(sorted, g.members)
-	sort.Strings(sorted)
-	per := int(g.partitions) / len(sorted)
-	extra := int(g.partitions) % len(sorted)
-	next := int32(0)
-	for i, m := range sorted {
-		n := per
-		if i < extra {
-			n++
-		}
-		for j := 0; j < n; j++ {
-			g.assignment[m] = append(g.assignment[m], next)
-			next++
-		}
+	switch resp.Err {
+	case wire.ErrNone:
+		m.id = resp.MemberID
+		m.gen = resp.Generation
+		m.sync()
+	case wire.ErrRebalanceInProgress:
+		// Our own newer join superseded this one; its callback is still
+		// parked. Nothing to do.
+	case wire.ErrUnknownMemberID:
+		// Evicted while parked (missed the rebalance window). Rejoin
+		// with a fresh identity after a backoff.
+		m.id = ""
+		m.retryT.Reset(m.g.cfg.RetryBackoff)
+	default:
+		m.retryT.Reset(m.g.cfg.RetryBackoff)
 	}
 }
 
-// Poll fetches up to max records for the member across its assigned
-// partitions, advancing the member's read cursors (but not the committed
-// offsets — call Commit when processing succeeded).
-func (g *Group) Poll(member string, max int) ([]wire.Record, error) {
-	parts, ok := g.assignment[member]
-	if !ok {
-		return nil, fmt.Errorf("consumer: member %q has no assignment (not joined?)", member)
+func (m *Member) sync() {
+	g := m.g
+	m.state = mSyncing
+	g.co.HandleSyncGroup(wire.SyncGroupRequest{
+		Group: g.cfg.ID, MemberID: m.id, Generation: m.gen,
+	}, m.onSync)
+}
+
+func (m *Member) onSync(resp wire.SyncGroupResponse) {
+	if m.crashed || m.left || m.state != mSyncing {
+		return
+	}
+	switch resp.Err {
+	case wire.ErrNone:
+		m.applyAssignment(resp.Assigned)
+	case wire.ErrRebalanceInProgress:
+		m.sendJoin()
+	default: // ErrIllegalGeneration, ErrUnknownMemberID
+		m.sendJoin()
+	}
+}
+
+// applyAssignment installs a new assignment cooperatively: positions of
+// retained partitions survive, revoked partitions are dropped, and
+// newly acquired partitions resume from the durable committed offset.
+func (m *Member) applyAssignment(assigned []int32) {
+	g := m.g
+	kept := make(map[int32]bool, len(assigned))
+	for _, p := range assigned {
+		kept[p] = true
+	}
+	for p := range m.position {
+		if !kept[p] {
+			delete(m.position, p)
+			delete(m.ackedTo, p)
+		}
+	}
+	for _, p := range assigned {
+		if _, ok := m.position[p]; ok {
+			continue
+		}
+		var fr wire.OffsetFetchResponse
+		g.co.HandleOffsetFetch(wire.OffsetFetchRequest{
+			Group: g.cfg.ID, MemberID: m.id, Generation: m.gen,
+			Topic: g.cfg.Topic, Partition: p,
+		}, func(r wire.OffsetFetchResponse) { fr = r })
+		switch fr.Err {
+		case wire.ErrNone:
+			m.position[p] = fr.Offset
+			m.ackedTo[p] = fr.Offset
+		case wire.ErrNoCommittedOffset:
+			m.position[p] = 0
+			m.ackedTo[p] = 0
+		case wire.ErrCoordinatorNotAvailable:
+			// Offsets log leaderless: park the assignment and retry.
+			m.pendingAssign = append([]int32(nil), assigned...)
+			m.retryT.Reset(g.cfg.RetryBackoff)
+			return
+		default: // fenced: another rebalance raced us
+			g.ev.FencedFetches++
+			m.sendJoin()
+			return
+		}
+	}
+	m.pendingAssign = nil
+	m.assigned = append(m.assigned[:0], assigned...)
+	m.state = mStable
+	g.ev.Rebalances++
+	if g.cfg.Auto {
+		m.pollT.Reset(g.cfg.PollInterval)
+		m.hbT.Reset(g.cfg.HeartbeatInterval)
+	}
+}
+
+// retryTick resumes whatever the member was waiting to redo.
+func (m *Member) retryTick() {
+	if m.crashed || m.left {
+		return
+	}
+	switch {
+	case m.state == mJoining:
+		m.sendJoin()
+	case m.state == mSyncing && m.pendingAssign != nil:
+		m.applyAssignment(m.pendingAssign)
+	}
+}
+
+// ---- heartbeats ----
+
+func (m *Member) heartbeatTick() {
+	if m.state != mStable || m.crashed || m.left {
+		return
+	}
+	m.g.co.HandleHeartbeat(wire.HeartbeatRequest{
+		Group: m.g.cfg.ID, MemberID: m.id, Generation: m.gen,
+	}, m.hbCB)
+}
+
+func (m *Member) onHeartbeat(resp wire.HeartbeatResponse) {
+	if m.state != mStable || m.crashed || m.left {
+		return
+	}
+	switch resp.Err {
+	case wire.ErrNone:
+		m.hbT.Reset(m.g.cfg.HeartbeatInterval)
+	case wire.ErrRebalanceInProgress:
+		// Cooperative revoke: commit progress inside the revoke window
+		// (the coordinator accepts current-generation commits during
+		// PreparingRebalance), then rejoin keeping our identity.
+		m.commitDirty()
+		m.sendJoin()
+	case wire.ErrUnknownMemberID:
+		// Session expired server-side; our state is stale.
+		m.resetLocal()
+		m.id = ""
+		m.sendJoin()
+	default: // ErrIllegalGeneration
+		m.sendJoin()
+	}
+}
+
+// Heartbeat sends one manual heartbeat (manual-mode tests).
+func (g *Group) Heartbeat(name string) error {
+	m, err := g.member(name)
+	if err != nil {
+		return err
+	}
+	if m.state != mStable {
+		return fmt.Errorf("consumer: member %q not stable (%s)", name, m.state)
+	}
+	m.heartbeatTick()
+	return nil
+}
+
+// ---- polling ----
+
+// pollTick is the driven-mode poll round: fetch, deliver, auto-commit,
+// and check the drain condition.
+func (m *Member) pollTick() {
+	if m.state != mStable || m.crashed || m.left {
+		return
+	}
+	g := m.g
+	m.pollOnce(g.cfg.PollMax, nil)
+	if m.state != mStable { // a fenced commit mid-round triggered a rejoin
+		return
+	}
+	m.commitDirty()
+	if g.drainCheck != nil && g.drainCheck() {
+		if m.drainedAndCommitted() {
+			m.leave(true)
+			return
+		}
+		if g.cfg.IdleGiveUp > 0 && g.sim.Now()-g.lastProgress >= g.cfg.IdleGiveUp {
+			g.gaveUp = true
+			m.leave(false)
+			return
+		}
+	}
+	m.pollT.Reset(g.cfg.PollInterval)
+}
+
+// pollOnce fetches up to max records across the member's assigned
+// partitions and delivers them. When collect is non-nil the delivered
+// records are also appended there (manual Poll).
+func (m *Member) pollOnce(max int, collect *[]wire.Record) {
+	g := m.g
+	budget := max
+	for _, p := range m.assigned {
+		if budget <= 0 {
+			break
+		}
+		pos := m.position[p]
+		var fr wire.FetchResponse
+		got := false
+		g.clst.HandleFetch(wire.FetchRequest{
+			Topic: g.cfg.Topic, Partition: p,
+			Offset: pos, MaxRecords: int32(budget),
+		}, func(r wire.FetchResponse) { fr = r; got = true })
+		if !got {
+			continue // leaderless: retry next round
+		}
+		if fr.Err != wire.ErrNone {
+			// Only the broker's out-of-range signal carries a
+			// trustworthy high watermark: the position outran the log
+			// because an unclean restart truncated it. Rewind and
+			// re-consume the rewritten suffix (at-least-once
+			// redelivery). Leaderless errors report HighWatermark 0 and
+			// must not touch positions or the drain watermark.
+			if fr.Err == wire.ErrRequestTimedOut && fr.HighWatermark < pos {
+				g.hwm[p] = fr.HighWatermark
+				m.position[p] = fr.HighWatermark
+				if m.ackedTo[p] > fr.HighWatermark {
+					m.ackedTo[p] = fr.HighWatermark
+				}
+				g.ev.Rewinds++
+			}
+			continue
+		}
+		g.hwm[p] = fr.HighWatermark
+		for i, rec := range fr.Records {
+			off := pos + int64(i)
+			fresh := off >= g.deliveredNext[p]
+			if fresh {
+				g.deliveredNext[p] = off + 1
+				g.ev.Delivered++
+			} else {
+				g.ev.Redelivered++
+				if g.cfg.Dedup {
+					continue // exactly-once: suppress the redelivery
+				}
+			}
+			g.consumed[p] = append(g.consumed[p], rec.Key)
+			g.lastProgress = g.sim.Now()
+			if g.cfg.CaptureEvidence {
+				g.ev.Deliveries = append(g.ev.Deliveries, Delivery{
+					Partition: p, Offset: off, Key: rec.Key,
+					Member: m.name, Generation: m.gen,
+				})
+			}
+			if collect != nil {
+				*collect = append(*collect, rec)
+			}
+		}
+		m.position[p] = pos + int64(len(fr.Records))
+		budget -= len(fr.Records)
+	}
+}
+
+// drainedAndCommitted reports whether the member may leave cleanly:
+// every partition of the GROUP has been delivered to its observed high
+// watermark (a member that leaves just because its own partitions are
+// empty would strand a crashed peer's backlog), and the member's own
+// positions are durably committed with nothing in flight.
+func (m *Member) drainedAndCommitted() bool {
+	g := m.g
+	if m.inFlight > 0 {
+		return false
+	}
+	for p := int32(0); p < g.partitions; p++ {
+		if g.hwm[p] < 0 || g.deliveredNext[p] < g.hwm[p] {
+			return false
+		}
+	}
+	for _, p := range m.assigned {
+		if m.position[p] > 0 && m.ackedTo[p] < m.position[p] {
+			return false
+		}
+	}
+	return true
+}
+
+// Poll fetches up to max records for a manual-mode member.
+func (g *Group) Poll(name string, max int) ([]wire.Record, error) {
+	m, err := g.member(name)
+	if err != nil {
+		return nil, err
+	}
+	if m.state != mStable {
+		return nil, fmt.Errorf("consumer: member %q not stable (%s)", name, m.state)
 	}
 	if max <= 0 {
 		return nil, fmt.Errorf("consumer: poll max %d <= 0", max)
 	}
 	var out []wire.Record
-	for _, p := range parts {
-		if len(out) >= max {
-			break
-		}
-		var resp wire.FetchResponse
-		got := false
-		g.cluster.HandleFetch(wire.FetchRequest{
-			Topic:      g.topic,
-			Partition:  p,
-			Offset:     g.position[p],
-			MaxRecords: int32(max - len(out)),
-		}, func(r wire.FetchResponse) { resp = r; got = true })
-		if !got {
-			return nil, fmt.Errorf("consumer: partition %d leaderless", p)
-		}
-		if resp.Err != wire.ErrNone {
-			return nil, fmt.Errorf("consumer: partition %d: %s", p, resp.Err)
-		}
-		out = append(out, resp.Records...)
-		g.position[p] += int64(len(resp.Records))
-	}
+	m.pollOnce(max, &out)
 	return out, nil
 }
 
-// Commit durably records the member's current read cursors as the group
-// offsets for its assigned partitions.
-func (g *Group) Commit(member string) error {
-	parts, ok := g.assignment[member]
-	if !ok {
-		return fmt.Errorf("consumer: member %q has no assignment", member)
+// ---- commits ----
+
+// commitDirty sends one commit per assigned partition whose position
+// advanced past the acknowledged watermark. Acks arrive after the
+// offsets log replicates; the round is abandoned (and later retried)
+// if no ack lands within CommitTimeout.
+func (m *Member) commitDirty() {
+	g := m.g
+	sent := false
+	for _, p := range m.assigned {
+		pos := m.position[p]
+		if pos <= m.ackedTo[p] {
+			continue
+		}
+		j := g.getCommitReq()
+		j.m, j.epoch, j.part, j.offset = m, m.commitEpoch, p, pos
+		m.inFlight++
+		sent = true
+		g.co.HandleOffsetCommit(wire.OffsetCommitRequest{
+			Group: g.cfg.ID, MemberID: m.id, Generation: m.gen,
+			Topic: g.cfg.Topic, Partition: p, Offset: pos,
+		}, j.fire)
 	}
-	for _, p := range parts {
-		g.committed[p] = g.position[p]
+	if sent && m.inFlight > 0 {
+		m.commitT.Reset(g.cfg.CommitTimeout)
+	}
+}
+
+func (j *commitReq) done(resp wire.OffsetCommitResponse) {
+	m := j.m
+	g := m.g
+	epoch, p, off := j.epoch, j.part, j.offset
+	g.putCommitReq(j)
+	if resp.Err == wire.ErrNone {
+		// A durable fact regardless of what happened to the member
+		// since: the group's resume point moved.
+		if off > g.commitHi[p] {
+			g.commitHi[p] = off
+		}
+		if g.cfg.CaptureEvidence {
+			g.ev.CommitAcks = append(g.ev.CommitAcks, CommitAck{
+				Partition: p, Offset: off, AfterDeliveries: len(g.ev.Deliveries),
+			})
+		}
+	}
+	if epoch != m.commitEpoch {
+		return // abandoned round or crashed member
+	}
+	m.inFlight--
+	if m.inFlight == 0 {
+		m.commitT.Stop()
+	}
+	switch resp.Err {
+	case wire.ErrNone:
+		if off > m.ackedTo[p] {
+			m.ackedTo[p] = off
+		}
+	case wire.ErrIllegalGeneration, wire.ErrUnknownMemberID:
+		g.ev.FencedCommits++
+		if m.state == mStable && !m.crashed && !m.left {
+			m.sendJoin()
+		}
+	default:
+		// Retriable (coordinator unavailable, not enough replicas):
+		// the next poll round re-commits the same position.
+	}
+}
+
+func (m *Member) commitTimeout() {
+	if m.inFlight == 0 || m.crashed || m.left {
+		return
+	}
+	m.g.ev.CommitTimeouts++
+	m.commitEpoch++
+	m.inFlight = 0
+}
+
+// Commit starts an async commit of the member's current positions.
+// Use CommitsInFlight (and pump the simulator) to await the acks.
+func (g *Group) Commit(name string) error {
+	m, err := g.member(name)
+	if err != nil {
+		return err
+	}
+	if m.state != mStable {
+		return fmt.Errorf("consumer: member %q not stable (%s)", name, m.state)
+	}
+	m.commitDirty()
+	return nil
+}
+
+// CommitsInFlight returns the member's outstanding commit count.
+func (g *Group) CommitsInFlight(name string) int {
+	if m, ok := g.members[name]; ok {
+		return m.inFlight
+	}
+	return 0
+}
+
+// Committed returns the group's durably committed offset for a
+// partition, read through the coordinator's offsets log. A partition
+// nothing was ever committed for returns ErrNoCommit — never a silent
+// zero.
+func (g *Group) Committed(partition int32) (int64, error) {
+	var fr wire.OffsetFetchResponse
+	got := false
+	g.co.HandleOffsetFetch(wire.OffsetFetchRequest{
+		Group: g.cfg.ID, Topic: g.cfg.Topic, Partition: partition,
+	}, func(r wire.OffsetFetchResponse) { fr = r; got = true })
+	if !got {
+		return 0, fmt.Errorf("consumer: offset fetch unanswered")
+	}
+	switch fr.Err {
+	case wire.ErrNone:
+		return fr.Offset, nil
+	case wire.ErrNoCommittedOffset:
+		return 0, fmt.Errorf("consumer: partition %d: %w", partition, ErrNoCommit)
+	default:
+		return 0, fmt.Errorf("consumer: partition %d: offset fetch: %s", partition, fr.Err)
+	}
+}
+
+// Lag returns the total records between the durable committed offsets
+// and the partition high watermarks (uncommitted partitions count from
+// offset 0).
+func (g *Group) Lag() (int64, error) {
+	var lag int64
+	for p := int32(0); p < g.partitions; p++ {
+		committed, err := g.Committed(p)
+		if err != nil && !errors.Is(err, ErrNoCommit) {
+			return 0, err
+		}
+		var fr wire.FetchResponse
+		got := false
+		g.clst.HandleFetch(wire.FetchRequest{
+			Topic: g.cfg.Topic, Partition: p, Offset: committed,
+		}, func(r wire.FetchResponse) { fr = r; got = true })
+		if !got {
+			return 0, fmt.Errorf("consumer: partition %d leaderless", p)
+		}
+		lag += fr.HighWatermark - committed
+	}
+	return lag, nil
+}
+
+// ---- leave / crash / restart ----
+
+func (m *Member) stopTimers() {
+	m.hbT.Stop()
+	m.pollT.Stop()
+	m.commitT.Stop()
+	m.retryT.Stop()
+}
+
+func (m *Member) leave(clean bool) {
+	g := m.g
+	m.stopTimers()
+	wasStable := m.state == mStable
+	m.state = mDown
+	m.left = true
+	m.cleanLeft = clean
+	m.commitEpoch++
+	m.inFlight = 0
+	g.active--
+	if wasStable && m.id != "" {
+		g.co.HandleLeaveGroup(wire.LeaveGroupRequest{
+			Group: g.cfg.ID, MemberID: m.id,
+		}, nil)
+	}
+	if g.active == 0 {
+		g.finish()
+	}
+}
+
+// finish settles the group-level verdict once the last actor stopped.
+func (g *Group) finish() {
+	drained := !g.gaveUp
+	for _, name := range g.order {
+		m := g.members[name]
+		if m.left && !m.cleanLeft {
+			drained = false
+		}
+	}
+	if g.started > 0 {
+		// At least one member must have left cleanly: crashed-only
+		// groups drained nothing.
+		clean := false
+		for _, name := range g.order {
+			if g.members[name].cleanLeft {
+				clean = true
+			}
+		}
+		drained = drained && clean
+	}
+	g.ev.Drained = drained
+}
+
+// Leave removes a manual-mode member cleanly.
+func (g *Group) Leave(name string) error {
+	m, err := g.member(name)
+	if err != nil {
+		return err
+	}
+	if m.left || m.crashed {
+		return fmt.Errorf("consumer: member %q already gone", name)
+	}
+	m.leave(true)
+	return nil
+}
+
+// resetLocal wipes a member's in-memory consumption state (crash, or
+// server-side eviction discovered via heartbeat).
+func (m *Member) resetLocal() {
+	m.assigned = m.assigned[:0]
+	for p := range m.position {
+		delete(m.position, p)
+	}
+	for p := range m.ackedTo {
+		delete(m.ackedTo, p)
+	}
+	m.pendingAssign = nil
+	m.commitEpoch++
+	m.inFlight = 0
+}
+
+// CrashMember kills the member at Join-order index i: timers stop,
+// in-memory positions are lost, and no LeaveGroup is sent — the
+// coordinator only notices when the session expires.
+func (g *Group) CrashMember(i int) error {
+	if i < 0 || i >= len(g.order) {
+		return fmt.Errorf("consumer: member index %d outside [0,%d)", i, len(g.order))
+	}
+	return g.Crash(g.order[i])
+}
+
+// RestartMember revives the member at Join-order index i with a fresh
+// identity; it rejoins and resumes from the durable committed offsets.
+func (g *Group) RestartMember(i int) error {
+	if i < 0 || i >= len(g.order) {
+		return fmt.Errorf("consumer: member index %d outside [0,%d)", i, len(g.order))
+	}
+	return g.Restart(g.order[i])
+}
+
+// Crash is CrashMember by name.
+func (g *Group) Crash(name string) error {
+	m, err := g.member(name)
+	if err != nil {
+		return err
+	}
+	if m.crashed || m.left {
+		return fmt.Errorf("consumer: member %q already down", name)
+	}
+	m.stopTimers()
+	m.crashed = true
+	m.state = mDown
+	m.resetLocal()
+	g.active--
+	g.ev.Crashes++
+	if g.active == 0 {
+		g.finish()
 	}
 	return nil
 }
 
-// Committed returns the group's committed offset for a partition.
-func (g *Group) Committed(partition int32) int64 { return g.committed[partition] }
-
-// Lag returns the total unconsumed records across all partitions
-// relative to the committed offsets.
-func (g *Group) Lag() (int64, error) {
-	var lag int64
-	for p := int32(0); p < g.partitions; p++ {
-		var resp wire.FetchResponse
-		got := false
-		g.cluster.HandleFetch(wire.FetchRequest{
-			Topic:     g.topic,
-			Partition: p,
-			Offset:    g.committed[p],
-		}, func(r wire.FetchResponse) { resp = r; got = true })
-		if !got {
-			return 0, fmt.Errorf("consumer: partition %d leaderless", p)
-		}
-		if resp.Err != wire.ErrNone {
-			return 0, fmt.Errorf("consumer: partition %d: %s", p, resp.Err)
-		}
-		lag += resp.HighWatermark - g.committed[p]
+// Restart is RestartMember by name.
+func (g *Group) Restart(name string) error {
+	m, err := g.member(name)
+	if err != nil {
+		return err
 	}
-	return lag, nil
+	if !m.crashed {
+		return fmt.Errorf("consumer: member %q is not crashed", name)
+	}
+	m.crashed = false
+	m.id = "" // a restarted process rejoins as a new member
+	g.active++
+	g.ev.Restarts++
+	g.ev.Drained = false
+	m.sendJoin()
+	return nil
 }

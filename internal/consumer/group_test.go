@@ -1,17 +1,27 @@
 package consumer
 
 import (
+	"errors"
 	"testing"
-	"testing/quick"
+	"time"
 
 	"kafkarel/internal/cluster"
+	"kafkarel/internal/coordinator"
 	"kafkarel/internal/des"
 	"kafkarel/internal/wire"
 )
 
-// groupCluster seeds a topic with `partitions` partitions, `perPart`
-// records in each (keys unique across the topic).
-func groupCluster(t *testing.T, partitions int32, perPart int) *cluster.Cluster {
+// groupRig is a cluster with a seeded topic and a coordinator.
+type groupRig struct {
+	sim  *des.Simulator
+	clst *cluster.Cluster
+	co   *coordinator.Coordinator
+}
+
+// newGroupRig seeds topic "t" with `partitions` partitions and
+// `perPart` records each (keys unique across the topic, 1-based,
+// partition-major: partition p owns keys p*perPart+1..(p+1)*perPart).
+func newGroupRig(t *testing.T, partitions int32, perPart int) *groupRig {
 	t.Helper()
 	sim := des.New()
 	c, err := cluster.New(sim, cluster.DefaultConfig())
@@ -30,225 +40,390 @@ func groupCluster(t *testing.T, partitions int32, perPart int) *cluster.Cluster 
 		}
 		c.Leader("t", p).Log("t", p).Append(recs)
 	}
-	return c
-}
-
-func TestGroupRangeAssignment(t *testing.T) {
-	c := groupCluster(t, 7, 1)
-	g, err := NewGroup(c, "t", 7)
+	co, err := coordinator.New(sim, c, coordinator.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, m := range []string{"a", "b", "c"} {
-		if err := g.Join(m); err != nil {
+	return &groupRig{sim: sim, clst: c, co: co}
+}
+
+func (r *groupRig) pump(t *testing.T, d time.Duration) {
+	t.Helper()
+	if err := r.sim.RunUntil(r.sim.Now() + d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sourceRanges(partitions int32, perPart int) []KeyRange {
+	ranges := make([]KeyRange, partitions)
+	for p := range ranges {
+		ranges[p] = KeyRange{Base: uint64(p * perPart), Count: uint64(perPart)}
+	}
+	return ranges
+}
+
+func TestGroupRangeAssignment(t *testing.T) {
+	r := newGroupRig(t, 7, 1)
+	g, err := NewGroup(r.sim, r.co, r.clst, GroupConfig{Topic: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"c0", "c1", "c2"} {
+		if err := g.Join(name); err != nil {
 			t.Fatal(err)
 		}
 	}
-	// Range assignor over 7 partitions and 3 members: 3/2/2.
-	sizes := map[string]int{}
-	seen := map[int32]bool{}
-	for _, m := range g.Members() {
-		parts := g.Assignment(m)
-		sizes[m] = len(parts)
+	r.pump(t, 50*time.Millisecond)
+	seen := make(map[int32]string)
+	sizes := make([]int, 0, 3)
+	for _, name := range []string{"c0", "c1", "c2"} {
+		if got := g.State(name); got != "stable" {
+			t.Fatalf("member %s state = %s, want stable", name, got)
+		}
+		parts := g.Assignment(name)
+		sizes = append(sizes, len(parts))
 		for _, p := range parts {
-			if seen[p] {
-				t.Fatalf("partition %d assigned twice", p)
+			if prev, dup := seen[p]; dup {
+				t.Fatalf("partition %d assigned to both %s and %s", p, prev, name)
 			}
-			seen[p] = true
+			seen[p] = name
 		}
 	}
 	if len(seen) != 7 {
 		t.Fatalf("assigned %d partitions, want 7", len(seen))
 	}
-	if sizes["a"] != 3 || sizes["b"] != 2 || sizes["c"] != 2 {
-		t.Errorf("range sizes = %v, want a:3 b:2 c:2", sizes)
+	// Range assignor over 7/3: earlier members take the larger ranges.
+	if sizes[0] != 3 || sizes[1] != 2 || sizes[2] != 2 {
+		t.Fatalf("assignment sizes = %v, want [3 2 2]", sizes)
 	}
-}
-
-func TestGroupJoinLeaveValidation(t *testing.T) {
-	c := groupCluster(t, 2, 1)
-	g, err := NewGroup(c, "t", 2)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := g.Join(""); err == nil {
-		t.Error("empty member accepted")
-	}
-	if err := g.Join("a"); err != nil {
-		t.Fatal(err)
-	}
-	if err := g.Join("a"); err == nil {
-		t.Error("double join accepted")
-	}
-	if err := g.Leave("ghost"); err == nil {
-		t.Error("leaving unknown member accepted")
-	}
-	if _, err := NewGroup(nil, "t", 1); err == nil {
-		t.Error("nil cluster accepted")
-	}
-	if _, err := NewGroup(c, "", 1); err == nil {
-		t.Error("empty topic accepted")
-	}
-	if _, err := NewGroup(c, "t", 0); err == nil {
-		t.Error("zero partitions accepted")
+	if g.Generation("c0") != g.Generation("c1") {
+		t.Fatalf("members disagree on generation: %d vs %d",
+			g.Generation("c0"), g.Generation("c1"))
 	}
 }
 
 func TestGroupPollAndCommit(t *testing.T) {
-	c := groupCluster(t, 2, 10)
-	g, err := NewGroup(c, "t", 2)
+	r := newGroupRig(t, 2, 10)
+	g, err := NewGroup(r.sim, r.co, r.clst, GroupConfig{Topic: "t"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := g.Join("a"); err != nil {
+	if err := g.Join("c0"); err != nil {
 		t.Fatal(err)
 	}
-	first, err := g.Poll("a", 100)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(first) != 20 {
-		t.Fatalf("polled %d records, want 20", len(first))
-	}
-	// Without a commit, a rebalance rewinds to the committed offsets.
-	if err := g.Join("b"); err != nil {
-		t.Fatal(err)
-	}
-	againA, err := g.Poll("a", 100)
-	if err != nil {
-		t.Fatal(err)
-	}
-	againB, err := g.Poll("b", 100)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(againA)+len(againB) != 20 {
-		t.Errorf("redelivery after rebalance = %d records, want 20 (at-least-once)", len(againA)+len(againB))
-	}
-	// Commit, then nothing further to read.
-	if err := g.Commit("a"); err != nil {
-		t.Fatal(err)
-	}
-	if err := g.Commit("b"); err != nil {
-		t.Fatal(err)
-	}
-	empty, err := g.Poll("a", 100)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(empty) != 0 {
-		t.Errorf("post-commit poll returned %d records", len(empty))
+	r.pump(t, 20*time.Millisecond)
+
+	// Before anything is committed, Committed is an explicit error —
+	// never a silent zero.
+	if _, err := g.Committed(0); !errors.Is(err, ErrNoCommit) {
+		t.Fatalf("Committed on fresh group: err = %v, want ErrNoCommit", err)
 	}
 	lag, err := g.Lag()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if lag != 0 {
-		t.Errorf("lag = %d after full commit", lag)
+	if lag != 20 {
+		t.Fatalf("initial lag = %d, want 20", lag)
 	}
-}
 
-func TestGroupCommittedOffsetsSurviveLeave(t *testing.T) {
-	c := groupCluster(t, 1, 10)
-	g, err := NewGroup(c, "t", 1)
+	recs, err := g.Poll("c0", 100)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := g.Join("a"); err != nil {
+	if len(recs) != 20 {
+		t.Fatalf("polled %d records, want 20", len(recs))
+	}
+	// Polled but uncommitted: the durable path still has nothing.
+	if _, err := g.Committed(0); !errors.Is(err, ErrNoCommit) {
+		t.Fatalf("Committed after poll, before commit: err = %v, want ErrNoCommit", err)
+	}
+	if err := g.Commit("c0"); err != nil {
 		t.Fatal(err)
 	}
-	recs, err := g.Poll("a", 4)
-	if err != nil {
-		t.Fatal(err)
+	r.pump(t, 50*time.Millisecond)
+	if n := g.CommitsInFlight("c0"); n != 0 {
+		t.Fatalf("commits still in flight after pump: %d", n)
 	}
-	if len(recs) != 4 {
-		t.Fatalf("polled %d", len(recs))
-	}
-	if err := g.Commit("a"); err != nil {
-		t.Fatal(err)
-	}
-	if err := g.Leave("a"); err != nil {
-		t.Fatal(err)
-	}
-	if err := g.Join("b"); err != nil {
-		t.Fatal(err)
-	}
-	rest, err := g.Poll("b", 100)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(rest) != 6 {
-		t.Errorf("successor polled %d records, want the 6 uncommitted", len(rest))
-	}
-	if rest[0].Key != 5 {
-		t.Errorf("successor resumed at key %d, want 5", rest[0].Key)
-	}
-	if g.Committed(0) != 4 {
-		t.Errorf("committed offset = %d, want 4", g.Committed(0))
-	}
-}
-
-func TestGroupPollValidation(t *testing.T) {
-	c := groupCluster(t, 1, 1)
-	g, err := NewGroup(c, "t", 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := g.Poll("nobody", 10); err == nil {
-		t.Error("poll by non-member accepted")
-	}
-	if err := g.Join("a"); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := g.Poll("a", 0); err == nil {
-		t.Error("zero max accepted")
-	}
-	if err := g.Commit("nobody"); err == nil {
-		t.Error("commit by non-member accepted")
-	}
-}
-
-// Property: for any member count and partition count, the range assignor
-// covers every partition exactly once and sizes differ by at most one.
-func TestPropertyRangeAssignmentBalanced(t *testing.T) {
-	f := func(nPartsRaw, nMembersRaw uint8) bool {
-		nParts := int32(nPartsRaw%16) + 1
-		nMembers := int(nMembersRaw%8) + 1
-		c := groupCluster(t, nParts, 0)
-		g, err := NewGroup(c, "t", nParts)
+	for p := int32(0); p < 2; p++ {
+		off, err := g.Committed(p)
 		if err != nil {
-			return false
+			t.Fatalf("Committed(%d): %v", p, err)
 		}
-		for i := 0; i < nMembers; i++ {
-			if err := g.Join(string(rune('a' + i))); err != nil {
-				return false
-			}
+		if off != 10 {
+			t.Fatalf("Committed(%d) = %d, want 10", p, off)
 		}
-		seen := map[int32]int{}
-		min, max := int(nParts)+1, -1
-		for _, m := range g.Members() {
-			parts := g.Assignment(m)
-			if len(parts) < min {
-				min = len(parts)
-			}
-			if len(parts) > max {
-				max = len(parts)
-			}
-			for _, p := range parts {
-				seen[p]++
-			}
-		}
-		if len(seen) != int(nParts) {
-			return false
-		}
-		for _, n := range seen {
-			if n != 1 {
-				return false
-			}
-		}
-		return max-min <= 1
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
-		t.Error(err)
+	lag, err = g.Lag()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lag != 0 {
+		t.Fatalf("lag after commit = %d, want 0", lag)
+	}
+	if err := g.Leave("c0"); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Done() {
+		t.Fatal("group not done after last leave")
+	}
+}
+
+// TestGroupCommittedSurvivesRejoin: offsets live in the coordinator's
+// log, not in the group object — a fresh member resumes exactly at the
+// committed watermark.
+func TestGroupCommittedSurvivesRejoin(t *testing.T) {
+	r := newGroupRig(t, 1, 10)
+	g, err := NewGroup(r.sim, r.co, r.clst, GroupConfig{Topic: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Join("c0"); err != nil {
+		t.Fatal(err)
+	}
+	r.pump(t, 20*time.Millisecond)
+	if _, err := g.Poll("c0", 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Commit("c0"); err != nil {
+		t.Fatal(err)
+	}
+	r.pump(t, 50*time.Millisecond)
+	if err := g.Leave("c0"); err != nil {
+		t.Fatal(err)
+	}
+	r.pump(t, 20*time.Millisecond)
+
+	// A second group instance (same group id) resumes at offset 4.
+	g2, err := NewGroup(r.sim, r.co, r.clst, GroupConfig{Topic: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.Join("c1"); err != nil {
+		t.Fatal(err)
+	}
+	r.pump(t, 20*time.Millisecond)
+	recs, err := g2.Poll("c1", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 6 {
+		t.Fatalf("resumed poll got %d records, want 6", len(recs))
+	}
+	if recs[0].Key != 5 {
+		t.Fatalf("resumed at key %d, want 5", recs[0].Key)
+	}
+}
+
+// TestGroupSessionTimeoutMidPoll: a member that stops heartbeating
+// mid-consumption is expired by the coordinator; the survivor takes
+// over its partitions from the committed offsets and drains the topic
+// with nothing lost and (under dedup) nothing double-delivered.
+func TestGroupSessionTimeoutMidPoll(t *testing.T) {
+	const partitions, perPart = 4, 200
+	r := newGroupRig(t, partitions, perPart)
+	g, err := NewGroup(r.sim, r.co, r.clst, GroupConfig{
+		Topic: "t", Auto: true, Dedup: true, PollMax: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.SetDrainCheck(func() bool { return true })
+	if err := g.Join("c0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Join("c1"); err != nil {
+		t.Fatal(err)
+	}
+	r.sim.Schedule(30*time.Millisecond, func() {
+		if err := g.CrashMember(0); err != nil {
+			t.Errorf("crash: %v", err)
+		}
+	})
+	r.pump(t, 2*time.Second)
+	if !g.Done() {
+		t.Fatalf("group not done; states: c0=%s c1=%s", g.State("c0"), g.State("c1"))
+	}
+	ev := g.Evidence()
+	if !ev.Drained {
+		t.Fatal("group did not drain cleanly")
+	}
+	if ev.Crashes != 1 {
+		t.Fatalf("crashes = %d, want 1", ev.Crashes)
+	}
+	if got := r.co.Stats().SessionExpirations; got < 1 {
+		t.Fatalf("session expirations = %d, want >= 1", got)
+	}
+	rep := ReconcileRangesKeys(sourceRanges(partitions, perPart), g.ConsumedKeys())
+	if rep.NLost != 0 || rep.NDuplicated != 0 || rep.Foreign != 0 {
+		t.Fatalf("reconcile after takeover: lost=%d dup=%d foreign=%d",
+			rep.NLost, rep.NDuplicated, rep.Foreign)
+	}
+}
+
+// TestGroupStaleCommitFenced: a member evicted by a rebalance it never
+// rejoined gets its late commit rejected by member/generation fencing —
+// the durable watermark must not move.
+func TestGroupStaleCommitFenced(t *testing.T) {
+	r := newGroupRig(t, 2, 10)
+	g, err := NewGroup(r.sim, r.co, r.clst, GroupConfig{Topic: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Join("c0"); err != nil {
+		t.Fatal(err)
+	}
+	r.pump(t, 20*time.Millisecond)
+	if _, err := g.Poll("c0", 100); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second member joins; c0 (manual, not heartbeating) never learns
+	// about the rebalance and is evicted at the rebalance timeout.
+	if err := g.Join("c1"); err != nil {
+		t.Fatal(err)
+	}
+	r.pump(t, r.co.Config().RebalanceTimeout+50*time.Millisecond)
+	if got := g.State("c1"); got != "stable" {
+		t.Fatalf("c1 state = %s, want stable", got)
+	}
+	// c0 is removed either by the rebalance-timeout eviction or by its
+	// session expiring first — both end in the same fenced state.
+	if st := r.co.Stats(); st.Evictions+st.SessionExpirations < 1 {
+		t.Fatalf("evictions=%d expirations=%d, want >= 1 removal",
+			st.Evictions, st.SessionExpirations)
+	}
+
+	// c0's stale commit is fenced and must not create a committed
+	// offset.
+	if err := g.Commit("c0"); err != nil {
+		t.Fatal(err)
+	}
+	r.pump(t, 50*time.Millisecond)
+	ev := g.Evidence()
+	if ev.FencedCommits < 1 {
+		t.Fatalf("fenced commits = %d, want >= 1", ev.FencedCommits)
+	}
+	if _, err := g.Committed(0); !errors.Is(err, ErrNoCommit) {
+		t.Fatalf("fenced commit became durable: Committed err = %v, want ErrNoCommit", err)
+	}
+	if hi := g.CommitHi(); hi[0] != 0 || hi[1] != 0 {
+		t.Fatalf("fenced commit moved CommitHi: %v", hi)
+	}
+	if got := r.co.Stats().FencedCommits; got < 1 {
+		t.Fatalf("coordinator fenced commits = %d, want >= 1", got)
+	}
+}
+
+// TestGroupCooperativeReassignment: a member joining mid-consumption
+// triggers a cooperative rebalance — the incumbent commits inside the
+// revoke window, keeps its retained partitions' positions, and the
+// recorded delivery offsets stay strictly increasing per partition
+// (no gap, no replay) under dedup.
+func TestGroupCooperativeReassignment(t *testing.T) {
+	const partitions, perPart = 4, 150
+	r := newGroupRig(t, partitions, perPart)
+	g, err := NewGroup(r.sim, r.co, r.clst, GroupConfig{
+		Topic: "t", Auto: true, Dedup: true, PollMax: 16, CaptureEvidence: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.SetDrainCheck(func() bool { return true })
+	if err := g.Join("c0"); err != nil {
+		t.Fatal(err)
+	}
+	r.sim.Schedule(25*time.Millisecond, func() {
+		if err := g.Join("c1"); err != nil {
+			t.Errorf("join: %v", err)
+		}
+	})
+	r.pump(t, 2*time.Second)
+	if !g.Done() {
+		t.Fatalf("group not done; states: c0=%s c1=%s", g.State("c0"), g.State("c1"))
+	}
+	ev := g.Evidence()
+	if !ev.Drained {
+		t.Fatal("group did not drain cleanly")
+	}
+	// One assignment for c0 alone, then one each after the rebalance.
+	if ev.Rebalances < 3 {
+		t.Fatalf("assignments applied = %d, want >= 3", ev.Rebalances)
+	}
+	// Per-partition delivery offsets strictly increasing: cooperative
+	// handoff resumed exactly where the committed watermark stood.
+	last := make([]int64, partitions)
+	for p := range last {
+		last[p] = -1
+	}
+	owners := make([]map[string]bool, partitions)
+	for i := range owners {
+		owners[i] = map[string]bool{}
+	}
+	for _, d := range ev.Deliveries {
+		if d.Offset != last[d.Partition]+1 {
+			t.Fatalf("partition %d: delivery offset %d after %d (want contiguous)",
+				d.Partition, d.Offset, last[d.Partition])
+		}
+		last[d.Partition] = d.Offset
+		owners[d.Partition][d.Member] = true
+	}
+	for p := range last {
+		if last[p] != perPart-1 {
+			t.Fatalf("partition %d drained to offset %d, want %d", p, last[p], perPart-1)
+		}
+	}
+	// The rebalance actually moved partitions: some partition was
+	// served by both members over its lifetime.
+	shared := false
+	for _, o := range owners {
+		if len(o) > 1 {
+			shared = true
+		}
+	}
+	if !shared {
+		t.Fatal("no partition changed hands across the rebalance")
+	}
+	rep := ReconcileRangesKeys(sourceRanges(partitions, perPart), g.ConsumedKeys())
+	if rep.NLost != 0 || rep.NDuplicated != 0 {
+		t.Fatalf("reconcile: lost=%d dup=%d", rep.NLost, rep.NDuplicated)
+	}
+}
+
+func TestGroupValidation(t *testing.T) {
+	r := newGroupRig(t, 2, 1)
+	if _, err := NewGroup(r.sim, r.co, r.clst, GroupConfig{Topic: "missing"}); err == nil {
+		t.Fatal("NewGroup on missing topic succeeded")
+	}
+	if _, err := NewGroup(nil, r.co, r.clst, GroupConfig{Topic: "t"}); err == nil {
+		t.Fatal("NewGroup with nil sim succeeded")
+	}
+	g, err := NewGroup(r.sim, r.co, r.clst, GroupConfig{Topic: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Join("c0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Join("c0"); err == nil {
+		t.Fatal("duplicate join succeeded")
+	}
+	if _, err := g.Poll("ghost", 1); err == nil {
+		t.Fatal("poll for unknown member succeeded")
+	}
+	if _, err := g.Poll("c0", 1); err == nil {
+		t.Fatal("poll before rebalance completed succeeded")
+	}
+	r.pump(t, 20*time.Millisecond)
+	if _, err := g.Poll("c0", 0); err == nil {
+		t.Fatal("poll with max 0 succeeded")
+	}
+	if err := g.Restart("c0"); err == nil {
+		t.Fatal("restart of live member succeeded")
+	}
+	if err := g.Leave("c0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Leave("c0"); err == nil {
+		t.Fatal("double leave succeeded")
 	}
 }

@@ -1,0 +1,70 @@
+package coordinator
+
+import (
+	"testing"
+	"time"
+
+	"kafkarel/internal/cluster"
+	"kafkarel/internal/des"
+	"kafkarel/internal/wire"
+)
+
+// BenchmarkCommitPath measures one steady-state durable offset commit:
+// OffsetCommit into the coordinator, the sequenced offsets-log append
+// replicated at acks=all, the materialised-offset update, and the acked
+// response — plus the simulator events in between. The allocs/op figure
+// is what `make bench-gate` locks in; the commit job is pooled, so the
+// floor is the offsets-log record payload and the broker append path.
+func BenchmarkCommitPath(b *testing.B) {
+	sim := des.New()
+	clst, err := cluster.New(sim, cluster.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := clst.CreateTopic("stream", 1, 3); err != nil {
+		b.Fatal(err)
+	}
+	// A long session timeout keeps the member's expiry timer from ever
+	// firing inside the measured loop.
+	co, err := New(sim, clst, Config{SessionTimeout: time.Hour})
+	if err != nil {
+		b.Fatal(err)
+	}
+	jr := wire.JoinGroupResponse{Err: wire.ErrorCode(0xFFFF)}
+	co.HandleJoinGroup(wire.JoinGroupRequest{Group: "g", Topic: "stream"},
+		func(r wire.JoinGroupResponse) { jr = r })
+	if err := sim.RunUntil(50 * time.Millisecond); err != nil {
+		b.Fatal(err)
+	}
+	if jr.Err != wire.ErrNone {
+		b.Fatalf("join: %s", jr.Err)
+	}
+	var sr wire.SyncGroupResponse
+	co.HandleSyncGroup(wire.SyncGroupRequest{Group: "g", MemberID: jr.MemberID, Generation: jr.Generation},
+		func(r wire.SyncGroupResponse) { sr = r })
+	if sr.Err != wire.ErrNone {
+		b.Fatalf("sync: %s", sr.Err)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cr := wire.OffsetCommitResponse{Err: wire.ErrorCode(0xFFFF)}
+		co.HandleOffsetCommit(wire.OffsetCommitRequest{
+			Group: "g", MemberID: jr.MemberID, Generation: jr.Generation,
+			Topic: "stream", Partition: 0, Offset: int64(i),
+		}, func(r wire.OffsetCommitResponse) { cr = r })
+		for cr.Err == wire.ErrorCode(0xFFFF) {
+			if err := sim.RunUntil(sim.Now() + time.Millisecond); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if cr.Err != wire.ErrNone {
+			b.Fatalf("commit %d: %s", i, cr.Err)
+		}
+	}
+	b.StopTimer()
+	if got := co.Stats().Commits; got != uint64(b.N) {
+		b.Fatalf("commits = %d, want %d", got, b.N)
+	}
+}

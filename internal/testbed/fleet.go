@@ -2,6 +2,7 @@ package testbed
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand/v2"
 	"strconv"
@@ -11,6 +12,7 @@ import (
 	"kafkarel/internal/chaos"
 	"kafkarel/internal/cluster"
 	"kafkarel/internal/consumer"
+	"kafkarel/internal/coordinator"
 	"kafkarel/internal/des"
 	"kafkarel/internal/exprun"
 	"kafkarel/internal/features"
@@ -19,7 +21,6 @@ import (
 	"kafkarel/internal/producer"
 	"kafkarel/internal/stats"
 	"kafkarel/internal/transport"
-	"kafkarel/internal/wire"
 	"kafkarel/internal/workload"
 )
 
@@ -57,9 +58,17 @@ type Fleet struct {
 	// rule so that Producers producers together offer this many
 	// messages/sec (clamped at full load when the target exceeds it).
 	UsersPerSec float64
-	// ConsumersPerTopic is each topic's consumer-group size for the
-	// post-run drain (default 1).
+	// ConsumersPerTopic is each topic's consumer-group size (default 1).
+	// The group runs in-simulation through each shard's coordinator:
+	// members poll alongside the producers, commit through the
+	// replicated offsets log, and leave once the shard's producers are
+	// done and everything is drained and committed.
 	ConsumersPerTopic int
+	// ConsumerFaults synthesizes deterministic per-shard consumer-member
+	// crash/restart faults (derived from the shard seed) on top of
+	// FaultPlan, forcing rebalances mid-stream. Requires
+	// ConsumersPerTopic >= 2 so a survivor can take over.
+	ConsumerFaults bool
 	// ReplicationFactor and MinISR mirror Experiment (defaults 3 / 1).
 	ReplicationFactor int
 	MinISR            int
@@ -109,14 +118,21 @@ func (f Fleet) Validate() error {
 	case f.ConsumersPerTopic < 0:
 		return fmt.Errorf("testbed: negative consumers per topic")
 	}
+	if f.ConsumerFaults && exprun.DefInt(f.ConsumersPerTopic, 1) < 2 {
+		return fmt.Errorf("testbed: consumer faults need at least 2 consumers per topic")
+	}
 	if err := f.Features.Validate(); err != nil {
 		return fmt.Errorf("testbed: %w", err)
 	}
 	for i, ft := range f.FaultPlan.Faults {
 		switch ft.Kind {
 		case chaos.BrokerCrash, chaos.BrokerRecover, chaos.UncleanRestart, chaos.BrokerSlow:
+		case chaos.ConsumerCrash:
+			if int(ft.Member) >= exprun.DefInt(f.ConsumersPerTopic, 1) {
+				return fmt.Errorf("testbed: fleet fault %d targets consumer %d of %d", i, ft.Member, f.ConsumersPerTopic)
+			}
 		default:
-			return fmt.Errorf("testbed: fleet fault %d (%s): only broker faults apply fleet-wide", i, ft.Kind)
+			return fmt.Errorf("testbed: fleet fault %d (%s): only broker and consumer faults apply fleet-wide", i, ft.Kind)
 		}
 	}
 	return nil
@@ -146,8 +162,19 @@ type FleetTopicResult struct {
 	Duration time.Duration
 	// Completed reports whether every producer drained its source.
 	Completed bool
-	// Drained is how many records the consumer group consumed.
+	// Drained is how many records the consumer group delivered to the
+	// application.
 	Drained int64
+	// GroupDrained reports whether every group member left cleanly with
+	// its partitions consumed to the high watermark and committed.
+	GroupDrained bool
+	// Rebalances counts assignments the group's members applied;
+	// Expirations counts coordinator-side session expirations.
+	Rebalances  uint64
+	Expirations uint64
+	// E2EViolations counts end-to-end delivery invariant violations
+	// (chaos.VerifyE2E) in the shard.
+	E2EViolations int
 }
 
 // FleetResult aggregates a fleet run in shard order.
@@ -191,10 +218,11 @@ func (r FleetResult) Scorecard() []byte {
 	var b strings.Builder
 	fmt.Fprintf(&b, "fleet topics=%d producers=%d\n", len(r.Topics), r.fleetProducers())
 	for _, tr := range r.Topics {
-		fmt.Fprintf(&b, "topic %s producers=%d partitions=%d acquired=%d distinct=%d lost=%d dup=%d extra=%d foreign=%d drained=%d throughput=%s completed=%t\n",
+		fmt.Fprintf(&b, "topic %s producers=%d partitions=%d acquired=%d distinct=%d lost=%d dup=%d extra=%d foreign=%d drained=%d group_drained=%t rebalances=%d expirations=%d e2e_viol=%d throughput=%s completed=%t\n",
 			tr.Topic, tr.Producers, tr.Partitions, tr.Acquired,
 			tr.Report.Distinct, tr.Report.NLost, tr.Report.NDuplicated,
 			tr.Report.ExtraCopies, tr.Report.Foreign, tr.Drained,
+			tr.GroupDrained, tr.Rebalances, tr.Expirations, tr.E2EViolations,
 			fleetG(tr.Throughput), tr.Completed)
 	}
 	fmt.Fprintf(&b, "total acquired=%d distinct=%d lost=%d dup=%d foreign=%d pl=%s pd=%s throughput=%s completed=%t\n",
@@ -390,6 +418,31 @@ func runFleetShard(sim *des.Simulator, sh fleetShard, cal Calibration, reg *obs.
 		return fleetShardOut{}, err
 	}
 
+	// The shard's consumer group runs in-simulation: it polls alongside
+	// the producers, commits through the coordinator's replicated offsets
+	// log (same rf as the data topic), and drains once the producers are
+	// done. Fleet-wide broker faults hit its fetch and commit paths too.
+	members := exprun.DefInt(f.ConsumersPerTopic, 1)
+	co, err := coordinator.New(sim, clst, coordinator.Config{OffsetsReplication: rf})
+	if err != nil {
+		return fleetShardOut{}, err
+	}
+	grp, err := consumer.NewGroup(sim, co, clst, consumer.GroupConfig{
+		ID:         "fleet",
+		Topic:      sh.topic,
+		Auto:       true,
+		Dedup:      f.Features.Semantics == features.SemanticsExactlyOnce,
+		IdleGiveUp: time.Second,
+	})
+	if err != nil {
+		return fleetShardOut{}, err
+	}
+	for c := 0; c < members; c++ {
+		if err := grp.Join(fmt.Sprintf("c%02d", c)); err != nil {
+			return fleetShardOut{}, err
+		}
+	}
+
 	var cfgErr error
 	onErr := func(err error) {
 		if cfgErr == nil {
@@ -404,10 +457,15 @@ func runFleetShard(sim *des.Simulator, sh fleetShard, cal Calibration, reg *obs.
 		topicTL.BindClock(sim)
 		timelines = append(timelines, topicTL)
 	}
-	if len(f.FaultPlan.Faults) > 0 {
-		err := chaos.Schedule(chaos.Plan{Faults: append([]chaos.Fault(nil), f.FaultPlan.Faults...)}, chaos.Targets{
+	plan := chaos.Plan{Faults: append([]chaos.Fault(nil), f.FaultPlan.Faults...)}
+	if f.ConsumerFaults {
+		plan.Faults = append(plan.Faults, fleetConsumerFaults(sh.seed, members)...)
+	}
+	if len(plan.Faults) > 0 {
+		err := chaos.Schedule(plan, chaos.Targets{
 			Sim:      sim,
 			Cluster:  clst,
+			Group:    grp,
 			Timeline: topicTL,
 			Seed:     sh.seed,
 			OnError:  onErr,
@@ -534,6 +592,7 @@ func runFleetShard(sim *des.Simulator, sh fleetShard, cal Calibration, reg *obs.
 		}
 		return true
 	}
+	grp.SetDrainCheck(allDone)
 	if topicTL != nil {
 		// The topic entity samples the broker side once per interval —
 		// per-producer appends are not separable at the broker, so the
@@ -601,12 +660,45 @@ func runFleetShard(sim *des.Simulator, sh fleetShard, cal Calibration, reg *obs.
 		tr.Duration = sim.Now()
 	}
 
-	recs, err := drainGroup(clst, sh.topic, f.Partitions, exprun.DefInt(f.ConsumersPerTopic, 1))
-	if err != nil {
-		return fleetShardOut{}, err
+	keys := grp.ConsumedKeys()
+	for _, ks := range keys {
+		tr.Drained += int64(len(ks))
 	}
-	tr.Drained = int64(len(recs))
-	tr.Report = consumer.ReconcileRanges(ranges, recs)
+	tr.Report = consumer.ReconcileRangesKeys(ranges, keys)
+	gev := grp.Evidence()
+	cst := co.Stats()
+	tr.GroupDrained = gev.Drained
+	tr.Rebalances = gev.Rebalances
+	tr.Expirations = cst.SessionExpirations
+	final := make([]int64, f.Partitions)
+	for p := range final {
+		off, err := grp.Committed(int32(p))
+		switch {
+		case err == nil:
+			final[p] = off
+		case errors.Is(err, consumer.ErrNoCommit):
+			final[p] = -1
+		default:
+			return fleetShardOut{}, fmt.Errorf("committed offset %s[%d]: %w", sh.topic, p, err)
+		}
+	}
+	sem := producer.AtLeastOnce
+	switch f.Features.Semantics {
+	case features.SemanticsAtMostOnce:
+		sem = producer.AtMostOnce
+	case features.SemanticsExactlyOnce:
+		sem = producer.ExactlyOnce
+	}
+	verdict := chaos.VerifyE2E(chaos.E2EInput{
+		Semantics:          sem,
+		OffsetsReplication: rf,
+		Plan:               plan,
+		Evidence:           gev,
+		ConsumedKeys:       keys,
+		FinalCommitted:     final,
+		Regressions:        co.Regressions(),
+	})
+	tr.E2EViolations = len(verdict.Violations)
 	if reg != nil {
 		tr.Metrics = snapshotMetrics(reg.Snapshot())
 		tr.Metrics.Cases = tr.Producer.ByCase
@@ -618,45 +710,26 @@ func runFleetShard(sim *des.Simulator, sh fleetShard, cal Calibration, reg *obs.
 	return fleetShardOut{topic: tr, timelines: timelines}, nil
 }
 
-// drainGroup drains every record of the topic through a consumer group
-// with the given member count, committing after each poll round.
-func drainGroup(clst *cluster.Cluster, topic string, partitions, members int) ([]wire.Record, error) {
-	g, err := consumer.NewGroup(clst, topic, int32(partitions))
-	if err != nil {
-		return nil, err
+// fleetConsumerFaults synthesizes the per-shard consumer crash/restart
+// schedule: two crash windows on seed-chosen members, placed early
+// enough to land inside the producing phase and sequenced so the plan
+// validates (a member is never crashed while already down).
+func fleetConsumerFaults(seed uint64, members int) []chaos.Fault {
+	rng := rand.New(rand.NewPCG(seed, 0xC0115))
+	durat := func() time.Duration {
+		return 100*time.Millisecond + time.Duration(rng.Int64N(int64(300*time.Millisecond)))
 	}
-	ids := make([]string, members)
-	for c := range ids {
-		ids[c] = fmt.Sprintf("c%02d", c)
-		if err := g.Join(ids[c]); err != nil {
-			return nil, err
-		}
+	first := chaos.Fault{
+		Kind:     chaos.ConsumerCrash,
+		At:       50*time.Millisecond + time.Duration(rng.Int64N(int64(150*time.Millisecond))),
+		Duration: durat(),
+		Member:   int32(rng.IntN(members)),
 	}
-	var recs []wire.Record
-	for {
-		progress := false
-		for _, m := range ids {
-			batch, err := g.Poll(m, 4096)
-			if err != nil {
-				return nil, fmt.Errorf("drain %s: %w", m, err)
-			}
-			if len(batch) > 0 {
-				recs = append(recs, batch...)
-				progress = true
-			}
-			if err := g.Commit(m); err != nil {
-				return nil, err
-			}
-		}
-		if !progress {
-			lag, err := g.Lag()
-			if err != nil {
-				return nil, err
-			}
-			if lag != 0 {
-				return nil, fmt.Errorf("drain stalled with lag %d", lag)
-			}
-			return recs, nil
-		}
+	second := chaos.Fault{
+		Kind:     chaos.ConsumerCrash,
+		At:       first.At + first.Duration + 50*time.Millisecond + time.Duration(rng.Int64N(int64(200*time.Millisecond))),
+		Duration: durat(),
+		Member:   int32(rng.IntN(members)),
 	}
+	return []chaos.Fault{first, second}
 }

@@ -69,6 +69,12 @@ func TestFleetCleanRun(t *testing.T) {
 		if tr.Producers != 3 {
 			t.Errorf("topic %s has %d producers, want 3", tr.Topic, tr.Producers)
 		}
+		if !tr.GroupDrained {
+			t.Errorf("topic %s: group did not drain cleanly", tr.Topic)
+		}
+		if tr.E2EViolations != 0 {
+			t.Errorf("topic %s: %d e2e violations on a clean run", tr.Topic, tr.E2EViolations)
+		}
 		drained += tr.Drained
 	}
 	if drained != 600 {
@@ -169,6 +175,15 @@ func TestFleetValidation(t *testing.T) {
 		"messages < fleet":   func(f *Fleet) { f.Messages = f.Producers - 1 },
 		"negative users/sec": func(f *Fleet) { f.UsersPerSec = -1 },
 		"negative consumers": func(f *Fleet) { f.ConsumersPerTopic = -1 },
+		"consumer faults need 2 members": func(f *Fleet) {
+			f.ConsumerFaults = true
+			f.ConsumersPerTopic = 1
+		},
+		"consumer fault member out of range": func(f *Fleet) {
+			f.FaultPlan = chaos.Plan{Faults: []chaos.Fault{
+				{Kind: chaos.ConsumerCrash, At: time.Millisecond, Member: 5, Duration: time.Second},
+			}}
+		},
 		"non-broker fault": func(f *Fleet) {
 			f.FaultPlan = chaos.Plan{Faults: []chaos.Fault{{Kind: chaos.LossBurst, At: time.Second, Duration: time.Second}}}
 		},
@@ -181,6 +196,54 @@ func TestFleetValidation(t *testing.T) {
 		mutate(&f)
 		if _, err := RunFleet(f); err == nil {
 			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestFleetConsumerFaultsDeterministic crashes and restarts group
+// members mid-stream in every shard under exactly-once semantics: the
+// survivors rebalance and take over, the deduped application stream
+// still reconciles with zero loss and zero duplicates, the e2e checker
+// stays silent, and the scorecard bytes are worker-count independent.
+func TestFleetConsumerFaultsDeterministic(t *testing.T) {
+	f := smallFleet()
+	f.Features.Semantics = features.SemanticsExactlyOnce
+	f.TimelineInterval = 0
+	f.ConsumerFaults = true
+	render := func(workers int) FleetResult {
+		t.Helper()
+		res, err := RunFleetContext(context.Background(), f, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	res := render(1)
+	if !res.Completed {
+		t.Fatal("fleet did not complete")
+	}
+	if res.Report.NLost != 0 || res.Report.NDuplicated != 0 {
+		t.Errorf("lost=%d dup=%d under consumer crashes with dedup", res.Report.NLost, res.Report.NDuplicated)
+	}
+	var crashesSeen bool
+	for _, tr := range res.Topics {
+		if !tr.GroupDrained {
+			t.Errorf("topic %s: group did not recover and drain after member crashes", tr.Topic)
+		}
+		if tr.E2EViolations != 0 {
+			t.Errorf("topic %s: %d e2e violations", tr.Topic, tr.E2EViolations)
+		}
+		if tr.Rebalances > 1 {
+			crashesSeen = true
+		}
+	}
+	if !crashesSeen {
+		t.Error("no shard rebalanced more than once; consumer faults not injected?")
+	}
+	card1 := res.Scorecard()
+	for _, workers := range []int{4, 8} {
+		if cardN := render(workers).Scorecard(); !bytes.Equal(card1, cardN) {
+			t.Errorf("scorecard differs between workers=1 and workers=%d:\n%s\nvs\n%s", workers, card1, cardN)
 		}
 	}
 }

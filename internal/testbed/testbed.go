@@ -8,6 +8,7 @@ package testbed
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand/v2"
 	"time"
@@ -16,6 +17,7 @@ import (
 	"kafkarel/internal/chaos"
 	"kafkarel/internal/cluster"
 	"kafkarel/internal/consumer"
+	"kafkarel/internal/coordinator"
 	"kafkarel/internal/des"
 	"kafkarel/internal/exprun"
 	"kafkarel/internal/features"
@@ -71,6 +73,22 @@ type Experiment struct {
 	// — the chaos invariant checker's inputs. Off by default (the outcome
 	// log is memory-heavy for large runs).
 	CaptureEvidence bool
+	// Consumers, when positive, runs a consumer group of that many
+	// members through the broker-side group coordinator alongside the
+	// producer: members join at t=0, poll their assigned partitions,
+	// commit through the replicated offsets log, and leave once the
+	// producer is done and their partitions are drained and committed.
+	// Requires MaxSimTime > 0 (a group stuck on a permanently
+	// unservable partition polls until its idle give-up, and the run
+	// needs a horizon). Exactly-once features run the group with
+	// offset-dedup on; everything the group saw comes back in the
+	// Result's Group* fields. ConsumerCrash faults in the plan target
+	// this group.
+	Consumers int
+	// OffsetsReplication overrides the coordinator's offsets-topic
+	// replication factor (default min(3, brokers)). Running it at 1
+	// under unclean restarts is how committed offsets get lost.
+	OffsetsReplication int
 	// Schedule applies configuration changes at virtual times — the
 	// paper's dynamic-configuration mechanism (Sec. V). Each change maps
 	// the vector's configuration features (semantics, B, δ, T_o) onto the
@@ -168,6 +186,19 @@ type Result struct {
 	ConsumedKeys [][]uint64
 	// BrokerStats is every broker's counter snapshot, indexed by node ID.
 	BrokerStats []broker.Stats
+	// GroupEvidence is the consumer group's delivery record
+	// (Experiment.Consumers > 0).
+	GroupEvidence *consumer.Evidence
+	// GroupConsumedKeys is the group's per-partition application stream.
+	GroupConsumedKeys [][]uint64
+	// GroupCommitted is the durable committed offset per partition at
+	// the end of the run (-1 = nothing committed).
+	GroupCommitted []int64
+	// Coordinator is the group coordinator's activity counters.
+	Coordinator *coordinator.Stats
+	// OffsetRegressions are committed watermarks the offsets log lost
+	// across unclean restarts.
+	OffsetRegressions []coordinator.OffsetRegression
 }
 
 // Run executes one experiment.
@@ -247,6 +278,8 @@ type rig struct {
 	conn   *transport.Conn
 	clst   *cluster.Cluster
 	prod   *producer.Producer
+	co     *coordinator.Coordinator
+	group  *consumer.Group
 	reg    *obs.Registry
 	cfgErr error
 	doneAt time.Duration // virtual time the producer finished (-1 if cut off)
@@ -330,6 +363,34 @@ func buildRig(sim *des.Simulator, e Experiment, cal Calibration) (*rig, error) {
 	}
 	costs := newCostModel(cal, rand.New(rand.NewPCG(e.Seed, 0x02)))
 	r := &rig{path: path, conn: conn, clst: clst, reg: reg, doneAt: -1}
+	if e.Consumers > 0 {
+		if e.MaxSimTime <= 0 {
+			return nil, fmt.Errorf("testbed: Consumers > 0 requires MaxSimTime")
+		}
+		co, err := coordinator.New(sim, clst, coordinator.Config{
+			OffsetsReplication: e.OffsetsReplication,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("testbed: %w", err)
+		}
+		grp, err := consumer.NewGroup(sim, co, clst, consumer.GroupConfig{
+			ID:              "testbed",
+			Topic:           topic,
+			Auto:            true,
+			Dedup:           e.Features.Semantics == features.SemanticsExactlyOnce,
+			CaptureEvidence: e.CaptureEvidence,
+			IdleGiveUp:      time.Second,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("testbed: %w", err)
+		}
+		for i := 0; i < e.Consumers; i++ {
+			if err := grp.Join(fmt.Sprintf("c%02d", i)); err != nil {
+				return nil, fmt.Errorf("testbed: %w", err)
+			}
+		}
+		r.co, r.group = co, grp
+	}
 	if len(e.FaultPlan.Faults) > 0 {
 		plan := chaos.Plan{Faults: append([]chaos.Fault(nil), e.FaultPlan.Faults...)}
 		err := chaos.Schedule(plan, chaos.Targets{
@@ -337,6 +398,7 @@ func buildRig(sim *des.Simulator, e Experiment, cal Calibration) (*rig, error) {
 			Cluster:  clst,
 			Path:     path,
 			Conn:     conn,
+			Group:    r.group,
 			Timeline: e.Timeline,
 			Seed:     e.Seed,
 			OnError: func(err error) {
@@ -363,6 +425,9 @@ func buildRig(sim *des.Simulator, e Experiment, cal Calibration) (*rig, error) {
 		return nil, fmt.Errorf("testbed: %w", err)
 	}
 	r.prod = prod
+	if r.group != nil {
+		r.group.SetDrainCheck(prod.Done)
+	}
 	for i, change := range e.Schedule {
 		next := e
 		next.Features = change.Features
@@ -513,6 +578,27 @@ func (r *rig) collect(sim *des.Simulator, e Experiment) (Result, error) {
 		res.Outcomes = r.prod.Outcomes()
 	}
 	res.BrokerStats = r.clst.StatsAll()
+	if r.group != nil {
+		ev := r.group.Evidence()
+		res.GroupEvidence = &ev
+		res.GroupConsumedKeys = r.group.ConsumedKeys()
+		committed := make([]int64, r.group.Partitions())
+		for p := range committed {
+			off, err := r.group.Committed(int32(p))
+			switch {
+			case err == nil:
+				committed[p] = off
+			case errors.Is(err, consumer.ErrNoCommit):
+				committed[p] = -1
+			default:
+				return Result{}, fmt.Errorf("testbed: final committed offset: %w", err)
+			}
+		}
+		res.GroupCommitted = committed
+		st := r.co.Stats()
+		res.Coordinator = &st
+		res.OffsetRegressions = r.co.Regressions()
+	}
 	res.Report = consumer.Reconcile(res.Acquired, recs)
 	res.Pl = res.Report.Pl()
 	res.Pd = res.Report.Pd()

@@ -86,6 +86,61 @@ func TestRunDeterminism(t *testing.T) {
 	}
 }
 
+// TestRunWithConsumers runs a two-member group through the coordinator
+// alongside the producer: the group must drain the topic, commit every
+// partition durably, and report its evidence on the Result.
+func TestRunWithConsumers(t *testing.T) {
+	e := Experiment{
+		Features:        cleanVector(),
+		Messages:        300,
+		Seed:            3,
+		Partitions:      4,
+		Consumers:       2,
+		CaptureEvidence: true,
+		MaxSimTime:      5 * time.Minute,
+	}
+	if _, err := Run(Experiment{Features: cleanVector(), Messages: 10, Consumers: 1}); err == nil {
+		t.Error("Consumers without MaxSimTime accepted")
+	}
+	res, err := Run(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("run did not complete")
+	}
+	if res.GroupEvidence == nil || res.Coordinator == nil {
+		t.Fatal("group evidence or coordinator stats missing from Result")
+	}
+	if !res.GroupEvidence.Drained {
+		t.Errorf("group did not drain cleanly: %+v", *res.GroupEvidence)
+	}
+	var consumed int64
+	for _, keys := range res.GroupConsumedKeys {
+		consumed += int64(len(keys))
+	}
+	if consumed != int64(res.Acquired) {
+		t.Errorf("group consumed %d of %d acquired records", consumed, res.Acquired)
+	}
+	var committed int64
+	for p, off := range res.GroupCommitted {
+		if off < 0 {
+			t.Errorf("partition %d: nothing committed", p)
+			continue
+		}
+		committed += off
+	}
+	if committed != consumed {
+		t.Errorf("committed offsets sum to %d, want %d (everything consumed)", committed, consumed)
+	}
+	if res.Coordinator.Commits == 0 {
+		t.Error("coordinator saw no commits")
+	}
+	if len(res.OffsetRegressions) != 0 {
+		t.Errorf("offset regressions on a clean run: %v", res.OffsetRegressions)
+	}
+}
+
 func TestMaxSimTimeCutsRun(t *testing.T) {
 	e := Experiment{Features: cleanVector(), Messages: 1_000_000, Seed: 2,
 		MaxSimTime: 2 * time.Second}

@@ -110,6 +110,8 @@ func decodeString(b []byte) (string, []byte, error) {
 // nil *Decoder is valid and decodes without any reuse.
 type Decoder struct {
 	Topic   string // expected topic; matching decodes return this string
+	Group   string // expected consumer group; matching decodes return this string
+	Member  string // expected group member id; matching decodes return this string
 	records []Record
 }
 
@@ -128,6 +130,40 @@ func (d *Decoder) decodeString(b []byte) (string, []byte, error) {
 		return d.Topic, b[n:], nil
 	}
 	return string(b[:n]), b[n:], nil
+}
+
+// decodeInterned decodes a length-prefixed string, returning intern
+// instead of allocating when the bytes match it. Group-coordination
+// messages intern the group id and member id this way, so a primed
+// per-connection decoder parses the commit hot path without string
+// allocations.
+func (d *Decoder) decodeInterned(b []byte, intern string) (string, []byte, error) {
+	if len(b) < 2 {
+		return "", nil, fmt.Errorf("string length: %w", ErrShortBuffer)
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	if len(b) < n {
+		return "", nil, fmt.Errorf("string body (%d bytes): %w", n, ErrShortBuffer)
+	}
+	if len(intern) == n && string(b[:n]) == intern {
+		return intern, b[n:], nil
+	}
+	return string(b[:n]), b[n:], nil
+}
+
+func (d *Decoder) groupIntern() string {
+	if d == nil {
+		return ""
+	}
+	return d.Group
+}
+
+func (d *Decoder) memberIntern() string {
+	if d == nil {
+		return ""
+	}
+	return d.Member
 }
 
 // Encode serialises the request body (without the frame header).

@@ -14,11 +14,18 @@ import (
 	"time"
 )
 
-// API keys identify request types, mirroring Kafka's ApiKey field.
+// API keys identify request types, mirroring Kafka's ApiKey field (the
+// group-coordination keys use Kafka's real numbering).
 const (
-	APIProduce  uint16 = 0
-	APIFetch    uint16 = 1
-	APIMetadata uint16 = 3
+	APIProduce      uint16 = 0
+	APIFetch        uint16 = 1
+	APIMetadata     uint16 = 3
+	APIOffsetCommit uint16 = 8
+	APIOffsetFetch  uint16 = 9
+	APIJoinGroup    uint16 = 11
+	APIHeartbeat    uint16 = 12
+	APILeaveGroup   uint16 = 13
+	APISyncGroup    uint16 = 14
 )
 
 // ErrorCode is the broker-reported outcome of a request, mirroring
@@ -35,12 +42,17 @@ const (
 	ErrDuplicateSequence
 	ErrBrokerUnavailable
 	ErrNotEnoughReplicas
+	ErrCoordinatorNotAvailable
+	ErrIllegalGeneration
+	ErrUnknownMemberID
+	ErrRebalanceInProgress
+	ErrNoCommittedOffset
 )
 
 // NumErrorCodes is the number of defined error codes; codes are
 // contiguous from ErrNone, so fixed-size per-code tables can be indexed
 // by the code value.
-const NumErrorCodes = 8
+const NumErrorCodes = 13
 
 // SeqCacheSize is the number of recent batch sequences a broker
 // remembers per producer for idempotent de-duplication (Kafka keeps 5).
@@ -58,6 +70,11 @@ var errorNames = map[ErrorCode]string{
 	ErrDuplicateSequence:       "DUPLICATE_SEQUENCE",
 	ErrBrokerUnavailable:       "BROKER_UNAVAILABLE",
 	ErrNotEnoughReplicas:       "NOT_ENOUGH_REPLICAS",
+	ErrCoordinatorNotAvailable: "COORDINATOR_NOT_AVAILABLE",
+	ErrIllegalGeneration:       "ILLEGAL_GENERATION",
+	ErrUnknownMemberID:         "UNKNOWN_MEMBER_ID",
+	ErrRebalanceInProgress:     "REBALANCE_IN_PROGRESS",
+	ErrNoCommittedOffset:       "NO_COMMITTED_OFFSET",
 }
 
 // String implements fmt.Stringer.
@@ -72,7 +89,8 @@ func (e ErrorCode) String() string {
 // with this code, following Kafka's retriable-exception taxonomy.
 func (e ErrorCode) Retriable() bool {
 	switch e {
-	case ErrNotLeader, ErrRequestTimedOut, ErrBrokerUnavailable, ErrNotEnoughReplicas:
+	case ErrNotLeader, ErrRequestTimedOut, ErrBrokerUnavailable, ErrNotEnoughReplicas,
+		ErrCoordinatorNotAvailable, ErrRebalanceInProgress:
 		return true
 	default:
 		return false
