@@ -33,6 +33,7 @@ bench:
 ## documents the JSON format.
 bench-json:
 	{ $(GO) test -run xxx -bench 'Observability|Timeline|ExprunScaling|Fleet' -benchmem -benchtime 3x . ; \
+	  $(GO) test -run xxx -bench SpanPath -benchmem -benchtime 200000x . ; \
 	  $(GO) test -run xxx -bench CommitPath -benchmem -benchtime 2000x ./internal/coordinator ; } \
 		| $(GO) run ./cmd/benchjson > BENCH_obs.json
 
@@ -50,15 +51,22 @@ bench-scaling:
 ## ns gate is wider; its allocs gate is as deterministic as fig7's.
 ## CommitPath locks in the coordinator's pooled durable-commit path
 ## (4 allocs/op steady state); its per-op wall time is ~1us and noisy,
-## so the ns gate is wide while the allocs gate stays tight.
+## so the ns gate is wide while the allocs gate stays tight. SpanPath
+## locks in the per-record latency-span observation (~60ns, 0 allocs);
+## a zero-alloc baseline cannot gate allocations, so
+## TestSpanPathZeroAllocs enforces that half and the gate here watches
+## wall time with a wide bar.
 bench-gate:
 	{ $(GO) test -run xxx -bench 'ExprunScaling|FleetScaling' -benchmem -benchtime 3x . ; \
+	  $(GO) test -run xxx -bench SpanPath -benchmem -benchtime 200000x . ; \
 	  $(GO) test -run xxx -bench CommitPath -benchmem -benchtime 2000x ./internal/coordinator ; } \
 		| $(GO) run ./cmd/benchjson > BENCH_fresh.json
 	$(GO) run ./cmd/benchgate -baseline BENCH_obs.json -fresh BENCH_fresh.json -match fig7
 	$(GO) run ./cmd/benchgate -baseline BENCH_obs.json -fresh BENCH_fresh.json -match FleetScaling \
 		-max-regression 0.40
 	$(GO) run ./cmd/benchgate -baseline BENCH_obs.json -fresh BENCH_fresh.json -match CommitPath \
+		-max-regression 0.60
+	$(GO) run ./cmd/benchgate -baseline BENCH_obs.json -fresh BENCH_fresh.json -match SpanPath \
 		-max-regression 0.60
 
 ## profile: CPU + heap profiles of a fixed-seed sequential Fig. 7

@@ -9,8 +9,9 @@
 //	repro [-n messages] [-seed n] [-parallel workers] [-progress every] [-csv dir] <artefact>
 //
 // where artefact is one of: fig4 fig5 fig6 fig7 fig8 fig9 table1 table2
-// ann-accuracy sensitivity throughput all. -csv additionally writes the
-// throughput figure family as CSV artefacts into the given directory.
+// ann-accuracy sensitivity throughput latency all. -csv additionally
+// writes the throughput and latency figure families as CSV artefacts
+// into the given directory.
 package main
 
 import (
@@ -27,6 +28,7 @@ import (
 	"kafkarel/internal/exprun"
 	"kafkarel/internal/features"
 	"kafkarel/internal/figures"
+	"kafkarel/internal/kpi"
 	"kafkarel/internal/netem"
 	"kafkarel/internal/obs"
 	"kafkarel/internal/report"
@@ -56,7 +58,7 @@ func run(ctx context.Context, args []string) error {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: repro [-n messages] [-seed n] [-parallel workers] [-progress every] [-csv dir] <fig3|fig4|fig5|fig6|fig7|fig8|fig9|table1|table2|ann-accuracy|sensitivity|throughput|trace|report|all>")
+		return fmt.Errorf("usage: repro [-n messages] [-seed n] [-parallel workers] [-progress every] [-csv dir] <fig3|fig4|fig5|fig6|fig7|fig8|fig9|table1|table2|ann-accuracy|sensitivity|throughput|latency|trace|report|all>")
 	}
 	opts := figures.Options{Messages: *messages, Seed: *seed, Workers: *parallel, Context: ctx}
 	// Each artefact gets a fresh progress reporter: its counters are
@@ -80,12 +82,13 @@ func run(ctx context.Context, args []string) error {
 		"ann-accuracy": annAccuracy,
 		"sensitivity":  sensitivity,
 		"throughput":   func(o figures.Options) error { return throughput(o, *csvDir) },
+		"latency":      func(o figures.Options) error { return latency(o, *csvDir) },
 		"trace":        traceRun,
 		"report":       reportRun,
 	}
 	name := fs.Arg(0)
 	if name == "all" {
-		for _, key := range []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table1", "throughput", "ann-accuracy", "sensitivity", "table2"} {
+		for _, key := range []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table1", "throughput", "latency", "ann-accuracy", "sensitivity", "table2"} {
 			fmt.Printf("==== %s ====\n", key)
 			if err := artefacts[key](withProgress(opts, key)); err != nil {
 				return fmt.Errorf("%s: %w", key, err)
@@ -421,6 +424,64 @@ func traceRun(o figures.Options) error {
 // packets), with the timeline sampler and event tracer attached. It is
 // shared with the acceptance test, which cross-checks the report totals
 // against the run's counters.
+// latency prints the end-to-end latency percentile family and, with a
+// -csv directory, writes the percentile and CDF series as artefacts.
+func latency(o figures.Options, csvDir string) error {
+	points, err := figures.Latency(o)
+	if err != nil {
+		return err
+	}
+	fmt.Println("# End-to-end record latency spans (M=200B, D=10ms, B=2, one consumer; per semantics x loss)")
+	w := newTab()
+	fmt.Fprintln(w, "semantics\tloss\tspan\tcount\tp50\tp95\tp99\tmax")
+	for _, p := range points {
+		for _, s := range []struct {
+			name string
+			h    testbed.SpanHist
+		}{
+			{"enqueue→send", p.Send},
+			{"enqueue→ack", p.Ack},
+			{"enqueue→delivery", p.Delivery},
+			{"commit", p.Commit},
+		} {
+			if s.h.Total() == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "%s\t%.2f\t%s\t%d\t%v\t%v\t%v\t%v\n",
+				semName(p.Semantics), p.LossRate, s.name, s.h.Total(),
+				s.h.Quantile(0.50), s.h.Quantile(0.95), s.h.Quantile(0.99), s.h.Max)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if csvDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(csvDir, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, render func(*os.File) error) error {
+		f, err := os.Create(filepath.Join(csvDir, name))
+		if err != nil {
+			return err
+		}
+		werr := render(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("write %s: %w", name, werr)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", filepath.Join(csvDir, name))
+		return nil
+	}
+	if err := write("latency.csv", func(f *os.File) error { return figures.WriteLatencyCSV(f, points) }); err != nil {
+		return err
+	}
+	return write("latency-cdf.csv", func(f *os.File) error { return figures.WriteLatencyCDFCSV(f, points) })
+}
+
 func reportDynamicRun(messages int, seed uint64) (testbed.Result, []obs.Event, error) {
 	profile := workload.SocialMedia
 	spec := netem.DefaultTraceSpec()
@@ -470,8 +531,17 @@ func reportRun(o figures.Options) error {
 	if err != nil {
 		return err
 	}
+	// Predicted γ for the stream's base configuration (performance model
+	// with the clean-network reliability prior) next to the γ measured
+	// from the run's own counters.
+	gamma, err := kpi.CompareRun(dynconf.DefaultVector(workload.SocialMedia), res.Metrics,
+		res.Duration, testbed.DefaultCalibration(), kpi.DefaultWeights())
+	if err != nil {
+		return err
+	}
 	rep, err := report.Build(res, events, report.Options{
 		Title: "Run report: social-media stream, dynamic configuration over the default 10-minute trace",
+		Gamma: &gamma,
 	})
 	if err != nil {
 		return err

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"kafkarel/internal/features"
+	"kafkarel/internal/kpi"
 	"kafkarel/internal/obs"
 	"kafkarel/internal/testbed"
 )
@@ -66,6 +67,7 @@ func run(ctx context.Context, args []string) error {
 	consumers := fs.Int("consumers", 1, "fleet consumer-group members per topic")
 	consumerFaults := fs.Bool("consumer-faults", false, "fleet mode: crash and restart group members mid-stream in every shard (needs -consumers >= 2)")
 	usersPerSec := fs.Float64("users-per-sec", 0, "fleet aggregate offered load in msg/s (0 = full speed)")
+	lagTimeline := fs.String("lag-timeline", "", "fleet mode: write the per-partition consumer-lag timeline as CSV to this file (requires -timeline-interval sampling; implied interval 10s)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -100,6 +102,7 @@ func run(ctx context.Context, args []string) error {
 			parallel:       *parallel,
 			timeline:       *timelinePath,
 			timelineIvl:    *timelineIvl,
+			lagTimeline:    *lagTimeline,
 			trace:          *tracePath,
 		})
 	}
@@ -195,6 +198,24 @@ func writeMergedTimeline(path string, timelines []*obs.Timeline) error {
 	return nil
 }
 
+// writeLagTimeline renders the consumer-lag series of every sampled
+// timeline (the topic entities carry the group probes) as one CSV.
+func writeLagTimeline(path string, timelines []*obs.Timeline) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create lag timeline file: %w", err)
+	}
+	werr := obs.WriteLagCSV(f, timelines)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("write lag timeline: %w", werr)
+	}
+	fmt.Printf("lag timeline written to %s\n", path)
+	return nil
+}
+
 // fleetFlags carries the fleet-mode CLI parameters.
 type fleetFlags struct {
 	messages       int
@@ -208,6 +229,7 @@ type fleetFlags struct {
 	parallel       int
 	timeline       string
 	timelineIvl    time.Duration
+	lagTimeline    string
 	trace          string
 }
 
@@ -230,7 +252,7 @@ func runFleet(ctx context.Context, v features.Vector, ff fleetFlags) error {
 		ConsumerFaults:    ff.consumerFaults,
 		MaxSimTime:        4 * time.Hour,
 	}
-	if ff.timeline != "" {
+	if ff.timeline != "" || ff.lagTimeline != "" {
 		ivl := ff.timelineIvl
 		if ivl <= 0 {
 			ivl = 10 * time.Second
@@ -246,6 +268,19 @@ func runFleet(ctx context.Context, v features.Vector, ff fleetFlags) error {
 			return err
 		}
 	}
+	if ff.lagTimeline != "" {
+		if err := writeLagTimeline(ff.lagTimeline, res.Timelines); err != nil {
+			return err
+		}
+	}
+	// Predicted γ (performance model, clean-network reliability prior)
+	// next to the γ measured from the merged metrics snapshot.
+	gamma, err := kpi.CompareRun(v, res.Metrics, res.Duration,
+		testbed.DefaultCalibration(), kpi.DefaultWeights())
+	if err != nil {
+		return err
+	}
+	res.Gamma = &gamma
 	// The scorecard is the canonical byte surface; its tail already
 	// carries the merged metrics snapshot, so -metrics is implied here.
 	os.Stdout.Write(res.Scorecard())

@@ -7,6 +7,7 @@ package cluster
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"kafkarel/internal/broker"
@@ -61,9 +62,12 @@ type Cluster struct {
 	brokers []*broker.Broker
 	topics  map[string]*topicMeta
 
-	cReplications *obs.Counter
-	trace         *obs.Tracer
-	topoHook      func() // runs after every broker fail/crash/recover
+	cReplications   *obs.Counter
+	gReplication    *obs.Gauge
+	hSpanAppend     *obs.Histogram
+	hSpanReplicated *obs.Histogram
+	trace           *obs.Tracer
+	topoHook        func() // runs after every broker fail/crash/recover
 
 	freeProd []*prodJob // recycled produce-routing jobs
 	freeRepl []*replJob // recycled replication-delay jobs
@@ -168,11 +172,14 @@ func New(sim *des.Simulator, cfg Config) (*Cluster, error) {
 		return nil, fmt.Errorf("cluster: negative inter-broker delay")
 	}
 	c := &Cluster{
-		sim:           sim,
-		cfg:           cfg,
-		topics:        make(map[string]*topicMeta),
-		cReplications: cfg.Obs.Counter(obs.MReplications),
-		trace:         cfg.Obs.Tracer(),
+		sim:             sim,
+		cfg:             cfg,
+		topics:          make(map[string]*topicMeta),
+		cReplications:   cfg.Obs.Counter(obs.MReplications),
+		gReplication:    cfg.Obs.Gauge(obs.MReplicationFactor),
+		hSpanAppend:     cfg.Obs.Histogram(obs.MSpanAppend, obs.LatencyBounds),
+		hSpanReplicated: cfg.Obs.Histogram(obs.MSpanReplicated, obs.LatencyBounds),
+		trace:           cfg.Obs.Tracer(),
 	}
 	for i := 0; i < cfg.Brokers; i++ {
 		b, err := broker.New(int32(i), sim, cfg.Broker)
@@ -232,6 +239,11 @@ func (c *Cluster) CreateTopic(name string, partitions, replicationFactor int) er
 		tm.partitions = append(tm.partitions, pm)
 	}
 	c.topics[name] = tm
+	// Internal topics (the offsets log) keep their own replication; the
+	// gauge records the data topics' factor for per-copy normalization.
+	if !strings.HasPrefix(name, "__") {
+		c.gReplication.SetMax(int64(replicationFactor))
+	}
 	return nil
 }
 
@@ -464,7 +476,7 @@ func (c *Cluster) HandleProduce(req wire.ProduceRequest, done func(wire.ProduceR
 		return // leaderless or dead leader: request vanishes
 	}
 	leader := c.brokers[pm.leader]
-	idempotent := req.Batch.ProducerID != 0
+	idempotent := req.Batch.Idempotent
 
 	if req.Acks == wire.AcksAll {
 		j := c.getProd()
@@ -492,12 +504,29 @@ func (c *Cluster) HandleProduce(req wire.ProduceRequest, done func(wire.ProduceR
 	leader.Produce(req, idempotent, ackLeaderDone, j)
 }
 
+// observeSpan records one cumulative record-latency sample per record
+// of a successfully handled batch, measured from the record's producer
+// arrival (wire.Record.Timestamp) to now. Internal topics ("__" prefix
+// — the coordinator's offsets log, whose records carry their own
+// commit-time epochs) are excluded so commit traffic never pollutes
+// the data-path latency histograms.
+func (c *Cluster) observeSpan(h *obs.Histogram, req *wire.ProduceRequest) {
+	if h == nil || strings.HasPrefix(req.Topic, "__") {
+		return
+	}
+	now := c.sim.Now()
+	for _, rec := range req.Batch.Records {
+		h.Observe(int64(now - rec.Timestamp))
+	}
+}
+
 // ackLeaderDone completes an acks=0/1 produce once the leader appended:
 // fan the batch out to followers, then answer the producer.
 func ackLeaderDone(a any, resp wire.ProduceResponse) {
 	j := a.(*prodJob)
 	c := j.c
 	if resp.Err == wire.ErrNone {
+		c.observeSpan(c.hSpanAppend, &j.req)
 		c.replicate(j.pm, j.leader, j.req, j.idempotent)
 	}
 	acks, done := j.req.Acks, j.done
@@ -512,7 +541,15 @@ func ackLeaderDone(a any, resp wire.ProduceResponse) {
 func allLeaderDone(a any, resp wire.ProduceResponse) {
 	j := a.(*prodJob)
 	c := j.c
+	if resp.Err == wire.ErrNone {
+		c.observeSpan(c.hSpanAppend, &j.req)
+	}
 	if resp.Err != wire.ErrNone || len(j.followers) <= 1 {
+		if resp.Err == wire.ErrNone {
+			// No follower outstanding: the leader append is full
+			// replication over the live set.
+			c.observeSpan(c.hSpanReplicated, &j.req)
+		}
 		done := j.done
 		c.putProd(j)
 		if done != nil {
@@ -557,6 +594,9 @@ func allAckFire(a any) {
 	j := a.(*prodJob)
 	j.pending--
 	if j.pending == 0 {
+		if j.resp.Err == wire.ErrNone {
+			j.c.observeSpan(j.c.hSpanReplicated, &j.req)
+		}
 		done, resp := j.done, j.resp
 		j.c.putProd(j)
 		if done != nil {

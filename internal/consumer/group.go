@@ -8,6 +8,7 @@ import (
 	"kafkarel/internal/cluster"
 	"kafkarel/internal/coordinator"
 	"kafkarel/internal/des"
+	"kafkarel/internal/obs"
 	"kafkarel/internal/wire"
 )
 
@@ -70,6 +71,15 @@ type Group struct {
 	gaveUp       bool
 
 	freeCommits []*commitReq
+
+	// Observability handles, resolved once from GroupConfig.Obs (all
+	// nil-safe no-ops when unset).
+	cDelivered   *obs.Counter
+	cRedelivered *obs.Counter
+	cCommitAcks  *obs.Counter
+	gLag         *obs.Gauge
+	hSpanE2E     *obs.Histogram
+	hSpanCommit  *obs.Histogram
 }
 
 // GroupConfig parameterises a Group.
@@ -109,6 +119,9 @@ type GroupConfig struct {
 	// group-wide delivery progress once the drain predicate holds —
 	// the escape hatch for permanently unservable partitions.
 	IdleGiveUp time.Duration
+	// Obs receives delivery/commit-ack counters, the end-to-end and
+	// commit latency spans, and the lag gauge. Nil disables them all.
+	Obs *obs.Obs
 }
 
 func (c *GroupConfig) applyDefaults(co *coordinator.Coordinator) {
@@ -166,6 +179,7 @@ type Evidence struct {
 
 	Delivered      uint64 // records handed to the application
 	Redelivered    uint64 // polled records at already-delivered offsets
+	CommitsAcked   uint64 // durably acknowledged offset commits
 	Rewinds        uint64 // position rewinds after log truncation
 	FencedCommits  uint64 // commits rejected by generation/member fencing
 	FencedFetches  uint64 // offset fetches rejected by fencing
@@ -233,6 +247,7 @@ type commitReq struct {
 	epoch  uint64
 	part   int32
 	offset int64
+	sentAt time.Duration
 	fire   func(wire.OffsetCommitResponse)
 }
 
@@ -284,6 +299,16 @@ func NewGroup(sim *des.Simulator, co *coordinator.Coordinator, clst *cluster.Clu
 	}
 	g.ev.Group = cfg.ID
 	g.ev.Dedup = cfg.Dedup
+	if o := cfg.Obs; o != nil {
+		g.cDelivered = o.Counter(obs.MConsumerDelivered)
+		g.cRedelivered = o.Counter(obs.MConsumerRedelivered)
+		g.cCommitAcks = o.Counter(obs.MConsumerCommitAcks)
+		// Lag is summed, not maxed, across shards: a drained shard
+		// contributes zero to the fleet-wide backlog.
+		g.gLag = o.GaugeOf(obs.MConsumerLag, obs.GaugeKindSum)
+		g.hSpanE2E = o.Histogram(obs.MSpanDelivery, obs.LatencyBounds)
+		g.hSpanCommit = o.Histogram(obs.MSpanCommit, obs.LatencyBounds)
+	}
 	return g, nil
 }
 
@@ -631,8 +656,13 @@ func (m *Member) pollOnce(max int, collect *[]wire.Record) {
 			if fresh {
 				g.deliveredNext[p] = off + 1
 				g.ev.Delivered++
+				g.cDelivered.Inc()
+				// End-to-end span: exactly one sample per offset the
+				// application accepts, timed from producer enqueue.
+				g.hSpanE2E.Observe(int64(g.sim.Now() - rec.Timestamp))
 			} else {
 				g.ev.Redelivered++
+				g.cRedelivered.Inc()
 				if g.cfg.Dedup {
 					continue // exactly-once: suppress the redelivery
 				}
@@ -710,6 +740,7 @@ func (m *Member) commitDirty() {
 		}
 		j := g.getCommitReq()
 		j.m, j.epoch, j.part, j.offset = m, m.commitEpoch, p, pos
+		j.sentAt = g.sim.Now()
 		m.inFlight++
 		sent = true
 		g.co.HandleOffsetCommit(wire.OffsetCommitRequest{
@@ -725,7 +756,7 @@ func (m *Member) commitDirty() {
 func (j *commitReq) done(resp wire.OffsetCommitResponse) {
 	m := j.m
 	g := m.g
-	epoch, p, off := j.epoch, j.part, j.offset
+	epoch, p, off, sentAt := j.epoch, j.part, j.offset, j.sentAt
 	g.putCommitReq(j)
 	if resp.Err == wire.ErrNone {
 		// A durable fact regardless of what happened to the member
@@ -733,6 +764,9 @@ func (j *commitReq) done(resp wire.OffsetCommitResponse) {
 		if off > g.commitHi[p] {
 			g.commitHi[p] = off
 		}
+		g.ev.CommitsAcked++
+		g.cCommitAcks.Inc()
+		g.hSpanCommit.Observe(int64(g.sim.Now() - sentAt))
 		if g.cfg.CaptureEvidence {
 			g.ev.CommitAcks = append(g.ev.CommitAcks, CommitAck{
 				Partition: p, Offset: off, AfterDeliveries: len(g.ev.Deliveries),
@@ -816,15 +850,17 @@ func (g *Group) Committed(partition int32) (int64, error) {
 	}
 }
 
-// Lag returns the total records between the durable committed offsets
-// and the partition high watermarks (uncommitted partitions count from
-// offset 0).
-func (g *Group) Lag() (int64, error) {
-	var lag int64
+// LagByPartition returns, per partition, the records between the
+// durable committed offset and the partition high watermark
+// (uncommitted partitions count from offset 0). Both sides are read
+// through the coordinator and cluster — the authoritative (not
+// group-cached) view.
+func (g *Group) LagByPartition() ([]int64, error) {
+	lags := make([]int64, g.partitions)
 	for p := int32(0); p < g.partitions; p++ {
 		committed, err := g.Committed(p)
 		if err != nil && !errors.Is(err, ErrNoCommit) {
-			return 0, err
+			return nil, err
 		}
 		var fr wire.FetchResponse
 		got := false
@@ -832,11 +868,52 @@ func (g *Group) Lag() (int64, error) {
 			Topic: g.cfg.Topic, Partition: p, Offset: committed,
 		}, func(r wire.FetchResponse) { fr = r; got = true })
 		if !got {
-			return 0, fmt.Errorf("consumer: partition %d leaderless", p)
+			return nil, fmt.Errorf("consumer: partition %d leaderless", p)
 		}
-		lag += fr.HighWatermark - committed
+		lags[p] = fr.HighWatermark - committed
+	}
+	return lags, nil
+}
+
+// Lag returns the total records between the durable committed offsets
+// and the partition high watermarks — the sum of LagByPartition.
+func (g *Group) Lag() (int64, error) {
+	lags, err := g.LagByPartition()
+	if err != nil {
+		return 0, err
+	}
+	var lag int64
+	for _, l := range lags {
+		lag += l
 	}
 	return lag, nil
+}
+
+// Probe snapshots the group for a timeline sample: per-partition and
+// total lag plus the delivery/commit counters. It is a pure observer
+// built from the group's own durable facts (observed high watermarks
+// vs acknowledged commits), so it is safe to call mid-chaos — a
+// leaderless partition reports its last known backlog instead of an
+// error. It also refreshes the consumer lag gauge.
+func (g *Group) Probe() obs.GroupProbe {
+	pr := obs.GroupProbe{
+		LagByPartition: make([]int64, g.partitions),
+		Delivered:      g.ev.Delivered,
+		Redelivered:    g.ev.Redelivered,
+		CommitAcks:     g.ev.CommitsAcked,
+		Rebalances:     g.ev.Rebalances,
+	}
+	for p := int32(0); p < g.partitions; p++ {
+		if g.hwm[p] < 0 {
+			continue // never fetched: backlog unknown, count as zero
+		}
+		if l := g.hwm[p] - g.commitHi[p]; l > 0 {
+			pr.LagByPartition[p] = l
+			pr.Lag += l
+		}
+	}
+	g.gLag.Set(pr.Lag)
+	return pr
 }
 
 // ---- leave / crash / restart ----

@@ -26,6 +26,7 @@ import (
 
 	"kafkarel/internal/cluster"
 	"kafkarel/internal/des"
+	"kafkarel/internal/obs"
 	"kafkarel/internal/storage"
 	"kafkarel/internal/wire"
 )
@@ -56,6 +57,9 @@ type Config struct {
 	// RebalanceTimeout caps how long a rebalance waits for stragglers
 	// before evicting them and completing (default: SessionTimeout).
 	RebalanceTimeout time.Duration
+	// Obs receives the rebalance-duration histogram (entering
+	// PreparingRebalance to the generation bump). Nil disables it.
+	Obs *obs.Obs
 }
 
 func (c *Config) applyDefaults(brokers int) {
@@ -157,6 +161,9 @@ type group struct {
 	nextMemberID int
 	rebalanceTmr *des.Timer
 	joinDeadline time.Duration // virtual-time cap for the pending rebalance
+	// rebalanceAt stamps entry into PreparingRebalance; completeJoin
+	// observes now-rebalanceAt as the rebalance-duration span.
+	rebalanceAt time.Duration
 }
 
 type offsetKey struct {
@@ -190,6 +197,8 @@ type Coordinator struct {
 	seq uint64
 
 	freeCommit []*commitJob // recycled commit pipeline jobs
+
+	hRebalance *obs.Histogram // rebalance duration span (nil-safe)
 }
 
 // commitJob carries one offset commit through the offsets-log produce
@@ -242,6 +251,9 @@ func New(sim *des.Simulator, clst *cluster.Cluster, cfg Config) (*Coordinator, e
 		cfg:     cfg,
 		groups:  make(map[string]*group),
 		offsets: make(map[offsetKey]offsetEntry),
+	}
+	if cfg.Obs != nil {
+		co.hRebalance = cfg.Obs.Histogram(obs.MRebalanceNs, obs.LatencyBounds)
 	}
 	clst.SetTopologyHook(co.Rematerialize)
 	return co, nil

@@ -29,6 +29,7 @@ import (
 func (g *group) prepareRebalance() {
 	if g.state != statePreparingRebalance {
 		g.state = statePreparingRebalance
+		g.rebalanceAt = g.co.sim.Now()
 		g.joinDeadline = g.co.sim.Now() + g.co.cfg.RebalanceTimeout
 		for _, m := range g.members {
 			m.joined = m.pendingJoin != nil
@@ -110,6 +111,7 @@ func (g *group) completeJoin() {
 	}
 	g.state = stateCompletingRebalance
 	co.stats.Rebalances++
+	co.hRebalance.Observe(int64(co.sim.Now() - g.rebalanceAt))
 	members := append([]string(nil), kept...)
 	leader := members[0]
 	// Answer parked joins in sorted member order (deterministic). The

@@ -74,6 +74,7 @@ type Link struct {
 
 	cOffered      *obs.Counter
 	cDelivered    *obs.Counter
+	cBytes        *obs.Counter
 	cLostRandom   *obs.Counter
 	cLostOverflow *obs.Counter
 	trace         *obs.Tracer
@@ -120,6 +121,7 @@ func runDelivery(a any) {
 	l.cnt.Delivered++
 	l.cnt.BytesDelivery += uint64(size)
 	l.cDelivered.Inc()
+	l.cBytes.Add(uint64(size))
 	if fn0 != nil {
 		fn0()
 	} else {
@@ -153,6 +155,7 @@ func NewLink(sim *des.Simulator, cfg Config) (*Link, error) {
 		cfg:           cfg,
 		cOffered:      o.Counter(obs.MNetOffered),
 		cDelivered:    o.Counter(obs.MNetDelivered),
+		cBytes:        o.Counter(obs.MNetBytesDelivered),
 		cLostRandom:   o.Counter(obs.MNetLostRandom),
 		cLostOverflow: o.Counter(obs.MNetLostOverflow),
 		trace:         o.Tracer(),

@@ -73,6 +73,38 @@ const (
 	MBrokerTruncated  = "broker.records_truncated"
 	MBrokerUnclean    = "broker.unclean_restarts"
 	MReplications     = "cluster.replications"
+	// MReplicationFactor is a config-valued gauge (kind max): the
+	// replication factor of the run's data topics. Observability-only
+	// consumers (the measured KPI) use it to normalize per-replica
+	// counters such as duplicate appends down to per-copy values.
+	MReplicationFactor = "cluster.replication_factor"
+
+	// Record-latency spans. Each is a sim-time histogram (LatencyBounds,
+	// nanoseconds) of the cumulative latency from produce-enqueue to the
+	// named stage; the epoch rides on wire.Record.Timestamp, so no span
+	// objects exist and the hot path stays allocation-free.
+	MSpanSend       = "span.enqueue_to_send"
+	MSpanAppend     = "span.enqueue_to_append"
+	MSpanReplicated = "span.enqueue_to_replicated"
+	MSpanAck        = "span.enqueue_to_ack"
+	MSpanDelivery   = "span.enqueue_to_delivery"
+	MSpanCommit     = "span.commit"
+
+	// Producer delivery outcomes (denominators of the span histograms).
+	MRecordsDelivered = "producer.records_delivered"
+	MRecordsLost      = "producer.records_lost"
+
+	// Network payload volume (the measured-φ numerator).
+	MNetBytesDelivered = "netem.bytes_delivered"
+
+	// Consumer group.
+	MConsumerDelivered   = "consumer.delivered"
+	MConsumerRedelivered = "consumer.redelivered"
+	MConsumerCommitAcks  = "consumer.commit_acks"
+	MConsumerLag         = "consumer.lag"
+
+	// Coordinator.
+	MRebalanceNs = "coordinator.rebalance_ns"
 )
 
 // ProduceErrorMetric names the per-error-code produce failure counter
@@ -95,7 +127,39 @@ func init() {
 	if len(QueueDepthBounds)+1 != QueueDepthBuckets {
 		panic("obs: QueueDepthBuckets out of sync with QueueDepthBounds")
 	}
+	if len(LatencyBounds)+1 != LatencyBuckets {
+		panic("obs: LatencyBuckets out of sync with LatencyBounds")
+	}
 }
+
+// LatencyBounds are the fixed bucket upper bounds of every span
+// histogram, in nanoseconds of virtual time: a log-spaced ladder from
+// 100 µs to 60 s. The last bucket is the overflow bucket; its exact
+// maximum is tracked separately so tail quantiles stay exact.
+var LatencyBounds = []int64{
+	int64(100 * time.Microsecond),
+	int64(250 * time.Microsecond),
+	int64(500 * time.Microsecond),
+	int64(1 * time.Millisecond),
+	int64(2500 * time.Microsecond),
+	int64(5 * time.Millisecond),
+	int64(10 * time.Millisecond),
+	int64(25 * time.Millisecond),
+	int64(50 * time.Millisecond),
+	int64(100 * time.Millisecond),
+	int64(250 * time.Millisecond),
+	int64(500 * time.Millisecond),
+	int64(1 * time.Second),
+	int64(2500 * time.Millisecond),
+	int64(5 * time.Second),
+	int64(10 * time.Second),
+	int64(30 * time.Second),
+	int64(60 * time.Second),
+}
+
+// LatencyBuckets is len(LatencyBounds)+1, as a constant so fixed
+// snapshot structs can size arrays with it.
+const LatencyBuckets = 19
 
 // Counter is a monotone uint64 metric. All methods are nil-safe: a nil
 // *Counter is the disabled no-op implementation.
@@ -124,6 +188,23 @@ func (c *Counter) Value() uint64 {
 	}
 	return c.v.Load()
 }
+
+// GaugeKind selects how a gauge folds when snapshots merge
+// (MergeSnapshots). The kind is a property of the metric, fixed at
+// registration: a high-water mark (the largest RTO reached) merges as
+// the max over shards, while an instantaneous level (consumer lag)
+// merges as the sum — a drained fleet's lag must fold to 0, which a
+// max-merge would never let it do once any shard peaked above it.
+type GaugeKind uint8
+
+const (
+	// GaugeKindMax merges as the maximum across snapshots (default —
+	// the historical behaviour, right for high-water marks).
+	GaugeKindMax GaugeKind = iota
+	// GaugeKindSum merges as the sum across snapshots (right for
+	// instantaneous levels that partition over shards, like lag).
+	GaugeKindSum
+)
 
 // Gauge is an instantaneous int64 metric. All methods are nil-safe.
 type Gauge struct {
@@ -164,11 +245,14 @@ func (g *Gauge) Value() int64 {
 
 // Histogram counts observations into fixed buckets: counts[i] holds
 // observations v <= bounds[i], and the final count is the overflow
-// bucket. Bounds are fixed at registration so snapshots from different
-// runs are directly comparable. All methods are nil-safe.
+// bucket. The exact maximum is tracked alongside the buckets so the
+// top quantiles and Max stay exact even past the last bound. Bounds
+// are fixed at registration so snapshots from different runs are
+// directly comparable. All methods are nil-safe.
 type Histogram struct {
 	bounds []int64
 	counts []atomic.Uint64
+	max    atomic.Int64
 }
 
 // Observe records one value.
@@ -181,6 +265,15 @@ func (h *Histogram) Observe(v int64) {
 		i++
 	}
 	h.counts[i].Add(1)
+	for {
+		cur := h.max.Load()
+		if v <= cur {
+			return
+		}
+		if h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }
 
 // Counts returns a copy of the bucket counts (nil when disabled).
@@ -195,22 +288,44 @@ func (h *Histogram) Counts() []uint64 {
 	return out
 }
 
+// Max returns the largest observed value (0 when disabled or empty).
+func (h *Histogram) Max() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.max.Load()
+}
+
+// Quantile returns the exact q-quantile recoverable from the buckets:
+// the upper bound of the bucket containing the ⌈q·n⌉-th smallest
+// observation, or the exact tracked maximum when that rank falls in
+// the overflow bucket (or when the bucket bound exceeds the maximum).
+// Returns 0 on an empty histogram.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	return HistogramValue{Bounds: h.bounds, Counts: h.Counts(), Max: h.Max()}.Quantile(q)
+}
+
 // Registry owns the named metrics of one simulation run. The zero
 // value is not usable; create with NewRegistry. A nil *Registry is the
 // disabled registry: every lookup returns a nil (no-op) handle.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	gaugeKinds map[string]GaugeKind
+	hists      map[string]*Histogram
 }
 
 // NewRegistry returns an empty enabled registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		hists:    make(map[string]*Histogram),
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		gaugeKinds: make(map[string]GaugeKind),
+		hists:      make(map[string]*Histogram),
 	}
 }
 
@@ -230,8 +345,17 @@ func (r *Registry) Counter(name string) *Counter {
 	return c
 }
 
-// Gauge returns the named gauge, creating it on first use.
+// Gauge returns the named gauge, creating it with the default
+// max-merge kind on first use.
 func (r *Registry) Gauge(name string) *Gauge {
+	return r.GaugeOf(name, GaugeKindMax)
+}
+
+// GaugeOf returns the named gauge, creating it with the given merge
+// kind on first use. The kind is fixed at first registration; a later
+// registration under a different kind panics — a metric cannot merge
+// two different ways.
+func (r *Registry) GaugeOf(name string, kind GaugeKind) *Gauge {
 	if r == nil {
 		return nil
 	}
@@ -241,6 +365,9 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if !ok {
 		g = &Gauge{}
 		r.gauges[name] = g
+		r.gaugeKinds[name] = kind
+	} else if r.gaugeKinds[name] != kind {
+		panic(fmt.Sprintf("obs: gauge %q re-registered with kind %d (was %d)", name, kind, r.gaugeKinds[name]))
 	}
 	return g
 }
@@ -276,17 +403,67 @@ type CounterValue struct {
 	Value uint64
 }
 
-// GaugeValue is one named gauge reading.
+// GaugeValue is one named gauge reading. Kind records how the gauge
+// merges across snapshots (it does not appear in the encoded form —
+// the name implies it).
 type GaugeValue struct {
 	Name  string
 	Value int64
+	Kind  GaugeKind
 }
 
-// HistogramValue is one named histogram reading.
+// HistogramValue is one named histogram reading. Max is the exact
+// largest observation (0 when empty).
 type HistogramValue struct {
 	Name   string
 	Bounds []int64
 	Counts []uint64
+	Max    int64
+}
+
+// Total returns the observation count (the sum over all buckets).
+func (h HistogramValue) Total() uint64 {
+	var n uint64
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// Quantile returns the exact q-quantile recoverable from the bucket
+// counts: the upper bound of the bucket holding the ⌈q·n⌉-th smallest
+// observation, clamped to the exact maximum (the overflow bucket has
+// no upper bound, so a rank landing there returns Max). q is clamped
+// to [0,1]; an empty histogram returns 0.
+func (h HistogramValue) Quantile(q float64) int64 {
+	n := h.Total()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(n))
+	if float64(rank) < q*float64(n) {
+		rank++ // ceil
+	}
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= rank {
+			if i < len(h.Bounds) && h.Bounds[i] < h.Max {
+				return h.Bounds[i]
+			}
+			return h.Max
+		}
+	}
+	return h.Max
 }
 
 // Snapshot is a point-in-time copy of a registry, sorted by metric name
@@ -310,13 +487,14 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Counters = append(s.Counters, CounterValue{Name: name, Value: c.Value()})
 	}
 	for name, g := range r.gauges {
-		s.Gauges = append(s.Gauges, GaugeValue{Name: name, Value: g.Value()})
+		s.Gauges = append(s.Gauges, GaugeValue{Name: name, Value: g.Value(), Kind: r.gaugeKinds[name]})
 	}
 	for name, h := range r.hists {
 		s.Histograms = append(s.Histograms, HistogramValue{
 			Name:   name,
 			Bounds: append([]int64(nil), h.bounds...),
 			Counts: h.Counts(),
+			Max:    h.Max(),
 		})
 	}
 	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
@@ -367,7 +545,7 @@ func (s Snapshot) Encode() []byte {
 		fmt.Fprintf(&b, "gauge %s %d\n", g.Name, g.Value)
 	}
 	for _, h := range s.Histograms {
-		fmt.Fprintf(&b, "hist %s bounds=%v counts=%v\n", h.Name, h.Bounds, h.Counts)
+		fmt.Fprintf(&b, "hist %s bounds=%v counts=%v max=%d\n", h.Name, h.Bounds, h.Counts, h.Max)
 	}
 	return []byte(b.String())
 }
@@ -394,6 +572,14 @@ func (o *Obs) Gauge(name string) *Gauge {
 		return nil
 	}
 	return o.Registry.Gauge(name)
+}
+
+// GaugeOf resolves a gauge handle with an explicit merge kind.
+func (o *Obs) GaugeOf(name string, kind GaugeKind) *Gauge {
+	if o == nil {
+		return nil
+	}
+	return o.Registry.GaugeOf(name, kind)
 }
 
 // Histogram resolves a histogram handle.

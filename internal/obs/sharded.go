@@ -46,10 +46,10 @@ func (s *Sharded) Shard(i int) *Registry {
 }
 
 // Merged folds every shard's snapshot into one, in shard order:
-// counters and histogram buckets sum, gauges take the maximum (every
-// registered gauge is a running maximum — queue high-water marks, the
-// largest RTO reached). The result is sorted by metric name like any
-// registry snapshot, so it is byte-comparable across worker counts.
+// counters and histogram buckets sum, gauges merge by their registered
+// kind (max for high-water marks, sum for levels like lag). The result
+// is sorted by metric name like any registry snapshot, so it is
+// byte-comparable across worker counts.
 func (s *Sharded) Merged() Snapshot {
 	var out Snapshot
 	if s == nil {
@@ -61,8 +61,11 @@ func (s *Sharded) Merged() Snapshot {
 	return out
 }
 
-// MergeSnapshots combines two snapshots: counters sum, gauges take the
-// maximum, histograms with identical bounds sum bucket-wise (mismatched
+// MergeSnapshots combines two snapshots: counters sum, gauges merge by
+// kind — GaugeKindMax takes the maximum, GaugeKindSum adds (a lag
+// gauge must fold to 0 once every shard drains, which max-merging
+// would forbid forever after any shard peaked) — and histograms with
+// identical bounds sum bucket-wise taking the max of maxes (mismatched
 // bounds keep a's buckets — bounds are fixed per metric name across the
 // repo, so a mismatch means the inputs came from different schemas).
 // Both inputs are sorted by name (the Snapshot contract) and the merge
@@ -98,8 +101,13 @@ func MergeSnapshots(a, b Snapshot) Snapshot {
 			j++
 		default:
 			g := a.Gauges[i]
-			if b.Gauges[j].Value > g.Value {
-				g.Value = b.Gauges[j].Value
+			switch g.Kind {
+			case GaugeKindSum:
+				g.Value += b.Gauges[j].Value
+			default:
+				if b.Gauges[j].Value > g.Value {
+					g.Value = b.Gauges[j].Value
+				}
 			}
 			out.Gauges = append(out.Gauges, g)
 			i++
@@ -143,11 +151,15 @@ func mergeHist(a, b HistogramValue) HistogramValue {
 		Name:   a.Name,
 		Bounds: append([]int64(nil), a.Bounds...),
 		Counts: append([]uint64(nil), a.Counts...),
+		Max:    a.Max,
 	}
 	for k := range b.Counts {
 		if k < len(out.Counts) {
 			out.Counts[k] += b.Counts[k]
 		}
+	}
+	if b.Max > out.Max {
+		out.Max = b.Max
 	}
 	return out
 }

@@ -43,12 +43,14 @@ type Timeline struct {
 	transFn  func() TransportProbe
 	prodFn   func() ProducerProbe
 	brokFn   func() BrokerProbe
+	groupFn  func() GroupProbe
 	rows     []TimelineRow
 	anns     []TimelineAnnotation
 	prevNet  NetProbe
 	prevTr   TransportProbe
 	prevPr   ProducerProbe
 	prevBr   BrokerProbe
+	prevGr   GroupProbe
 }
 
 // DefaultTimelineInterval is the sampling interval when NewTimeline gets
@@ -157,6 +159,19 @@ type BrokerProbe struct {
 	DupAppends uint64
 }
 
+// GroupProbe is the instantaneous consumer-group state plus cumulative
+// delivery counters. Lag is the summed committed-to-high-watermark gap
+// over the partitions; LagByPartition breaks it down in partition
+// order (nil when the group has no partition view yet).
+type GroupProbe struct {
+	Lag            int64
+	LagByPartition []int64
+	Delivered      uint64
+	Redelivered    uint64
+	CommitAcks     uint64
+	Rebalances     uint64
+}
+
 // SetProbes registers the four subsystem probes. Any probe may be nil;
 // its columns then stay zero (GEState/DelayMs -1).
 func (t *Timeline) SetProbes(net func() NetProbe, trans func() TransportProbe, prod func() ProducerProbe, brok func() BrokerProbe) {
@@ -166,6 +181,18 @@ func (t *Timeline) SetProbes(net func() NetProbe, trans func() TransportProbe, p
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.netFn, t.transFn, t.prodFn, t.brokFn = net, trans, prod, brok
+}
+
+// SetGroupProbe registers the consumer-group probe (separate from
+// SetProbes so existing four-probe callers stay untouched). A nil
+// probe keeps the group columns at zero.
+func (t *Timeline) SetGroupProbe(group func() GroupProbe) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.groupFn = group
 }
 
 // TimelineRow is one fixed-schema sample. Gauges (GE state, delay,
@@ -204,6 +231,16 @@ type TimelineRow struct {
 	LogEnd     int64
 	Appends    uint64
 	DupAppends uint64
+
+	// Consumer group. Lag and LagParts are instantaneous (LagParts in
+	// partition order, nil without a group probe); the counts are
+	// interval deltas like every other count column.
+	Lag              int64
+	LagParts         []int64
+	GroupDelivered   uint64
+	GroupRedelivered uint64
+	CommitAcks       uint64
+	Rebalances       uint64
 }
 
 // Annotation kinds.
@@ -296,6 +333,16 @@ func (t *Timeline) Sample() {
 		row.DupAppends = cur.DupAppends - t.prevBr.DupAppends
 		t.prevBr = cur
 	}
+	if t.groupFn != nil {
+		cur := t.groupFn()
+		row.Lag = cur.Lag
+		row.LagParts = append([]int64(nil), cur.LagByPartition...)
+		row.GroupDelivered = cur.Delivered - t.prevGr.Delivered
+		row.GroupRedelivered = cur.Redelivered - t.prevGr.Redelivered
+		row.CommitAcks = cur.CommitAcks - t.prevGr.CommitAcks
+		row.Rebalances = cur.Rebalances - t.prevGr.Rebalances
+		t.prevGr = cur
+	}
 	t.rows = append(t.rows, row)
 }
 
@@ -328,6 +375,7 @@ var timelineHeader = []string{
 	"cwnd", "srtt_ns", "rto_ns", "inflight_segs", "segs_sent", "retransmits", "rto_timeouts",
 	"queue_depth", "inflight_batches", "enqueued", "acked", "lost", "batch_retries",
 	"log_end", "appends", "dup_appends",
+	"lag", "group_delivered", "group_redelivered", "commit_acks", "rebalances",
 	"detail",
 }
 
@@ -399,6 +447,7 @@ func writeSampleRecord(cw *csv.Writer, entity string, r TimelineRow) error {
 		strconv.Itoa(r.QueueDepth), strconv.Itoa(r.InFlightBatches),
 		utoa(r.Enqueued), utoa(r.Acked), utoa(r.Lost), utoa(r.BatchRetries),
 		itoa(r.LogEnd), utoa(r.Appends), utoa(r.DupAppends),
+		itoa(r.Lag), utoa(r.GroupDelivered), utoa(r.GroupRedelivered), utoa(r.CommitAcks), utoa(r.Rebalances),
 		"",
 	})
 }
@@ -478,6 +527,66 @@ func WriteMergedCSV(w io.Writer, timelines []*Timeline) error {
 	cw.Flush()
 	if err := cw.Error(); err != nil {
 		return fmt.Errorf("obs: write merged timeline: %w", err)
+	}
+	return nil
+}
+
+// lagHeader is the fixed schema of the per-partition lag projection.
+var lagHeader = []string{"at_ns", "entity", "partition", "lag"}
+
+// WriteLagCSV renders the consumer-lag projection of several timelines
+// as one CSV: for every sample of a timeline carrying a group probe,
+// one row per partition (partition index, instantaneous lag) plus an
+// aggregate row with partition -1. Rows interleave by timestamp with
+// ties broken by timeline input order, so like the merged timeline the
+// bytes are identical at any worker count.
+func WriteLagCSV(w io.Writer, timelines []*Timeline) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(lagHeader); err != nil {
+		return fmt.Errorf("obs: write lag timeline: %w", err)
+	}
+	type entry struct {
+		at     time.Duration
+		tl     int
+		seq    int
+		entity string
+		row    TimelineRow
+	}
+	var entries []entry
+	for ti, t := range timelines {
+		if t == nil {
+			continue
+		}
+		entity := t.Entity()
+		for seq, row := range t.Rows() {
+			if row.LagParts == nil {
+				continue
+			}
+			entries = append(entries, entry{at: row.At, tl: ti, seq: seq, entity: entity, row: row})
+		}
+	}
+	sort.Slice(entries, func(a, b int) bool {
+		if entries[a].at != entries[b].at {
+			return entries[a].at < entries[b].at
+		}
+		if entries[a].tl != entries[b].tl {
+			return entries[a].tl < entries[b].tl
+		}
+		return entries[a].seq < entries[b].seq
+	})
+	for _, e := range entries {
+		if err := cw.Write([]string{itoa(int64(e.at)), e.entity, "-1", itoa(e.row.Lag)}); err != nil {
+			return fmt.Errorf("obs: write lag timeline: %w", err)
+		}
+		for p, lag := range e.row.LagParts {
+			if err := cw.Write([]string{itoa(int64(e.at)), e.entity, strconv.Itoa(p), itoa(lag)}); err != nil {
+				return fmt.Errorf("obs: write lag timeline: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("obs: write lag timeline: %w", err)
 	}
 	return nil
 }

@@ -110,8 +110,12 @@ type Producer struct {
 	cBatchesSent *obs.Counter
 	cBatchRetry  *obs.Counter
 	cReqTimeouts *obs.Counter
+	cDelivered   *obs.Counter
+	cLost        *obs.Counter
 	cRespErrors  [wire.NumErrorCodes]*obs.Counter
 	hQueueDepth  *obs.Histogram
+	hSpanSend    *obs.Histogram
+	hSpanAck     *obs.Histogram
 	trace        *obs.Tracer
 
 	// Hot-path scratch and free lists. The producer is single-threaded
@@ -265,6 +269,10 @@ func WithObs(o *obs.Obs) Option {
 			p.cRespErrors[code] = o.Counter(obs.ProduceErrorMetric(wire.ErrorCode(code).String()))
 		}
 		p.hQueueDepth = o.Histogram(obs.MQueueDepth, obs.QueueDepthBounds)
+		p.cDelivered = o.Counter(obs.MRecordsDelivered)
+		p.cLost = o.Counter(obs.MRecordsLost)
+		p.hSpanSend = o.Histogram(obs.MSpanSend, obs.LatencyBounds)
+		p.hSpanAck = o.Histogram(obs.MSpanAck, obs.LatencyBounds)
 		p.trace = o.Tracer()
 	}
 }
@@ -621,9 +629,15 @@ func fnv1a64(key uint64) uint64 {
 
 func (p *Producer) buildRequest(b *batch) wire.ProduceRequest {
 	p.corr++
-	wb := wire.RecordBatch{BaseSequence: b.seq}
-	if p.cfg.Semantics == ExactlyOnce {
-		wb.ProducerID = p.cfg.ProducerID
+	// The producer id is stamped on every batch, not just idempotent
+	// ones: brokers only dedup when the Idempotent flag is set, but the
+	// id keeps per-producer sequence streams apart so the duplicate-
+	// append observation stays sound when several producers share a
+	// partition.
+	wb := wire.RecordBatch{
+		BaseSequence: b.seq,
+		ProducerID:   p.cfg.ProducerID,
+		Idempotent:   p.cfg.Semantics == ExactlyOnce,
 	}
 	// The wire records only live until the request is encoded, so they
 	// are built in a reused scratch slice.
@@ -668,8 +682,14 @@ func (p *Producer) buildRequest(b *batch) wire.ProduceRequest {
 
 func (p *Producer) afterSend(corr uint32, b *batch) {
 	b.attempts++
+	now := p.sim.Now()
 	for _, r := range b.records {
 		r.attempts++
+		if r.attempts == 1 {
+			// One span sample per record reaching the wire; retries of the
+			// same record keep the first-send latency.
+			p.hSpanSend.Observe(int64(now - r.arrived))
+		}
 	}
 	p.cBatchesSent.Inc()
 	if b.attempts > 1 {
@@ -858,6 +878,8 @@ func (p *Producer) resolveDelivered(r *record) {
 		p.stale++
 	}
 	p.counts.Delivered++
+	p.cDelivered.Inc()
+	p.hSpanAck.Observe(int64(lat))
 	p.trace.Emit(obs.LayerProducer, obs.EvRecordDelivered, r.key, int64(r.attempts), int64(r.caseNum), "")
 	p.record(r)
 }
@@ -874,6 +896,7 @@ func (p *Producer) resolveLost(r *record) {
 	}
 	r.resolved = p.sim.Now()
 	p.counts.Lost++
+	p.cLost.Inc()
 	p.trace.Emit(obs.LayerProducer, obs.EvRecordLost, r.key, int64(r.attempts), int64(r.caseNum), "")
 	p.record(r)
 }

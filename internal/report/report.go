@@ -26,6 +26,10 @@ type Options struct {
 	// SparklineWidth is the resampled width of each sparkline
 	// (default 60 cells).
 	SparklineWidth int
+	// Gamma, when set (callers fill it via the kpi package), adds a
+	// "KPI (Eq. 2)" section with the predicted and measured γ side by
+	// side.
+	Gamma *testbed.GammaComparison
 }
 
 // Phase is a stretch of the run under one configuration: from a
@@ -87,6 +91,9 @@ type Report struct {
 	// empty when the trace has none or no trace was attached.
 	DuplicateChain []obs.Event
 
+	// Gamma echoes Options.Gamma.
+	Gamma *testbed.GammaComparison
+
 	width int
 }
 
@@ -101,6 +108,7 @@ func Build(res testbed.Result, events []obs.Event, opts Options) (*Report, error
 		Result:      res,
 		Rows:        res.Timeline.Rows(),
 		Annotations: res.Timeline.Annotations(),
+		Gamma:       opts.Gamma,
 		width:       opts.SparklineWidth,
 	}
 	if r.Title == "" {
@@ -296,6 +304,46 @@ func (r *Report) Render(w io.Writer) error {
 	fmt.Fprintf(w, "- P_l (loss) = %.6f   P_d (duplication) = %.6f\n", res.Pl, res.Pd)
 	fmt.Fprintf(w, "- throughput: %.1f msg/s   stale rate: %.4f\n", res.Throughput, res.StaleRate)
 	fmt.Fprintf(w, "- timeline: %d samples, %d annotations\n\n", len(r.Rows), len(r.Annotations))
+
+	if res.Metrics.SpanSend.Total() > 0 {
+		fmt.Fprintf(w, "## Record latency spans\n\n")
+		fmt.Fprintf(w, "Each span is timed from producer enqueue (commit: send → durable ack).\n\n")
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "span\tcount\tp50\tp95\tp99\tmax")
+		span := func(name string, s testbed.SpanHist) {
+			if s.Total() == 0 {
+				return
+			}
+			fmt.Fprintf(tw, "%s\t%d\t%v\t%v\t%v\t%v\n",
+				name, s.Total(), s.Quantile(0.50), s.Quantile(0.95), s.Quantile(0.99), s.Max)
+		}
+		span("enqueue→send", res.Metrics.SpanSend)
+		span("enqueue→append", res.Metrics.SpanAppend)
+		span("enqueue→replicated", res.Metrics.SpanReplicated)
+		span("enqueue→ack", res.Metrics.SpanAck)
+		span("enqueue→delivery", res.Metrics.SpanDelivery)
+		span("commit", res.Metrics.SpanCommit)
+		span("rebalance", res.Metrics.Rebalance)
+		tw.Flush()
+		if res.GroupLag != nil {
+			fmt.Fprintf(w, "\nconsumer lag (end of run): %v   commit acks: %d   redelivered: %d\n",
+				res.GroupLag, res.Metrics.ConsumerCommitAcks, res.Metrics.ConsumerRedelivered)
+		}
+		fmt.Fprintln(w)
+	}
+
+	if r.Gamma != nil {
+		c := *r.Gamma
+		fmt.Fprintf(w, "## KPI (Eq. 2)\n\n")
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "\tγ\tφ\tμ\tP_l\tP_d")
+		fmt.Fprintf(tw, "predicted\t%.4f\t%.4f\t%.4f\t%.6f\t%.6f\n",
+			c.Predicted.Gamma, c.Predicted.Phi, c.Predicted.Mu, c.Predicted.Pl, c.Predicted.Pd)
+		fmt.Fprintf(tw, "measured\t%.4f\t%.4f\t%.4f\t%.6f\t%.6f\n",
+			c.Measured.Gamma, c.Measured.Phi, c.Measured.Mu, c.Measured.Pl, c.Measured.Pd)
+		tw.Flush()
+		fmt.Fprintf(w, "\ndelta (measured − predicted): %+.4f\n\n", c.Delta())
+	}
 
 	fmt.Fprintf(w, "## Phases\n\n")
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)

@@ -175,6 +175,10 @@ type FleetTopicResult struct {
 	// E2EViolations counts end-to-end delivery invariant violations
 	// (chaos.VerifyE2E) in the shard.
 	E2EViolations int
+	// Lag is the per-partition records between durable committed
+	// offsets and high watermarks at the end of the shard (zero
+	// everywhere for a drained group).
+	Lag []int64
 }
 
 // FleetResult aggregates a fleet run in shard order.
@@ -204,6 +208,10 @@ type FleetResult struct {
 	// order (nil unless Fleet.TimelineInterval was set). Render with
 	// obs.WriteMergedCSV.
 	Timelines []*obs.Timeline
+	// Gamma, when set (cmd/testbed fills it via the kpi package), puts
+	// the predicted γ next to the γ measured from the merged metrics on
+	// the scorecard.
+	Gamma *GammaComparison
 }
 
 // fleetG renders a float in the canonical form shared with the
@@ -218,16 +226,21 @@ func (r FleetResult) Scorecard() []byte {
 	var b strings.Builder
 	fmt.Fprintf(&b, "fleet topics=%d producers=%d\n", len(r.Topics), r.fleetProducers())
 	for _, tr := range r.Topics {
-		fmt.Fprintf(&b, "topic %s producers=%d partitions=%d acquired=%d distinct=%d lost=%d dup=%d extra=%d foreign=%d drained=%d group_drained=%t rebalances=%d expirations=%d e2e_viol=%d throughput=%s completed=%t\n",
+		e2e := tr.Metrics.SpanDelivery
+		fmt.Fprintf(&b, "topic %s producers=%d partitions=%d acquired=%d distinct=%d lost=%d dup=%d extra=%d foreign=%d drained=%d group_drained=%t rebalances=%d expirations=%d e2e_viol=%d lag=%v e2e_p50=%v e2e_p95=%v e2e_p99=%v throughput=%s completed=%t\n",
 			tr.Topic, tr.Producers, tr.Partitions, tr.Acquired,
 			tr.Report.Distinct, tr.Report.NLost, tr.Report.NDuplicated,
 			tr.Report.ExtraCopies, tr.Report.Foreign, tr.Drained,
 			tr.GroupDrained, tr.Rebalances, tr.Expirations, tr.E2EViolations,
+			tr.Lag, e2e.Quantile(0.50), e2e.Quantile(0.95), e2e.Quantile(0.99),
 			fleetG(tr.Throughput), tr.Completed)
 	}
 	fmt.Fprintf(&b, "total acquired=%d distinct=%d lost=%d dup=%d foreign=%d pl=%s pd=%s throughput=%s completed=%t\n",
 		r.Acquired, r.Report.Distinct, r.Report.NLost, r.Report.NDuplicated,
 		r.Report.Foreign, fleetG(r.Pl), fleetG(r.Pd), fleetG(r.Throughput), r.Completed)
+	if r.Gamma != nil {
+		b.WriteString(r.Gamma.Render())
+	}
 	b.WriteString("metrics:\n")
 	b.Write(r.Metrics.Encode())
 	return []byte(b.String())
@@ -423,7 +436,7 @@ func runFleetShard(sim *des.Simulator, sh fleetShard, cal Calibration, reg *obs.
 	// log (same rf as the data topic), and drains once the producers are
 	// done. Fleet-wide broker faults hit its fetch and commit paths too.
 	members := exprun.DefInt(f.ConsumersPerTopic, 1)
-	co, err := coordinator.New(sim, clst, coordinator.Config{OffsetsReplication: rf})
+	co, err := coordinator.New(sim, clst, coordinator.Config{OffsetsReplication: rf, Obs: o})
 	if err != nil {
 		return fleetShardOut{}, err
 	}
@@ -433,6 +446,7 @@ func runFleetShard(sim *des.Simulator, sh fleetShard, cal Calibration, reg *obs.
 		Auto:       true,
 		Dedup:      f.Features.Semantics == features.SemanticsExactlyOnce,
 		IdleGiveUp: time.Second,
+		Obs:        o,
 	})
 	if err != nil {
 		return fleetShardOut{}, err
@@ -599,6 +613,9 @@ func runFleetShard(sim *des.Simulator, sh fleetShard, cal Calibration, reg *obs.
 		// shard's broker series lives on the topic entity and the
 		// per-producer series carry the client-side probes.
 		topicTL.SetProbes(nil, nil, nil, func() obs.BrokerProbe { return clst.Probe(sh.topic) })
+		// The consumer-group series (per-partition lag, deliveries,
+		// commit acks, rebalances) also lives on the topic entity.
+		topicTL.SetGroupProbe(grp.Probe)
 		topicTL.Sample()
 		var tick *des.Ticker
 		tick = des.NewTicker(sim, topicTL.Interval(), func() {
@@ -699,6 +716,13 @@ func runFleetShard(sim *des.Simulator, sh fleetShard, cal Calibration, reg *obs.
 		Regressions:        co.Regressions(),
 	})
 	tr.E2EViolations = len(verdict.Violations)
+	// Authoritative lag when the cluster can answer; the group's own
+	// durable view when a partition ended the shard leaderless.
+	if lags, err := grp.LagByPartition(); err == nil {
+		tr.Lag = lags
+	} else {
+		tr.Lag = grp.Probe().LagByPartition
+	}
 	if reg != nil {
 		tr.Metrics = snapshotMetrics(reg.Snapshot())
 		tr.Metrics.Cases = tr.Producer.ByCase

@@ -1,0 +1,48 @@
+package testbed
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// GammaBreakdown is one γ score with its Eq. 2 components. It mirrors
+// kpi.Breakdown but lives here so the testbed (which kpi depends on,
+// via perfmodel) can carry predicted-vs-measured comparisons without
+// an import cycle; the kpi package fills it in.
+type GammaBreakdown struct {
+	Gamma float64
+	Phi   float64
+	Mu    float64
+	Pl    float64
+	Pd    float64
+}
+
+// GammaComparison puts the model's predicted γ next to the γ measured
+// from a run's observability snapshot, so reports and scorecards show
+// both and the delta is never hidden.
+type GammaComparison struct {
+	Predicted GammaBreakdown
+	Measured  GammaBreakdown
+}
+
+// Delta is measured γ minus predicted γ.
+func (c GammaComparison) Delta() float64 { return c.Measured.Gamma - c.Predicted.Gamma }
+
+// Render returns the canonical three-line text block used by both the
+// run report and the fleet scorecard:
+//
+//	gamma predicted=... phi=... mu=... pl=... pd=...
+//	gamma measured=...  phi=... mu=... pl=... pd=...
+//	gamma delta=...
+func (c GammaComparison) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "gamma predicted=%s phi=%s mu=%s pl=%s pd=%s\n",
+		fleetG(c.Predicted.Gamma), fleetG(c.Predicted.Phi), fleetG(c.Predicted.Mu),
+		fleetG(c.Predicted.Pl), fleetG(c.Predicted.Pd))
+	fmt.Fprintf(&b, "gamma measured=%s phi=%s mu=%s pl=%s pd=%s\n",
+		fleetG(c.Measured.Gamma), fleetG(c.Measured.Phi), fleetG(c.Measured.Mu),
+		fleetG(c.Measured.Pl), fleetG(c.Measured.Pd))
+	fmt.Fprintf(&b, "gamma delta=%s abs=%s\n", fleetG(c.Delta()), fleetG(math.Abs(c.Delta())))
+	return b.String()
+}

@@ -57,6 +57,77 @@ type MetricsSnapshot struct {
 	BrokerTruncated       uint64
 	BrokerUnclean         uint64
 	Replications          uint64
+	ReplicationFactor     int64 // config-valued gauge; max across shards
+
+	// Delivery accounting for the measured KPI.
+	RecordsDelivered  uint64 // producer acks resolved delivered
+	RecordsLost       uint64 // producer records resolved lost
+	NetBytesDelivered uint64 // payload bytes the network delivered
+
+	// Consumer group.
+	ConsumerDelivered   uint64
+	ConsumerRedelivered uint64
+	ConsumerCommitAcks  uint64
+	ConsumerLagEnd      int64 // lag gauge at snapshot time (sums across shards)
+
+	// Per-record latency spans, all timed from producer enqueue except
+	// SpanCommit (commit send → durable ack) and Rebalance (prepare →
+	// generation bump).
+	SpanSend       SpanHist
+	SpanAppend     SpanHist
+	SpanReplicated SpanHist
+	SpanAck        SpanHist
+	SpanDelivery   SpanHist
+	SpanCommit     SpanHist
+	Rebalance      SpanHist
+}
+
+// SpanHist is one latency-span histogram flattened to fixed-size
+// arrays so MetricsSnapshot stays a comparable struct. Buckets follow
+// obs.LatencyBounds; Max is the exact largest observation.
+type SpanHist struct {
+	Counts [obs.LatencyBuckets]uint64
+	Max    time.Duration
+}
+
+func spanHist(s obs.Snapshot, name string) SpanHist {
+	var out SpanHist
+	if h, ok := s.Histogram(name); ok {
+		copy(out.Counts[:], h.Counts)
+		out.Max = time.Duration(h.Max)
+	}
+	return out
+}
+
+// value reconstitutes the obs view for quantile math.
+func (s SpanHist) value() obs.HistogramValue {
+	return obs.HistogramValue{Bounds: obs.LatencyBounds[:], Counts: s.Counts[:], Max: int64(s.Max)}
+}
+
+// Total returns the observation count.
+func (s SpanHist) Total() uint64 { return s.value().Total() }
+
+// Quantile returns the exact-clamped q-quantile (see
+// obs.HistogramValue.Quantile).
+func (s SpanHist) Quantile(q float64) time.Duration {
+	return time.Duration(s.value().Quantile(q))
+}
+
+// merge adds counts and takes the max.
+func (s *SpanHist) merge(o SpanHist) {
+	for i := range s.Counts {
+		s.Counts[i] += o.Counts[i]
+	}
+	if o.Max > s.Max {
+		s.Max = o.Max
+	}
+}
+
+// encode renders "name total=N p50=... p95=... p99=... max=..." — the
+// quantiles are derived, so byte equality still follows the buckets.
+func (s SpanHist) encode(b *strings.Builder, name string) {
+	fmt.Fprintf(b, "%s total=%d p50=%v p95=%v p99=%v max=%v\n",
+		name, s.Total(), s.Quantile(0.50), s.Quantile(0.95), s.Quantile(0.99), s.Max)
 }
 
 // snapshotMetrics converts a registry snapshot into the fixed struct.
@@ -82,6 +153,21 @@ func snapshotMetrics(s obs.Snapshot) MetricsSnapshot {
 		BrokerTruncated:       s.Counter(obs.MBrokerTruncated),
 		BrokerUnclean:         s.Counter(obs.MBrokerUnclean),
 		Replications:          s.Counter(obs.MReplications),
+		ReplicationFactor:     s.Gauge(obs.MReplicationFactor),
+		RecordsDelivered:      s.Counter(obs.MRecordsDelivered),
+		RecordsLost:           s.Counter(obs.MRecordsLost),
+		NetBytesDelivered:     s.Counter(obs.MNetBytesDelivered),
+		ConsumerDelivered:     s.Counter(obs.MConsumerDelivered),
+		ConsumerRedelivered:   s.Counter(obs.MConsumerRedelivered),
+		ConsumerCommitAcks:    s.Counter(obs.MConsumerCommitAcks),
+		ConsumerLagEnd:        s.Gauge(obs.MConsumerLag),
+		SpanSend:              spanHist(s, obs.MSpanSend),
+		SpanAppend:            spanHist(s, obs.MSpanAppend),
+		SpanReplicated:        spanHist(s, obs.MSpanReplicated),
+		SpanAck:               spanHist(s, obs.MSpanAck),
+		SpanDelivery:          spanHist(s, obs.MSpanDelivery),
+		SpanCommit:            spanHist(s, obs.MSpanCommit),
+		Rebalance:             spanHist(s, obs.MRebalanceNs),
 	}
 	for c := 1; c < wire.NumErrorCodes; c++ {
 		m.ProduceErrors[c] = s.Counter(obs.ProduceErrorMetric(wire.ErrorCode(c).String()))
@@ -129,6 +215,23 @@ func (m *MetricsSnapshot) Merge(o MetricsSnapshot) {
 	m.BrokerTruncated += o.BrokerTruncated
 	m.BrokerUnclean += o.BrokerUnclean
 	m.Replications += o.Replications
+	if o.ReplicationFactor > m.ReplicationFactor { // max-kind gauge
+		m.ReplicationFactor = o.ReplicationFactor
+	}
+	m.RecordsDelivered += o.RecordsDelivered
+	m.RecordsLost += o.RecordsLost
+	m.NetBytesDelivered += o.NetBytesDelivered
+	m.ConsumerDelivered += o.ConsumerDelivered
+	m.ConsumerRedelivered += o.ConsumerRedelivered
+	m.ConsumerCommitAcks += o.ConsumerCommitAcks
+	m.ConsumerLagEnd += o.ConsumerLagEnd // sum-kind gauge: backlogs add
+	m.SpanSend.merge(o.SpanSend)
+	m.SpanAppend.merge(o.SpanAppend)
+	m.SpanReplicated.merge(o.SpanReplicated)
+	m.SpanAck.merge(o.SpanAck)
+	m.SpanDelivery.merge(o.SpanDelivery)
+	m.SpanCommit.merge(o.SpanCommit)
+	m.Rebalance.merge(o.Rebalance)
 }
 
 // Encode renders the snapshot in a canonical text form, one metric per
@@ -158,5 +261,20 @@ func (m MetricsSnapshot) Encode() []byte {
 	fmt.Fprintf(&b, "broker.records_truncated %d\n", m.BrokerTruncated)
 	fmt.Fprintf(&b, "broker.unclean_restarts %d\n", m.BrokerUnclean)
 	fmt.Fprintf(&b, "cluster.replications %d\n", m.Replications)
+	fmt.Fprintf(&b, "cluster.replication_factor %d\n", m.ReplicationFactor)
+	fmt.Fprintf(&b, "producer.records_delivered %d\n", m.RecordsDelivered)
+	fmt.Fprintf(&b, "producer.records_lost %d\n", m.RecordsLost)
+	fmt.Fprintf(&b, "netem.bytes_delivered %d\n", m.NetBytesDelivered)
+	fmt.Fprintf(&b, "consumer.delivered %d\n", m.ConsumerDelivered)
+	fmt.Fprintf(&b, "consumer.redelivered %d\n", m.ConsumerRedelivered)
+	fmt.Fprintf(&b, "consumer.commit_acks %d\n", m.ConsumerCommitAcks)
+	fmt.Fprintf(&b, "consumer.lag_end %d\n", m.ConsumerLagEnd)
+	m.SpanSend.encode(&b, "span.enqueue_to_send")
+	m.SpanAppend.encode(&b, "span.enqueue_to_append")
+	m.SpanReplicated.encode(&b, "span.enqueue_to_replicated")
+	m.SpanAck.encode(&b, "span.enqueue_to_ack")
+	m.SpanDelivery.encode(&b, "span.enqueue_to_delivery")
+	m.SpanCommit.encode(&b, "span.commit")
+	m.Rebalance.encode(&b, "coordinator.rebalance")
 	return []byte(b.String())
 }

@@ -194,6 +194,10 @@ type Result struct {
 	// GroupCommitted is the durable committed offset per partition at
 	// the end of the run (-1 = nothing committed).
 	GroupCommitted []int64
+	// GroupLag is the per-partition records between the durable
+	// committed offsets and the high watermarks at the end of the run
+	// (zero everywhere for a drained group).
+	GroupLag []int64
 	// Coordinator is the group coordinator's activity counters.
 	Coordinator *coordinator.Stats
 	// OffsetRegressions are committed watermarks the offsets log lost
@@ -369,6 +373,7 @@ func buildRig(sim *des.Simulator, e Experiment, cal Calibration) (*rig, error) {
 		}
 		co, err := coordinator.New(sim, clst, coordinator.Config{
 			OffsetsReplication: e.OffsetsReplication,
+			Obs:                o,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("testbed: %w", err)
@@ -380,6 +385,7 @@ func buildRig(sim *des.Simulator, e Experiment, cal Calibration) (*rig, error) {
 			Dedup:           e.Features.Semantics == features.SemanticsExactlyOnce,
 			CaptureEvidence: e.CaptureEvidence,
 			IdleGiveUp:      time.Second,
+			Obs:             o,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("testbed: %w", err)
@@ -462,6 +468,9 @@ func buildRig(sim *des.Simulator, e Experiment, cal Calibration) (*rig, error) {
 		}
 		e.Timeline.SetProbes(path.Probe, transProbe, prod.Probe,
 			func() obs.BrokerProbe { return clst.Probe(topic) })
+		if r.group != nil {
+			e.Timeline.SetGroupProbe(r.group.Probe)
+		}
 		// Row 0 anchors the series at t=0; the ticker adds one row per
 		// interval and stops itself once the producer finishes, so the
 		// event queue can drain (collect takes the final sample).
@@ -595,6 +604,13 @@ func (r *rig) collect(sim *des.Simulator, e Experiment) (Result, error) {
 			}
 		}
 		res.GroupCommitted = committed
+		// Authoritative lag when the cluster can answer; the group's own
+		// durable view when a partition ended the run leaderless.
+		if lags, err := r.group.LagByPartition(); err == nil {
+			res.GroupLag = lags
+		} else {
+			res.GroupLag = r.group.Probe().LagByPartition
+		}
 		st := r.co.Stats()
 		res.Coordinator = &st
 		res.OffsetRegressions = r.co.Regressions()

@@ -147,10 +147,15 @@ func decodeRecord(b []byte) (Record, []byte, error) {
 // RecordBatch is an ordered group of records protected by a CRC32-C
 // checksum, as in Kafka's record-batch format. BaseSequence supports the
 // idempotent-producer extension: brokers de-duplicate batches by
-// (ProducerID, BaseSequence).
+// (ProducerID, BaseSequence), but only when the batch's Idempotent flag
+// is set. ProducerID itself is stamped on every batch — idempotent or
+// not — so per-producer sequence streams stay distinguishable when
+// several producers share a partition (the broker's duplicate-append
+// observation relies on that).
 type RecordBatch struct {
 	ProducerID   uint64
 	BaseSequence uint64
+	Idempotent   bool
 	Records      []Record
 }
 
@@ -158,7 +163,7 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // EncodedSize returns the wire size of the batch in bytes.
 func (b RecordBatch) EncodedSize() int {
-	n := 8 + 8 + 4 + 4 // producer id, base seq, count, crc
+	n := 8 + 8 + 1 + 4 + 4 // producer id, base seq, flags, count, crc
 	for _, r := range b.Records {
 		n += r.EncodedSize()
 	}
@@ -171,6 +176,11 @@ func (b RecordBatch) EncodedSize() int {
 func (b RecordBatch) Encode(dst []byte) []byte {
 	dst = binary.BigEndian.AppendUint64(dst, b.ProducerID)
 	dst = binary.BigEndian.AppendUint64(dst, b.BaseSequence)
+	var flags byte
+	if b.Idempotent {
+		flags |= 1
+	}
+	dst = append(dst, flags)
 	dst = binary.BigEndian.AppendUint32(dst, uint32(len(b.Records)))
 	crcAt := len(dst)
 	dst = append(dst, 0, 0, 0, 0) // CRC placeholder, patched below
@@ -219,15 +229,16 @@ func DecodeRecordBatch(b []byte) (RecordBatch, []byte, error) {
 // recordBatch is DecodeRecordBatch decoding records into the decoder's
 // reused scratch slice (see Decoder in messages.go).
 func (d *Decoder) recordBatch(b []byte) (RecordBatch, []byte, error) {
-	if len(b) < 24 {
+	if len(b) < 25 {
 		return RecordBatch{}, nil, fmt.Errorf("batch header: %w", ErrShortBuffer)
 	}
 	var batch RecordBatch
 	batch.ProducerID = binary.BigEndian.Uint64(b)
 	batch.BaseSequence = binary.BigEndian.Uint64(b[8:])
-	count := int(binary.BigEndian.Uint32(b[16:]))
-	crc := binary.BigEndian.Uint32(b[20:])
-	b = b[24:]
+	batch.Idempotent = b[16]&1 != 0
+	count := int(binary.BigEndian.Uint32(b[17:]))
+	crc := binary.BigEndian.Uint32(b[21:])
+	b = b[25:]
 	start := b
 	recs := d.recordScratch(count)
 	for i := 0; i < count; i++ {

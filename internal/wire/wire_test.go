@@ -14,6 +14,7 @@ func sampleBatch() RecordBatch {
 	return RecordBatch{
 		ProducerID:   7,
 		BaseSequence: 100,
+		Idempotent:   true,
 		Records: []Record{
 			{Key: 1, Timestamp: time.Second, Payload: []byte("hello")},
 			{Key: 2, Timestamp: 2 * time.Second, Payload: bytes.Repeat([]byte{0xAB}, 200)},
@@ -35,7 +36,7 @@ func TestRecordBatchRoundTrip(t *testing.T) {
 	if len(rest) != 0 {
 		t.Errorf("rest = %d bytes", len(rest))
 	}
-	if got.ProducerID != b.ProducerID || got.BaseSequence != b.BaseSequence {
+	if got.ProducerID != b.ProducerID || got.BaseSequence != b.BaseSequence || got.Idempotent != b.Idempotent {
 		t.Errorf("header mismatch: %+v", got)
 	}
 	if len(got.Records) != len(b.Records) {
@@ -51,8 +52,8 @@ func TestRecordBatchRoundTrip(t *testing.T) {
 
 func TestRecordBatchCRCDetectsCorruption(t *testing.T) {
 	enc := sampleBatch().Encode(nil)
-	// Flip a payload bit (after the 24-byte header).
-	enc[30] ^= 0x01
+	// Flip a payload bit (after the 25-byte header).
+	enc[31] ^= 0x01
 	if _, _, err := DecodeRecordBatch(enc); !errors.Is(err, ErrBadCRC) {
 		t.Errorf("err = %v, want ErrBadCRC", err)
 	}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"kafkarel"
+	"kafkarel/internal/obs"
 )
 
 func obsBenchExperiment(seed uint64) kafkarel.Experiment {
@@ -184,5 +185,74 @@ func TestObsOverheadBudget(t *testing.T) {
 	// 10x the default density it must stay inside the same 2% bar.
 	if timeline > budget {
 		t.Errorf("timeline overhead too high: %v > budget %v (disabled %v)", timeline, budget, base)
+	}
+}
+
+// spanPathObserve plays one delivered record through the full span set
+// of the delivery path — wire send, broker append, replication,
+// producer ack, consumer delivery, durable commit — exactly the
+// histogram writes the instrumented components issue per record.
+func spanPathObserve(lat int64, spans *[6]*obs.Histogram) {
+	for _, h := range spans {
+		h.Observe(lat)
+	}
+}
+
+func spanPathHists(o *obs.Obs) [6]*obs.Histogram {
+	return [6]*obs.Histogram{
+		o.Histogram(obs.MSpanSend, obs.LatencyBounds),
+		o.Histogram(obs.MSpanAppend, obs.LatencyBounds),
+		o.Histogram(obs.MSpanReplicated, obs.LatencyBounds),
+		o.Histogram(obs.MSpanAck, obs.LatencyBounds),
+		o.Histogram(obs.MSpanDelivery, obs.LatencyBounds),
+		o.Histogram(obs.MSpanCommit, obs.LatencyBounds),
+	}
+}
+
+// BenchmarkSpanPath measures the per-record latency-span cost with the
+// registry attached: six bounded-bucket histogram observes (bucket walk
+// + atomic add + max CAS), zero allocations.
+func BenchmarkSpanPath(b *testing.B) {
+	o := &obs.Obs{Registry: obs.NewRegistry()}
+	spans := spanPathHists(o)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spanPathObserve(int64(i%int(time.Minute)), &spans)
+	}
+}
+
+// BenchmarkSpanPathDisabled is the nil-handle form: each observe must
+// reduce to a nil check.
+func BenchmarkSpanPathDisabled(b *testing.B) {
+	var o *obs.Obs
+	spans := spanPathHists(o)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spanPathObserve(int64(i%int(time.Minute)), &spans)
+	}
+}
+
+// TestSpanPathZeroAllocs enforces the span hot-path allocation budget
+// directly (the bench gate cannot flag a regression from a zero
+// baseline): observing a record's spans allocates nothing, enabled or
+// disabled.
+func TestSpanPathZeroAllocs(t *testing.T) {
+	o := &obs.Obs{Registry: obs.NewRegistry()}
+	enabled := spanPathHists(o)
+	disabled := spanPathHists(nil)
+	var lat int64
+	if n := testing.AllocsPerRun(1000, func() {
+		lat += 17
+		spanPathObserve(lat, &enabled)
+	}); n != 0 {
+		t.Errorf("enabled span path allocates %.1f per record", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		lat += 17
+		spanPathObserve(lat, &disabled)
+	}); n != 0 {
+		t.Errorf("disabled span path allocates %.1f per record", n)
 	}
 }
