@@ -50,7 +50,9 @@ bench-scaling:
 ## per op than fig7 and proportionally noisier at -benchtime 3x, so its
 ## ns gate is wider; its allocs gate is as deterministic as fig7's.
 ## CommitPath locks in the coordinator's pooled durable-commit path
-## (4 allocs/op steady state); its per-op wall time is ~1us and noisy,
+## (4 allocs/op steady state) and, via the same substring,
+## TxnCommitPath — the full transactional begin/produce/send-offset/
+## two-phase-commit cycle; its per-op wall time is ~1us and noisy,
 ## so the ns gate is wide while the allocs gate stays tight. SpanPath
 ## locks in the per-record latency-span observation (~60ns, 0 allocs);
 ## a zero-alloc baseline cannot gate allocations, so
@@ -82,10 +84,14 @@ repro:
 ## trials per mode, exactly-once and at-least-once) with a two-member
 ## consumer group committing through the coordinator on every trial,
 ## verified against the producer, broker, and end-to-end delivery
-## invariants. Exits non-zero on any violation; the JSON scorecard
-## lands in chaos-scorecard.json (CI archives it).
+## invariants, plus a 60-trial transactional campaign (consume-process-
+## produce pipeline at read_committed, zombie/crash/unclean faults,
+## VerifyTxn exactly-once invariants). Exits non-zero on any violation;
+## the JSON scorecards land in chaos-scorecard.json and
+## chaos-txn-scorecard.json (CI archives both).
 chaos-smoke:
 	$(GO) run ./cmd/chaos -trials 60 -seed 20260806 -e2e -out chaos-scorecard.json
+	$(GO) run ./cmd/chaos -txn -trials 60 -seed 20260806 -out chaos-txn-scorecard.json
 
 ## shim-gate: issue 7 retired the consumer group's local committed-
 ## offsets map in favour of the coordinator's durable offsets log; this

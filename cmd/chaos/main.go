@@ -9,6 +9,8 @@
 //	chaos -trials 100 -seed 42 -out scorecard.json
 //	chaos -mode at-least-once -trials 50
 //	chaos -trials 60 -e2e                # consumer group + end-to-end checker per trial
+//	chaos -trials 60 -txn                # transactional pipeline + exactly-once checker per trial
+//	chaos -txn -isolation read_uncommitted   # aborted residue classified, not flagged
 //	chaos -mode exactly-once -plan-seed 123 -workload-seed 456   # replay one trial
 package main
 
@@ -26,7 +28,7 @@ import (
 
 func main() {
 	var (
-		modes        = flag.String("mode", "exactly-once,at-least-once", "comma-separated campaign modes (exactly-once, at-least-once)")
+		modes        = flag.String("mode", "exactly-once,at-least-once", "comma-separated campaign modes (exactly-once, at-least-once, txn)")
 		trials       = flag.Int("trials", 50, "trials per campaign")
 		seed         = flag.Uint64("seed", 1, "campaign seed")
 		messages     = flag.Int("messages", 300, "messages per trial")
@@ -34,6 +36,8 @@ func main() {
 		horizon      = flag.Duration("horizon", 2*time.Second, "fault-injection window (sim time)")
 		flushEvery   = flag.Duration("flush-interval", 50*time.Millisecond, "broker fsync cadence")
 		e2e          = flag.Bool("e2e", false, "run a consumer group through each trial and verify end-to-end delivery (group members crash too)")
+		txn          = flag.Bool("txn", false, "run the transactional pipeline campaign only (shorthand for -mode txn)")
+		isolation    = flag.String("isolation", "", "txn-mode consumer isolation: read_committed (default) or read_uncommitted")
 		members      = flag.Int("consumers", 2, "consumer-group size per trial under -e2e")
 		workers      = flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS)")
 		out          = flag.String("out", "", "write scorecard JSON to this file (default stdout)")
@@ -51,10 +55,14 @@ func main() {
 		Horizon:       *horizon,
 		FlushInterval: *flushEvery,
 		E2E:           *e2e,
+		Isolation:     *isolation,
 		Workers:       *workers,
 	}
 	if *e2e {
 		cfg.ConsumerMembers = *members
+	}
+	if *txn {
+		*modes = campaign.ModeTxn
 	}
 
 	if *planSeed != 0 || *workloadSeed != 0 {

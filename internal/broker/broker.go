@@ -61,6 +61,7 @@ type partitionKey struct {
 // The fields are all values (fixed array), so the struct copies taken
 // by flush snapshots stay deep.
 type producerState struct {
+	epoch        uint32
 	lastSequence uint64
 	lastOffset   int64
 	seen         bool
@@ -114,6 +115,9 @@ type BatchMeta struct {
 // when a recovering replica adopts the leader's state during catch-up
 // (Kafka rebuilds producer state from the replicated log).
 type SeqState struct {
+	// Epoch is the producer epoch the sequence state belongs to; a
+	// higher epoch starts a fresh sequence space.
+	Epoch        uint32
 	LastSequence uint64
 	LastOffset   int64
 	// Recent is the remembered-batch ring, oldest first; without it a
@@ -133,6 +137,12 @@ type part struct {
 	// not re-append a batch that survived the crash.
 	flushedProd map[uint64]producerState
 	lastFlush   time.Duration // interval boundary of the last flush
+	// txn is the live transaction view (ongoing/aborted ranges, control
+	// offsets, producer epochs); flushedTxn is its snapshot as of the
+	// last flush, restored together with flushedProd on unclean crashes
+	// so the transaction view never describes truncated offsets.
+	txn        *txnState
+	flushedTxn *txnState
 }
 
 // Stats counts broker activity.
@@ -252,6 +262,7 @@ func (b *Broker) CrashUnclean() {
 			lost += uint64(tail)
 		}
 		p.prod = restoreStates(p.flushedProd)
+		p.txn = p.flushedTxn.clone()
 	}
 	b.stats.RecordsTruncated += lost
 	b.cTruncated.Add(lost)
@@ -279,6 +290,8 @@ func (b *Broker) CreatePartition(topic string, partition int32) {
 			log:         storage.NewLog(b.cfg.SegmentRecords),
 			prod:        make(map[uint64]*producerState),
 			flushedProd: make(map[uint64]producerState),
+			txn:         newTxnState(),
+			flushedTxn:  newTxnState(),
 		}
 	}
 }
@@ -304,6 +317,7 @@ func (b *Broker) ProducerStateSnapshot(topic string, partition int32) map[uint64
 	for id, st := range p.prod {
 		if st.seen {
 			out[id] = SeqState{
+				Epoch:        st.epoch,
 				LastSequence: st.lastSequence,
 				LastOffset:   st.lastOffset,
 				Recent:       st.batches(),
@@ -324,7 +338,7 @@ func (b *Broker) RestoreProducerState(topic string, partition int32, st map[uint
 	}
 	p.prod = make(map[uint64]*producerState, len(st))
 	for id, s := range st {
-		ps := &producerState{lastSequence: s.LastSequence, lastOffset: s.LastOffset, seen: true}
+		ps := &producerState{epoch: s.Epoch, lastSequence: s.LastSequence, lastOffset: s.LastOffset, seen: true}
 		for _, bm := range s.Recent {
 			ps.remember(bm.Sequence, bm.Offset)
 		}
@@ -353,6 +367,7 @@ func (b *Broker) flushPart(p *part, bd time.Duration) {
 	for id, st := range p.prod {
 		p.flushedProd[id] = *st
 	}
+	p.flushedTxn = p.txn.clone()
 	p.lastFlush = bd
 }
 
@@ -403,11 +418,39 @@ func (b *Broker) Append(topic string, partition int32, batch wire.RecordBatch, i
 	// Flush schedule first: a crossed boundary persists the pre-append
 	// state, never the batch being appended now.
 	b.maybeFlush(p)
+	if batch.Transactional || batch.Control {
+		// Zombie fencing: a batch from a superseded producer epoch is
+		// rejected outright, before any dedupe or append — the fenced
+		// producer must never place another record in the log.
+		if p.txn.fence(batch.ProducerID, batch.ProducerEpoch) {
+			return 0, false, wire.ErrProducerFenced
+		}
+	}
+	if batch.Control {
+		// Transaction marker: append the control record and close the
+		// producer's ongoing range. Markers bypass idempotent dedupe —
+		// the coordinator may re-drive them, and applyMarker makes the
+		// replay a no-op on the transaction view.
+		base := p.log.Append(batch.Records)
+		commit := len(batch.Records) > 0 && batch.Records[0].Key == wire.ControlKeyCommit
+		p.txn.applyMarker(batch.ProducerID, base, commit)
+		b.stats.RecordsAppended += uint64(len(batch.Records))
+		b.cAppends.Add(uint64(len(batch.Records)))
+		b.trace.Emit(obs.LayerBroker, obs.EvAppend, batch.BaseSequence, base, int64(b.id), topic)
+		return base, false, wire.ErrNone
+	}
 	if idempotent {
 		st := p.prod[batch.ProducerID]
 		if st == nil {
 			st = &producerState{}
 			p.prod[batch.ProducerID] = st
+		}
+		if batch.ProducerEpoch > st.epoch {
+			// A bumped epoch starts a fresh sequence space (Kafka resets
+			// producer sequence tracking on epoch bump): the previous
+			// incarnation's ring must not dedupe the new incarnation's
+			// batches, whose sequences restart from the beginning.
+			*st = producerState{epoch: batch.ProducerEpoch}
 		}
 		if offset, ok := st.lookup(batch.BaseSequence); ok {
 			// Retry of an already-persisted batch: report the original
@@ -420,12 +463,18 @@ func (b *Broker) Append(topic string, partition int32, batch wire.RecordBatch, i
 		}
 		base := p.log.Append(batch.Records)
 		st.remember(batch.BaseSequence, base)
+		if batch.Transactional {
+			p.txn.extend(batch.ProducerID, base, len(batch.Records))
+		}
 		b.stats.RecordsAppended += uint64(len(batch.Records))
 		b.cAppends.Add(uint64(len(batch.Records)))
 		b.trace.Emit(obs.LayerBroker, obs.EvAppend, batch.BaseSequence, base, int64(b.id), topic)
 		return base, false, wire.ErrNone
 	}
 	base := p.log.Append(batch.Records)
+	if batch.Transactional {
+		p.txn.extend(batch.ProducerID, base, len(batch.Records))
+	}
 	b.stats.RecordsAppended += uint64(len(batch.Records))
 	b.cAppends.Add(uint64(len(batch.Records)))
 	// Track the per-producer sequence high-water even without idempotence
@@ -542,6 +591,14 @@ func (b *Broker) HandleProduce(req wire.ProduceRequest, idempotent bool, done fu
 // HandleFetch services a fetch request immediately (fetch cost is
 // dominated by the network in the experiments).
 //
+// Isolation semantics: read_committed fetches are bounded by the last
+// stable offset and never see records from aborted transactions;
+// control markers are hidden at both levels. The returned records are
+// always contiguous starting exactly at req.Offset — a fetch positioned
+// on a filtered record returns no data and instead advances NextOffset
+// past the whole filtered run, so readers keep per-record offsets as
+// req.Offset+i and resume from NextOffset.
+//
 // The response's Records slice is scratch owned by the broker, reused by
 // the next HandleFetch: consume or copy it inside done. The record
 // payloads alias the partition log and stay valid for the life of the
@@ -555,6 +612,7 @@ func (b *Broker) HandleFetch(req wire.FetchRequest, done func(wire.FetchResponse
 		CorrelationID: req.CorrelationID,
 		Topic:         req.Topic,
 		Partition:     req.Partition,
+		NextOffset:    req.Offset,
 	}
 	p, ok := b.parts[partitionKey{req.Topic, req.Partition}]
 	if !ok {
@@ -563,10 +621,40 @@ func (b *Broker) HandleFetch(req wire.FetchRequest, done func(wire.FetchResponse
 		return
 	}
 	log := p.log
+	ts := p.txn
 	resp.HighWatermark = log.End()
-	entries, err := log.ReadInto(req.Offset, int(req.MaxRecords), b.fetchEntries[:0])
-	if err != nil {
+	lso := ts.lso(log.End())
+	resp.LastStable = lso
+	if req.Offset < 0 || req.Offset > log.End() {
 		resp.Err = wire.ErrRequestTimedOut // offset out of range maps to a generic retriable error here
+		done(resp)
+		return
+	}
+	limit := log.End()
+	if req.Isolation == wire.ReadCommitted && lso < limit {
+		limit = lso
+	}
+	pos := req.Offset
+	for pos < limit && ts.filtered(pos, req.Isolation) {
+		pos++
+	}
+	if pos > req.Offset {
+		// Filtered run at the fetch position: no data, just a new start.
+		resp.NextOffset = pos
+		done(resp)
+		return
+	}
+	max := int(req.MaxRecords)
+	if avail := int(limit - pos); max > avail {
+		max = avail
+	}
+	if max <= 0 {
+		done(resp)
+		return
+	}
+	entries, err := log.ReadInto(pos, max, b.fetchEntries[:0])
+	if err != nil {
+		resp.Err = wire.ErrRequestTimedOut
 		done(resp)
 		return
 	}
@@ -575,9 +663,17 @@ func (b *Broker) HandleFetch(req wire.FetchRequest, done func(wire.FetchResponse
 	}
 	recs := b.fetchRecords[:0]
 	for _, e := range entries {
+		if ts.filtered(e.Offset, req.Isolation) {
+			break
+		}
 		recs = append(recs, e.Record)
 	}
 	b.fetchRecords = recs
 	resp.Records = recs
+	next := pos + int64(len(recs))
+	for next < limit && ts.filtered(next, req.Isolation) {
+		next++
+	}
+	resp.NextOffset = next
 	done(resp)
 }

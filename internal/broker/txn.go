@@ -1,0 +1,209 @@
+// Broker-side transaction bookkeeping. Each partition tracks, per
+// producer id, the open transactional offset range plus the history of
+// aborted ranges and control-marker offsets, exactly the state Kafka
+// brokers rebuild from batch headers when they materialise the aborted-
+// transaction index. The state is maintained inside Append, so follower
+// replicas — which receive the same batches through replication —
+// converge on the same view as the leader.
+package broker
+
+import (
+	"sort"
+
+	"kafkarel/internal/wire"
+)
+
+// TxnRange is a half-open offset interval [First, Next) holding one
+// producer's transactional records.
+type TxnRange struct {
+	First, Next int64
+}
+
+// txnState is one partition's live transaction view.
+type txnState struct {
+	// ongoing maps producer id -> the open (undecided) transaction's
+	// offset range. Its minimum First is the partition's LSO.
+	ongoing map[uint64]TxnRange
+	// aborted holds decided-aborted data ranges, sorted by First. Records
+	// inside them are invisible at read_committed.
+	aborted []TxnRange
+	// control holds the offsets of control-marker records, ascending.
+	// Markers are filtered at both isolation levels.
+	control []int64
+	// epoch is the highest producer epoch seen per producer id; batches
+	// carrying a lower epoch are zombies and are fenced.
+	epoch map[uint64]uint32
+}
+
+func newTxnState() *txnState {
+	return &txnState{ongoing: make(map[uint64]TxnRange), epoch: make(map[uint64]uint32)}
+}
+
+// fence checks a transactional batch's epoch against the highest seen
+// for its producer id, recording a new high. It reports whether the
+// batch is a fenced zombie.
+func (ts *txnState) fence(pid uint64, epoch uint32) bool {
+	if prev, ok := ts.epoch[pid]; ok && epoch < prev {
+		return true
+	}
+	ts.epoch[pid] = epoch
+	return false
+}
+
+// extend opens or extends the producer's ongoing range with a data batch
+// appended at [base, base+n).
+func (ts *txnState) extend(pid uint64, base int64, n int) {
+	if rng, ok := ts.ongoing[pid]; ok {
+		rng.Next = base + int64(n)
+		ts.ongoing[pid] = rng
+		return
+	}
+	ts.ongoing[pid] = TxnRange{First: base, Next: base + int64(n)}
+}
+
+// applyMarker records a control marker appended at offset and closes the
+// producer's ongoing range: commit makes it plainly visible, abort moves
+// it to the aborted history. A marker with no ongoing range (a
+// coordinator re-drive after a partial marker write) only records the
+// control offset — re-driving markers is idempotent by construction.
+func (ts *txnState) applyMarker(pid uint64, offset int64, commit bool) {
+	ts.control = append(ts.control, offset)
+	rng, ok := ts.ongoing[pid]
+	if !ok {
+		return
+	}
+	delete(ts.ongoing, pid)
+	if commit {
+		return
+	}
+	i := sort.Search(len(ts.aborted), func(i int) bool { return ts.aborted[i].First >= rng.First })
+	ts.aborted = append(ts.aborted, TxnRange{})
+	copy(ts.aborted[i+1:], ts.aborted[i:])
+	ts.aborted[i] = rng
+}
+
+// lso returns the last stable offset: everything below it is decided.
+func (ts *txnState) lso(logEnd int64) int64 {
+	lso := logEnd
+	for _, rng := range ts.ongoing {
+		if rng.First < lso {
+			lso = rng.First
+		}
+	}
+	return lso
+}
+
+// isControl reports whether offset holds a control marker.
+func (ts *txnState) isControl(offset int64) bool {
+	i := sort.Search(len(ts.control), func(i int) bool { return ts.control[i] >= offset })
+	return i < len(ts.control) && ts.control[i] == offset
+}
+
+// isAborted reports whether offset lies inside a decided-aborted range.
+func (ts *txnState) isAborted(offset int64) bool {
+	i := sort.Search(len(ts.aborted), func(i int) bool { return ts.aborted[i].Next > offset })
+	return i < len(ts.aborted) && ts.aborted[i].First <= offset
+}
+
+// filtered reports whether the record at offset must be hidden from a
+// fetch at the given isolation level. Control markers are protocol
+// internals and are hidden from everyone; aborted data is hidden only
+// from read_committed readers.
+func (ts *txnState) filtered(offset int64, iso wire.IsolationLevel) bool {
+	if ts.isControl(offset) {
+		return true
+	}
+	return iso == wire.ReadCommitted && ts.isAborted(offset)
+}
+
+// clone deep-copies the state for flush snapshots.
+func (ts *txnState) clone() *txnState {
+	cp := &txnState{
+		ongoing: make(map[uint64]TxnRange, len(ts.ongoing)),
+		epoch:   make(map[uint64]uint32, len(ts.epoch)),
+	}
+	for pid, rng := range ts.ongoing {
+		cp.ongoing[pid] = rng
+	}
+	for pid, e := range ts.epoch {
+		cp.epoch[pid] = e
+	}
+	cp.aborted = append([]TxnRange(nil), ts.aborted...)
+	cp.control = append([]int64(nil), ts.control...)
+	return cp
+}
+
+// TxnSnapshot is the exported transaction state of one partition, used
+// when a recovering replica adopts the leader's view during catch-up
+// (the raw-record copy loses the batch headers the state derives from).
+type TxnSnapshot struct {
+	Ongoing map[uint64]TxnRange
+	Aborted []TxnRange
+	Control []int64
+	Epoch   map[uint64]uint32
+}
+
+// TxnStateSnapshot exports the partition's live transaction state (zero
+// value if the partition is absent).
+func (b *Broker) TxnStateSnapshot(topic string, partition int32) TxnSnapshot {
+	p := b.parts[partitionKey{topic, partition}]
+	if p == nil || p.txn == nil {
+		return TxnSnapshot{}
+	}
+	cp := p.txn.clone()
+	return TxnSnapshot{Ongoing: cp.ongoing, Aborted: cp.aborted, Control: cp.control, Epoch: cp.epoch}
+}
+
+// RestoreTxnState replaces the partition's transaction state with a
+// leader snapshot at the end of a catch-up, clipped to the local log end
+// (the snapshot and log copy are taken together, so clipping is a
+// safety net, not an expected path).
+func (b *Broker) RestoreTxnState(topic string, partition int32, snap TxnSnapshot) {
+	p := b.parts[partitionKey{topic, partition}]
+	if p == nil {
+		return
+	}
+	ts := newTxnState()
+	end := p.log.End()
+	for pid, rng := range snap.Ongoing {
+		if rng.First < end {
+			if rng.Next > end {
+				rng.Next = end
+			}
+			ts.ongoing[pid] = rng
+		}
+	}
+	for _, rng := range snap.Aborted {
+		if rng.First < end {
+			if rng.Next > end {
+				rng.Next = end
+			}
+			ts.aborted = append(ts.aborted, rng)
+		}
+	}
+	sort.Slice(ts.aborted, func(i, j int) bool { return ts.aborted[i].First < ts.aborted[j].First })
+	for _, off := range snap.Control {
+		if off < end {
+			ts.control = append(ts.control, off)
+		}
+	}
+	sort.Slice(ts.control, func(i, j int) bool { return ts.control[i] < ts.control[j] })
+	for pid, e := range snap.Epoch {
+		ts.epoch[pid] = e
+	}
+	p.txn = ts
+	p.flushedTxn = ts.clone()
+}
+
+// LastStable returns the partition's last stable offset, for tests and
+// the cluster's recovery bookkeeping.
+func (b *Broker) LastStable(topic string, partition int32) int64 {
+	p := b.parts[partitionKey{topic, partition}]
+	if p == nil {
+		return 0
+	}
+	if p.txn == nil {
+		return p.log.End()
+	}
+	return p.txn.lso(p.log.End())
+}

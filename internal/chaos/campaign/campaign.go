@@ -22,6 +22,7 @@ import (
 	"kafkarel/internal/obs"
 	"kafkarel/internal/producer"
 	"kafkarel/internal/testbed"
+	"kafkarel/internal/wire"
 )
 
 // Modes. ModeExactlyOnce runs the idempotent producer with acks=all on
@@ -29,9 +30,15 @@ import (
 // ModeAtLeastOnce runs acks=1 on a replication-factor-1 topic with
 // unclean restarts: acked-data loss is the *expected* Kafka behaviour
 // there, and the checker classifies it rather than flagging it.
+// ModeTxn runs the transactional consume-process-produce pipeline
+// (replication factor 3) under processor crashes, zombie incarnations
+// and broker outages, verified by the transactional invariant checker
+// (chaos.VerifyTxn): zombie fencing, commit atomicity, exactly-once
+// delivery at read_committed.
 const (
 	ModeExactlyOnce = "exactly-once"
 	ModeAtLeastOnce = "at-least-once"
+	ModeTxn         = "txn"
 )
 
 // Config parameterises one campaign.
@@ -67,6 +74,11 @@ type Config struct {
 	E2E bool
 	// ConsumerMembers is the group size under E2E (default 2).
 	ConsumerMembers int
+	// Isolation selects the ModeTxn consumer isolation: "" or
+	// "read_committed" (default, every residue is checked), or
+	// "read_uncommitted" (aborted residue in the consumer view is
+	// classified as configuration-expected, not flagged).
+	Isolation string
 	// Workers bounds the parallel trial pool (<= 0: GOMAXPROCS).
 	Workers int
 	// Progress, when non-nil, receives (done, total) after each trial.
@@ -77,8 +89,13 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Mode == "" {
 		c.Mode = ModeExactlyOnce
 	}
-	if c.Mode != ModeExactlyOnce && c.Mode != ModeAtLeastOnce {
+	if c.Mode != ModeExactlyOnce && c.Mode != ModeAtLeastOnce && c.Mode != ModeTxn {
 		return c, fmt.Errorf("campaign: unknown mode %q", c.Mode)
+	}
+	switch c.Isolation {
+	case "", "read_committed", "read_uncommitted":
+	default:
+		return c, fmt.Errorf("campaign: unknown isolation %q", c.Isolation)
 	}
 	if c.Trials <= 0 {
 		c.Trials = 50
@@ -123,15 +140,23 @@ type Row struct {
 	Truncated    uint64   `json:"records_truncated"`
 	Unclean      uint64   `json:"unclean_restarts"`
 	// E2E-mode fields: what the consumer group saw during the trial.
-	Consumed          int64    `json:"consumed,omitempty"`
-	Redelivered       uint64   `json:"redelivered,omitempty"`
-	Rebalances        uint64   `json:"rebalances,omitempty"`
-	Expirations       uint64   `json:"expirations,omitempty"`
-	OffsetRegressions int      `json:"offset_regressions,omitempty"`
-	Drained           bool     `json:"drained,omitempty"`
-	Classified        []string `json:"classified,omitempty"`
-	Violations        []string `json:"violations,omitempty"`
-	Pass              bool     `json:"pass"`
+	Consumed          int64  `json:"consumed,omitempty"`
+	Redelivered       uint64 `json:"redelivered,omitempty"`
+	Rebalances        uint64 `json:"rebalances,omitempty"`
+	Expirations       uint64 `json:"expirations,omitempty"`
+	OffsetRegressions int    `json:"offset_regressions,omitempty"`
+	Drained           bool   `json:"drained,omitempty"`
+	// Txn-mode fields: transactional attempt and coordinator activity.
+	Isolation      string   `json:"isolation,omitempty"`
+	TxnAttempts    int      `json:"txn_attempts,omitempty"`
+	TxnsCommitted  uint64   `json:"txns_committed,omitempty"`
+	TxnsAborted    uint64   `json:"txns_aborted,omitempty"`
+	TimeoutAborts  uint64   `json:"timeout_aborts,omitempty"`
+	FencedAttempts int      `json:"fenced_attempts,omitempty"`
+	Incarnations   []int    `json:"incarnations,omitempty"`
+	Classified     []string `json:"classified,omitempty"`
+	Violations     []string `json:"violations,omitempty"`
+	Pass           bool     `json:"pass"`
 }
 
 // Scorecard is a campaign's full result.
@@ -212,6 +237,9 @@ func runTrial(ctx context.Context, cfg Config, planSeed, workloadSeed uint64) (R
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return Row{}, err
+	}
+	if cfg.Mode == ModeTxn {
+		return runTxnTrial(ctx, cfg, planSeed, workloadSeed)
 	}
 	sem := producer.ExactlyOnce
 	semCode := features.SemanticsExactlyOnce
@@ -330,6 +358,86 @@ func runTrial(ctx context.Context, cfg Config, planSeed, workloadSeed uint64) (R
 		row.Expirations = res.Coordinator.SessionExpirations
 		row.OffsetRegressions = len(res.OffsetRegressions)
 		row.Drained = res.GroupEvidence.Drained
+	}
+	return row, nil
+}
+
+// runTxnTrial is one ModeTxn trial: a transactional pipeline under a
+// generated plan of broker outages, slowdowns, processor crashes and
+// zombie incarnations, checked by chaos.VerifyTxn.
+func runTxnTrial(ctx context.Context, cfg Config, planSeed, workloadSeed uint64) (Row, error) {
+	iso := wire.ReadCommitted
+	if cfg.Isolation == "read_uncommitted" {
+		iso = wire.ReadUncommitted
+	}
+	plan := chaos.GenerateTxnPlan(planSeed, chaos.TxnGenConfig{
+		Brokers:    3,
+		Processors: 2,
+		Horizon:    cfg.Horizon,
+		MaxFaults:  cfg.MaxFaults,
+		Unclean:    true,
+	})
+	e := testbed.TxnExperiment{
+		Seed:                workloadSeed,
+		Messages:            cfg.Messages,
+		Partitions:          2,
+		BatchSize:           5,
+		AbortEvery:          4,
+		ReplicationFactor:   3,
+		BrokerFlushInterval: cfg.FlushInterval,
+		Isolation:           iso,
+		TxnTimeout:          250 * time.Millisecond,
+		MaxSimTime:          cfg.Horizon + 10*time.Second,
+		FaultPlan:           plan,
+	}
+	res, err := testbed.RunTxnCtx(ctx, e)
+	if err != nil {
+		return Row{}, fmt.Errorf("campaign: txn trial (plan %d, workload %d): %w", planSeed, workloadSeed, err)
+	}
+	verdict := chaos.VerifyTxn(chaos.TxnInput{
+		Isolation:         iso,
+		Plan:              plan,
+		Attempts:          res.Attempts,
+		InputKeys:         res.InputKeys,
+		CommittedOffsets:  res.CommittedOffsets,
+		OutputCommitted:   res.OutputCommitted,
+		OutputUncommitted: res.OutputUncommitted,
+		Completed:         res.Completed,
+	})
+	row := Row{
+		Mode:          cfg.Mode,
+		PlanSeed:      planSeed,
+		WorkloadSeed:  workloadSeed,
+		Completed:     res.Completed,
+		Acquired:      uint64(cfg.Messages),
+		Isolation:     cfg.Isolation,
+		TxnAttempts:   len(res.Attempts),
+		TxnsCommitted: res.TxnStats.TxnsCommitted,
+		TxnsAborted:   res.TxnStats.TxnsAborted,
+		TimeoutAborts: res.TxnStats.TimeoutAborts,
+		Incarnations:  res.Incarnations,
+		Classified:    verdict.Classified,
+		Violations:    verdict.Violations,
+		Pass:          verdict.OK(),
+	}
+	if row.Isolation == "" {
+		row.Isolation = "read_committed"
+	}
+	for _, a := range res.Attempts {
+		if a.Outcome == chaos.TxnFenced {
+			row.FencedAttempts++
+		}
+	}
+	for p := range res.OutputCommitted {
+		row.Delivered += uint64(len(res.OutputCommitted[p]))
+		row.Consumed += int64(len(res.OutputCommitted[p]))
+	}
+	for _, f := range plan.Faults {
+		row.Faults = append(row.Faults, f.String())
+	}
+	for _, st := range res.BrokerStats {
+		row.Truncated += st.RecordsTruncated
+		row.Unclean += st.UncleanCrashes
 	}
 	return row, nil
 }

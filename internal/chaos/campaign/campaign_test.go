@@ -246,3 +246,103 @@ func assertAllKindsCovered(t *testing.T, sc Scorecard) {
 		}
 	}
 }
+
+// TestTxnCampaignHoldsExactlyOnceInvariants pins the chaos-smoke txn
+// row: 60 trials of the transactional consume-process-produce pipeline
+// under broker crashes, unclean restarts, processor crashes and zombie
+// races must complete with zero VerifyTxn violations and nothing
+// flagged at read_committed — and the faults must actually bite
+// (fenced zombie commits and incarnation churn observed).
+func TestTxnCampaignHoldsExactlyOnceInvariants(t *testing.T) {
+	sc, err := Run(context.Background(), Config{
+		Mode: ModeTxn, Trials: 60, Seed: 20260806,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Failed != 0 || sc.Flagged != 0 {
+		for _, r := range sc.Rows {
+			if !r.Pass || len(r.Classified) > 0 {
+				t.Errorf("trial (plan %d, workload %d): violations %v, classified %v (faults %v)",
+					r.PlanSeed, r.WorkloadSeed, r.Violations, r.Classified, r.Faults)
+			}
+		}
+		t.Fatalf("txn campaign: %d violated, %d flagged of %d trials", sc.Failed, sc.Flagged, sc.Trials)
+	}
+	fenced, committed, zombies := 0, uint64(0), 0
+	for _, r := range sc.Rows {
+		if !r.Completed {
+			t.Errorf("trial (plan %d): pipeline did not complete", r.PlanSeed)
+		}
+		if r.Isolation != "read_committed" {
+			t.Errorf("trial (plan %d): isolation %q, want read_committed", r.PlanSeed, r.Isolation)
+		}
+		fenced += r.FencedAttempts
+		committed += r.TxnsCommitted
+		for _, f := range r.Faults {
+			if strings.HasPrefix(f, "processor-zombie ") {
+				zombies++
+			}
+		}
+	}
+	if zombies == 0 {
+		t.Error("no generated plan raced a zombie incarnation across 60 trials")
+	}
+	if fenced == 0 {
+		t.Error("no attempt was ever fenced; zombie fencing never exercised")
+	}
+	if committed == 0 {
+		t.Error("no transaction committed across the campaign")
+	}
+}
+
+// TestTxnCampaignDeterministicAcrossWorkers extends the byte-identity
+// guarantee to the transactional mode.
+func TestTxnCampaignDeterministicAcrossWorkers(t *testing.T) {
+	var ref []byte
+	for _, workers := range []int{1, 4, 8} {
+		sc, err := Run(context.Background(), small(ModeTxn, workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var buf bytes.Buffer
+		if err := sc.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = buf.Bytes()
+		} else if !bytes.Equal(ref, buf.Bytes()) {
+			t.Errorf("txn scorecard at workers=%d differs from workers=1", workers)
+		}
+	}
+}
+
+// TestTxnCampaignReadUncommittedClassifiesResidue flips the consumer
+// isolation: aborted transactions' records become visible, and every
+// sighting must be classified as configuration-expected — never a
+// violation.
+func TestTxnCampaignReadUncommittedClassifiesResidue(t *testing.T) {
+	sc, err := Run(context.Background(), Config{
+		Mode: ModeTxn, Trials: 12, Seed: 20260806, Isolation: "read_uncommitted",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Failed != 0 {
+		t.Fatalf("%d of %d read_uncommitted trials violated invariants", sc.Failed, sc.Trials)
+	}
+	residue := 0
+	for _, r := range sc.Rows {
+		if r.Isolation != "read_uncommitted" {
+			t.Errorf("trial (plan %d): isolation %q", r.PlanSeed, r.Isolation)
+		}
+		for _, note := range r.Classified {
+			if strings.Contains(note, "configuration-expected") {
+				residue++
+			}
+		}
+	}
+	if residue == 0 {
+		t.Error("no trial classified aborted residue; the deliberate-abort knob never produced any")
+	}
+}

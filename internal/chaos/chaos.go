@@ -61,18 +61,33 @@ const (
 	// when the session expires. A positive Duration restarts it — with a
 	// fresh member identity — at the window's end; zero leaves it down.
 	ConsumerCrash
+	// ProcessorCrash kills a transactional processor (by index)
+	// mid-transaction: its in-flight operations stop, its open
+	// transaction is left dangling for the coordinator to abort. A
+	// positive Duration restarts it — a fresh incarnation that
+	// re-initialises its transactional.id, fencing the dead one — at the
+	// window's end; zero leaves it down.
+	ProcessorCrash
+	// ProcessorZombie starts a duplicate incarnation of a transactional
+	// processor while the old one keeps running — the
+	// duplicate-transactional.id race. The new incarnation's
+	// InitProducerId bumps the epoch; every later write or commit by the
+	// zombie must be fenced.
+	ProcessorZombie
 )
 
 var kindNames = map[Kind]string{
-	BrokerCrash:    "broker-crash",
-	BrokerRecover:  "broker-recover",
-	UncleanRestart: "unclean-restart",
-	Partition:      "partition",
-	LossBurst:      "loss-burst",
-	DelaySpike:     "delay-spike",
-	ConnReset:      "conn-reset",
-	BrokerSlow:     "broker-slow",
-	ConsumerCrash:  "consumer-crash",
+	BrokerCrash:     "broker-crash",
+	BrokerRecover:   "broker-recover",
+	UncleanRestart:  "unclean-restart",
+	Partition:       "partition",
+	LossBurst:       "loss-burst",
+	DelaySpike:      "delay-spike",
+	ConnReset:       "conn-reset",
+	BrokerSlow:      "broker-slow",
+	ConsumerCrash:   "consumer-crash",
+	ProcessorCrash:  "processor-crash",
+	ProcessorZombie: "processor-zombie",
 }
 
 // String implements fmt.Stringer.
@@ -129,7 +144,9 @@ type Fault struct {
 	DelayMs float64
 	// Slowdown is BrokerSlow's service-time multiplier, > 1.
 	Slowdown float64
-	// Member targets ConsumerCrash at a group member by join-order index.
+	// Member targets ConsumerCrash at a group member by join-order index,
+	// and ProcessorCrash/ProcessorZombie at a transactional processor by
+	// partition index.
 	Member int32
 }
 
@@ -139,7 +156,7 @@ func (f Fault) windowed() bool {
 	switch f.Kind {
 	case Partition, LossBurst, DelaySpike, BrokerSlow:
 		return true
-	case BrokerCrash, UncleanRestart, ConsumerCrash:
+	case BrokerCrash, UncleanRestart, ConsumerCrash, ProcessorCrash:
 		return f.Duration > 0
 	default:
 		return false
@@ -179,6 +196,13 @@ func (f Fault) String() string {
 			return fmt.Sprintf("%s c%d @%v+%v", f.Kind, f.Member, f.At, f.Duration)
 		}
 		return fmt.Sprintf("%s c%d @%v", f.Kind, f.Member, f.At)
+	case ProcessorCrash:
+		if f.Duration > 0 {
+			return fmt.Sprintf("%s t%d @%v+%v", f.Kind, f.Member, f.At, f.Duration)
+		}
+		return fmt.Sprintf("%s t%d @%v", f.Kind, f.Member, f.At)
+	case ProcessorZombie:
+		return fmt.Sprintf("%s t%d @%v", f.Kind, f.Member, f.At)
 	default:
 		return fmt.Sprintf("%s @%v", f.Kind, f.At)
 	}
@@ -221,6 +245,12 @@ func (p Plan) HasBrokerFaults() bool {
 // member.
 func (p Plan) HasConsumerFaults() bool {
 	return p.Count(ConsumerCrash) > 0
+}
+
+// HasProcessorFaults reports whether the plan crashes or duplicates any
+// transactional processor.
+func (p Plan) HasProcessorFaults() bool {
+	return p.Count(ProcessorCrash) > 0 || p.Count(ProcessorZombie) > 0
 }
 
 // Summary renders the plan as a compact one-line fault list.
@@ -270,7 +300,7 @@ func (p Plan) Validate(brokers int) error {
 			if f.Duration <= 0 {
 				return fmt.Errorf("chaos: fault %d (%s): window faults need a positive duration", i, f.Kind)
 			}
-		case BrokerCrash, UncleanRestart, BrokerRecover, ConnReset, ConsumerCrash:
+		case BrokerCrash, UncleanRestart, BrokerRecover, ConnReset, ConsumerCrash, ProcessorCrash, ProcessorZombie:
 			if f.Duration < 0 {
 				return fmt.Errorf("chaos: fault %d (%s): negative duration", i, f.Kind)
 			}
@@ -281,6 +311,10 @@ func (p Plan) Validate(brokers int) error {
 		case ConsumerCrash:
 			if f.Member < 0 {
 				return fmt.Errorf("chaos: fault %d: negative consumer member %d", i, f.Member)
+			}
+		case ProcessorCrash, ProcessorZombie:
+			if f.Member < 0 {
+				return fmt.Errorf("chaos: fault %d: negative processor index %d", i, f.Member)
 			}
 		case LossBurst:
 			if f.LossRate <= 0 || f.LossRate >= 1 {
@@ -348,6 +382,7 @@ func (p Plan) Validate(brokers int) error {
 	}
 	seq := map[int32][]ev{}
 	cseq := map[int32][]ev{}
+	pseq := map[int32][]ev{}
 	for i, f := range p.Faults {
 		switch f.Kind {
 		case BrokerCrash, UncleanRestart:
@@ -361,6 +396,11 @@ func (p Plan) Validate(brokers int) error {
 			cseq[f.Member] = append(cseq[f.Member], ev{f.At, true, i})
 			if f.Duration > 0 {
 				cseq[f.Member] = append(cseq[f.Member], ev{f.end(), false, i})
+			}
+		case ProcessorCrash:
+			pseq[f.Member] = append(pseq[f.Member], ev{f.At, true, i})
+			if f.Duration > 0 {
+				pseq[f.Member] = append(pseq[f.Member], ev{f.end(), false, i})
 			}
 		}
 	}
@@ -389,7 +429,30 @@ func (p Plan) Validate(brokers int) error {
 			return err
 		}
 	}
+	for id, evs := range pseq {
+		if err := replay(evs, "processor", id); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// ProcessorSet is the chaos-facing control surface of a transactional
+// processor fleet (the testbed's consume-process-produce pipeline):
+// crash an incarnation abruptly, restart a crashed one, or start a
+// duplicate incarnation while the old one keeps running.
+type ProcessorSet interface {
+	// Processors returns the fleet size.
+	Processors() int
+	// CrashProcessor kills processor i's current incarnation: its
+	// in-flight operations stop and its open transaction dangles.
+	CrashProcessor(i int) error
+	// RestartProcessor starts a fresh incarnation of a crashed processor;
+	// its InitProducerId fences the dead one's epoch.
+	RestartProcessor(i int) error
+	// ZombieProcessor starts a fresh incarnation while the old one keeps
+	// running — the duplicate-transactional.id race.
+	ZombieProcessor(i int) error
 }
 
 // Targets wires a plan into a running simulation: the subsystems each
@@ -405,6 +468,7 @@ type Targets struct {
 	Path     *netem.Path
 	Conn     *transport.Conn
 	Group    *consumer.Group
+	Procs    ProcessorSet
 	Timeline *obs.Timeline
 	Seed     uint64
 	OnError  func(error)
@@ -467,6 +531,10 @@ func Schedule(plan Plan, t Targets) error {
 		case ConsumerCrash:
 			if t.Group == nil {
 				return fmt.Errorf("chaos: fault %d (%s): no consumer-group target", i, f.Kind)
+			}
+		case ProcessorCrash, ProcessorZombie:
+			if t.Procs == nil {
+				return fmt.Errorf("chaos: fault %d (%s): no processor target", i, f.Kind)
 			}
 		}
 		switch f.Kind {
@@ -537,6 +605,31 @@ func Schedule(plan Plan, t Targets) error {
 					t.Timeline.Annotate(obs.AnnFault, fmt.Sprintf("%s c%d restart", f.Kind, f.Member))
 				})
 			}
+		case ProcessorCrash:
+			t.Sim.Schedule(f.At, func() {
+				if err := t.Procs.CrashProcessor(int(f.Member)); err != nil {
+					t.fail(err)
+					return
+				}
+				t.Timeline.Annotate(obs.AnnFault, f.String())
+			})
+			if f.Duration > 0 {
+				t.Sim.Schedule(f.end(), func() {
+					if err := t.Procs.RestartProcessor(int(f.Member)); err != nil {
+						t.fail(err)
+						return
+					}
+					t.Timeline.Annotate(obs.AnnFault, fmt.Sprintf("%s t%d restart", f.Kind, f.Member))
+				})
+			}
+		case ProcessorZombie:
+			t.Sim.Schedule(f.At, func() {
+				if err := t.Procs.ZombieProcessor(int(f.Member)); err != nil {
+					t.fail(err)
+					return
+				}
+				t.Timeline.Annotate(obs.AnnFault, f.String())
+			})
 		}
 	}
 	return nil

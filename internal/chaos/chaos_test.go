@@ -231,3 +231,47 @@ func TestScheduleRejectsMissingTargets(t *testing.T) {
 		t.Error("Schedule accepted a net fault with no path target")
 	}
 }
+
+func TestGenerateTxnPlanDeterministicAndValid(t *testing.T) {
+	cfg := TxnGenConfig{Brokers: 3, Processors: 2, Horizon: 2 * time.Second, Unclean: true}
+	for seed := uint64(0); seed < 200; seed++ {
+		a := GenerateTxnPlan(seed, cfg)
+		b := GenerateTxnPlan(seed, cfg)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: generation not deterministic", seed)
+		}
+		if err := a.Validate(3); err != nil {
+			t.Fatalf("seed %d: generated invalid plan: %v\n%s", seed, err, a.Summary())
+		}
+		if end := a.End(); end >= cfg.Horizon {
+			t.Fatalf("seed %d: plan extends to %v past horizon %v", seed, end, cfg.Horizon)
+		}
+		for _, f := range a.Faults {
+			switch f.Kind {
+			case BrokerCrash, BrokerSlow, UncleanRestart, ProcessorCrash, ProcessorZombie:
+			default:
+				t.Fatalf("seed %d: txn plan sampled excluded kind %v", seed, f.Kind)
+			}
+			if f.Kind == ProcessorCrash || f.Kind == ProcessorZombie {
+				if f.Member < 0 || int(f.Member) >= cfg.Processors {
+					t.Fatalf("seed %d: processor fault targets %d outside fleet of %d", seed, f.Member, cfg.Processors)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateTxnPlanCoversAllKinds(t *testing.T) {
+	cfg := TxnGenConfig{Unclean: true}
+	got := map[Kind]int{}
+	for seed := uint64(0); seed < 300; seed++ {
+		for _, f := range GenerateTxnPlan(seed, cfg).Faults {
+			got[f.Kind]++
+		}
+	}
+	for _, k := range []Kind{BrokerCrash, BrokerSlow, UncleanRestart, ProcessorCrash, ProcessorZombie} {
+		if got[k] == 0 {
+			t.Errorf("300 seeds never produced a %v fault", k)
+		}
+	}
+}

@@ -142,3 +142,105 @@ func GeneratePlan(seed uint64, cfg GenConfig) Plan {
 	}
 	return plan
 }
+
+// TxnGenConfig bounds the transactional campaign generator. Plans mix
+// broker outages (clean and unclean), broker slowdowns, processor
+// crashes mid-transaction, and duplicate-incarnation zombie races —
+// the fault surface of the exactly-once pipeline. Network kinds are
+// excluded: the transactional testbed drives the cluster directly.
+type TxnGenConfig struct {
+	// Brokers is the cluster size faults may target (default 3).
+	Brokers int
+	// Processors is the transactional-processor fleet size (default 2).
+	Processors int
+	// Horizon is the window faults complete within (default 2 s).
+	Horizon time.Duration
+	// MaxFaults caps the faults per plan (default 5, minimum 1).
+	MaxFaults int
+	// Unclean permits unclean broker restarts.
+	Unclean bool
+}
+
+func (c TxnGenConfig) withDefaults() TxnGenConfig {
+	if c.Brokers <= 0 {
+		c.Brokers = 3
+	}
+	if c.Processors <= 0 {
+		c.Processors = 2
+	}
+	if c.Horizon <= 0 {
+		c.Horizon = 2 * time.Second
+	}
+	if c.MaxFaults <= 0 {
+		c.MaxFaults = 5
+	}
+	return c
+}
+
+// GenerateTxnPlan samples a fault plan for a transactional trial. Like
+// GeneratePlan it is pure in (seed, config), lays each resource class
+// out sequentially so plans always validate, keeps broker outages
+// strictly sequential (acknowledged transactional data must survive on
+// a live replica), and recovers every broker and processor before the
+// horizon.
+func GenerateTxnPlan(seed uint64, cfg TxnGenConfig) Plan {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewPCG(seed, 0x7F4A7C159E3779B9))
+
+	kinds := []Kind{BrokerCrash, BrokerSlow, ProcessorCrash, ProcessorZombie}
+	if cfg.Unclean {
+		kinds = append(kinds, UncleanRestart)
+	}
+
+	dur := func(lo, hi time.Duration) time.Duration {
+		return lo + time.Duration(rng.Int64N(int64(hi-lo)+1))
+	}
+	cursors := map[string]time.Duration{}
+	place := func(class string, want time.Duration) (time.Duration, bool) {
+		start := cursors[class] + dur(10*time.Millisecond, 150*time.Millisecond)
+		if start+want >= cfg.Horizon {
+			return 0, false
+		}
+		cursors[class] = start + want
+		return start, true
+	}
+
+	n := 1 + rng.IntN(cfg.MaxFaults)
+	var plan Plan
+	for i := 0; i < n; i++ {
+		k := kinds[rng.IntN(len(kinds))]
+		var f Fault
+		switch k {
+		case BrokerCrash, UncleanRestart:
+			d := dur(100*time.Millisecond, 500*time.Millisecond)
+			at, ok := place("broker", d)
+			if !ok {
+				continue
+			}
+			f = Fault{Kind: k, At: at, Duration: d, Broker: int32(rng.IntN(cfg.Brokers))}
+		case BrokerSlow:
+			d := dur(50*time.Millisecond, 400*time.Millisecond)
+			at, ok := place("slow", d)
+			if !ok {
+				continue
+			}
+			f = Fault{Kind: k, At: at, Duration: d, Broker: int32(rng.IntN(cfg.Brokers)),
+				Slowdown: 2 + 8*rng.Float64()}
+		case ProcessorCrash:
+			d := dur(50*time.Millisecond, 300*time.Millisecond)
+			at, ok := place("proc", d)
+			if !ok {
+				continue
+			}
+			f = Fault{Kind: k, At: at, Duration: d, Member: int32(rng.IntN(cfg.Processors))}
+		case ProcessorZombie:
+			at, ok := place("proc", 0)
+			if !ok {
+				continue
+			}
+			f = Fault{Kind: k, At: at, Member: int32(rng.IntN(cfg.Processors))}
+		}
+		plan.Faults = append(plan.Faults, f)
+	}
+	return plan
+}

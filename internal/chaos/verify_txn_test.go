@@ -1,0 +1,178 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+
+	"kafkarel/internal/wire"
+)
+
+// cleanTxn is a two-attempt, one-partition run with nothing wrong:
+// attempt 0 committed [0,3), attempt 1 committed [3,5).
+func cleanTxn() TxnInput {
+	return TxnInput{
+		Isolation: wire.ReadCommitted,
+		Attempts: []TxnAttempt{
+			{Processor: "txn-0", Partition: 0, InputStart: 0, InputEnd: 3,
+				OutputKeys: []uint64{1, 2, 3}, Outcome: TxnCommitted, CommitIssued: true},
+			{Processor: "txn-0", Partition: 0, InputStart: 3, InputEnd: 5,
+				OutputKeys: []uint64{4, 5}, Outcome: TxnCommitted, CommitIssued: true},
+		},
+		InputKeys:         [][]uint64{{1, 2, 3, 4, 5}},
+		CommittedOffsets:  []int64{5},
+		OutputCommitted:   [][]uint64{{1, 2, 3, 4, 5}},
+		OutputUncommitted: [][]uint64{{1, 2, 3, 4, 5}},
+		Completed:         true,
+	}
+}
+
+func wantViolation(t *testing.T, v Verdict, substr string) {
+	t.Helper()
+	for _, s := range v.Violations {
+		if strings.Contains(s, substr) {
+			return
+		}
+	}
+	t.Fatalf("no violation containing %q in %q", substr, v.Violations)
+}
+
+func wantNote(t *testing.T, v Verdict, substr string) {
+	t.Helper()
+	for _, s := range v.Classified {
+		if strings.Contains(s, substr) {
+			return
+		}
+	}
+	t.Fatalf("no classified note containing %q in %q", substr, v.Classified)
+}
+
+func TestVerifyTxnCleanRunPasses(t *testing.T) {
+	v := VerifyTxn(cleanTxn())
+	if !v.OK() || len(v.Classified) != 0 {
+		t.Fatalf("clean run: violations %q, notes %q", v.Violations, v.Classified)
+	}
+}
+
+func TestVerifyTxnPhantomCommit(t *testing.T) {
+	in := cleanTxn()
+	// Key 9 is committed-visible but no attempt ever issued a commit for it.
+	in.OutputCommitted[0] = append(in.OutputCommitted[0], 9)
+	in.OutputUncommitted[0] = append(in.OutputUncommitted[0], 9)
+	wantViolation(t, VerifyTxn(in), "never issued a commit")
+}
+
+func TestVerifyTxnZombieCommitNotFenced(t *testing.T) {
+	in := cleanTxn()
+	// Attempt 1's commit raced a newer incarnation's InitProducerId and
+	// still reported Committed: fencing failed.
+	in.Attempts[1].SupersededAtCommit = true
+	wantViolation(t, VerifyTxn(in), "zombie commit not fenced")
+}
+
+func TestVerifyTxnConfirmedCommitWithoutDurableOffset(t *testing.T) {
+	in := cleanTxn()
+	// The group offset lags a client-confirmed commit: offsets and output
+	// were supposed to move atomically.
+	in.CommittedOffsets[0] = 3
+	// Keep the committed view consistent with the (broken) offset so only
+	// the atomicity check fires... except keys 4,5 are now early too.
+	v := VerifyTxn(in)
+	wantViolation(t, v, "durable offset is 3")
+}
+
+func TestVerifyTxnOffsetMatchesNoAttemptBoundary(t *testing.T) {
+	in := cleanTxn()
+	// A durable offset that is not any attempt's InputEnd means the
+	// offset moved without a matching transaction.
+	in.CommittedOffsets[0] = 4
+	wantViolation(t, VerifyTxn(in), "matches no commit-issued attempt boundary")
+}
+
+func TestVerifyTxnOverlappingConfirmedCommits(t *testing.T) {
+	in := cleanTxn()
+	// Both attempts claim to have committed overlapping input ranges:
+	// the same input was processed twice.
+	in.Attempts[1].InputStart = 2
+	// Overlap duplicates key 3's output in the committed view.
+	in.Attempts[1].OutputKeys = []uint64{3, 4, 5}
+	in.OutputCommitted[0] = []uint64{1, 2, 3, 3, 4, 5}
+	in.OutputUncommitted[0] = in.OutputCommitted[0]
+	v := VerifyTxn(in)
+	wantViolation(t, v, "confirmed commits overlap")
+	wantViolation(t, v, "committed more than once")
+}
+
+func TestVerifyTxnCommittedOutputLost(t *testing.T) {
+	in := cleanTxn()
+	// Key 2 sits below the durable offset but is missing at
+	// read_committed: committed output was lost.
+	in.OutputCommitted[0] = []uint64{1, 3, 4, 5}
+	wantViolation(t, VerifyTxn(in), "committed output lost")
+}
+
+func TestVerifyTxnEarlyVisibility(t *testing.T) {
+	in := cleanTxn()
+	// Attempt 1 never confirmed and the offset stayed at 3, yet its keys
+	// are committed-visible. Completed run: violation.
+	in.Attempts[1].Outcome = TxnInFlight
+	in.CommittedOffsets[0] = 3
+	v := VerifyTxn(in)
+	wantViolation(t, v, "beyond the durable offset")
+
+	// The same evidence on a run cut off at the horizon is an in-flight
+	// resolution, classified rather than flagged.
+	in.Completed = false
+	in.Plan = Plan{Faults: []Fault{{Kind: BrokerCrash}}}
+	v = VerifyTxn(in)
+	if !v.OK() {
+		t.Fatalf("cut-off run flagged: %q", v.Violations)
+	}
+	wantNote(t, v, "resolution in flight")
+}
+
+func TestVerifyTxnResidueClassifiedOnlyAtReadUncommitted(t *testing.T) {
+	in := cleanTxn()
+	// An aborted attempt's keys linger in the uncommitted view.
+	in.Attempts = append(in.Attempts, TxnAttempt{
+		Processor: "txn-0", Partition: 0, InputStart: 5, InputEnd: 5,
+		OutputKeys: []uint64{6}, Outcome: TxnAborted, Deliberate: true,
+	})
+	in.OutputUncommitted[0] = append(in.OutputUncommitted[0], 6)
+
+	// At read_committed the consumer can never see the residue, so there
+	// is nothing to classify.
+	v := VerifyTxn(in)
+	if !v.OK() || len(v.Classified) != 0 {
+		t.Fatalf("read_committed residue run: violations %q, notes %q", v.Violations, v.Classified)
+	}
+
+	// At read_uncommitted the residue is configuration-expected.
+	in.Isolation = wire.ReadUncommitted
+	v = VerifyTxn(in)
+	if !v.OK() {
+		t.Fatalf("read_uncommitted residue flagged: %q", v.Violations)
+	}
+	wantNote(t, v, "configuration-expected")
+}
+
+func TestVerifyTxnIncompleteRun(t *testing.T) {
+	in := cleanTxn()
+	in.Completed = false
+
+	// No faults in the plan: an unfinished pipeline is a violation.
+	wantViolation(t, VerifyTxn(in), "no faults in plan")
+
+	// With processor faults it is expected, and only noted.
+	in.Plan = Plan{Faults: []Fault{{Kind: ProcessorCrash}}}
+	v := VerifyTxn(in)
+	if !v.OK() {
+		t.Fatalf("faulted incomplete run flagged: %q", v.Violations)
+	}
+	wantNote(t, v, "did not finish")
+}
+
+func TestVerifyTxnAttemptOutsideTopic(t *testing.T) {
+	in := cleanTxn()
+	in.Attempts[1].Partition = 7
+	wantViolation(t, VerifyTxn(in), "outside topic")
+}

@@ -67,7 +67,7 @@ type Cluster struct {
 	hSpanAppend     *obs.Histogram
 	hSpanReplicated *obs.Histogram
 	trace           *obs.Tracer
-	topoHook        func() // runs after every broker fail/crash/recover
+	topoHooks       []func() // run after every broker fail/crash/recover
 
 	freeProd []*prodJob // recycled produce-routing jobs
 	freeRepl []*replJob // recycled replication-delay jobs
@@ -191,16 +191,21 @@ func New(sim *des.Simulator, cfg Config) (*Cluster, error) {
 	return c, nil
 }
 
-// SetTopologyHook registers fn to run after every topology change —
+// AddTopologyHook registers fn to run after every topology change —
 // broker failure, unclean crash, or recovery, once leadership has been
 // re-elected and logs caught up. The group coordinator uses it to
-// re-materialize its offsets view from the (possibly truncated)
-// offsets log. Only one hook is supported; passing nil clears it.
-func (c *Cluster) SetTopologyHook(fn func()) { c.topoHook = fn }
+// re-materialize its offsets view from the (possibly truncated) offsets
+// log; the transaction coordinator uses it to re-materialize and
+// re-drive incomplete transactions. Hooks run in registration order.
+func (c *Cluster) AddTopologyHook(fn func()) {
+	if fn != nil {
+		c.topoHooks = append(c.topoHooks, fn)
+	}
+}
 
 func (c *Cluster) topologyChanged() {
-	if c.topoHook != nil {
-		c.topoHook()
+	for _, fn := range c.topoHooks {
+		fn()
 	}
 }
 
@@ -410,6 +415,11 @@ func (c *Cluster) RecoverBroker(id int32) error {
 			// state from the replicated log.
 			b.RestoreProducerState(topic, int32(p),
 				leader.ProducerStateSnapshot(topic, int32(p)))
+			// The raw-record copy above carries no batch headers, so the
+			// replica cannot rebuild transaction state from it; adopt the
+			// leader's view wholesale, like the producer state.
+			b.RestoreTxnState(topic, int32(p),
+				leader.TxnStateSnapshot(topic, int32(p)))
 		}
 	}
 	c.topologyChanged()

@@ -23,7 +23,13 @@ type Consumer struct {
 	topic     string
 	partition int32
 	fetchMax  int32
+	isolation wire.IsolationLevel
 }
+
+// SetIsolation selects the fetch isolation level (default
+// ReadUncommitted). At ReadCommitted the drain stops at the last stable
+// offset and skips records from aborted transactions.
+func (c *Consumer) SetIsolation(iso wire.IsolationLevel) { c.isolation = iso }
 
 // New creates a consumer for the topic partition.
 func New(c *cluster.Cluster, topic string, partition int32) (*Consumer, error) {
@@ -48,6 +54,7 @@ func (c *Consumer) ConsumeAll() ([]wire.Record, error) {
 			Partition:  c.partition,
 			Offset:     offset,
 			MaxRecords: c.fetchMax,
+			Isolation:  c.isolation,
 		}, func(r wire.FetchResponse) { resp = r; got = true })
 		if !got {
 			return nil, fmt.Errorf("consumer: no response (leaderless partition?)")
@@ -55,14 +62,15 @@ func (c *Consumer) ConsumeAll() ([]wire.Record, error) {
 		if resp.Err != wire.ErrNone {
 			return nil, fmt.Errorf("consumer: fetch at offset %d: %s", offset, resp.Err)
 		}
-		if len(resp.Records) == 0 {
-			if offset >= resp.HighWatermark {
+		out = append(out, resp.Records...)
+		if len(resp.Records) == 0 && resp.NextOffset <= offset {
+			if offset >= resp.HighWatermark ||
+				(c.isolation == wire.ReadCommitted && offset >= resp.LastStable) {
 				return out, nil
 			}
 			return nil, fmt.Errorf("consumer: empty fetch below high watermark %d at %d", resp.HighWatermark, offset)
 		}
-		out = append(out, resp.Records...)
-		offset += int64(len(resp.Records))
+		offset = resp.NextOffset
 	}
 }
 

@@ -104,6 +104,16 @@ type GroupConfig struct {
 	CommitTimeout time.Duration
 	// RetryBackoff spaces join/offset-fetch retries (default 10ms).
 	RetryBackoff time.Duration
+	// Isolation is the fetch isolation level. ReadCommitted bounds
+	// fetches at the last stable offset and never surfaces records from
+	// aborted transactions; the default ReadUncommitted sees everything
+	// but control markers.
+	Isolation wire.IsolationLevel
+	// StaticMembership gives each member a stable group.instance.id
+	// (derived from its client-side name), so a bounded restart reclaims
+	// its member id and assignment without triggering a rebalance
+	// (KIP-345).
+	StaticMembership bool
 	// Auto runs members as DES actors (see Group doc).
 	Auto bool
 	// Dedup suppresses redelivered offsets (at or below the delivered
@@ -420,12 +430,16 @@ func (m *Member) sendJoin() {
 	m.pendingAssign = nil
 	m.joinEpoch++
 	epoch := m.joinEpoch
-	g.co.HandleJoinGroup(wire.JoinGroupRequest{
+	req := wire.JoinGroupRequest{
 		Group:          g.cfg.ID,
 		MemberID:       m.id,
 		Topic:          g.cfg.Topic,
 		SessionTimeout: g.cfg.SessionTimeout,
-	}, func(resp wire.JoinGroupResponse) { m.onJoin(epoch, resp) })
+	}
+	if g.cfg.StaticMembership {
+		req.GroupInstanceID = g.cfg.ID + "/" + m.name
+	}
+	g.co.HandleJoinGroup(req, func(resp wire.JoinGroupResponse) { m.onJoin(epoch, resp) })
 }
 
 func (m *Member) onJoin(epoch uint64, resp wire.JoinGroupResponse) {
@@ -628,6 +642,7 @@ func (m *Member) pollOnce(max int, collect *[]wire.Record) {
 		g.clst.HandleFetch(wire.FetchRequest{
 			Topic: g.cfg.Topic, Partition: p,
 			Offset: pos, MaxRecords: int32(budget),
+			Isolation: g.cfg.Isolation,
 		}, func(r wire.FetchResponse) { fr = r; got = true })
 		if !got {
 			continue // leaderless: retry next round
@@ -679,7 +694,14 @@ func (m *Member) pollOnce(max int, collect *[]wire.Record) {
 				*collect = append(*collect, rec)
 			}
 		}
-		m.position[p] = pos + int64(len(fr.Records))
+		// Resume from the broker's NextOffset, which steps over filtered
+		// runs (control markers, aborted transactions) the records slice
+		// never contained; the dedup watermark follows, since a filtered
+		// offset can never be delivered at this isolation level.
+		m.position[p] = fr.NextOffset
+		if fr.NextOffset > g.deliveredNext[p] {
+			g.deliveredNext[p] = fr.NextOffset
+		}
 		budget -= len(fr.Records)
 	}
 }

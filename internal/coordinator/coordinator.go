@@ -99,6 +99,7 @@ type Stats struct {
 	FencedFetches      uint64 // fenced offset fetches rejected
 	OffsetsAppended    uint64 // records appended to the offsets log
 	OffsetRegressions  uint64 // committed offsets that moved backwards on re-materialization
+	StaticRejoins      uint64 // static-member rejoins served without a rebalance
 }
 
 // OffsetRegression records one committed offset that re-materialized
@@ -140,6 +141,7 @@ func (s groupState) String() string {
 // member is one group member's coordinator-side state.
 type member struct {
 	id             string
+	instanceID     string // static group.instance.id, "" for dynamic members
 	sessionTimeout time.Duration
 	timer          *des.Timer // session expiry
 	assigned       []int32    // current-generation assignment
@@ -151,13 +153,17 @@ type member struct {
 
 // group is one consumer group's state machine.
 type group struct {
-	co           *Coordinator
-	id           string
-	topic        string
-	partitions   int32
-	state        groupState
-	generation   int32
-	members      map[string]*member
+	co         *Coordinator
+	id         string
+	topic      string
+	partitions int32
+	state      groupState
+	generation int32
+	members    map[string]*member
+	// instances maps a static group.instance.id to the member id it
+	// currently owns, letting a bounded restart reclaim its identity and
+	// assignment without triggering a rebalance (KIP-345).
+	instances    map[string]string
 	nextMemberID int
 	rebalanceTmr *des.Timer
 	joinDeadline time.Duration // virtual-time cap for the pending rebalance
@@ -233,7 +239,7 @@ func (co *Coordinator) putCommit(j *commitJob) {
 
 // New builds a coordinator over the cluster, creating the internal
 // offsets topic, and registers itself for topology-change
-// re-materialization (cluster.SetTopologyHook).
+// re-materialization (cluster.AddTopologyHook).
 func New(sim *des.Simulator, clst *cluster.Cluster, cfg Config) (*Coordinator, error) {
 	if sim == nil {
 		return nil, fmt.Errorf("coordinator: nil simulator")
@@ -255,7 +261,7 @@ func New(sim *des.Simulator, clst *cluster.Cluster, cfg Config) (*Coordinator, e
 	if cfg.Obs != nil {
 		co.hRebalance = cfg.Obs.Histogram(obs.MRebalanceNs, obs.LatencyBounds)
 	}
-	clst.SetTopologyHook(co.Rematerialize)
+	clst.AddTopologyHook(co.Rematerialize)
 	return co, nil
 }
 
@@ -331,6 +337,7 @@ func (co *Coordinator) HandleJoinGroup(req wire.JoinGroupRequest, done func(wire
 			topic:      req.Topic,
 			partitions: int32(len(md.Partitions)),
 			members:    make(map[string]*member),
+			instances:  make(map[string]string),
 		}
 		co.groups[req.Group] = g
 	}
@@ -339,16 +346,26 @@ func (co *Coordinator) HandleJoinGroup(req wire.JoinGroupRequest, done func(wire
 		return
 	}
 	id := req.MemberID
+	if id == "" && req.GroupInstanceID != "" {
+		// A static member restarting with a fresh (empty) member id
+		// reclaims the id its instance already owns.
+		if prev, ok := g.instances[req.GroupInstanceID]; ok {
+			id = prev
+		}
+	}
 	if id == "" {
 		id = fmt.Sprintf("%s-%d", g.id, g.nextMemberID)
 		g.nextMemberID++
 	}
-	m, ok := g.members[id]
-	if !ok {
-		m = &member{id: id}
+	m, known := g.members[id]
+	if !known {
+		m = &member{id: id, instanceID: req.GroupInstanceID}
 		mm := m
 		m.timer = des.NewTimer(co.sim, func() { g.expireSession(mm) })
 		g.members[id] = m
+		if req.GroupInstanceID != "" {
+			g.instances[req.GroupInstanceID] = id
+		}
 		co.stats.Joins++
 	}
 	m.sessionTimeout = req.SessionTimeout
@@ -356,6 +373,31 @@ func (co *Coordinator) HandleJoinGroup(req wire.JoinGroupRequest, done func(wire
 		m.sessionTimeout = co.cfg.SessionTimeout
 	}
 	m.timer.Reset(m.sessionTimeout)
+	// Static-member fast path (KIP-345): a known instance rejoining a
+	// Stable group inside its session timeout keeps its member id and
+	// assignment, and the group skips the rebalance entirely — the whole
+	// point of static membership is that bounded restarts cost zero
+	// generation bumps.
+	if req.GroupInstanceID != "" && known && g.state == stateStable {
+		co.stats.StaticRejoins++
+		if done != nil {
+			ids := make([]string, 0, len(g.members))
+			for mid := range g.members {
+				ids = append(ids, mid)
+			}
+			sort.Strings(ids)
+			done(wire.JoinGroupResponse{
+				CorrelationID: req.CorrelationID,
+				Group:         g.id,
+				Generation:    g.generation,
+				MemberID:      m.id,
+				Leader:        ids[0],
+				Members:       ids,
+				Err:           wire.ErrNone,
+			})
+		}
+		return
+	}
 	// Park the join; it completes when the rebalance barrier opens. A
 	// second join from the same member supersedes the first.
 	if m.pendingJoin != nil {
@@ -479,15 +521,21 @@ func (co *Coordinator) HandleOffsetCommit(req wire.OffsetCommitRequest, done fun
 		fail(wire.ErrUnknownMemberID)
 		return
 	}
+	// Generation fencing runs before the member-existence check: a member
+	// evicted by session timeout whose in-flight commit arrives after the
+	// resulting rebalance must see ILLEGAL_GENERATION — the signal that
+	// its generation's partition ownership is gone and the offset must not
+	// land — not UNKNOWN_MEMBER_ID, which clients treat as "rejoin fresh
+	// and retry the commit".
+	if req.Generation != g.generation {
+		co.stats.FencedCommits++
+		fail(wire.ErrIllegalGeneration)
+		return
+	}
 	m, ok := g.members[req.MemberID]
 	if !ok {
 		co.stats.FencedCommits++
 		fail(wire.ErrUnknownMemberID)
-		return
-	}
-	if req.Generation != g.generation {
-		co.stats.FencedCommits++
-		fail(wire.ErrIllegalGeneration)
 		return
 	}
 	// Commits during PreparingRebalance are allowed for current-generation
@@ -537,6 +585,43 @@ func (j *commitJob) produceDone(resp wire.ProduceResponse) {
 	if done != nil {
 		done(out)
 	}
+}
+
+// CommitTxnOffset durably writes a transaction's decided offset commit
+// into the offsets log, bypassing the group's generation fencing: for
+// transactional commits the fencing authority is the producer epoch,
+// which the transaction coordinator has already checked by the time the
+// transaction reaches its commit phase (Kafka's TxnOffsetCommit path).
+// The materialized offset moves only when the log acknowledges, exactly
+// like a consumer commit.
+func (co *Coordinator) CommitTxnOffset(group, topic string, partition int32, offset int64, done func(wire.ErrorCode)) {
+	if !co.available() {
+		if done != nil {
+			done(wire.ErrCoordinatorNotAvailable)
+		}
+		return
+	}
+	gen := int32(-1)
+	if g, ok := co.groups[group]; ok {
+		gen = g.generation
+	}
+	j := co.getCommit()
+	j.key = offsetKey{group: group, topic: topic, partition: partition}
+	j.rec = commitRecord{Group: group, Topic: topic, Partition: partition, Offset: offset, Generation: gen}
+	if done != nil {
+		j.done = func(resp wire.OffsetCommitResponse) { done(resp.Err) }
+	}
+	payload := appendCommitRecord(make([]byte, 0, commitRecordSize(j.rec)), j.rec)
+	co.seq++
+	co.clst.HandleProduce(wire.ProduceRequest{
+		Topic: co.cfg.OffsetsTopic,
+		Acks:  co.cfg.OffsetsAcks,
+		Batch: wire.RecordBatch{BaseSequence: co.seq, Records: []wire.Record{{
+			Key:       compactionKey(group, topic, partition),
+			Timestamp: co.sim.Now(),
+			Payload:   payload,
+		}}},
+	}, j.fire)
 }
 
 // HandleOffsetFetch serves the committed offset for one partition from

@@ -174,6 +174,9 @@ func (g *group) expireSession(m *member) {
 func (g *group) removeMember(m *member) {
 	m.timer.Stop()
 	delete(g.members, m.id)
+	if m.instanceID != "" && g.instances[m.instanceID] == m.id {
+		delete(g.instances, m.instanceID)
+	}
 	if m.pendingJoin != nil {
 		done := m.pendingJoin
 		m.pendingJoin = nil

@@ -1,0 +1,142 @@
+package coordinator
+
+import (
+	"testing"
+	"time"
+
+	"kafkarel/internal/des"
+	"kafkarel/internal/wire"
+)
+
+// joinInst sends a JoinGroup carrying a static group.instance.id.
+func joinInst(co *Coordinator, group, member, instance string) *wire.JoinGroupResponse {
+	resp := &wire.JoinGroupResponse{Err: wire.ErrorCode(0xFFFF)}
+	co.HandleJoinGroup(wire.JoinGroupRequest{
+		Group: group, MemberID: member, GroupInstanceID: instance, Topic: "stream",
+	}, func(r wire.JoinGroupResponse) { *resp = r })
+	return resp
+}
+
+// TestStaticMembershipRestartNoRebalance is the KIP-345 contract: a
+// static member restarting inside its session timeout reclaims its
+// member id and assignment without a generation bump — a bounded
+// restart costs zero rebalances.
+func TestStaticMembershipRestartNoRebalance(t *testing.T) {
+	sim, _, co := rig(t, Config{SessionTimeout: time.Second})
+	r0 := joinInst(co, "g", "", "inst-0")
+	r1 := joinInst(co, "g", "", "inst-1")
+	sim.RunUntil(50 * time.Millisecond)
+	if r0.Err != wire.ErrNone || r1.Err != wire.ErrNone {
+		t.Fatalf("joins: %s / %s", r0.Err, r1.Err)
+	}
+	a1 := sync(t, co, "g", r0.MemberID, r0.Generation)
+	a2 := sync(t, co, "g", r1.MemberID, r1.Generation)
+	if len(a1)+len(a2) != 4 {
+		t.Fatalf("assignments %v + %v do not cover the topic", a1, a2)
+	}
+	rebalances := co.Stats().Rebalances
+
+	// inst-1's process restarts: fresh (empty) member id, same instance.
+	rejoin := joinInst(co, "g", "", "inst-1")
+	sim.RunUntil(100 * time.Millisecond)
+	if rejoin.Err != wire.ErrNone {
+		t.Fatalf("static rejoin: %s", rejoin.Err)
+	}
+	if rejoin.MemberID != r1.MemberID {
+		t.Fatalf("restart got member id %q, want the reclaimed %q", rejoin.MemberID, r1.MemberID)
+	}
+	if rejoin.Generation != r1.Generation {
+		t.Fatalf("restart bumped generation %d -> %d", r1.Generation, rejoin.Generation)
+	}
+	st := co.Stats()
+	if st.Rebalances != rebalances {
+		t.Fatalf("rebalances %d -> %d across a static restart, want unchanged", rebalances, st.Rebalances)
+	}
+	if st.StaticRejoins != 1 {
+		t.Fatalf("static rejoins = %d, want 1", st.StaticRejoins)
+	}
+	// The reclaimed identity is fully live: its commits pass fencing.
+	cr := commit(co, "g", rejoin.MemberID, rejoin.Generation, a2[0], 7)
+	sim.RunUntil(200 * time.Millisecond)
+	if cr.Err != wire.ErrNone {
+		t.Fatalf("commit after static rejoin: %s", cr.Err)
+	}
+}
+
+// TestDynamicRestartRebalances is the contrast case: the same restart
+// without an instance id is a brand-new member and forces a rebalance.
+func TestDynamicRestartRebalances(t *testing.T) {
+	sim, _, co := rig(t, Config{SessionTimeout: time.Second})
+	r0 := join(co, "g", "")
+	r1 := join(co, "g", "")
+	sim.RunUntil(50 * time.Millisecond)
+	sync(t, co, "g", r0.MemberID, r0.Generation)
+	sync(t, co, "g", r1.MemberID, r1.Generation)
+	rebalances := co.Stats().Rebalances
+
+	// A dynamic member's restart joins as a stranger; the incumbents must
+	// rejoin and the generation bumps.
+	restarted := join(co, "g", "")
+	rejoin0 := join(co, "g", r0.MemberID)
+	rejoin1 := join(co, "g", r1.MemberID)
+	sim.RunUntil(200 * time.Millisecond)
+	if restarted.Err != wire.ErrNone || rejoin0.Err != wire.ErrNone || rejoin1.Err != wire.ErrNone {
+		t.Fatalf("joins: %s / %s / %s", restarted.Err, rejoin0.Err, rejoin1.Err)
+	}
+	if restarted.Generation != r0.Generation+1 {
+		t.Fatalf("generation %d after dynamic restart, want %d", restarted.Generation, r0.Generation+1)
+	}
+	if got := co.Stats().Rebalances; got != rebalances+1 {
+		t.Fatalf("rebalances %d -> %d, want one more", rebalances, got)
+	}
+}
+
+// TestEvictionRaceCommitFencedWithIllegalGeneration pins the fencing
+// order when a session-timeout eviction races an in-flight commit: the
+// evicted member's commit, arriving after the eviction's rebalance
+// completed, must see ILLEGAL_GENERATION — the drop-the-offset signal —
+// and not UNKNOWN_MEMBER_ID, which clients treat as "rejoin and retry
+// the commit" and would re-land an offset the member no longer owns.
+func TestEvictionRaceCommitFencedWithIllegalGeneration(t *testing.T) {
+	sim, _, co := rig(t, Config{SessionTimeout: 100 * time.Millisecond})
+	r0 := join(co, "g", "")
+	r1 := join(co, "g", "")
+	sim.RunUntil(50 * time.Millisecond)
+	sync(t, co, "g", r0.MemberID, r0.Generation)
+	sync(t, co, "g", r1.MemberID, r1.Generation)
+
+	// Member 0 stays alive and rejoins when the eviction of member 1
+	// (which stops heartbeating) forces a rebalance.
+	var rejoined *wire.JoinGroupResponse
+	tick := des.NewTicker(sim, 30*time.Millisecond, func() {
+		co.HandleHeartbeat(wire.HeartbeatRequest{Group: "g", MemberID: r0.MemberID, Generation: co.Generation("g")},
+			func(resp wire.HeartbeatResponse) {
+				if resp.Err == wire.ErrRebalanceInProgress && rejoined == nil {
+					rejoined = join(co, "g", r0.MemberID)
+				}
+			})
+	})
+	sim.RunUntil(500 * time.Millisecond)
+	tick.Stop()
+	if co.Stats().SessionExpirations != 1 {
+		t.Fatalf("expirations = %d, want 1", co.Stats().SessionExpirations)
+	}
+	if rejoined == nil || rejoined.Err != wire.ErrNone {
+		t.Fatalf("survivor did not rejoin: %+v", rejoined)
+	}
+	if rejoined.Generation == r1.Generation {
+		t.Fatal("rebalance did not bump the generation")
+	}
+
+	// The evicted member's in-flight commit finally arrives, carrying the
+	// old generation. It is both stale-generation AND unknown-member; the
+	// generation check must win.
+	cr := commit(co, "g", r1.MemberID, r1.Generation, 0, 99)
+	if cr.Err != wire.ErrIllegalGeneration {
+		t.Fatalf("evicted member's commit = %s, want ILLEGAL_GENERATION", cr.Err)
+	}
+	// And the offset must not have landed.
+	if f := fetchOffset(co, "g", 0); f.Err != wire.ErrNoCommittedOffset {
+		t.Fatalf("fenced commit landed an offset: %+v", f)
+	}
+}

@@ -1,0 +1,712 @@
+package coordinator
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"kafkarel/internal/cluster"
+	"kafkarel/internal/des"
+	"kafkarel/internal/storage"
+	"kafkarel/internal/wire"
+)
+
+// TxnCoordinator is the broker-side transaction coordinator, modeled on
+// Kafka's: it binds transactional.ids to (producer id, epoch) pairs,
+// fences zombies by bumping the epoch, records every state transition
+// durably in a replicated __transaction_state log, and drives the
+// two-phase outcome — a commit or abort decision made durable first,
+// then control markers written into every partition the transaction
+// touched (plus the consumed offsets forwarded to the group coordinator
+// on commit), then a durable completion record.
+//
+// The marker and offset writes are re-drivable: every step is
+// idempotent at its destination (a replayed marker is a no-op on the
+// broker's transaction view, a replayed offset commit is last-write-
+// wins on the same key), so after a broker crash or a lost append the
+// coordinator simply re-issues whatever has not been acknowledged,
+// on a retry cadence and again after every topology change.
+
+// DefaultTxnTopic is the internal transaction-state topic name.
+const DefaultTxnTopic = "__transaction_state"
+
+// txnProducerIDBase offsets coordinator-assigned producer ids away from
+// the ids hand-configured on plain idempotent producers.
+const txnProducerIDBase = 1 << 32
+
+// TxnConfig tunes the transaction coordinator.
+type TxnConfig struct {
+	// TxnTopic names the internal transaction-state log (default
+	// DefaultTxnTopic).
+	TxnTopic string
+	// TxnReplication is the state topic's replication factor (default
+	// min(3, brokers), Kafka's transaction.state.log.replication.factor
+	// spirit).
+	TxnReplication int
+	// TxnAcks is the acks mode for state-log appends (default acks=all).
+	TxnAcks wire.RequiredAcks
+	// DefaultTxnTimeout bounds how long a transaction may stay open
+	// before the coordinator aborts it (default 100ms of virtual time);
+	// producers may request a shorter or longer bound per id.
+	DefaultTxnTimeout time.Duration
+	// RetryBackoff is the re-drive cadence for unacknowledged marker,
+	// offset, and state-log writes (default 10ms).
+	RetryBackoff time.Duration
+}
+
+func (c *TxnConfig) applyDefaults(brokers int) {
+	if c.TxnTopic == "" {
+		c.TxnTopic = DefaultTxnTopic
+	}
+	if c.TxnReplication <= 0 {
+		c.TxnReplication = 3
+		if brokers < 3 {
+			c.TxnReplication = brokers
+		}
+	}
+	if c.TxnAcks == wire.AcksNone {
+		c.TxnAcks = wire.AcksAll
+	}
+	if c.DefaultTxnTimeout <= 0 {
+		c.DefaultTxnTimeout = 100 * time.Millisecond
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 10 * time.Millisecond
+	}
+}
+
+// TxnStats counts transaction-coordinator activity.
+type TxnStats struct {
+	InitRequests     uint64 // InitProducerId requests served
+	EpochBumps       uint64 // epoch increments (every re-init and timeout)
+	TxnsCommitted    uint64 // transactions driven to a durable commit
+	TxnsAborted      uint64 // transactions driven to a durable abort
+	TimeoutAborts    uint64 // aborts initiated by the transaction timeout
+	FencedRequests   uint64 // requests rejected with ErrProducerFenced
+	MarkersWritten   uint64 // control markers acknowledged by partitions
+	OffsetsForwarded uint64 // transactional offsets acknowledged by the group coordinator
+	Redrives         uint64 // re-drive passes over in-doubt transactions
+	StateAppends     uint64 // transaction-state log records acknowledged
+}
+
+// Transaction states, in both memory and the state log.
+const (
+	txnEmpty         int8 = iota // identity assigned, no open transaction
+	txnOngoing                   // data or offsets registered, undecided
+	txnPrepareCommit             // commit decided durably; markers in flight
+	txnPrepareAbort              // abort decided durably; markers in flight
+)
+
+// txn is one transactional.id's coordinator-side state.
+type txn struct {
+	tc    *TxnCoordinator
+	tid   string
+	pid   uint64
+	epoch uint32
+	state int8
+
+	partitions []wire.TxnPartition
+	group      string
+	offsets    []wire.TxnOffset
+
+	timeout      time.Duration
+	timeoutTimer *des.Timer // fires a timeout abort while Ongoing
+	retryTimer   *des.Timer // re-drives unacknowledged writes
+
+	// Resolution bookkeeping for the prepare -> markers -> offsets ->
+	// complete pipeline. attempt invalidates callbacks from a superseded
+	// drive pass; pending counts this pass's outstanding acks.
+	prepared   bool
+	markerDone []bool
+	offsetDone []bool
+	attempt    uint64
+	pending    int
+
+	pendingEnd  func(wire.EndTxnResponse)
+	endCorr     uint32
+	pendingInit func(wire.InitProducerIDResponse)
+	initCorr    uint32
+}
+
+// TxnCoordinator owns every transactional.id's state machine. Not safe
+// for concurrent use; the DES is single-threaded.
+type TxnCoordinator struct {
+	sim     *des.Simulator
+	clst    *cluster.Cluster
+	groupCo *Coordinator // offsets forwarding target; may be nil
+	cfg     TxnConfig
+	txns    map[string]*txn
+	nextPID uint64
+	seq     uint64 // state-log batch sequence
+	stats   TxnStats
+}
+
+// NewTxn builds a transaction coordinator over the cluster, creating
+// the internal transaction-state topic, and registers itself for
+// topology-change re-drives. groupCo receives transactional offset
+// commits on commit; it may be nil when no consumer group is involved.
+func NewTxn(sim *des.Simulator, clst *cluster.Cluster, groupCo *Coordinator, cfg TxnConfig) (*TxnCoordinator, error) {
+	if sim == nil {
+		return nil, fmt.Errorf("coordinator: nil simulator")
+	}
+	if clst == nil {
+		return nil, fmt.Errorf("coordinator: nil cluster")
+	}
+	cfg.applyDefaults(clst.Brokers())
+	if err := clst.CreateTopic(cfg.TxnTopic, 1, cfg.TxnReplication); err != nil {
+		return nil, fmt.Errorf("coordinator: txn topic: %w", err)
+	}
+	tc := &TxnCoordinator{
+		sim:     sim,
+		clst:    clst,
+		groupCo: groupCo,
+		cfg:     cfg,
+		txns:    make(map[string]*txn),
+		nextPID: txnProducerIDBase,
+	}
+	clst.AddTopologyHook(tc.Redrive)
+	return tc, nil
+}
+
+// TxnConfig returns the effective (defaulted) configuration.
+func (tc *TxnCoordinator) TxnConfig() TxnConfig { return tc.cfg }
+
+// Stats returns the activity counters.
+func (tc *TxnCoordinator) Stats() TxnStats { return tc.stats }
+
+// State returns a transaction's current state name, for tests.
+func (tc *TxnCoordinator) State(tid string) string {
+	t, ok := tc.txns[tid]
+	if !ok {
+		return ""
+	}
+	switch t.state {
+	case txnEmpty:
+		return "Empty"
+	case txnOngoing:
+		return "Ongoing"
+	case txnPrepareCommit:
+		return "PrepareCommit"
+	case txnPrepareAbort:
+		return "PrepareAbort"
+	}
+	return fmt.Sprintf("state(%d)", t.state)
+}
+
+// fenceCheck validates a request's producer identity against the
+// transaction. A stale epoch is a zombie (fatal ErrProducerFenced); a
+// wrong or future identity is ErrInvalidTxnState.
+func (tc *TxnCoordinator) fenceCheck(t *txn, pid uint64, epoch uint32) wire.ErrorCode {
+	if t == nil || pid != t.pid || epoch > t.epoch {
+		return wire.ErrInvalidTxnState
+	}
+	if epoch < t.epoch {
+		tc.stats.FencedRequests++
+		return wire.ErrProducerFenced
+	}
+	return wire.ErrNone
+}
+
+// HandleInitProducerID grants (or re-grants) a producer identity for a
+// transactional.id. The epoch is bumped on every re-init, fencing any
+// zombie still holding the previous one; a transaction the previous
+// holder left open is aborted before the new identity is answered.
+func (tc *TxnCoordinator) HandleInitProducerID(req wire.InitProducerIDRequest, done func(wire.InitProducerIDResponse)) {
+	fail := func(code wire.ErrorCode) {
+		if done != nil {
+			done(wire.InitProducerIDResponse{CorrelationID: req.CorrelationID, Err: code})
+		}
+	}
+	if req.TransactionalID == "" {
+		fail(wire.ErrInvalidTxnState)
+		return
+	}
+	tc.stats.InitRequests++
+	t, ok := tc.txns[req.TransactionalID]
+	if !ok {
+		t = &txn{tc: tc, tid: req.TransactionalID, pid: tc.nextPID, state: txnEmpty}
+		tc.nextPID++
+		tc.txns[req.TransactionalID] = t
+	} else {
+		t.epoch++
+		tc.stats.EpochBumps++
+	}
+	t.timeout = req.TxnTimeout
+	if t.timeout <= 0 {
+		t.timeout = tc.cfg.DefaultTxnTimeout
+	}
+	// A parked init from a previous holder is superseded: it belongs to a
+	// producer the new epoch just fenced.
+	if t.pendingInit != nil {
+		prev, corr := t.pendingInit, t.initCorr
+		t.pendingInit = nil
+		prev(wire.InitProducerIDResponse{CorrelationID: corr, Err: wire.ErrProducerFenced})
+	}
+	t.pendingInit = done
+	t.initCorr = req.CorrelationID
+	switch t.state {
+	case txnOngoing:
+		// Abort the previous holder's open transaction under the new
+		// epoch; the init answer waits for the abort to complete.
+		tc.beginResolution(t, false)
+	case txnPrepareCommit, txnPrepareAbort:
+		// A resolution is already in flight; the init answer joins it.
+		tc.drive(t)
+	default:
+		// No open transaction: persist the new identity and answer.
+		tc.appendState(t, func(code wire.ErrorCode) {
+			tc.answerInit(t, code)
+		})
+	}
+}
+
+// answerInit completes a parked InitProducerId.
+func (tc *TxnCoordinator) answerInit(t *txn, code wire.ErrorCode) {
+	if t.pendingInit == nil {
+		return
+	}
+	done, corr := t.pendingInit, t.initCorr
+	t.pendingInit = nil
+	done(wire.InitProducerIDResponse{
+		CorrelationID: corr, ProducerID: t.pid, ProducerEpoch: t.epoch, Err: code,
+	})
+}
+
+// HandleAddPartitionsToTxn registers a partition with the current
+// transaction, opening it if this is the first touch. The registration
+// is durable before it is acknowledged — the coordinator must know
+// every touched partition to place markers after a crash.
+func (tc *TxnCoordinator) HandleAddPartitionsToTxn(req wire.AddPartitionsToTxnRequest, done func(wire.AddPartitionsToTxnResponse)) {
+	reply := func(code wire.ErrorCode) {
+		if done != nil {
+			done(wire.AddPartitionsToTxnResponse{CorrelationID: req.CorrelationID, Err: code})
+		}
+	}
+	t := tc.txns[req.TransactionalID]
+	if code := tc.fenceCheck(t, req.ProducerID, req.ProducerEpoch); code != wire.ErrNone {
+		reply(code)
+		return
+	}
+	if t.state == txnPrepareCommit || t.state == txnPrepareAbort {
+		reply(wire.ErrConcurrentTransactions)
+		return
+	}
+	for _, p := range t.partitions {
+		if p.Topic == req.Topic && p.Partition == req.Partition {
+			reply(wire.ErrNone) // already registered and durable
+			return
+		}
+	}
+	t.partitions = append(t.partitions, wire.TxnPartition{Topic: req.Topic, Partition: req.Partition})
+	tc.open(t)
+	tc.appendState(t, reply)
+}
+
+// HandleAddOffsetsToTxn registers the consumer group whose offsets the
+// transaction will commit.
+func (tc *TxnCoordinator) HandleAddOffsetsToTxn(req wire.AddOffsetsToTxnRequest, done func(wire.AddOffsetsToTxnResponse)) {
+	reply := func(code wire.ErrorCode) {
+		if done != nil {
+			done(wire.AddOffsetsToTxnResponse{CorrelationID: req.CorrelationID, Err: code})
+		}
+	}
+	t := tc.txns[req.TransactionalID]
+	if code := tc.fenceCheck(t, req.ProducerID, req.ProducerEpoch); code != wire.ErrNone {
+		reply(code)
+		return
+	}
+	if t.state == txnPrepareCommit || t.state == txnPrepareAbort {
+		reply(wire.ErrConcurrentTransactions)
+		return
+	}
+	if t.group == req.Group {
+		reply(wire.ErrNone)
+		return
+	}
+	t.group = req.Group
+	tc.open(t)
+	tc.appendState(t, reply)
+}
+
+// HandleTxnOffsetCommit stages one consumed offset inside the
+// transaction. Staged offsets reach the group coordinator only when the
+// transaction commits; an abort discards them.
+func (tc *TxnCoordinator) HandleTxnOffsetCommit(req wire.TxnOffsetCommitRequest, done func(wire.TxnOffsetCommitResponse)) {
+	reply := func(code wire.ErrorCode) {
+		if done != nil {
+			done(wire.TxnOffsetCommitResponse{CorrelationID: req.CorrelationID, Err: code})
+		}
+	}
+	t := tc.txns[req.TransactionalID]
+	if code := tc.fenceCheck(t, req.ProducerID, req.ProducerEpoch); code != wire.ErrNone {
+		reply(code)
+		return
+	}
+	if t.state == txnPrepareCommit || t.state == txnPrepareAbort {
+		reply(wire.ErrConcurrentTransactions)
+		return
+	}
+	if t.group == "" {
+		t.group = req.Group
+	}
+	if req.Group != t.group {
+		reply(wire.ErrInvalidTxnState)
+		return
+	}
+	staged := false
+	for i := range t.offsets {
+		if t.offsets[i].Topic == req.Topic && t.offsets[i].Partition == req.Partition {
+			t.offsets[i].Offset = req.Offset
+			staged = true
+			break
+		}
+	}
+	if !staged {
+		t.offsets = append(t.offsets, wire.TxnOffset{Topic: req.Topic, Partition: req.Partition, Offset: req.Offset})
+	}
+	tc.open(t)
+	tc.appendState(t, reply)
+}
+
+// HandleEndTxn decides the transaction: the decision is made durable
+// first (phase one), then markers and offsets are driven to every
+// destination and a completion record is written (phase two); done
+// fires only when the whole pipeline has been acknowledged.
+func (tc *TxnCoordinator) HandleEndTxn(req wire.EndTxnRequest, done func(wire.EndTxnResponse)) {
+	reply := func(code wire.ErrorCode) {
+		if done != nil {
+			done(wire.EndTxnResponse{CorrelationID: req.CorrelationID, Err: code})
+		}
+	}
+	t := tc.txns[req.TransactionalID]
+	if code := tc.fenceCheck(t, req.ProducerID, req.ProducerEpoch); code != wire.ErrNone {
+		reply(code)
+		return
+	}
+	switch t.state {
+	case txnEmpty:
+		reply(wire.ErrInvalidTxnState)
+		return
+	case txnPrepareCommit, txnPrepareAbort:
+		reply(wire.ErrConcurrentTransactions)
+		return
+	}
+	t.pendingEnd = done
+	t.endCorr = req.CorrelationID
+	tc.beginResolution(t, req.Commit)
+}
+
+// open moves an Empty transaction to Ongoing and arms the timeout.
+func (tc *TxnCoordinator) open(t *txn) {
+	if t.state != txnEmpty {
+		return
+	}
+	t.state = txnOngoing
+	if t.timeoutTimer == nil {
+		tt := t
+		t.timeoutTimer = des.NewTimer(tc.sim, func() { tc.timeoutAbort(tt) })
+	}
+	t.timeoutTimer.Reset(t.timeout)
+}
+
+// timeoutAbort fires when a transaction overstays its timeout: the
+// epoch is bumped so the stalled producer is a zombie from here on, and
+// the transaction is driven to an abort.
+func (tc *TxnCoordinator) timeoutAbort(t *txn) {
+	if t.state != txnOngoing {
+		return
+	}
+	t.epoch++
+	tc.stats.EpochBumps++
+	tc.stats.TimeoutAborts++
+	tc.beginResolution(t, false)
+}
+
+// beginResolution starts phase one: make the commit/abort decision
+// durable, then drive phase two.
+func (tc *TxnCoordinator) beginResolution(t *txn, commit bool) {
+	if t.timeoutTimer != nil {
+		t.timeoutTimer.Stop()
+	}
+	if commit {
+		t.state = txnPrepareCommit
+	} else {
+		t.state = txnPrepareAbort
+	}
+	t.prepared = false
+	t.markerDone = make([]bool, len(t.partitions))
+	t.offsetDone = make([]bool, len(t.offsets))
+	t.attempt++
+	t.pending = 0
+	tc.drive(t)
+}
+
+// drive advances an in-doubt transaction by (re)issuing whatever its
+// current step still lacks: the durable prepare record, unacknowledged
+// markers, unforwarded offsets, then the durable completion record.
+// Acks call drive again; so do the retry timer and every topology
+// change, with the attempt counter invalidating stale callbacks so a
+// forced re-drive never double-counts.
+func (tc *TxnCoordinator) drive(t *txn) {
+	if t.state != txnPrepareCommit && t.state != txnPrepareAbort {
+		return
+	}
+	if t.pending > 0 {
+		return // acks outstanding; the retry timer forces progress if they vanish
+	}
+	attempt := t.attempt
+	commit := t.state == txnPrepareCommit
+	if !t.prepared {
+		t.pending = 1
+		tc.appendState(t, func(code wire.ErrorCode) {
+			if t.attempt != attempt {
+				return
+			}
+			t.pending--
+			if code == wire.ErrNone {
+				t.prepared = true
+			}
+			tc.drive(t)
+		})
+		tc.armRetry(t)
+		return
+	}
+	for i := range t.partitions {
+		if t.markerDone[i] {
+			continue
+		}
+		t.pending++
+		tc.sendMarker(t, i, commit, attempt)
+	}
+	if t.pending > 0 {
+		tc.armRetry(t)
+		return
+	}
+	if commit {
+		for i := range t.offsets {
+			if t.offsetDone[i] {
+				continue
+			}
+			t.pending++
+			tc.forwardOffset(t, i, attempt)
+		}
+		if t.pending > 0 {
+			tc.armRetry(t)
+			return
+		}
+	}
+	// Everything acknowledged: complete durably and answer.
+	t.pending = 1
+	tc.completeState(t, commit, func(code wire.ErrorCode) {
+		if t.attempt != attempt {
+			return
+		}
+		t.pending--
+		if code != wire.ErrNone {
+			tc.drive(t)
+			return
+		}
+		tc.finish(t, commit)
+	})
+	tc.armRetry(t)
+}
+
+// sendMarker writes one partition's control marker under the
+// transaction's current epoch. A re-driven marker is harmless: brokers
+// treat a marker with no ongoing range as a no-op.
+func (tc *TxnCoordinator) sendMarker(t *txn, i int, commit bool, attempt uint64) {
+	p := t.partitions[i]
+	tc.seq++
+	tc.clst.HandleProduce(wire.ProduceRequest{
+		Topic:     p.Topic,
+		Partition: p.Partition,
+		Acks:      wire.AcksAll,
+		Batch: wire.RecordBatch{
+			ProducerID:    t.pid,
+			ProducerEpoch: t.epoch,
+			BaseSequence:  tc.seq,
+			Control:       true,
+			Records:       []wire.Record{wire.ControlRecord(commit, tc.sim.Now())},
+		},
+	}, func(resp wire.ProduceResponse) {
+		if t.attempt != attempt {
+			return
+		}
+		t.pending--
+		if resp.Err == wire.ErrNone {
+			t.markerDone[i] = true
+			tc.stats.MarkersWritten++
+		}
+		tc.drive(t)
+	})
+}
+
+// forwardOffset hands one staged offset to the group coordinator.
+func (tc *TxnCoordinator) forwardOffset(t *txn, i int, attempt uint64) {
+	o := t.offsets[i]
+	if tc.groupCo == nil {
+		t.pending--
+		t.offsetDone[i] = true
+		tc.drive(t)
+		return
+	}
+	tc.groupCo.CommitTxnOffset(t.group, o.Topic, o.Partition, o.Offset, func(code wire.ErrorCode) {
+		if t.attempt != attempt {
+			return
+		}
+		t.pending--
+		if code == wire.ErrNone {
+			t.offsetDone[i] = true
+			tc.stats.OffsetsForwarded++
+		}
+		tc.drive(t)
+	})
+}
+
+// finish closes a resolved transaction and answers the parked
+// EndTxn/InitProducerId callers.
+func (tc *TxnCoordinator) finish(t *txn, commit bool) {
+	if commit {
+		tc.stats.TxnsCommitted++
+	} else {
+		tc.stats.TxnsAborted++
+	}
+	t.state = txnEmpty
+	t.partitions = t.partitions[:0]
+	t.offsets = t.offsets[:0]
+	t.group = ""
+	t.prepared = false
+	if t.retryTimer != nil {
+		t.retryTimer.Stop()
+	}
+	if t.pendingEnd != nil {
+		done, corr := t.pendingEnd, t.endCorr
+		t.pendingEnd = nil
+		done(wire.EndTxnResponse{CorrelationID: corr, Err: wire.ErrNone})
+	}
+	tc.answerInit(t, wire.ErrNone)
+}
+
+// armRetry schedules the re-drive backstop for a transaction with
+// writes in flight: if their acks vanish (a crashed leader never
+// answers), the timer voids the pass and re-issues the remainder.
+func (tc *TxnCoordinator) armRetry(t *txn) {
+	if t.retryTimer == nil {
+		tt := t
+		t.retryTimer = des.NewTimer(tc.sim, func() { tc.retryFire(tt) })
+	}
+	t.retryTimer.Reset(tc.cfg.RetryBackoff)
+}
+
+func (tc *TxnCoordinator) retryFire(t *txn) {
+	if t.state != txnPrepareCommit && t.state != txnPrepareAbort {
+		return
+	}
+	tc.stats.Redrives++
+	t.attempt++
+	t.pending = 0
+	tc.drive(t)
+}
+
+// Redrive re-issues every in-doubt transaction's outstanding writes.
+// The cluster invokes it after every broker failure, unclean crash, or
+// recovery: markers lost with a crashed partition leader and state
+// appends lost with the transaction log's leader are simply sent again.
+func (tc *TxnCoordinator) Redrive() {
+	ids := make([]string, 0, len(tc.txns))
+	for tid := range tc.txns {
+		ids = append(ids, tid)
+	}
+	// Deterministic order: map iteration must not leak into the DES.
+	sort.Strings(ids)
+	for _, tid := range ids {
+		t := tc.txns[tid]
+		if t.state == txnPrepareCommit || t.state == txnPrepareAbort {
+			tc.stats.Redrives++
+			t.attempt++
+			t.pending = 0
+			tc.drive(t)
+		}
+	}
+}
+
+// appendState writes the transaction's full current state to the
+// transaction log and calls cb with the outcome. ErrNone means the
+// record is as durable as the log's replication settings make it.
+func (tc *TxnCoordinator) appendState(t *txn, cb func(wire.ErrorCode)) {
+	tc.appendRecord(txnRecord{
+		Tid: t.tid, Pid: t.pid, Epoch: t.epoch, State: t.state,
+		Partitions: t.partitions, Group: t.group, Offsets: t.offsets,
+	}, cb)
+}
+
+// completeState writes the completion record: the transaction is over,
+// its partition and offset sets cleared.
+func (tc *TxnCoordinator) completeState(t *txn, commit bool, cb func(wire.ErrorCode)) {
+	_ = commit
+	tc.appendRecord(txnRecord{Tid: t.tid, Pid: t.pid, Epoch: t.epoch, State: txnEmpty}, cb)
+}
+
+func (tc *TxnCoordinator) appendRecord(rec txnRecord, cb func(wire.ErrorCode)) {
+	payload := appendTxnStateRecord(make([]byte, 0, txnStateRecordSize(rec)), rec)
+	tc.seq++
+	acked := false
+	tc.clst.HandleProduce(wire.ProduceRequest{
+		Topic: tc.cfg.TxnTopic,
+		Acks:  tc.cfg.TxnAcks,
+		Batch: wire.RecordBatch{BaseSequence: tc.seq, Records: []wire.Record{{
+			Key:       txnCompactionKey(rec.Tid),
+			Timestamp: tc.sim.Now(),
+			Payload:   payload,
+		}}},
+	}, func(resp wire.ProduceResponse) {
+		if acked {
+			return
+		}
+		acked = true
+		if resp.Err == wire.ErrNone {
+			tc.stats.StateAppends++
+		}
+		if cb != nil {
+			cb(resp.Err)
+		}
+	})
+}
+
+// MaterializedState scans the transaction log's current leader and
+// returns the last durable state per transactional.id — what a
+// restarted coordinator would rebuild. Exposed for tests and the chaos
+// verifier to check the log against the live state machine.
+func (tc *TxnCoordinator) MaterializedState() map[string]string {
+	leader := tc.clst.Leader(tc.cfg.TxnTopic, 0)
+	if leader == nil {
+		return nil
+	}
+	log := leader.Log(tc.cfg.TxnTopic, 0)
+	if log == nil {
+		return nil
+	}
+	last := make(map[string]int8)
+	log.Scan(func(e storage.Entry) bool {
+		rec, err := decodeTxnStateRecord(e.Record.Payload)
+		if err != nil {
+			return false
+		}
+		last[rec.Tid] = rec.State
+		return true
+	})
+	out := make(map[string]string, len(last))
+	for tid, st := range last {
+		switch st {
+		case txnEmpty:
+			out[tid] = "Empty"
+		case txnOngoing:
+			out[tid] = "Ongoing"
+		case txnPrepareCommit:
+			out[tid] = "PrepareCommit"
+		case txnPrepareAbort:
+			out[tid] = "PrepareAbort"
+		}
+	}
+	return out
+}

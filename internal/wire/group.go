@@ -63,13 +63,18 @@ type OffsetFetchResponse struct {
 }
 
 // JoinGroupRequest asks the coordinator to admit a member. An empty
-// MemberID requests a coordinator-assigned id (first join).
+// MemberID requests a coordinator-assigned id (first join). A non-empty
+// GroupInstanceID makes the membership static (Kafka's
+// group.instance.id): a restarting process that rejoins with the same
+// instance id inside its session timeout takes over the old member's
+// identity and assignment without triggering a rebalance.
 type JoinGroupRequest struct {
-	CorrelationID  uint32
-	Group          string
-	MemberID       string
-	Topic          string
-	SessionTimeout time.Duration
+	CorrelationID   uint32
+	Group           string
+	MemberID        string
+	GroupInstanceID string
+	Topic           string
+	SessionTimeout  time.Duration
 }
 
 // JoinGroupResponse completes a join once the rebalance barrier opens:
@@ -332,13 +337,15 @@ func (r JoinGroupRequest) Encode(dst []byte) []byte {
 	dst = binary.BigEndian.AppendUint32(dst, r.CorrelationID)
 	dst = appendString(dst, r.Group)
 	dst = appendString(dst, r.MemberID)
+	dst = appendString(dst, r.GroupInstanceID)
 	dst = appendString(dst, r.Topic)
 	return binary.BigEndian.AppendUint64(dst, uint64(r.SessionTimeout))
 }
 
 // EncodedSize returns the wire size of the request body.
 func (r JoinGroupRequest) EncodedSize() int {
-	return 4 + 2 + len(r.Group) + 2 + len(r.MemberID) + 2 + len(r.Topic) + 8
+	return 4 + 2 + len(r.Group) + 2 + len(r.MemberID) + 2 + len(r.GroupInstanceID) +
+		2 + len(r.Topic) + 8
 }
 
 // DecodeJoinGroupRequest parses a request body produced by Encode.
@@ -361,6 +368,9 @@ func (d *Decoder) JoinGroupRequest(b []byte) (JoinGroupRequest, error) {
 	}
 	if r.MemberID, b, err = d.decodeInterned(b, d.memberIntern()); err != nil {
 		return r, fmt.Errorf("join-group member: %w", err)
+	}
+	if r.GroupInstanceID, b, err = d.decodeString(b); err != nil {
+		return r, fmt.Errorf("join-group instance id: %w", err)
 	}
 	if r.Topic, b, err = d.decodeString(b); err != nil {
 		return r, fmt.Errorf("join-group topic: %w", err)

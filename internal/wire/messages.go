@@ -49,6 +49,33 @@ type ProduceResponse struct {
 	Err           ErrorCode
 }
 
+// IsolationLevel selects which records a fetch may observe, mirroring
+// Kafka's isolation.level consumer setting.
+type IsolationLevel uint8
+
+// Isolation levels. ReadUncommitted (the zero value, so every pre-txn
+// caller keeps its behaviour) returns all data records up to the high
+// watermark, open and aborted transactions included. ReadCommitted
+// bounds the fetch at the last stable offset and filters out records
+// from aborted transactions. Control (marker) records are never
+// returned at either level, as in Kafka.
+const (
+	ReadUncommitted IsolationLevel = 0
+	ReadCommitted   IsolationLevel = 1
+)
+
+// String implements fmt.Stringer.
+func (l IsolationLevel) String() string {
+	switch l {
+	case ReadUncommitted:
+		return "read_uncommitted"
+	case ReadCommitted:
+		return "read_committed"
+	default:
+		return fmt.Sprintf("isolation_%d", uint8(l))
+	}
+}
+
 // FetchRequest asks for up to MaxRecords records starting at Offset.
 type FetchRequest struct {
 	CorrelationID uint32
@@ -56,14 +83,24 @@ type FetchRequest struct {
 	Partition     int32
 	Offset        int64
 	MaxRecords    int32
+	Isolation     IsolationLevel
 }
 
 // FetchResponse returns the records and the partition high watermark.
+// NextOffset is the fetch position after this response — past the last
+// returned record and past any filtered (control or aborted) offsets the
+// scan skipped, so a consumer advancing by record count alone would stall
+// on a filtered gap. LastStable is the partition's last stable offset
+// (first offset still held by an open transaction, or the high watermark
+// when none is open); read_committed fetches never return records at or
+// beyond it.
 type FetchResponse struct {
 	CorrelationID uint32
 	Topic         string
 	Partition     int32
 	HighWatermark int64
+	NextOffset    int64
+	LastStable    int64
 	Err           ErrorCode
 	Records       []Record
 }
@@ -261,7 +298,8 @@ func (r FetchRequest) Encode(dst []byte) []byte {
 	dst = appendString(dst, r.Topic)
 	dst = binary.BigEndian.AppendUint32(dst, uint32(r.Partition))
 	dst = binary.BigEndian.AppendUint64(dst, uint64(r.Offset))
-	return binary.BigEndian.AppendUint32(dst, uint32(r.MaxRecords))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(r.MaxRecords))
+	return append(dst, byte(r.Isolation))
 }
 
 // DecodeFetchRequest parses a request body produced by Encode.
@@ -282,12 +320,13 @@ func (d *Decoder) FetchRequest(b []byte) (FetchRequest, error) {
 		return r, fmt.Errorf("fetch topic: %w", err)
 	}
 	r.Topic = topic
-	if len(b) != 16 {
+	if len(b) != 17 {
 		return r, fmt.Errorf("fetch tail: %w", ErrBadFrame)
 	}
 	r.Partition = int32(binary.BigEndian.Uint32(b))
 	r.Offset = int64(binary.BigEndian.Uint64(b[4:]))
 	r.MaxRecords = int32(binary.BigEndian.Uint32(b[12:]))
+	r.Isolation = IsolationLevel(b[16])
 	return r, nil
 }
 
@@ -297,6 +336,8 @@ func (r FetchResponse) Encode(dst []byte) []byte {
 	dst = appendString(dst, r.Topic)
 	dst = binary.BigEndian.AppendUint32(dst, uint32(r.Partition))
 	dst = binary.BigEndian.AppendUint64(dst, uint64(r.HighWatermark))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(r.NextOffset))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(r.LastStable))
 	dst = binary.BigEndian.AppendUint16(dst, uint16(r.Err))
 	dst = binary.BigEndian.AppendUint32(dst, uint32(len(r.Records)))
 	for _, rec := range r.Records {
@@ -324,14 +365,16 @@ func (d *Decoder) FetchResponse(b []byte) (FetchResponse, error) {
 		return r, fmt.Errorf("fetch-response topic: %w", err)
 	}
 	r.Topic = topic
-	if len(b) < 18 {
+	if len(b) < 34 {
 		return r, fmt.Errorf("fetch-response header: %w", ErrShortBuffer)
 	}
 	r.Partition = int32(binary.BigEndian.Uint32(b))
 	r.HighWatermark = int64(binary.BigEndian.Uint64(b[4:]))
-	r.Err = ErrorCode(binary.BigEndian.Uint16(b[12:]))
-	count := int(binary.BigEndian.Uint32(b[14:]))
-	b = b[18:]
+	r.NextOffset = int64(binary.BigEndian.Uint64(b[12:]))
+	r.LastStable = int64(binary.BigEndian.Uint64(b[20:]))
+	r.Err = ErrorCode(binary.BigEndian.Uint16(b[28:]))
+	count := int(binary.BigEndian.Uint32(b[30:]))
+	b = b[34:]
 	recs := d.recordScratch(count)
 	for i := 0; i < count; i++ {
 		rec, rest, err := decodeRecord(b)

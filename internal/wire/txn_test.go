@@ -1,0 +1,96 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestTxnMessageRoundTrips(t *testing.T) {
+	initReq := InitProducerIDRequest{CorrelationID: 1, TransactionalID: "txn-p0", TxnTimeout: time.Second}
+	if got, err := DecodeInitProducerIDRequest(initReq.Encode(nil)); err != nil || !reflect.DeepEqual(got, initReq) {
+		t.Errorf("init request: got %+v err %v", got, err)
+	}
+	initResp := InitProducerIDResponse{CorrelationID: 1, ProducerID: 77, ProducerEpoch: 4, Err: ErrNone}
+	if got, err := DecodeInitProducerIDResponse(initResp.Encode(nil)); err != nil || !reflect.DeepEqual(got, initResp) {
+		t.Errorf("init response: got %+v err %v", got, err)
+	}
+	addParts := AddPartitionsToTxnRequest{
+		CorrelationID: 2, TransactionalID: "txn-p0", ProducerID: 77, ProducerEpoch: 4,
+		Topic: "out", Partition: 3,
+	}
+	if got, err := DecodeAddPartitionsToTxnRequest(addParts.Encode(nil)); err != nil || !reflect.DeepEqual(got, addParts) {
+		t.Errorf("add-partitions request: got %+v err %v", got, err)
+	}
+	addOffsets := AddOffsetsToTxnRequest{
+		CorrelationID: 3, TransactionalID: "txn-p0", ProducerID: 77, ProducerEpoch: 4, Group: "g",
+	}
+	if got, err := DecodeAddOffsetsToTxnRequest(addOffsets.Encode(nil)); err != nil || !reflect.DeepEqual(got, addOffsets) {
+		t.Errorf("add-offsets request: got %+v err %v", got, err)
+	}
+	commit := TxnOffsetCommitRequest{
+		CorrelationID: 4, TransactionalID: "txn-p0", ProducerID: 77, ProducerEpoch: 4,
+		Group: "g", Topic: "in", Partition: 1, Offset: 1234,
+	}
+	if got, err := DecodeTxnOffsetCommitRequest(commit.Encode(nil)); err != nil || !reflect.DeepEqual(got, commit) {
+		t.Errorf("txn-offset-commit request: got %+v err %v", got, err)
+	}
+	end := EndTxnRequest{CorrelationID: 5, TransactionalID: "txn-p0", ProducerID: 77, ProducerEpoch: 4, Commit: true}
+	if got, err := DecodeEndTxnRequest(end.Encode(nil)); err != nil || !reflect.DeepEqual(got, end) {
+		t.Errorf("end-txn request: got %+v err %v", got, err)
+	}
+	endResp := EndTxnResponse{CorrelationID: 5, Err: ErrProducerFenced}
+	if got, err := DecodeEndTxnResponse(endResp.Encode(nil)); err != nil || !reflect.DeepEqual(got, endResp) {
+		t.Errorf("end-txn response: got %+v err %v", got, err)
+	}
+}
+
+func TestTxnMessageEncodedSizes(t *testing.T) {
+	msgs := []interface {
+		Encode([]byte) []byte
+		EncodedSize() int
+	}{
+		InitProducerIDRequest{TransactionalID: "tid", TxnTimeout: time.Second},
+		InitProducerIDResponse{ProducerID: 1, ProducerEpoch: 2},
+		AddPartitionsToTxnRequest{TransactionalID: "tid", Topic: "t", Partition: 1},
+		AddPartitionsToTxnResponse{},
+		AddOffsetsToTxnRequest{TransactionalID: "tid", Group: "g"},
+		AddOffsetsToTxnResponse{},
+		TxnOffsetCommitRequest{TransactionalID: "tid", Group: "g", Topic: "t"},
+		TxnOffsetCommitResponse{},
+		EndTxnRequest{TransactionalID: "tid", Commit: true},
+		EndTxnResponse{},
+	}
+	for i, m := range msgs {
+		if got := len(m.Encode(nil)); got != m.EncodedSize() {
+			t.Errorf("message %d: EncodedSize = %d, actual %d", i, m.EncodedSize(), got)
+		}
+	}
+}
+
+func TestTxnMessageTruncationSafety(t *testing.T) {
+	full := [][]byte{
+		InitProducerIDRequest{TransactionalID: "tid", TxnTimeout: time.Second}.Encode(nil),
+		AddPartitionsToTxnRequest{TransactionalID: "tid", Topic: "t", Partition: 1}.Encode(nil),
+		AddOffsetsToTxnRequest{TransactionalID: "tid", Group: "g"}.Encode(nil),
+		TxnOffsetCommitRequest{TransactionalID: "tid", Group: "g", Topic: "t", Offset: 9}.Encode(nil),
+		EndTxnRequest{TransactionalID: "tid", Commit: true}.Encode(nil),
+	}
+	decoders := []func([]byte) error{
+		func(b []byte) error { _, err := DecodeInitProducerIDRequest(b); return err },
+		func(b []byte) error { _, err := DecodeAddPartitionsToTxnRequest(b); return err },
+		func(b []byte) error { _, err := DecodeAddOffsetsToTxnRequest(b); return err },
+		func(b []byte) error { _, err := DecodeTxnOffsetCommitRequest(b); return err },
+		func(b []byte) error { _, err := DecodeEndTxnRequest(b); return err },
+	}
+	for i, enc := range full {
+		for cut := 0; cut < len(enc); cut++ {
+			if err := decoders[i](enc[:cut]); err == nil {
+				t.Errorf("message %d truncated to %d bytes accepted", i, cut)
+			}
+		}
+		if err := decoders[i](append(append([]byte(nil), enc...), 0)); err == nil {
+			t.Errorf("message %d with trailing byte accepted", i)
+		}
+	}
+}

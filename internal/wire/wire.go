@@ -17,15 +17,20 @@ import (
 // API keys identify request types, mirroring Kafka's ApiKey field (the
 // group-coordination keys use Kafka's real numbering).
 const (
-	APIProduce      uint16 = 0
-	APIFetch        uint16 = 1
-	APIMetadata     uint16 = 3
-	APIOffsetCommit uint16 = 8
-	APIOffsetFetch  uint16 = 9
-	APIJoinGroup    uint16 = 11
-	APIHeartbeat    uint16 = 12
-	APILeaveGroup   uint16 = 13
-	APISyncGroup    uint16 = 14
+	APIProduce            uint16 = 0
+	APIFetch              uint16 = 1
+	APIMetadata           uint16 = 3
+	APIOffsetCommit       uint16 = 8
+	APIOffsetFetch        uint16 = 9
+	APIJoinGroup          uint16 = 11
+	APIHeartbeat          uint16 = 12
+	APILeaveGroup         uint16 = 13
+	APISyncGroup          uint16 = 14
+	APIInitProducerID     uint16 = 22
+	APIAddPartitionsToTxn uint16 = 24
+	APIAddOffsetsToTxn    uint16 = 25
+	APIEndTxn             uint16 = 26
+	APITxnOffsetCommit    uint16 = 28
 )
 
 // ErrorCode is the broker-reported outcome of a request, mirroring
@@ -47,12 +52,15 @@ const (
 	ErrUnknownMemberID
 	ErrRebalanceInProgress
 	ErrNoCommittedOffset
+	ErrProducerFenced
+	ErrInvalidTxnState
+	ErrConcurrentTransactions
 )
 
 // NumErrorCodes is the number of defined error codes; codes are
 // contiguous from ErrNone, so fixed-size per-code tables can be indexed
 // by the code value.
-const NumErrorCodes = 13
+const NumErrorCodes = 16
 
 // SeqCacheSize is the number of recent batch sequences a broker
 // remembers per producer for idempotent de-duplication (Kafka keeps 5).
@@ -75,6 +83,9 @@ var errorNames = map[ErrorCode]string{
 	ErrUnknownMemberID:         "UNKNOWN_MEMBER_ID",
 	ErrRebalanceInProgress:     "REBALANCE_IN_PROGRESS",
 	ErrNoCommittedOffset:       "NO_COMMITTED_OFFSET",
+	ErrProducerFenced:          "PRODUCER_FENCED",
+	ErrInvalidTxnState:         "INVALID_TXN_STATE",
+	ErrConcurrentTransactions:  "CONCURRENT_TRANSACTIONS",
 }
 
 // String implements fmt.Stringer.
@@ -90,7 +101,7 @@ func (e ErrorCode) String() string {
 func (e ErrorCode) Retriable() bool {
 	switch e {
 	case ErrNotLeader, ErrRequestTimedOut, ErrBrokerUnavailable, ErrNotEnoughReplicas,
-		ErrCoordinatorNotAvailable, ErrRebalanceInProgress:
+		ErrCoordinatorNotAvailable, ErrRebalanceInProgress, ErrConcurrentTransactions:
 		return true
 	default:
 		return false
@@ -152,18 +163,40 @@ func decodeRecord(b []byte) (Record, []byte, error) {
 // not — so per-producer sequence streams stay distinguishable when
 // several producers share a partition (the broker's duplicate-append
 // observation relies on that).
+//
+// The transactional extension adds ProducerEpoch — the fencing token the
+// transaction coordinator bumps on each InitProducerId, which brokers
+// compare against the highest epoch they have seen for the producer —
+// and two more flag bits: Transactional marks the batch as part of an
+// open transaction (invisible at read_committed until a marker commits
+// it), and Control marks a one-record commit/abort marker batch written
+// by the transaction coordinator, never by a client.
 type RecordBatch struct {
-	ProducerID   uint64
-	BaseSequence uint64
-	Idempotent   bool
-	Records      []Record
+	ProducerID    uint64
+	ProducerEpoch uint32
+	BaseSequence  uint64
+	Idempotent    bool
+	Transactional bool
+	Control       bool
+	Records       []Record
 }
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
+// Batch flag bits.
+const (
+	batchFlagIdempotent    = 1 << 0
+	batchFlagTransactional = 1 << 1
+	batchFlagControl       = 1 << 2
+)
+
+// batchHeaderSize is the fixed batch header: producer id (8), producer
+// epoch (4), base sequence (8), flags (1), record count (4), CRC (4).
+const batchHeaderSize = 29
+
 // EncodedSize returns the wire size of the batch in bytes.
 func (b RecordBatch) EncodedSize() int {
-	n := 8 + 8 + 1 + 4 + 4 // producer id, base seq, flags, count, crc
+	n := batchHeaderSize
 	for _, r := range b.Records {
 		n += r.EncodedSize()
 	}
@@ -175,10 +208,17 @@ func (b RecordBatch) EncodedSize() int {
 // afterwards, so encoding into a reused buffer allocates nothing.
 func (b RecordBatch) Encode(dst []byte) []byte {
 	dst = binary.BigEndian.AppendUint64(dst, b.ProducerID)
+	dst = binary.BigEndian.AppendUint32(dst, b.ProducerEpoch)
 	dst = binary.BigEndian.AppendUint64(dst, b.BaseSequence)
 	var flags byte
 	if b.Idempotent {
-		flags |= 1
+		flags |= batchFlagIdempotent
+	}
+	if b.Transactional {
+		flags |= batchFlagTransactional
+	}
+	if b.Control {
+		flags |= batchFlagControl
 	}
 	dst = append(dst, flags)
 	dst = binary.BigEndian.AppendUint32(dst, uint32(len(b.Records)))
@@ -229,16 +269,20 @@ func DecodeRecordBatch(b []byte) (RecordBatch, []byte, error) {
 // recordBatch is DecodeRecordBatch decoding records into the decoder's
 // reused scratch slice (see Decoder in messages.go).
 func (d *Decoder) recordBatch(b []byte) (RecordBatch, []byte, error) {
-	if len(b) < 25 {
+	if len(b) < batchHeaderSize {
 		return RecordBatch{}, nil, fmt.Errorf("batch header: %w", ErrShortBuffer)
 	}
 	var batch RecordBatch
 	batch.ProducerID = binary.BigEndian.Uint64(b)
-	batch.BaseSequence = binary.BigEndian.Uint64(b[8:])
-	batch.Idempotent = b[16]&1 != 0
-	count := int(binary.BigEndian.Uint32(b[17:]))
-	crc := binary.BigEndian.Uint32(b[21:])
-	b = b[25:]
+	batch.ProducerEpoch = binary.BigEndian.Uint32(b[8:])
+	batch.BaseSequence = binary.BigEndian.Uint64(b[12:])
+	flags := b[20]
+	batch.Idempotent = flags&batchFlagIdempotent != 0
+	batch.Transactional = flags&batchFlagTransactional != 0
+	batch.Control = flags&batchFlagControl != 0
+	count := int(binary.BigEndian.Uint32(b[21:]))
+	crc := binary.BigEndian.Uint32(b[25:])
+	b = b[batchHeaderSize:]
 	start := b
 	recs := d.recordScratch(count)
 	for i := 0; i < count; i++ {

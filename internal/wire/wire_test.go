@@ -12,9 +12,11 @@ import (
 
 func sampleBatch() RecordBatch {
 	return RecordBatch{
-		ProducerID:   7,
-		BaseSequence: 100,
-		Idempotent:   true,
+		ProducerID:    7,
+		ProducerEpoch: 3,
+		BaseSequence:  100,
+		Idempotent:    true,
+		Transactional: true,
 		Records: []Record{
 			{Key: 1, Timestamp: time.Second, Payload: []byte("hello")},
 			{Key: 2, Timestamp: 2 * time.Second, Payload: bytes.Repeat([]byte{0xAB}, 200)},
@@ -36,7 +38,9 @@ func TestRecordBatchRoundTrip(t *testing.T) {
 	if len(rest) != 0 {
 		t.Errorf("rest = %d bytes", len(rest))
 	}
-	if got.ProducerID != b.ProducerID || got.BaseSequence != b.BaseSequence || got.Idempotent != b.Idempotent {
+	if got.ProducerID != b.ProducerID || got.ProducerEpoch != b.ProducerEpoch ||
+		got.BaseSequence != b.BaseSequence || got.Idempotent != b.Idempotent ||
+		got.Transactional != b.Transactional || got.Control != b.Control {
 		t.Errorf("header mismatch: %+v", got)
 	}
 	if len(got.Records) != len(b.Records) {
@@ -52,8 +56,8 @@ func TestRecordBatchRoundTrip(t *testing.T) {
 
 func TestRecordBatchCRCDetectsCorruption(t *testing.T) {
 	enc := sampleBatch().Encode(nil)
-	// Flip a payload bit (after the 25-byte header).
-	enc[31] ^= 0x01
+	// Flip a record bit (after the 29-byte header).
+	enc[35] ^= 0x01
 	if _, _, err := DecodeRecordBatch(enc); !errors.Is(err, ErrBadCRC) {
 		t.Errorf("err = %v, want ErrBadCRC", err)
 	}
@@ -61,7 +65,7 @@ func TestRecordBatchCRCDetectsCorruption(t *testing.T) {
 
 func TestRecordBatchShortBuffer(t *testing.T) {
 	enc := sampleBatch().Encode(nil)
-	for _, cut := range []int{0, 10, 23, 30, len(enc) - 1} {
+	for _, cut := range []int{0, 10, 23, 28, 34, len(enc) - 1} {
 		if _, _, err := DecodeRecordBatch(enc[:cut]); err == nil {
 			t.Errorf("truncation to %d bytes accepted", cut)
 		}
@@ -134,7 +138,7 @@ func TestProduceResponseRoundTrip(t *testing.T) {
 }
 
 func TestFetchRequestRoundTrip(t *testing.T) {
-	req := FetchRequest{CorrelationID: 1, Topic: "x", Partition: 0, Offset: 555, MaxRecords: 100}
+	req := FetchRequest{CorrelationID: 1, Topic: "x", Partition: 0, Offset: 555, MaxRecords: 100, Isolation: ReadCommitted}
 	got, err := DecodeFetchRequest(req.Encode(nil))
 	if err != nil {
 		t.Fatal(err)
@@ -150,6 +154,8 @@ func TestFetchResponseRoundTrip(t *testing.T) {
 		Topic:         "t",
 		Partition:     1,
 		HighWatermark: 99,
+		NextOffset:    42,
+		LastStable:    77,
 		Err:           ErrNone,
 		Records: []Record{
 			{Key: 10, Timestamp: time.Millisecond, Payload: []byte("a")},
@@ -160,7 +166,8 @@ func TestFetchResponseRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.HighWatermark != 99 || len(got.Records) != 2 || got.Records[1].Key != 11 {
+	if got.HighWatermark != 99 || got.NextOffset != 42 || got.LastStable != 77 ||
+		len(got.Records) != 2 || got.Records[1].Key != 11 {
 		t.Errorf("got %+v", got)
 	}
 	enc := resp.Encode(nil)
@@ -274,11 +281,20 @@ func TestFrameSize(t *testing.T) {
 	}
 }
 
-// Property: any batch of random records round-trips exactly.
+// Property: any batch of random records round-trips exactly, across
+// every combination of the header flags (Idempotent, Transactional,
+// Control) and any producer epoch.
 func TestPropertyBatchRoundTrip(t *testing.T) {
-	f := func(seed uint64, n uint8) bool {
+	f := func(seed uint64, n, flagBits uint8) bool {
 		rng := rand.New(rand.NewPCG(seed, 1))
-		b := RecordBatch{ProducerID: rng.Uint64(), BaseSequence: rng.Uint64()}
+		b := RecordBatch{
+			ProducerID:    rng.Uint64(),
+			ProducerEpoch: rng.Uint32(),
+			BaseSequence:  rng.Uint64(),
+			Idempotent:    flagBits&1 != 0,
+			Transactional: flagBits&2 != 0,
+			Control:       flagBits&4 != 0,
+		}
 		count := int(n % 20)
 		for i := 0; i < count; i++ {
 			payload := make([]byte, rng.IntN(300))
@@ -295,7 +311,10 @@ func TestPropertyBatchRoundTrip(t *testing.T) {
 		if err != nil || len(rest) != 0 {
 			return false
 		}
-		if got.ProducerID != b.ProducerID || len(got.Records) != len(b.Records) {
+		if got.ProducerID != b.ProducerID || got.ProducerEpoch != b.ProducerEpoch ||
+			got.BaseSequence != b.BaseSequence || got.Idempotent != b.Idempotent ||
+			got.Transactional != b.Transactional || got.Control != b.Control ||
+			len(got.Records) != len(b.Records) {
 			return false
 		}
 		for i := range b.Records {
@@ -307,7 +326,36 @@ func TestPropertyBatchRoundTrip(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: truncating an encoded batch at any boundary never decodes
+// successfully and never panics — the grown header (producer epoch +
+// control/transactional flags) must fail closed at every cut point.
+func TestPropertyBatchTruncationSafety(t *testing.T) {
+	f := func(seed uint64, n, flagBits uint8, cutFrac uint16) bool {
+		rng := rand.New(rand.NewPCG(seed, 3))
+		b := RecordBatch{
+			ProducerID:    rng.Uint64(),
+			ProducerEpoch: rng.Uint32(),
+			BaseSequence:  rng.Uint64(),
+			Idempotent:    flagBits&1 != 0,
+			Transactional: flagBits&2 != 0,
+			Control:       flagBits&4 != 0,
+		}
+		count := int(n%8) + 1 // at least one record so every cut truncates
+		for i := 0; i < count; i++ {
+			payload := make([]byte, rng.IntN(64)+1)
+			b.Records = append(b.Records, Record{Key: rng.Uint64(), Payload: payload})
+		}
+		enc := b.Encode(nil)
+		cut := int(cutFrac) % len(enc)
+		_, _, err := DecodeRecordBatch(enc[:cut])
+		return err != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
 	}
 }

@@ -165,21 +165,67 @@ type (
 
 // Fault kinds for FaultPlan entries.
 const (
-	FaultBrokerCrash    = chaos.BrokerCrash
-	FaultBrokerRecover  = chaos.BrokerRecover
-	FaultUncleanRestart = chaos.UncleanRestart
-	FaultPartition      = chaos.Partition
-	FaultLossBurst      = chaos.LossBurst
-	FaultDelaySpike     = chaos.DelaySpike
-	FaultConnReset      = chaos.ConnReset
-	FaultBrokerSlow     = chaos.BrokerSlow
+	FaultBrokerCrash     = chaos.BrokerCrash
+	FaultBrokerRecover   = chaos.BrokerRecover
+	FaultUncleanRestart  = chaos.UncleanRestart
+	FaultPartition       = chaos.Partition
+	FaultLossBurst       = chaos.LossBurst
+	FaultDelaySpike      = chaos.DelaySpike
+	FaultConnReset       = chaos.ConnReset
+	FaultBrokerSlow      = chaos.BrokerSlow
+	FaultConsumerCrash   = chaos.ConsumerCrash
+	FaultProcessorCrash  = chaos.ProcessorCrash
+	FaultProcessorZombie = chaos.ProcessorZombie
 )
 
 // Chaos campaign modes.
 const (
 	ChaosModeExactlyOnce = campaign.ModeExactlyOnce
 	ChaosModeAtLeastOnce = campaign.ModeAtLeastOnce
+	ChaosModeTxn         = campaign.ModeTxn
 )
+
+// Transactional pipeline (the exactly-once consume-process-produce
+// testbed): a broker-side transaction coordinator drives two-phase
+// commits over input offsets and output records, processors are fenced
+// by producer-epoch bumps, and the read_committed consumer sees only
+// decided transactions. Run single trials with RunTxnPipeline, whole
+// campaigns with RunChaosCampaign at ChaosModeTxn or cmd/chaos -txn.
+type (
+	// TxnExperiment configures one transactional pipeline trial.
+	TxnExperiment = testbed.TxnExperiment
+	// TxnResult is the trial's full evidence: attempts, committed
+	// offsets, both isolation views, incarnation counts, txn stats.
+	TxnResult = testbed.TxnResult
+	// TxnEvidence is the evidence bundle VerifyTxnTrial consumes.
+	TxnEvidence = chaos.TxnInput
+	// TxnAttemptRecord is one consume-process-produce cycle's evidence.
+	TxnAttemptRecord = chaos.TxnAttempt
+	// TxnFaultGenConfig parameterises random transactional-plan
+	// generation (broker outages, processor crashes, zombie races).
+	TxnFaultGenConfig = chaos.TxnGenConfig
+)
+
+// RunTxnPipeline runs one transactional consume-process-produce trial:
+// a filler produces the input topic, transactional processors move
+// records to the output topic with offsets committed inside the same
+// transaction, and the result carries the read_committed and
+// read_uncommitted views plus every attempt's outcome.
+func RunTxnPipeline(ctx context.Context, e TxnExperiment) (TxnResult, error) {
+	return testbed.RunTxnCtx(ctx, e)
+}
+
+// VerifyTxnTrial checks a finished transactional trial against the
+// exactly-once invariants (no phantom commits, zombie fencing, commit
+// atomicity, exactly-once against the committed watermark, isolation
+// residue classification, completion).
+func VerifyTxnTrial(in TxnEvidence) TrialVerdict { return chaos.VerifyTxn(in) }
+
+// GenerateTxnFaultPlan samples a random fault plan for a transactional
+// trial; deterministic in (seed, config) like GenerateFaultPlan.
+func GenerateTxnFaultPlan(seed uint64, cfg TxnFaultGenConfig) FaultPlan {
+	return chaos.GenerateTxnPlan(seed, cfg)
+}
 
 // GenerateFaultPlan samples a random, Validate-clean fault plan from a
 // seed; the same (seed, config) always yields the same plan.

@@ -2,6 +2,7 @@ package kafkarel_test
 
 import (
 	"bytes"
+	"context"
 	"testing"
 	"time"
 
@@ -386,5 +387,32 @@ func TestProducerScalingReducesLoss(t *testing.T) {
 	}
 	if scaled.Acquired != single.Acquired {
 		t.Errorf("scaled run acquired %d, single %d", scaled.Acquired, single.Acquired)
+	}
+}
+
+// TestTxnFacade drives the transactional surface end to end through
+// the public API: generate a fault plan, run the pipeline, verify.
+func TestTxnFacade(t *testing.T) {
+	plan := kafkarel.GenerateTxnFaultPlan(3, kafkarel.TxnFaultGenConfig{Unclean: true})
+	res, err := kafkarel.RunTxnPipeline(context.Background(), kafkarel.TxnExperiment{
+		Seed: 3, Messages: 120, AbortEvery: 4, FaultPlan: plan,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TxnStats.TxnsCommitted == 0 {
+		t.Fatal("no transaction committed")
+	}
+	v := kafkarel.VerifyTxnTrial(kafkarel.TxnEvidence{
+		Plan:              plan,
+		Attempts:          res.Attempts,
+		InputKeys:         res.InputKeys,
+		CommittedOffsets:  res.CommittedOffsets,
+		OutputCommitted:   res.OutputCommitted,
+		OutputUncommitted: res.OutputUncommitted,
+		Completed:         res.Completed,
+	})
+	if !v.OK() {
+		t.Fatalf("violations: %v", v.Violations)
 	}
 }
