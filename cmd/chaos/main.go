@@ -10,6 +10,7 @@
 //	chaos -mode at-least-once -trials 50
 //	chaos -trials 60 -e2e                # consumer group + end-to-end checker per trial
 //	chaos -trials 60 -txn                # transactional pipeline + exactly-once checker per trial
+//	chaos -trials 60 -coop               # cooperative-rebalance churn campaign (eager control per trial)
 //	chaos -txn -isolation read_uncommitted   # aborted residue classified, not flagged
 //	chaos -mode exactly-once -plan-seed 123 -workload-seed 456   # replay one trial
 package main
@@ -28,7 +29,7 @@ import (
 
 func main() {
 	var (
-		modes        = flag.String("mode", "exactly-once,at-least-once", "comma-separated campaign modes (exactly-once, at-least-once, txn)")
+		modes        = flag.String("mode", "exactly-once,at-least-once", "comma-separated campaign modes (exactly-once, at-least-once, txn, coop)")
 		trials       = flag.Int("trials", 50, "trials per campaign")
 		seed         = flag.Uint64("seed", 1, "campaign seed")
 		messages     = flag.Int("messages", 300, "messages per trial")
@@ -37,8 +38,10 @@ func main() {
 		flushEvery   = flag.Duration("flush-interval", 50*time.Millisecond, "broker fsync cadence")
 		e2e          = flag.Bool("e2e", false, "run a consumer group through each trial and verify end-to-end delivery (group members crash too)")
 		txn          = flag.Bool("txn", false, "run the transactional pipeline campaign only (shorthand for -mode txn)")
+		coop         = flag.Bool("coop", false, "run the cooperative-rebalance churn campaign only (shorthand for -mode coop)")
 		isolation    = flag.String("isolation", "", "txn-mode consumer isolation: read_committed (default) or read_uncommitted")
-		members      = flag.Int("consumers", 2, "consumer-group size per trial under -e2e")
+		members      = flag.Int("consumers", 2, "consumer-group size per trial under -e2e (default 2) or per group under -coop (default 6)")
+		groups       = flag.Int("groups", 0, "coop-mode consumer-group fan-out (default 2)")
 		workers      = flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS)")
 		out          = flag.String("out", "", "write scorecard JSON to this file (default stdout)")
 		quiet        = flag.Bool("q", false, "suppress progress on stderr")
@@ -63,6 +66,13 @@ func main() {
 	}
 	if *txn {
 		*modes = campaign.ModeTxn
+	}
+	if *coop {
+		*modes = campaign.ModeCoop
+		cfg.Groups = *groups
+		if flagSet("consumers") {
+			cfg.ConsumerMembers = *members
+		}
 	}
 
 	if *planSeed != 0 || *workloadSeed != 0 {
@@ -93,6 +103,11 @@ func main() {
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "%s: %d trials, %d violations, %d flagged (%d with acked loss, %d with offset regressions)\n",
 				sc.Mode, sc.Trials, sc.Failed, sc.Flagged, sc.AckedLost, sc.OffsetRegressed)
+			if sc.Mode == campaign.ModeCoop {
+				fmt.Fprintf(os.Stderr, "coop vs eager: redelivered %d vs %d, paused %v vs %v\n",
+					sc.CoopRedelivered, sc.EagerRedelivered,
+					time.Duration(sc.CoopPausedNs), time.Duration(sc.EagerPausedNs))
+			}
 		}
 		violations += sc.Failed
 		cards = append(cards, sc)
@@ -120,6 +135,18 @@ func main() {
 	if violations > 0 {
 		os.Exit(1)
 	}
+}
+
+// flagSet reports whether a flag was explicitly passed on the command
+// line (as opposed to resting at its default).
+func flagSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }
 
 // replay re-runs one trial from its scorecard seeds and prints the row.

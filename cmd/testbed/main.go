@@ -64,7 +64,9 @@ func run(ctx context.Context, args []string) error {
 	fleet := fs.Int("fleet", 0, "fleet mode: run N producers over -topics topics with keyed routing and consumer groups")
 	topics := fs.Int("topics", 8, "fleet topic count (each topic is one independent shard)")
 	partitions := fs.Int("partitions", 32, "fleet per-topic partition count")
-	consumers := fs.Int("consumers", 1, "fleet consumer-group members per topic")
+	consumers := fs.Int("consumers", 1, "fleet consumer-group members per topic (per group with -groups)")
+	groupsN := fs.Int("groups", 1, "fleet consumer-group fan-out per topic (independent groups sharing each shard's coordinator and offsets log)")
+	cooperative := fs.Bool("cooperative", false, "fleet mode: run every consumer group under the cooperative incremental rebalance protocol (KIP-429) instead of eager")
 	consumerFaults := fs.Bool("consumer-faults", false, "fleet mode: crash and restart group members mid-stream in every shard (needs -consumers >= 2)")
 	usersPerSec := fs.Float64("users-per-sec", 0, "fleet aggregate offered load in msg/s (0 = full speed)")
 	lagTimeline := fs.String("lag-timeline", "", "fleet mode: write the per-partition consumer-lag timeline as CSV to this file (requires -timeline-interval sampling; implied interval 10s)")
@@ -97,6 +99,8 @@ func run(ctx context.Context, args []string) error {
 			topics:         *topics,
 			partitions:     *partitions,
 			consumers:      *consumers,
+			groups:         *groupsN,
+			cooperative:    *cooperative,
 			consumerFaults: *consumerFaults,
 			usersPerSec:    *usersPerSec,
 			parallel:       *parallel,
@@ -224,6 +228,8 @@ type fleetFlags struct {
 	topics         int
 	partitions     int
 	consumers      int
+	groups         int
+	cooperative    bool
 	consumerFaults bool
 	usersPerSec    float64
 	parallel       int
@@ -249,6 +255,8 @@ func runFleet(ctx context.Context, v features.Vector, ff fleetFlags) error {
 		Seed:              ff.seed,
 		UsersPerSec:       ff.usersPerSec,
 		ConsumersPerTopic: ff.consumers,
+		Groups:            ff.groups,
+		Cooperative:       ff.cooperative,
 		ConsumerFaults:    ff.consumerFaults,
 		MaxSimTime:        4 * time.Hour,
 	}

@@ -35,10 +35,18 @@ import (
 // and broker outages, verified by the transactional invariant checker
 // (chaos.VerifyTxn): zombie fencing, commit atomicity, exactly-once
 // delivery at read_committed.
+// ModeCoop runs a multi-group consumer fan-out (replication factor 3,
+// offsets at 3) under a generated churn plan of member crashes and
+// broker outages — twice per trial, once cooperative (KIP-429) and
+// once eager on the same (plan, workload) — and verifies the
+// cooperative run with chaos.VerifyCoop + chaos.VerifyE2E per group.
+// The eager run is the control: its redelivery and paused-partition
+// totals sit next to the cooperative run's in the row.
 const (
 	ModeExactlyOnce = "exactly-once"
 	ModeAtLeastOnce = "at-least-once"
 	ModeTxn         = "txn"
+	ModeCoop        = "coop"
 )
 
 // Config parameterises one campaign.
@@ -72,8 +80,14 @@ type Config struct {
 	// exercise the lost-committed-offset window and exactly-once
 	// campaigns must never see it.
 	E2E bool
-	// ConsumerMembers is the group size under E2E (default 2).
+	// ConsumerMembers is the group size under E2E (default 2) and per
+	// group under ModeCoop (default 6 — cooperative rebalancing's pause
+	// advantage scales with the members-per-moved-share ratio, so the
+	// campaign measures it at a group size where the protocol is meant
+	// to live).
 	ConsumerMembers int
+	// Groups is the ModeCoop consumer-group fan-out (default 2).
+	Groups int
 	// Isolation selects the ModeTxn consumer isolation: "" or
 	// "read_committed" (default, every residue is checked), or
 	// "read_uncommitted" (aborted residue in the consumer view is
@@ -89,7 +103,7 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Mode == "" {
 		c.Mode = ModeExactlyOnce
 	}
-	if c.Mode != ModeExactlyOnce && c.Mode != ModeAtLeastOnce && c.Mode != ModeTxn {
+	if c.Mode != ModeExactlyOnce && c.Mode != ModeAtLeastOnce && c.Mode != ModeTxn && c.Mode != ModeCoop {
 		return c, fmt.Errorf("campaign: unknown mode %q", c.Mode)
 	}
 	switch c.Isolation {
@@ -117,6 +131,14 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.E2E && c.ConsumerMembers <= 0 {
 		c.ConsumerMembers = 2
+	}
+	if c.Mode == ModeCoop {
+		if c.ConsumerMembers <= 0 {
+			c.ConsumerMembers = 6
+		}
+		if c.Groups <= 0 {
+			c.Groups = 2
+		}
 	}
 	return c, nil
 }
@@ -146,6 +168,17 @@ type Row struct {
 	Expirations       uint64 `json:"expirations,omitempty"`
 	OffsetRegressions int    `json:"offset_regressions,omitempty"`
 	Drained           bool   `json:"drained,omitempty"`
+	// Coop-mode fields: the cooperative run's totals live in the E2E
+	// fields above; these carry its paused/fan-out accounting and the
+	// eager control run of the same (plan, workload) for comparison.
+	Groups           int      `json:"groups,omitempty"`
+	PausedNs         uint64   `json:"paused_ns,omitempty"`
+	CoopFollowUps    uint64   `json:"coop_followups,omitempty"`
+	GroupRebalances  []uint64 `json:"group_rebalances,omitempty"`
+	GroupExpirations []uint64 `json:"group_expirations,omitempty"`
+	EagerRedelivered uint64   `json:"eager_redelivered,omitempty"`
+	EagerPausedNs    uint64   `json:"eager_paused_ns,omitempty"`
+	EagerRebalances  uint64   `json:"eager_rebalances,omitempty"`
 	// Txn-mode fields: transactional attempt and coordinator activity.
 	Isolation      string   `json:"isolation,omitempty"`
 	TxnAttempts    int      `json:"txn_attempts,omitempty"`
@@ -169,8 +202,14 @@ type Scorecard struct {
 	AckedLost int    `json:"acked_lost"` // trials that lost acknowledged records (classified)
 	// OffsetRegressed counts trials whose offsets log lost a committed
 	// watermark across an unclean restart (E2E mode only).
-	OffsetRegressed int   `json:"offset_regressed,omitempty"`
-	Rows            []Row `json:"rows"`
+	OffsetRegressed int `json:"offset_regressed,omitempty"`
+	// Coop-mode totals: the cooperative runs' redelivery and
+	// paused-partition sums next to their eager controls'.
+	CoopRedelivered  uint64 `json:"coop_redelivered,omitempty"`
+	EagerRedelivered uint64 `json:"eager_redelivered,omitempty"`
+	CoopPausedNs     uint64 `json:"coop_paused_ns,omitempty"`
+	EagerPausedNs    uint64 `json:"eager_paused_ns,omitempty"`
+	Rows             []Row  `json:"rows"`
 }
 
 // OK reports whether every trial upheld its invariants.
@@ -220,6 +259,12 @@ func Run(ctx context.Context, cfg Config) (Scorecard, error) {
 		if r.OffsetRegressions > 0 {
 			sc.OffsetRegressed++
 		}
+		if cfg.Mode == ModeCoop {
+			sc.CoopRedelivered += r.Redelivered
+			sc.EagerRedelivered += r.EagerRedelivered
+			sc.CoopPausedNs += r.PausedNs
+			sc.EagerPausedNs += r.EagerPausedNs
+		}
 	}
 	return sc, nil
 }
@@ -240,6 +285,9 @@ func runTrial(ctx context.Context, cfg Config, planSeed, workloadSeed uint64) (R
 	}
 	if cfg.Mode == ModeTxn {
 		return runTxnTrial(ctx, cfg, planSeed, workloadSeed)
+	}
+	if cfg.Mode == ModeCoop {
+		return runCoopTrial(ctx, cfg, planSeed, workloadSeed)
 	}
 	sem := producer.ExactlyOnce
 	semCode := features.SemanticsExactlyOnce
@@ -358,6 +406,144 @@ func runTrial(ctx context.Context, cfg Config, planSeed, workloadSeed uint64) (R
 		row.Expirations = res.Coordinator.SessionExpirations
 		row.OffsetRegressions = len(res.OffsetRegressions)
 		row.Drained = res.GroupEvidence.Drained
+	}
+	return row, nil
+}
+
+// runCoopTrial is one ModeCoop trial: the same generated churn plan and
+// workload run twice — cooperative, then eager — over a Groups-wide
+// consumer fan-out on a replication-factor-3 cluster with offsets at 3.
+// The cooperative run carries the verdict (chaos.VerifyCoop and
+// chaos.VerifyE2E per group); the eager run is the measured control.
+func runCoopTrial(ctx context.Context, cfg Config, planSeed, workloadSeed uint64) (Row, error) {
+	plan := chaos.GenerateCoopPlan(planSeed, chaos.CoopGenConfig{
+		Brokers:         3,
+		Groups:          cfg.Groups,
+		MembersPerGroup: cfg.ConsumerMembers,
+		Horizon:         cfg.Horizon,
+		MaxFaults:       cfg.MaxFaults,
+	})
+	run := func(coop bool) (testbed.Result, error) {
+		e := testbed.Experiment{
+			Features: features.Vector{
+				MessageSize:    100,
+				DelayMs:        2,
+				Semantics:      features.SemanticsAtLeastOnce,
+				BatchSize:      2,
+				PollInterval:   5 * time.Millisecond,
+				MessageTimeout: 2 * time.Second,
+			},
+			Messages:            cfg.Messages,
+			Seed:                workloadSeed,
+			Partitions:          12,
+			MaxSimTime:          cfg.Horizon + 10*time.Second,
+			FaultPlan:           plan,
+			ReplicationFactor:   3,
+			OffsetsReplication:  3,
+			MinISR:              2,
+			BrokerFlushInterval: cfg.FlushInterval,
+			CaptureEvidence:     true,
+			Consumers:           cfg.ConsumerMembers,
+			Groups:              cfg.Groups,
+			Cooperative:         coop,
+			MaxInFlight:         cfg.MaxInFlight,
+			MaxRetries:          8,
+			RequestTimeout:      250 * time.Millisecond,
+			RetryBackoff:        20 * time.Millisecond,
+			RetryBackoffMax:     200 * time.Millisecond,
+			QueueLimit:          64,
+		}
+		return testbed.RunCtx(ctx, e)
+	}
+	coopRes, err := run(true)
+	if err != nil {
+		return Row{}, fmt.Errorf("campaign: coop trial (plan %d, workload %d): %w", planSeed, workloadSeed, err)
+	}
+	eagerRes, err := run(false)
+	if err != nil {
+		return Row{}, fmt.Errorf("campaign: coop trial eager control (plan %d, workload %d): %w", planSeed, workloadSeed, err)
+	}
+
+	var verdict chaos.Verdict
+	for _, gr := range coopRes.GroupRuns {
+		verdict.Merge(chaos.VerifyE2E(chaos.E2EInput{
+			Semantics:          producer.AtLeastOnce,
+			OffsetsReplication: 3,
+			Plan:               plan,
+			Evidence:           gr.Evidence,
+			ConsumedKeys:       gr.ConsumedKeys,
+			FinalCommitted:     gr.Committed,
+			Regressions:        coopRes.OffsetRegressions,
+		}))
+		verdict.Merge(chaos.VerifyCoop(chaos.CoopInput{
+			OffsetsReplication: 3,
+			Plan:               plan,
+			Evidence:           gr.Evidence,
+			Regressions:        coopRes.OffsetRegressions,
+		}))
+	}
+	// The eager control still has to deliver end-to-end — a control that
+	// breaks delivery invariants is not a usable baseline.
+	for _, gr := range eagerRes.GroupRuns {
+		v := chaos.VerifyE2E(chaos.E2EInput{
+			Semantics:          producer.AtLeastOnce,
+			OffsetsReplication: 3,
+			Plan:               plan,
+			Evidence:           gr.Evidence,
+			ConsumedKeys:       gr.ConsumedKeys,
+			FinalCommitted:     gr.Committed,
+			Regressions:        eagerRes.OffsetRegressions,
+		})
+		for _, s := range v.Violations {
+			verdict.Violations = append(verdict.Violations, "eager control: "+s)
+		}
+		for _, s := range v.Classified {
+			verdict.Classified = append(verdict.Classified, "eager control: "+s)
+		}
+	}
+
+	row := Row{
+		Mode:         cfg.Mode,
+		PlanSeed:     planSeed,
+		WorkloadSeed: workloadSeed,
+		Completed:    coopRes.Completed,
+		Acquired:     coopRes.Acquired,
+		Delivered:    coopRes.Producer.Delivered,
+		Lost:         coopRes.Producer.Lost,
+		Duplicated:   coopRes.Report.NDuplicated,
+		Pl:           coopRes.Pl,
+		Pd:           coopRes.Pd,
+		Groups:       cfg.Groups,
+		Drained:      true,
+		Classified:   verdict.Classified,
+		Violations:   verdict.Violations,
+		Pass:         verdict.OK(),
+	}
+	for _, f := range plan.Faults {
+		row.Faults = append(row.Faults, f.String())
+	}
+	for _, st := range coopRes.BrokerStats {
+		row.Truncated += st.RecordsTruncated
+		row.Unclean += st.UncleanCrashes
+	}
+	row.OffsetRegressions = len(coopRes.OffsetRegressions)
+	for _, gr := range coopRes.GroupRuns {
+		for _, keys := range gr.ConsumedKeys {
+			row.Consumed += int64(len(keys))
+		}
+		row.Redelivered += gr.Evidence.Redelivered
+		row.Rebalances += gr.Evidence.Rebalances
+		row.Expirations += gr.Stats.SessionExpirations
+		row.PausedNs += gr.Evidence.PausedNs
+		row.CoopFollowUps += gr.Stats.CoopFollowUps
+		row.GroupRebalances = append(row.GroupRebalances, gr.Evidence.Rebalances)
+		row.GroupExpirations = append(row.GroupExpirations, gr.Stats.SessionExpirations)
+		row.Drained = row.Drained && gr.Evidence.Drained
+	}
+	for _, gr := range eagerRes.GroupRuns {
+		row.EagerRedelivered += gr.Evidence.Redelivered
+		row.EagerPausedNs += gr.Evidence.PausedNs
+		row.EagerRebalances += gr.Evidence.Rebalances
 	}
 	return row, nil
 }

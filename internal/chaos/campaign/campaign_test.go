@@ -346,3 +346,67 @@ func TestTxnCampaignReadUncommittedClassifiesResidue(t *testing.T) {
 		t.Error("no trial classified aborted residue; the deliberate-abort knob never produced any")
 	}
 }
+
+// TestCoopCampaignDeterministicAcrossWorkers extends the replay
+// guarantee to the cooperative-rebalance mode: the rendered scorecard —
+// including the per-group rebalance/expiration rows and the paired
+// eager-control columns — must be byte-identical at 1, 4 and 8 workers.
+func TestCoopCampaignDeterministicAcrossWorkers(t *testing.T) {
+	var ref []byte
+	for _, workers := range []int{1, 4, 8} {
+		sc, err := Run(context.Background(), Config{
+			Mode: ModeCoop, Trials: 3, Seed: 11, Messages: 120, Workers: workers,
+		})
+		if err != nil {
+			t.Fatalf("coop workers=%d: %v", workers, err)
+		}
+		var buf bytes.Buffer
+		if err := sc.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = buf.Bytes()
+		} else if !bytes.Equal(ref, buf.Bytes()) {
+			t.Errorf("coop: scorecard at workers=%d differs from workers=1", workers)
+		}
+	}
+}
+
+// TestCoopCampaignHoldsInvariantsAndBeatsEager runs a short cooperative
+// churn campaign and holds the PR's two claims at once: zero
+// coordinator/delivery invariant violations under generated
+// redelivery-storm plans, and the cooperative protocol never worse —
+// in aggregate strictly better — than its paired eager control on both
+// redelivered records and paused-partition time.
+func TestCoopCampaignHoldsInvariantsAndBeatsEager(t *testing.T) {
+	sc, err := Run(context.Background(), Config{Mode: ModeCoop, Trials: 8, Seed: 20260806})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Failed != 0 || sc.Flagged != 0 {
+		for _, r := range sc.Rows {
+			for _, v := range r.Violations {
+				t.Errorf("plan %d: %s", r.PlanSeed, v)
+			}
+			for _, c := range r.Classified {
+				t.Errorf("plan %d (classified): %s", r.PlanSeed, c)
+			}
+		}
+		t.Fatalf("failed=%d flagged=%d, want 0/0", sc.Failed, sc.Flagged)
+	}
+	if sc.CoopRedelivered > sc.EagerRedelivered {
+		t.Errorf("coop redelivered %d > eager %d", sc.CoopRedelivered, sc.EagerRedelivered)
+	}
+	if sc.CoopPausedNs >= sc.EagerPausedNs {
+		t.Errorf("coop paused %d ns >= eager %d ns", sc.CoopPausedNs, sc.EagerPausedNs)
+	}
+	for _, r := range sc.Rows {
+		if r.Redelivered > r.EagerRedelivered {
+			t.Errorf("plan %d: coop redelivered %d > eager %d", r.PlanSeed, r.Redelivered, r.EagerRedelivered)
+		}
+		if len(r.GroupRebalances) != r.Groups || len(r.GroupExpirations) != r.Groups {
+			t.Errorf("plan %d: group-tagged rows %d/%d, want %d per-group entries",
+				r.PlanSeed, len(r.GroupRebalances), len(r.GroupExpirations), r.Groups)
+		}
+	}
+}

@@ -148,6 +148,10 @@ type Fault struct {
 	// and ProcessorCrash/ProcessorZombie at a transactional processor by
 	// partition index.
 	Member int32
+	// Group targets ConsumerCrash at one consumer group by index into
+	// Targets.Groups (multi-group fan-out); 0 also matches the single
+	// Targets.Group fallback.
+	Group int32
 }
 
 // windowed reports whether the fault occupies a time window whose end
@@ -192,10 +196,14 @@ func (f Fault) String() string {
 	case ConnReset:
 		return fmt.Sprintf("%s @%v", f.Kind, f.At)
 	case ConsumerCrash:
-		if f.Duration > 0 {
-			return fmt.Sprintf("%s c%d @%v+%v", f.Kind, f.Member, f.At, f.Duration)
+		tgt := fmt.Sprintf("c%d", f.Member)
+		if f.Group > 0 {
+			tgt = fmt.Sprintf("g%d/c%d", f.Group, f.Member)
 		}
-		return fmt.Sprintf("%s c%d @%v", f.Kind, f.Member, f.At)
+		if f.Duration > 0 {
+			return fmt.Sprintf("%s %s @%v+%v", f.Kind, tgt, f.At, f.Duration)
+		}
+		return fmt.Sprintf("%s %s @%v", f.Kind, tgt, f.At)
 	case ProcessorCrash:
 		if f.Duration > 0 {
 			return fmt.Sprintf("%s t%d @%v+%v", f.Kind, f.Member, f.At, f.Duration)
@@ -312,6 +320,9 @@ func (p Plan) Validate(brokers int) error {
 			if f.Member < 0 {
 				return fmt.Errorf("chaos: fault %d: negative consumer member %d", i, f.Member)
 			}
+			if f.Group < 0 {
+				return fmt.Errorf("chaos: fault %d: negative consumer group %d", i, f.Group)
+			}
 		case ProcessorCrash, ProcessorZombie:
 			if f.Member < 0 {
 				return fmt.Errorf("chaos: fault %d: negative processor index %d", i, f.Member)
@@ -381,7 +392,7 @@ func (p Plan) Validate(brokers int) error {
 		idx   int
 	}
 	seq := map[int32][]ev{}
-	cseq := map[int32][]ev{}
+	cseq := map[[2]int32][]ev{} // keyed (group, member): groups churn independently
 	pseq := map[int32][]ev{}
 	for i, f := range p.Faults {
 		switch f.Kind {
@@ -393,9 +404,10 @@ func (p Plan) Validate(brokers int) error {
 		case BrokerRecover:
 			seq[f.Broker] = append(seq[f.Broker], ev{f.At, false, i})
 		case ConsumerCrash:
-			cseq[f.Member] = append(cseq[f.Member], ev{f.At, true, i})
+			k := [2]int32{f.Group, f.Member}
+			cseq[k] = append(cseq[k], ev{f.At, true, i})
 			if f.Duration > 0 {
-				cseq[f.Member] = append(cseq[f.Member], ev{f.end(), false, i})
+				cseq[k] = append(cseq[k], ev{f.end(), false, i})
 			}
 		case ProcessorCrash:
 			pseq[f.Member] = append(pseq[f.Member], ev{f.At, true, i})
@@ -424,8 +436,8 @@ func (p Plan) Validate(brokers int) error {
 			return err
 		}
 	}
-	for id, evs := range cseq {
-		if err := replay(evs, "consumer", id); err != nil {
+	for k, evs := range cseq {
+		if err := replay(evs, fmt.Sprintf("group-%d consumer", k[0]), k[1]); err != nil {
 			return err
 		}
 	}
@@ -463,15 +475,29 @@ type ProcessorSet interface {
 // receives runtime injection failures (e.g. recovering a broker whose
 // catch-up read fails).
 type Targets struct {
-	Sim      *des.Simulator
-	Cluster  *cluster.Cluster
-	Path     *netem.Path
-	Conn     *transport.Conn
-	Group    *consumer.Group
+	Sim     *des.Simulator
+	Cluster *cluster.Cluster
+	Path    *netem.Path
+	Conn    *transport.Conn
+	Group   *consumer.Group
+	// Groups is the multi-group fan-out target: Fault.Group indexes into
+	// it. When unset, faults with Group 0 fall back to the single Group.
+	Groups   []*consumer.Group
 	Procs    ProcessorSet
 	Timeline *obs.Timeline
 	Seed     uint64
 	OnError  func(error)
+}
+
+// consumerGroup resolves a fault's group index against the targets.
+func (t Targets) consumerGroup(i int32) *consumer.Group {
+	if int(i) < len(t.Groups) {
+		return t.Groups[i]
+	}
+	if i == 0 {
+		return t.Group
+	}
+	return nil
 }
 
 func (t Targets) fail(err error) {
@@ -529,8 +555,8 @@ func Schedule(plan Plan, t Targets) error {
 				return fmt.Errorf("chaos: fault %d (%s): no cluster target", i, f.Kind)
 			}
 		case ConsumerCrash:
-			if t.Group == nil {
-				return fmt.Errorf("chaos: fault %d (%s): no consumer-group target", i, f.Kind)
+			if t.consumerGroup(f.Group) == nil {
+				return fmt.Errorf("chaos: fault %d (%s): no consumer-group target for group %d", i, f.Kind, f.Group)
 			}
 		case ProcessorCrash, ProcessorZombie:
 			if t.Procs == nil {
@@ -589,8 +615,9 @@ func Schedule(plan Plan, t Targets) error {
 				t.Timeline.Annotate(obs.AnnFault, fmt.Sprintf("%s b%d over", f.Kind, f.Broker))
 			})
 		case ConsumerCrash:
+			grp := t.consumerGroup(f.Group)
 			t.Sim.Schedule(f.At, func() {
-				if err := t.Group.CrashMember(int(f.Member)); err != nil {
+				if err := grp.CrashMember(int(f.Member)); err != nil {
 					t.fail(err)
 					return
 				}
@@ -598,7 +625,7 @@ func Schedule(plan Plan, t Targets) error {
 			})
 			if f.Duration > 0 {
 				t.Sim.Schedule(f.end(), func() {
-					if err := t.Group.RestartMember(int(f.Member)); err != nil {
+					if err := grp.RestartMember(int(f.Member)); err != nil {
 						t.fail(err)
 						return
 					}

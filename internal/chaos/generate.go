@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"fmt"
 	"math/rand/v2"
 	"time"
 
@@ -137,6 +138,163 @@ func GeneratePlan(seed uint64, cfg GenConfig) Plan {
 				continue
 			}
 			f = Fault{Kind: k, At: at, Duration: d, Member: int32(rng.IntN(cfg.ConsumerMembers))}
+		}
+		plan.Faults = append(plan.Faults, f)
+	}
+	return plan
+}
+
+// CoopGenConfig bounds the cooperative-rebalance churn generator. Plans
+// are membership-churn heavy — consumer crashes with restart windows
+// across every group, each group churning independently — mixed with
+// broker outages and slowdowns so rebalances race replication stalls and
+// commit-round failures, the scenario where the eager protocol's
+// redelivery storms live.
+type CoopGenConfig struct {
+	// Brokers is the cluster size faults may target (default 3).
+	Brokers int
+	// Groups is the consumer-group fan-out faults spread over (default 1).
+	Groups int
+	// MembersPerGroup is each group's member count (default 3; crashes
+	// target join-order indices [0, MembersPerGroup)).
+	MembersPerGroup int
+	// Horizon is the window faults complete within (default 2 s).
+	Horizon time.Duration
+	// MaxFaults caps the faults per plan (default 6, minimum 1).
+	MaxFaults int
+	// Unclean permits unclean broker restarts.
+	Unclean bool
+}
+
+func (c CoopGenConfig) withDefaults() CoopGenConfig {
+	if c.Brokers <= 0 {
+		c.Brokers = 3
+	}
+	if c.Groups <= 0 {
+		c.Groups = 1
+	}
+	if c.MembersPerGroup <= 0 {
+		c.MembersPerGroup = 3
+	}
+	if c.Horizon <= 0 {
+		c.Horizon = 2 * time.Second
+	}
+	if c.MaxFaults <= 0 {
+		c.MaxFaults = 6
+	}
+	return c
+}
+
+// GenerateCoopPlan samples a churn-campaign fault plan: pure in
+// (seed, config), always valid (each group's crash windows lie on its
+// own sequential cursor, so a down member is never crashed again; every
+// member and broker recovers before the horizon). Consumer crashes are
+// drawn twice as often as any broker kind — the point of the campaign
+// is rebalance pressure, the broker faults are there to make commit
+// rounds fail underneath it. Half the broker outages take down a second
+// broker inside the first one's window: with min.insync.replicas = 2 on
+// a three-broker cluster that leaves the offsets log readable but
+// unwritable, the window where an eager rebalance must discard
+// positions it cannot flush — the redelivery-storm ingredient.
+func GenerateCoopPlan(seed uint64, cfg CoopGenConfig) Plan {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewPCG(seed, 0x5851F42D4C957F2D))
+
+	kinds := []Kind{ConsumerCrash, ConsumerCrash, BrokerCrash, BrokerSlow}
+	if cfg.Unclean {
+		kinds = append(kinds, UncleanRestart)
+	}
+
+	dur := func(lo, hi time.Duration) time.Duration {
+		return lo + time.Duration(rng.Int64N(int64(hi-lo)+1))
+	}
+	cursors := map[string]time.Duration{}
+	place := func(class string, want time.Duration) (time.Duration, bool) {
+		start := cursors[class] + dur(10*time.Millisecond, 150*time.Millisecond)
+		if start+want >= cfg.Horizon {
+			return 0, false
+		}
+		cursors[class] = start + want
+		return start, true
+	}
+
+	var plan Plan
+
+	// storm schedules one redelivery-storm cycle anchored at a broker
+	// outage window [at, at+d): a second broker dies inside it — with
+	// min.insync.replicas = 2 on three brokers the offsets log stays
+	// readable but unwritable for the middle half of the window — and a
+	// consumer sharing the first broker's host dies with it, restarting
+	// halfway through, so its rejoin rebalance always lands while commit
+	// rounds are failing. The correlated crash rides its group's own
+	// crash cursor only when the slot is free, keeping churn sequencing
+	// valid; the nested outage targets a different broker, so per-broker
+	// crash sequencing validates too.
+	storm := func(at, d time.Duration, b int32) {
+		if cfg.Brokers < 2 {
+			return
+		}
+		b2 := (b + 1 + int32(rng.IntN(cfg.Brokers-1))) % int32(cfg.Brokers)
+		plan.Faults = append(plan.Faults, Fault{
+			Kind: BrokerCrash, At: at + d/4, Duration: d / 2, Broker: b2,
+		})
+		cg := rng.IntN(cfg.Groups)
+		cm := rng.IntN(cfg.MembersPerGroup)
+		class := fmt.Sprintf("consumer-g%d", cg)
+		if cursors[class] <= at {
+			cursors[class] = at + d/2
+			plan.Faults = append(plan.Faults, Fault{
+				Kind: ConsumerCrash, At: at, Duration: d / 2,
+				Group: int32(cg), Member: int32(cm),
+			})
+		}
+	}
+
+	// Every plan opens with one full storm cycle: the campaign exists to
+	// measure rebalance behaviour while commits fail underneath, so that
+	// scenario is a fixture, not a coin flip. The outer window is kept
+	// wide enough (>= 350 ms) that the restarted member's whole rejoin —
+	// heartbeat detection included — lands inside the unwritable half.
+	d0 := dur(350*time.Millisecond, 500*time.Millisecond)
+	if at, ok := place("broker", d0); ok {
+		b := int32(rng.IntN(cfg.Brokers))
+		plan.Faults = append(plan.Faults, Fault{Kind: BrokerCrash, At: at, Duration: d0, Broker: b})
+		storm(at, d0, b)
+	}
+
+	n := 1 + rng.IntN(cfg.MaxFaults)
+	for i := 0; i < n; i++ {
+		k := kinds[rng.IntN(len(kinds))]
+		var f Fault
+		switch k {
+		case ConsumerCrash:
+			g := rng.IntN(cfg.Groups)
+			d := dur(100*time.Millisecond, 400*time.Millisecond)
+			at, ok := place(fmt.Sprintf("consumer-g%d", g), d)
+			if !ok {
+				continue
+			}
+			f = Fault{Kind: k, At: at, Duration: d,
+				Group: int32(g), Member: int32(rng.IntN(cfg.MembersPerGroup))}
+		case BrokerCrash, UncleanRestart:
+			d := dur(100*time.Millisecond, 500*time.Millisecond)
+			at, ok := place("broker", d)
+			if !ok {
+				continue
+			}
+			b := int32(rng.IntN(cfg.Brokers))
+			f = Fault{Kind: k, At: at, Duration: d, Broker: b}
+			if rng.IntN(2) == 0 {
+				storm(at, d, b)
+			}
+		case BrokerSlow:
+			d := dur(50*time.Millisecond, 400*time.Millisecond)
+			at, ok := place("slow", d)
+			if !ok {
+				continue
+			}
+			f = Fault{Kind: k, At: at, Duration: d, Broker: int32(rng.IntN(cfg.Brokers)),
+				Slowdown: 2 + 8*rng.Float64()}
 		}
 		plan.Faults = append(plan.Faults, f)
 	}

@@ -1,0 +1,151 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"kafkarel/internal/consumer"
+	"kafkarel/internal/coordinator"
+)
+
+func span(p int32, member string, gen int32, from, to time.Duration) consumer.OwnershipSpan {
+	return consumer.OwnershipSpan{Partition: p, Member: member, Generation: gen, From: from, To: to}
+}
+
+func TestVerifyCoopCleanHandoffPasses(t *testing.T) {
+	ms := time.Millisecond
+	v := VerifyCoop(CoopInput{
+		OffsetsReplication: 3,
+		Evidence: consumer.Evidence{
+			Group: "g",
+			OwnershipSpans: []consumer.OwnershipSpan{
+				// Half-open spans: revocation and the next owner's
+				// acquisition at the same instant is a clean handoff.
+				span(0, "a", 1, 0, 40*ms),
+				span(0, "b", 2, 40*ms, 100*ms),
+				span(1, "b", 1, 0, 100*ms),
+			},
+			Deliveries: []consumer.Delivery{
+				{Partition: 0, Offset: 0, Member: "a"},
+				{Partition: 0, Offset: 1, Member: "b"},
+				{Partition: 1, Offset: 0, Member: "b"},
+			},
+			Redelivered:      1,
+			RedeliveryBudget: 2,
+		},
+	})
+	if !v.OK() {
+		t.Fatalf("clean handoff flagged: %v", v.Violations)
+	}
+	if len(v.Classified) != 0 {
+		t.Fatalf("clean handoff classified anomalies: %v", v.Classified)
+	}
+}
+
+func TestVerifyCoopOverlappingOwnershipFails(t *testing.T) {
+	ms := time.Millisecond
+	v := VerifyCoop(CoopInput{
+		Evidence: consumer.Evidence{
+			Group: "g",
+			OwnershipSpans: []consumer.OwnershipSpan{
+				span(0, "a", 1, 0, 50*ms),
+				span(0, "b", 2, 49*ms, 100*ms), // strict overlap with a's span
+			},
+		},
+	})
+	if v.OK() {
+		t.Fatal("overlapping ownership passed")
+	}
+	if !strings.Contains(v.Violations[0], "overlapping sim-time") {
+		t.Fatalf("unexpected violation: %q", v.Violations[0])
+	}
+}
+
+func TestVerifyCoopInvertedSpanFails(t *testing.T) {
+	ms := time.Millisecond
+	v := VerifyCoop(CoopInput{
+		Evidence: consumer.Evidence{
+			Group:          "g",
+			OwnershipSpans: []consumer.OwnershipSpan{span(3, "a", 1, 50*ms, 10*ms)},
+		},
+	})
+	if v.OK() {
+		t.Fatal("inverted ownership span passed")
+	}
+}
+
+func TestVerifyCoopDeliveryGapFails(t *testing.T) {
+	v := VerifyCoop(CoopInput{
+		Evidence: consumer.Evidence{
+			Group: "g",
+			Deliveries: []consumer.Delivery{
+				{Partition: 2, Offset: 0},
+				{Partition: 2, Offset: 2}, // offset 1 skipped
+			},
+		},
+	})
+	if v.OK() {
+		t.Fatal("delivery gap passed")
+	}
+	if !strings.Contains(v.Violations[0], "delivery gap") {
+		t.Fatalf("unexpected violation: %q", v.Violations[0])
+	}
+	// A redelivery (offset below the frontier) is NOT a gap.
+	v = VerifyCoop(CoopInput{
+		Evidence: consumer.Evidence{
+			Group: "g",
+			Deliveries: []consumer.Delivery{
+				{Partition: 2, Offset: 0},
+				{Partition: 2, Offset: 1},
+				{Partition: 2, Offset: 0}, // redelivered, bounded by invariant 3
+				{Partition: 2, Offset: 2},
+			},
+			Redelivered: 2, RedeliveryBudget: 2,
+		},
+	})
+	if !v.OK() {
+		t.Fatalf("redelivery misread as a gap: %v", v.Violations)
+	}
+}
+
+func TestVerifyCoopRedeliveryBudgetClassification(t *testing.T) {
+	over := consumer.Evidence{Group: "g", Redelivered: 10, RedeliveryBudget: 3}
+
+	// No lost watermarks, offsets log fully replicated: a hard failure.
+	v := VerifyCoop(CoopInput{OffsetsReplication: 3, Evidence: over})
+	if v.OK() {
+		t.Fatal("unexplained redelivery storm passed")
+	}
+	if !strings.Contains(v.Violations[0], "redelivery storm") {
+		t.Fatalf("unexpected violation: %q", v.Violations[0])
+	}
+
+	// Committed-offset regressions explain the breach: classified.
+	v = VerifyCoop(CoopInput{
+		OffsetsReplication: 3,
+		Evidence:           over,
+		Regressions:        []coordinator.OffsetRegression{{}},
+	})
+	if !v.OK() {
+		t.Fatalf("regression-explained breach failed: %v", v.Violations)
+	}
+	if len(v.Classified) != 1 {
+		t.Fatalf("regression-explained breach not classified: %v", v.Classified)
+	}
+
+	// Under-replicated offsets log under broker faults: classified.
+	v = VerifyCoop(CoopInput{
+		OffsetsReplication: 1,
+		Evidence:           over,
+		Plan: Plan{Faults: []Fault{{
+			Kind: BrokerCrash, At: time.Millisecond, Duration: time.Millisecond, Broker: 0,
+		}}},
+	})
+	if !v.OK() {
+		t.Fatalf("under-replication-explained breach failed: %v", v.Violations)
+	}
+	if len(v.Classified) != 1 {
+		t.Fatalf("under-replication breach not classified: %v", v.Classified)
+	}
+}

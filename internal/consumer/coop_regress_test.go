@@ -1,0 +1,123 @@
+package consumer
+
+import (
+	"testing"
+	"time"
+)
+
+// TestGroupEagerRejoinFlushPinsRedelivery pins the commit-on-revocation
+// bugfix: when an eager member heads back to the join barrier it must
+// flush its dirty positions FIRST, so generation N's progress is
+// durable before generation N+1 resumes from the committed watermarks.
+// With a healthy cluster the flush always lands, so a mid-stream
+// rebalance must produce zero redelivery. If the pre-rejoin flush is
+// ever dropped, the new generation resumes from stale watermarks and
+// this count goes positive.
+func TestGroupEagerRejoinFlushPinsRedelivery(t *testing.T) {
+	const partitions, perPart = 4, 150
+	r := newGroupRig(t, partitions, perPart)
+	g, err := NewGroup(r.sim, r.co, r.clst, GroupConfig{
+		Topic: "t", Auto: true, Dedup: true, PollMax: 16, CaptureEvidence: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.SetDrainCheck(func() bool { return true })
+	if err := g.Join("c0"); err != nil {
+		t.Fatal(err)
+	}
+	r.sim.Schedule(25*time.Millisecond, func() {
+		if err := g.Join("c1"); err != nil {
+			t.Errorf("join: %v", err)
+		}
+	})
+	r.pump(t, 2*time.Second)
+	if !g.Done() {
+		t.Fatalf("group not done; states: c0=%s c1=%s", g.State("c0"), g.State("c1"))
+	}
+	ev := g.Evidence()
+	if !ev.Drained {
+		t.Fatal("group did not drain cleanly")
+	}
+	if ev.Rebalances < 3 {
+		t.Fatalf("assignments applied = %d, want >= 3 (the rebalance never happened)", ev.Rebalances)
+	}
+	if ev.Redelivered != 0 {
+		t.Fatalf("eager rebalance with healthy commits redelivered %d records, want 0 — generation N progress was not durable before generation N+1 resumed", ev.Redelivered)
+	}
+	rep := ReconcileRangesKeys(sourceRanges(partitions, perPart), g.ConsumedKeys())
+	if rep.NLost != 0 || rep.NDuplicated != 0 {
+		t.Fatalf("reconcile: lost=%d dup=%d", rep.NLost, rep.NDuplicated)
+	}
+}
+
+// TestGroupLagProbeFencedToLiveOwnership pins the probe-fencing bugfix:
+// Lag, LagByPartition and Probe must charge backlog only to partitions
+// owned in the current generation. A partition mid-handoff (its owner
+// crashed, the rebalance not yet complete) has no member accountable
+// for it; charging its backlog to the group double counts it the moment
+// the new owner's first commit lands. Once the rebalance completes the
+// partitions are owned again and their backlog reappears.
+func TestGroupLagProbeFencedToLiveOwnership(t *testing.T) {
+	const partitions, perPart = 4, 8
+	r := newGroupRig(t, partitions, perPart)
+	g, err := NewGroup(r.sim, r.co, r.clst, GroupConfig{Topic: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"c0", "c1"} {
+		if err := g.Join(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.pump(t, 50*time.Millisecond)
+	// Drain and commit c0's half so its true lag is zero; c1's half
+	// keeps its full backlog uncommitted.
+	for drained := 0; drained < 2*perPart; {
+		recs, err := g.Poll("c0", 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		drained += len(recs)
+		if err := g.Commit("c0"); err != nil {
+			t.Fatal(err)
+		}
+		r.pump(t, 20*time.Millisecond)
+	}
+	if lag, err := g.Lag(); err != nil || lag != 2*perPart {
+		t.Fatalf("stable lag = %d (err=%v), want %d", lag, err, 2*perPart)
+	}
+
+	// c1 crashes. Its partitions are ownerless until the session expiry
+	// rebalance hands them to c0: the probes must fence them out.
+	if err := g.Crash("c1"); err != nil {
+		t.Fatal(err)
+	}
+	lags, err := g.LagByPartition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, l := range lags {
+		if l != 0 {
+			t.Fatalf("mid-handoff LagByPartition[%d] = %d, want 0 (fenced: c0 partitions drained, c1 partitions ownerless)", p, l)
+		}
+	}
+	if pr := g.Probe(); pr.Lag != 0 {
+		t.Fatalf("mid-handoff Probe().Lag = %d, want 0", pr.Lag)
+	}
+
+	// Session expiry hands c1's partitions to c0; the backlog is again
+	// a live member's responsibility and must reappear in full. Manual
+	// mode: drive c0's heartbeats so it notices the rebalance and
+	// rejoins (the Heartbeat error while it is mid-rejoin is expected).
+	for i := 0; i < 16 && len(g.Assignment("c0")) != partitions; i++ {
+		_ = g.Heartbeat("c0")
+		r.pump(t, 50*time.Millisecond)
+	}
+	if got := len(g.Assignment("c0")); got != partitions {
+		t.Fatalf("c0 owns %d partitions after expiry rebalance, want %d", got, partitions)
+	}
+	if lag, err := g.Lag(); err != nil || lag != 2*perPart {
+		t.Fatalf("post-rebalance lag = %d (err=%v), want %d — the inherited backlog vanished", lag, err, 2*perPart)
+	}
+}

@@ -64,6 +64,14 @@ type Group struct {
 	// hwm is the latest high watermark any member observed per
 	// partition (-1 = never fetched) — the group-wide drain target.
 	hwm []int64
+	// owner is the member currently owning each partition ("" = none) —
+	// the client-side ownership ledger behind the cooperative-rebalance
+	// evidence (ownership spans, redelivery budget).
+	owner []string
+	// pausedAt stamps when each partition last lost active polling
+	// coverage (-1 = covered). The paused-partition span measures the
+	// rebalance cost the cooperative protocol exists to remove.
+	pausedAt []time.Duration
 
 	ev           Evidence
 	drainCheck   func() bool
@@ -80,6 +88,7 @@ type Group struct {
 	gLag         *obs.Gauge
 	hSpanE2E     *obs.Histogram
 	hSpanCommit  *obs.Histogram
+	hPaused      *obs.Histogram
 }
 
 // GroupConfig parameterises a Group.
@@ -114,6 +123,14 @@ type GroupConfig struct {
 	// its member id and assignment without triggering a rebalance
 	// (KIP-345).
 	StaticMembership bool
+	// Cooperative switches members to the incremental rebalance protocol
+	// (KIP-429): they join carrying the partitions they still own, keep
+	// consuming everything they retain across the generation bump, and
+	// revoke only the partitions leaving them — committing those
+	// partitions' progress first. Default (false) is the classic eager
+	// protocol: every rebalance pauses every partition for the whole
+	// join-barrier window.
+	Cooperative bool
 	// Auto runs members as DES actors (see Group doc).
 	Auto bool
 	// Dedup suppresses redelivered offsets (at or below the delivered
@@ -176,16 +193,42 @@ type CommitAck struct {
 	AfterDeliveries int
 }
 
+// OwnershipSpan is one interval during which a member owned (could
+// deliver on) a partition. Spans end when the partition is revoked,
+// the member crashes, leaves, or discovers its eviction; spans still
+// open when Evidence is snapshotted are closed at the snapshot time.
+// chaos.VerifyCoop checks that no partition has two members' spans
+// overlapping in open sim-time.
+type OwnershipSpan struct {
+	Partition  int32
+	Member     string
+	Generation int32
+	From       time.Duration
+	To         time.Duration
+}
+
+// PauseSpan is one closed partition-pause window: sim time during which
+// no member's poll loop covered the partition (CaptureEvidence only).
+type PauseSpan struct {
+	Partition int32
+	From      time.Duration
+	To        time.Duration
+}
+
 // Evidence is the group's end-to-end delivery record: what the
 // application saw, what the offsets log acknowledged, and the
 // membership churn along the way.
 type Evidence struct {
 	Group string
 	Dedup bool
-	// Deliveries and CommitAcks are only populated under
-	// CaptureEvidence; the counters always are.
-	Deliveries []Delivery
-	CommitAcks []CommitAck
+	// Deliveries, CommitAcks, OwnershipSpans and PauseSpans are only
+	// populated under CaptureEvidence; the counters always are.
+	Deliveries     []Delivery
+	CommitAcks     []CommitAck
+	OwnershipSpans []OwnershipSpan
+	// PauseSpans records each window a partition spent without polling
+	// coverage — the per-incident decomposition of PausedNs.
+	PauseSpans []PauseSpan
 
 	Delivered      uint64 // records handed to the application
 	Redelivered    uint64 // polled records at already-delivered offsets
@@ -197,6 +240,17 @@ type Evidence struct {
 	Crashes        uint64
 	Restarts       uint64
 	CommitTimeouts uint64
+	// RedeliveryBudget bounds legitimate at-least-once redelivery: the
+	// sum over every ownership end of that partition's uncommitted
+	// window (delivered beyond the durable commit) plus every
+	// truncation-rewind window. chaos.VerifyCoop checks
+	// Redelivered <= RedeliveryBudget.
+	RedeliveryBudget uint64
+	// PausedNs accumulates partition-pause time: for each partition, the
+	// sim-time it spent without active polling coverage (eager members
+	// pause everything for each join barrier; cooperative members pause
+	// only the partitions actually moving).
+	PausedNs uint64
 	// Drained reports a clean end: every member left after its
 	// partitions were consumed to the high watermark and committed.
 	Drained bool
@@ -248,6 +302,20 @@ type Member struct {
 	crashed       bool
 	left          bool
 	cleanLeft     bool
+	// joinAfterCommit defers a rebalance-triggered rejoin until the
+	// in-flight commit round resolves: generation N's progress must be
+	// durable (or cleanly failed) before the join barrier can close and
+	// hand the partitions to generation N+1 — the commit-before-revoke
+	// barrier. commitTimeout is the escape hatch.
+	joinAfterCommit bool
+	// hbPhase is a fixed per-member heartbeat phase offset. Real group
+	// members never heartbeat in lockstep; without the offset every
+	// member would detect a rebalance at the same simulated instant and
+	// the eager barrier would look free.
+	hbPhase time.Duration
+	// openSpan maps an owned partition to its open ownership-span index
+	// in Evidence.OwnershipSpans (CaptureEvidence only).
+	openSpan map[int32]int
 }
 
 // commitReq is one in-flight offset commit, pooled so the steady-state
@@ -303,9 +371,14 @@ func NewGroup(sim *des.Simulator, co *coordinator.Coordinator, clst *cluster.Clu
 		deliveredNext: make([]int64, n),
 		commitHi:      make([]int64, n),
 		hwm:           make([]int64, n),
+		owner:         make([]string, n),
+		pausedAt:      make([]time.Duration, n),
 	}
 	for p := range g.hwm {
 		g.hwm[p] = -1
+		// Every partition starts uncovered; the first assignment closes
+		// the pause, so the initial join barrier is measured too.
+		g.pausedAt[p] = sim.Now()
 	}
 	g.ev.Group = cfg.ID
 	g.ev.Dedup = cfg.Dedup
@@ -318,6 +391,7 @@ func NewGroup(sim *des.Simulator, co *coordinator.Coordinator, clst *cluster.Clu
 		g.gLag = o.GaugeOf(obs.MConsumerLag, obs.GaugeKindSum)
 		g.hSpanE2E = o.Histogram(obs.MSpanDelivery, obs.LatencyBounds)
 		g.hSpanCommit = o.Histogram(obs.MSpanCommit, obs.LatencyBounds)
+		g.hPaused = o.Histogram(obs.MPausedNs, obs.LatencyBounds)
 	}
 	return g, nil
 }
@@ -345,6 +419,7 @@ func (g *Group) Join(name string) error {
 		name:     name,
 		position: make(map[int32]int64),
 		ackedTo:  make(map[int32]int64),
+		hbPhase:  time.Duration(len(g.order)%8) * g.cfg.HeartbeatInterval / 8,
 	}
 	m.hbT = des.NewTimer(g.sim, m.heartbeatTick)
 	m.pollT = des.NewTimer(g.sim, m.pollTick)
@@ -400,11 +475,31 @@ func (g *Group) Generation(name string) int32 {
 // Done reports whether every member has left or crashed.
 func (g *Group) Done() bool { return g.started > 0 && g.active == 0 }
 
-// Evidence returns a copy of the group's delivery evidence.
+// Evidence returns a copy of the group's delivery evidence. Ownership
+// spans still open and partitions still paused are closed at the
+// snapshot time in the copy (the live state is untouched).
 func (g *Group) Evidence() Evidence {
+	now := g.sim.Now()
 	ev := g.ev
 	ev.Deliveries = append([]Delivery(nil), g.ev.Deliveries...)
 	ev.CommitAcks = append([]CommitAck(nil), g.ev.CommitAcks...)
+	ev.OwnershipSpans = append([]OwnershipSpan(nil), g.ev.OwnershipSpans...)
+	for i := range ev.OwnershipSpans {
+		if ev.OwnershipSpans[i].To < 0 {
+			ev.OwnershipSpans[i].To = now
+		}
+	}
+	ev.PauseSpans = append([]PauseSpan(nil), g.ev.PauseSpans...)
+	for p := range g.pausedAt {
+		if g.pausedAt[p] >= 0 {
+			ev.PausedNs += uint64(now - g.pausedAt[p])
+			if g.cfg.CaptureEvidence {
+				ev.PauseSpans = append(ev.PauseSpans, PauseSpan{
+					Partition: int32(p), From: g.pausedAt[p], To: now,
+				})
+			}
+		}
+	}
 	return ev
 }
 
@@ -422,12 +517,91 @@ func (g *Group) ConsumedKeys() [][]uint64 {
 // (0 = none acknowledged yet).
 func (g *Group) CommitHi() []int64 { return append([]int64(nil), g.commitHi...) }
 
+// ---- ownership & pause accounting ----
+
+// beginOwnership registers the member as the partition's owner, closing
+// the partition's pause window and opening an ownership span.
+func (m *Member) beginOwnership(p int32) {
+	g := m.g
+	if g.owner[p] != m.name {
+		g.owner[p] = m.name
+		if g.cfg.CaptureEvidence {
+			if m.openSpan == nil {
+				m.openSpan = make(map[int32]int)
+			}
+			if _, open := m.openSpan[p]; !open {
+				m.openSpan[p] = len(g.ev.OwnershipSpans)
+				g.ev.OwnershipSpans = append(g.ev.OwnershipSpans, OwnershipSpan{
+					Partition: p, Member: m.name, Generation: m.gen,
+					From: g.sim.Now(), To: -1,
+				})
+			}
+		}
+	}
+	g.resumePartition(p)
+}
+
+// endOwnership releases the partition, charging its uncommitted window
+// to the redelivery budget: whoever acquires it next resumes from a
+// durable commit at or above commitHi as of now, so at most
+// deliveredNext-commitHi records can legitimately be delivered again.
+func (m *Member) endOwnership(p int32) {
+	g := m.g
+	if g.owner[p] == m.name {
+		g.owner[p] = ""
+	}
+	if w := g.deliveredNext[p] - g.commitHi[p]; w > 0 {
+		g.ev.RedeliveryBudget += uint64(w)
+	}
+	if i, open := m.openSpan[p]; open {
+		g.ev.OwnershipSpans[i].To = g.sim.Now()
+		delete(m.openSpan, p)
+	}
+}
+
+// pausePartition marks the partition as having lost polling coverage —
+// unless another member has already taken it over (its poll loop is the
+// coverage now).
+func (m *Member) pausePartition(p int32) {
+	g := m.g
+	if g.owner[p] != "" && g.owner[p] != m.name {
+		return
+	}
+	if g.pausedAt[p] < 0 {
+		g.pausedAt[p] = g.sim.Now()
+	}
+}
+
+// resumePartition closes an open pause window and accounts it.
+func (g *Group) resumePartition(p int32) {
+	if at := g.pausedAt[p]; at >= 0 {
+		d := g.sim.Now() - at
+		g.ev.PausedNs += uint64(d)
+		g.hPaused.Observe(int64(d))
+		if g.cfg.CaptureEvidence {
+			g.ev.PauseSpans = append(g.ev.PauseSpans, PauseSpan{
+				Partition: p, From: at, To: g.sim.Now(),
+			})
+		}
+		g.pausedAt[p] = -1
+	}
+}
+
 // ---- join / sync ----
 
 func (m *Member) sendJoin() {
 	g := m.g
+	if !g.cfg.Cooperative {
+		// Eager stop-the-world: polling stops for the whole barrier, so
+		// every owned partition loses coverage until the new assignment
+		// applies. Cooperative members keep consuming what they hold.
+		for _, p := range m.assigned {
+			m.pausePartition(p)
+		}
+	}
 	m.state = mJoining
 	m.pendingAssign = nil
+	m.joinAfterCommit = false
 	m.joinEpoch++
 	epoch := m.joinEpoch
 	req := wire.JoinGroupRequest{
@@ -438,6 +612,10 @@ func (m *Member) sendJoin() {
 	}
 	if g.cfg.StaticMembership {
 		req.GroupInstanceID = g.cfg.ID + "/" + m.name
+	}
+	if g.cfg.Cooperative {
+		req.Protocol = wire.ProtocolCooperative
+		req.OwnedPartitions = append([]int32(nil), m.assigned...)
 	}
 	g.co.HandleJoinGroup(req, func(resp wire.JoinGroupResponse) { m.onJoin(epoch, resp) })
 }
@@ -455,8 +633,12 @@ func (m *Member) onJoin(epoch uint64, resp wire.JoinGroupResponse) {
 		// Our own newer join superseded this one; its callback is still
 		// parked. Nothing to do.
 	case wire.ErrUnknownMemberID:
-		// Evicted while parked (missed the rebalance window). Rejoin
-		// with a fresh identity after a backoff.
+		// Evicted while parked (missed the rebalance window). The
+		// coordinator delivers this before handing our partitions to the
+		// survivors, so ownership must end here and now — a cooperative
+		// member that kept its assignment polling would overlap the new
+		// owners. Rejoin with a fresh identity after a backoff.
+		m.resetLocal()
 		m.id = ""
 		m.retryT.Reset(m.g.cfg.RetryBackoff)
 	default:
@@ -486,9 +668,14 @@ func (m *Member) onSync(resp wire.SyncGroupResponse) {
 	}
 }
 
-// applyAssignment installs a new assignment cooperatively: positions of
-// retained partitions survive, revoked partitions are dropped, and
-// newly acquired partitions resume from the durable committed offset.
+// applyAssignment installs a new assignment. Cooperative members keep
+// the positions of retained partitions, drop revoked ones
+// (commit-before-revoke), and resume newly acquired partitions from the
+// durable committed offset. Eager members lost everything at the join
+// barrier — their whole subscription state was replaced, as with a real
+// eager client — so every partition resumes from the committed offset,
+// and whatever the pre-join flush failed to make durable is consumed
+// again (the redelivery window the cooperative protocol avoids).
 func (m *Member) applyAssignment(assigned []int32) {
 	g := m.g
 	kept := make(map[int32]bool, len(assigned))
@@ -496,7 +683,27 @@ func (m *Member) applyAssignment(assigned []int32) {
 		kept[p] = true
 	}
 	for p := range m.position {
+		if !g.cfg.Cooperative {
+			// Eager revoke-all: no position survives the barrier. The
+			// dirty positions were flushed before the join (onHeartbeat);
+			// a flush that failed there is lost here, not retried — the
+			// old generation is gone.
+			m.endOwnership(p)
+			m.pausePartition(p)
+			delete(m.position, p)
+			delete(m.ackedTo, p)
+			continue
+		}
 		if !kept[p] {
+			// Commit-before-revoke: a cooperative member kept consuming
+			// right through the join barrier, so progress since the last
+			// commit round must become durable before the partition moves
+			// to its next owner (who resumes from the committed offset).
+			if pos := m.position[p]; pos > m.ackedTo[p] {
+				m.commitOne(p, pos)
+			}
+			m.endOwnership(p)
+			m.pausePartition(p)
 			delete(m.position, p)
 			delete(m.ackedTo, p)
 		}
@@ -530,11 +737,14 @@ func (m *Member) applyAssignment(assigned []int32) {
 	}
 	m.pendingAssign = nil
 	m.assigned = append(m.assigned[:0], assigned...)
+	for _, p := range assigned {
+		m.beginOwnership(p)
+	}
 	m.state = mStable
 	g.ev.Rebalances++
 	if g.cfg.Auto {
 		m.pollT.Reset(g.cfg.PollInterval)
-		m.hbT.Reset(g.cfg.HeartbeatInterval)
+		m.hbT.Reset(g.cfg.HeartbeatInterval + m.hbPhase)
 	}
 }
 
@@ -570,10 +780,32 @@ func (m *Member) onHeartbeat(resp wire.HeartbeatResponse) {
 	case wire.ErrNone:
 		m.hbT.Reset(m.g.cfg.HeartbeatInterval)
 	case wire.ErrRebalanceInProgress:
-		// Cooperative revoke: commit progress inside the revoke window
-		// (the coordinator accepts current-generation commits during
-		// PreparingRebalance), then rejoin keeping our identity.
+		// A rebalance wants us back at the barrier. Cooperative members
+		// rejoin immediately — they keep consuming and committing their
+		// current assignment while parked, and commit-before-revoke
+		// happens per partition when the new assignment applies. Eager
+		// members revoke everything at the join, so generation N's
+		// progress must be durable first: flush the dirty positions (the
+		// coordinator accepts current-generation commits during
+		// PreparingRebalance) and join only once the acks land —
+		// commitTimeout is the escape hatch. Joining with the flush still
+		// in flight is the redelivery storm this barrier exists to stop:
+		// the ack materialises after the new owner's offset fetch, and
+		// the whole uncommitted window is consumed twice.
+		if m.g.cfg.Cooperative {
+			m.sendJoin()
+			return
+		}
+		if m.joinAfterCommit {
+			m.hbT.Reset(m.g.cfg.HeartbeatInterval)
+			return // already flushing; keep the session alive meanwhile
+		}
 		m.commitDirty()
+		if m.inFlight > 0 {
+			m.joinAfterCommit = true
+			m.hbT.Reset(m.g.cfg.HeartbeatInterval)
+			return
+		}
 		m.sendJoin()
 	case wire.ErrUnknownMemberID:
 		// Session expired server-side; our state is stale.
@@ -603,10 +835,28 @@ func (g *Group) Heartbeat(name string) error {
 // pollTick is the driven-mode poll round: fetch, deliver, auto-commit,
 // and check the drain condition.
 func (m *Member) pollTick() {
-	if m.state != mStable || m.crashed || m.left {
+	if m.crashed || m.left {
 		return
 	}
 	g := m.g
+	if m.state != mStable {
+		// Cooperative members keep consuming (and committing) the
+		// partitions they still hold while a rebalance is in flight —
+		// that retained coverage is the whole point of KIP-429. Eager
+		// members stop until the new assignment applies.
+		if g.cfg.Cooperative && len(m.assigned) > 0 {
+			m.pollOnce(g.cfg.PollMax, nil)
+			m.commitDirty()
+			m.pollT.Reset(g.cfg.PollInterval)
+		}
+		return
+	}
+	if m.joinAfterCommit {
+		// Revocation pending behind the commit flush: polling on would
+		// dirty the positions again and the flush would never complete.
+		// applyAssignment restarts the poll timer.
+		return
+	}
 	m.pollOnce(g.cfg.PollMax, nil)
 	if m.state != mStable { // a fenced commit mid-round triggered a rejoin
 		return
@@ -661,6 +911,12 @@ func (m *Member) pollOnce(max int, collect *[]wire.Record) {
 					m.ackedTo[p] = fr.HighWatermark
 				}
 				g.ev.Rewinds++
+				// The truncated suffix will be refetched: its re-appended
+				// records arrive at already-delivered offsets. Charge the
+				// window to the redelivery budget.
+				if w := g.deliveredNext[p] - fr.HighWatermark; w > 0 {
+					g.ev.RedeliveryBudget += uint64(w)
+				}
 			}
 			continue
 		}
@@ -753,24 +1009,28 @@ func (g *Group) Poll(name string, max int) ([]wire.Record, error) {
 // offsets log replicates; the round is abandoned (and later retried)
 // if no ack lands within CommitTimeout.
 func (m *Member) commitDirty() {
-	g := m.g
-	sent := false
 	for _, p := range m.assigned {
 		pos := m.position[p]
 		if pos <= m.ackedTo[p] {
 			continue
 		}
-		j := g.getCommitReq()
-		j.m, j.epoch, j.part, j.offset = m, m.commitEpoch, p, pos
-		j.sentAt = g.sim.Now()
-		m.inFlight++
-		sent = true
-		g.co.HandleOffsetCommit(wire.OffsetCommitRequest{
-			Group: g.cfg.ID, MemberID: m.id, Generation: m.gen,
-			Topic: g.cfg.Topic, Partition: p, Offset: pos,
-		}, j.fire)
+		m.commitOne(p, pos)
 	}
-	if sent && m.inFlight > 0 {
+}
+
+// commitOne sends a single offset commit and (re)arms the commit
+// timeout from this send.
+func (m *Member) commitOne(p int32, pos int64) {
+	g := m.g
+	j := g.getCommitReq()
+	j.m, j.epoch, j.part, j.offset = m, m.commitEpoch, p, pos
+	j.sentAt = g.sim.Now()
+	m.inFlight++
+	g.co.HandleOffsetCommit(wire.OffsetCommitRequest{
+		Group: g.cfg.ID, MemberID: m.id, Generation: m.gen,
+		Topic: g.cfg.Topic, Partition: p, Offset: pos,
+	}, j.fire)
+	if m.inFlight > 0 {
 		m.commitT.Reset(g.cfg.CommitTimeout)
 	}
 }
@@ -802,19 +1062,39 @@ func (j *commitReq) done(resp wire.OffsetCommitResponse) {
 	if m.inFlight == 0 {
 		m.commitT.Stop()
 	}
+	awaitingJoin := m.joinAfterCommit
 	switch resp.Err {
 	case wire.ErrNone:
-		if off > m.ackedTo[p] {
+		// Guarded update: a commit for a since-revoked partition must not
+		// resurrect its ackedTo entry (the new owner tracks it now).
+		if cur, ok := m.ackedTo[p]; ok && off > cur {
 			m.ackedTo[p] = off
 		}
 	case wire.ErrIllegalGeneration, wire.ErrUnknownMemberID:
 		g.ev.FencedCommits++
-		if m.state == mStable && !m.crashed && !m.left {
+		if resp.Err == wire.ErrUnknownMemberID && !m.crashed && !m.left {
+			// Evicted: our assignment is being handed out right now.
+			m.resetLocal()
+			m.id = ""
+		}
+		if (m.state == mStable || awaitingJoin) && !m.crashed && !m.left {
 			m.sendJoin()
 		}
+		return
+	case wire.ErrRebalanceInProgress:
+		// The commit raced the join barrier and was cleanly rejected —
+		// not materialized, not dropped. Positions stay dirty; the next
+		// poll re-commits them in the new generation.
 	default:
 		// Retriable (coordinator unavailable, not enough replicas):
 		// the next poll round re-commits the same position.
+	}
+	// Commit-before-revoke barrier release: the deferred rejoin fires
+	// once the flush round fully resolves (acked or cleanly failed —
+	// a failed flush redelivers, but boundedly, and stalling the whole
+	// group's rebalance behind a dead offsets log would be worse).
+	if awaitingJoin && m.inFlight == 0 && !m.crashed && !m.left {
+		m.sendJoin()
 	}
 }
 
@@ -825,6 +1105,13 @@ func (m *Member) commitTimeout() {
 	m.g.ev.CommitTimeouts++
 	m.commitEpoch++
 	m.inFlight = 0
+	if m.joinAfterCommit {
+		// Escape hatch for the commit-before-revoke barrier: the offsets
+		// log would not answer within CommitTimeout (< RebalanceTimeout,
+		// so we rejoin before the coordinator evicts us). Join anyway and
+		// accept the bounded redelivery of the unflushed window.
+		m.sendJoin()
+	}
 }
 
 // Commit starts an async commit of the member's current positions.
@@ -872,14 +1159,35 @@ func (g *Group) Committed(partition int32) (int64, error) {
 	}
 }
 
+// anyOwned reports whether any live member currently owns a partition.
+// While true, lag probes fence themselves to the owned partitions —
+// a partition mid-handoff (revoked, not yet acquired) has no member
+// accountable for it, and charging its backlog to the group double
+// counts it the moment the new owner's first commit lands. When nothing
+// is owned (before the first assignment, or after every member left)
+// the probes fall back to the full admin view.
+func (g *Group) anyOwned() bool {
+	for _, o := range g.owner {
+		if o != "" {
+			return true
+		}
+	}
+	return false
+}
+
 // LagByPartition returns, per partition, the records between the
 // durable committed offset and the partition high watermark
 // (uncommitted partitions count from offset 0). Both sides are read
 // through the coordinator and cluster — the authoritative (not
-// group-cached) view.
+// group-cached) view. Rows are fenced to the current generation's
+// assignment (see anyOwned); unowned partitions report zero.
 func (g *Group) LagByPartition() ([]int64, error) {
 	lags := make([]int64, g.partitions)
+	fence := g.anyOwned()
 	for p := int32(0); p < g.partitions; p++ {
+		if fence && g.owner[p] == "" {
+			continue
+		}
 		committed, err := g.Committed(p)
 		if err != nil && !errors.Is(err, ErrNoCommit) {
 			return nil, err
@@ -925,7 +1233,11 @@ func (g *Group) Probe() obs.GroupProbe {
 		CommitAcks:     g.ev.CommitsAcked,
 		Rebalances:     g.ev.Rebalances,
 	}
+	fence := g.anyOwned()
 	for p := int32(0); p < g.partitions; p++ {
+		if fence && g.owner[p] == "" {
+			continue // fenced: no live owner in the current generation
+		}
 		if g.hwm[p] < 0 {
 			continue // never fetched: backlog unknown, count as zero
 		}
@@ -950,6 +1262,13 @@ func (m *Member) stopTimers() {
 func (m *Member) leave(clean bool) {
 	g := m.g
 	m.stopTimers()
+	for _, p := range m.assigned {
+		m.endOwnership(p)
+		m.pausePartition(p)
+	}
+	for p := range m.openSpan {
+		m.endOwnership(p)
+	}
 	wasStable := m.state == mStable
 	m.state = mDown
 	m.left = true
@@ -969,6 +1288,16 @@ func (m *Member) leave(clean bool) {
 
 // finish settles the group-level verdict once the last actor stopped.
 func (g *Group) finish() {
+	// Stop the paused-partition clocks: with no members left there is
+	// nothing to resume, and post-run idle time is not rebalance cost.
+	for p := range g.pausedAt {
+		if g.pausedAt[p] >= 0 {
+			d := g.sim.Now() - g.pausedAt[p]
+			g.ev.PausedNs += uint64(d)
+			g.hPaused.Observe(int64(d))
+			g.pausedAt[p] = -1
+		}
+	}
 	drained := !g.gaveUp
 	for _, name := range g.order {
 		m := g.members[name]
@@ -1006,6 +1335,13 @@ func (g *Group) Leave(name string) error {
 // resetLocal wipes a member's in-memory consumption state (crash, or
 // server-side eviction discovered via heartbeat).
 func (m *Member) resetLocal() {
+	for _, p := range m.assigned {
+		m.endOwnership(p)
+		m.pausePartition(p)
+	}
+	for p := range m.openSpan {
+		m.endOwnership(p)
+	}
 	m.assigned = m.assigned[:0]
 	for p := range m.position {
 		delete(m.position, p)
@@ -1016,6 +1352,7 @@ func (m *Member) resetLocal() {
 	m.pendingAssign = nil
 	m.commitEpoch++
 	m.inFlight = 0
+	m.joinAfterCommit = false
 }
 
 // CrashMember kills the member at Join-order index i: timers stop,

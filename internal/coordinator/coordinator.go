@@ -100,6 +100,21 @@ type Stats struct {
 	OffsetsAppended    uint64 // records appended to the offsets log
 	OffsetRegressions  uint64 // committed offsets that moved backwards on re-materialization
 	StaticRejoins      uint64 // static-member rejoins served without a rebalance
+	CoopFollowUps      uint64 // cooperative second-phase rebalances distributing freed partitions
+}
+
+// GroupStats counts one group's share of the coordinator activity —
+// the multi-group fan-out scorecard surface. The fleet-wide Stats sum
+// these across groups (plus the offsets-log counters, which are
+// coordinator-global).
+type GroupStats struct {
+	Joins              uint64
+	Leaves             uint64
+	Rebalances         uint64
+	SessionExpirations uint64
+	Evictions          uint64
+	StaticRejoins      uint64
+	CoopFollowUps      uint64
 }
 
 // OffsetRegression records one committed offset that re-materialized
@@ -145,6 +160,8 @@ type member struct {
 	sessionTimeout time.Duration
 	timer          *des.Timer // session expiry
 	assigned       []int32    // current-generation assignment
+	protocol       uint8      // rebalance protocol from the last join
+	owned          []int32    // partitions the member reported owning at its last join
 	joined         bool       // rejoined the pending rebalance
 	synced         bool       // fetched the current generation's assignment
 	pendingJoin    func(wire.JoinGroupResponse)
@@ -167,6 +184,11 @@ type group struct {
 	nextMemberID int
 	rebalanceTmr *des.Timer
 	joinDeadline time.Duration // virtual-time cap for the pending rebalance
+	// needsFollowUp marks a cooperative phase-1 assignment that withheld
+	// partitions pending revocation; once the group stabilises the
+	// coordinator immediately rebalances again to distribute them.
+	needsFollowUp bool
+	gstats        GroupStats
 	// rebalanceAt stamps entry into PreparingRebalance; completeJoin
 	// observes now-rebalanceAt as the rebalance-duration span.
 	rebalanceAt time.Duration
@@ -271,6 +293,25 @@ func (co *Coordinator) Config() Config { return co.cfg }
 // Stats returns the activity counters.
 func (co *Coordinator) Stats() Stats { return co.stats }
 
+// GroupStats returns one group's activity counters (zero for an
+// unknown group).
+func (co *Coordinator) GroupStats(groupID string) GroupStats {
+	if g, ok := co.groups[groupID]; ok {
+		return g.gstats
+	}
+	return GroupStats{}
+}
+
+// GroupIDs returns the known group ids in sorted order.
+func (co *Coordinator) GroupIDs() []string {
+	ids := make([]string, 0, len(co.groups))
+	for id := range co.groups {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
 // Regressions returns every committed-offset regression observed when
 // re-materializing after topology changes, in detection order.
 func (co *Coordinator) Regressions() []OffsetRegression {
@@ -367,12 +408,15 @@ func (co *Coordinator) HandleJoinGroup(req wire.JoinGroupRequest, done func(wire
 			g.instances[req.GroupInstanceID] = id
 		}
 		co.stats.Joins++
+		g.gstats.Joins++
 	}
 	m.sessionTimeout = req.SessionTimeout
 	if m.sessionTimeout <= 0 {
 		m.sessionTimeout = co.cfg.SessionTimeout
 	}
 	m.timer.Reset(m.sessionTimeout)
+	m.protocol = req.Protocol
+	m.owned = append(m.owned[:0], req.OwnedPartitions...)
 	// Static-member fast path (KIP-345): a known instance rejoining a
 	// Stable group inside its session timeout keeps its member id and
 	// assignment, and the group skips the rebalance entirely — the whole
@@ -380,6 +424,7 @@ func (co *Coordinator) HandleJoinGroup(req wire.JoinGroupRequest, done func(wire
 	// generation bumps.
 	if req.GroupInstanceID != "" && known && g.state == stateStable {
 		co.stats.StaticRejoins++
+		g.gstats.StaticRejoins++
 		if done != nil {
 			ids := make([]string, 0, len(g.members))
 			for mid := range g.members {
@@ -443,15 +488,26 @@ func (co *Coordinator) HandleSyncGroup(req wire.SyncGroupRequest, done func(wire
 		return
 	}
 	m.timer.Reset(m.sessionTimeout)
+	followUp := false
 	if !m.synced {
 		m.synced = true
 		if g.state == stateCompletingRebalance && g.allSynced() {
 			g.state = stateStable
+			followUp = g.needsFollowUp
+			g.needsFollowUp = false
 		}
 	}
 	resp.Generation = g.generation
 	resp.Assigned = append([]int32(nil), m.assigned...)
 	done(resp)
+	if followUp {
+		// Cooperative phase 2: the stabilised generation revoked the
+		// moving partitions; rebalance again right away so their new
+		// owners pick them up. Members learn via heartbeat.
+		co.stats.CoopFollowUps++
+		g.gstats.CoopFollowUps++
+		g.prepareRebalance()
+	}
 }
 
 // HandleHeartbeat refreshes a member's session and reports pending
@@ -493,6 +549,7 @@ func (co *Coordinator) HandleLeaveGroup(req wire.LeaveGroupRequest, done func(wi
 		resp.Err = wire.ErrUnknownMemberID
 	} else {
 		co.stats.Leaves++
+		g.gstats.Leaves++
 		g.removeMember(m)
 		g.prepareRebalance()
 	}
@@ -539,7 +596,17 @@ func (co *Coordinator) HandleOffsetCommit(req wire.OffsetCommitRequest, done fun
 		return
 	}
 	// Commits during PreparingRebalance are allowed for current-generation
-	// members: that is the cooperative revoke-then-commit window.
+	// members (KAFKA-4600): that is the pre-rejoin flush and cooperative
+	// revoke-then-commit window. But a commit that raced the join barrier
+	// itself — the generation already bumped, the member has joined and
+	// not yet learned its assignment — is rejected with
+	// REBALANCE_IN_PROGRESS, Kafka's signal that the commit was not
+	// materialized and must be retried after the rebalance completes.
+	// Never silently dropped: the response always fires.
+	if g.state == stateCompletingRebalance && !m.synced {
+		fail(wire.ErrRebalanceInProgress)
+		return
+	}
 	if !co.available() {
 		fail(wire.ErrCoordinatorNotAvailable)
 		return

@@ -84,33 +84,113 @@ func (g *group) completeJoin() {
 			continue
 		}
 		co.stats.Evictions++
+		g.gstats.Evictions++
 		g.removeMember(m)
 	}
 	g.generation++
+	g.needsFollowUp = false
 	if len(kept) == 0 {
 		g.state = stateEmpty
 		return
 	}
-	// Kafka's range assignor: contiguous partition ranges over members
-	// sorted by id, earlier members taking the larger ranges.
+	// Cooperative incremental assignment (KIP-429) engages when every
+	// kept member joined with the cooperative protocol, and uses the
+	// cooperative-sticky assignor — the only assignor the cooperative
+	// protocol is legal with in Kafka, because stickiness is what keeps
+	// the moved set small: each member keeps what it owns (trimmed to
+	// its balanced share, lowest partitions first), unowned partitions
+	// fill members below their share, and partitions a member must give
+	// up stay withheld (owned until revoked) for a follow-up rebalance —
+	// triggered the moment the group stabilises — to hand out. A member
+	// crash therefore moves only the dead member's partitions, in one
+	// round; a join moves exactly the new member's share, in two. Owned
+	// sets come from the members' join requests; conflicting claims
+	// resolve to the first claimant in sorted member order. Eager groups
+	// (any member at ProtocolEager) use Kafka's range assignor:
+	// contiguous partition ranges over members sorted by id, earlier
+	// members taking the larger ranges.
+	coop := true
+	for _, id := range kept {
+		if g.members[id].protocol < wire.ProtocolCooperative {
+			coop = false
+			break
+		}
+	}
 	per := int(g.partitions) / len(kept)
 	extra := int(g.partitions) % len(kept)
-	next := int32(0)
-	for i, id := range kept {
-		m := g.members[id]
-		n := per
+	share := func(i int) int {
 		if i < extra {
-			n++
+			return per + 1
 		}
-		m.assigned = m.assigned[:0]
-		for j := 0; j < n; j++ {
-			m.assigned = append(m.assigned, next)
-			next++
+		return per
+	}
+	if coop {
+		owner := make(map[int32]string, g.partitions)
+		for _, id := range kept {
+			for _, p := range g.members[id].owned {
+				if p < 0 || p >= g.partitions {
+					continue
+				}
+				if _, taken := owner[p]; !taken {
+					owner[p] = id
+				}
+			}
 		}
-		m.joined, m.synced = false, false
+		ownedBy := make(map[string][]int32, len(kept))
+		for p := int32(0); p < g.partitions; p++ {
+			if id, ok := owner[p]; ok {
+				ownedBy[id] = append(ownedBy[id], p)
+			}
+		}
+		room := make(map[string]int, len(kept))
+		for i, id := range kept {
+			m := g.members[id]
+			own := ownedBy[id]
+			if t := share(i); len(own) > t {
+				// Over the balanced share: revoke the highest-numbered
+				// excess at sync; it stays owned (withheld) until then.
+				g.needsFollowUp = true
+				own = own[:t]
+			}
+			m.assigned = append(m.assigned[:0], own...)
+			room[id] = share(i) - len(own)
+			m.joined, m.synced = false, false
+		}
+		ui := 0
+		for p := int32(0); p < g.partitions; p++ {
+			if _, taken := owner[p]; taken {
+				continue
+			}
+			for ui < len(kept) && room[kept[ui]] <= 0 {
+				ui++
+			}
+			if ui >= len(kept) {
+				break
+			}
+			id := kept[ui]
+			m := g.members[id]
+			m.assigned = append(m.assigned, p)
+			room[id]--
+		}
+		for _, id := range kept {
+			a := g.members[id].assigned
+			sort.Slice(a, func(x, y int) bool { return a[x] < a[y] })
+		}
+	} else {
+		next := int32(0)
+		for i, id := range kept {
+			m := g.members[id]
+			m.assigned = m.assigned[:0]
+			for j := 0; j < share(i); j++ {
+				m.assigned = append(m.assigned, next)
+				next++
+			}
+			m.joined, m.synced = false, false
+		}
 	}
 	g.state = stateCompletingRebalance
 	co.stats.Rebalances++
+	g.gstats.Rebalances++
 	co.hRebalance.Observe(int64(co.sim.Now() - g.rebalanceAt))
 	members := append([]string(nil), kept...)
 	leader := members[0]
@@ -165,6 +245,7 @@ func (g *group) expireSession(m *member) {
 		return // already removed (stale timer)
 	}
 	g.co.stats.SessionExpirations++
+	g.gstats.SessionExpirations++
 	g.removeMember(m)
 	g.prepareRebalance()
 }

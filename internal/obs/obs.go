@@ -102,6 +102,11 @@ const (
 	MConsumerRedelivered = "consumer.redelivered"
 	MConsumerCommitAcks  = "consumer.commit_acks"
 	MConsumerLag         = "consumer.lag"
+	// MPausedNs histograms per-partition pause windows: sim-time a
+	// partition spent without active polling coverage (each sample is
+	// one pause interval). Eager rebalances pause every partition for
+	// the join barrier; cooperative ones pause only moving partitions.
+	MPausedNs = "consumer.paused_ns"
 
 	// Coordinator.
 	MRebalanceNs = "coordinator.rebalance_ns"

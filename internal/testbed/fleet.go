@@ -64,10 +64,21 @@ type Fleet struct {
 	// replicated offsets log, and leave once the shard's producers are
 	// done and everything is drained and committed.
 	ConsumersPerTopic int
+	// Groups fans each topic's consumption out to that many independent
+	// consumer groups (ids "g00", "g01", ...), each ConsumersPerTopic
+	// strong, sharing the shard's coordinator and offsets log. The
+	// default (0 or 1) runs the single legacy group "fleet". Multi-group
+	// shards add one scorecard line and (under TimelineInterval) one
+	// entity timeline ("t003/g01") per group.
+	Groups int
+	// Cooperative runs every group under the incremental cooperative
+	// rebalance protocol (KIP-429) instead of the eager default.
+	Cooperative bool
 	// ConsumerFaults synthesizes deterministic per-shard consumer-member
 	// crash/restart faults (derived from the shard seed) on top of
-	// FaultPlan, forcing rebalances mid-stream. Requires
-	// ConsumersPerTopic >= 2 so a survivor can take over.
+	// FaultPlan, forcing rebalances mid-stream — independently per
+	// consumer group when Groups > 1. Requires ConsumersPerTopic >= 2 so
+	// a survivor can take over.
 	ConsumerFaults bool
 	// ReplicationFactor and MinISR mirror Experiment (defaults 3 / 1).
 	ReplicationFactor int
@@ -117,6 +128,8 @@ func (f Fleet) Validate() error {
 		return fmt.Errorf("testbed: negative users/sec")
 	case f.ConsumersPerTopic < 0:
 		return fmt.Errorf("testbed: negative consumers per topic")
+	case f.Groups < 0:
+		return fmt.Errorf("testbed: negative consumer-group count")
 	}
 	if f.ConsumerFaults && exprun.DefInt(f.ConsumersPerTopic, 1) < 2 {
 		return fmt.Errorf("testbed: consumer faults need at least 2 consumers per topic")
@@ -130,6 +143,9 @@ func (f Fleet) Validate() error {
 		case chaos.ConsumerCrash:
 			if int(ft.Member) >= exprun.DefInt(f.ConsumersPerTopic, 1) {
 				return fmt.Errorf("testbed: fleet fault %d targets consumer %d of %d", i, ft.Member, f.ConsumersPerTopic)
+			}
+			if int(ft.Group) >= exprun.DefInt(f.Groups, 1) {
+				return fmt.Errorf("testbed: fleet fault %d targets group %d of %d", i, ft.Group, exprun.DefInt(f.Groups, 1))
 			}
 		default:
 			return fmt.Errorf("testbed: fleet fault %d (%s): only broker and consumer faults apply fleet-wide", i, ft.Kind)
@@ -175,10 +191,35 @@ type FleetTopicResult struct {
 	// E2EViolations counts end-to-end delivery invariant violations
 	// (chaos.VerifyE2E) in the shard.
 	E2EViolations int
+	// CoopViolations counts cooperative-rebalance invariant violations
+	// (chaos.VerifyCoop, counter-level: the redelivery bound) in the
+	// shard.
+	CoopViolations int
 	// Lag is the per-partition records between durable committed
 	// offsets and high watermarks at the end of the shard (zero
 	// everywhere for a drained group).
 	Lag []int64
+	// Groups holds the per-group accounting in group-id order. A
+	// single-group shard folds it into the fields above; multi-group
+	// shards additionally sum (Drained, Rebalances, violations), AND
+	// (GroupDrained) and mirror group 0 (Report, Lag) there.
+	Groups []FleetGroupResult
+}
+
+// FleetGroupResult is one consumer group's share of a shard: every
+// group independently drains the full topic through the shared
+// coordinator, so each gets its own reconciliation and verdicts.
+type FleetGroupResult struct {
+	ID             string
+	Drained        int64
+	GroupDrained   bool
+	Rebalances     uint64
+	Expirations    uint64
+	CoopFollowUps  uint64
+	E2EViolations  int
+	CoopViolations int
+	Report         consumer.Report
+	Lag            []int64
 }
 
 // FleetResult aggregates a fleet run in shard order.
@@ -234,6 +275,14 @@ func (r FleetResult) Scorecard() []byte {
 			tr.GroupDrained, tr.Rebalances, tr.Expirations, tr.E2EViolations,
 			tr.Lag, e2e.Quantile(0.50), e2e.Quantile(0.95), e2e.Quantile(0.99),
 			fleetG(tr.Throughput), tr.Completed)
+		if len(tr.Groups) > 1 {
+			for _, gr := range tr.Groups {
+				fmt.Fprintf(&b, "group %s/%s drained=%d group_drained=%t rebalances=%d expirations=%d followups=%d e2e_viol=%d coop_viol=%d lost=%d dup=%d lag=%v\n",
+					tr.Topic, gr.ID, gr.Drained, gr.GroupDrained, gr.Rebalances,
+					gr.Expirations, gr.CoopFollowUps, gr.E2EViolations,
+					gr.CoopViolations, gr.Report.NLost, gr.Report.NDuplicated, gr.Lag)
+			}
+		}
 	}
 	fmt.Fprintf(&b, "total acquired=%d distinct=%d lost=%d dup=%d foreign=%d pl=%s pd=%s throughput=%s completed=%t\n",
 		r.Acquired, r.Report.Distinct, r.Report.NLost, r.Report.NDuplicated,
@@ -431,31 +480,44 @@ func runFleetShard(sim *des.Simulator, sh fleetShard, cal Calibration, reg *obs.
 		return fleetShardOut{}, err
 	}
 
-	// The shard's consumer group runs in-simulation: it polls alongside
+	// The shard's consumer groups run in-simulation: each polls alongside
 	// the producers, commits through the coordinator's replicated offsets
 	// log (same rf as the data topic), and drains once the producers are
-	// done. Fleet-wide broker faults hit its fetch and commit paths too.
+	// done. Fleet-wide broker faults hit their fetch and commit paths
+	// too. Every group independently consumes the whole topic; they share
+	// one coordinator and one offsets log.
 	members := exprun.DefInt(f.ConsumersPerTopic, 1)
+	nGroups := exprun.DefInt(f.Groups, 1)
 	co, err := coordinator.New(sim, clst, coordinator.Config{OffsetsReplication: rf, Obs: o})
 	if err != nil {
 		return fleetShardOut{}, err
 	}
-	grp, err := consumer.NewGroup(sim, co, clst, consumer.GroupConfig{
-		ID:         "fleet",
-		Topic:      sh.topic,
-		Auto:       true,
-		Dedup:      f.Features.Semantics == features.SemanticsExactlyOnce,
-		IdleGiveUp: time.Second,
-		Obs:        o,
-	})
-	if err != nil {
-		return fleetShardOut{}, err
-	}
-	for c := 0; c < members; c++ {
-		if err := grp.Join(fmt.Sprintf("c%02d", c)); err != nil {
+	groups := make([]*consumer.Group, nGroups)
+	for gi := range groups {
+		id := "fleet"
+		if nGroups > 1 {
+			id = fmt.Sprintf("g%02d", gi)
+		}
+		grp, err := consumer.NewGroup(sim, co, clst, consumer.GroupConfig{
+			ID:          id,
+			Topic:       sh.topic,
+			Auto:        true,
+			Cooperative: f.Cooperative,
+			Dedup:       f.Features.Semantics == features.SemanticsExactlyOnce,
+			IdleGiveUp:  time.Second,
+			Obs:         o,
+		})
+		if err != nil {
 			return fleetShardOut{}, err
 		}
+		for c := 0; c < members; c++ {
+			if err := grp.Join(fmt.Sprintf("c%02d", c)); err != nil {
+				return fleetShardOut{}, err
+			}
+		}
+		groups[gi] = grp
 	}
+	grp := groups[0]
 
 	var cfgErr error
 	onErr := func(err error) {
@@ -465,21 +527,37 @@ func runFleetShard(sim *des.Simulator, sh fleetShard, cal Calibration, reg *obs.
 	}
 	var topicTL *obs.Timeline
 	var timelines []*obs.Timeline
+	var groupTLs []*obs.Timeline
 	if f.TimelineInterval > 0 {
 		topicTL = obs.NewTimeline(f.TimelineInterval)
 		topicTL.SetEntity(sh.topic)
 		topicTL.BindClock(sim)
 		timelines = append(timelines, topicTL)
+		if nGroups > 1 {
+			// Multi-group shards put each group's series (lag, deliveries,
+			// commits, rebalances, paused time) on its own tagged entity so
+			// the merged CSV separates the fan-out; the topic entity keeps
+			// only the broker side.
+			for gi, g := range groups {
+				tl := obs.NewTimeline(f.TimelineInterval)
+				tl.SetEntity(fmt.Sprintf("%s/g%02d", sh.topic, gi))
+				tl.BindClock(sim)
+				tl.SetGroupProbe(g.Probe)
+				groupTLs = append(groupTLs, tl)
+				timelines = append(timelines, tl)
+			}
+		}
 	}
 	plan := chaos.Plan{Faults: append([]chaos.Fault(nil), f.FaultPlan.Faults...)}
 	if f.ConsumerFaults {
-		plan.Faults = append(plan.Faults, fleetConsumerFaults(sh.seed, members)...)
+		plan.Faults = append(plan.Faults, fleetConsumerFaults(sh.seed, members, nGroups)...)
 	}
 	if len(plan.Faults) > 0 {
 		err := chaos.Schedule(plan, chaos.Targets{
 			Sim:      sim,
 			Cluster:  clst,
 			Group:    grp,
+			Groups:   groups,
 			Timeline: topicTL,
 			Seed:     sh.seed,
 			OnError:  onErr,
@@ -606,16 +684,21 @@ func runFleetShard(sim *des.Simulator, sh fleetShard, cal Calibration, reg *obs.
 		}
 		return true
 	}
-	grp.SetDrainCheck(allDone)
+	for _, g := range groups {
+		g.SetDrainCheck(allDone)
+	}
 	if topicTL != nil {
 		// The topic entity samples the broker side once per interval —
 		// per-producer appends are not separable at the broker, so the
 		// shard's broker series lives on the topic entity and the
 		// per-producer series carry the client-side probes.
 		topicTL.SetProbes(nil, nil, nil, func() obs.BrokerProbe { return clst.Probe(sh.topic) })
-		// The consumer-group series (per-partition lag, deliveries,
-		// commit acks, rebalances) also lives on the topic entity.
-		topicTL.SetGroupProbe(grp.Probe)
+		if nGroups == 1 {
+			// The consumer-group series (per-partition lag, deliveries,
+			// commit acks, rebalances) also lives on the topic entity;
+			// multi-group shards move them to the per-group entities.
+			topicTL.SetGroupProbe(grp.Probe)
+		}
 		topicTL.Sample()
 		var tick *des.Ticker
 		tick = des.NewTicker(sim, topicTL.Interval(), func() {
@@ -624,6 +707,18 @@ func runFleetShard(sim *des.Simulator, sh fleetShard, cal Calibration, reg *obs.
 				return
 			}
 			topicTL.Sample()
+		})
+	}
+	for _, tl := range groupTLs {
+		tl.Sample()
+		var tick *des.Ticker
+		tl := tl
+		tick = des.NewTicker(sim, tl.Interval(), func() {
+			if allDone() {
+				tick.Stop()
+				return
+			}
+			tl.Sample()
 		})
 	}
 
@@ -648,6 +743,9 @@ func runFleetShard(sim *des.Simulator, sh fleetShard, cal Calibration, reg *obs.
 		ent.timeline.Sample()
 	}
 	topicTL.Sample()
+	for _, tl := range groupTLs {
+		tl.Sample()
+	}
 
 	tr := FleetTopicResult{
 		Topic:      sh.topic,
@@ -677,28 +775,6 @@ func runFleetShard(sim *des.Simulator, sh fleetShard, cal Calibration, reg *obs.
 		tr.Duration = sim.Now()
 	}
 
-	keys := grp.ConsumedKeys()
-	for _, ks := range keys {
-		tr.Drained += int64(len(ks))
-	}
-	tr.Report = consumer.ReconcileRangesKeys(ranges, keys)
-	gev := grp.Evidence()
-	cst := co.Stats()
-	tr.GroupDrained = gev.Drained
-	tr.Rebalances = gev.Rebalances
-	tr.Expirations = cst.SessionExpirations
-	final := make([]int64, f.Partitions)
-	for p := range final {
-		off, err := grp.Committed(int32(p))
-		switch {
-		case err == nil:
-			final[p] = off
-		case errors.Is(err, consumer.ErrNoCommit):
-			final[p] = -1
-		default:
-			return fleetShardOut{}, fmt.Errorf("committed offset %s[%d]: %w", sh.topic, p, err)
-		}
-	}
 	sem := producer.AtLeastOnce
 	switch f.Features.Semantics {
 	case features.SemanticsAtMostOnce:
@@ -706,23 +782,71 @@ func runFleetShard(sim *des.Simulator, sh fleetShard, cal Calibration, reg *obs.
 	case features.SemanticsExactlyOnce:
 		sem = producer.ExactlyOnce
 	}
-	verdict := chaos.VerifyE2E(chaos.E2EInput{
-		Semantics:          sem,
-		OffsetsReplication: rf,
-		Plan:               plan,
-		Evidence:           gev,
-		ConsumedKeys:       keys,
-		FinalCommitted:     final,
-		Regressions:        co.Regressions(),
-	})
-	tr.E2EViolations = len(verdict.Violations)
-	// Authoritative lag when the cluster can answer; the group's own
-	// durable view when a partition ended the shard leaderless.
-	if lags, err := grp.LagByPartition(); err == nil {
-		tr.Lag = lags
-	} else {
-		tr.Lag = grp.Probe().LagByPartition
+	regs := co.Regressions()
+	tr.GroupDrained = true
+	for gi, g := range groups {
+		keys := g.ConsumedKeys()
+		gev := g.Evidence()
+		gst := co.GroupStats(gev.Group)
+		gr := FleetGroupResult{
+			ID:            gev.Group,
+			GroupDrained:  gev.Drained,
+			Rebalances:    gev.Rebalances,
+			Expirations:   gst.SessionExpirations,
+			CoopFollowUps: gst.CoopFollowUps,
+		}
+		for _, ks := range keys {
+			gr.Drained += int64(len(ks))
+		}
+		gr.Report = consumer.ReconcileRangesKeys(ranges, keys)
+		final := make([]int64, f.Partitions)
+		for p := range final {
+			off, err := g.Committed(int32(p))
+			switch {
+			case err == nil:
+				final[p] = off
+			case errors.Is(err, consumer.ErrNoCommit):
+				final[p] = -1
+			default:
+				return fleetShardOut{}, fmt.Errorf("committed offset %s[%d] group %s: %w", sh.topic, p, gev.Group, err)
+			}
+		}
+		verdict := chaos.VerifyE2E(chaos.E2EInput{
+			Semantics:          sem,
+			OffsetsReplication: rf,
+			Plan:               plan,
+			Evidence:           gev,
+			ConsumedKeys:       keys,
+			FinalCommitted:     final,
+			Regressions:        regs,
+		})
+		gr.E2EViolations = len(verdict.Violations)
+		coop := chaos.VerifyCoop(chaos.CoopInput{
+			OffsetsReplication: rf,
+			Plan:               plan,
+			Evidence:           gev,
+			Regressions:        regs,
+		})
+		gr.CoopViolations = len(coop.Violations)
+		// Authoritative lag when the cluster can answer; the group's own
+		// durable view when a partition ended the shard leaderless.
+		if lags, err := g.LagByPartition(); err == nil {
+			gr.Lag = lags
+		} else {
+			gr.Lag = g.Probe().LagByPartition
+		}
+		tr.Groups = append(tr.Groups, gr)
+		tr.Drained += gr.Drained
+		tr.Rebalances += gr.Rebalances
+		tr.E2EViolations += gr.E2EViolations
+		tr.CoopViolations += gr.CoopViolations
+		tr.GroupDrained = tr.GroupDrained && gr.GroupDrained
+		if gi == 0 {
+			tr.Report = gr.Report
+			tr.Lag = gr.Lag
+		}
 	}
+	tr.Expirations = co.Stats().SessionExpirations
 	if reg != nil {
 		tr.Metrics = snapshotMetrics(reg.Snapshot())
 		tr.Metrics.Cases = tr.Producer.ByCase
@@ -735,25 +859,33 @@ func runFleetShard(sim *des.Simulator, sh fleetShard, cal Calibration, reg *obs.
 }
 
 // fleetConsumerFaults synthesizes the per-shard consumer crash/restart
-// schedule: two crash windows on seed-chosen members, placed early
-// enough to land inside the producing phase and sequenced so the plan
-// validates (a member is never crashed while already down).
-func fleetConsumerFaults(seed uint64, members int) []chaos.Fault {
-	rng := rand.New(rand.NewPCG(seed, 0xC0115))
-	durat := func() time.Duration {
-		return 100*time.Millisecond + time.Duration(rng.Int64N(int64(300*time.Millisecond)))
+// schedule: two crash windows on seed-chosen members per group, placed
+// early enough to land inside the producing phase and sequenced so the
+// plan validates (a member is never crashed while already down). Each
+// group draws from its own PCG stream; group 0's stream matches the
+// historical single-group schedule exactly.
+func fleetConsumerFaults(seed uint64, members, groups int) []chaos.Fault {
+	var faults []chaos.Fault
+	for g := 0; g < groups; g++ {
+		rng := rand.New(rand.NewPCG(seed, 0xC0115+uint64(g)*0x9E3779B97F4A7C15))
+		durat := func() time.Duration {
+			return 100*time.Millisecond + time.Duration(rng.Int64N(int64(300*time.Millisecond)))
+		}
+		first := chaos.Fault{
+			Kind:     chaos.ConsumerCrash,
+			At:       50*time.Millisecond + time.Duration(rng.Int64N(int64(150*time.Millisecond))),
+			Duration: durat(),
+			Member:   int32(rng.IntN(members)),
+			Group:    int32(g),
+		}
+		second := chaos.Fault{
+			Kind:     chaos.ConsumerCrash,
+			At:       first.At + first.Duration + 50*time.Millisecond + time.Duration(rng.Int64N(int64(200*time.Millisecond))),
+			Duration: durat(),
+			Member:   int32(rng.IntN(members)),
+			Group:    int32(g),
+		}
+		faults = append(faults, first, second)
 	}
-	first := chaos.Fault{
-		Kind:     chaos.ConsumerCrash,
-		At:       50*time.Millisecond + time.Duration(rng.Int64N(int64(150*time.Millisecond))),
-		Duration: durat(),
-		Member:   int32(rng.IntN(members)),
-	}
-	second := chaos.Fault{
-		Kind:     chaos.ConsumerCrash,
-		At:       first.At + first.Duration + 50*time.Millisecond + time.Duration(rng.Int64N(int64(200*time.Millisecond))),
-		Duration: durat(),
-		Member:   int32(rng.IntN(members)),
-	}
-	return []chaos.Fault{first, second}
+	return faults
 }

@@ -71,8 +71,9 @@ type MetricsSnapshot struct {
 	ConsumerLagEnd      int64 // lag gauge at snapshot time (sums across shards)
 
 	// Per-record latency spans, all timed from producer enqueue except
-	// SpanCommit (commit send → durable ack) and Rebalance (prepare →
-	// generation bump).
+	// SpanCommit (commit send → durable ack), Rebalance (prepare →
+	// generation bump) and Paused (per-partition windows without
+	// polling coverage — the consumer-visible rebalance cost).
 	SpanSend       SpanHist
 	SpanAppend     SpanHist
 	SpanReplicated SpanHist
@@ -80,6 +81,7 @@ type MetricsSnapshot struct {
 	SpanDelivery   SpanHist
 	SpanCommit     SpanHist
 	Rebalance      SpanHist
+	Paused         SpanHist
 }
 
 // SpanHist is one latency-span histogram flattened to fixed-size
@@ -168,6 +170,7 @@ func snapshotMetrics(s obs.Snapshot) MetricsSnapshot {
 		SpanDelivery:          spanHist(s, obs.MSpanDelivery),
 		SpanCommit:            spanHist(s, obs.MSpanCommit),
 		Rebalance:             spanHist(s, obs.MRebalanceNs),
+		Paused:                spanHist(s, obs.MPausedNs),
 	}
 	for c := 1; c < wire.NumErrorCodes; c++ {
 		m.ProduceErrors[c] = s.Counter(obs.ProduceErrorMetric(wire.ErrorCode(c).String()))
@@ -232,6 +235,7 @@ func (m *MetricsSnapshot) Merge(o MetricsSnapshot) {
 	m.SpanDelivery.merge(o.SpanDelivery)
 	m.SpanCommit.merge(o.SpanCommit)
 	m.Rebalance.merge(o.Rebalance)
+	m.Paused.merge(o.Paused)
 }
 
 // Encode renders the snapshot in a canonical text form, one metric per
@@ -276,5 +280,6 @@ func (m MetricsSnapshot) Encode() []byte {
 	m.SpanDelivery.encode(&b, "span.enqueue_to_delivery")
 	m.SpanCommit.encode(&b, "span.commit")
 	m.Rebalance.encode(&b, "coordinator.rebalance")
+	m.Paused.encode(&b, "consumer.paused")
 	return []byte(b.String())
 }

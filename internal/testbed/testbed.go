@@ -85,6 +85,17 @@ type Experiment struct {
 	// Result's Group* fields. ConsumerCrash faults in the plan target
 	// this group.
 	Consumers int
+	// Groups fans the consumption out to that many independent consumer
+	// groups (ids "g00", "g01", ...), each with Consumers members, all
+	// subscribed to the topic and sharing one coordinator and offsets
+	// log. The default (0 or 1) runs the single legacy group "testbed".
+	// ConsumerCrash faults select a group via Fault.Group; results come
+	// back per group in Result.GroupRuns.
+	Groups int
+	// Cooperative runs the consumer group(s) under the incremental
+	// cooperative rebalance protocol (KIP-429) instead of the eager
+	// stop-the-world default.
+	Cooperative bool
 	// OffsetsReplication overrides the coordinator's offsets-topic
 	// replication factor (default min(3, brokers)). Running it at 1
 	// under unclean restarts is how committed offsets get lost.
@@ -203,6 +214,28 @@ type Result struct {
 	// OffsetRegressions are committed watermarks the offsets log lost
 	// across unclean restarts.
 	OffsetRegressions []coordinator.OffsetRegression
+	// GroupRuns holds one entry per consumer group in join order
+	// (Experiment.Groups); the legacy Group* fields above mirror
+	// GroupRuns[0].
+	GroupRuns []GroupRun
+}
+
+// GroupRun is one consumer group's slice of a multi-group run.
+type GroupRun struct {
+	// ID is the group id ("testbed", or "g00", "g01", ... when fanned
+	// out).
+	ID string
+	// Evidence is the group's delivery record.
+	Evidence consumer.Evidence
+	// ConsumedKeys is the group's per-partition application stream.
+	ConsumedKeys [][]uint64
+	// Committed is the durable committed offset per partition at the end
+	// of the run (-1 = nothing committed).
+	Committed []int64
+	// Lag is the per-partition end-of-run backlog.
+	Lag []int64
+	// Stats is the coordinator's per-group activity ledger.
+	Stats coordinator.GroupStats
 }
 
 // Run executes one experiment.
@@ -283,7 +316,8 @@ type rig struct {
 	clst   *cluster.Cluster
 	prod   *producer.Producer
 	co     *coordinator.Coordinator
-	group  *consumer.Group
+	group  *consumer.Group   // first group (legacy single-group surface)
+	groups []*consumer.Group // every group, in join order
 	reg    *obs.Registry
 	cfgErr error
 	doneAt time.Duration // virtual time the producer finished (-1 if cut off)
@@ -378,24 +412,33 @@ func buildRig(sim *des.Simulator, e Experiment, cal Calibration) (*rig, error) {
 		if err != nil {
 			return nil, fmt.Errorf("testbed: %w", err)
 		}
-		grp, err := consumer.NewGroup(sim, co, clst, consumer.GroupConfig{
-			ID:              "testbed",
-			Topic:           topic,
-			Auto:            true,
-			Dedup:           e.Features.Semantics == features.SemanticsExactlyOnce,
-			CaptureEvidence: e.CaptureEvidence,
-			IdleGiveUp:      time.Second,
-			Obs:             o,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("testbed: %w", err)
-		}
-		for i := 0; i < e.Consumers; i++ {
-			if err := grp.Join(fmt.Sprintf("c%02d", i)); err != nil {
+		nGroups := exprun.DefInt(e.Groups, 1)
+		for gi := 0; gi < nGroups; gi++ {
+			id := "testbed"
+			if nGroups > 1 {
+				id = fmt.Sprintf("g%02d", gi)
+			}
+			grp, err := consumer.NewGroup(sim, co, clst, consumer.GroupConfig{
+				ID:              id,
+				Topic:           topic,
+				Auto:            true,
+				Cooperative:     e.Cooperative,
+				Dedup:           e.Features.Semantics == features.SemanticsExactlyOnce,
+				CaptureEvidence: e.CaptureEvidence,
+				IdleGiveUp:      time.Second,
+				Obs:             o,
+			})
+			if err != nil {
 				return nil, fmt.Errorf("testbed: %w", err)
 			}
+			for i := 0; i < e.Consumers; i++ {
+				if err := grp.Join(fmt.Sprintf("c%02d", i)); err != nil {
+					return nil, fmt.Errorf("testbed: %w", err)
+				}
+			}
+			r.groups = append(r.groups, grp)
 		}
-		r.co, r.group = co, grp
+		r.co, r.group = co, r.groups[0]
 	}
 	if len(e.FaultPlan.Faults) > 0 {
 		plan := chaos.Plan{Faults: append([]chaos.Fault(nil), e.FaultPlan.Faults...)}
@@ -405,6 +448,7 @@ func buildRig(sim *des.Simulator, e Experiment, cal Calibration) (*rig, error) {
 			Path:     path,
 			Conn:     conn,
 			Group:    r.group,
+			Groups:   r.groups,
 			Timeline: e.Timeline,
 			Seed:     e.Seed,
 			OnError: func(err error) {
@@ -431,8 +475,8 @@ func buildRig(sim *des.Simulator, e Experiment, cal Calibration) (*rig, error) {
 		return nil, fmt.Errorf("testbed: %w", err)
 	}
 	r.prod = prod
-	if r.group != nil {
-		r.group.SetDrainCheck(prod.Done)
+	for _, grp := range r.groups {
+		grp.SetDrainCheck(prod.Done)
 	}
 	for i, change := range e.Schedule {
 		next := e
@@ -587,13 +631,17 @@ func (r *rig) collect(sim *des.Simulator, e Experiment) (Result, error) {
 		res.Outcomes = r.prod.Outcomes()
 	}
 	res.BrokerStats = r.clst.StatsAll()
-	if r.group != nil {
-		ev := r.group.Evidence()
-		res.GroupEvidence = &ev
-		res.GroupConsumedKeys = r.group.ConsumedKeys()
-		committed := make([]int64, r.group.Partitions())
+	for _, grp := range r.groups {
+		ev := grp.Evidence()
+		gr := GroupRun{
+			ID:           ev.Group,
+			Evidence:     ev,
+			ConsumedKeys: grp.ConsumedKeys(),
+			Stats:        r.co.GroupStats(ev.Group),
+		}
+		committed := make([]int64, grp.Partitions())
 		for p := range committed {
-			off, err := r.group.Committed(int32(p))
+			off, err := grp.Committed(int32(p))
 			switch {
 			case err == nil:
 				committed[p] = off
@@ -603,14 +651,22 @@ func (r *rig) collect(sim *des.Simulator, e Experiment) (Result, error) {
 				return Result{}, fmt.Errorf("testbed: final committed offset: %w", err)
 			}
 		}
-		res.GroupCommitted = committed
+		gr.Committed = committed
 		// Authoritative lag when the cluster can answer; the group's own
 		// durable view when a partition ended the run leaderless.
-		if lags, err := r.group.LagByPartition(); err == nil {
-			res.GroupLag = lags
+		if lags, err := grp.LagByPartition(); err == nil {
+			gr.Lag = lags
 		} else {
-			res.GroupLag = r.group.Probe().LagByPartition
+			gr.Lag = grp.Probe().LagByPartition
 		}
+		res.GroupRuns = append(res.GroupRuns, gr)
+	}
+	if len(res.GroupRuns) > 0 {
+		first := res.GroupRuns[0]
+		res.GroupEvidence = &first.Evidence
+		res.GroupConsumedKeys = first.ConsumedKeys
+		res.GroupCommitted = first.Committed
+		res.GroupLag = first.Lag
 		st := r.co.Stats()
 		res.Coordinator = &st
 		res.OffsetRegressions = r.co.Regressions()

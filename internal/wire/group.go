@@ -75,7 +75,24 @@ type JoinGroupRequest struct {
 	GroupInstanceID string
 	Topic           string
 	SessionTimeout  time.Duration
+	// Protocol selects the member's rebalance protocol: ProtocolEager
+	// (stop-the-world revoke-all) or ProtocolCooperative (KIP-429
+	// incremental). The coordinator assigns incrementally only when every
+	// joined member speaks cooperative.
+	Protocol uint8
+	// OwnedPartitions lists the partitions the member still owns when it
+	// (re)joins — the cooperative assignor's input: partitions owned by
+	// another live member are withheld from their new target owner until
+	// a follow-up rebalance observes them released. Eager members leave
+	// it empty (they revoke everything before joining).
+	OwnedPartitions []int32
 }
+
+// Rebalance protocols carried in JoinGroupRequest.Protocol.
+const (
+	ProtocolEager       uint8 = 0
+	ProtocolCooperative uint8 = 1
+)
 
 // JoinGroupResponse completes a join once the rebalance barrier opens:
 // the new generation, the member's (possibly coordinator-assigned) id,
@@ -339,13 +356,19 @@ func (r JoinGroupRequest) Encode(dst []byte) []byte {
 	dst = appendString(dst, r.MemberID)
 	dst = appendString(dst, r.GroupInstanceID)
 	dst = appendString(dst, r.Topic)
-	return binary.BigEndian.AppendUint64(dst, uint64(r.SessionTimeout))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(r.SessionTimeout))
+	dst = append(dst, r.Protocol)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(r.OwnedPartitions)))
+	for _, p := range r.OwnedPartitions {
+		dst = binary.BigEndian.AppendUint32(dst, uint32(p))
+	}
+	return dst
 }
 
 // EncodedSize returns the wire size of the request body.
 func (r JoinGroupRequest) EncodedSize() int {
 	return 4 + 2 + len(r.Group) + 2 + len(r.MemberID) + 2 + len(r.GroupInstanceID) +
-		2 + len(r.Topic) + 8
+		2 + len(r.Topic) + 8 + 1 + 4 + 4*len(r.OwnedPartitions)
 }
 
 // DecodeJoinGroupRequest parses a request body produced by Encode.
@@ -375,10 +398,22 @@ func (d *Decoder) JoinGroupRequest(b []byte) (JoinGroupRequest, error) {
 	if r.Topic, b, err = d.decodeString(b); err != nil {
 		return r, fmt.Errorf("join-group topic: %w", err)
 	}
-	if len(b) != 8 {
+	if len(b) < 13 {
 		return r, fmt.Errorf("join-group tail: %w", ErrBadFrame)
 	}
 	r.SessionTimeout = time.Duration(binary.BigEndian.Uint64(b))
+	r.Protocol = b[8]
+	count := int(binary.BigEndian.Uint32(b[9:]))
+	b = b[13:]
+	if len(b) != 4*count {
+		return r, fmt.Errorf("join-group owned partitions: %w", ErrBadFrame)
+	}
+	if count > 0 {
+		r.OwnedPartitions = make([]int32, count)
+		for i := range r.OwnedPartitions {
+			r.OwnedPartitions[i] = int32(binary.BigEndian.Uint32(b[4*i:]))
+		}
+	}
 	return r, nil
 }
 

@@ -58,6 +58,11 @@ func TestGroupMessageRoundTrips(t *testing.T) {
 		CorrelationID: 9, Group: "g1", MemberID: "", Topic: "stream",
 		SessionTimeout: 500 * time.Millisecond,
 	}, DecodeJoinGroupRequest)
+	roundTrip(t, JoinGroupRequest{
+		CorrelationID: 9, Group: "g1", MemberID: "g1-1", Topic: "stream",
+		SessionTimeout: 500 * time.Millisecond,
+		Protocol:       ProtocolCooperative, OwnedPartitions: []int32{0, 2, 5},
+	}, DecodeJoinGroupRequest)
 	roundTrip(t, JoinGroupResponse{
 		CorrelationID: 9, Group: "g1", Generation: 5, MemberID: "g1-1",
 		Leader: "g1-0", Members: []string{"g1-0", "g1-1"}, Err: ErrNone,
